@@ -1,0 +1,303 @@
+//! A memcached-style cache server (the demo app's session store).
+//!
+//! Text protocol, a faithful subset of memcached's:
+//!
+//! ```text
+//! set <key> <bytes>\r\n<data>\r\n      ->  STORED\r\n
+//! get <key>\r\n                        ->  VALUE <key> <bytes>\r\n<data>\r\nEND\r\n
+//!                                      or  END\r\n            (miss)
+//! delete <key>\r\n                     ->  DELETED\r\n | NOT_FOUND\r\n
+//! ```
+
+use janus_types::{JanusError, Result};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::io::{AsyncBufReadExt, AsyncReadExt, AsyncWriteExt, BufReader};
+use tokio::net::{TcpListener, TcpStream};
+
+const MAX_VALUE_BYTES: usize = 1024 * 1024;
+
+/// A running cache server.
+pub struct CacheServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+}
+
+type Store = Arc<RwLock<HashMap<String, Vec<u8>>>>;
+
+impl CacheServer {
+    /// Bind an ephemeral loopback port and serve.
+    pub async fn spawn() -> Result<CacheServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).await?;
+        let addr = listener.local_addr()?;
+        let store: Store = Arc::new(RwLock::new(HashMap::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let hits = Arc::new(AtomicU64::new(0));
+        let misses = Arc::new(AtomicU64::new(0));
+
+        let flag = Arc::clone(&shutdown);
+        let (hits_task, misses_task) = (Arc::clone(&hits), Arc::clone(&misses));
+        tokio::spawn(async move {
+            loop {
+                let (stream, _) = match listener.accept().await {
+                    Ok(x) => x,
+                    Err(_) => break,
+                };
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let store = Arc::clone(&store);
+                let hits = Arc::clone(&hits_task);
+                let misses = Arc::clone(&misses_task);
+                tokio::spawn(async move {
+                    let _ = serve(stream, store, hits, misses).await;
+                });
+            }
+        });
+
+        Ok(CacheServer {
+            addr,
+            shutdown,
+            hits,
+            misses,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// GET hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// GET misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        janus_net::poke_listener(self.addr);
+    }
+}
+
+impl Drop for CacheServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+async fn serve(
+    stream: TcpStream,
+    store: Store,
+    hits: Arc<AtomicU64>,
+    misses: Arc<AtomicU64>,
+) -> Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).await? == 0 {
+            return Ok(());
+        }
+        let parts: Vec<&str> = line.trim_end().split(' ').collect();
+        match parts.as_slice() {
+            ["set", key, bytes] => {
+                let len: usize = match bytes.parse() {
+                    Ok(n) if n <= MAX_VALUE_BYTES => n,
+                    _ => {
+                        reader.get_mut().write_all(b"CLIENT_ERROR bad length\r\n").await?;
+                        continue;
+                    }
+                };
+                let mut data = vec![0u8; len + 2]; // value + trailing \r\n
+                reader.read_exact(&mut data).await?;
+                data.truncate(len);
+                store.write().insert(key.to_string(), data);
+                reader.get_mut().write_all(b"STORED\r\n").await?;
+            }
+            ["get", key] => {
+                let value = store.read().get(*key).cloned();
+                match value {
+                    Some(data) => {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        let header = format!("VALUE {key} {}\r\n", data.len());
+                        reader.get_mut().write_all(header.as_bytes()).await?;
+                        reader.get_mut().write_all(&data).await?;
+                        reader.get_mut().write_all(b"\r\nEND\r\n").await?;
+                    }
+                    None => {
+                        misses.fetch_add(1, Ordering::Relaxed);
+                        reader.get_mut().write_all(b"END\r\n").await?;
+                    }
+                }
+            }
+            ["delete", key] => {
+                let existed = store.write().remove(*key).is_some();
+                let reply: &[u8] = if existed { b"DELETED\r\n" } else { b"NOT_FOUND\r\n" };
+                reader.get_mut().write_all(reply).await?;
+            }
+            _ => {
+                reader.get_mut().write_all(b"ERROR\r\n").await?;
+            }
+        }
+    }
+}
+
+/// Client for the cache protocol.
+#[derive(Debug)]
+pub struct CacheClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl CacheClient {
+    /// Connect to a cache server.
+    pub async fn connect(addr: SocketAddr) -> Result<CacheClient> {
+        let stream = TcpStream::connect(addr).await?;
+        stream.set_nodelay(true)?;
+        Ok(CacheClient {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    /// Store a value.
+    pub async fn set(&mut self, key: &str, value: &[u8]) -> Result<()> {
+        let header = format!("set {key} {}\r\n", value.len());
+        self.reader.get_mut().write_all(header.as_bytes()).await?;
+        self.reader.get_mut().write_all(value).await?;
+        self.reader.get_mut().write_all(b"\r\n").await?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line).await?;
+        if line.trim_end() == "STORED" {
+            Ok(())
+        } else {
+            Err(JanusError::state(format!("cache set failed: {line:?}")))
+        }
+    }
+
+    /// Fetch a value, `None` on miss.
+    pub async fn get(&mut self, key: &str) -> Result<Option<Vec<u8>>> {
+        let command = format!("get {key}\r\n");
+        self.reader.get_mut().write_all(command.as_bytes()).await?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line).await?;
+        let line = line.trim_end();
+        if line == "END" {
+            return Ok(None);
+        }
+        let len: usize = line
+            .strip_prefix(&format!("VALUE {key} "))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| JanusError::state(format!("bad cache reply {line:?}")))?;
+        let mut data = vec![0u8; len + 2];
+        self.reader.read_exact(&mut data).await?;
+        data.truncate(len);
+        let mut end = String::new();
+        self.reader.read_line(&mut end).await?;
+        if end.trim_end() != "END" {
+            return Err(JanusError::state(format!("bad cache trailer {end:?}")));
+        }
+        Ok(Some(data))
+    }
+
+    /// Delete a key; true if it existed.
+    pub async fn delete(&mut self, key: &str) -> Result<bool> {
+        let command = format!("delete {key}\r\n");
+        self.reader.get_mut().write_all(command.as_bytes()).await?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line).await?;
+        Ok(line.trim_end() == "DELETED")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn set_get_roundtrip() {
+        let server = CacheServer::spawn().await.unwrap();
+        let mut client = CacheClient::connect(server.addr()).await.unwrap();
+        assert_eq!(client.get("session:1").await.unwrap(), None);
+        client.set("session:1", b"user=alice").await.unwrap();
+        assert_eq!(
+            client.get("session:1").await.unwrap().as_deref(),
+            Some(&b"user=alice"[..])
+        );
+        assert_eq!(server.hits(), 1);
+        assert_eq!(server.misses(), 1);
+    }
+
+    #[tokio::test]
+    async fn values_with_newlines_survive() {
+        let server = CacheServer::spawn().await.unwrap();
+        let mut client = CacheClient::connect(server.addr()).await.unwrap();
+        let payload = b"line1\r\nline2\nEND\r\nmore";
+        client.set("tricky", payload).await.unwrap();
+        assert_eq!(
+            client.get("tricky").await.unwrap().as_deref(),
+            Some(&payload[..])
+        );
+    }
+
+    #[tokio::test]
+    async fn delete_semantics() {
+        let server = CacheServer::spawn().await.unwrap();
+        let mut client = CacheClient::connect(server.addr()).await.unwrap();
+        client.set("k", b"v").await.unwrap();
+        assert!(client.delete("k").await.unwrap());
+        assert!(!client.delete("k").await.unwrap());
+        assert_eq!(client.get("k").await.unwrap(), None);
+    }
+
+    #[tokio::test]
+    async fn overwrite_replaces_value() {
+        let server = CacheServer::spawn().await.unwrap();
+        let mut client = CacheClient::connect(server.addr()).await.unwrap();
+        client.set("k", b"old").await.unwrap();
+        client.set("k", b"new-value").await.unwrap();
+        assert_eq!(
+            client.get("k").await.unwrap().as_deref(),
+            Some(&b"new-value"[..])
+        );
+    }
+
+    #[tokio::test]
+    async fn empty_value_roundtrips() {
+        let server = CacheServer::spawn().await.unwrap();
+        let mut client = CacheClient::connect(server.addr()).await.unwrap();
+        client.set("empty", b"").await.unwrap();
+        assert_eq!(client.get("empty").await.unwrap().as_deref(), Some(&b""[..]));
+    }
+
+    #[tokio::test]
+    async fn concurrent_clients() {
+        let server = CacheServer::spawn().await.unwrap();
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            handles.push(tokio::spawn(async move {
+                let mut client = CacheClient::connect(addr).await.unwrap();
+                let key = format!("k{i}");
+                client.set(&key, format!("v{i}").as_bytes()).await.unwrap();
+                assert_eq!(
+                    client.get(&key).await.unwrap(),
+                    Some(format!("v{i}").into_bytes())
+                );
+            }));
+        }
+        for h in handles {
+            h.await.unwrap();
+        }
+    }
+}

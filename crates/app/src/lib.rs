@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! The photo-sharing demo application (paper §IV, §V-D).
+//!
+//! The paper demonstrates Janus integration on a PHP photo-sharing site
+//! whose index page (a) takes the client IP, (b) touches a Memcached
+//! session, (c) queries MySQL for the latest N uploads and (d) renders
+//! HTML — wrapped in a ten-line `qos_check` guard that returns
+//! `403 Forbidden` when Janus says no. This crate rebuilds that whole
+//! stack:
+//!
+//! * [`cache`] — a memcached-style TCP cache server + client (sessions).
+//! * [`photos`] — the photo metadata store behind a TCP line protocol
+//!   (the "MySQL" of the demo), with a configurable per-query delay that
+//!   stands in for real disk/SQL work so latency figures have the
+//!   paper's "application latency ≫ QoS latency" structure.
+//! * [`app`] — the HTTP application itself, with and without the QoS
+//!   wrapper; the wrapper mirrors the paper's snippet: key = client IP,
+//!   check first, 403 on FALSE, otherwise serve the original page.
+//! * [`experiments`] — Fig. 13: the accepted/rejected time series for
+//!   the custom (refill 100, capacity 1000) and default (refill 10,
+//!   capacity 100) rules under a 130 req/s noisy client, in exact
+//!   virtual time and against the live stack.
+
+pub mod app;
+pub mod cache;
+pub mod experiments;
+pub mod photos;
+
+pub use app::{AppConfig, PhotoApp};
+pub use cache::{CacheClient, CacheServer};
+pub use photos::{Photo, PhotoClient, PhotoServer};

@@ -1,0 +1,294 @@
+//! The photo metadata store — the demo's "MySQL".
+//!
+//! A TCP line protocol over an in-memory table of uploads:
+//!
+//! ```text
+//! add <user> <title...>\r\n   ->  OK <id>\r\n
+//! latest <n>\r\n              ->  PHOTOS <k>\r\n + k lines "<id>\t<user>\t<title>"
+//! count\r\n                   ->  COUNT <n>\r\n
+//! ```
+//!
+//! A configurable per-query delay stands in for the real system's SQL and
+//! disk work, so the demo's end-to-end latency has the paper's structure
+//! (tens of milliseconds of application time vs ~3 ms of QoS time).
+
+use janus_types::{JanusError, Result};
+use parking_lot::RwLock;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::io::{AsyncBufReadExt, AsyncWriteExt, BufReader};
+use tokio::net::{TcpListener, TcpStream};
+
+/// One uploaded photo's metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Photo {
+    /// Upload id (monotonic).
+    pub id: u64,
+    /// Uploading user.
+    pub user: String,
+    /// Title text.
+    pub title: String,
+}
+
+/// A running photo store.
+pub struct PhotoServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    queries: Arc<AtomicU64>,
+}
+
+impl PhotoServer {
+    /// Spawn with a per-query artificial delay (0 for none).
+    pub async fn spawn(query_delay: Duration) -> Result<PhotoServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).await?;
+        let addr = listener.local_addr()?;
+        let photos: Arc<RwLock<Vec<Photo>>> = Arc::new(RwLock::new(Vec::new()));
+        let next_id = Arc::new(AtomicU64::new(1));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queries = Arc::new(AtomicU64::new(0));
+
+        let flag = Arc::clone(&shutdown);
+        let queries_task = Arc::clone(&queries);
+        tokio::spawn(async move {
+            loop {
+                let (stream, _) = match listener.accept().await {
+                    Ok(x) => x,
+                    Err(_) => break,
+                };
+                if flag.load(Ordering::SeqCst) {
+                    break;
+                }
+                let photos = Arc::clone(&photos);
+                let next_id = Arc::clone(&next_id);
+                let queries = Arc::clone(&queries_task);
+                tokio::spawn(async move {
+                    let _ = serve(stream, photos, next_id, queries, query_delay).await;
+                });
+            }
+        });
+
+        Ok(PhotoServer {
+            addr,
+            shutdown,
+            queries,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Queries served so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        janus_net::poke_listener(self.addr);
+    }
+}
+
+impl Drop for PhotoServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+async fn serve(
+    stream: TcpStream,
+    photos: Arc<RwLock<Vec<Photo>>>,
+    next_id: Arc<AtomicU64>,
+    queries: Arc<AtomicU64>,
+    query_delay: Duration,
+) -> Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).await? == 0 {
+            return Ok(());
+        }
+        queries.fetch_add(1, Ordering::Relaxed);
+        if !query_delay.is_zero() {
+            tokio::time::sleep(query_delay).await;
+        }
+        let trimmed = line.trim_end();
+        let reply = if let Some(rest) = trimmed.strip_prefix("add ") {
+            match rest.split_once(' ') {
+                Some((user, title)) if !user.is_empty() && !title.is_empty() => {
+                    let id = next_id.fetch_add(1, Ordering::Relaxed);
+                    photos.write().push(Photo {
+                        id,
+                        user: user.to_string(),
+                        title: title.to_string(),
+                    });
+                    format!("OK {id}\r\n")
+                }
+                _ => "ERR add needs user and title\r\n".to_string(),
+            }
+        } else if let Some(n) = trimmed.strip_prefix("latest ") {
+            match n.parse::<usize>() {
+                Ok(n) => {
+                    let guard = photos.read();
+                    let take = n.min(guard.len()).min(1000);
+                    let mut out = format!("PHOTOS {take}\r\n");
+                    for photo in guard.iter().rev().take(take) {
+                        out.push_str(&format!(
+                            "{}\t{}\t{}\r\n",
+                            photo.id, photo.user, photo.title
+                        ));
+                    }
+                    out
+                }
+                Err(_) => "ERR bad count\r\n".to_string(),
+            }
+        } else if trimmed == "count" {
+            format!("COUNT {}\r\n", photos.read().len())
+        } else {
+            "ERR unknown command\r\n".to_string()
+        };
+        reader.get_mut().write_all(reply.as_bytes()).await?;
+    }
+}
+
+/// Client for the photo store protocol.
+#[derive(Debug)]
+pub struct PhotoClient {
+    reader: BufReader<TcpStream>,
+}
+
+impl PhotoClient {
+    /// Connect to a photo store.
+    pub async fn connect(addr: SocketAddr) -> Result<PhotoClient> {
+        let stream = TcpStream::connect(addr).await?;
+        stream.set_nodelay(true)?;
+        Ok(PhotoClient {
+            reader: BufReader::new(stream),
+        })
+    }
+
+    async fn line(&mut self) -> Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line).await? == 0 {
+            return Err(JanusError::state("photo store closed connection"));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Record an upload; returns its id.
+    pub async fn add(&mut self, user: &str, title: &str) -> Result<u64> {
+        let command = format!("add {user} {title}\r\n");
+        self.reader.get_mut().write_all(command.as_bytes()).await?;
+        let reply = self.line().await?;
+        reply
+            .strip_prefix("OK ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| JanusError::state(format!("bad add reply {reply:?}")))
+    }
+
+    /// The latest `n` uploads, newest first.
+    pub async fn latest(&mut self, n: usize) -> Result<Vec<Photo>> {
+        let command = format!("latest {n}\r\n");
+        self.reader.get_mut().write_all(command.as_bytes()).await?;
+        let header = self.line().await?;
+        let k: usize = header
+            .strip_prefix("PHOTOS ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| JanusError::state(format!("bad latest reply {header:?}")))?;
+        let mut photos = Vec::with_capacity(k);
+        for _ in 0..k {
+            let row = self.line().await?;
+            let mut parts = row.splitn(3, '\t');
+            let id = parts
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| JanusError::state(format!("bad photo row {row:?}")))?;
+            let user = parts
+                .next()
+                .ok_or_else(|| JanusError::state("photo row missing user"))?
+                .to_string();
+            let title = parts
+                .next()
+                .ok_or_else(|| JanusError::state("photo row missing title"))?
+                .to_string();
+            photos.push(Photo { id, user, title });
+        }
+        Ok(photos)
+    }
+
+    /// Total uploads.
+    pub async fn count(&mut self) -> Result<u64> {
+        self.reader.get_mut().write_all(b"count\r\n").await?;
+        let reply = self.line().await?;
+        reply
+            .strip_prefix("COUNT ")
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| JanusError::state(format!("bad count reply {reply:?}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test]
+    async fn add_and_list_latest() {
+        let server = PhotoServer::spawn(Duration::ZERO).await.unwrap();
+        let mut client = PhotoClient::connect(server.addr()).await.unwrap();
+        for i in 1..=5 {
+            let id = client.add("alice", &format!("photo {i}")).await.unwrap();
+            assert_eq!(id, i);
+        }
+        let latest = client.latest(3).await.unwrap();
+        assert_eq!(latest.len(), 3);
+        assert_eq!(latest[0].title, "photo 5");
+        assert_eq!(latest[2].title, "photo 3");
+        assert_eq!(client.count().await.unwrap(), 5);
+    }
+
+    #[tokio::test]
+    async fn latest_on_empty_store() {
+        let server = PhotoServer::spawn(Duration::ZERO).await.unwrap();
+        let mut client = PhotoClient::connect(server.addr()).await.unwrap();
+        assert!(client.latest(10).await.unwrap().is_empty());
+        assert_eq!(client.count().await.unwrap(), 0);
+    }
+
+    #[tokio::test]
+    async fn titles_with_spaces() {
+        let server = PhotoServer::spawn(Duration::ZERO).await.unwrap();
+        let mut client = PhotoClient::connect(server.addr()).await.unwrap();
+        client.add("bob", "sunset at the beach").await.unwrap();
+        let latest = client.latest(1).await.unwrap();
+        assert_eq!(latest[0].title, "sunset at the beach");
+        assert_eq!(latest[0].user, "bob");
+    }
+
+    #[tokio::test]
+    async fn query_delay_is_applied() {
+        let server = PhotoServer::spawn(Duration::from_millis(30)).await.unwrap();
+        let mut client = PhotoClient::connect(server.addr()).await.unwrap();
+        let start = std::time::Instant::now();
+        client.latest(1).await.unwrap();
+        assert!(start.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[tokio::test]
+    async fn malformed_commands_get_errors() {
+        let server = PhotoServer::spawn(Duration::ZERO).await.unwrap();
+        let stream = TcpStream::connect(server.addr()).await.unwrap();
+        let mut reader = BufReader::new(stream);
+        for bad in ["add onlyuser\r\n", "latest x\r\n", "nonsense\r\n"] {
+            reader.get_mut().write_all(bad.as_bytes()).await.unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).await.unwrap();
+            assert!(line.starts_with("ERR"), "{bad:?} -> {line:?}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! End-to-end admission latency: a real `qos_check` through the full
+//! four-layer stack on loopback (the microbenchmark behind the paper's
+//! "90% of decisions in 3 ms" claim — loopback removes the network, so
+//! this measures the framework's own overhead).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use janus_core::{
+    DefaultRulePolicy, Deployment, DeploymentConfig, LbMode, LbPolicy, QosClient, QosKey,
+    QosServerConfig,
+};
+use std::sync::Arc;
+
+struct Stack {
+    runtime: tokio::runtime::Runtime,
+    _deployment: Arc<Deployment>,
+    client: Option<QosClient>,
+}
+
+fn build_stack(lb: LbMode, qos_servers: usize, routers: usize) -> Stack {
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(4)
+        .enable_all()
+        .build()
+        .expect("runtime");
+    let (deployment, client) = runtime.block_on(async {
+        let mut server = QosServerConfig::test_defaults();
+        server.default_policy = DefaultRulePolicy::AllowAll;
+        let config = DeploymentConfig {
+            qos_servers,
+            routers,
+            lb,
+            server,
+            ..Default::default()
+        };
+        let deployment = Arc::new(Deployment::launch(config).await.expect("deployment"));
+        let client = deployment.client().await.expect("client");
+        (deployment, client)
+    });
+    Stack {
+        runtime,
+        _deployment: deployment,
+        client: Some(client),
+    }
+}
+
+fn bench_full_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("admission/full_stack");
+    group.sample_size(30);
+    for (label, lb) in [
+        ("gateway", LbMode::Gateway(LbPolicy::RoundRobin)),
+        ("direct_router", LbMode::None),
+    ] {
+        let mut stack = build_stack(lb, 2, 2);
+        let mut client = stack.client.take().expect("client");
+        let keys: Vec<QosKey> = (0..64)
+            .map(|i| QosKey::new(format!("tenant-{i}")).unwrap())
+            .collect();
+        let mut i = 0usize;
+        group.bench_function(BenchmarkId::new("qos_check", label), |b| {
+            b.iter(|| {
+                i += 1;
+                let key = &keys[i % keys.len()];
+                stack
+                    .runtime
+                    .block_on(client.qos_check(key))
+                    .expect("qos check")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_udp_leg_only(c: &mut Criterion) {
+    // Router→QoS-server UDP exchange in isolation (no HTTP, no LB):
+    // the paper's socket-per-request discipline vs the pooled
+    // shared-socket optimization.
+    use janus_net::udp::{UdpRpcClient, UdpRpcConfig};
+    use janus_net::udp_pool::PooledUdpRpcClient;
+    use janus_server::QosServer;
+    use janus_types::QosRequest;
+
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(2)
+        .enable_all()
+        .build()
+        .expect("runtime");
+    let server = runtime.block_on(async {
+        let mut config = QosServerConfig::test_defaults();
+        config.default_policy = DefaultRulePolicy::AllowAll;
+        QosServer::spawn(config, None::<janus_server::DbTarget>, janus_clock::system())
+            .await
+            .expect("server")
+    });
+    let key = QosKey::new("tenant").unwrap();
+
+    let rpc = UdpRpcClient::new(UdpRpcConfig::lan_defaults());
+    let mut id = 0u64;
+    c.bench_function("admission/udp_leg/per_request_socket", |b| {
+        b.iter(|| {
+            id += 1;
+            runtime
+                .block_on(rpc.call(server.udp_addr(), &QosRequest::new(id, key.clone())))
+                .expect("udp call")
+        });
+    });
+
+    let pool = runtime
+        .block_on(PooledUdpRpcClient::bind(UdpRpcConfig::lan_defaults()))
+        .expect("pool");
+    c.bench_function("admission/udp_leg/pooled_socket", |b| {
+        b.iter(|| {
+            runtime
+                .block_on(pool.check(server.udp_addr(), key.clone()))
+                .expect("pooled call")
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_full_stack, bench_udp_leg_only
+}
+criterion_main!(benches);

@@ -1,0 +1,117 @@
+//! Fig. 13 — application integration: accepted/rejected time series
+//! (13a) and latency statistics (13b).
+//!
+//! Default: the exact virtual-time admission trace for both rules.
+//! `--live`: additionally runs the full photo-sharing stack on loopback
+//! (Janus deployment + cache + photo store + app) under the paper's
+//! 130 req/s noisy client, producing real latency distributions.
+
+use janus_app::experiments::{fig13_live, fig13a_virtual, Fig13Live, Fig13LiveConfig};
+use janus_bench::{print_table, FigureCli};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Output {
+    virtual_traces: Vec<janus_app::experiments::Fig13aTrace>,
+    live: Option<Fig13Live>,
+}
+
+fn main() {
+    let cli = FigureCli::parse();
+    let virtual_traces = fig13a_virtual(cli.seed);
+    let live = if cli.live {
+        let config = Fig13LiveConfig {
+            duration: if cli.quick {
+                std::time::Duration::from_secs(5)
+            } else {
+                std::time::Duration::from_secs(30)
+            },
+            // Scale the rule to the run length so the drain-then-throttle
+            // knee is visible within the window (paper: 1000 credits at
+            // net -30/s shows the knee at ~33 s of a 100 s run).
+            rule_capacity: if cli.quick { 100 } else { 450 },
+            rule_refill: 100,
+            ..Default::default()
+        };
+        let runtime = tokio::runtime::Builder::new_multi_thread()
+            .worker_threads(4)
+            .enable_all()
+            .build()
+            .expect("runtime");
+        Some(runtime.block_on(fig13_live(config)).expect("live run"))
+    } else {
+        None
+    };
+    let output = Output {
+        virtual_traces,
+        live,
+    };
+
+    cli.emit(&output, |out| {
+        for trace in &out.virtual_traces {
+            println!(
+                "\n== Fig. 13a ({}, capacity {}): accepted/rejected per second ==",
+                trace.label, trace.capacity
+            );
+            let samples = trace.series.samples();
+            // Print a decimated view: every 5th second.
+            let rows: Vec<Vec<String>> = samples
+                .iter()
+                .step_by(5)
+                .map(|s| {
+                    vec![
+                        s.second.to_string(),
+                        s.accepted.to_string(),
+                        s.rejected.to_string(),
+                    ]
+                })
+                .collect();
+            print_table(
+                &format!("{} trace (every 5th second shown)", trace.label),
+                &["t (s)", "accepted", "rejected"],
+                &rows,
+            );
+            println!(
+                "steady accepted rate (last 40 s): {:.1} req/s (rule refill: {}/s)",
+                trace.series.mean_accepted_rate(60, 100),
+                trace.refill_per_sec
+            );
+        }
+        println!(
+            "\npaper shape: refill=100 sustains the full 130 req/s until the 1000-credit \
+             bucket drains, then settles at 100 req/s; refill=10 drains its 100 credits \
+             within seconds and settles at 10 req/s."
+        );
+        if let Some(live) = &out.live {
+            let fmt = |s: &janus_workload::LatencyStats| {
+                vec![
+                    format!("{:.2}ms", s.average_us / 1e3),
+                    format!("{:.2}ms", s.p90_us / 1e3),
+                    format!("{:.2}ms", s.p99_us / 1e3),
+                    format!("{:.2}ms", s.p999_us / 1e3),
+                    s.count.to_string(),
+                ]
+            };
+            let mut rows = Vec::new();
+            for (label, stats) in [
+                ("No QoS", &live.no_qos),
+                ("Accepted", &live.accepted),
+                ("Rejected", &live.rejected),
+            ] {
+                let mut row = vec![label.to_string()];
+                row.extend(fmt(stats));
+                rows.push(row);
+            }
+            print_table(
+                "Fig. 13b (live loopback): latency statistics",
+                &["requests", "average", "P90", "P99", "P99.9", "n"],
+                &rows,
+            );
+            println!(
+                "paper shape: rejected requests are throttled far faster than the \
+                 application's own latency; QoS adds only a small overhead to accepted \
+                 requests (paper: 27 ms -> 30 ms at P90, rejected in 3 ms)."
+            );
+        }
+    });
+}

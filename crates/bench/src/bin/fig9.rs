@@ -1,0 +1,46 @@
+//! Fig. 9 — router layer: vertical vs horizontal scaling at equal vCPUs.
+
+use janus_bench::{fmt_krps, print_table, FigureCli};
+use janus_sim::experiments::fig9;
+
+fn main() {
+    let cli = FigureCli::parse();
+    let fig = fig9(cli.seed, cli.fidelity());
+    cli.emit(&fig, |fig| {
+        let mut rows = Vec::new();
+        for p in &fig.vertical.points {
+            rows.push(vec![
+                "vertical".to_string(),
+                format!("1 x {}", p.instance),
+                p.vcpus.to_string(),
+                fmt_krps(p.throughput_rps),
+            ]);
+        }
+        for p in &fig.horizontal.points {
+            rows.push(vec![
+                "horizontal".to_string(),
+                format!("{} x {}", p.nodes, p.instance),
+                p.vcpus.to_string(),
+                fmt_krps(p.throughput_rps),
+            ]);
+        }
+        print_table(
+            "Fig. 9: router vertical vs horizontal scaling",
+            &["strategy", "fleet", "vCPU", "throughput"],
+            &rows,
+        );
+        for vcpus in [4u32, 8, 16, 32] {
+            if let (Some(v), Some(h)) = fig.at_vcpus(vcpus) {
+                println!(
+                    "at {vcpus:>2} vCPUs: vertical {} vs horizontal {}",
+                    fmt_krps(v),
+                    fmt_krps(h)
+                );
+            }
+        }
+        println!(
+            "paper shape: approximately the same throughput at equal vCPU counts, \
+             regardless of scaling technique."
+        );
+    });
+}

@@ -1,0 +1,671 @@
+//! The local QoS table: the buckets a QoS server is responsible for.
+//!
+//! Each QoS server owns one partition of the key space and keeps the
+//! corresponding rules in memory as leaky buckets. The paper's Java
+//! implementation uses a *synchronized hash map* and observes CPU
+//! underutilization from that lock on large instances (Fig. 10b);
+//! [`SyncTable`] reproduces that design, while [`ShardedTable`] is the
+//! lock-striped optimization the paper defers to future work. Both
+//! implement [`QosTable`], and the `table` criterion bench contrasts them
+//! directly.
+
+use crate::LeakyBucket;
+use janus_clock::Nanos;
+use janus_types::{Credits, QosKey, QosRule, Verdict};
+use parking_lot::Mutex;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters a QoS server exports for monitoring and for the evaluation
+/// harness (CPU-utilization proxies, hit rates).
+#[derive(Debug, Default)]
+pub struct TableStats {
+    /// Admission decisions made (hits only).
+    pub decisions: AtomicU64,
+    /// Decisions that returned [`Verdict::Allow`].
+    pub allows: AtomicU64,
+    /// Decisions that returned [`Verdict::Deny`].
+    pub denies: AtomicU64,
+    /// Lookups for keys not present in the local table (each triggers a
+    /// database query in the QoS server).
+    pub misses: AtomicU64,
+}
+
+/// A point-in-time copy of [`TableStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableStatsSnapshot {
+    /// Admission decisions made (hits only).
+    pub decisions: u64,
+    /// `Allow` verdicts.
+    pub allows: u64,
+    /// `Deny` verdicts.
+    pub denies: u64,
+    /// Local-table misses.
+    pub misses: u64,
+}
+
+impl TableStats {
+    fn record(&self, verdict: Verdict) {
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        match verdict {
+            Verdict::Allow => self.allows.fetch_add(1, Ordering::Relaxed),
+            Verdict::Deny => self.denies.fetch_add(1, Ordering::Relaxed),
+        };
+    }
+
+    /// Read all counters at once.
+    pub fn snapshot(&self) -> TableStatsSnapshot {
+        TableStatsSnapshot {
+            decisions: self.decisions.load(Ordering::Relaxed),
+            allows: self.allows.load(Ordering::Relaxed),
+            denies: self.denies.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The interface a QoS server uses to manage its partition of buckets.
+///
+/// `decide` is the hot path: look up the key's bucket and charge it.
+/// `None` means the key is unknown locally — the caller is expected to
+/// fetch the rule from the database (or apply the default policy) and
+/// [`insert`](Self::insert) it.
+pub trait QosTable: Send + Sync {
+    /// Make an admission decision for `key` at `now`, or `None` if the key
+    /// has no local bucket yet.
+    fn decide(&self, key: &QosKey, now: Nanos) -> Option<Verdict>;
+
+    /// Install a bucket for a rule (first sighting of a key). If the key
+    /// already exists the rule is applied as an update instead, so two
+    /// racing inserters converge.
+    fn insert(&self, rule: QosRule, now: Nanos);
+
+    /// Apply an updated rule to an existing bucket, preserving accrued
+    /// credit (clamped). Returns false if the key is not in the table.
+    fn apply_update(&self, rule: &QosRule, now: Nanos) -> bool;
+
+    /// Remove a key's bucket. Returns true if it existed.
+    fn remove(&self, key: &QosKey) -> bool;
+
+    /// Number of buckets currently held.
+    fn len(&self) -> usize;
+
+    /// True if the table holds no buckets.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The keys currently held (for DB-sync queries).
+    fn keys(&self) -> Vec<QosKey>;
+
+    /// Export every bucket as a rule row with credit evaluated at `now`
+    /// (check-pointing and HA replication).
+    fn snapshot(&self, now: Nanos) -> Vec<QosRule>;
+
+    /// Adopt a snapshot wholesale (slave catching up from its master).
+    /// Existing buckets for snapshot keys are overwritten; other local
+    /// buckets are retained.
+    fn restore(&self, rules: Vec<QosRule>, now: Nanos);
+
+    /// Housekeeping refill: bring every bucket's credit up to date at
+    /// `now`. With lazy per-decision refill this is an optimization that
+    /// bounds anchor staleness; it is also exactly the paper's periodic
+    /// refill thread.
+    fn sweep_refill(&self, now: Nanos);
+
+    /// Monitoring counters.
+    fn stats(&self) -> TableStatsSnapshot;
+}
+
+fn shard_of(key: &QosKey, shards: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() as usize) % shards
+}
+
+/// Lock-striped QoS table: the contention-free design.
+///
+/// Keys are spread over `S` independent mutex-protected maps, so decisions
+/// for different keys proceed in parallel on different cores. With the
+/// default 64 shards, 16 workers collide rarely.
+pub struct ShardedTable {
+    shards: Vec<Mutex<HashMap<QosKey, LeakyBucket>>>,
+    stats: TableStats,
+}
+
+impl ShardedTable {
+    /// Default shard count.
+    pub const DEFAULT_SHARDS: usize = 64;
+
+    /// A table with [`Self::DEFAULT_SHARDS`] stripes.
+    pub fn new() -> Self {
+        Self::with_shards(Self::DEFAULT_SHARDS)
+    }
+
+    /// A table with an explicit stripe count.
+    ///
+    /// # Panics
+    /// Panics if `shards` is zero.
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        ShardedTable {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            stats: TableStats::default(),
+        }
+    }
+
+    fn shard(&self, key: &QosKey) -> &Mutex<HashMap<QosKey, LeakyBucket>> {
+        &self.shards[shard_of(key, self.shards.len())]
+    }
+
+    /// Sum of credit across all buckets at `now` (test/diagnostic helper).
+    pub fn total_credit(&self, now: Nanos) -> Credits {
+        let mut total = Credits::ZERO;
+        for shard in &self.shards {
+            for bucket in shard.lock().values() {
+                total += bucket.credit(now);
+            }
+        }
+        total
+    }
+}
+
+impl Default for ShardedTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QosTable for ShardedTable {
+    fn decide(&self, key: &QosKey, now: Nanos) -> Option<Verdict> {
+        let mut shard = self.shard(key).lock();
+        match shard.get_mut(key) {
+            Some(bucket) => {
+                let verdict = bucket.try_consume(now);
+                self.stats.record(verdict);
+                Some(verdict)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, rule: QosRule, now: Nanos) {
+        let mut shard = self.shard(&rule.key).lock();
+        match shard.get_mut(&rule.key) {
+            Some(existing) => existing.apply_rule_update(&rule, now),
+            None => {
+                let bucket = LeakyBucket::from_rule(&rule, now);
+                shard.insert(rule.key, bucket);
+            }
+        }
+    }
+
+    fn apply_update(&self, rule: &QosRule, now: Nanos) -> bool {
+        let mut shard = self.shard(&rule.key).lock();
+        match shard.get_mut(&rule.key) {
+            Some(bucket) => {
+                bucket.apply_rule_update(rule, now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn remove(&self, key: &QosKey) -> bool {
+        self.shard(key).lock().remove(key).is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    fn keys(&self) -> Vec<QosKey> {
+        let mut keys = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            keys.extend(shard.lock().keys().cloned());
+        }
+        keys
+    }
+
+    fn snapshot(&self, now: Nanos) -> Vec<QosRule> {
+        let mut rules = Vec::with_capacity(self.len());
+        for shard in &self.shards {
+            let guard = shard.lock();
+            rules.extend(
+                guard
+                    .iter()
+                    .map(|(key, bucket)| bucket.to_rule(key.clone(), now)),
+            );
+        }
+        rules
+    }
+
+    fn restore(&self, rules: Vec<QosRule>, now: Nanos) {
+        for rule in rules {
+            let mut shard = self.shard(&rule.key).lock();
+            let bucket = LeakyBucket::from_rule(&rule, now);
+            shard.insert(rule.key, bucket);
+        }
+    }
+
+    fn sweep_refill(&self, now: Nanos) {
+        for shard in &self.shards {
+            for bucket in shard.lock().values_mut() {
+                bucket.refill(now);
+            }
+        }
+    }
+
+    fn stats(&self) -> TableStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+/// Single-lock QoS table: the paper's synchronized hash map.
+///
+/// Every decision serializes on one mutex. Kept as a faithful model of the
+/// published system and as the baseline for the lock-contention ablation;
+/// the measured gap between `SyncTable` and [`ShardedTable`] under
+/// multi-threaded load is the effect the paper reports as QoS-server CPU
+/// underutilization (Fig. 10b).
+pub struct SyncTable {
+    map: Mutex<HashMap<QosKey, LeakyBucket>>,
+    stats: TableStats,
+}
+
+impl SyncTable {
+    /// An empty synchronized table.
+    pub fn new() -> Self {
+        SyncTable {
+            map: Mutex::new(HashMap::new()),
+            stats: TableStats::default(),
+        }
+    }
+}
+
+impl Default for SyncTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QosTable for SyncTable {
+    fn decide(&self, key: &QosKey, now: Nanos) -> Option<Verdict> {
+        let mut map = self.map.lock();
+        match map.get_mut(key) {
+            Some(bucket) => {
+                let verdict = bucket.try_consume(now);
+                self.stats.record(verdict);
+                Some(verdict)
+            }
+            None => {
+                self.stats.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn insert(&self, rule: QosRule, now: Nanos) {
+        let mut map = self.map.lock();
+        match map.get_mut(&rule.key) {
+            Some(existing) => existing.apply_rule_update(&rule, now),
+            None => {
+                let bucket = LeakyBucket::from_rule(&rule, now);
+                map.insert(rule.key, bucket);
+            }
+        }
+    }
+
+    fn apply_update(&self, rule: &QosRule, now: Nanos) -> bool {
+        match self.map.lock().get_mut(&rule.key) {
+            Some(bucket) => {
+                bucket.apply_rule_update(rule, now);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn remove(&self, key: &QosKey) -> bool {
+        self.map.lock().remove(key).is_some()
+    }
+
+    fn len(&self) -> usize {
+        self.map.lock().len()
+    }
+
+    fn keys(&self) -> Vec<QosKey> {
+        self.map.lock().keys().cloned().collect()
+    }
+
+    fn snapshot(&self, now: Nanos) -> Vec<QosRule> {
+        self.map
+            .lock()
+            .iter()
+            .map(|(key, bucket)| bucket.to_rule(key.clone(), now))
+            .collect()
+    }
+
+    fn restore(&self, rules: Vec<QosRule>, now: Nanos) {
+        let mut map = self.map.lock();
+        for rule in rules {
+            let bucket = LeakyBucket::from_rule(&rule, now);
+            map.insert(rule.key, bucket);
+        }
+    }
+
+    fn sweep_refill(&self, now: Nanos) {
+        for bucket in self.map.lock().values_mut() {
+            bucket.refill(now);
+        }
+    }
+
+    fn stats(&self) -> TableStatsSnapshot {
+        self.stats.snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn key(s: &str) -> QosKey {
+        QosKey::new(s).unwrap()
+    }
+
+    fn rule(s: &str, cap: u64, rate: u64) -> QosRule {
+        QosRule::per_second(key(s), cap, rate)
+    }
+
+    fn tables() -> Vec<(&'static str, Arc<dyn QosTable>)> {
+        vec![
+            ("sharded", Arc::new(ShardedTable::new())),
+            ("sharded-1", Arc::new(ShardedTable::with_shards(1))),
+            ("sync", Arc::new(SyncTable::new())),
+        ]
+    }
+
+    #[test]
+    fn unknown_key_is_a_miss() {
+        for (name, table) in tables() {
+            assert_eq!(table.decide(&key("ghost"), Nanos::ZERO), None, "{name}");
+            assert_eq!(table.stats().misses, 1, "{name}");
+            assert_eq!(table.stats().decisions, 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn insert_then_decide() {
+        for (name, table) in tables() {
+            table.insert(rule("alice", 2, 0), Nanos::ZERO);
+            assert_eq!(
+                table.decide(&key("alice"), Nanos::ZERO),
+                Some(Verdict::Allow),
+                "{name}"
+            );
+            assert_eq!(
+                table.decide(&key("alice"), Nanos::ZERO),
+                Some(Verdict::Allow),
+                "{name}"
+            );
+            assert_eq!(
+                table.decide(&key("alice"), Nanos::ZERO),
+                Some(Verdict::Deny),
+                "{name}"
+            );
+            let stats = table.stats();
+            assert_eq!((stats.allows, stats.denies), (2, 1), "{name}");
+        }
+    }
+
+    #[test]
+    fn double_insert_behaves_as_update() {
+        for (name, table) in tables() {
+            table.insert(rule("k", 100, 0), Nanos::ZERO);
+            // Drain half.
+            for _ in 0..50 {
+                table.decide(&key("k"), Nanos::ZERO);
+            }
+            // Re-insert with a smaller capacity: credit clamps, does not refill.
+            table.insert(rule("k", 10, 0), Nanos::ZERO);
+            let snap = table.snapshot(Nanos::ZERO);
+            assert_eq!(snap.len(), 1, "{name}");
+            assert_eq!(snap[0].credit, Credits::from_whole(10), "{name}");
+        }
+    }
+
+    #[test]
+    fn apply_update_miss_returns_false() {
+        for (name, table) in tables() {
+            assert!(!table.apply_update(&rule("nope", 1, 1), Nanos::ZERO), "{name}");
+        }
+    }
+
+    #[test]
+    fn remove_and_len() {
+        for (name, table) in tables() {
+            table.insert(rule("a", 1, 1), Nanos::ZERO);
+            table.insert(rule("b", 1, 1), Nanos::ZERO);
+            assert_eq!(table.len(), 2, "{name}");
+            assert!(table.remove(&key("a")), "{name}");
+            assert!(!table.remove(&key("a")), "{name}");
+            assert_eq!(table.len(), 1, "{name}");
+            assert!(!table.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn keys_lists_all() {
+        for (name, table) in tables() {
+            for i in 0..20 {
+                table.insert(rule(&format!("k{i}"), 1, 1), Nanos::ZERO);
+            }
+            let mut keys = table.keys();
+            keys.sort();
+            assert_eq!(keys.len(), 20, "{name}");
+            assert!(keys.contains(&key("k0")), "{name}");
+            assert!(keys.contains(&key("k19")), "{name}");
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let now = Nanos::from_secs(5);
+        for (name, table) in tables() {
+            table.insert(rule("a", 100, 10), Nanos::ZERO);
+            table.insert(rule("b", 50, 5), Nanos::ZERO);
+            for _ in 0..30 {
+                table.decide(&key("a"), now);
+            }
+            let snap = table.snapshot(now);
+
+            let replica = ShardedTable::new();
+            replica.restore(snap.clone(), now);
+            let mut original: Vec<_> = snap;
+            original.sort_by(|a, b| a.key.cmp(&b.key));
+            let mut restored = replica.snapshot(now);
+            restored.sort_by(|a, b| a.key.cmp(&b.key));
+            assert_eq!(original, restored, "{name}");
+        }
+    }
+
+    #[test]
+    fn sweep_refill_preserves_credit_semantics() {
+        for (name, table) in tables() {
+            table.insert(rule("a", 100, 10), Nanos::ZERO);
+            for _ in 0..100 {
+                table.decide(&key("a"), Nanos::ZERO);
+            }
+            // After 3 s the bucket should hold 30 credits whether or not a
+            // sweep happened in between.
+            table.sweep_refill(Nanos::from_secs(1));
+            table.sweep_refill(Nanos::from_secs(2));
+            let snap = table.snapshot(Nanos::from_secs(3));
+            assert_eq!(snap[0].credit, Credits::from_whole(30), "{name}");
+        }
+    }
+
+    #[test]
+    fn concurrent_decisions_conserve_credit() {
+        // 8 threads hammer one key with capacity 1000, zero refill: exactly
+        // 1000 must be admitted in total, regardless of table flavour.
+        for (name, table) in tables() {
+            table.insert(rule("shared", 1000, 0), Nanos::ZERO);
+            let admitted = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..8)
+                    .map(|_| {
+                        let table = Arc::clone(&table);
+                        scope.spawn(move |_| {
+                            let k = key("shared");
+                            (0..500)
+                                .filter(|_| {
+                                    table.decide(&k, Nanos::ZERO) == Some(Verdict::Allow)
+                                })
+                                .count()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+            })
+            .unwrap();
+            assert_eq!(admitted, 1000, "{name}");
+        }
+    }
+
+    #[test]
+    fn concurrent_distinct_keys_do_not_interfere() {
+        let table = Arc::new(ShardedTable::new());
+        for i in 0..16 {
+            table.insert(rule(&format!("user-{i}"), 100, 0), Nanos::ZERO);
+        }
+        crossbeam::thread::scope(|scope| {
+            for i in 0..16 {
+                let table = Arc::clone(&table);
+                scope.spawn(move |_| {
+                    let k = key(&format!("user-{i}"));
+                    let admitted = (0..200)
+                        .filter(|_| table.decide(&k, Nanos::ZERO) == Some(Verdict::Allow))
+                        .count();
+                    assert_eq!(admitted, 100);
+                });
+            }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        ShardedTable::with_shards(0);
+    }
+
+    #[test]
+    fn total_credit_sums_buckets() {
+        let table = ShardedTable::new();
+        table.insert(rule("a", 10, 0), Nanos::ZERO);
+        table.insert(rule("b", 5, 0), Nanos::ZERO);
+        assert_eq!(table.total_credit(Nanos::ZERO), Credits::from_whole(15));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::LeakyBucket;
+    use janus_types::QosRule;
+    use proptest::prelude::*;
+    use std::time::Duration;
+
+    /// Model-based test: a `ShardedTable` driven by an arbitrary
+    /// sequential script must agree decision-for-decision with plain
+    /// per-key `LeakyBucket`s (the executable specification).
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert { key: u8, cap: u16, rate: u16 },
+        Decide { key: u8 },
+        Sweep,
+        Advance { micros: u32 },
+        Remove { key: u8 },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0u8..6, 0u16..50, 0u16..1000)
+                .prop_map(|(key, cap, rate)| Op::Insert { key, cap, rate }),
+            (0u8..6).prop_map(|key| Op::Decide { key }),
+            Just(Op::Sweep),
+            (0u32..2_000_000).prop_map(|micros| Op::Advance { micros }),
+            (0u8..6).prop_map(|key| Op::Remove { key }),
+        ]
+    }
+
+    fn keyname(key: u8) -> QosKey {
+        QosKey::new(format!("k{key}")).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+        #[test]
+        fn sharded_table_matches_bucket_model(
+            script in proptest::collection::vec(op_strategy(), 1..120),
+        ) {
+            let table = ShardedTable::new();
+            let mut model: std::collections::HashMap<QosKey, LeakyBucket> =
+                std::collections::HashMap::new();
+            let mut now = Nanos::ZERO;
+            for op in script {
+                match op {
+                    Op::Insert { key, cap, rate } => {
+                        let rule = QosRule::per_second(keyname(key), cap as u64, rate as u64);
+                        table.insert(rule.clone(), now);
+                        // Mirror the table's insert-or-update semantics.
+                        match model.get_mut(&rule.key) {
+                            Some(bucket) => bucket.apply_rule_update(&rule, now),
+                            None => {
+                                model.insert(
+                                    rule.key.clone(),
+                                    LeakyBucket::from_rule(&rule, now),
+                                );
+                            }
+                        }
+                    }
+                    Op::Decide { key } => {
+                        let expected = model
+                            .get_mut(&keyname(key))
+                            .map(|bucket| bucket.try_consume(now));
+                        let got = table.decide(&keyname(key), now);
+                        prop_assert_eq!(got, expected, "decide mismatch at {:?}", now);
+                    }
+                    Op::Sweep => {
+                        table.sweep_refill(now);
+                        for bucket in model.values_mut() {
+                            bucket.refill(now);
+                        }
+                    }
+                    Op::Advance { micros } => {
+                        now += Duration::from_micros(micros as u64);
+                    }
+                    Op::Remove { key } => {
+                        let expected = model.remove(&keyname(key)).is_some();
+                        prop_assert_eq!(table.remove(&keyname(key)), expected);
+                    }
+                }
+            }
+            // Final states agree too.
+            let mut snapshot = table.snapshot(now);
+            snapshot.sort_by(|a, b| a.key.cmp(&b.key));
+            let mut expected: Vec<QosRule> = model
+                .iter()
+                .map(|(key, bucket)| bucket.to_rule(key.clone(), now))
+                .collect();
+            expected.sort_by(|a, b| a.key.cmp(&b.key));
+            prop_assert_eq!(snapshot, expected);
+        }
+    }
+}

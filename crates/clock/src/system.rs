@@ -1,0 +1,57 @@
+//! Monotonic wall-clock time source.
+
+use crate::{Clock, Nanos};
+use std::time::Instant;
+
+/// A [`Clock`] backed by [`std::time::Instant`].
+///
+/// Readings are nanoseconds since the clock was constructed, so each
+/// `SystemClock` has its own origin. Live Janus deployments share one
+/// instance via [`crate::system`].
+#[derive(Debug, Clone)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A new clock whose origin is "now".
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Nanos {
+        let elapsed = self.origin.elapsed();
+        Nanos::from_nanos(u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn advances_with_real_time() {
+        let clock = SystemClock::new();
+        let a = clock.now();
+        std::thread::sleep(Duration::from_millis(5));
+        let b = clock.now();
+        assert!(b.saturating_since(a) >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn origin_is_near_zero() {
+        let clock = SystemClock::new();
+        assert!(clock.now() < Nanos::from_secs(1));
+    }
+}

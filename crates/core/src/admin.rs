@@ -1,0 +1,369 @@
+//! The operator surface: rule administration and fleet statistics over
+//! HTTP.
+//!
+//! The paper assumes "the service provider can define different QoS
+//! rules" and that rules are created, modified and deleted over time
+//! (§II-D) but leaves the operator tooling out of scope. This module
+//! provides it:
+//!
+//! ```text
+//! GET    /rules                 -> JSON array of every rule
+//! GET    /rules/{key}           -> one rule, or 404
+//! PUT    /rules/{key}?capacity=1000&rate=100[&credit=500]
+//! DELETE /rules/{key}           -> 200 / 404
+//! GET    /stats                 -> fleet counters (routers, partitions, LB, DB)
+//! GET    /healthz               -> "ok"
+//! ```
+//!
+//! Rule changes go straight to the database, so they follow the paper's
+//! propagation rules: new keys are effective on first sighting; keys with
+//! live buckets converge at the QoS servers' next sync interval.
+
+use crate::deployment::Deployment;
+use janus_net::http::{
+    percent_decode, HttpHandler, HttpRequest, HttpResponse, HttpServer, Method, StatusCode,
+};
+use janus_types::{Credits, QosKey, QosRule, RefillRate, Result};
+use serde::Serialize;
+use std::future::Future;
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::sync::Arc;
+
+/// Fleet-wide statistics returned by `GET /stats`.
+#[derive(Debug, Serialize)]
+pub struct FleetStats {
+    /// Router nodes currently serving.
+    pub routers: usize,
+    /// Requests served per router node.
+    pub router_served: Vec<u64>,
+    /// Default replies issued across the router fleet.
+    pub router_defaulted: u64,
+    /// QoS partitions.
+    pub partitions: usize,
+    /// Per-partition decision counters.
+    pub partition_answered: Vec<u64>,
+    /// Per-partition datagrams shed by a full FIFO.
+    pub partition_shed: Vec<u64>,
+    /// Per-partition database fetches (first sightings).
+    pub partition_db_fetches: Vec<u64>,
+    /// Rules currently in the database.
+    pub rules: u64,
+}
+
+struct AdminHandler {
+    deployment: Arc<Deployment>,
+}
+
+impl AdminHandler {
+    async fn get_rules(&self) -> Result<HttpResponse> {
+        let mut db = self.deployment.db_client().await?;
+        let rules = db.load_all().await?;
+        Ok(json_response(&rules))
+    }
+
+    async fn get_rule(&self, key: &QosKey) -> Result<HttpResponse> {
+        let mut db = self.deployment.db_client().await?;
+        match db.get_rule(key).await? {
+            Some(rule) => Ok(json_response(&rule)),
+            None => Ok(HttpResponse::status(StatusCode::NOT_FOUND)),
+        }
+    }
+
+    async fn put_rule(&self, key: QosKey, request: &HttpRequest) -> Result<HttpResponse> {
+        let (Some(capacity), Some(rate)) = (
+            parse_param(request, "capacity"),
+            parse_param(request, "rate"),
+        ) else {
+            return Ok(HttpResponse::status(StatusCode::BAD_REQUEST)
+                .with_header("x-error", "capacity and rate are required integers"));
+        };
+        let mut rule = QosRule::new(
+            key,
+            Credits::from_whole(capacity),
+            RefillRate::per_second(rate),
+        );
+        if let Some(credit) = parse_param(request, "credit") {
+            rule.credit = Credits::from_whole(credit).min(rule.capacity);
+        }
+        let mut db = self.deployment.db_client().await?;
+        db.upsert_rule(&rule).await?;
+        Ok(json_response(&rule))
+    }
+
+    async fn delete_rule(&self, key: &QosKey) -> Result<HttpResponse> {
+        let mut db = self.deployment.db_client().await?;
+        if db.delete_rule(key).await? {
+            Ok(HttpResponse::ok("deleted"))
+        } else {
+            Ok(HttpResponse::status(StatusCode::NOT_FOUND))
+        }
+    }
+
+    async fn stats(&self) -> Result<HttpResponse> {
+        use std::sync::atomic::Ordering;
+        let deployment = &self.deployment;
+        let partitions = deployment.qos_partitions();
+        let mut answered = Vec::with_capacity(partitions);
+        let mut shed = Vec::with_capacity(partitions);
+        let mut db_fetches = Vec::with_capacity(partitions);
+        for index in 0..partitions {
+            // A killed master reports zeros rather than erroring.
+            let stats = deployment.qos_master(index).map(|m| Arc::clone(m.stats()));
+            answered.push(
+                stats
+                    .as_ref()
+                    .map(|s| s.answered.load(Ordering::Relaxed))
+                    .unwrap_or(0),
+            );
+            shed.push(
+                stats
+                    .as_ref()
+                    .map(|s| s.shed.load(Ordering::Relaxed))
+                    .unwrap_or(0),
+            );
+            db_fetches.push(
+                stats
+                    .as_ref()
+                    .map(|s| s.db_fetches.load(Ordering::Relaxed))
+                    .unwrap_or(0),
+            );
+        }
+        let mut db = deployment.db_client().await?;
+        let stats = FleetStats {
+            routers: deployment.router_count(),
+            router_served: deployment.router_served_counts(),
+            router_defaulted: deployment.router_defaulted_total(),
+            partitions,
+            partition_answered: answered,
+            partition_shed: shed,
+            partition_db_fetches: db_fetches,
+            rules: db.count().await?,
+        };
+        Ok(json_response(&stats))
+    }
+}
+
+fn json_response<T: Serialize>(value: &T) -> HttpResponse {
+    let body = serde_json::to_vec_pretty(value).expect("serializable");
+    HttpResponse {
+        status: StatusCode::OK,
+        headers: vec![("content-type".into(), "application/json".into())],
+        body,
+    }
+}
+
+fn parse_param(request: &HttpRequest, name: &str) -> Option<u64> {
+    request.query_param(name)?.parse().ok()
+}
+
+/// Extract and validate the `{key}` segment of `/rules/{key}`.
+fn rule_key(path: &str) -> Option<QosKey> {
+    let encoded = path.strip_prefix("/rules/")?;
+    if encoded.is_empty() || encoded.contains('/') {
+        return None;
+    }
+    QosKey::new(percent_decode(encoded)).ok()
+}
+
+impl HttpHandler for AdminHandler {
+    fn handle(
+        &self,
+        request: HttpRequest,
+        _peer: SocketAddr,
+    ) -> Pin<Box<dyn Future<Output = HttpResponse> + Send + '_>> {
+        Box::pin(async move {
+            let outcome = match (request.method, request.path()) {
+                (Method::Get, "/healthz") => Ok(HttpResponse::ok("ok")),
+                (Method::Get, "/stats") => self.stats().await,
+                (Method::Get, "/rules") => self.get_rules().await,
+                (method, path) if path.starts_with("/rules/") => match rule_key(path) {
+                    None => Ok(HttpResponse::status(StatusCode::BAD_REQUEST)),
+                    Some(key) => match method {
+                        Method::Get => self.get_rule(&key).await,
+                        Method::Put | Method::Post => self.put_rule(key, &request).await,
+                        Method::Delete => self.delete_rule(&key).await,
+                    },
+                },
+                _ => Ok(HttpResponse::status(StatusCode::NOT_FOUND)),
+            };
+            outcome.unwrap_or_else(|_| {
+                HttpResponse::status(StatusCode::SERVICE_UNAVAILABLE)
+            })
+        })
+    }
+}
+
+/// A running admin API server.
+pub struct AdminApi {
+    http: HttpServer,
+}
+
+impl AdminApi {
+    /// Serve the admin API for `deployment` on an ephemeral loopback
+    /// port.
+    pub async fn spawn(deployment: Arc<Deployment>) -> Result<AdminApi> {
+        let handler = Arc::new(AdminHandler { deployment });
+        Ok(AdminApi {
+            http: HttpServer::spawn(handler).await?,
+        })
+    }
+
+    /// The admin endpoint.
+    pub fn addr(&self) -> SocketAddr {
+        self.http.addr()
+    }
+
+    /// Stop serving.
+    pub fn shutdown(&self) {
+        self.http.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DeploymentConfig, QosClient};
+    use janus_net::http::HttpClient;
+    use janus_types::Verdict;
+
+    async fn setup() -> (Arc<Deployment>, AdminApi) {
+        let config = DeploymentConfig {
+            qos_servers: 1,
+            routers: 1,
+            rules: vec![QosRule::per_second(QosKey::new("seed").unwrap(), 10, 1)],
+            default_verdict: Verdict::Deny,
+            ..Default::default()
+        };
+        let deployment = Arc::new(Deployment::launch(config).await.unwrap());
+        let admin = AdminApi::spawn(Arc::clone(&deployment)).await.unwrap();
+        (deployment, admin)
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn rule_crud_cycle() {
+        let (_deployment, admin) = setup().await;
+        let mut http = HttpClient::connect(admin.addr()).await.unwrap();
+
+        // Create.
+        let resp = http
+            .request(&HttpRequest {
+                method: Method::Put,
+                target: "/rules/alice%3Aphotos?capacity=1000&rate=100".into(),
+                headers: vec![],
+                body: vec![],
+            })
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "{}", resp.body_text());
+
+        // Read one.
+        let resp = http
+            .request(&HttpRequest::get("/rules/alice%3Aphotos"))
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        let rule: QosRule = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(rule.key.as_str(), "alice:photos");
+        assert_eq!(rule.capacity, Credits::from_whole(1000));
+
+        // List.
+        let resp = http.request(&HttpRequest::get("/rules")).await.unwrap();
+        let rules: Vec<QosRule> = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(rules.len(), 2); // seed + alice
+
+        // Delete.
+        let resp = http
+            .request(&HttpRequest {
+                method: Method::Delete,
+                target: "/rules/alice%3Aphotos".into(),
+                headers: vec![],
+                body: vec![],
+            })
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        let resp = http
+            .request(&HttpRequest::get("/rules/alice%3Aphotos"))
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn admin_created_rules_govern_admission() {
+        let (deployment, admin) = setup().await;
+        HttpClient::oneshot(
+            admin.addr(),
+            &HttpRequest {
+                method: Method::Put,
+                target: "/rules/newbie?capacity=2&rate=0".into(),
+                headers: vec![],
+                body: vec![],
+            },
+        )
+        .await
+        .unwrap();
+        let mut client = QosClient::new(deployment.endpoint());
+        let key = QosKey::new("newbie").unwrap();
+        assert!(client.qos_check(&key).await.unwrap());
+        assert!(client.qos_check(&key).await.unwrap());
+        assert!(!client.qos_check(&key).await.unwrap());
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn stats_reflect_traffic() {
+        let (deployment, admin) = setup().await;
+        let mut client = QosClient::new(deployment.endpoint());
+        for _ in 0..5 {
+            let _ = client.qos_check(&QosKey::new("seed").unwrap()).await;
+        }
+        let resp = HttpClient::oneshot(admin.addr(), &HttpRequest::get("/stats"))
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        let stats: serde_json::Value = serde_json::from_slice(&resp.body).unwrap();
+        assert_eq!(stats["routers"], 1);
+        assert_eq!(stats["partitions"], 1);
+        assert_eq!(stats["rules"], 1);
+        assert_eq!(stats["partition_answered"][0], 5);
+        assert_eq!(stats["router_served"][0], 5);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn rejects_malformed_requests() {
+        let (_deployment, admin) = setup().await;
+        let mut http = HttpClient::connect(admin.addr()).await.unwrap();
+        // Missing params.
+        let resp = http
+            .request(&HttpRequest {
+                method: Method::Put,
+                target: "/rules/x?capacity=5".into(),
+                headers: vec![],
+                body: vec![],
+            })
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        // Nested path.
+        let resp = http
+            .request(&HttpRequest::get("/rules/a/b"))
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        // Unknown route.
+        let resp = http.request(&HttpRequest::get("/nope")).await.unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        // 404 on missing rule delete.
+        let resp = http
+            .request(&HttpRequest {
+                method: Method::Delete,
+                target: "/rules/ghost".into(),
+                headers: vec![],
+                body: vec![],
+            })
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+    }
+}

@@ -1,0 +1,762 @@
+//! Assembling the four layers into a running Janus deployment.
+
+use crate::client::{Endpoint, QosClient};
+use janus_clock::SharedClock;
+use janus_db::{DbClient, DbServer, RulesEngine};
+use janus_lb::{DnsLb, GatewayLb, LbPolicy};
+use janus_net::dns::{spawn_tcp_health_monitor, HealthMonitor, Resolver, Zone};
+use janus_router::{Backend, RequestRouter, RouterConfig};
+use janus_server::{DbTarget, QosServer, QosServerConfig, SlaveReplicator};
+use janus_types::{JanusError, QosRule, Result, Verdict};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Which load balancer fronts the router fleet.
+#[derive(Debug, Clone)]
+pub enum LbMode {
+    /// ELB-style HTTP reverse proxy.
+    Gateway(LbPolicy),
+    /// Route53-style DNS load balancing with the given record TTL.
+    Dns {
+        /// A-record TTL; the paper's evaluation uses 30 s.
+        ttl: Duration,
+    },
+    /// No LB: clients talk straight to the first router (single-node
+    /// development setups).
+    None,
+    /// The paper's large-scale combination (§II-A): several gateway LB
+    /// nodes, spread over by DNS — "the client connects to different
+    /// gateway load balancer nodes via DNS resolution, while the gateway
+    /// load balancer nodes further distribute the requests".
+    DnsOverGateways {
+        /// Gateway LB node count.
+        gateways: usize,
+        /// DNS record TTL for the gateway list.
+        ttl: Duration,
+        /// Per-gateway routing policy.
+        policy: LbPolicy,
+    },
+}
+
+/// Deployment shape and tuning.
+#[derive(Debug, Clone)]
+pub struct DeploymentConfig {
+    /// Number of QoS server partitions (the `N` of `CRC32 mod N`).
+    pub qos_servers: usize,
+    /// Number of stateless router nodes.
+    pub routers: usize,
+    /// Load balancer flavour.
+    pub lb: LbMode,
+    /// Per-QoS-server tuning.
+    pub server: QosServerConfig,
+    /// Router → QoS server retry discipline.
+    pub udp: janus_net::udp::UdpRpcConfig,
+    /// Router's reply when a partition never answers.
+    pub default_verdict: Verdict,
+    /// Routers use a shared, demultiplexed UDP socket instead of the
+    /// paper's socket-per-request discipline (see
+    /// `janus_net::udp_pool`).
+    pub pooled_rpc: bool,
+    /// Spawn a slave per QoS server plus a health monitor that promotes
+    /// it via DNS failover.
+    pub ha: bool,
+    /// Multi-AZ database: a standby node receiving replicated writes,
+    /// promoted via DNS failover when the master dies (the paper's RDS
+    /// configuration). QoS servers address the database by DNS name so
+    /// the failover is transparent to them.
+    pub db_ha: bool,
+    /// Slave replication interval (only with `ha`).
+    pub replication_interval: Duration,
+    /// Initial contents of the `qos_rules` table.
+    pub rules: Vec<QosRule>,
+}
+
+impl Default for DeploymentConfig {
+    fn default() -> Self {
+        DeploymentConfig {
+            qos_servers: 2,
+            routers: 2,
+            lb: LbMode::Gateway(LbPolicy::RoundRobin),
+            server: QosServerConfig::test_defaults(),
+            udp: janus_net::udp::UdpRpcConfig::lan_defaults(),
+            default_verdict: Verdict::Allow,
+            pooled_rpc: false,
+            ha: false,
+            db_ha: false,
+            replication_interval: Duration::from_millis(50),
+            rules: Vec::new(),
+        }
+    }
+}
+
+struct Partition {
+    master: Option<QosServer>,
+    slave: Option<QosServer>,
+    replicator: Option<SlaveReplicator>,
+    monitor: Option<HealthMonitor>,
+    dns_name: String,
+}
+
+/// The database layer of a deployment: a single node, or a Multi-AZ
+/// master/standby pair behind a DNS failover record.
+struct DbLayer {
+    master: Option<DbServer>,
+    standby: Option<DbServer>,
+    monitor: Option<HealthMonitor>,
+}
+
+/// DNS name of the database failover record.
+const DB_DNS_NAME: &str = "db.janus.internal";
+
+/// A running Janus deployment on loopback: one process, many nodes.
+pub struct Deployment {
+    clock: SharedClock,
+    zone: Arc<Zone>,
+    db: DbLayer,
+    partitions: Vec<Partition>,
+    routers: RwLock<Vec<RequestRouter>>,
+    gateways: Vec<GatewayLb>,
+    dns_lb: Option<DnsLb>,
+    /// Everything needed to spawn another router node at runtime.
+    router_template: RouterTemplate,
+}
+
+struct RouterTemplate {
+    backends: Vec<Backend>,
+    udp: janus_net::udp::UdpRpcConfig,
+    default_verdict: Verdict,
+    pooled_rpc: bool,
+    lb_ttl: Option<Duration>,
+}
+
+impl Deployment {
+    /// Launch every layer per `config`.
+    pub async fn launch(config: DeploymentConfig) -> Result<Deployment> {
+        if config.qos_servers == 0 {
+            return Err(JanusError::config("need at least one QoS server"));
+        }
+        if config.routers == 0 {
+            return Err(JanusError::config("need at least one router"));
+        }
+        let clock = janus_clock::system();
+        let zone = Zone::new();
+
+        // Database layer.
+        let db = if config.db_ha {
+            // Standby first (the master needs its address), both engines
+            // seeded with the initial rules (a fresh standby starts from
+            // the same snapshot, then receives forwarded writes).
+            let standby_engine = Arc::new(RulesEngine::new());
+            standby_engine.load(config.rules.iter().cloned());
+            let standby = DbServer::spawn(standby_engine).await?;
+            let master_engine = Arc::new(RulesEngine::new());
+            master_engine.load(config.rules.iter().cloned());
+            let master =
+                DbServer::spawn_with_standby(master_engine, standby.addr()).await?;
+            zone.insert_failover(
+                DB_DNS_NAME,
+                master.addr(),
+                Some(standby.addr()),
+                Duration::ZERO,
+            );
+            // The DB speaks TCP, so its own port doubles as health probe.
+            let monitor = spawn_tcp_health_monitor(
+                Arc::clone(&zone),
+                DB_DNS_NAME.to_string(),
+                |addr| addr,
+                Duration::from_millis(25),
+                3,
+            );
+            DbLayer {
+                master: Some(master),
+                standby: Some(standby),
+                monitor: Some(monitor),
+            }
+        } else {
+            let engine = Arc::new(RulesEngine::new());
+            engine.load(config.rules.iter().cloned());
+            DbLayer {
+                master: Some(DbServer::spawn(engine).await?),
+                standby: None,
+                monitor: None,
+            }
+        };
+        let db_target = if config.db_ha {
+            DbTarget::Named {
+                name: DB_DNS_NAME.to_string(),
+                resolver: Arc::new(Resolver::new(Arc::clone(&zone), Arc::clone(&clock))),
+            }
+        } else {
+            DbTarget::Direct(
+                db.master
+                    .as_ref()
+                    .expect("master exists at launch")
+                    .addr(),
+            )
+        };
+
+        // QoS server layer: one failover DNS record per partition.
+        let mut partitions = Vec::with_capacity(config.qos_servers);
+        let mut ha_ports: HashMap<SocketAddr, SocketAddr> = HashMap::new();
+        for index in 0..config.qos_servers {
+            let master = QosServer::spawn(config.server.clone(), Some(db_target.clone()),
+                Arc::clone(&clock),
+            )
+            .await?;
+            let dns_name = format!("qos-{index}.janus.internal");
+            ha_ports.insert(master.udp_addr(), master.ha_addr());
+
+            let (slave, replicator) = if config.ha {
+                let slave = QosServer::spawn(config.server.clone(), Some(db_target.clone()),
+                    Arc::clone(&clock),
+                )
+                .await?;
+                let replicator = SlaveReplicator::spawn(
+                    master.ha_addr(),
+                    Arc::clone(slave.table()),
+                    Arc::clone(&clock),
+                    config.replication_interval,
+                );
+                ha_ports.insert(slave.udp_addr(), slave.ha_addr());
+                (Some(slave), Some(replicator))
+            } else {
+                (None, None)
+            };
+
+            zone.insert_failover(
+                &dns_name,
+                master.udp_addr(),
+                slave.as_ref().map(|s| s.udp_addr()),
+                // Routers must see a failover quickly; the record is only
+                // consulted on the control plane, so a zero TTL is cheap.
+                Duration::ZERO,
+            );
+
+            let monitor = if config.ha {
+                let probe_map = ha_ports.clone();
+                Some(spawn_tcp_health_monitor(
+                    Arc::clone(&zone),
+                    dns_name.clone(),
+                    move |udp_addr| probe_map.get(&udp_addr).copied().unwrap_or(udp_addr),
+                    Duration::from_millis(25),
+                    3,
+                ))
+            } else {
+                None
+            };
+
+            partitions.push(Partition {
+                master: Some(master),
+                slave,
+                replicator,
+                monitor,
+                dns_name,
+            });
+        }
+
+        // Request router layer.
+        let backends: Vec<Backend> = partitions
+            .iter()
+            .map(|p| Backend::Named(p.dns_name.clone()))
+            .collect();
+        let mut routers = Vec::with_capacity(config.routers);
+        for _ in 0..config.routers {
+            let resolver = Arc::new(Resolver::new(Arc::clone(&zone), Arc::clone(&clock)));
+            let router_config = RouterConfig {
+                backends: backends.clone(),
+                udp: config.udp.clone(),
+                default_verdict: config.default_verdict,
+                pooled_rpc: config.pooled_rpc,
+            };
+            routers.push(RequestRouter::spawn(router_config, Some(resolver)).await?);
+        }
+
+        // Load balancer layer.
+        let router_addrs: Vec<SocketAddr> = routers.iter().map(|r| r.addr()).collect();
+        let (gateways, dns_lb) = match config.lb {
+            LbMode::Gateway(policy) => (
+                vec![GatewayLb::spawn(router_addrs, policy).await?],
+                None,
+            ),
+            LbMode::Dns { ttl } => (
+                Vec::new(),
+                Some(DnsLb::publish(
+                    Arc::clone(&zone),
+                    "janus.endpoint",
+                    router_addrs,
+                    ttl,
+                )?),
+            ),
+            LbMode::DnsOverGateways {
+                gateways: count,
+                ttl,
+                policy,
+            } => {
+                if count == 0 {
+                    return Err(JanusError::config("need at least one gateway"));
+                }
+                let mut gateways = Vec::with_capacity(count);
+                for _ in 0..count {
+                    gateways.push(GatewayLb::spawn(router_addrs.clone(), policy).await?);
+                }
+                let gateway_addrs = gateways.iter().map(|g| g.addr()).collect();
+                let dns_lb = DnsLb::publish(
+                    Arc::clone(&zone),
+                    "janus.endpoint",
+                    gateway_addrs,
+                    ttl,
+                )?;
+                (gateways, Some(dns_lb))
+            }
+            LbMode::None => (Vec::new(), None),
+        };
+
+        let lb_ttl = match config.lb {
+            LbMode::Dns { ttl } | LbMode::DnsOverGateways { ttl, .. } => Some(ttl),
+            _ => None,
+        };
+        Ok(Deployment {
+            clock,
+            zone,
+            db,
+            partitions,
+            routers: RwLock::new(routers),
+            gateways,
+            dns_lb,
+            router_template: RouterTemplate {
+                backends,
+                udp: config.udp,
+                default_verdict: config.default_verdict,
+                pooled_rpc: config.pooled_rpc,
+                lb_ttl,
+            },
+        })
+    }
+
+    /// Build a QoS client, modelling a fresh client host (its own DNS
+    /// cache under DNS load balancing).
+    pub async fn client(&self) -> Result<QosClient> {
+        Ok(QosClient::new(self.endpoint()))
+    }
+
+    /// The endpoint clients of this deployment use.
+    pub fn endpoint(&self) -> Endpoint {
+        // DNS (plain or over gateways) takes precedence: that is the
+        // published service name.
+        if let Some(dns_lb) = &self.dns_lb {
+            Endpoint::Dns {
+                name: dns_lb.name().to_string(),
+                resolver: Arc::new(
+                    Resolver::new(Arc::clone(&self.zone), Arc::clone(&self.clock)),
+                ),
+            }
+        } else if let Some(gateway) = self.gateways.first() {
+            Endpoint::Direct(gateway.addr())
+        } else {
+            Endpoint::Direct(self.routers.read()[0].addr())
+        }
+    }
+
+    /// Administrative handle to the rule database (the currently active
+    /// node).
+    pub async fn db_client(&self) -> Result<DbClient> {
+        DbClient::connect(self.active_db_addr()?).await
+    }
+
+    /// The address of the currently active database node (master, or the
+    /// promoted standby after a DB failover).
+    pub fn active_db_addr(&self) -> Result<SocketAddr> {
+        if self.db.monitor.is_some() {
+            self.zone.active_primary(DB_DNS_NAME)
+        } else {
+            Ok(self
+                .db
+                .master
+                .as_ref()
+                .ok_or_else(|| JanusError::state("database master was killed"))?
+                .addr())
+        }
+    }
+
+    /// Insert or replace a rule at runtime — effective on next sighting,
+    /// no restarts (paper §II-D).
+    pub async fn upsert_rule(&self, rule: &QosRule) -> Result<()> {
+        self.db_client().await?.upsert_rule(rule).await
+    }
+
+    /// The active-at-launch database master node (None after
+    /// [`kill_db_master`](Self::kill_db_master)).
+    pub fn db(&self) -> &DbServer {
+        self.db.master.as_ref().expect("database master was killed")
+    }
+
+    /// The database standby, when `db_ha` is on.
+    pub fn db_standby(&self) -> Option<&DbServer> {
+        self.db.standby.as_ref()
+    }
+
+    /// Kill the database master (crash injection; requires `db_ha`). The
+    /// health monitor promotes the standby within a few probe intervals
+    /// and QoS servers re-resolve on their next reconnect.
+    pub fn kill_db_master(&mut self) {
+        if let Some(master) = self.db.master.take() {
+            master.shutdown();
+        }
+    }
+
+    /// Wait until the DB failover record points at the standby.
+    pub async fn await_db_failover(&self, timeout: Duration) -> Result<SocketAddr> {
+        let standby = self
+            .db
+            .standby
+            .as_ref()
+            .map(|s| s.addr())
+            .ok_or_else(|| JanusError::state("deployment has no DB standby"))?;
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.zone.active_primary(DB_DNS_NAME)? == standby {
+                return Ok(standby);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(JanusError::state("DB failover did not happen in time"));
+            }
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+    }
+
+    /// Number of router nodes currently serving.
+    pub fn router_count(&self) -> usize {
+        self.routers.read().len()
+    }
+
+    /// Requests served per router node, in fleet order.
+    pub fn router_served_counts(&self) -> Vec<u64> {
+        self.routers
+            .read()
+            .iter()
+            .map(|r| r.stats().served.load(std::sync::atomic::Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Requests answered by a router's default reply, summed over the
+    /// fleet.
+    pub fn router_defaulted_total(&self) -> u64 {
+        self.routers
+            .read()
+            .iter()
+            .map(|r| r.stats().defaulted.load(std::sync::atomic::Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Resize the router fleet to `target` nodes (the paper's Auto
+    /// Scaling group on the router layer, §V-A). Routers are stateless,
+    /// so scale-out is spawn + register and scale-in is deregister +
+    /// drain. The load balancer (gateway or DNS) is updated atomically;
+    /// in-flight requests on removed routers complete.
+    pub async fn scale_routers(&self, target: usize) -> Result<usize> {
+        if target == 0 {
+            return Err(JanusError::config("cannot scale the router layer to zero"));
+        }
+        // Spawn any new nodes before taking the lock (async).
+        let current = self.router_count();
+        let mut fresh = Vec::new();
+        for _ in current..target {
+            let resolver = Arc::new(Resolver::new(
+                Arc::clone(&self.zone),
+                Arc::clone(&self.clock),
+            ));
+            let router_config = RouterConfig {
+                backends: self.router_template.backends.clone(),
+                udp: self.router_template.udp.clone(),
+                default_verdict: self.router_template.default_verdict,
+                pooled_rpc: self.router_template.pooled_rpc,
+            };
+            fresh.push(RequestRouter::spawn(router_config, Some(resolver)).await?);
+        }
+        let removed: Vec<RequestRouter> = {
+            let mut routers = self.routers.write();
+            routers.extend(fresh);
+            let keep = target.min(routers.len());
+            routers.split_off(keep)
+        };
+        let addrs: Vec<SocketAddr> = self.routers.read().iter().map(|r| r.addr()).collect();
+        for gateway in &self.gateways {
+            gateway.set_backends(addrs.clone())?;
+        }
+        // Under plain DNS mode the record lists routers; under
+        // DNS-over-gateways it lists gateways, which do not change here.
+        if self.gateways.is_empty() {
+            if let Some(dns_lb) = &self.dns_lb {
+                dns_lb.update_targets(
+                    addrs,
+                    self.router_template.lb_ttl.unwrap_or(Duration::ZERO),
+                )?;
+            }
+        }
+        for router in removed {
+            router.shutdown();
+        }
+        Ok(self.router_count())
+    }
+
+    /// The gateway LB nodes (empty under pure-DNS or no-LB modes).
+    pub fn gateways(&self) -> &[GatewayLb] {
+        &self.gateways
+    }
+
+    /// The first gateway LB, if this deployment uses any.
+    pub fn gateway(&self) -> Option<&GatewayLb> {
+        self.gateways.first()
+    }
+
+    /// The DNS LB, if this deployment uses one.
+    pub fn dns_lb(&self) -> Option<&DnsLb> {
+        self.dns_lb.as_ref()
+    }
+
+    /// The shared DNS zone (failover records, endpoint record).
+    pub fn zone(&self) -> &Arc<Zone> {
+        &self.zone
+    }
+
+    /// The clock all nodes share.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Master QoS server of partition `index` (None after a kill).
+    pub fn qos_master(&self, index: usize) -> Option<&QosServer> {
+        self.partitions[index].master.as_ref()
+    }
+
+    /// Slave QoS server of partition `index`, when HA is on.
+    pub fn qos_slave(&self, index: usize) -> Option<&QosServer> {
+        self.partitions[index].slave.as_ref()
+    }
+
+    /// Number of QoS partitions.
+    pub fn qos_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Kill the master of partition `index` (crash injection). With HA
+    /// enabled the health monitor will promote the slave within a few
+    /// probe intervals; the replicator is stopped as the slave is about
+    /// to become authoritative.
+    pub fn kill_qos_master(&mut self, index: usize) {
+        let partition = &mut self.partitions[index];
+        if let Some(replicator) = &partition.replicator {
+            replicator.stop();
+        }
+        if let Some(master) = partition.master.take() {
+            master.shutdown();
+        }
+    }
+
+    /// Wait until the failover record of partition `index` points at the
+    /// slave, or time out.
+    pub async fn await_failover(&self, index: usize, timeout: Duration) -> Result<SocketAddr> {
+        let partition = &self.partitions[index];
+        let slave_addr = partition
+            .slave
+            .as_ref()
+            .map(|s| s.udp_addr())
+            .ok_or_else(|| JanusError::state("partition has no slave"))?;
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            if self.zone.active_primary(&partition.dns_name)? == slave_addr {
+                return Ok(slave_addr);
+            }
+            if std::time::Instant::now() >= deadline {
+                return Err(JanusError::state("failover did not happen in time"));
+            }
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+    }
+
+    /// Shut every node down.
+    pub fn shutdown(&self) {
+        for gateway in &self.gateways {
+            gateway.shutdown();
+        }
+        for router in self.routers.read().iter() {
+            router.shutdown();
+        }
+        for partition in &self.partitions {
+            if let Some(monitor) = &partition.monitor {
+                monitor.stop();
+            }
+            if let Some(replicator) = &partition.replicator {
+                replicator.stop();
+            }
+            if let Some(master) = &partition.master {
+                master.shutdown();
+            }
+            if let Some(slave) = &partition.slave {
+                slave.shutdown();
+            }
+        }
+        if let Some(monitor) = &self.db.monitor {
+            monitor.stop();
+        }
+        if let Some(master) = &self.db.master {
+            master.shutdown();
+        }
+        if let Some(standby) = &self.db.standby {
+            standby.shutdown();
+        }
+    }
+}
+
+impl Drop for Deployment {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+    use janus_types::QosKey;
+
+    fn key(s: &str) -> QosKey {
+        QosKey::new(s).unwrap()
+    }
+
+    fn rules(specs: &[(&str, u64, u64)]) -> Vec<QosRule> {
+        specs
+            .iter()
+            .map(|(k, cap, rate)| QosRule::per_second(key(k), *cap, *rate))
+            .collect()
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn gateway_deployment_end_to_end() {
+        let mut config = DeploymentConfig::default();
+        config.rules = rules(&[("alice", 3, 0)]);
+        config.default_verdict = Verdict::Deny;
+        let deployment = Deployment::launch(config).await.unwrap();
+        let mut client = deployment.client().await.unwrap();
+        let mut allowed = 0;
+        for _ in 0..6 {
+            if client.qos_check(&key("alice")).await.unwrap() {
+                allowed += 1;
+            }
+        }
+        assert_eq!(allowed, 3);
+        // Unknown keys fall to the Deny default policy on the QoS server.
+        assert!(!client.qos_check(&key("stranger")).await.unwrap());
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn dns_deployment_end_to_end() {
+        let mut config = DeploymentConfig::default();
+        config.lb = LbMode::Dns {
+            ttl: Duration::from_secs(30),
+        };
+        config.rules = rules(&[("bob", 2, 0)]);
+        let deployment = Deployment::launch(config).await.unwrap();
+        let mut client = deployment.client().await.unwrap();
+        assert!(client.qos_check(&key("bob")).await.unwrap());
+        assert!(client.qos_check(&key("bob")).await.unwrap());
+        assert!(!client.qos_check(&key("bob")).await.unwrap());
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn no_lb_deployment() {
+        let mut config = DeploymentConfig::default();
+        config.lb = LbMode::None;
+        config.routers = 1;
+        config.qos_servers = 1;
+        config.rules = rules(&[("solo", 1, 0)]);
+        let deployment = Deployment::launch(config).await.unwrap();
+        let mut client = deployment.client().await.unwrap();
+        assert!(client.qos_check(&key("solo")).await.unwrap());
+        assert!(!client.qos_check(&key("solo")).await.unwrap());
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn rules_added_at_runtime_are_effective() {
+        let config = DeploymentConfig {
+            default_verdict: Verdict::Deny,
+            ..Default::default()
+        };
+        let deployment = Deployment::launch(config).await.unwrap();
+        let mut client = deployment.client().await.unwrap();
+        assert!(!client.qos_check(&key("latecomer")).await.unwrap());
+        deployment
+            .upsert_rule(&QosRule::per_second(key("vip"), 5, 5))
+            .await
+            .unwrap();
+        assert!(client.qos_check(&key("vip")).await.unwrap());
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn gateway_spreads_over_routers() {
+        let mut config = DeploymentConfig::default();
+        config.routers = 2;
+        config.rules = rules(&[("spread", 1000, 1000)]);
+        let deployment = Deployment::launch(config).await.unwrap();
+        let mut client = deployment.client().await.unwrap();
+        for _ in 0..20 {
+            client.qos_check(&key("spread")).await.unwrap();
+        }
+        let counts = deployment.router_served_counts();
+        assert_eq!(counts.iter().sum::<u64>(), 20);
+        assert!(
+            counts.iter().all(|&c| c == 10),
+            "round robin skewed: {counts:?}"
+        );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn ha_failover_preserves_service_and_credit() {
+        let mut config = DeploymentConfig::default();
+        config.qos_servers = 1;
+        config.routers = 1;
+        config.ha = true;
+        config.default_verdict = Verdict::Deny;
+        config.rules = rules(&[("survivor", 100, 0)]);
+        let mut deployment = Deployment::launch(config).await.unwrap();
+        let mut client = deployment.client().await.unwrap();
+
+        // Consume 40 credits on the master.
+        for _ in 0..40 {
+            assert!(client.qos_check(&key("survivor")).await.unwrap());
+        }
+        // Let replication catch up, then crash the master.
+        tokio::time::sleep(Duration::from_millis(200)).await;
+        deployment.kill_qos_master(0);
+        deployment
+            .await_failover(0, Duration::from_secs(5))
+            .await
+            .unwrap();
+
+        // The slave answers with (approximately) the replicated credit:
+        // at most 60 more requests may pass, not a fresh 100.
+        let mut allowed = 0;
+        for _ in 0..100 {
+            if client.qos_check(&key("survivor")).await.unwrap() {
+                allowed += 1;
+            }
+        }
+        assert!(
+            (55..=65).contains(&allowed),
+            "slave admitted {allowed}, expected ~60 (replicated credit)"
+        );
+    }
+
+    #[tokio::test]
+    async fn rejects_zero_sized_layers() {
+        let mut config = DeploymentConfig::default();
+        config.qos_servers = 0;
+        assert!(Deployment::launch(config).await.is_err());
+        let mut config = DeploymentConfig::default();
+        config.routers = 0;
+        assert!(Deployment::launch(config).await.is_err());
+    }
+}

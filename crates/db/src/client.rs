@@ -1,0 +1,291 @@
+//! Typed client for the database wire protocol.
+
+use crate::server::parse_rule_row;
+use crate::sql::{format_micro, SqlResponse};
+use janus_types::{Credits, JanusError, QosKey, QosRule, Result};
+use std::net::SocketAddr;
+use tokio::io::{AsyncBufReadExt, AsyncWriteExt, BufReader};
+use tokio::net::TcpStream;
+
+/// A connection to a [`crate::DbServer`], with typed helpers for every
+/// statement shape the QoS server issues.
+#[derive(Debug)]
+pub struct DbClient {
+    reader: BufReader<TcpStream>,
+    addr: SocketAddr,
+}
+
+/// Escape a key for embedding in a single-quoted SQL literal.
+fn sql_quote(key: &QosKey) -> String {
+    key.as_str().replace('\'', "''")
+}
+
+impl DbClient {
+    /// Connect to the database node at `addr`.
+    pub async fn connect(addr: SocketAddr) -> Result<DbClient> {
+        let stream = TcpStream::connect(addr).await?;
+        stream.set_nodelay(true)?;
+        Ok(DbClient {
+            reader: BufReader::new(stream),
+            addr,
+        })
+    }
+
+    /// The node this client is connected to.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Execute a raw statement.
+    pub async fn query(&mut self, statement: &str) -> Result<SqlResponse> {
+        debug_assert!(!statement.contains('\n'), "statements are single lines");
+        let mut line = statement.to_string();
+        line.push('\n');
+        self.reader.get_mut().write_all(line.as_bytes()).await?;
+
+        let mut header = String::new();
+        if self.reader.read_line(&mut header).await? == 0 {
+            return Err(JanusError::db("connection closed by database"));
+        }
+        let header = header.trim_end();
+        let (kind, arg) = header.split_once(' ').unwrap_or((header, ""));
+        match kind {
+            "ROWS" => {
+                let n: usize = arg
+                    .parse()
+                    .map_err(|_| JanusError::db(format!("bad ROWS header {header:?}")))?;
+                let mut rows = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let mut row = String::new();
+                    if self.reader.read_line(&mut row).await? == 0 {
+                        return Err(JanusError::db("connection closed mid-result"));
+                    }
+                    rows.push(parse_rule_row(row.trim_end_matches(['\r', '\n']))?);
+                }
+                Ok(SqlResponse::Rows(rows))
+            }
+            "COUNT" => Ok(SqlResponse::Count(arg.parse().map_err(|_| {
+                JanusError::db(format!("bad COUNT header {header:?}"))
+            })?)),
+            "OK" => Ok(SqlResponse::Ok {
+                affected: arg
+                    .parse()
+                    .map_err(|_| JanusError::db(format!("bad OK header {header:?}")))?,
+            }),
+            "VERSION" => Ok(SqlResponse::Version(arg.parse().map_err(|_| {
+                JanusError::db(format!("bad VERSION header {header:?}"))
+            })?)),
+            "ERR" => Err(JanusError::db(arg.to_string())),
+            other => Err(JanusError::db(format!("unknown response {other:?}"))),
+        }
+    }
+
+    /// Point lookup: the QoS server's first-sighting query.
+    pub async fn get_rule(&mut self, key: &QosKey) -> Result<Option<QosRule>> {
+        let stmt = format!(
+            "SELECT * FROM qos_rules WHERE qos_key = '{}'",
+            sql_quote(key)
+        );
+        match self.query(&stmt).await? {
+            SqlResponse::Rows(mut rows) => Ok(rows.pop()),
+            other => Err(JanusError::db(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// `SELECT * FROM qos_rules` — the warm-up full scan.
+    pub async fn load_all(&mut self) -> Result<Vec<QosRule>> {
+        match self.query("SELECT * FROM qos_rules").await? {
+            SqlResponse::Rows(rows) => Ok(rows),
+            other => Err(JanusError::db(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Insert or replace a full rule.
+    pub async fn upsert_rule(&mut self, rule: &QosRule) -> Result<()> {
+        let stmt = format!(
+            "INSERT INTO qos_rules (qos_key, refill_rate, capacity, credit) \
+             VALUES ('{}', {}, {}, {})",
+            sql_quote(&rule.key),
+            format_micro(rule.refill_rate.micro_per_sec()),
+            format_micro(rule.capacity.as_micro()),
+            format_micro(rule.credit.as_micro()),
+        );
+        match self.query(&stmt).await? {
+            SqlResponse::Ok { .. } => Ok(()),
+            other => Err(JanusError::db(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Check-point a bucket's remaining credit. Returns false if the rule
+    /// no longer exists (it may have been deleted by the operator).
+    pub async fn checkpoint_credit(&mut self, key: &QosKey, credit: Credits) -> Result<bool> {
+        let stmt = format!(
+            "UPDATE qos_rules SET credit = {} WHERE qos_key = '{}'",
+            format_micro(credit.as_micro()),
+            sql_quote(key),
+        );
+        match self.query(&stmt).await? {
+            SqlResponse::Ok { affected } => Ok(affected > 0),
+            other => Err(JanusError::db(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Delete a rule. Returns true if it existed.
+    pub async fn delete_rule(&mut self, key: &QosKey) -> Result<bool> {
+        let stmt = format!(
+            "DELETE FROM qos_rules WHERE qos_key = '{}'",
+            sql_quote(key)
+        );
+        match self.query(&stmt).await? {
+            SqlResponse::Ok { affected } => Ok(affected > 0),
+            other => Err(JanusError::db(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// `SELECT COUNT(*) FROM qos_rules`.
+    pub async fn count(&mut self) -> Result<u64> {
+        match self.query("SELECT COUNT(*) FROM qos_rules").await? {
+            SqlResponse::Count(n) => Ok(n),
+            other => Err(JanusError::db(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Current rule-table version (sync optimization).
+    pub async fn version(&mut self) -> Result<u64> {
+        match self.query("VERSION").await? {
+            SqlResponse::Version(v) => Ok(v),
+            other => Err(JanusError::db(format!("unexpected response {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DbServer, RulesEngine};
+    use janus_types::RefillRate;
+    use std::sync::Arc;
+
+    fn rule(key: &str, cap: u64, rate: u64) -> QosRule {
+        QosRule::per_second(QosKey::new(key).unwrap(), cap, rate)
+    }
+
+    async fn spawn_db(rules: &[QosRule]) -> DbServer {
+        let engine = Arc::new(RulesEngine::new());
+        engine.load(rules.iter().cloned());
+        DbServer::spawn(engine).await.unwrap()
+    }
+
+    #[tokio::test]
+    async fn typed_roundtrip() {
+        let server = spawn_db(&[rule("alice", 1000, 100)]).await;
+        let mut client = DbClient::connect(server.addr()).await.unwrap();
+
+        let got = client
+            .get_rule(&QosKey::new("alice").unwrap())
+            .await
+            .unwrap()
+            .unwrap();
+        assert_eq!(got.capacity, Credits::from_whole(1000));
+        assert_eq!(got.refill_rate, RefillRate::per_second(100));
+
+        assert!(client
+            .get_rule(&QosKey::new("ghost").unwrap())
+            .await
+            .unwrap()
+            .is_none());
+        assert_eq!(client.count().await.unwrap(), 1);
+    }
+
+    #[tokio::test]
+    async fn upsert_checkpoint_delete_cycle() {
+        let server = spawn_db(&[]).await;
+        let mut client = DbClient::connect(server.addr()).await.unwrap();
+        let key = QosKey::new("bob").unwrap();
+
+        client.upsert_rule(&rule("bob", 50, 5)).await.unwrap();
+        assert_eq!(client.count().await.unwrap(), 1);
+
+        assert!(client
+            .checkpoint_credit(&key, Credits::from_whole(7))
+            .await
+            .unwrap());
+        let got = client.get_rule(&key).await.unwrap().unwrap();
+        assert_eq!(got.credit, Credits::from_whole(7));
+
+        assert!(client.delete_rule(&key).await.unwrap());
+        assert!(!client.delete_rule(&key).await.unwrap());
+        assert!(!client
+            .checkpoint_credit(&key, Credits::ZERO)
+            .await
+            .unwrap());
+    }
+
+    #[tokio::test]
+    async fn load_all_returns_sorted_rows() {
+        let server = spawn_db(&[rule("c", 1, 1), rule("a", 2, 2), rule("b", 3, 3)]).await;
+        let mut client = DbClient::connect(server.addr()).await.unwrap();
+        let rows = client.load_all().await.unwrap();
+        let keys: Vec<_> = rows.iter().map(|r| r.key.to_string()).collect();
+        assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+
+    #[tokio::test]
+    async fn version_advances_on_rule_changes() {
+        let server = spawn_db(&[]).await;
+        let mut client = DbClient::connect(server.addr()).await.unwrap();
+        let v0 = client.version().await.unwrap();
+        client.upsert_rule(&rule("x", 1, 1)).await.unwrap();
+        let v1 = client.version().await.unwrap();
+        assert!(v1 > v0);
+        // Checkpoints do not bump the version.
+        client
+            .checkpoint_credit(&QosKey::new("x").unwrap(), Credits::ZERO)
+            .await
+            .unwrap();
+        assert_eq!(client.version().await.unwrap(), v1);
+    }
+
+    #[tokio::test]
+    async fn keys_with_quotes_survive() {
+        let server = spawn_db(&[]).await;
+        let mut client = DbClient::connect(server.addr()).await.unwrap();
+        let key = QosKey::new("o'brien's-key").unwrap();
+        client
+            .upsert_rule(&QosRule::per_second(key.clone(), 10, 1))
+            .await
+            .unwrap();
+        let got = client.get_rule(&key).await.unwrap().unwrap();
+        assert_eq!(got.key, key);
+    }
+
+    #[tokio::test]
+    async fn server_error_surfaces_as_db_error() {
+        let server = spawn_db(&[]).await;
+        let mut client = DbClient::connect(server.addr()).await.unwrap();
+        let err = client.query("DROP TABLE qos_rules").await.unwrap_err();
+        assert!(matches!(err, JanusError::Db(_)), "{err}");
+        // Connection still usable.
+        assert_eq!(client.count().await.unwrap(), 0);
+    }
+
+    #[tokio::test]
+    async fn hundred_rules_roundtrip_exactly() {
+        let rules: Vec<_> = (0..100)
+            .map(|i| {
+                let mut r = rule(&format!("tenant-{i:03}"), 100 + i, 1 + i % 10);
+                r.credit = Credits::from_micro(i * 123_457);
+                r
+            })
+            .collect();
+        let server = spawn_db(&rules).await;
+        let mut client = DbClient::connect(server.addr()).await.unwrap();
+        let mut loaded = client.load_all().await.unwrap();
+        loaded.sort_by(|a, b| a.key.cmp(&b.key));
+        let mut expected = rules.clone();
+        expected.sort_by(|a, b| a.key.cmp(&b.key));
+        // Engine clamps credit to capacity on load.
+        let expected: Vec<_> = expected.into_iter().map(QosRule::clamped).collect();
+        assert_eq!(loaded, expected);
+    }
+}

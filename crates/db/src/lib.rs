@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Database substrate for Janus: the `qos_rules` store.
+//!
+//! The paper's database layer is MySQL 5.7 on RDS holding one table of
+//! four columns — QoS key, refill rate, bucket capacity, remaining credit
+//! — with the key as primary key, accessed by QoS servers for (a)
+//! first-sighting rule lookups, (b) periodic rule sync, and (c) periodic
+//! credit check-pointing. The workload on it is tiny ("well below 1% CPU",
+//! §V-A), so fidelity matters more than throughput. This crate rebuilds
+//! the pieces that Janus actually exercises:
+//!
+//! * [`engine::RulesEngine`] — the in-memory table with a primary-key
+//!   index (the paper preloads the whole table into RAM anyway via
+//!   `SELECT * FROM qos_rules`).
+//! * [`sql`] — a mini-SQL subset (`SELECT`/`INSERT`/`UPDATE`/`DELETE` on
+//!   `qos_rules`, plus `COUNT(*)`) so QoS servers speak to the database
+//!   the way the paper's Java code spoke to MySQL.
+//! * [`server::DbServer`] — a TCP server with a newline-delimited
+//!   query/response protocol, optional write-forwarding to a standby
+//!   (Multi-AZ master/standby), promotable via the DNS failover record.
+//! * [`client::DbClient`] — connection handling plus typed helpers
+//!   (`get_rule`, `load_all`, `checkpoint_credit`, ...).
+
+pub mod client;
+pub mod engine;
+pub mod server;
+pub mod sql;
+
+pub use client::DbClient;
+pub use engine::RulesEngine;
+pub use server::DbServer;

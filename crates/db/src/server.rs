@@ -1,0 +1,419 @@
+//! The database TCP server and its wire protocol.
+//!
+//! The protocol is deliberately telnet-friendly, one line per message:
+//!
+//! ```text
+//! client:  SELECT * FROM qos_rules WHERE qos_key = 'alice'\n
+//! server:  ROWS 1\n
+//!          alice\t100\t1000\t998.5\n
+//! ```
+//!
+//! Responses: `ROWS <n>` + n tab-separated rows (`key, refill_rate,
+//! capacity, credit` as exact decimals), `COUNT <n>`, `OK <affected>`,
+//! `VERSION <v>`, or `ERR <message>`. Keys cannot contain control
+//! characters (enforced by [`janus_types::QosKey`]), so the line framing
+//! is unambiguous.
+//!
+//! For high availability a server can forward every mutating statement to
+//! a standby (`Multi-AZ` style). Forwarding is asynchronous and
+//! best-effort, exactly like a replication link; the standby is promoted
+//! by flipping the DNS failover record, which [`crate::client::DbClient`]
+//! callers re-resolve on reconnect.
+
+use crate::engine::RulesEngine;
+use crate::sql::{self, SqlResponse};
+use janus_types::Result;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::io::{AsyncBufReadExt, AsyncWriteExt, BufReader};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::mpsc;
+
+/// Render one rule as a wire row.
+pub fn format_rule_row(rule: &janus_types::QosRule) -> String {
+    format!(
+        "{}\t{}\t{}\t{}",
+        rule.key,
+        sql::format_micro(rule.refill_rate.micro_per_sec()),
+        sql::format_micro(rule.capacity.as_micro()),
+        sql::format_micro(rule.credit.as_micro())
+    )
+}
+
+/// Parse one wire row back into a rule.
+pub fn parse_rule_row(line: &str) -> Result<janus_types::QosRule> {
+    use janus_types::{Credits, JanusError, QosKey, QosRule, RefillRate};
+    let mut parts = line.split('\t');
+    let key = parts
+        .next()
+        .ok_or_else(|| JanusError::db("row missing key"))?;
+    let rate = parts
+        .next()
+        .ok_or_else(|| JanusError::db("row missing refill_rate"))?;
+    let capacity = parts
+        .next()
+        .ok_or_else(|| JanusError::db("row missing capacity"))?;
+    let credit = parts
+        .next()
+        .ok_or_else(|| JanusError::db("row missing credit"))?;
+    if parts.next().is_some() {
+        return Err(JanusError::db(format!("trailing fields in row {line:?}")));
+    }
+    Ok(QosRule {
+        key: QosKey::new(key).map_err(|e| JanusError::db(format!("bad key in row: {e}")))?,
+        refill_rate: RefillRate::from_micro_per_sec(sql::parse_decimal_micro(rate)?),
+        capacity: Credits::from_micro(sql::parse_decimal_micro(capacity)?),
+        credit: Credits::from_micro(sql::parse_decimal_micro(credit)?),
+    })
+}
+
+fn encode_response(resp: &Result<SqlResponse>) -> String {
+    match resp {
+        Ok(SqlResponse::Rows(rows)) => {
+            let mut out = format!("ROWS {}\n", rows.len());
+            for rule in rows {
+                out.push_str(&format_rule_row(rule));
+                out.push('\n');
+            }
+            out
+        }
+        Ok(SqlResponse::Count(n)) => format!("COUNT {n}\n"),
+        Ok(SqlResponse::Ok { affected }) => format!("OK {affected}\n"),
+        Ok(SqlResponse::Version(v)) => format!("VERSION {v}\n"),
+        Err(e) => {
+            let msg: String = e
+                .to_string()
+                .chars()
+                .map(|c| if c.is_control() { ' ' } else { c })
+                .collect();
+            format!("ERR {msg}\n")
+        }
+    }
+}
+
+fn is_mutation(query: &str) -> bool {
+    let head = query.trim_start().get(..6).unwrap_or("");
+    head.eq_ignore_ascii_case("insert")
+        || head.eq_ignore_ascii_case("update")
+        || head.eq_ignore_ascii_case("delete")
+}
+
+/// A running database node.
+pub struct DbServer {
+    addr: SocketAddr,
+    engine: Arc<RulesEngine>,
+    shutdown: Arc<AtomicBool>,
+    queries: Arc<AtomicU64>,
+    replication: Option<mpsc::UnboundedSender<String>>,
+}
+
+impl DbServer {
+    /// Bind an ephemeral loopback port and serve `engine`.
+    pub async fn spawn(engine: Arc<RulesEngine>) -> Result<DbServer> {
+        Self::spawn_inner(engine, None).await
+    }
+
+    /// Spawn a master that forwards mutations to the standby at
+    /// `standby_addr`.
+    pub async fn spawn_with_standby(
+        engine: Arc<RulesEngine>,
+        standby_addr: SocketAddr,
+    ) -> Result<DbServer> {
+        Self::spawn_inner(engine, Some(standby_addr)).await
+    }
+
+    async fn spawn_inner(
+        engine: Arc<RulesEngine>,
+        standby_addr: Option<SocketAddr>,
+    ) -> Result<DbServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).await?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queries = Arc::new(AtomicU64::new(0));
+
+        let replication = standby_addr.map(|standby| {
+            let (tx, mut rx) = mpsc::unbounded_channel::<String>();
+            tokio::spawn(async move {
+                let mut link: Option<TcpStream> = None;
+                while let Some(statement) = rx.recv().await {
+                    // (Re)connect lazily; drop the statement if the standby
+                    // is unreachable — replication is best-effort, and a
+                    // promoted standby re-syncs from checkpoints.
+                    if link.is_none() {
+                        link = TcpStream::connect(standby).await.ok();
+                    }
+                    if let Some(stream) = link.as_mut() {
+                        let mut line = statement.clone();
+                        line.push('\n');
+                        if stream.write_all(line.as_bytes()).await.is_err() {
+                            link = None;
+                            continue;
+                        }
+                        // Drain the one response line so the standby's
+                        // writer does not block; errors reset the link.
+                        let mut reader = BufReader::new(stream);
+                        let mut resp = String::new();
+                        if reader.read_line(&mut resp).await.is_err() {
+                            link = None;
+                        }
+                    }
+                }
+            });
+            tx
+        });
+
+        let server = DbServer {
+            addr,
+            engine: Arc::clone(&engine),
+            shutdown: Arc::clone(&shutdown),
+            queries: Arc::clone(&queries),
+            replication: replication.clone(),
+        };
+
+        tokio::spawn(async move {
+            loop {
+                let (stream, _) = match listener.accept().await {
+                    Ok(x) => x,
+                    Err(_) => break,
+                };
+                if shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let engine = Arc::clone(&engine);
+                let queries = Arc::clone(&queries);
+                let replication = replication.clone();
+                tokio::spawn(async move {
+                    let _ = serve_connection(stream, engine, queries, replication).await;
+                });
+            }
+        });
+
+        Ok(server)
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind this server (tests inspect it directly).
+    pub fn engine(&self) -> &Arc<RulesEngine> {
+        &self.engine
+    }
+
+    /// Queries served so far.
+    pub fn queries(&self) -> u64 {
+        self.queries.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        janus_net::poke_listener(self.addr);
+    }
+
+    /// Is this server forwarding to a standby?
+    pub fn has_standby(&self) -> bool {
+        self.replication.is_some()
+    }
+}
+
+impl Drop for DbServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+async fn serve_connection(
+    stream: TcpStream,
+    engine: Arc<RulesEngine>,
+    queries: Arc<AtomicU64>,
+    replication: Option<mpsc::UnboundedSender<String>>,
+) -> Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).await? == 0 {
+            return Ok(());
+        }
+        let query = line.trim_end_matches(['\r', '\n']);
+        if query.is_empty() {
+            continue;
+        }
+        queries.fetch_add(1, Ordering::Relaxed);
+        let result = sql::execute(&engine, query);
+        if result.is_ok() && is_mutation(query) {
+            if let Some(tx) = &replication {
+                let _ = tx.send(query.to_string());
+            }
+        }
+        let response = encode_response(&result);
+        reader.get_mut().write_all(response.as_bytes()).await?;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_types::{Credits, QosKey, QosRule, RefillRate};
+
+    fn rule(key: &str, cap: u64, rate: u64) -> QosRule {
+        QosRule::per_second(QosKey::new(key).unwrap(), cap, rate)
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let mut r = rule("alice:photos", 1000, 100);
+        r.credit = Credits::from_micro(998_500_000);
+        let row = format_rule_row(&r);
+        assert_eq!(row, "alice:photos\t100\t1000\t998.5");
+        assert_eq!(parse_rule_row(&row).unwrap(), r);
+    }
+
+    #[test]
+    fn row_roundtrip_fractional_rate() {
+        let r = QosRule::new(
+            QosKey::new("slow").unwrap(),
+            Credits::from_whole(1),
+            RefillRate::from_micro_per_sec(16_666),
+        );
+        let parsed = parse_rule_row(&format_rule_row(&r)).unwrap();
+        assert_eq!(parsed, r);
+    }
+
+    #[test]
+    fn parse_row_rejects_malformed() {
+        assert!(parse_rule_row("").is_err());
+        assert!(parse_rule_row("key\t1\t2").is_err());
+        assert!(parse_rule_row("key\t1\t2\t3\t4").is_err());
+        assert!(parse_rule_row("key\tx\t2\t3").is_err());
+    }
+
+    #[test]
+    fn mutation_detection() {
+        assert!(is_mutation("INSERT INTO qos_rules ..."));
+        assert!(is_mutation("  update qos_rules ..."));
+        assert!(is_mutation("DELETE FROM qos_rules WHERE qos_key='x'"));
+        assert!(!is_mutation("SELECT * FROM qos_rules"));
+        assert!(!is_mutation("VERSION"));
+        assert!(!is_mutation("IN"));
+    }
+
+    #[test]
+    fn error_encoding_is_single_line() {
+        let err: Result<SqlResponse> =
+            Err(janus_types::JanusError::db("bad\nthing\thappened"));
+        let encoded = encode_response(&err);
+        assert!(encoded.starts_with("ERR "));
+        assert_eq!(encoded.matches('\n').count(), 1);
+    }
+
+    #[tokio::test]
+    async fn serves_queries_over_tcp() {
+        let engine = Arc::new(RulesEngine::new());
+        engine.put(rule("alice", 1000, 100));
+        let server = DbServer::spawn(engine).await.unwrap();
+
+        let stream = TcpStream::connect(server.addr()).await.unwrap();
+        let mut reader = BufReader::new(stream);
+        reader
+            .get_mut()
+            .write_all(b"SELECT * FROM qos_rules WHERE qos_key = 'alice'\n")
+            .await
+            .unwrap();
+        let mut header = String::new();
+        reader.read_line(&mut header).await.unwrap();
+        assert_eq!(header, "ROWS 1\n");
+        let mut row = String::new();
+        reader.read_line(&mut row).await.unwrap();
+        assert!(row.starts_with("alice\t100\t1000\t"), "{row}");
+        assert_eq!(server.queries(), 1);
+    }
+
+    #[tokio::test]
+    async fn bad_sql_gets_err_not_disconnect() {
+        let server = DbServer::spawn(Arc::new(RulesEngine::new())).await.unwrap();
+        let stream = TcpStream::connect(server.addr()).await.unwrap();
+        let mut reader = BufReader::new(stream);
+        reader
+            .get_mut()
+            .write_all(b"DROP TABLE qos_rules\nVERSION\n")
+            .await
+            .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).await.unwrap();
+        assert!(line.starts_with("ERR "), "{line}");
+        line.clear();
+        reader.read_line(&mut line).await.unwrap();
+        assert!(line.starts_with("VERSION "), "connection should survive: {line}");
+    }
+
+    #[tokio::test]
+    async fn standby_receives_mutations() {
+        let standby_engine = Arc::new(RulesEngine::new());
+        let standby = DbServer::spawn(Arc::clone(&standby_engine)).await.unwrap();
+
+        let master_engine = Arc::new(RulesEngine::new());
+        let master = DbServer::spawn_with_standby(Arc::clone(&master_engine), standby.addr())
+            .await
+            .unwrap();
+        assert!(master.has_standby());
+
+        let stream = TcpStream::connect(master.addr()).await.unwrap();
+        let mut reader = BufReader::new(stream);
+        reader
+            .get_mut()
+            .write_all(
+                b"INSERT INTO qos_rules (qos_key, refill_rate, capacity) VALUES ('r', 5, 50)\n",
+            )
+            .await
+            .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).await.unwrap();
+        assert_eq!(line, "OK 1\n");
+
+        // Replication is async; poll for it.
+        let key = QosKey::new("r").unwrap();
+        for _ in 0..100 {
+            if standby_engine.get(&key).is_some() {
+                assert_eq!(master_engine.get(&key), standby_engine.get(&key));
+                return;
+            }
+            tokio::time::sleep(std::time::Duration::from_millis(5)).await;
+        }
+        panic!("standby never received the mutation");
+    }
+
+    #[tokio::test]
+    async fn unreachable_standby_does_not_block_master() {
+        // Point the master at a dead standby address.
+        let dead = TcpListener::bind(("127.0.0.1", 0)).await.unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+
+        let master = DbServer::spawn_with_standby(Arc::new(RulesEngine::new()), dead_addr)
+            .await
+            .unwrap();
+        let stream = TcpStream::connect(master.addr()).await.unwrap();
+        let mut reader = BufReader::new(stream);
+        reader
+            .get_mut()
+            .write_all(
+                b"INSERT INTO qos_rules (qos_key, refill_rate, capacity) VALUES ('x', 1, 1)\n",
+            )
+            .await
+            .unwrap();
+        let mut line = String::new();
+        tokio::time::timeout(
+            std::time::Duration::from_secs(2),
+            reader.read_line(&mut line),
+        )
+        .await
+        .expect("master blocked on dead standby")
+        .unwrap();
+        assert_eq!(line, "OK 1\n");
+    }
+}

@@ -1,0 +1,684 @@
+//! Mini-SQL over the `qos_rules` table.
+//!
+//! The paper's QoS server issues a handful of statement shapes at MySQL
+//! (`SELECT * FROM qos_rules` at warm-up, point `SELECT`s on first key
+//! sighting, `UPDATE ... SET credit` at checkpoint time, and the operator
+//! inserts/deletes rules). This module parses and executes exactly that
+//! subset:
+//!
+//! ```sql
+//! SELECT * FROM qos_rules
+//! SELECT * FROM qos_rules WHERE qos_key = 'alice'
+//! SELECT COUNT(*) FROM qos_rules
+//! INSERT INTO qos_rules (qos_key, refill_rate, capacity, credit) VALUES ('alice', 100, 1000, 1000)
+//! UPDATE qos_rules SET credit = 42.5 WHERE qos_key = 'alice'
+//! UPDATE qos_rules SET refill_rate = 10, capacity = 100 WHERE qos_key = 'alice'
+//! DELETE FROM qos_rules WHERE qos_key = 'alice'
+//! VERSION
+//! ```
+//!
+//! Numeric literals are decimal credits (up to six fractional digits,
+//! matching the fixed-point resolution). `VERSION` is a Janus extension
+//! the rule-sync thread uses to skip no-change polls.
+
+use crate::engine::RulesEngine;
+use janus_types::{Credits, JanusError, QosKey, QosRule, RefillRate, Result};
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlResponse {
+    /// Rows from a `SELECT *`.
+    Rows(Vec<QosRule>),
+    /// `SELECT COUNT(*)`.
+    Count(u64),
+    /// Mutation acknowledged, with affected-row count.
+    Ok {
+        /// Rows inserted/updated/deleted.
+        affected: u64,
+    },
+    /// Current table version (`VERSION` extension).
+    Version(u64),
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Word(String),
+    Str(String),
+    Number(String),
+    Symbol(char),
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' => {
+                chars.next();
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            // '' is an escaped quote.
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c),
+                        None => return Err(JanusError::db("unterminated string literal")),
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '(' | ')' | ',' | '=' | '*' | ';' => {
+                chars.next();
+                if c != ';' {
+                    tokens.push(Token::Symbol(c));
+                }
+            }
+            '0'..='9' | '.' => {
+                let mut n = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() || c == '.' {
+                        n.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut w = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        w.push(c.to_ascii_lowercase());
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Word(w));
+            }
+            other => {
+                return Err(JanusError::db(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+// ---------------------------------------------------------------------
+// Fixed-point decimal helpers (shared with the wire protocol)
+// ---------------------------------------------------------------------
+
+/// Parse a decimal credit literal ("100", "0.5", "42.000001") into
+/// microcredits.
+pub fn parse_decimal_micro(s: &str) -> Result<u64> {
+    let (int_part, frac_part) = match s.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (s, ""),
+    };
+    if int_part.is_empty() && frac_part.is_empty() {
+        return Err(JanusError::db(format!("bad number {s:?}")));
+    }
+    if frac_part.len() > 6 {
+        return Err(JanusError::db(format!(
+            "number {s:?} exceeds 6 fractional digits"
+        )));
+    }
+    let int: u64 = if int_part.is_empty() {
+        0
+    } else {
+        int_part
+            .parse()
+            .map_err(|_| JanusError::db(format!("bad number {s:?}")))?
+    };
+    let frac: u64 = if frac_part.is_empty() {
+        0
+    } else {
+        let padded = format!("{frac_part:0<6}");
+        padded
+            .parse()
+            .map_err(|_| JanusError::db(format!("bad number {s:?}")))?
+    };
+    int.checked_mul(1_000_000)
+        .and_then(|i| i.checked_add(frac))
+        .ok_or_else(|| JanusError::db(format!("number {s:?} out of range")))
+}
+
+/// Exact decimal rendering of a microcredit amount (inverse of
+/// [`parse_decimal_micro`]).
+pub fn format_micro(micro: u64) -> String {
+    let int = micro / 1_000_000;
+    let frac = micro % 1_000_000;
+    if frac == 0 {
+        int.to_string()
+    } else {
+        let mut s = format!("{int}.{frac:06}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        s
+    }
+}
+
+// ---------------------------------------------------------------------
+// Parser / executor
+// ---------------------------------------------------------------------
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<()> {
+        match self.next() {
+            Some(Token::Word(w)) if w == word => Ok(()),
+            other => Err(JanusError::db(format!("expected {word:?}, got {other:?}"))),
+        }
+    }
+
+    fn expect_symbol(&mut self, sym: char) -> Result<()> {
+        match self.next() {
+            Some(Token::Symbol(s)) if s == sym => Ok(()),
+            other => Err(JanusError::db(format!("expected {sym:?}, got {other:?}"))),
+        }
+    }
+
+    fn word(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Word(w)) => Ok(w),
+            other => Err(JanusError::db(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Str(s)) => Ok(s),
+            other => Err(JanusError::db(format!("expected string, got {other:?}"))),
+        }
+    }
+
+    fn number_micro(&mut self) -> Result<u64> {
+        match self.next() {
+            Some(Token::Number(n)) => parse_decimal_micro(&n),
+            other => Err(JanusError::db(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    fn at_end(&self) -> Result<()> {
+        if self.pos == self.tokens.len() {
+            Ok(())
+        } else {
+            Err(JanusError::db(format!(
+                "trailing tokens: {:?}",
+                &self.tokens[self.pos..]
+            )))
+        }
+    }
+
+    /// `WHERE qos_key = '<key>'`
+    fn where_key(&mut self) -> Result<QosKey> {
+        self.expect_word("where")?;
+        let column = self.word()?;
+        if column != "qos_key" {
+            return Err(JanusError::db(format!(
+                "only qos_key predicates are supported, got {column:?}"
+            )));
+        }
+        self.expect_symbol('=')?;
+        let key = self.string()?;
+        QosKey::new(&key).map_err(|e| JanusError::db(format!("bad key: {e}")))
+    }
+}
+
+/// Parse and execute one statement against `engine`.
+pub fn execute(engine: &RulesEngine, query: &str) -> Result<SqlResponse> {
+    let mut p = Parser {
+        tokens: tokenize(query)?,
+        pos: 0,
+    };
+    let head = p.word()?;
+    match head.as_str() {
+        "select" => execute_select(engine, &mut p),
+        "insert" => execute_insert(engine, &mut p),
+        "update" => execute_update(engine, &mut p),
+        "delete" => execute_delete(engine, &mut p),
+        "version" => {
+            p.at_end()?;
+            Ok(SqlResponse::Version(engine.version()))
+        }
+        other => Err(JanusError::db(format!("unsupported statement {other:?}"))),
+    }
+}
+
+fn expect_table(p: &mut Parser) -> Result<()> {
+    let table = p.word()?;
+    if table != "qos_rules" {
+        return Err(JanusError::db(format!("unknown table {table:?}")));
+    }
+    Ok(())
+}
+
+fn execute_select(engine: &RulesEngine, p: &mut Parser) -> Result<SqlResponse> {
+    match p.next() {
+        Some(Token::Symbol('*')) => {
+            p.expect_word("from")?;
+            expect_table(p)?;
+            if p.peek().is_none() {
+                return Ok(SqlResponse::Rows(engine.all()));
+            }
+            let key = p.where_key()?;
+            p.at_end()?;
+            Ok(SqlResponse::Rows(engine.get(&key).into_iter().collect()))
+        }
+        Some(Token::Word(w)) if w == "count" => {
+            p.expect_symbol('(')?;
+            p.expect_symbol('*')?;
+            p.expect_symbol(')')?;
+            p.expect_word("from")?;
+            expect_table(p)?;
+            p.at_end()?;
+            Ok(SqlResponse::Count(engine.count() as u64))
+        }
+        other => Err(JanusError::db(format!(
+            "expected * or COUNT(*), got {other:?}"
+        ))),
+    }
+}
+
+fn execute_insert(engine: &RulesEngine, p: &mut Parser) -> Result<SqlResponse> {
+    p.expect_word("into")?;
+    expect_table(p)?;
+    p.expect_symbol('(')?;
+    let mut columns = Vec::new();
+    loop {
+        columns.push(p.word()?);
+        match p.next() {
+            Some(Token::Symbol(',')) => continue,
+            Some(Token::Symbol(')')) => break,
+            other => return Err(JanusError::db(format!("bad column list at {other:?}"))),
+        }
+    }
+    p.expect_word("values")?;
+    p.expect_symbol('(')?;
+    let mut values: Vec<Token> = Vec::new();
+    loop {
+        match p.next() {
+            Some(t @ (Token::Str(_) | Token::Number(_))) => values.push(t),
+            other => return Err(JanusError::db(format!("bad value at {other:?}"))),
+        }
+        match p.next() {
+            Some(Token::Symbol(',')) => continue,
+            Some(Token::Symbol(')')) => break,
+            other => return Err(JanusError::db(format!("bad value list at {other:?}"))),
+        }
+    }
+    p.at_end()?;
+    if columns.len() != values.len() {
+        return Err(JanusError::db(format!(
+            "{} columns but {} values",
+            columns.len(),
+            values.len()
+        )));
+    }
+
+    let (mut key, mut rate, mut capacity, mut credit) = (None, None, None, None);
+    for (column, value) in columns.iter().zip(values) {
+        match (column.as_str(), value) {
+            ("qos_key", Token::Str(s)) => {
+                key = Some(QosKey::new(&s).map_err(|e| JanusError::db(format!("bad key: {e}")))?)
+            }
+            ("refill_rate", Token::Number(n)) => rate = Some(parse_decimal_micro(&n)?),
+            ("capacity", Token::Number(n)) => capacity = Some(parse_decimal_micro(&n)?),
+            ("credit", Token::Number(n)) => credit = Some(parse_decimal_micro(&n)?),
+            (col, val) => {
+                return Err(JanusError::db(format!("bad column/value pair {col:?} {val:?}")))
+            }
+        }
+    }
+    let key = key.ok_or_else(|| JanusError::db("INSERT missing qos_key"))?;
+    let capacity =
+        Credits::from_micro(capacity.ok_or_else(|| JanusError::db("INSERT missing capacity"))?);
+    let rate = RefillRate::from_micro_per_sec(
+        rate.ok_or_else(|| JanusError::db("INSERT missing refill_rate"))?,
+    );
+    let rule = QosRule {
+        key,
+        capacity,
+        refill_rate: rate,
+        // A freshly inserted rule starts with a full bucket unless credit
+        // was given explicitly.
+        credit: credit.map(Credits::from_micro).unwrap_or(capacity),
+    };
+    engine.put(rule);
+    Ok(SqlResponse::Ok { affected: 1 })
+}
+
+fn execute_update(engine: &RulesEngine, p: &mut Parser) -> Result<SqlResponse> {
+    expect_table(p)?;
+    p.expect_word("set")?;
+    let mut assignments: Vec<(String, u64)> = Vec::new();
+    loop {
+        let column = p.word()?;
+        p.expect_symbol('=')?;
+        let micro = p.number_micro()?;
+        assignments.push((column, micro));
+        match p.peek() {
+            Some(Token::Symbol(',')) => {
+                p.next();
+            }
+            _ => break,
+        }
+    }
+    let key = p.where_key()?;
+    p.at_end()?;
+
+    let Some(mut rule) = engine.get(&key) else {
+        return Ok(SqlResponse::Ok { affected: 0 });
+    };
+    let mut credit_only = true;
+    for (column, micro) in &assignments {
+        match column.as_str() {
+            "credit" => rule.credit = Credits::from_micro(*micro),
+            "capacity" => {
+                rule.capacity = Credits::from_micro(*micro);
+                credit_only = false;
+            }
+            "refill_rate" => {
+                rule.refill_rate = RefillRate::from_micro_per_sec(*micro);
+                credit_only = false;
+            }
+            other => return Err(JanusError::db(format!("unknown column {other:?}"))),
+        }
+    }
+    if credit_only {
+        // Checkpoint path: do not bump the table version.
+        engine.checkpoint_credit(&key, rule.credit);
+    } else {
+        engine.put(rule);
+    }
+    Ok(SqlResponse::Ok { affected: 1 })
+}
+
+fn execute_delete(engine: &RulesEngine, p: &mut Parser) -> Result<SqlResponse> {
+    p.expect_word("from")?;
+    expect_table(p)?;
+    let key = p.where_key()?;
+    p.at_end()?;
+    let affected = u64::from(engine.delete(&key));
+    Ok(SqlResponse::Ok { affected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with(rules: &[(&str, u64, u64)]) -> RulesEngine {
+        let engine = RulesEngine::new();
+        for (key, cap, rate) in rules {
+            engine.put(QosRule::per_second(QosKey::new(*key).unwrap(), *cap, *rate));
+        }
+        engine
+    }
+
+    #[test]
+    fn select_all() {
+        let engine = engine_with(&[("a", 1, 1), ("b", 2, 2)]);
+        match execute(&engine, "SELECT * FROM qos_rules").unwrap() {
+            SqlResponse::Rows(rows) => {
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[0].key.as_str(), "a");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_by_key() {
+        let engine = engine_with(&[("alice", 1000, 100)]);
+        let resp = execute(&engine, "SELECT * FROM qos_rules WHERE qos_key = 'alice'").unwrap();
+        match resp {
+            SqlResponse::Rows(rows) => {
+                assert_eq!(rows.len(), 1);
+                assert_eq!(rows[0].capacity, Credits::from_whole(1000));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let resp = execute(&engine, "SELECT * FROM qos_rules WHERE qos_key = 'ghost'").unwrap();
+        assert_eq!(resp, SqlResponse::Rows(vec![]));
+    }
+
+    #[test]
+    fn select_count() {
+        let engine = engine_with(&[("a", 1, 1), ("b", 1, 1), ("c", 1, 1)]);
+        assert_eq!(
+            execute(&engine, "SELECT COUNT(*) FROM qos_rules").unwrap(),
+            SqlResponse::Count(3)
+        );
+    }
+
+    #[test]
+    fn insert_with_all_columns() {
+        let engine = RulesEngine::new();
+        let resp = execute(
+            &engine,
+            "INSERT INTO qos_rules (qos_key, refill_rate, capacity, credit) \
+             VALUES ('alice', 100, 1000, 500)",
+        )
+        .unwrap();
+        assert_eq!(resp, SqlResponse::Ok { affected: 1 });
+        let rule = engine.get(&QosKey::new("alice").unwrap()).unwrap();
+        assert_eq!(rule.refill_rate, RefillRate::per_second(100));
+        assert_eq!(rule.capacity, Credits::from_whole(1000));
+        assert_eq!(rule.credit, Credits::from_whole(500));
+    }
+
+    #[test]
+    fn insert_defaults_credit_to_capacity() {
+        let engine = RulesEngine::new();
+        execute(
+            &engine,
+            "INSERT INTO qos_rules (qos_key, refill_rate, capacity) VALUES ('bob', 10, 100)",
+        )
+        .unwrap();
+        let rule = engine.get(&QosKey::new("bob").unwrap()).unwrap();
+        assert_eq!(rule.credit, rule.capacity);
+    }
+
+    #[test]
+    fn insert_column_order_is_flexible() {
+        let engine = RulesEngine::new();
+        execute(
+            &engine,
+            "INSERT INTO qos_rules (capacity, qos_key, refill_rate) VALUES (7, 'c', 3)",
+        )
+        .unwrap();
+        let rule = engine.get(&QosKey::new("c").unwrap()).unwrap();
+        assert_eq!(rule.capacity, Credits::from_whole(7));
+        assert_eq!(rule.refill_rate, RefillRate::per_second(3));
+    }
+
+    #[test]
+    fn fractional_rates_parse_exactly() {
+        let engine = RulesEngine::new();
+        execute(
+            &engine,
+            "INSERT INTO qos_rules (qos_key, refill_rate, capacity) VALUES ('slow', 0.5, 1)",
+        )
+        .unwrap();
+        let rule = engine.get(&QosKey::new("slow").unwrap()).unwrap();
+        assert_eq!(rule.refill_rate, RefillRate::from_micro_per_sec(500_000));
+    }
+
+    #[test]
+    fn update_credit_is_checkpoint() {
+        let engine = engine_with(&[("alice", 1000, 100)]);
+        let v = engine.version();
+        execute(
+            &engine,
+            "UPDATE qos_rules SET credit = 42 WHERE qos_key = 'alice'",
+        )
+        .unwrap();
+        assert_eq!(
+            engine.get(&QosKey::new("alice").unwrap()).unwrap().credit,
+            Credits::from_whole(42)
+        );
+        assert_eq!(engine.version(), v, "credit-only update bumped version");
+    }
+
+    #[test]
+    fn update_rule_shape_bumps_version() {
+        let engine = engine_with(&[("alice", 1000, 100)]);
+        let v = engine.version();
+        execute(
+            &engine,
+            "UPDATE qos_rules SET refill_rate = 10, capacity = 100 WHERE qos_key = 'alice'",
+        )
+        .unwrap();
+        let rule = engine.get(&QosKey::new("alice").unwrap()).unwrap();
+        assert_eq!(rule.refill_rate, RefillRate::per_second(10));
+        assert_eq!(rule.capacity, Credits::from_whole(100));
+        assert!(engine.version() > v);
+    }
+
+    #[test]
+    fn update_missing_key_affects_zero() {
+        let engine = RulesEngine::new();
+        assert_eq!(
+            execute(&engine, "UPDATE qos_rules SET credit = 1 WHERE qos_key = 'x'").unwrap(),
+            SqlResponse::Ok { affected: 0 }
+        );
+    }
+
+    #[test]
+    fn delete_row() {
+        let engine = engine_with(&[("alice", 1, 1)]);
+        assert_eq!(
+            execute(&engine, "DELETE FROM qos_rules WHERE qos_key = 'alice'").unwrap(),
+            SqlResponse::Ok { affected: 1 }
+        );
+        assert_eq!(
+            execute(&engine, "DELETE FROM qos_rules WHERE qos_key = 'alice'").unwrap(),
+            SqlResponse::Ok { affected: 0 }
+        );
+    }
+
+    #[test]
+    fn version_statement() {
+        let engine = RulesEngine::new();
+        let SqlResponse::Version(v0) = execute(&engine, "VERSION").unwrap() else {
+            panic!();
+        };
+        engine.put(QosRule::per_second(QosKey::new("a").unwrap(), 1, 1));
+        let SqlResponse::Version(v1) = execute(&engine, "VERSION").unwrap() else {
+            panic!();
+        };
+        assert!(v1 > v0);
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let engine = engine_with(&[("a", 1, 1)]);
+        assert!(execute(&engine, "select * from qos_rules").is_ok());
+        assert!(execute(&engine, "SeLeCt CoUnT(*) FrOm QOS_RULES").is_ok());
+    }
+
+    #[test]
+    fn quoted_key_with_escaped_quote() {
+        let engine = RulesEngine::new();
+        execute(
+            &engine,
+            "INSERT INTO qos_rules (qos_key, refill_rate, capacity) VALUES ('o''brien', 1, 1)",
+        )
+        .unwrap();
+        assert!(engine.get(&QosKey::new("o'brien").unwrap()).is_some());
+    }
+
+    #[test]
+    fn trailing_semicolon_tolerated() {
+        let engine = engine_with(&[("a", 1, 1)]);
+        assert!(execute(&engine, "SELECT * FROM qos_rules;").is_ok());
+    }
+
+    #[test]
+    fn rejects_malformed_statements() {
+        let engine = RulesEngine::new();
+        for bad in [
+            "",
+            "DROP TABLE qos_rules",
+            "SELECT * FROM users",
+            "SELECT key FROM qos_rules",
+            "INSERT INTO qos_rules (qos_key) VALUES ()",
+            "INSERT INTO qos_rules (qos_key, refill_rate, capacity) VALUES (1, 'x', 2)",
+            "UPDATE qos_rules SET credit = 'abc' WHERE qos_key = 'a'",
+            "UPDATE qos_rules SET nonsense = 1 WHERE qos_key = 'a'",
+            "DELETE FROM qos_rules",
+            "SELECT * FROM qos_rules WHERE credit = 1",
+            "SELECT * FROM qos_rules WHERE qos_key = 'unterminated",
+            "VERSION 2",
+            "SELECT * FROM qos_rules trailing garbage",
+        ] {
+            // Note: `UPDATE ... SET nonsense` only fails if the key exists;
+            // use a populated engine for that one.
+            let engine2 = engine_with(&[("a", 1, 1)]);
+            assert!(
+                execute(&engine, bad).is_err() || execute(&engine2, bad).is_err(),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_fuzzed_input() {
+        // Cheap fuzz: byte mutations of a valid statement.
+        let engine = engine_with(&[("a", 1, 1)]);
+        let base = "INSERT INTO qos_rules (qos_key, refill_rate, capacity) VALUES ('k', 1, 2)";
+        for i in 0..base.len() {
+            for c in ['(', ')', '\'', ',', '=', '*', 'x', '9', ' '] {
+                let mut s = base.to_string();
+                s.replace_range(i..i + 1, &c.to_string());
+                let _ = execute(&engine, &s);
+            }
+        }
+    }
+
+    #[test]
+    fn decimal_roundtrip() {
+        for micro in [0u64, 1, 999_999, 1_000_000, 1_500_000, 42_000_001] {
+            let s = format_micro(micro);
+            assert_eq!(parse_decimal_micro(&s).unwrap(), micro, "via {s}");
+        }
+        assert_eq!(format_micro(1_500_000), "1.5");
+        assert_eq!(format_micro(2_000_000), "2");
+        assert!(parse_decimal_micro("1.0000001").is_err());
+        assert!(parse_decimal_micro("").is_err());
+        assert!(parse_decimal_micro(".").is_err());
+        assert_eq!(parse_decimal_micro(".5").unwrap(), 500_000);
+        assert_eq!(parse_decimal_micro("5.").unwrap(), 5_000_000);
+    }
+}

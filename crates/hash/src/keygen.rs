@@ -1,0 +1,267 @@
+//! Generators for the paper's four QoS-key families (Fig. 6).
+//!
+//! The key-pressure study simulates four kinds of key:
+//!
+//! 1. randomly generated UUIDs in `xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx`
+//!    format,
+//! 2. randomly generated date-time strings in `YYYY-MM-DD-HH-MM-SS` format,
+//! 3. unique words from the English vocabulary, and
+//! 4. sequential numbers starting from 1500000001.
+//!
+//! The English vocabulary is the one substitution: we do not ship a 500 k
+//! word dictionary, so family (3) synthesizes unique English-like words as
+//! `prefix + root + suffix` over embedded morpheme lists (≈1.3 M distinct
+//! combinations). The property that matters for the study — natural-language
+//! keys of varying length drawn from a skewed alphabet, unlike hex or
+//! digits — is preserved.
+
+use janus_types::QosKey;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The four key families of the paper's Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KeyFamily {
+    /// `xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx`, random hex.
+    Uuid,
+    /// `YYYY-MM-DD-HH-MM-SS`, random instants in 2000–2037.
+    Timestamp,
+    /// Unique English-like vocabulary words.
+    EnglishVocabulary,
+    /// Sequential integers from 1500000001 (the paper's exact range).
+    SequentialNumbers,
+}
+
+impl KeyFamily {
+    /// All four families, in the paper's order.
+    pub const ALL: [KeyFamily; 4] = [
+        KeyFamily::Uuid,
+        KeyFamily::Timestamp,
+        KeyFamily::EnglishVocabulary,
+        KeyFamily::SequentialNumbers,
+    ];
+
+    /// Human-readable label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            KeyFamily::Uuid => "UUID",
+            KeyFamily::Timestamp => "TimeStamp",
+            KeyFamily::EnglishVocabulary => "English Vocabulary",
+            KeyFamily::SequentialNumbers => "Sequential Numbers",
+        }
+    }
+}
+
+/// First value of the paper's sequential-number family.
+pub const SEQUENTIAL_START: u64 = 1_500_000_001;
+
+const PREFIXES: &[&str] = &[
+    "", "un", "re", "in", "dis", "en", "non", "over", "mis", "sub", "pre", "inter", "fore",
+    "de", "trans", "super", "semi", "anti", "mid", "under", "out", "co", "auto", "bi",
+];
+
+const ROOTS: &[&str] = &[
+    "act", "form", "port", "struct", "dict", "duc", "grad", "ject", "log", "man", "mit",
+    "path", "ped", "pel", "pend", "phon", "photo", "scrib", "sect", "sent", "spect", "tain",
+    "tend", "tract", "vent", "vert", "vid", "voc", "graph", "meter", "cede", "claim", "clud",
+    "cred", "cycl", "fer", "flect", "gen", "loc", "mort", "nov", "rupt", "sign", "sol",
+    "spir", "tact", "therm", "turb", "vac", "ver", "light", "water", "earth", "wind", "fire",
+    "stone", "wood", "iron", "gold", "silver", "cloud", "rain", "snow", "storm", "river",
+];
+
+const SUFFIXES: &[&str] = &[
+    "", "s", "ed", "ing", "ly", "er", "ion", "able", "al", "ful", "ic", "ive", "less",
+    "ment", "ness", "ous", "est", "ish", "ism", "ist", "ity", "ize", "ward", "wise",
+];
+
+/// Deterministic generator of QoS keys from one [`KeyFamily`].
+///
+/// The same `(family, seed)` pair always yields the same key sequence, so
+/// figure harnesses and tests are reproducible. Sequential and vocabulary
+/// families enumerate without repetition; UUID and timestamp families draw
+/// randomly (collisions are possible but astronomically rare for UUIDs and
+/// harmless for the study).
+#[derive(Debug, Clone)]
+pub struct KeyGenerator {
+    family: KeyFamily,
+    rng: StdRng,
+    counter: u64,
+}
+
+impl KeyGenerator {
+    /// A generator for `family`, deterministic in `seed`.
+    pub fn new(family: KeyFamily, seed: u64) -> Self {
+        KeyGenerator {
+            family,
+            rng: StdRng::seed_from_u64(seed ^ family as u64),
+            counter: 0,
+        }
+    }
+
+    /// The family this generator draws from.
+    pub fn family(&self) -> KeyFamily {
+        self.family
+    }
+
+    /// Produce the next key.
+    pub fn next_key(&mut self) -> QosKey {
+        let s = self.next_string();
+        QosKey::new(&s).expect("generated keys are always valid")
+    }
+
+    /// Produce the next key as a plain string (simulator hot path).
+    pub fn next_string(&mut self) -> String {
+        let n = self.counter;
+        self.counter += 1;
+        match self.family {
+            KeyFamily::Uuid => {
+                let (a, b) = (self.rng.gen::<u64>(), self.rng.gen::<u64>());
+                format!(
+                    "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
+                    (a >> 32) as u32,
+                    (a >> 16) as u16,
+                    a as u16,
+                    (b >> 48) as u16,
+                    b & 0xFFFF_FFFF_FFFF
+                )
+            }
+            KeyFamily::Timestamp => {
+                let year = self.rng.gen_range(2000..2038);
+                let month = self.rng.gen_range(1..=12);
+                let day = self.rng.gen_range(1..=28);
+                let hour = self.rng.gen_range(0..24);
+                let min = self.rng.gen_range(0..60);
+                let sec = self.rng.gen_range(0..60);
+                format!("{year:04}-{month:02}-{day:02}-{hour:02}-{min:02}-{sec:02}")
+            }
+            KeyFamily::EnglishVocabulary => {
+                // Enumerate the prefix x root x suffix cross-product in an
+                // order that mixes all three positions early, then extend
+                // with a numeric generation counter once exhausted.
+                let total = (PREFIXES.len() * ROOTS.len() * SUFFIXES.len()) as u64;
+                let idx = n % total;
+                let generation = n / total;
+                let p = PREFIXES[(idx % PREFIXES.len() as u64) as usize];
+                let r = ROOTS[((idx / PREFIXES.len() as u64) % ROOTS.len() as u64) as usize];
+                let s = SUFFIXES
+                    [((idx / (PREFIXES.len() * ROOTS.len()) as u64) % SUFFIXES.len() as u64)
+                        as usize];
+                if generation == 0 {
+                    format!("{p}{r}{s}")
+                } else {
+                    format!("{p}{r}{s}{generation}")
+                }
+            }
+            KeyFamily::SequentialNumbers => (SEQUENTIAL_START + n).to_string(),
+        }
+    }
+
+    /// Generate `count` keys.
+    pub fn take_keys(&mut self, count: usize) -> Vec<QosKey> {
+        (0..count).map(|_| self.next_key()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn uuid_format() {
+        let mut gen = KeyGenerator::new(KeyFamily::Uuid, 1);
+        for _ in 0..100 {
+            let k = gen.next_string();
+            assert_eq!(k.len(), 36);
+            let dash_positions: Vec<_> =
+                k.char_indices().filter(|(_, c)| *c == '-').map(|(i, _)| i).collect();
+            assert_eq!(dash_positions, vec![8, 13, 18, 23]);
+            assert!(k
+                .chars()
+                .all(|c| c == '-' || c.is_ascii_hexdigit()));
+        }
+    }
+
+    #[test]
+    fn timestamp_format() {
+        let mut gen = KeyGenerator::new(KeyFamily::Timestamp, 2);
+        for _ in 0..100 {
+            let k = gen.next_string();
+            assert_eq!(k.len(), 19, "bad timestamp {k}");
+            let parts: Vec<_> = k.split('-').collect();
+            assert_eq!(parts.len(), 6);
+            let year: u32 = parts[0].parse().unwrap();
+            let month: u32 = parts[1].parse().unwrap();
+            let day: u32 = parts[2].parse().unwrap();
+            let hour: u32 = parts[3].parse().unwrap();
+            assert!((2000..2038).contains(&year));
+            assert!((1..=12).contains(&month));
+            assert!((1..=28).contains(&day));
+            assert!(hour < 24);
+        }
+    }
+
+    #[test]
+    fn sequential_matches_paper_range() {
+        let mut gen = KeyGenerator::new(KeyFamily::SequentialNumbers, 0);
+        assert_eq!(gen.next_string(), "1500000001");
+        assert_eq!(gen.next_string(), "1500000002");
+        // 500,000th key is 1500500000, exactly the paper's end of range.
+        let mut gen = KeyGenerator::new(KeyFamily::SequentialNumbers, 0);
+        let last = (0..500_000).map(|_| gen.next_string()).last().unwrap();
+        assert_eq!(last, "1500500000");
+    }
+
+    #[test]
+    fn english_words_look_like_words() {
+        let mut gen = KeyGenerator::new(KeyFamily::EnglishVocabulary, 0);
+        for _ in 0..1000 {
+            let k = gen.next_string();
+            assert!(!k.is_empty());
+            assert!(k.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+        }
+    }
+
+    #[test]
+    fn english_words_unique_at_study_scale() {
+        let mut gen = KeyGenerator::new(KeyFamily::EnglishVocabulary, 0);
+        let mut seen = HashSet::new();
+        for _ in 0..500_000 {
+            assert!(seen.insert(gen.next_string()), "duplicate vocabulary key");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_same_seed() {
+        for family in KeyFamily::ALL {
+            let a: Vec<_> = KeyGenerator::new(family, 42).take_keys(50);
+            let b: Vec<_> = KeyGenerator::new(family, 42).take_keys(50);
+            assert_eq!(a, b, "family {family:?} not deterministic");
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_for_random_families() {
+        for family in [KeyFamily::Uuid, KeyFamily::Timestamp] {
+            let a: Vec<_> = KeyGenerator::new(family, 1).take_keys(10);
+            let b: Vec<_> = KeyGenerator::new(family, 2).take_keys(10);
+            assert_ne!(a, b, "family {family:?} ignored the seed");
+        }
+    }
+
+    #[test]
+    fn uuids_unique_at_study_scale() {
+        let mut gen = KeyGenerator::new(KeyFamily::Uuid, 7);
+        let mut seen = HashSet::new();
+        for _ in 0..100_000 {
+            assert!(seen.insert(gen.next_string()), "UUID collision");
+        }
+    }
+
+    #[test]
+    fn labels_match_figure_legend() {
+        assert_eq!(KeyFamily::Uuid.label(), "UUID");
+        assert_eq!(KeyFamily::SequentialNumbers.label(), "Sequential Numbers");
+    }
+}

@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+//! Request-routing hash layer for Janus.
+//!
+//! The request router segregates QoS requests into independent partitions:
+//! `server = CRC32(key) mod N` (paper, Fig. 2). This crate provides:
+//!
+//! * [`crc32`](mod@crc32) — the 32-bit IEEE cyclic redundancy checksum, implemented
+//!   from scratch (bitwise reference, Sarwate table, and slicing-by-8 for
+//!   the hot path).
+//! * [`routing`] — the mod-N partitioner used by the router layer, plus a
+//!   consistent-hash ring as the natural extension for resizable QoS
+//!   server fleets (§IV of DESIGN.md, ablation 5).
+//! * [`keygen`] — generators for the four key families of the paper's
+//!   key-pressure study (Fig. 6): random UUIDs, date-time strings, English
+//!   vocabulary words, and sequential numbers.
+//! * [`pressure`] — the key-pressure analysis itself: the fraction of the
+//!   key population each QoS server receives.
+
+pub mod crc32;
+pub mod keygen;
+pub mod pressure;
+pub mod routing;
+
+pub use crc32::{crc32, Crc32};
+pub use keygen::{KeyFamily, KeyGenerator};
+pub use pressure::{KeyPressure, PressureReport};
+pub use routing::{ConsistentRing, ModuloRouter, RouteTarget, Router};

@@ -1,0 +1,257 @@
+//! Back-end selection: which QoS server owns a key.
+//!
+//! The paper's algorithm (Fig. 2): `seed = CRC32(QoS key); n = mod(seed, N)`.
+//! With a fixed number of QoS servers, requests with the same key are always
+//! routed to the same server regardless of which router node computes the
+//! hash — that is what makes the QoS-server layer a set of *independent*
+//! partitions with no cross-node communication.
+//!
+//! [`ModuloRouter`] is that algorithm. [`ConsistentRing`] is the natural
+//! extension for fleets whose size changes: it bounds the fraction of keys
+//! that move when a server is added or removed, at the cost of slightly
+//! less uniform spread. The paper keeps N fixed (failed servers are
+//! *replaced*, not removed), so `ModuloRouter` is what the production path
+//! uses.
+
+use crate::crc32::crc32;
+use janus_types::QosKey;
+
+/// Index of a QoS server within the back-end fleet.
+pub type RouteTarget = usize;
+
+/// Anything that can map a QoS key to a back-end server index.
+pub trait Router: Send + Sync {
+    /// Number of back-end servers.
+    fn backends(&self) -> usize;
+
+    /// The server that owns `key`. Guaranteed `< backends()`.
+    fn route(&self, key: &QosKey) -> RouteTarget;
+}
+
+/// The paper's `CRC32(key) mod N` partitioner.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuloRouter {
+    backends: usize,
+}
+
+impl ModuloRouter {
+    /// A router over `backends` QoS servers.
+    ///
+    /// # Panics
+    /// Panics if `backends` is zero — a Janus deployment always has at
+    /// least one QoS server.
+    pub fn new(backends: usize) -> Self {
+        assert!(backends > 0, "router needs at least one backend");
+        ModuloRouter { backends }
+    }
+
+    /// Route raw key bytes (used by the simulator, which skips `QosKey`
+    /// construction on its hot path).
+    pub fn route_bytes(&self, key: &[u8]) -> RouteTarget {
+        (crc32(key) as usize) % self.backends
+    }
+}
+
+impl Router for ModuloRouter {
+    fn backends(&self) -> usize {
+        self.backends
+    }
+
+    fn route(&self, key: &QosKey) -> RouteTarget {
+        self.route_bytes(key.as_bytes())
+    }
+}
+
+/// A consistent-hash ring with virtual nodes.
+///
+/// Each backend is placed on the ring at `vnodes` pseudo-random positions
+/// (derived by hashing `backend_index:replica_index`); a key belongs to the
+/// first backend clockwise from its hash. Adding or removing one backend
+/// only remaps the keys in the arcs it owned (~`1/N` of the key space)
+/// instead of the ~`(N-1)/N` a modulo router remaps.
+#[derive(Debug, Clone)]
+pub struct ConsistentRing {
+    /// Ring points sorted by position: `(position, backend)`.
+    points: Vec<(u32, RouteTarget)>,
+    backends: usize,
+}
+
+impl ConsistentRing {
+    /// Default virtual-node count: enough for <10% load imbalance at
+    /// typical fleet sizes.
+    pub const DEFAULT_VNODES: usize = 128;
+
+    /// Ring over `backends` servers with [`Self::DEFAULT_VNODES`] virtual
+    /// nodes each.
+    pub fn new(backends: usize) -> Self {
+        Self::with_vnodes(backends, Self::DEFAULT_VNODES)
+    }
+
+    /// Ring with an explicit virtual-node count per backend.
+    ///
+    /// # Panics
+    /// Panics if `backends` or `vnodes` is zero.
+    pub fn with_vnodes(backends: usize, vnodes: usize) -> Self {
+        assert!(backends > 0, "ring needs at least one backend");
+        assert!(vnodes > 0, "ring needs at least one vnode per backend");
+        let mut points = Vec::with_capacity(backends * vnodes);
+        for backend in 0..backends {
+            for replica in 0..vnodes {
+                let label = format!("{backend}:{replica}");
+                points.push((crc32(label.as_bytes()), backend));
+            }
+        }
+        // Ties (two labels hashing to the same u32) are broken by backend
+        // index so the ring is deterministic regardless of insert order.
+        points.sort_unstable();
+        ConsistentRing { points, backends }
+    }
+
+    /// The ring position a key hashes to (exposed for tests/analysis).
+    pub fn position_of(&self, key: &QosKey) -> u32 {
+        crc32(key.as_bytes())
+    }
+}
+
+impl Router for ConsistentRing {
+    fn backends(&self) -> usize {
+        self.backends
+    }
+
+    fn route(&self, key: &QosKey) -> RouteTarget {
+        let pos = crc32(key.as_bytes());
+        // First point at or after `pos`, wrapping to the start.
+        let idx = self.points.partition_point(|&(p, _)| p < pos);
+        let (_, backend) = self.points[idx % self.points.len()];
+        backend
+    }
+}
+
+/// Fraction of `keys` whose route changes when the fleet grows from
+/// `router_a.backends()` to `router_b.backends()` servers. Used by the
+/// routing ablation bench to contrast modulo vs consistent hashing.
+pub fn remap_fraction<R: Router>(router_a: &R, router_b: &R, keys: &[QosKey]) -> f64 {
+    if keys.is_empty() {
+        return 0.0;
+    }
+    let moved = keys
+        .iter()
+        .filter(|k| router_a.route(k) != router_b.route(k))
+        .count();
+    moved as f64 / keys.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keygen::{KeyFamily, KeyGenerator};
+
+    fn key(s: &str) -> QosKey {
+        QosKey::new(s).unwrap()
+    }
+
+    #[test]
+    fn modulo_route_matches_formula() {
+        let router = ModuloRouter::new(20);
+        let k = key("alice");
+        assert_eq!(router.route(&k), (crc32(b"alice") as usize) % 20);
+    }
+
+    #[test]
+    fn modulo_is_deterministic_across_instances() {
+        // Two router *nodes* must agree: same key -> same QoS server.
+        let a = ModuloRouter::new(7);
+        let b = ModuloRouter::new(7);
+        for s in ["u1", "u2", "10.1.2.3", "x:y"] {
+            assert_eq!(a.route(&key(s)), b.route(&key(s)));
+        }
+    }
+
+    #[test]
+    fn modulo_target_in_range() {
+        let router = ModuloRouter::new(3);
+        let mut gen = KeyGenerator::new(KeyFamily::Uuid, 42);
+        for _ in 0..1000 {
+            assert!(router.route(&gen.next_key()) < 3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one backend")]
+    fn zero_backends_panics() {
+        ModuloRouter::new(0);
+    }
+
+    #[test]
+    fn single_backend_gets_everything() {
+        let router = ModuloRouter::new(1);
+        assert_eq!(router.route(&key("anything")), 0);
+    }
+
+    #[test]
+    fn ring_target_in_range() {
+        let ring = ConsistentRing::new(5);
+        let mut gen = KeyGenerator::new(KeyFamily::Timestamp, 1);
+        for _ in 0..1000 {
+            assert!(ring.route(&gen.next_key()) < 5);
+        }
+    }
+
+    #[test]
+    fn ring_is_deterministic() {
+        let a = ConsistentRing::new(9);
+        let b = ConsistentRing::new(9);
+        let mut gen = KeyGenerator::new(KeyFamily::Uuid, 7);
+        for _ in 0..500 {
+            let k = gen.next_key();
+            assert_eq!(a.route(&k), b.route(&k));
+        }
+    }
+
+    #[test]
+    fn ring_spread_is_reasonable() {
+        let ring = ConsistentRing::new(10);
+        let mut counts = [0usize; 10];
+        let mut gen = KeyGenerator::new(KeyFamily::Uuid, 99);
+        let n = 50_000;
+        for _ in 0..n {
+            counts[ring.route(&gen.next_key())] += 1;
+        }
+        let expected = n / 10;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                c > expected / 2 && c < expected * 2,
+                "backend {i} got {c} of {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn modulo_remaps_most_keys_on_resize() {
+        let before = ModuloRouter::new(10);
+        let after = ModuloRouter::new(11);
+        let mut gen = KeyGenerator::new(KeyFamily::Uuid, 3);
+        let keys: Vec<_> = (0..5000).map(|_| gen.next_key()).collect();
+        let frac = remap_fraction(&before, &after, &keys);
+        assert!(frac > 0.8, "modulo remapped only {frac:.3}");
+    }
+
+    #[test]
+    fn ring_remaps_few_keys_on_resize() {
+        let before = ConsistentRing::new(10);
+        let after = ConsistentRing::new(11);
+        let mut gen = KeyGenerator::new(KeyFamily::Uuid, 3);
+        let keys: Vec<_> = (0..5000).map(|_| gen.next_key()).collect();
+        let frac = remap_fraction(&before, &after, &keys);
+        // Ideal is 1/11 ≈ 0.09; allow slack for vnode placement noise.
+        assert!(frac < 0.25, "ring remapped {frac:.3}");
+    }
+
+    #[test]
+    fn remap_fraction_of_identity_is_zero() {
+        let router = ModuloRouter::new(4);
+        let keys = vec![key("a"), key("b")];
+        assert_eq!(remap_fraction(&router, &router.clone(), &keys), 0.0);
+        assert_eq!(remap_fraction(&router, &router.clone(), &[]), 0.0);
+    }
+}

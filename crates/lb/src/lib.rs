@@ -1,0 +1,461 @@
+#![warn(missing_docs)]
+//! The load balancer layer (paper §II-A, §III-A).
+//!
+//! Janus's service endpoint is a load balancer in front of the request
+//! router fleet, in one of two shapes:
+//!
+//! * [`GatewayLb`] — an ELB-style HTTP reverse proxy. The client holds a
+//!   connection to the LB; for each request the LB opens a *fresh*
+//!   connection to a router, relays the exchange and closes it — exactly
+//!   the per-request hop the paper identifies as the source of the extra
+//!   ~500 µs latency (Fig. 5) and the router-side TIME_WAIT pile-up.
+//!   Routing policies: round robin and least connections.
+//! * [`DnsLb`] — Route53-style DNS load balancing: the Janus endpoint is a
+//!   DNS name whose A record lists every router; each query permutes the
+//!   answer. Clients resolve through a TTL cache, so a client sticks to
+//!   one router per TTL cycle (the skew the paper measures).
+//!
+//! Both can be combined (DNS across multiple gateway LBs) just as §II-A
+//! describes; `DnsLb` happily takes gateway addresses as its targets.
+
+use janus_net::dns::{Resolver, Zone};
+use janus_net::http::{
+    HttpClient, HttpHandler, HttpRequest, HttpResponse, HttpServer, StatusCode,
+};
+use janus_types::{JanusError, Result};
+use parking_lot::RwLock;
+use std::future::Future;
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How the gateway LB spreads requests over routers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LbPolicy {
+    /// Strict rotation over the backend list.
+    RoundRobin,
+    /// Pick the backend with the fewest in-flight proxied requests.
+    LeastConnections,
+}
+
+/// Counters exported by a gateway LB.
+#[derive(Debug, Default)]
+pub struct GatewayStats {
+    /// Requests proxied successfully.
+    pub proxied: AtomicU64,
+    /// Requests that failed against every backend (502 returned).
+    pub failed: AtomicU64,
+    /// Connect errors observed against individual backends.
+    pub backend_errors: AtomicU64,
+}
+
+/// Live state for one registered backend (survives fleet resizes as long
+/// as the address stays registered).
+#[derive(Debug)]
+struct BackendState {
+    addr: SocketAddr,
+    in_flight: AtomicUsize,
+    proxied: AtomicU64,
+}
+
+struct GatewayHandler {
+    backends: RwLock<Vec<Arc<BackendState>>>,
+    policy: LbPolicy,
+    cursor: AtomicUsize,
+    stats: Arc<GatewayStats>,
+}
+
+impl GatewayHandler {
+    fn backend_states(addrs: Vec<SocketAddr>) -> Vec<Arc<BackendState>> {
+        addrs
+            .into_iter()
+            .map(|addr| {
+                Arc::new(BackendState {
+                    addr,
+                    in_flight: AtomicUsize::new(0),
+                    proxied: AtomicU64::new(0),
+                })
+            })
+            .collect()
+    }
+
+    /// Backends in preference order for one request (snapshot; a
+    /// concurrent resize affects only subsequent requests).
+    fn pick_order(&self) -> Vec<Arc<BackendState>> {
+        let guard = self.backends.read();
+        let n = guard.len();
+        match self.policy {
+            LbPolicy::RoundRobin => {
+                let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n.max(1);
+                (0..n).map(|i| Arc::clone(&guard[(start + i) % n])).collect()
+            }
+            LbPolicy::LeastConnections => {
+                let mut order: Vec<Arc<BackendState>> = guard.iter().cloned().collect();
+                order.sort_by_key(|b| b.in_flight.load(Ordering::Relaxed));
+                order
+            }
+        }
+    }
+
+    /// Replace the backend fleet, carrying over live counters for
+    /// addresses present in both the old and new lists.
+    fn set_backends(&self, addrs: Vec<SocketAddr>) {
+        let mut guard = self.backends.write();
+        let old: Vec<Arc<BackendState>> = guard.clone();
+        *guard = addrs
+            .into_iter()
+            .map(|addr| {
+                old.iter()
+                    .find(|b| b.addr == addr)
+                    .cloned()
+                    .unwrap_or_else(|| {
+                        Arc::new(BackendState {
+                            addr,
+                            in_flight: AtomicUsize::new(0),
+                            proxied: AtomicU64::new(0),
+                        })
+                    })
+            })
+            .collect();
+    }
+}
+
+impl HttpHandler for GatewayHandler {
+    fn handle(
+        &self,
+        request: HttpRequest,
+        peer: SocketAddr,
+    ) -> Pin<Box<dyn Future<Output = HttpResponse> + Send + '_>> {
+        Box::pin(async move {
+            // Annotate the original client, like real proxies do.
+            let request = request.with_header("x-forwarded-for", &peer.ip().to_string());
+            for backend in self.pick_order() {
+                backend.in_flight.fetch_add(1, Ordering::Relaxed);
+                let outcome = HttpClient::oneshot(backend.addr, &request).await;
+                backend.in_flight.fetch_sub(1, Ordering::Relaxed);
+                match outcome {
+                    Ok(response) => {
+                        backend.proxied.fetch_add(1, Ordering::Relaxed);
+                        self.stats.proxied.fetch_add(1, Ordering::Relaxed);
+                        return response;
+                    }
+                    Err(_) => {
+                        // Dead or overloaded router: try the next one.
+                        self.stats.backend_errors.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                }
+            }
+            self.stats.failed.fetch_add(1, Ordering::Relaxed);
+            HttpResponse::status(StatusCode::BAD_GATEWAY)
+        })
+    }
+}
+
+/// A running gateway load balancer.
+pub struct GatewayLb {
+    http: HttpServer,
+    stats: Arc<GatewayStats>,
+    handler: Arc<GatewayHandler>,
+}
+
+impl GatewayLb {
+    /// Spawn a gateway LB over `backends` with the given policy.
+    pub async fn spawn(backends: Vec<SocketAddr>, policy: LbPolicy) -> Result<GatewayLb> {
+        if backends.is_empty() {
+            return Err(JanusError::config("gateway LB needs at least one backend"));
+        }
+        let stats = Arc::new(GatewayStats::default());
+        let handler = Arc::new(GatewayHandler {
+            backends: RwLock::new(GatewayHandler::backend_states(backends)),
+            policy,
+            cursor: AtomicUsize::new(0),
+            stats: Arc::clone(&stats),
+        });
+        let http = HttpServer::spawn(Arc::clone(&handler) as Arc<dyn HttpHandler>).await?;
+        Ok(GatewayLb {
+            http,
+            stats,
+            handler,
+        })
+    }
+
+    /// The service endpoint clients connect to.
+    pub fn addr(&self) -> SocketAddr {
+        self.http.addr()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &Arc<GatewayStats> {
+        &self.stats
+    }
+
+    /// Requests proxied to each backend, in backend order (workload
+    /// distribution checks).
+    pub fn per_backend_counts(&self) -> Vec<u64> {
+        self.handler
+            .backends
+            .read()
+            .iter()
+            .map(|b| b.proxied.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// The current backend fleet.
+    pub fn backends(&self) -> Vec<SocketAddr> {
+        self.handler.backends.read().iter().map(|b| b.addr).collect()
+    }
+
+    /// Replace the backend fleet at runtime (autoscaling). Counters for
+    /// retained addresses are preserved; in-flight requests to removed
+    /// backends complete normally.
+    pub fn set_backends(&self, backends: Vec<SocketAddr>) -> Result<()> {
+        if backends.is_empty() {
+            return Err(JanusError::config("gateway LB needs at least one backend"));
+        }
+        self.handler.set_backends(backends);
+        Ok(())
+    }
+
+    /// Stop accepting connections.
+    pub fn shutdown(&self) {
+        self.http.shutdown();
+    }
+}
+
+/// DNS load balancing: register the router fleet under a name in a zone.
+///
+/// Clients build a [`Resolver`] against the same zone; OS-style TTL
+/// caching on the resolver produces the stickiness the paper analyzes.
+#[derive(Debug, Clone)]
+pub struct DnsLb {
+    zone: Arc<Zone>,
+    name: String,
+}
+
+impl DnsLb {
+    /// Publish `targets` as the A record for `name` with the given TTL
+    /// (the paper's evaluation uses 30 s).
+    pub fn publish(
+        zone: Arc<Zone>,
+        name: impl Into<String>,
+        targets: Vec<SocketAddr>,
+        ttl: Duration,
+    ) -> Result<DnsLb> {
+        if targets.is_empty() {
+            return Err(JanusError::config("DNS LB needs at least one target"));
+        }
+        let name = name.into();
+        zone.insert(&name, targets, ttl);
+        Ok(DnsLb { zone, name })
+    }
+
+    /// The service DNS name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The zone this LB publishes into.
+    pub fn zone(&self) -> &Arc<Zone> {
+        &self.zone
+    }
+
+    /// Build a fresh per-client-host resolver (each client host has its
+    /// own DNS cache).
+    pub fn client_resolver(&self, clock: janus_clock::SharedClock) -> Resolver {
+        Resolver::new(Arc::clone(&self.zone), clock)
+    }
+
+    /// Re-publish a new target list (scale in/out of the router fleet).
+    pub fn update_targets(&self, targets: Vec<SocketAddr>, ttl: Duration) -> Result<()> {
+        if targets.is_empty() {
+            return Err(JanusError::config("DNS LB needs at least one target"));
+        }
+        self.zone.insert(&self.name, targets, ttl);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    async fn tagged_backend(tag: &'static str) -> HttpServer {
+        HttpServer::spawn(Arc::new(
+            move |req: HttpRequest, _peer: SocketAddr| async move {
+                HttpResponse::ok(format!("{tag}:{}", req.target)).with_header("x-backend", tag)
+            },
+        ))
+        .await
+        .unwrap()
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn round_robin_spreads_uniformly() {
+        let a = tagged_backend("a").await;
+        let b = tagged_backend("b").await;
+        let lb = GatewayLb::spawn(vec![a.addr(), b.addr()], LbPolicy::RoundRobin)
+            .await
+            .unwrap();
+        for _ in 0..20 {
+            let resp = HttpClient::oneshot(lb.addr(), &HttpRequest::get("/x"))
+                .await
+                .unwrap();
+            assert_eq!(resp.status, StatusCode::OK);
+        }
+        let counts = lb.per_backend_counts();
+        assert_eq!(counts, vec![10, 10], "round robin skewed: {counts:?}");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn proxies_bodies_and_headers_both_ways() {
+        let backend = HttpServer::spawn(Arc::new(
+            |req: HttpRequest, _peer: SocketAddr| async move {
+                let body = format!(
+                    "got {} bytes, xff={}",
+                    req.body.len(),
+                    req.header("x-forwarded-for").unwrap_or("-")
+                );
+                HttpResponse::ok(body).with_header("x-custom", "yes")
+            },
+        ))
+        .await
+        .unwrap();
+        let lb = GatewayLb::spawn(vec![backend.addr()], LbPolicy::RoundRobin)
+            .await
+            .unwrap();
+        let resp = HttpClient::oneshot(lb.addr(), &HttpRequest::post("/upload", vec![7u8; 100]))
+            .await
+            .unwrap();
+        assert_eq!(resp.body_text(), "got 100 bytes, xff=127.0.0.1");
+        assert_eq!(resp.header("x-custom"), Some("yes"));
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn skips_dead_backend() {
+        let dead = tokio::net::TcpListener::bind(("127.0.0.1", 0)).await.unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        let live = tagged_backend("live").await;
+        let lb = GatewayLb::spawn(vec![dead_addr, live.addr()], LbPolicy::RoundRobin)
+            .await
+            .unwrap();
+        for _ in 0..6 {
+            let resp = HttpClient::oneshot(lb.addr(), &HttpRequest::get("/y"))
+                .await
+                .unwrap();
+            assert_eq!(resp.status, StatusCode::OK);
+            assert!(resp.body_text().starts_with("live:"));
+        }
+        assert!(lb.stats().backend_errors.load(Ordering::Relaxed) >= 1);
+        assert_eq!(lb.stats().failed.load(Ordering::Relaxed), 0);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn all_dead_returns_502() {
+        let dead = tokio::net::TcpListener::bind(("127.0.0.1", 0)).await.unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        let lb = GatewayLb::spawn(vec![dead_addr], LbPolicy::RoundRobin)
+            .await
+            .unwrap();
+        let resp = HttpClient::oneshot(lb.addr(), &HttpRequest::get("/z"))
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_GATEWAY);
+        assert_eq!(lb.stats().failed.load(Ordering::Relaxed), 1);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn least_connections_avoids_busy_backend() {
+        // Backend "slow" stalls; least-connections should route the bulk
+        // of traffic to "fast" once slow accumulates in-flight requests.
+        let slow = HttpServer::spawn(Arc::new(
+            |_req: HttpRequest, _peer: SocketAddr| async move {
+                tokio::time::sleep(Duration::from_millis(300)).await;
+                HttpResponse::ok("slow")
+            },
+        ))
+        .await
+        .unwrap();
+        let fast = tagged_backend("fast").await;
+        let lb = Arc::new(
+            GatewayLb::spawn(vec![slow.addr(), fast.addr()], LbPolicy::LeastConnections)
+                .await
+                .unwrap(),
+        );
+        let mut handles = Vec::new();
+        for _ in 0..20 {
+            let addr = lb.addr();
+            handles.push(tokio::spawn(async move {
+                HttpClient::oneshot(addr, &HttpRequest::get("/w"))
+                    .await
+                    .unwrap()
+                    .body_text()
+            }));
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        let mut fast_count = 0;
+        for h in handles {
+            if h.await.unwrap().starts_with("fast") {
+                fast_count += 1;
+            }
+        }
+        assert!(
+            fast_count >= 15,
+            "least-connections sent only {fast_count}/20 to the idle backend"
+        );
+    }
+
+    #[tokio::test]
+    async fn rejects_empty_backends() {
+        assert!(GatewayLb::spawn(vec![], LbPolicy::RoundRobin).await.is_err());
+    }
+
+    #[tokio::test]
+    async fn dns_lb_publish_and_resolve() {
+        let zone = Zone::new();
+        let targets: Vec<SocketAddr> = vec![
+            "127.0.0.1:1001".parse().unwrap(),
+            "127.0.0.1:1002".parse().unwrap(),
+        ];
+        let lb = DnsLb::publish(
+            Arc::clone(&zone),
+            "janus.test",
+            targets.clone(),
+            Duration::from_secs(30),
+        )
+        .unwrap();
+        let clock = janus_clock::system();
+        let resolver_a = lb.client_resolver(Arc::clone(&clock));
+        let resolver_b = lb.client_resolver(clock);
+        let first_a = resolver_a.resolve_one("janus.test").unwrap();
+        let first_b = resolver_b.resolve_one("janus.test").unwrap();
+        assert_ne!(first_a, first_b, "two hosts should land on different routers");
+        assert!(targets.contains(&first_a) && targets.contains(&first_b));
+    }
+
+    #[tokio::test]
+    async fn dns_lb_update_targets() {
+        let zone = Zone::new();
+        let lb = DnsLb::publish(
+            Arc::clone(&zone),
+            "janus.test",
+            vec!["127.0.0.1:1001".parse().unwrap()],
+            Duration::ZERO,
+        )
+        .unwrap();
+        lb.update_targets(vec!["127.0.0.1:2002".parse().unwrap()], Duration::ZERO)
+            .unwrap();
+        let resolver = lb.client_resolver(janus_clock::system());
+        assert_eq!(
+            resolver.resolve_one("janus.test").unwrap(),
+            "127.0.0.1:2002".parse::<SocketAddr>().unwrap()
+        );
+        assert!(lb.update_targets(vec![], Duration::ZERO).is_err());
+        assert!(DnsLb::publish(zone, "x", vec![], Duration::ZERO).is_err());
+    }
+}

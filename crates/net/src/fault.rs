@@ -1,0 +1,146 @@
+//! Deterministic fault injection for the UDP admission path.
+//!
+//! UDP "does not ensure reliable communication" (paper §III-B); the router
+//! compensates with timeouts and retries. To test that machinery — and to
+//! quantify decision latency as a function of loss (DESIGN.md ablation 3)
+//! — sockets can be wrapped with a [`FaultPlan`] that drops or delays
+//! datagrams with configured probabilities, driven by a seeded RNG so
+//! every test run sees the same loss pattern.
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A shared, thread-safe fault injection plan.
+///
+/// Probabilities are stored as parts-per-million so they can be read and
+/// updated atomically mid-test (e.g. "heal the network after 2 seconds").
+#[derive(Debug)]
+pub struct FaultPlan {
+    drop_ppm: AtomicU64,
+    delay_ppm: AtomicU64,
+    delay: Mutex<Duration>,
+    rng: Mutex<StdRng>,
+    dropped: AtomicU64,
+    delayed: AtomicU64,
+}
+
+impl FaultPlan {
+    /// A plan that never interferes.
+    pub fn none() -> Arc<Self> {
+        Self::new(0.0, 0.0, Duration::ZERO, 0)
+    }
+
+    /// A plan dropping each datagram with probability `drop_p` and
+    /// delaying (by `delay`) with probability `delay_p`, deterministically
+    /// from `seed`.
+    pub fn new(drop_p: f64, delay_p: f64, delay: Duration, seed: u64) -> Arc<Self> {
+        assert!((0.0..=1.0).contains(&drop_p), "drop probability in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&delay_p),
+            "delay probability in [0,1]"
+        );
+        Arc::new(FaultPlan {
+            drop_ppm: AtomicU64::new((drop_p * 1_000_000.0) as u64),
+            delay_ppm: AtomicU64::new((delay_p * 1_000_000.0) as u64),
+            delay: Mutex::new(delay),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            dropped: AtomicU64::new(0),
+            delayed: AtomicU64::new(0),
+        })
+    }
+
+    /// Change the drop probability (e.g. heal or degrade mid-test).
+    pub fn set_drop_probability(&self, p: f64) {
+        assert!((0.0..=1.0).contains(&p));
+        self.drop_ppm
+            .store((p * 1_000_000.0) as u64, Ordering::Relaxed);
+    }
+
+    /// Decide the fate of one datagram: `None` to drop it, or
+    /// `Some(delay)` (possibly zero) to deliver it after `delay`.
+    pub fn judge(&self) -> Option<Duration> {
+        let drop_ppm = self.drop_ppm.load(Ordering::Relaxed);
+        let delay_ppm = self.delay_ppm.load(Ordering::Relaxed);
+        if drop_ppm == 0 && delay_ppm == 0 {
+            return Some(Duration::ZERO);
+        }
+        let roll: u64 = self.rng.lock().gen_range(0..1_000_000);
+        if roll < drop_ppm {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if roll < drop_ppm + delay_ppm {
+            self.delayed.fetch_add(1, Ordering::Relaxed);
+            return Some(*self.delay.lock());
+        }
+        Some(Duration::ZERO)
+    }
+
+    /// Datagrams dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams delayed so far.
+    pub fn delayed(&self) -> u64 {
+        self.delayed.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_interferes() {
+        let plan = FaultPlan::none();
+        for _ in 0..1000 {
+            assert_eq!(plan.judge(), Some(Duration::ZERO));
+        }
+        assert_eq!(plan.dropped(), 0);
+    }
+
+    #[test]
+    fn drop_rate_approximates_probability() {
+        let plan = FaultPlan::new(0.25, 0.0, Duration::ZERO, 7);
+        let n = 100_000;
+        let dropped = (0..n).filter(|_| plan.judge().is_none()).count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "observed drop rate {rate}");
+        assert_eq!(plan.dropped(), dropped as u64);
+    }
+
+    #[test]
+    fn delay_applies_configured_duration() {
+        let plan = FaultPlan::new(0.0, 1.0, Duration::from_millis(3), 1);
+        assert_eq!(plan.judge(), Some(Duration::from_millis(3)));
+        assert_eq!(plan.delayed(), 1);
+    }
+
+    #[test]
+    fn same_seed_same_pattern() {
+        let a = FaultPlan::new(0.5, 0.0, Duration::ZERO, 99);
+        let b = FaultPlan::new(0.5, 0.0, Duration::ZERO, 99);
+        for _ in 0..1000 {
+            assert_eq!(a.judge().is_none(), b.judge().is_none());
+        }
+    }
+
+    #[test]
+    fn probability_can_change_mid_flight() {
+        let plan = FaultPlan::new(1.0, 0.0, Duration::ZERO, 3);
+        assert_eq!(plan.judge(), None);
+        plan.set_drop_probability(0.0);
+        assert!(plan.judge().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn rejects_bad_probability() {
+        FaultPlan::new(1.5, 0.0, Duration::ZERO, 0);
+    }
+}

@@ -1,0 +1,90 @@
+//! HTTP/1.1 client with keep-alive.
+
+use super::message::{HttpRequest, HttpResponse};
+use super::parser::{read_response, ParseLimits};
+use janus_types::Result;
+use std::net::SocketAddr;
+use tokio::io::{AsyncWriteExt, BufReader};
+use tokio::net::TcpStream;
+
+/// A client-side HTTP/1.1 connection.
+///
+/// Requests on one client are sequential (issue, await response, repeat),
+/// exactly like a single `ab` worker; open several clients for
+/// concurrency.
+#[derive(Debug)]
+pub struct HttpClient {
+    reader: BufReader<TcpStream>,
+    limits: ParseLimits,
+    peer: SocketAddr,
+}
+
+impl HttpClient {
+    /// Open a keep-alive connection to `addr`.
+    pub async fn connect(addr: SocketAddr) -> Result<HttpClient> {
+        let stream = TcpStream::connect(addr).await?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient {
+            reader: BufReader::new(stream),
+            limits: ParseLimits::default(),
+            peer: addr,
+        })
+    }
+
+    /// The server this client is connected to.
+    pub fn peer(&self) -> SocketAddr {
+        self.peer
+    }
+
+    /// Issue one request and await its response.
+    pub async fn request(&mut self, request: &HttpRequest) -> Result<HttpResponse> {
+        self.reader
+            .get_mut()
+            .write_all(&request.to_bytes())
+            .await?;
+        read_response(&mut self.reader, &self.limits).await
+    }
+
+    /// One-shot convenience: connect, issue, close. This is the traffic
+    /// pattern the gateway load balancer inflicts on routers ("establishes
+    /// another connection to the request router ... then closes the
+    /// connection", paper §V-A) — and the reason the paper sees TIME_WAIT
+    /// pile-ups.
+    pub async fn oneshot(addr: SocketAddr, request: &HttpRequest) -> Result<HttpResponse> {
+        let mut client = HttpClient::connect(addr).await?;
+        let mut req = request.clone();
+        req.headers
+            .push(("connection".to_string(), "close".to_string()));
+        client.request(&req).await
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::{HttpServer, StatusCode};
+    use std::sync::Arc;
+
+    #[tokio::test]
+    async fn oneshot_closes_after_response() {
+        let server = HttpServer::spawn(Arc::new(
+            |_req: HttpRequest, _peer: SocketAddr| async move { HttpResponse::ok("once") },
+        ))
+        .await
+        .unwrap();
+        let resp = HttpClient::oneshot(server.addr(), &HttpRequest::get("/"))
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.body_text(), "once");
+    }
+
+    #[tokio::test]
+    async fn connect_to_dead_port_errors() {
+        // Bind and immediately drop to obtain a (very likely) dead port.
+        let listener = tokio::net::TcpListener::bind(("127.0.0.1", 0)).await.unwrap();
+        let addr = listener.local_addr().unwrap();
+        drop(listener);
+        assert!(HttpClient::connect(addr).await.is_err());
+    }
+}

@@ -1,0 +1,430 @@
+//! HTTP request/response value types.
+
+use std::fmt;
+
+/// The request methods Janus components use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Idempotent reads — admission checks are GETs in the reference
+    /// integration.
+    Get,
+    /// Mutations (rule administration, photo uploads).
+    Post,
+    /// Rule deletion in the admin API.
+    Delete,
+    /// Rule replacement in the admin API.
+    Put,
+}
+
+impl Method {
+    /// Parse from the request-line token.
+    pub fn parse(s: &str) -> Option<Method> {
+        match s {
+            "GET" => Some(Method::Get),
+            "POST" => Some(Method::Post),
+            "DELETE" => Some(Method::Delete),
+            "PUT" => Some(Method::Put),
+            _ => None,
+        }
+    }
+
+    /// The wire token.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Method::Get => "GET",
+            Method::Post => "POST",
+            Method::Delete => "DELETE",
+            Method::Put => "PUT",
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Status codes used across Janus (a deliberate subset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200.
+    pub const OK: StatusCode = StatusCode(200);
+    /// 400.
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// 403 — the throttling response in the paper's integration snippet
+    /// (`HTTP/1.1 403 Forbidden`).
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    /// 404.
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 500.
+    pub const INTERNAL_SERVER_ERROR: StatusCode = StatusCode(500);
+    /// 502 — the gateway LB's answer when no backend responds.
+    pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+    /// 503.
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+
+    /// Canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+
+    /// 2xx?
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.0, self.reason())
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method.
+    pub method: Method,
+    /// Origin-form target: path plus optional query (`/qos?key=alice`).
+    pub target: String,
+    /// Headers in arrival order; names stored lowercase.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// A GET request for `target` with no body.
+    pub fn get(target: impl Into<String>) -> Self {
+        HttpRequest {
+            method: Method::Get,
+            target: target.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A POST request with a body.
+    pub fn post(target: impl Into<String>, body: impl Into<Vec<u8>>) -> Self {
+        HttpRequest {
+            method: Method::Post,
+            target: target.into(),
+            headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// Add a header (name is lowercased).
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path component of the target (before `?`).
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// The raw query string, if any.
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// Value of a query parameter, percent-decoding `%XX` and `+`.
+    pub fn query_param(&self, name: &str) -> Option<String> {
+        let query = self.query()?;
+        for pair in query.split('&') {
+            let (k, v) = pair.split_once('=').unwrap_or((pair, ""));
+            if percent_decode(k) == name {
+                return Some(percent_decode(v));
+            }
+        }
+        None
+    }
+
+    /// Did the peer ask to close the connection after this exchange?
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Serialize to wire bytes (adds `Content-Length`; callers add
+    /// `Connection` themselves if they want `close`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.body.len());
+        out.extend_from_slice(self.method.as_str().as_bytes());
+        out.push(b' ');
+        out.extend_from_slice(self.target.as_bytes());
+        out.extend_from_slice(b" HTTP/1.1\r\n");
+        for (name, value) in &self.headers {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        if self.header("content-length").is_none() {
+            out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: StatusCode,
+    /// Headers in order; names lowercase.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// 200 with a `text/plain` body.
+    pub fn ok(body: impl Into<Vec<u8>>) -> Self {
+        HttpResponse {
+            status: StatusCode::OK,
+            headers: vec![("content-type".into(), "text/plain".into())],
+            body: body.into(),
+        }
+    }
+
+    /// 200 with a `text/html` body.
+    pub fn html(body: impl Into<Vec<u8>>) -> Self {
+        HttpResponse {
+            status: StatusCode::OK,
+            headers: vec![("content-type".into(), "text/html".into())],
+            body: body.into(),
+        }
+    }
+
+    /// An empty-bodied response with `status`.
+    pub fn status(status: StatusCode) -> Self {
+        HttpResponse {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// The paper's throttle reply: `HTTP/1.1 403 Forbidden`.
+    pub fn forbidden() -> Self {
+        let mut r = Self::status(StatusCode::FORBIDDEN);
+        r.body = b"Throttled".to_vec();
+        r
+    }
+
+    /// Add a header (name lowercased).
+    pub fn with_header(mut self, name: &str, value: &str) -> Self {
+        self.headers.push((name.to_ascii_lowercase(), value.to_string()));
+        self
+    }
+
+    /// First header with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (lossy), for assertions and text endpoints.
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// Serialize to wire bytes (adds `Content-Length`).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.body.len());
+        out.extend_from_slice(format!("HTTP/1.1 {}\r\n", self.status).as_bytes());
+        for (name, value) in &self.headers {
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
+        }
+        if self.header("content-length").is_none() {
+            out.extend_from_slice(format!("content-length: {}\r\n", self.body.len()).as_bytes());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Decode `%XX` escapes and `+`-as-space in a query component. Invalid
+/// escapes pass through verbatim (robustness over strictness at the edge).
+pub fn percent_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' => {
+                let hex = bytes.get(i + 1..i + 3);
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok())
+                {
+                    Some(b) => {
+                        out.push(b);
+                        i += 3;
+                    }
+                    None => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Encode a string for safe use in a query component.
+pub fn percent_encode(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'-' | b'_' | b'.' | b'~' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_roundtrip() {
+        for m in [Method::Get, Method::Post, Method::Delete, Method::Put] {
+            assert_eq!(Method::parse(m.as_str()), Some(m));
+        }
+        assert_eq!(Method::parse("PATCH"), None);
+    }
+
+    #[test]
+    fn status_reasons() {
+        assert_eq!(StatusCode::OK.to_string(), "200 OK");
+        assert_eq!(StatusCode::FORBIDDEN.to_string(), "403 Forbidden");
+        assert!(StatusCode::OK.is_success());
+        assert!(!StatusCode::BAD_GATEWAY.is_success());
+    }
+
+    #[test]
+    fn query_param_extraction() {
+        let req = HttpRequest::get("/qos?key=alice%3Aphotos&mode=check");
+        assert_eq!(req.path(), "/qos");
+        assert_eq!(req.query_param("key").as_deref(), Some("alice:photos"));
+        assert_eq!(req.query_param("mode").as_deref(), Some("check"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn query_param_plus_is_space() {
+        let req = HttpRequest::get("/search?q=hello+world");
+        assert_eq!(req.query_param("q").as_deref(), Some("hello world"));
+    }
+
+    #[test]
+    fn no_query_means_no_params() {
+        let req = HttpRequest::get("/index.html");
+        assert_eq!(req.query(), None);
+        assert_eq!(req.query_param("x"), None);
+        assert_eq!(req.path(), "/index.html");
+    }
+
+    #[test]
+    fn headers_case_insensitive() {
+        let req = HttpRequest::get("/").with_header("X-Forwarded-For", "10.0.0.1");
+        assert_eq!(req.header("x-forwarded-for"), Some("10.0.0.1"));
+        assert_eq!(req.header("X-FORWARDED-FOR"), Some("10.0.0.1"));
+    }
+
+    #[test]
+    fn wants_close_detection() {
+        assert!(!HttpRequest::get("/").wants_close());
+        assert!(HttpRequest::get("/")
+            .with_header("Connection", "close")
+            .wants_close());
+        assert!(!HttpRequest::get("/")
+            .with_header("Connection", "keep-alive")
+            .wants_close());
+    }
+
+    #[test]
+    fn request_serialization_has_content_length() {
+        let wire = HttpRequest::post("/rules", "body-bytes").to_bytes();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("POST /rules HTTP/1.1\r\n"), "{text}");
+        assert!(text.contains("content-length: 10\r\n"), "{text}");
+        assert!(text.ends_with("\r\nbody-bytes"), "{text}");
+    }
+
+    #[test]
+    fn response_serialization() {
+        let wire = HttpResponse::ok("TRUE").to_bytes();
+        let text = String::from_utf8(wire).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"), "{text}");
+        assert!(text.contains("content-length: 4"), "{text}");
+        assert!(text.ends_with("\r\nTRUE"), "{text}");
+    }
+
+    #[test]
+    fn forbidden_matches_paper_snippet() {
+        let resp = HttpResponse::forbidden();
+        assert_eq!(resp.status, StatusCode::FORBIDDEN);
+        let text = String::from_utf8(resp.to_bytes()).unwrap();
+        assert!(text.starts_with("HTTP/1.1 403 Forbidden\r\n"));
+    }
+
+    #[test]
+    fn percent_roundtrip() {
+        for s in ["alice:photos", "10.0.0.1", "a b&c=d", "naïve", "100%"] {
+            assert_eq!(percent_decode(&percent_encode(s)), s);
+        }
+    }
+
+    #[test]
+    fn percent_decode_tolerates_garbage() {
+        assert_eq!(percent_decode("%"), "%");
+        assert_eq!(percent_decode("%zz"), "%zz");
+        assert_eq!(percent_decode("%4"), "%4");
+        assert_eq!(percent_decode("ok%20fine"), "ok fine");
+    }
+}

@@ -1,0 +1,23 @@
+//! Minimal HTTP/1.1, from scratch.
+//!
+//! Janus's outer protocol is HTTP: QoS clients talk HTTP to the load
+//! balancer, the gateway LB proxies HTTP to the request routers, and the
+//! photo-sharing demo is an HTTP application. The subset implemented here
+//! is exactly what those paths need:
+//!
+//! * request line + headers + `Content-Length` bodies (no chunked
+//!   encoding, no TLS, no HTTP/2 — the paper's ELB listener is plain
+//!   HTTP),
+//! * keep-alive with `Connection: close` opt-out,
+//! * defensive parsing limits (line length, header count, body size) so a
+//!   public port cannot allocate unboundedly.
+
+mod client;
+mod message;
+mod parser;
+mod server;
+
+pub use client::HttpClient;
+pub use message::{percent_decode, percent_encode, HttpRequest, HttpResponse, Method, StatusCode};
+pub use parser::{read_request, read_response, ParseLimits};
+pub use server::{HttpHandler, HttpServer};

@@ -1,0 +1,263 @@
+//! The async HTTP server loop shared by routers, the gateway LB and apps.
+
+use super::message::{HttpRequest, HttpResponse, StatusCode};
+use super::parser::{read_request, ParseLimits};
+use janus_types::Result;
+use std::future::Future;
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::io::{AsyncWriteExt, BufReader};
+use tokio::net::{TcpListener, TcpStream};
+
+/// A request handler. Implemented by the request router, the gateway LB
+/// and the demo application front ends.
+pub trait HttpHandler: Send + Sync + 'static {
+    /// Handle one request from `peer`.
+    fn handle(
+        &self,
+        request: HttpRequest,
+        peer: SocketAddr,
+    ) -> Pin<Box<dyn Future<Output = HttpResponse> + Send + '_>>;
+}
+
+/// Blanket impl so plain async closures can serve as handlers.
+impl<F, Fut> HttpHandler for F
+where
+    F: Fn(HttpRequest, SocketAddr) -> Fut + Send + Sync + 'static,
+    Fut: Future<Output = HttpResponse> + Send + 'static,
+{
+    fn handle(
+        &self,
+        request: HttpRequest,
+        peer: SocketAddr,
+    ) -> Pin<Box<dyn Future<Output = HttpResponse> + Send + '_>> {
+        Box::pin(self(request, peer))
+    }
+}
+
+/// A running HTTP/1.1 server with keep-alive.
+///
+/// Dropping the handle (or calling [`shutdown`](Self::shutdown)) stops the
+/// accept loop; in-flight connections finish their current request.
+#[derive(Debug)]
+pub struct HttpServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    connections: Arc<AtomicU64>,
+    requests: Arc<AtomicU64>,
+}
+
+impl HttpServer {
+    /// Bind to an ephemeral loopback port and start serving `handler`.
+    pub async fn spawn(handler: Arc<dyn HttpHandler>) -> Result<HttpServer> {
+        Self::spawn_with_limits(handler, ParseLimits::default()).await
+    }
+
+    /// Bind with explicit parse limits.
+    pub async fn spawn_with_limits(
+        handler: Arc<dyn HttpHandler>,
+        limits: ParseLimits,
+    ) -> Result<HttpServer> {
+        let listener = TcpListener::bind(("127.0.0.1", 0)).await?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicU64::new(0));
+        let requests = Arc::new(AtomicU64::new(0));
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_connections = Arc::clone(&connections);
+        let accept_requests = Arc::clone(&requests);
+        tokio::spawn(async move {
+            loop {
+                let (stream, peer) = match listener.accept().await {
+                    Ok(x) => x,
+                    Err(_) => break,
+                };
+                if accept_shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                accept_connections.fetch_add(1, Ordering::Relaxed);
+                let handler = Arc::clone(&handler);
+                let limits = limits.clone();
+                let shutdown = Arc::clone(&accept_shutdown);
+                let requests = Arc::clone(&accept_requests);
+                tokio::spawn(async move {
+                    let _ = serve_connection(stream, peer, handler, limits, shutdown, requests)
+                        .await;
+                });
+            }
+        });
+
+        Ok(HttpServer {
+            addr,
+            shutdown,
+            connections,
+            requests,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Requests served so far.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Stop accepting connections and stop serving new requests on
+    /// existing ones.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop so it observes the flag.
+        crate::poke_listener(self.addr);
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+}
+
+async fn serve_connection(
+    stream: TcpStream,
+    peer: SocketAddr,
+    handler: Arc<dyn HttpHandler>,
+    limits: ParseLimits,
+    shutdown: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+) -> Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream);
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let request = match read_request(&mut reader, &limits).await {
+            Ok(Some(req)) => req,
+            Ok(None) => return Ok(()), // clean keep-alive close
+            Err(_) => {
+                // Malformed request: answer 400 and drop the connection.
+                let resp = HttpResponse::status(StatusCode::BAD_REQUEST);
+                let _ = reader.get_mut().write_all(&resp.to_bytes()).await;
+                return Ok(());
+            }
+        };
+        requests.fetch_add(1, Ordering::Relaxed);
+        let close = request.wants_close();
+        let response = handler.handle(request, peer).await;
+        reader.get_mut().write_all(&response.to_bytes()).await?;
+        if close {
+            return Ok(());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::HttpClient;
+
+    async fn echo_server() -> HttpServer {
+        HttpServer::spawn(Arc::new(|req: HttpRequest, peer: SocketAddr| async move {
+            HttpResponse::ok(format!("{} {} from {}", req.method, req.target, peer.ip()))
+        }))
+        .await
+        .unwrap()
+    }
+
+    #[tokio::test]
+    async fn serves_basic_request() {
+        let server = echo_server().await;
+        let mut client = HttpClient::connect(server.addr()).await.unwrap();
+        let resp = client.request(&HttpRequest::get("/hello")).await.unwrap();
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.body_text(), "GET /hello from 127.0.0.1");
+        assert_eq!(server.requests(), 1);
+    }
+
+    #[tokio::test]
+    async fn keep_alive_reuses_connection() {
+        let server = echo_server().await;
+        let mut client = HttpClient::connect(server.addr()).await.unwrap();
+        for i in 0..10 {
+            let resp = client
+                .request(&HttpRequest::get(format!("/req{i}")))
+                .await
+                .unwrap();
+            assert!(resp.body_text().contains(&format!("/req{i}")));
+        }
+        assert_eq!(server.connections(), 1, "keep-alive should reuse one TCP connection");
+        assert_eq!(server.requests(), 10);
+    }
+
+    #[tokio::test]
+    async fn parallel_clients_are_served() {
+        let server = echo_server().await;
+        let addr = server.addr();
+        let mut handles = Vec::new();
+        for i in 0..16 {
+            handles.push(tokio::spawn(async move {
+                let mut client = HttpClient::connect(addr).await.unwrap();
+                let resp = client
+                    .request(&HttpRequest::get(format!("/client{i}")))
+                    .await
+                    .unwrap();
+                assert!(resp.body_text().contains(&format!("/client{i}")));
+            }));
+        }
+        for h in handles {
+            h.await.unwrap();
+        }
+        assert_eq!(server.requests(), 16);
+    }
+
+    #[tokio::test]
+    async fn malformed_request_gets_400() {
+        use tokio::io::AsyncReadExt;
+        let server = echo_server().await;
+        let mut stream = TcpStream::connect(server.addr()).await.unwrap();
+        stream.write_all(b"NONSENSE\r\n\r\n").await.unwrap();
+        let mut buf = Vec::new();
+        stream.read_to_end(&mut buf).await.unwrap();
+        let text = String::from_utf8_lossy(&buf);
+        assert!(text.starts_with("HTTP/1.1 400"), "{text}");
+    }
+
+    #[tokio::test]
+    async fn connection_close_honored() {
+        use tokio::io::AsyncReadExt;
+        let server = echo_server().await;
+        let mut stream = TcpStream::connect(server.addr()).await.unwrap();
+        let req = HttpRequest::get("/bye").with_header("connection", "close");
+        stream.write_all(&req.to_bytes()).await.unwrap();
+        let mut buf = Vec::new();
+        // read_to_end only returns if the server actually closes.
+        stream.read_to_end(&mut buf).await.unwrap();
+        assert!(String::from_utf8_lossy(&buf).starts_with("HTTP/1.1 200"));
+    }
+
+    #[tokio::test]
+    async fn shutdown_stops_new_connections() {
+        let server = echo_server().await;
+        let addr = server.addr();
+        server.shutdown();
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+        // Either the connect fails outright or the first request errors.
+        let outcome = async {
+            let mut client = HttpClient::connect(addr).await?;
+            client.request(&HttpRequest::get("/after")).await
+        }
+        .await;
+        assert!(outcome.is_err(), "server answered after shutdown");
+    }
+}

@@ -1,0 +1,56 @@
+#![warn(missing_docs)]
+//! Networking substrate for Janus.
+//!
+//! The paper deploys Janus on AWS primitives — HTTP between client, load
+//! balancer and request router; UDP between router and QoS server; Route53
+//! for DNS load balancing and failover. This crate rebuilds those
+//! primitives from scratch on tokio:
+//!
+//! * [`udp`] — the admission RPC: a fire-and-retry UDP exchange with the
+//!   paper's 100 µs timeout × 5 retries discipline, plus configurable
+//!   loss/delay injection for failure testing.
+//! * [`http`] — a minimal HTTP/1.1 implementation (parser, server with
+//!   keep-alive, client) sufficient for the router front end, the gateway
+//!   load balancer, and the photo-sharing demo app.
+//! * [`dns`] — an authoritative zone with per-query answer permutation
+//!   (round-robin DNS), a caching resolver honouring TTL (which reproduces
+//!   the paper's DNS-LB skew), and health-checked master/standby failover
+//!   records (the Route53 failover mechanism the QoS-server HA design
+//!   relies on).
+//! * [`fault`] — deterministic packet-loss and delay injection shared by
+//!   the UDP layer.
+//!
+//! One deliberate substrate simplification: our DNS "A records" carry full
+//! socket addresses rather than bare IPs, because test deployments
+//! colocate every node on 127.0.0.1 and distinguish them by port. The
+//! permutation, TTL and failover semantics are unchanged.
+
+pub mod dns;
+pub mod fault;
+pub mod http;
+pub mod udp;
+pub mod udp_pool;
+
+pub use dns::{DnsRecord, Resolver, Zone};
+
+/// Wake a TCP accept loop so it observes a freshly-set shutdown flag.
+///
+/// Safe to call from any thread: inside a tokio runtime it spawns an
+/// async connect; outside (e.g. a `Drop` on the main thread after the
+/// runtime is gone) it falls back to a brief blocking connect.
+pub fn poke_listener(addr: std::net::SocketAddr) {
+    if let Ok(handle) = tokio::runtime::Handle::try_current() {
+        handle.spawn(async move {
+            let _ = tokio::net::TcpStream::connect(addr).await;
+        });
+    } else {
+        let _ = std::net::TcpStream::connect_timeout(
+            &addr,
+            std::time::Duration::from_millis(50),
+        );
+    }
+}
+pub use fault::FaultPlan;
+pub use http::{HttpClient, HttpRequest, HttpResponse, HttpServer, Method, StatusCode};
+pub use udp::{UdpRpcClient, UdpRpcConfig, UdpServerSocket};
+pub use udp_pool::PooledUdpRpcClient;

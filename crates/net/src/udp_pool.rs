@@ -1,0 +1,272 @@
+//! Pooled UDP RPC: one shared socket, many in-flight exchanges.
+//!
+//! The paper's PHP router opens a socket per admission request —
+//! [`crate::udp::UdpRpcClient`] reproduces that faithfully. A long-lived
+//! async router can do better: bind one socket, tag every request with
+//! its id, and demultiplex responses to per-request wakers. This module
+//! is that optimization (an ablation over the paper's design, not a
+//! replacement: the router accepts either client).
+//!
+//! Correctness notes:
+//! * ids are allocated from an atomic counter, so concurrent callers
+//!   never collide;
+//! * late responses for timed-out or completed requests are dropped at
+//!   the demux map;
+//! * retries re-send the *same* id, so whichever attempt's response
+//!   arrives first completes the call.
+
+use crate::fault::FaultPlan;
+use crate::udp::UdpRpcConfig;
+use janus_types::codec::{self, Frame, MAX_FRAME_BYTES};
+use janus_types::{JanusError, QosKey, QosRequest, QosResponse, RequestId, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::net::UdpSocket;
+use tokio::sync::oneshot;
+
+/// Response demultiplexer: request id → waiting caller.
+type Waiters = Arc<Mutex<HashMap<RequestId, oneshot::Sender<QosResponse>>>>;
+
+/// A shared-socket UDP RPC client.
+///
+/// Cheap to clone; all clones share the socket and the demux task.
+#[derive(Clone)]
+pub struct PooledUdpRpcClient {
+    socket: Arc<UdpSocket>,
+    waiters: Waiters,
+    config: UdpRpcConfig,
+    faults: Arc<FaultPlan>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for PooledUdpRpcClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledUdpRpcClient")
+            .field("config", &self.config)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PooledUdpRpcClient {
+    /// Bind the shared socket and start the demux task.
+    pub async fn bind(config: UdpRpcConfig) -> Result<Self> {
+        Self::bind_with_faults(config, FaultPlan::none()).await
+    }
+
+    /// Bind with fault injection on the send path.
+    pub async fn bind_with_faults(
+        config: UdpRpcConfig,
+        faults: Arc<FaultPlan>,
+    ) -> Result<Self> {
+        let socket = Arc::new(UdpSocket::bind(("127.0.0.1", 0)).await?);
+        let waiters: Waiters = Arc::new(Mutex::new(HashMap::new()));
+
+        // Demux task: route every arriving response to its waiter.
+        let demux_socket = Arc::clone(&socket);
+        let demux_waiters = Arc::clone(&waiters);
+        tokio::spawn(async move {
+            let mut buf = vec![0u8; MAX_FRAME_BYTES + 1];
+            loop {
+                let Ok((len, _peer)) = demux_socket.recv_from(&mut buf).await else {
+                    return;
+                };
+                if let Ok(Frame::Response(resp)) = codec::decode(&buf[..len]) {
+                    // A missing waiter is a late duplicate: drop it.
+                    if let Some(tx) = demux_waiters.lock().remove(&resp.id) {
+                        let _ = tx.send(resp);
+                    }
+                }
+            }
+        });
+
+        Ok(PooledUdpRpcClient {
+            socket,
+            waiters,
+            config,
+            faults,
+            next_id: Arc::new(AtomicU64::new(1)),
+        })
+    }
+
+    /// The retry discipline in force.
+    pub fn config(&self) -> &UdpRpcConfig {
+        &self.config
+    }
+
+    /// In-flight exchanges right now (diagnostics).
+    pub fn in_flight(&self) -> usize {
+        self.waiters.lock().len()
+    }
+
+    /// Perform one admission exchange with the QoS server at `server`.
+    /// The request id is allocated internally (callers supply only the
+    /// key), guaranteeing pool-wide uniqueness.
+    pub async fn check(&self, server: SocketAddr, key: QosKey) -> Result<QosResponse> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let request = QosRequest::new(id, key);
+        let wire = codec::encode_request(&request);
+
+        let (tx, mut rx) = oneshot::channel();
+        self.waiters.lock().insert(id, tx);
+        // Ensure cleanup on every exit path.
+        let result = async {
+            for _attempt in 0..self.config.attempts() {
+                match self.faults.judge() {
+                    None => {} // dropped on the floor, like a lossy link
+                    Some(delay) => {
+                        if !delay.is_zero() {
+                            tokio::time::sleep(delay).await;
+                        }
+                        self.socket.send_to(&wire, server).await?;
+                    }
+                }
+                match tokio::time::timeout(self.config.timeout, &mut rx).await {
+                    Ok(Ok(resp)) => return Ok(resp),
+                    // Channel dropped: demux task died (socket closed).
+                    Ok(Err(_)) => {
+                        return Err(JanusError::state("udp pool demux task is gone"))
+                    }
+                    Err(_elapsed) => continue,
+                }
+            }
+            Err(JanusError::Timeout {
+                attempts: self.config.attempts(),
+            })
+        }
+        .await;
+        self.waiters.lock().remove(&id);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::udp::UdpServerSocket;
+    use janus_types::Verdict;
+    use std::time::Duration;
+
+    fn key(s: &str) -> QosKey {
+        QosKey::new(s).unwrap()
+    }
+
+    /// Echo server: allow iff the key length is even.
+    async fn spawn_echo() -> SocketAddr {
+        let server = UdpServerSocket::bind_ephemeral().await.unwrap();
+        let addr = server.local_addr().unwrap();
+        tokio::spawn(async move {
+            loop {
+                let Ok((req, peer)) = server.recv_request().await else { return };
+                let verdict = Verdict::from_bool(req.key.len() % 2 == 0);
+                let _ = server
+                    .send_response(&QosResponse::new(req.id, verdict), peer)
+                    .await;
+            }
+        });
+        addr
+    }
+
+    #[tokio::test]
+    async fn roundtrip() {
+        let server = spawn_echo().await;
+        let pool = PooledUdpRpcClient::bind(UdpRpcConfig::lan_defaults())
+            .await
+            .unwrap();
+        assert_eq!(
+            pool.check(server, key("ab")).await.unwrap().verdict,
+            Verdict::Allow
+        );
+        assert_eq!(
+            pool.check(server, key("abc")).await.unwrap().verdict,
+            Verdict::Deny
+        );
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn concurrent_exchanges_demux_correctly() {
+        let server = spawn_echo().await;
+        let pool = PooledUdpRpcClient::bind(UdpRpcConfig::lan_defaults())
+            .await
+            .unwrap();
+        let mut handles = Vec::new();
+        for i in 0..128usize {
+            let pool = pool.clone();
+            handles.push(tokio::spawn(async move {
+                let k = key(&"x".repeat(1 + i % 7));
+                let resp = pool.check(server, k.clone()).await.unwrap();
+                assert_eq!(resp.verdict, Verdict::from_bool(k.len() % 2 == 0), "{k}");
+            }));
+        }
+        for handle in handles {
+            handle.await.unwrap();
+        }
+        assert_eq!(pool.in_flight(), 0);
+    }
+
+    #[tokio::test]
+    async fn total_loss_times_out_and_cleans_up() {
+        let server = spawn_echo().await;
+        let pool = PooledUdpRpcClient::bind_with_faults(
+            UdpRpcConfig {
+                timeout: Duration::from_millis(1),
+                max_retries: 2,
+            },
+            FaultPlan::new(1.0, 0.0, Duration::ZERO, 5),
+        )
+        .await
+        .unwrap();
+        let err = pool.check(server, key("ab")).await.unwrap_err();
+        assert!(matches!(err, JanusError::Timeout { attempts: 3 }));
+        assert_eq!(pool.in_flight(), 0, "leaked waiter after timeout");
+    }
+
+    #[tokio::test]
+    async fn retries_recover_from_partial_loss() {
+        let server = spawn_echo().await;
+        let pool = PooledUdpRpcClient::bind_with_faults(
+            UdpRpcConfig::lan_defaults(),
+            FaultPlan::new(0.4, 0.0, Duration::ZERO, 777),
+        )
+        .await
+        .unwrap();
+        let mut ok = 0;
+        for _ in 0..20 {
+            if pool.check(server, key("ab")).await.is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 18, "only {ok}/20 under 40% loss");
+    }
+
+    #[tokio::test]
+    async fn late_responses_are_dropped_not_misdelivered() {
+        // A slow server answers after the caller timed out; the next call
+        // must not receive the stale response.
+        let server = UdpServerSocket::bind_ephemeral().await.unwrap();
+        let addr = server.local_addr().unwrap();
+        tokio::spawn(async move {
+            loop {
+                let Ok((req, peer)) = server.recv_request().await else { return };
+                tokio::time::sleep(Duration::from_millis(20)).await;
+                // Always answer Deny (the stale answer).
+                let _ = server
+                    .send_response(&QosResponse::deny(req.id), peer)
+                    .await;
+            }
+        });
+        let pool = PooledUdpRpcClient::bind(UdpRpcConfig {
+            timeout: Duration::from_millis(2),
+            max_retries: 0,
+        })
+        .await
+        .unwrap();
+        assert!(pool.check(addr, key("ab")).await.is_err());
+        // Wait for the stale response to arrive and be discarded.
+        tokio::time::sleep(Duration::from_millis(40)).await;
+        assert_eq!(pool.in_flight(), 0);
+    }
+}

@@ -1,0 +1,482 @@
+#![warn(missing_docs)]
+//! The request router layer (paper §II-B, §III-B).
+//!
+//! A request router is a *stateless* web application: it accepts QoS
+//! requests over HTTP (`GET /qos?key=<qos-key>`), picks the owning QoS
+//! server with `CRC32(key) mod N`, forwards the request over UDP with the
+//! 100 µs × 5-retry discipline, and relays the verdict. If every retry is
+//! lost it returns a configurable **default reply** instead of an error —
+//! admission control must answer quickly even when a partition is sick.
+//!
+//! Statelessness is the point: any router node computes the same hash, so
+//! the fleet scales out by just adding nodes behind the load balancer, and
+//! a router can be killed at any time without losing QoS state.
+//!
+//! Back ends are identified by DNS names resolved through the
+//! [`janus_net::dns`] substrate ("the request router identifies the QoS
+//! server nodes in the back end via their DNS names"), which is how
+//! master→slave failover reaches routers without reconfiguration; direct
+//! socket addresses are also accepted for simple deployments.
+
+use janus_hash::{ModuloRouter, Router as _};
+use janus_net::dns::Resolver;
+use janus_net::http::{HttpHandler, HttpRequest, HttpResponse, HttpServer, StatusCode};
+use janus_net::udp::{UdpRpcClient, UdpRpcConfig};
+use janus_net::udp_pool::PooledUdpRpcClient;
+use janus_types::{JanusError, QosKey, QosRequest, Result, Verdict};
+use std::future::Future;
+use std::net::SocketAddr;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How the router addresses one QoS server partition.
+#[derive(Debug, Clone)]
+pub enum Backend {
+    /// A fixed socket address.
+    Direct(SocketAddr),
+    /// A DNS name (e.g. `qos-3.janus.internal`) resolved per request
+    /// through the router's TTL-caching resolver. Used for HA pairs.
+    Named(String),
+}
+
+impl From<SocketAddr> for Backend {
+    fn from(addr: SocketAddr) -> Backend {
+        Backend::Direct(addr)
+    }
+}
+
+/// Router configuration.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// The QoS server fleet, in partition order. The fleet size N is
+    /// baked into the hash, so all routers must agree on this list.
+    pub backends: Vec<Backend>,
+    /// UDP retry discipline (paper: 100 µs × 5 retries).
+    pub udp: UdpRpcConfig,
+    /// The verdict to return when the QoS server never answers.
+    /// Fail-open (`Allow`) favours availability; fail-closed (`Deny`)
+    /// favours protection. The paper leaves the "default reply"
+    /// unspecified, so it is explicit configuration here.
+    pub default_verdict: Verdict,
+    /// Use one shared UDP socket with response demultiplexing instead of
+    /// the paper's PHP-style socket-per-request (an optimization
+    /// ablation; see `janus_net::udp_pool`). Default: false, the
+    /// faithful discipline.
+    pub pooled_rpc: bool,
+}
+
+impl RouterConfig {
+    /// A config for a fixed fleet of direct addresses with LAN-friendly
+    /// retry timing and a fail-open default.
+    pub fn direct(backends: impl IntoIterator<Item = SocketAddr>) -> Self {
+        RouterConfig {
+            backends: backends.into_iter().map(Backend::Direct).collect(),
+            udp: UdpRpcConfig::lan_defaults(),
+            default_verdict: Verdict::Allow,
+            pooled_rpc: false,
+        }
+    }
+}
+
+/// Counters exported by a router node.
+#[derive(Debug, Default)]
+pub struct RouterStats {
+    /// QoS requests served over HTTP.
+    pub served: AtomicU64,
+    /// Requests answered by the QoS server.
+    pub forwarded_ok: AtomicU64,
+    /// Requests that exhausted the retry budget and got the default reply.
+    pub defaulted: AtomicU64,
+    /// Malformed HTTP requests rejected.
+    pub bad_requests: AtomicU64,
+}
+
+/// A running request-router node.
+pub struct RequestRouter {
+    http: HttpServer,
+    stats: Arc<RouterStats>,
+    partitions: usize,
+}
+
+enum RpcBackend {
+    /// A fresh socket per request (the paper's PHP router).
+    PerRequest(UdpRpcClient),
+    /// One shared socket, demultiplexed by request id.
+    Pooled(PooledUdpRpcClient),
+}
+
+struct RouterHandler {
+    hash: ModuloRouter,
+    backends: Vec<Backend>,
+    resolver: Option<Arc<Resolver>>,
+    rpc: RpcBackend,
+    default_verdict: Verdict,
+    stats: Arc<RouterStats>,
+    next_id: AtomicU64,
+}
+
+impl RouterHandler {
+    async fn qos_check(&self, key: QosKey) -> Result<Verdict> {
+        let partition = self.hash.route(&key);
+        let addr = match &self.backends[partition] {
+            Backend::Direct(addr) => *addr,
+            Backend::Named(name) => match &self.resolver {
+                Some(resolver) => resolver.resolve_one(name)?,
+                None => {
+                    return Err(JanusError::config(format!(
+                        "backend {name:?} is a DNS name but the router has no resolver"
+                    )))
+                }
+            },
+        };
+        let response = match &self.rpc {
+            RpcBackend::PerRequest(rpc) => {
+                let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                rpc.call(addr, &QosRequest::new(id, key)).await?
+            }
+            RpcBackend::Pooled(pool) => pool.check(addr, key).await?,
+        };
+        Ok(response.verdict)
+    }
+}
+
+impl HttpHandler for RouterHandler {
+    fn handle(
+        &self,
+        request: HttpRequest,
+        _peer: SocketAddr,
+    ) -> Pin<Box<dyn Future<Output = HttpResponse> + Send + '_>> {
+        Box::pin(async move {
+            self.stats.served.fetch_add(1, Ordering::Relaxed);
+            match request.path() {
+                "/qos" => {
+                    let Some(key) = request.query_param("key") else {
+                        self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        return HttpResponse::status(StatusCode::BAD_REQUEST);
+                    };
+                    let Ok(key) = QosKey::new(&key) else {
+                        self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        return HttpResponse::status(StatusCode::BAD_REQUEST);
+                    };
+                    let verdict = match self.qos_check(key).await {
+                        Ok(verdict) => {
+                            self.stats.forwarded_ok.fetch_add(1, Ordering::Relaxed);
+                            verdict
+                        }
+                        Err(_) => {
+                            // Retry budget exhausted (or resolution
+                            // failed): the default reply keeps the client
+                            // unblocked (paper §III-B).
+                            self.stats.defaulted.fetch_add(1, Ordering::Relaxed);
+                            self.default_verdict
+                        }
+                    };
+                    HttpResponse::ok(verdict.to_string())
+                }
+                "/healthz" => HttpResponse::ok("ok"),
+                _ => {
+                    self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    HttpResponse::status(StatusCode::NOT_FOUND)
+                }
+            }
+        })
+    }
+}
+
+impl RequestRouter {
+    /// Spawn a router node. `resolver` is required iff any backend is
+    /// [`Backend::Named`].
+    pub async fn spawn(
+        config: RouterConfig,
+        resolver: Option<Arc<Resolver>>,
+    ) -> Result<RequestRouter> {
+        if config.backends.is_empty() {
+            return Err(JanusError::config("router needs at least one backend"));
+        }
+        if resolver.is_none()
+            && config
+                .backends
+                .iter()
+                .any(|b| matches!(b, Backend::Named(_)))
+        {
+            return Err(JanusError::config(
+                "named backends require a resolver",
+            ));
+        }
+        let stats = Arc::new(RouterStats::default());
+        let partitions = config.backends.len();
+        let rpc = if config.pooled_rpc {
+            RpcBackend::Pooled(PooledUdpRpcClient::bind(config.udp).await?)
+        } else {
+            RpcBackend::PerRequest(UdpRpcClient::new(config.udp))
+        };
+        let handler = Arc::new(RouterHandler {
+            hash: ModuloRouter::new(partitions),
+            backends: config.backends,
+            resolver,
+            rpc,
+            default_verdict: config.default_verdict,
+            stats: Arc::clone(&stats),
+            next_id: AtomicU64::new(rand_seed()),
+        });
+        let http = HttpServer::spawn(handler).await?;
+        Ok(RequestRouter {
+            http,
+            stats,
+            partitions,
+        })
+    }
+
+    /// The HTTP address clients (or the gateway LB) talk to.
+    pub fn addr(&self) -> SocketAddr {
+        self.http.addr()
+    }
+
+    /// Number of QoS-server partitions this router hashes over.
+    pub fn partitions(&self) -> usize {
+        self.partitions
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &Arc<RouterStats> {
+        &self.stats
+    }
+
+    /// Stop accepting requests.
+    pub fn shutdown(&self) {
+        self.http.shutdown();
+    }
+}
+
+/// Seed request ids from the router's identity so two router nodes never
+/// reuse the same id space (ids only need per-socket uniqueness, but
+/// distinct spaces make debugging traces unambiguous).
+fn rand_seed() -> u64 {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0);
+    (std::process::id() as u64) << 32 | nanos
+}
+
+/// Build the HTTP request a QoS client sends for `key` (shared by the
+/// client library and tests).
+pub fn qos_http_request(key: &QosKey) -> HttpRequest {
+    HttpRequest::get(format!(
+        "/qos?key={}",
+        janus_net::http::percent_encode(key.as_str())
+    ))
+}
+
+/// Interpret a router HTTP response as a verdict.
+pub fn parse_qos_response(response: &HttpResponse) -> Result<Verdict> {
+    if response.status != StatusCode::OK {
+        return Err(JanusError::http(format!(
+            "router answered {}",
+            response.status
+        )));
+    }
+    match response.body_text().trim() {
+        "TRUE" => Ok(Verdict::Allow),
+        "FALSE" => Ok(Verdict::Deny),
+        other => Err(JanusError::http(format!("bad verdict body {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_net::http::HttpClient;
+    use janus_server::{QosServer, QosServerConfig};
+    use janus_types::QosRule;
+
+    fn key(s: &str) -> QosKey {
+        QosKey::new(s).unwrap()
+    }
+
+    async fn standalone_server(rules: &[(&str, u64, u64)]) -> QosServer {
+        let server = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            None,
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        let now = server.clock().now();
+        for (k, cap, rate) in rules {
+            server
+                .table()
+                .insert(QosRule::per_second(key(k), *cap, *rate), now);
+        }
+        server
+    }
+
+    async fn check(client: &mut HttpClient, k: &str) -> Verdict {
+        let resp = client.request(&qos_http_request(&key(k))).await.unwrap();
+        parse_qos_response(&resp).unwrap()
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn routes_and_relays_verdicts() {
+        let server = standalone_server(&[("alice", 2, 0)]).await;
+        let router = RequestRouter::spawn(RouterConfig::direct([server.udp_addr()]), None)
+            .await
+            .unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        assert_eq!(check(&mut client, "alice").await, Verdict::Allow);
+        assert_eq!(check(&mut client, "alice").await, Verdict::Allow);
+        assert_eq!(check(&mut client, "alice").await, Verdict::Deny);
+        assert_eq!(router.stats().forwarded_ok.load(Ordering::Relaxed), 3);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn partitions_requests_across_backends() {
+        // Two QoS servers; keys should split between them per CRC32 mod 2,
+        // and the same key must always hit the same server.
+        let a = standalone_server(&[]).await;
+        let b = standalone_server(&[]).await;
+        // Both allow-all so every check succeeds regardless of partition.
+        let mut config = QosServerConfig::test_defaults();
+        config.default_policy = janus_bucket::DefaultRulePolicy::AllowAll;
+        drop((a, b));
+        let a = QosServer::spawn(config.clone(), None, janus_clock::system())
+            .await
+            .unwrap();
+        let b = QosServer::spawn(config, None, janus_clock::system())
+            .await
+            .unwrap();
+        let router =
+            RequestRouter::spawn(RouterConfig::direct([a.udp_addr(), b.udp_addr()]), None)
+                .await
+                .unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        for i in 0..40 {
+            assert_eq!(check(&mut client, &format!("user-{i}")).await, Verdict::Allow);
+        }
+        let hash = ModuloRouter::new(2);
+        let a_expected = (0..40)
+            .filter(|i| hash.route(&key(&format!("user-{i}"))) == 0)
+            .count() as u64;
+        let a_stats = a.stats().answered.load(Ordering::Relaxed);
+        let b_stats = b.stats().answered.load(Ordering::Relaxed);
+        assert_eq!(a_stats, a_expected);
+        assert_eq!(a_stats + b_stats, 40);
+        assert!(a_stats > 0 && b_stats > 0, "one partition starved: {a_stats}/{b_stats}");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn dead_backend_gets_default_reply() {
+        // Router pointed at a dead UDP port: every request times out and
+        // the default verdict is returned.
+        let dead = tokio::net::UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        let mut config = RouterConfig::direct([dead_addr]);
+        config.udp = UdpRpcConfig {
+            timeout: std::time::Duration::from_millis(1),
+            max_retries: 2,
+        };
+        config.default_verdict = Verdict::Deny;
+        let router = RequestRouter::spawn(config, None).await.unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        assert_eq!(check(&mut client, "anyone").await, Verdict::Deny);
+        assert_eq!(router.stats().defaulted.load(Ordering::Relaxed), 1);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn named_backend_follows_dns_failover() {
+        use janus_net::dns::{Resolver, Zone};
+        let master = standalone_server(&[]).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.default_policy = janus_bucket::DefaultRulePolicy::AllowAll;
+        let slave = QosServer::spawn(config, None, janus_clock::system())
+            .await
+            .unwrap();
+
+        let zone = Zone::new();
+        zone.insert_failover(
+            "qos-0.janus",
+            master.udp_addr(),
+            Some(slave.udp_addr()),
+            std::time::Duration::ZERO, // no client caching: failover is instant
+        );
+        let resolver = Arc::new(Resolver::new(Arc::clone(&zone), janus_clock::system()));
+
+        let mut rconfig = RouterConfig::direct([]);
+        rconfig.backends = vec![Backend::Named("qos-0.janus".into())];
+        rconfig.default_verdict = Verdict::Deny;
+        let router = RequestRouter::spawn(rconfig, Some(resolver)).await.unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+
+        // Master denies unknown keys (Deny policy); slave allows all.
+        assert_eq!(check(&mut client, "probe").await, Verdict::Deny);
+        zone.promote_standby("qos-0.janus").unwrap();
+        assert_eq!(check(&mut client, "probe").await, Verdict::Allow);
+    }
+
+    #[tokio::test]
+    async fn rejects_bad_requests() {
+        let server = standalone_server(&[]).await;
+        let router = RequestRouter::spawn(RouterConfig::direct([server.udp_addr()]), None)
+            .await
+            .unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        let resp = client.request(&HttpRequest::get("/qos")).await.unwrap();
+        assert_eq!(resp.status, StatusCode::BAD_REQUEST);
+        let resp = client
+            .request(&HttpRequest::get("/nonsense"))
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::NOT_FOUND);
+        assert_eq!(router.stats().bad_requests.load(Ordering::Relaxed), 2);
+    }
+
+    #[tokio::test]
+    async fn health_endpoint() {
+        let server = standalone_server(&[]).await;
+        let router = RequestRouter::spawn(RouterConfig::direct([server.udp_addr()]), None)
+            .await
+            .unwrap();
+        let resp = HttpClient::oneshot(router.addr(), &HttpRequest::get("/healthz"))
+            .await
+            .unwrap();
+        assert_eq!(resp.body_text(), "ok");
+    }
+
+    #[tokio::test]
+    async fn config_validation() {
+        assert!(RequestRouter::spawn(RouterConfig::direct([]), None)
+            .await
+            .is_err());
+        let mut config = RouterConfig::direct([]);
+        config.backends = vec![Backend::Named("x".into())];
+        assert!(RequestRouter::spawn(config, None).await.is_err());
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn pooled_rpc_mode_routes_identically() {
+        let server = standalone_server(&[("pooled", 3, 0)]).await;
+        let mut config = RouterConfig::direct([server.udp_addr()]);
+        config.pooled_rpc = true;
+        let router = RequestRouter::spawn(config, None).await.unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        assert_eq!(check(&mut client, "pooled").await, Verdict::Allow);
+        assert_eq!(check(&mut client, "pooled").await, Verdict::Allow);
+        assert_eq!(check(&mut client, "pooled").await, Verdict::Allow);
+        assert_eq!(check(&mut client, "pooled").await, Verdict::Deny);
+        assert_eq!(router.stats().forwarded_ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn keys_with_special_characters_roundtrip() {
+        let server = standalone_server(&[("a b&c=d", 1, 0)]).await;
+        let router = RequestRouter::spawn(RouterConfig::direct([server.udp_addr()]), None)
+            .await
+            .unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        assert_eq!(check(&mut client, "a b&c=d").await, Verdict::Allow);
+        assert_eq!(check(&mut client, "a b&c=d").await, Verdict::Deny);
+    }
+}

@@ -1,0 +1,152 @@
+//! QoS server configuration.
+
+use janus_bucket::DefaultRulePolicy;
+use janus_db::DbClient;
+use janus_net::dns::Resolver;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How a QoS server finds its database.
+///
+/// The paper's RDS instance "is represented by a DNS name managed by
+/// Amazon Route53" so that a Multi-AZ failover is transparent to every
+/// QoS server: they simply re-resolve on reconnect. [`DbTarget::Named`]
+/// is that mode; [`DbTarget::Direct`] is for single-node setups and
+/// tests.
+#[derive(Debug, Clone)]
+pub enum DbTarget {
+    /// A fixed address.
+    Direct(SocketAddr),
+    /// A DNS failover record resolved at (re)connect time.
+    Named {
+        /// Record name, e.g. `db.janus.internal`.
+        name: String,
+        /// The resolver to use (shares the deployment's zone).
+        resolver: Arc<Resolver>,
+    },
+}
+
+impl From<SocketAddr> for DbTarget {
+    fn from(addr: SocketAddr) -> DbTarget {
+        DbTarget::Direct(addr)
+    }
+}
+
+impl DbTarget {
+    /// Resolve (if named) and connect. `None` on any failure — callers
+    /// retry on their next tick or miss.
+    pub async fn connect(&self) -> Option<DbClient> {
+        let addr = match self {
+            DbTarget::Direct(addr) => *addr,
+            DbTarget::Named { name, resolver } => resolver.resolve_one(name).ok()?,
+        };
+        DbClient::connect(addr).await.ok()
+    }
+}
+
+/// Which local QoS table implementation to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TableKind {
+    /// Lock-striped table: decisions for different keys run in parallel.
+    Sharded,
+    /// One global lock — the paper's synchronized hash map, kept for the
+    /// lock-contention ablation.
+    Synchronized,
+}
+
+/// Tunables for one QoS server node.
+#[derive(Debug, Clone)]
+pub struct QosServerConfig {
+    /// Worker tasks popping the FIFO. The paper sets this to the node's
+    /// vCPU count.
+    pub workers: usize,
+    /// Bounded FIFO between the UDP listener and the workers. When full,
+    /// datagrams are shed (the router's retry covers the loss).
+    pub fifo_capacity: usize,
+    /// House-keeping refill sweep interval.
+    pub refill_interval: Duration,
+    /// How often to re-query the database for updates to locally-held
+    /// rules. `None` disables sync (no database configured).
+    pub sync_interval: Duration,
+    /// How often to check-point remaining credits back to the database.
+    pub checkpoint_interval: Duration,
+    /// What to do with keys the database has never heard of.
+    pub default_policy: DefaultRulePolicy,
+    /// Local table flavour.
+    pub table: TableKind,
+    /// Issue `SELECT * FROM qos_rules` at startup and preload the local
+    /// table. The paper does this on the database side to warm RAM; doing
+    /// it on the QoS server also removes first-sighting misses, which is
+    /// the right trade when the rule set fits comfortably in memory.
+    pub preload: bool,
+}
+
+impl Default for QosServerConfig {
+    fn default() -> Self {
+        QosServerConfig {
+            workers: 4,
+            fifo_capacity: 4096,
+            refill_interval: Duration::from_millis(100),
+            sync_interval: Duration::from_secs(5),
+            checkpoint_interval: Duration::from_secs(5),
+            default_policy: DefaultRulePolicy::Deny,
+            table: TableKind::Sharded,
+            preload: false,
+        }
+    }
+}
+
+impl QosServerConfig {
+    /// Sensible defaults for fast integration tests: small FIFO, short
+    /// intervals.
+    pub fn test_defaults() -> Self {
+        QosServerConfig {
+            workers: 2,
+            fifo_capacity: 1024,
+            refill_interval: Duration::from_millis(20),
+            sync_interval: Duration::from_millis(100),
+            checkpoint_interval: Duration::from_millis(100),
+            default_policy: DefaultRulePolicy::Deny,
+            table: TableKind::Sharded,
+            preload: false,
+        }
+    }
+
+    /// Validate internal consistency.
+    pub fn validate(&self) -> janus_types::Result<()> {
+        if self.workers == 0 {
+            return Err(janus_types::JanusError::config("workers must be > 0"));
+        }
+        if self.fifo_capacity == 0 {
+            return Err(janus_types::JanusError::config("fifo_capacity must be > 0"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::field_reassign_with_default)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(QosServerConfig::default().validate().is_ok());
+        assert!(QosServerConfig::test_defaults().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_workers_invalid() {
+        let mut c = QosServerConfig::default();
+        c.workers = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_fifo_invalid() {
+        let mut c = QosServerConfig::default();
+        c.fifo_capacity = 0;
+        assert!(c.validate().is_err());
+    }
+}

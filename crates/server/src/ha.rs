@@ -1,0 +1,305 @@
+//! High-availability: master→slave QoS-table replication.
+//!
+//! "When high-availability is desired, an optional slave node can be
+//! configured for each QoS server. The slave node continuously replicates
+//! the local QoS rule table from the master node at a configurable
+//! interval." (paper §III-C). The same TCP listener doubles as the health
+//! probe target for the DNS failover record: while a connect succeeds the
+//! master is considered healthy.
+//!
+//! Protocol (line-based, like the database wire):
+//!
+//! ```text
+//! slave:   SNAPSHOT\n
+//! master:  SNAPSHOT <n>\n  followed by n rule rows
+//! ```
+
+use janus_bucket::QosTable;
+use janus_clock::SharedClock;
+use janus_db::server::{format_rule_row, parse_rule_row};
+use janus_types::{JanusError, QosRule, Result};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::io::{AsyncBufReadExt, AsyncWriteExt, BufReader};
+use tokio::net::{TcpListener, TcpStream};
+use tokio::sync::watch;
+
+/// Start the HA/health listener for a QoS server's table. Returns the
+/// bound TCP address.
+pub(crate) async fn spawn_ha_listener(
+    table: Arc<dyn QosTable>,
+    clock: SharedClock,
+    mut shutdown: watch::Receiver<bool>,
+) -> Result<SocketAddr> {
+    let listener = TcpListener::bind(("127.0.0.1", 0)).await?;
+    let addr = listener.local_addr()?;
+    tokio::spawn(async move {
+        loop {
+            tokio::select! {
+                _ = shutdown.changed() => return,
+                accepted = listener.accept() => {
+                    let Ok((stream, _)) = accepted else { return };
+                    let table = Arc::clone(&table);
+                    let clock = Arc::clone(&clock);
+                    tokio::spawn(async move {
+                        let _ = serve_ha_connection(stream, table, clock).await;
+                    });
+                }
+            }
+        }
+    });
+    Ok(addr)
+}
+
+async fn serve_ha_connection(
+    stream: TcpStream,
+    table: Arc<dyn QosTable>,
+    clock: SharedClock,
+) -> Result<()> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).await? == 0 {
+            return Ok(());
+        }
+        match line.trim_end() {
+            "SNAPSHOT" => {
+                let snapshot = table.snapshot(clock.now());
+                let mut out = format!("SNAPSHOT {}\n", snapshot.len());
+                for rule in &snapshot {
+                    out.push_str(&format_rule_row(rule));
+                    out.push('\n');
+                }
+                reader.get_mut().write_all(out.as_bytes()).await?;
+            }
+            // Health probes just connect and close; tolerate anything else.
+            _ => {
+                reader.get_mut().write_all(b"ERR unknown command\n").await?;
+            }
+        }
+    }
+}
+
+/// Fetch one snapshot from a master's HA port.
+pub async fn fetch_snapshot(master_ha: SocketAddr) -> Result<Vec<QosRule>> {
+    let stream = TcpStream::connect(master_ha).await?;
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream);
+    reader.get_mut().write_all(b"SNAPSHOT\n").await?;
+    let mut header = String::new();
+    if reader.read_line(&mut header).await? == 0 {
+        return Err(JanusError::state("master closed during snapshot"));
+    }
+    let n: usize = header
+        .trim_end()
+        .strip_prefix("SNAPSHOT ")
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| JanusError::state(format!("bad snapshot header {header:?}")))?;
+    let mut rules = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut row = String::new();
+        if reader.read_line(&mut row).await? == 0 {
+            return Err(JanusError::state("master closed mid-snapshot"));
+        }
+        rules.push(parse_rule_row(row.trim_end_matches(['\r', '\n']))?);
+    }
+    Ok(rules)
+}
+
+/// A slave-side replication loop: pulls the master's table every
+/// `interval` and restores it into the slave's local table, so a promoted
+/// slave "already has an up-to-date local QoS table".
+pub struct SlaveReplicator {
+    stop: watch::Sender<bool>,
+    rounds: Arc<AtomicU64>,
+    failures: Arc<AtomicU64>,
+}
+
+impl SlaveReplicator {
+    /// Start replicating `master_ha` into `table`.
+    pub fn spawn(
+        master_ha: SocketAddr,
+        table: Arc<dyn QosTable>,
+        clock: SharedClock,
+        interval: Duration,
+    ) -> SlaveReplicator {
+        let (stop, mut stop_rx) = watch::channel(false);
+        let rounds = Arc::new(AtomicU64::new(0));
+        let failures = Arc::new(AtomicU64::new(0));
+        let (rounds_task, failures_task) = (Arc::clone(&rounds), Arc::clone(&failures));
+        tokio::spawn(async move {
+            let mut ticker = tokio::time::interval(interval);
+            ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+            loop {
+                tokio::select! {
+                    _ = stop_rx.changed() => return,
+                    _ = ticker.tick() => {
+                        match fetch_snapshot(master_ha).await {
+                            Ok(rules) => {
+                                table.restore(rules, clock.now());
+                                rounds_task.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(_) => {
+                                failures_task.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                }
+            }
+        });
+        SlaveReplicator {
+            stop,
+            rounds,
+            failures,
+        }
+    }
+
+    /// Successful replication rounds so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Failed replication attempts so far (master unreachable).
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Stop replicating (the moment of promotion).
+    pub fn stop(&self) {
+        let _ = self.stop.send(true);
+    }
+}
+
+impl Drop for SlaveReplicator {
+    fn drop(&mut self) {
+        let _ = self.stop.send(true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{QosServer, QosServerConfig};
+    use janus_bucket::ShardedTable;
+    use janus_types::{Credits, QosKey};
+
+    fn rule(s: &str, cap: u64, rate: u64) -> QosRule {
+        QosRule::per_second(QosKey::new(s).unwrap(), cap, rate)
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn snapshot_roundtrips_master_table() {
+        let master = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            None,
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        let now = master.clock().now();
+        master.table().insert(rule("a", 100, 10), now);
+        master.table().insert(rule("b", 50, 5), now);
+
+        let snapshot = fetch_snapshot(master.ha_addr()).await.unwrap();
+        assert_eq!(snapshot.len(), 2);
+        let a = snapshot.iter().find(|r| r.key.as_str() == "a").unwrap();
+        assert_eq!(a.capacity, Credits::from_whole(100));
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn slave_converges_to_master_state() {
+        let master = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            None,
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        let now = master.clock().now();
+        master.table().insert(rule("tenant", 100, 0), now);
+        // Drain some credit so the slave must see partial state.
+        for _ in 0..30 {
+            master
+                .table()
+                .decide(&QosKey::new("tenant").unwrap(), master.clock().now());
+        }
+
+        let slave_table: Arc<dyn QosTable> = Arc::new(ShardedTable::new());
+        let replicator = SlaveReplicator::spawn(
+            master.ha_addr(),
+            Arc::clone(&slave_table),
+            janus_clock::system(),
+            Duration::from_millis(20),
+        );
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = slave_table.snapshot(janus_clock::system().now());
+            if let Some(r) = snap.iter().find(|r| r.key.as_str() == "tenant") {
+                if r.credit == Credits::from_whole(70) {
+                    break;
+                }
+            }
+            assert!(std::time::Instant::now() < deadline, "slave never converged");
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        assert!(replicator.rounds() >= 1);
+        replicator.stop();
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn replicator_counts_failures_against_dead_master() {
+        let dead = TcpListener::bind(("127.0.0.1", 0)).await.unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+
+        let slave_table: Arc<dyn QosTable> = Arc::new(ShardedTable::new());
+        let replicator = SlaveReplicator::spawn(
+            dead_addr,
+            slave_table,
+            janus_clock::system(),
+            Duration::from_millis(10),
+        );
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while replicator.failures() == 0 {
+            assert!(std::time::Instant::now() < deadline);
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        assert_eq!(replicator.rounds(), 0);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn ha_port_answers_health_probe_connects() {
+        let server = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            None,
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        // A Route53-style probe is just a TCP connect.
+        assert!(TcpStream::connect(server.ha_addr()).await.is_ok());
+        server.shutdown();
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 2)]
+    async fn unknown_ha_command_gets_error_line() {
+        let server = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            None,
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        let stream = TcpStream::connect(server.ha_addr()).await.unwrap();
+        let mut reader = BufReader::new(stream);
+        reader.get_mut().write_all(b"GIMME\n").await.unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).await.unwrap();
+        assert!(line.starts_with("ERR"), "{line}");
+    }
+}

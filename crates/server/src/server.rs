@@ -1,0 +1,787 @@
+//! The QoS server node: listener, FIFO, workers and maintenance tasks.
+
+use crate::config::{DbTarget, QosServerConfig, TableKind};
+use crate::ha;
+use janus_bucket::{QosTable, ShardedTable, SyncTable};
+use janus_clock::SharedClock;
+use janus_db::DbClient;
+use janus_net::fault::FaultPlan;
+use janus_net::udp::UdpServerSocket;
+use janus_types::{QosKey, QosRequest, QosResponse, Result, Verdict};
+use std::collections::HashSet;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use tokio::sync::{mpsc, watch, Mutex};
+
+/// Keys whose local bucket came from the default policy rather than a
+/// database row. The rule-sync task must not treat their absence from
+/// the database as a deletion — removing them would re-grant a fresh
+/// guest bucket every sync round.
+type GuestKeys = Arc<parking_lot::Mutex<HashSet<QosKey>>>;
+
+/// Counters exported by a running QoS server.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Datagrams shed because the FIFO was full.
+    pub shed: AtomicU64,
+    /// Decisions answered.
+    pub answered: AtomicU64,
+    /// Rules fetched from the database on first sighting.
+    pub db_fetches: AtomicU64,
+    /// Unknown keys admitted under the default policy.
+    pub default_rule_hits: AtomicU64,
+    /// House-keeping refill sweeps executed.
+    pub refill_sweeps: AtomicU64,
+    /// Check-point rounds completed.
+    pub checkpoints: AtomicU64,
+    /// Rule-sync rounds that found changes.
+    pub sync_rounds: AtomicU64,
+}
+
+/// A running QoS server node.
+///
+/// Dropping the handle shuts down every task.
+pub struct QosServer {
+    udp_addr: SocketAddr,
+    ha_addr: SocketAddr,
+    table: Arc<dyn QosTable>,
+    stats: Arc<ServerStats>,
+    clock: SharedClock,
+    shutdown: watch::Sender<bool>,
+}
+
+impl QosServer {
+    /// Spawn a QoS server.
+    ///
+    /// `db` is the database target used for first-sighting lookups, rule
+    /// sync and check-pointing (a fixed address, or a DNS failover name
+    /// for Multi-AZ setups); `None` runs the server standalone (rules
+    /// inserted via [`QosServer::table`], unknown keys handled by the
+    /// default policy).
+    pub async fn spawn(
+        config: QosServerConfig,
+        db: Option<DbTarget>,
+        clock: SharedClock,
+    ) -> Result<QosServer> {
+        Self::spawn_with_faults(config, db, clock, FaultPlan::none()).await
+    }
+
+    /// Spawn with fault injection on the response path.
+    pub async fn spawn_with_faults(
+        config: QosServerConfig,
+        db: Option<DbTarget>,
+        clock: SharedClock,
+        faults: Arc<FaultPlan>,
+    ) -> Result<QosServer> {
+        config.validate()?;
+        let table: Arc<dyn QosTable> = match config.table {
+            TableKind::Sharded => Arc::new(ShardedTable::new()),
+            TableKind::Synchronized => Arc::new(SyncTable::new()),
+        };
+        let stats = Arc::new(ServerStats::default());
+        let (shutdown, shutdown_rx) = watch::channel(false);
+
+        // Preload the full rule table if asked.
+        if config.preload {
+            if let Some(target) = &db {
+                let mut client = target.connect().await.ok_or_else(|| {
+                    janus_types::JanusError::db("cannot reach database for preload")
+                })?;
+                let rules = client.load_all().await?;
+                let now = clock.now();
+                for rule in rules {
+                    table.insert(rule, now);
+                }
+            }
+        }
+
+        let socket = Arc::new(UdpServerSocket::bind_with_faults(faults).await?);
+        let udp_addr = socket.local_addr()?;
+        let guest_keys: GuestKeys = Arc::new(parking_lot::Mutex::new(HashSet::new()));
+
+        // Listener -> FIFO -> workers.
+        let (fifo_tx, fifo_rx) = mpsc::channel::<(QosRequest, SocketAddr)>(config.fifo_capacity);
+        let fifo_rx = Arc::new(Mutex::new(fifo_rx));
+        spawn_listener(
+            Arc::clone(&socket),
+            fifo_tx,
+            Arc::clone(&stats),
+            shutdown_rx.clone(),
+        );
+        for _ in 0..config.workers {
+            spawn_worker(
+                Arc::clone(&socket),
+                Arc::clone(&fifo_rx),
+                Arc::clone(&table),
+                Arc::clone(&stats),
+                Arc::clone(&clock) as SharedClock,
+                db.clone(),
+                config.default_policy.clone(),
+                Arc::clone(&guest_keys),
+            );
+        }
+
+        // House-keeping refill.
+        spawn_refill(
+            Arc::clone(&table),
+            Arc::clone(&stats),
+            Arc::clone(&clock) as SharedClock,
+            config.refill_interval,
+            shutdown_rx.clone(),
+        );
+
+        // DB sync + check-pointing.
+        if let Some(target) = db {
+            spawn_sync(
+                Arc::clone(&table),
+                Arc::clone(&stats),
+                Arc::clone(&clock) as SharedClock,
+                target.clone(),
+                config.sync_interval,
+                shutdown_rx.clone(),
+                Arc::clone(&guest_keys),
+            );
+            spawn_checkpoint(
+                Arc::clone(&table),
+                Arc::clone(&stats),
+                Arc::clone(&clock) as SharedClock,
+                target,
+                config.checkpoint_interval,
+                shutdown_rx.clone(),
+                Arc::clone(&guest_keys),
+            );
+        }
+
+        // HA / health listener.
+        let ha_addr = ha::spawn_ha_listener(
+            Arc::clone(&table),
+            Arc::clone(&clock) as SharedClock,
+            shutdown_rx,
+        )
+        .await?;
+
+        Ok(QosServer {
+            udp_addr,
+            ha_addr,
+            table,
+            stats,
+            clock,
+            shutdown,
+        })
+    }
+
+    /// The UDP address admission requests go to.
+    pub fn udp_addr(&self) -> SocketAddr {
+        self.udp_addr
+    }
+
+    /// The TCP address used for HA replication and health checks.
+    pub fn ha_addr(&self) -> SocketAddr {
+        self.ha_addr
+    }
+
+    /// The local QoS table (tests and slaves reach in directly).
+    pub fn table(&self) -> &Arc<dyn QosTable> {
+        &self.table
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// The clock this server charges buckets with.
+    pub fn clock(&self) -> &SharedClock {
+        &self.clock
+    }
+
+    /// Stop all tasks.
+    pub fn shutdown(&self) {
+        let _ = self.shutdown.send(true);
+    }
+}
+
+impl Drop for QosServer {
+    fn drop(&mut self) {
+        let _ = self.shutdown.send(true);
+    }
+}
+
+fn spawn_listener(
+    socket: Arc<UdpServerSocket>,
+    fifo: mpsc::Sender<(QosRequest, SocketAddr)>,
+    stats: Arc<ServerStats>,
+    mut shutdown: watch::Receiver<bool>,
+) {
+    tokio::spawn(async move {
+        loop {
+            tokio::select! {
+                _ = shutdown.changed() => return,
+                incoming = socket.recv_request() => {
+                    let Ok((request, peer)) = incoming else { return };
+                    // try_send sheds load when the FIFO is full; the
+                    // router's retry will re-deliver if capacity frees up.
+                    if fifo.try_send((request, peer)).is_err() {
+                        stats.shed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_worker(
+    socket: Arc<UdpServerSocket>,
+    fifo: Arc<Mutex<mpsc::Receiver<(QosRequest, SocketAddr)>>>,
+    table: Arc<dyn QosTable>,
+    stats: Arc<ServerStats>,
+    clock: SharedClock,
+    db_target: Option<DbTarget>,
+    default_policy: janus_bucket::DefaultRulePolicy,
+    guest_keys: GuestKeys,
+) {
+    tokio::spawn(async move {
+        let mut db: Option<DbClient> = None;
+        loop {
+            let item = {
+                let mut rx = fifo.lock().await;
+                rx.recv().await
+            };
+            let Some((request, peer)) = item else { return };
+            let verdict = decide(
+                &table,
+                &clock,
+                &request.key,
+                db_target.as_ref(),
+                &mut db,
+                &default_policy,
+                &stats,
+                &guest_keys,
+            )
+            .await;
+            stats.answered.fetch_add(1, Ordering::Relaxed);
+            let _ = socket
+                .send_response(&QosResponse::new(request.id, verdict), peer)
+                .await;
+        }
+    });
+}
+
+/// The decision path: local table hit, else database fetch, else default
+/// policy.
+#[allow(clippy::too_many_arguments)]
+async fn decide(
+    table: &Arc<dyn QosTable>,
+    clock: &SharedClock,
+    key: &QosKey,
+    db_target: Option<&DbTarget>,
+    db: &mut Option<DbClient>,
+    default_policy: &janus_bucket::DefaultRulePolicy,
+    stats: &ServerStats,
+    guest_keys: &GuestKeys,
+) -> Verdict {
+    let now = clock.now();
+    if let Some(verdict) = table.decide(key, now) {
+        return verdict;
+    }
+    // First sighting: consult the database.
+    let rule = match db_target {
+        Some(target) => {
+            if db.is_none() {
+                *db = target.connect().await;
+            }
+            let fetched = match db.as_mut() {
+                Some(client) => match client.get_rule(key).await {
+                    Ok(rule) => rule,
+                    Err(_) => {
+                        // Connection went bad; drop it so the next miss
+                        // reconnects, and fall back to the default policy
+                        // for this request.
+                        *db = None;
+                        None
+                    }
+                },
+                None => None,
+            };
+            stats.db_fetches.fetch_add(1, Ordering::Relaxed);
+            fetched
+        }
+        None => None,
+    };
+    let rule = match rule {
+        Some(rule) => {
+            guest_keys.lock().remove(key);
+            rule
+        }
+        None => {
+            stats.default_rule_hits.fetch_add(1, Ordering::Relaxed);
+            guest_keys.lock().insert(key.clone());
+            default_policy.rule_for(key.clone())
+        }
+    };
+    table.insert(rule, now);
+    table.decide(key, now).unwrap_or(Verdict::Deny)
+}
+
+fn spawn_refill(
+    table: Arc<dyn QosTable>,
+    stats: Arc<ServerStats>,
+    clock: SharedClock,
+    interval: std::time::Duration,
+    mut shutdown: watch::Receiver<bool>,
+) {
+    tokio::spawn(async move {
+        let mut ticker = tokio::time::interval(interval);
+        ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+        loop {
+            tokio::select! {
+                _ = shutdown.changed() => return,
+                _ = ticker.tick() => {
+                    table.sweep_refill(clock.now());
+                    stats.refill_sweeps.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_sync(
+    table: Arc<dyn QosTable>,
+    stats: Arc<ServerStats>,
+    clock: SharedClock,
+    db_target: DbTarget,
+    interval: std::time::Duration,
+    mut shutdown: watch::Receiver<bool>,
+    guest_keys: GuestKeys,
+) {
+    tokio::spawn(async move {
+        let mut ticker = tokio::time::interval(interval);
+        ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+        let mut db: Option<DbClient> = None;
+        let mut last_version: Option<u64> = None;
+        loop {
+            tokio::select! {
+                _ = shutdown.changed() => return,
+                _ = ticker.tick() => {
+                    if db.is_none() {
+                        db = db_target.connect().await;
+                    }
+                    let Some(client) = db.as_mut() else { continue };
+                    let version = match client.version().await {
+                        Ok(v) => v,
+                        Err(_) => { db = None; continue; }
+                    };
+                    if last_version == Some(version) {
+                        continue;
+                    }
+                    // Re-query every locally-held key (the paper's sync:
+                    // "makes queries to the database with the QoS keys in
+                    // the local QoS rule table").
+                    let mut ok = true;
+                    for key in table.keys() {
+                        match client.get_rule(&key).await {
+                            Ok(Some(rule)) => {
+                                let was_guest = guest_keys.lock().remove(&key);
+                                if was_guest {
+                                    // A guest key got a purchased rule:
+                                    // adopt it wholesale, including its
+                                    // (fresh) credit.
+                                    table.remove(&key);
+                                    table.insert(rule, clock.now());
+                                } else {
+                                    // Routine rule update: new shape,
+                                    // accrued credit preserved (clamped).
+                                    table.apply_update(&rule, clock.now());
+                                }
+                            }
+                            Ok(None) => {
+                                // Absent from the database: a deleted
+                                // rule — unless the bucket only ever
+                                // existed under the default policy, in
+                                // which case it stays (removing it would
+                                // re-grant guest credit every round).
+                                if !guest_keys.lock().contains(&key) {
+                                    table.remove(&key);
+                                }
+                            }
+                            Err(_) => { db = None; ok = false; break; }
+                        }
+                    }
+                    if ok {
+                        last_version = Some(version);
+                        stats.sync_rounds.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn spawn_checkpoint(
+    table: Arc<dyn QosTable>,
+    stats: Arc<ServerStats>,
+    clock: SharedClock,
+    db_target: DbTarget,
+    interval: std::time::Duration,
+    mut shutdown: watch::Receiver<bool>,
+    guest_keys: GuestKeys,
+) {
+    tokio::spawn(async move {
+        let mut ticker = tokio::time::interval(interval);
+        ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+        let mut db: Option<DbClient> = None;
+        loop {
+            tokio::select! {
+                _ = shutdown.changed() => return,
+                _ = ticker.tick() => {
+                    if db.is_none() {
+                        db = db_target.connect().await;
+                    }
+                    let Some(client) = db.as_mut() else { continue };
+                    let snapshot = table.snapshot(clock.now());
+                    let mut ok = true;
+                    for rule in snapshot {
+                        // Guest buckets have no database row of their own;
+                        // writing their credit would clobber a rule the
+                        // operator may have *just* created for that key
+                        // (the sync thread adopts it at its next round).
+                        if guest_keys.lock().contains(&rule.key) {
+                            continue;
+                        }
+                        if client.checkpoint_credit(&rule.key, rule.credit).await.is_err() {
+                            db = None;
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        stats.checkpoints.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_db::{DbServer, RulesEngine};
+    use janus_net::udp::{UdpRpcClient, UdpRpcConfig};
+    use janus_types::{Credits, QosRule};
+    use std::time::Duration;
+
+    fn key(s: &str) -> QosKey {
+        QosKey::new(s).unwrap()
+    }
+
+    fn rule(s: &str, cap: u64, rate: u64) -> QosRule {
+        QosRule::per_second(key(s), cap, rate)
+    }
+
+    async fn spawn_db(rules: Vec<QosRule>) -> DbServer {
+        let engine = Arc::new(RulesEngine::new());
+        engine.load(rules);
+        DbServer::spawn(engine).await.unwrap()
+    }
+
+    fn rpc() -> UdpRpcClient {
+        UdpRpcClient::new(UdpRpcConfig::lan_defaults())
+    }
+
+    async fn check(client: &UdpRpcClient, server: &QosServer, id: u64, k: &str) -> Verdict {
+        client
+            .call(server.udp_addr(), &QosRequest::new(id, key(k)))
+            .await
+            .unwrap()
+            .verdict
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn admits_until_bucket_drains() {
+        let db = spawn_db(vec![rule("alice", 5, 0)]).await;
+        let server = QosServer::spawn(QosServerConfig::test_defaults(), Some(db.addr().into()),
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        let client = rpc();
+        let mut allowed = 0;
+        for id in 0..10 {
+            if check(&client, &server, id, "alice").await == Verdict::Allow {
+                allowed += 1;
+            }
+        }
+        assert_eq!(allowed, 5);
+        assert_eq!(server.stats().db_fetches.load(Ordering::Relaxed), 1);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn unknown_key_uses_default_policy() {
+        let db = spawn_db(vec![]).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.default_policy = janus_bucket::DefaultRulePolicy::Limited {
+            capacity: 2,
+            rate_per_sec: 0,
+        };
+        let server = QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        let client = rpc();
+        assert_eq!(check(&client, &server, 1, "stranger").await, Verdict::Allow);
+        assert_eq!(check(&client, &server, 2, "stranger").await, Verdict::Allow);
+        assert_eq!(check(&client, &server, 3, "stranger").await, Verdict::Deny);
+        assert!(server.stats().default_rule_hits.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn deny_policy_denies_unknown_keys() {
+        let db = spawn_db(vec![]).await;
+        let server = QosServer::spawn(QosServerConfig::test_defaults(), Some(db.addr().into()),
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        let client = rpc();
+        assert_eq!(check(&client, &server, 1, "nobody").await, Verdict::Deny);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn standalone_mode_without_database() {
+        let server = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            None,
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        server
+            .table()
+            .insert(rule("local", 1, 0), server.clock().now());
+        let client = rpc();
+        assert_eq!(check(&client, &server, 1, "local").await, Verdict::Allow);
+        assert_eq!(check(&client, &server, 2, "local").await, Verdict::Deny);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn preload_warms_local_table() {
+        let rules: Vec<_> = (0..50).map(|i| rule(&format!("k{i}"), 10, 1)).collect();
+        let db = spawn_db(rules).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.preload = true;
+        let server = QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        assert_eq!(server.table().len(), 50);
+        // A request for a preloaded key must not hit the database.
+        let client = rpc();
+        assert_eq!(check(&client, &server, 1, "k7").await, Verdict::Allow);
+        assert_eq!(server.stats().db_fetches.load(Ordering::Relaxed), 0);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn new_rules_effective_immediately() {
+        // "new QoS keys/rules are immediately effective as soon as they
+        // are added to the database" — no restart, no sync wait.
+        let db = spawn_db(vec![]).await;
+        let server = QosServer::spawn(QosServerConfig::test_defaults(), Some(db.addr().into()),
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        let client = rpc();
+        assert_eq!(check(&client, &server, 1, "newbie").await, Verdict::Deny);
+
+        db.engine().put(rule("late-tenant", 3, 0));
+        assert_eq!(check(&client, &server, 2, "late-tenant").await, Verdict::Allow);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn rule_sync_applies_updates_and_deletes() {
+        let db = spawn_db(vec![rule("tenant", 1000, 100), rule("doomed", 10, 1)]).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.sync_interval = Duration::from_millis(30);
+        let server = QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        let client = rpc();
+        // Materialize both buckets locally.
+        check(&client, &server, 1, "tenant").await;
+        check(&client, &server, 2, "doomed").await;
+        assert_eq!(server.table().len(), 2);
+
+        // Shrink one rule, delete the other.
+        db.engine().put(rule("tenant", 1, 0));
+        db.engine().delete(&key("doomed"));
+
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let snap = server.table().snapshot(server.clock().now());
+            let tenant = snap.iter().find(|r| r.key.as_str() == "tenant");
+            let doomed_gone = !snap.iter().any(|r| r.key.as_str() == "doomed");
+            if doomed_gone
+                && tenant.is_some_and(|r| r.capacity == Credits::from_whole(1))
+            {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "sync never applied: {snap:?}");
+            tokio::time::sleep(Duration::from_millis(20)).await;
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn checkpoints_reach_database() {
+        let db = spawn_db(vec![rule("cp", 100, 0)]).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.checkpoint_interval = Duration::from_millis(30);
+        let server = QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        let client = rpc();
+        for id in 0..40 {
+            check(&client, &server, id, "cp").await;
+        }
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let stored = db.engine().get(&key("cp")).unwrap().credit;
+            if stored == Credits::from_whole(60) {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "checkpoint never landed: {stored:?}"
+            );
+            tokio::time::sleep(Duration::from_millis(20)).await;
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn replacement_server_resumes_from_checkpoint() {
+        // Kill a server after consuming most of a bucket; its replacement
+        // must start from the check-pointed credit, not a full bucket.
+        let db = spawn_db(vec![rule("phoenix", 100, 0)]).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.checkpoint_interval = Duration::from_millis(20);
+        let server = QosServer::spawn(config.clone(), Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        let client = rpc();
+        for id in 0..90 {
+            check(&client, &server, id, "phoenix").await;
+        }
+        // Wait for a checkpoint to land, then kill the server.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while db.engine().get(&key("phoenix")).unwrap().credit != Credits::from_whole(10) {
+            assert!(std::time::Instant::now() < deadline, "checkpoint missing");
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        server.shutdown();
+        drop(server);
+
+        let replacement = QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        let mut allowed = 0;
+        for id in 0..50 {
+            if check(&client, &replacement, id, "phoenix").await == Verdict::Allow {
+                allowed += 1;
+            }
+        }
+        assert_eq!(allowed, 10, "replacement did not resume from checkpoint");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn sync_does_not_evict_default_policy_buckets() {
+        // Regression: the rule-sync task used to remove buckets whose key
+        // has no database row — which re-granted guest credit every sync
+        // round. A guest bucket must survive sync and keep denying.
+        let db = spawn_db(vec![]).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.sync_interval = Duration::from_millis(20);
+        config.default_policy = janus_bucket::DefaultRulePolicy::Limited {
+            capacity: 3,
+            rate_per_sec: 0,
+        };
+        let server = QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        let client = rpc();
+        let mut admitted = 0;
+        for id in 0..6 {
+            if check(&client, &server, id, "guest").await == Verdict::Allow {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 3);
+        // Let several sync rounds pass, then verify no fresh credit.
+        tokio::time::sleep(Duration::from_millis(200)).await;
+        assert_eq!(check(&client, &server, 100, "guest").await, Verdict::Deny);
+
+        // Upgrading the guest to a real rule via the database still works.
+        db.engine().put(rule("guest", 10, 0));
+        tokio::time::sleep(Duration::from_millis(200)).await;
+        assert_eq!(check(&client, &server, 101, "guest").await, Verdict::Allow);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn guest_upgrade_survives_checkpoint_race() {
+        // Regression: the checkpoint task used to write the guest
+        // bucket's (zero) credit onto a rule row the operator had just
+        // created, so the sync thread adopted an empty bucket instead of
+        // the purchased burst. The full burst must be available after the
+        // upgrade, deterministically.
+        let db = spawn_db(vec![]).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.sync_interval = Duration::from_millis(30);
+        config.checkpoint_interval = Duration::from_millis(10); // aggressive
+        let server = QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        let client = rpc();
+        // Establish the guest bucket (Deny policy => empty bucket).
+        assert_eq!(check(&client, &server, 1, "upgrader").await, Verdict::Deny);
+        // Operator sells the tenant a 3-request burst.
+        db.engine().put(rule("upgrader", 3, 0));
+        // Give sync and several checkpoint rounds time to interleave.
+        tokio::time::sleep(Duration::from_millis(300)).await;
+        let mut admitted = 0;
+        for id in 10..20 {
+            if check(&client, &server, id, "upgrader").await == Verdict::Allow {
+                admitted += 1;
+            }
+        }
+        assert_eq!(admitted, 3, "upgrade lost the purchased burst");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn many_concurrent_clients() {
+        let rules: Vec<_> = (0..32).map(|i| rule(&format!("u{i}"), 1000, 1000)).collect();
+        let db = spawn_db(rules).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.workers = 4;
+        let server = Arc::new(
+            QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+                .await
+                .unwrap(),
+        );
+        let mut handles = Vec::new();
+        for i in 0..32u64 {
+            let server = Arc::clone(&server);
+            handles.push(tokio::spawn(async move {
+                let client = rpc();
+                for j in 0..20u64 {
+                    let v = check(&client, &server, i * 100 + j, &format!("u{i}")).await;
+                    assert_eq!(v, Verdict::Allow);
+                }
+            }));
+        }
+        for h in handles {
+            h.await.unwrap();
+        }
+        assert_eq!(server.stats().answered.load(Ordering::Relaxed), 640);
+    }
+}

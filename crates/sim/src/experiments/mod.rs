@@ -1,0 +1,53 @@
+//! Per-figure experiment drivers (Figs. 5, 7–12).
+//!
+//! Each function reproduces one figure's setup from §V of the paper and
+//! returns structured series the bench binaries print. All drivers are
+//! deterministic in their seed and take a [`Fidelity`] knob so tests can
+//! run the same code in milliseconds while the harness runs full-length
+//! windows.
+
+mod ablations;
+mod fig5;
+mod scaling;
+
+pub use ablations::{
+    dns_skew, lock_sweep, loss_sweep, skew_sweep, LockPoint, LossPoint, SkewLoadPoint, SkewPoint,
+};
+pub use fig5::{fig5, Fig5};
+pub use scaling::{
+    fig10, fig11, fig12, fig7, fig8, fig9, headline, Headline, ScalingCurve, ScalingPoint,
+    VerticalVsHorizontal,
+};
+
+use std::time::Duration;
+
+/// Simulation length/precision preset.
+#[derive(Debug, Clone, Copy)]
+pub struct Fidelity {
+    /// Discarded lead-in.
+    pub warmup: Duration,
+    /// Measurement window.
+    pub measure: Duration,
+    /// Closed-loop clients for saturation runs.
+    pub clients: usize,
+}
+
+impl Fidelity {
+    /// Fast preset for unit tests (±5% accuracy).
+    pub fn quick() -> Fidelity {
+        Fidelity {
+            warmup: Duration::from_millis(200),
+            measure: Duration::from_millis(600),
+            clients: 384,
+        }
+    }
+
+    /// Full preset for the figure harness.
+    pub fn full() -> Fidelity {
+        Fidelity {
+            warmup: Duration::from_millis(500),
+            measure: Duration::from_secs(3),
+            clients: 512,
+        }
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Discrete-event cluster simulator for Janus's AWS-scale experiments.
+//!
+//! The paper's scalability evaluation (Figs. 7–12) runs on up to 15 EC2
+//! instances totalling 200 vCPUs and drives >100 000 admission requests
+//! per second — beyond what one test host can host as real processes.
+//! This crate reproduces those experiments with a calibrated queueing
+//! simulation of the same topology:
+//!
+//! * **nodes** have a core pool sized by their EC2 instance type
+//!   ([`catalog`], the paper's Table I) with a small fixed background
+//!   load (OS + listener threads);
+//! * **request routers** spend a calibrated per-request CPU service time
+//!   (PHP-scale, ~370 µs) on a free core, queueing when all are busy;
+//! * **QoS servers** split each request into a parallel phase, a critical
+//!   section under the QoS-table lock (one global lock for the paper's
+//!   synchronized map, a striped pool for the sharded table), and a
+//!   second parallel phase — reproducing the lock-bound saturation and
+//!   CPU underutilization of Fig. 10;
+//! * **the network** contributes lognormal per-hop latencies (in-AZ
+//!   scale), the gateway LB an extra connect+proxy hop, and the UDP path
+//!   optional loss with the 100 µs × 5-retry discipline;
+//! * **clients** are closed-loop (like `ab -c N`) and the admission path
+//!   is measured after a warm-up window.
+//!
+//! Everything is deterministic given the seed. The per-figure experiment
+//! drivers live in [`experiments`]; calibration constants and their
+//! provenance in [`calibration`].
+
+pub mod calibration;
+pub mod catalog;
+pub mod engine;
+pub mod experiments;
+pub mod model;
+
+pub use calibration::Calibration;
+pub use catalog::InstanceType;
+pub use model::{ClusterSpec, LockModel, SimLbMode, SimReport};

@@ -1,0 +1,282 @@
+//! Binary wire codec for the router ⇄ QoS-server UDP protocol.
+//!
+//! Admission traffic is latency-critical and high-volume, so the frame is
+//! deliberately tiny — a fixed 4-byte header plus the payload:
+//!
+//! ```text
+//! +--------+--------+---------+--------+------------------------+
+//! | magic  (0x4A51) | version |  kind  | payload                |
+//! +--------+--------+---------+--------+------------------------+
+//!
+//! kind = 0x01 (request):   id: u64 BE | key_len: u8 | key bytes
+//! kind = 0x02 (response):  id: u64 BE | verdict: u8 (0=deny, 1=allow)
+//! ```
+//!
+//! A request for a UUID key is 49 bytes on the wire; a response is 13.
+//! Both fit in a single datagram with no fragmentation at any sane MTU.
+
+use crate::{JanusError, QosKey, QosRequest, QosResponse, Result, Verdict, MAX_KEY_BYTES};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frame magic: "JQ" for *J*anus *Q*oS.
+pub const MAGIC: u16 = 0x4A51;
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Largest possible encoded frame (a request with a maximum-length key).
+pub const MAX_FRAME_BYTES: usize = 4 + 8 + 1 + MAX_KEY_BYTES;
+
+const KIND_REQUEST: u8 = 0x01;
+const KIND_RESPONSE: u8 = 0x02;
+
+/// A decoded frame: either direction of the admission protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// Router → QoS server.
+    Request(QosRequest),
+    /// QoS server → router.
+    Response(QosResponse),
+}
+
+impl From<QosRequest> for Frame {
+    fn from(r: QosRequest) -> Frame {
+        Frame::Request(r)
+    }
+}
+
+impl From<QosResponse> for Frame {
+    fn from(r: QosResponse) -> Frame {
+        Frame::Response(r)
+    }
+}
+
+fn put_header(buf: &mut BytesMut, kind: u8) {
+    buf.put_u16(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(kind);
+}
+
+/// Encode a request into a fresh buffer.
+pub fn encode_request(req: &QosRequest) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 8 + 1 + req.key.len());
+    put_header(&mut buf, KIND_REQUEST);
+    buf.put_u64(req.id);
+    debug_assert!(req.key.len() <= MAX_KEY_BYTES);
+    buf.put_u8(req.key.len() as u8);
+    buf.put_slice(req.key.as_bytes());
+    buf.freeze()
+}
+
+/// Encode a response into a fresh buffer.
+pub fn encode_response(resp: &QosResponse) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 8 + 1);
+    put_header(&mut buf, KIND_RESPONSE);
+    buf.put_u64(resp.id);
+    buf.put_u8(resp.verdict.as_bool() as u8);
+    buf.freeze()
+}
+
+/// Encode either frame direction.
+pub fn encode(frame: &Frame) -> Bytes {
+    match frame {
+        Frame::Request(r) => encode_request(r),
+        Frame::Response(r) => encode_response(r),
+    }
+}
+
+/// Decode one frame from a datagram.
+///
+/// The entire datagram must be consumed: trailing bytes indicate a framing
+/// bug or corruption and are rejected rather than silently ignored.
+pub fn decode(mut data: &[u8]) -> Result<Frame> {
+    if data.len() < 4 {
+        return Err(JanusError::codec(format!(
+            "frame too short: {} bytes",
+            data.len()
+        )));
+    }
+    let magic = data.get_u16();
+    if magic != MAGIC {
+        return Err(JanusError::codec(format!("bad magic 0x{magic:04x}")));
+    }
+    let version = data.get_u8();
+    if version != VERSION {
+        return Err(JanusError::codec(format!("unsupported version {version}")));
+    }
+    let kind = data.get_u8();
+    let frame = match kind {
+        KIND_REQUEST => {
+            if data.len() < 9 {
+                return Err(JanusError::codec("truncated request"));
+            }
+            let id = data.get_u64();
+            let key_len = data.get_u8() as usize;
+            if data.len() < key_len {
+                return Err(JanusError::codec(format!(
+                    "truncated key: want {key_len}, have {}",
+                    data.len()
+                )));
+            }
+            let key_bytes = &data[..key_len];
+            data.advance(key_len);
+            let key_str = std::str::from_utf8(key_bytes)
+                .map_err(|_| JanusError::codec("key is not UTF-8"))?;
+            let key =
+                QosKey::new(key_str).map_err(|e| JanusError::codec(format!("bad key: {e}")))?;
+            Frame::Request(QosRequest::new(id, key))
+        }
+        KIND_RESPONSE => {
+            if data.len() < 9 {
+                return Err(JanusError::codec("truncated response"));
+            }
+            let id = data.get_u64();
+            let verdict = match data.get_u8() {
+                0 => Verdict::Deny,
+                1 => Verdict::Allow,
+                other => {
+                    return Err(JanusError::codec(format!("bad verdict byte {other}")));
+                }
+            };
+            Frame::Response(QosResponse::new(id, verdict))
+        }
+        other => {
+            return Err(JanusError::codec(format!("unknown frame kind 0x{other:02x}")));
+        }
+    };
+    if !data.is_empty() {
+        return Err(JanusError::codec(format!(
+            "{} trailing bytes after frame",
+            data.len()
+        )));
+    }
+    Ok(frame)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key(s: &str) -> QosKey {
+        QosKey::new(s).unwrap()
+    }
+
+    #[test]
+    fn request_roundtrip() {
+        let req = QosRequest::new(42, key("alice:photos"));
+        let wire = encode_request(&req);
+        assert_eq!(decode(&wire).unwrap(), Frame::Request(req));
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        for verdict in [Verdict::Allow, Verdict::Deny] {
+            let resp = QosResponse::new(7, verdict);
+            let wire = encode_response(&resp);
+            assert_eq!(decode(&wire).unwrap(), Frame::Response(resp));
+        }
+    }
+
+    #[test]
+    fn uuid_request_is_49_bytes() {
+        let req = QosRequest::new(1, key("00000000-0000-0000-0000-000000000000"));
+        assert_eq!(encode_request(&req).len(), 49);
+    }
+
+    #[test]
+    fn response_is_13_bytes() {
+        assert_eq!(encode_response(&QosResponse::allow(1)).len(), 13);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut wire = encode_response(&QosResponse::allow(1)).to_vec();
+        wire[0] = 0xff;
+        assert!(decode(&wire).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut wire = encode_response(&QosResponse::allow(1)).to_vec();
+        wire[2] = 99;
+        assert!(decode(&wire).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let mut wire = encode_response(&QosResponse::allow(1)).to_vec();
+        wire[3] = 0x7f;
+        assert!(decode(&wire).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_verdict_byte() {
+        let mut wire = encode_response(&QosResponse::allow(1)).to_vec();
+        *wire.last_mut().unwrap() = 2;
+        assert!(decode(&wire).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_bytes() {
+        let mut wire = encode_response(&QosResponse::allow(1)).to_vec();
+        wire.push(0);
+        assert!(decode(&wire).is_err());
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let wire = encode_request(&QosRequest::new(9, key("some-user")));
+        for cut in 0..wire.len() {
+            assert!(decode(&wire[..cut]).is_err(), "accepted {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn rejects_non_utf8_key() {
+        let req = QosRequest::new(3, key("abcd"));
+        let mut wire = encode_request(&req).to_vec();
+        let last = wire.len() - 1;
+        wire[last] = 0xff;
+        assert!(decode(&wire).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_datagram() {
+        assert!(decode(&[]).is_err());
+    }
+
+    #[test]
+    fn max_frame_bound_is_tight() {
+        let big = "x".repeat(MAX_KEY_BYTES);
+        let req = QosRequest::new(u64::MAX, key(&big));
+        assert_eq!(encode_request(&req).len(), MAX_FRAME_BYTES);
+    }
+
+    proptest! {
+        #[test]
+        fn any_request_roundtrips(id: u64, s in "[ -~]{1,255}") {
+            let req = QosRequest::new(id, key(&s));
+            let wire = encode_request(&req);
+            prop_assert_eq!(decode(&wire).unwrap(), Frame::Request(req));
+        }
+
+        #[test]
+        fn any_response_roundtrips(id: u64, allow: bool) {
+            let resp = QosResponse::new(id, Verdict::from_bool(allow));
+            let wire = encode_response(&resp);
+            prop_assert_eq!(decode(&wire).unwrap(), Frame::Response(resp));
+        }
+
+        #[test]
+        fn decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..600)) {
+            let _ = decode(&data);
+        }
+
+        #[test]
+        fn frame_encode_matches_direction(id: u64, s in "[a-z]{1,32}", allow: bool) {
+            let req = Frame::Request(QosRequest::new(id, key(&s)));
+            let resp = Frame::Response(QosResponse::new(id, Verdict::from_bool(allow)));
+            prop_assert_eq!(decode(&encode(&req)).unwrap(), req);
+            prop_assert_eq!(decode(&encode(&resp)).unwrap(), resp);
+        }
+    }
+}

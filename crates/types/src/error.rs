@@ -1,0 +1,164 @@
+//! Error taxonomy shared across Janus crates.
+
+use std::fmt;
+use std::io;
+
+/// Workspace-wide result alias.
+pub type Result<T, E = JanusError> = std::result::Result<T, E>;
+
+/// Errors surfaced by Janus components.
+///
+/// The variants map to layers of the architecture rather than to Rust
+/// libraries, so callers can react to *where* a failure happened (e.g. the
+/// request router returns its default reply on [`JanusError::Timeout`]).
+#[derive(Debug)]
+pub enum JanusError {
+    /// A wire frame failed to encode or decode.
+    Codec(String),
+    /// The underlying socket failed.
+    Io(io::Error),
+    /// A UDP exchange exhausted its retry budget.
+    Timeout {
+        /// Number of attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// An HTTP message was malformed.
+    Http(String),
+    /// A database query failed or returned malformed data.
+    Db(String),
+    /// A DNS name did not resolve.
+    Dns(String),
+    /// A QoS key failed validation.
+    Key(crate::KeyError),
+    /// A component was asked to do something in the wrong lifecycle state
+    /// (e.g. querying a deployment after shutdown).
+    State(String),
+    /// Configuration was internally inconsistent.
+    Config(String),
+}
+
+impl JanusError {
+    /// Build a [`JanusError::Codec`].
+    pub fn codec(msg: impl Into<String>) -> Self {
+        JanusError::Codec(msg.into())
+    }
+
+    /// Build a [`JanusError::Http`].
+    pub fn http(msg: impl Into<String>) -> Self {
+        JanusError::Http(msg.into())
+    }
+
+    /// Build a [`JanusError::Db`].
+    pub fn db(msg: impl Into<String>) -> Self {
+        JanusError::Db(msg.into())
+    }
+
+    /// Build a [`JanusError::Dns`].
+    pub fn dns(msg: impl Into<String>) -> Self {
+        JanusError::Dns(msg.into())
+    }
+
+    /// Build a [`JanusError::State`].
+    pub fn state(msg: impl Into<String>) -> Self {
+        JanusError::State(msg.into())
+    }
+
+    /// Build a [`JanusError::Config`].
+    pub fn config(msg: impl Into<String>) -> Self {
+        JanusError::Config(msg.into())
+    }
+
+    /// True if the failure is transient and the operation is worth
+    /// retrying (lost datagram, interrupted socket), false for protocol
+    /// and configuration errors that will repeat.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            JanusError::Timeout { .. } => true,
+            JanusError::Io(e) => matches!(
+                e.kind(),
+                io::ErrorKind::WouldBlock
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::Interrupted
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+            ),
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for JanusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JanusError::Codec(m) => write!(f, "codec error: {m}"),
+            JanusError::Io(e) => write!(f, "io error: {e}"),
+            JanusError::Timeout { attempts } => {
+                write!(f, "timed out after {attempts} attempts")
+            }
+            JanusError::Http(m) => write!(f, "http error: {m}"),
+            JanusError::Db(m) => write!(f, "database error: {m}"),
+            JanusError::Dns(m) => write!(f, "dns error: {m}"),
+            JanusError::Key(e) => write!(f, "invalid QoS key: {e}"),
+            JanusError::State(m) => write!(f, "invalid state: {m}"),
+            JanusError::Config(m) => write!(f, "bad configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JanusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JanusError::Io(e) => Some(e),
+            JanusError::Key(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for JanusError {
+    fn from(e: io::Error) -> Self {
+        JanusError::Io(e)
+    }
+}
+
+impl From<crate::KeyError> for JanusError {
+    fn from(e: crate::KeyError) -> Self {
+        JanusError::Key(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeout_is_transient() {
+        assert!(JanusError::Timeout { attempts: 5 }.is_transient());
+        assert!(!JanusError::codec("x").is_transient());
+        assert!(!JanusError::config("x").is_transient());
+    }
+
+    #[test]
+    fn io_kinds_classified() {
+        let reset = JanusError::Io(io::Error::new(io::ErrorKind::ConnectionReset, "x"));
+        let notfound = JanusError::Io(io::Error::new(io::ErrorKind::NotFound, "x"));
+        assert!(reset.is_transient());
+        assert!(!notfound.is_transient());
+    }
+
+    #[test]
+    fn display_includes_context() {
+        let e = JanusError::Timeout { attempts: 5 };
+        assert!(e.to_string().contains("5 attempts"));
+        let e = JanusError::db("no such table");
+        assert!(e.to_string().contains("no such table"));
+    }
+
+    #[test]
+    fn key_error_converts() {
+        let err = crate::QosKey::new("").unwrap_err();
+        let e: JanusError = err.into();
+        assert!(matches!(e, JanusError::Key(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,0 +1,246 @@
+//! The QoS key: the string identity a rule is attached to.
+
+use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// Maximum length of a QoS key in bytes.
+///
+/// The wire codec encodes key lengths in a single byte's worth of headroom
+/// beyond typical identifiers; 255 comfortably covers UUIDs, IP addresses,
+/// `user:database` pairs and User-Agent strings while keeping the QoS rule
+/// record near the ~100 bytes the paper reports.
+pub const MAX_KEY_BYTES: usize = 255;
+
+/// Why a candidate string was rejected as a QoS key.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyError {
+    /// Keys must be non-empty.
+    Empty,
+    /// Key exceeded [`MAX_KEY_BYTES`].
+    TooLong(usize),
+    /// Key contained an ASCII control character (would corrupt textual
+    /// protocols such as the mini-SQL layer and HTTP query strings).
+    ControlCharacter(u8),
+}
+
+impl fmt::Display for KeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyError::Empty => write!(f, "QoS key must not be empty"),
+            KeyError::TooLong(n) => {
+                write!(f, "QoS key is {n} bytes, max is {MAX_KEY_BYTES}")
+            }
+            KeyError::ControlCharacter(b) => {
+                write!(f, "QoS key contains control byte 0x{b:02x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+/// A validated QoS key.
+///
+/// The composition of the key is up to the integrating service: a web
+/// service with per-user rates uses the user id; a NoSQL service with
+/// per-database rates uses `"{user}:{database}"`; the photo-sharing demo
+/// uses the client IP address. Janus itself only ever hashes and compares
+/// keys.
+///
+/// Keys are immutable and cheaply cloneable (`Arc<str>` internally) because
+/// the hot path clones them into the local QoS table and into wire messages.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QosKey(Arc<str>);
+
+impl QosKey {
+    /// Validate and construct a key.
+    pub fn new(s: impl AsRef<str>) -> Result<Self, KeyError> {
+        let s = s.as_ref();
+        if s.is_empty() {
+            return Err(KeyError::Empty);
+        }
+        if s.len() > MAX_KEY_BYTES {
+            return Err(KeyError::TooLong(s.len()));
+        }
+        if let Some(b) = s.bytes().find(|b| b.is_ascii_control()) {
+            return Err(KeyError::ControlCharacter(b));
+        }
+        Ok(QosKey(Arc::from(s)))
+    }
+
+    /// The key text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The key bytes (what the CRC32 routing hash consumes).
+    pub fn as_bytes(&self) -> &[u8] {
+        self.0.as_bytes()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Always false: empty keys cannot be constructed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Debug for QosKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QosKey({:?})", &*self.0)
+    }
+}
+
+impl fmt::Display for QosKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for QosKey {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Borrow<str> for QosKey {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::str::FromStr for QosKey {
+    type Err = KeyError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        QosKey::new(s)
+    }
+}
+
+impl TryFrom<&str> for QosKey {
+    type Error = KeyError;
+    fn try_from(s: &str) -> Result<Self, Self::Error> {
+        QosKey::new(s)
+    }
+}
+
+impl TryFrom<String> for QosKey {
+    type Error = KeyError;
+    fn try_from(s: String) -> Result<Self, Self::Error> {
+        QosKey::new(&s)
+    }
+}
+
+impl Serialize for QosKey {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for QosKey {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        QosKey::new(&s).map_err(serde::de::Error::custom)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn accepts_typical_keys() {
+        for k in [
+            "user-42",
+            "10.0.0.1",
+            "alice:photos",
+            "Mozilla/5.0 (compatible; Googlebot/2.1)",
+            "00000000-0000-0000-0000-000000000000",
+        ] {
+            assert!(QosKey::new(k).is_ok(), "rejected {k:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(QosKey::new("").unwrap_err(), KeyError::Empty);
+    }
+
+    #[test]
+    fn rejects_too_long() {
+        let long = "x".repeat(MAX_KEY_BYTES + 1);
+        assert_eq!(
+            QosKey::new(&long).unwrap_err(),
+            KeyError::TooLong(MAX_KEY_BYTES + 1)
+        );
+    }
+
+    #[test]
+    fn accepts_exactly_max() {
+        let max = "x".repeat(MAX_KEY_BYTES);
+        assert!(QosKey::new(&max).is_ok());
+    }
+
+    #[test]
+    fn rejects_control_chars() {
+        assert_eq!(
+            QosKey::new("a\nb").unwrap_err(),
+            KeyError::ControlCharacter(b'\n')
+        );
+        assert_eq!(
+            QosKey::new("a\0b").unwrap_err(),
+            KeyError::ControlCharacter(0)
+        );
+    }
+
+    #[test]
+    fn borrow_allows_str_lookup() {
+        use std::collections::HashMap;
+        let mut map = HashMap::new();
+        map.insert(QosKey::new("alice").unwrap(), 1u32);
+        assert_eq!(map.get("alice"), Some(&1));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let key = QosKey::new("alice:photos").unwrap();
+        let json = serde_json::to_string(&key).unwrap();
+        assert_eq!(json, "\"alice:photos\"");
+        let back: QosKey = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, key);
+    }
+
+    #[test]
+    fn serde_rejects_invalid() {
+        assert!(serde_json::from_str::<QosKey>("\"\"").is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn valid_keys_roundtrip_as_str(s in "[ -~]{1,255}") {
+            let key = QosKey::new(&s).unwrap();
+            prop_assert_eq!(key.as_str(), s.as_str());
+            prop_assert_eq!(key.len(), s.len());
+        }
+
+        #[test]
+        fn clone_is_equal(s in "[a-zA-Z0-9:._/-]{1,64}") {
+            let key = QosKey::new(&s).unwrap();
+            let dup = key.clone();
+            prop_assert_eq!(&key, &dup);
+            use std::collections::hash_map::DefaultHasher;
+            use std::hash::{Hash, Hasher};
+            let mut h1 = DefaultHasher::new();
+            let mut h2 = DefaultHasher::new();
+            key.hash(&mut h1);
+            dup.hash(&mut h2);
+            prop_assert_eq!(h1.finish(), h2.finish());
+        }
+    }
+}

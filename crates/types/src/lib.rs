@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! Core vocabulary types for the Janus QoS framework.
+//!
+//! This crate defines the data that flows between Janus layers:
+//!
+//! * [`QosKey`] — the string key that identifies a QoS rule (a user id, an
+//!   IP address, a `user:database` pair, a User-Agent, ...).
+//! * [`Credits`] and [`RefillRate`] — fixed-point credit arithmetic for the
+//!   leaky bucket, exact under any interleaving of refills and consumes.
+//! * [`QosRule`] — the durable description of one bucket: key, capacity and
+//!   refill rate, as stored in the `qos_rules` database table.
+//! * [`Verdict`], [`QosRequest`], [`QosResponse`] — the key-value
+//!   request/response admission protocol.
+//! * [`codec`] — the length-delimited binary wire format spoken over UDP
+//!   between the request router and the QoS server.
+//!
+//! Everything here is dependency-light and shared by every other crate in
+//! the workspace.
+
+pub mod codec;
+mod credits;
+mod error;
+mod key;
+mod message;
+mod rule;
+
+pub use credits::{Credits, RefillRate, MICROCREDITS_PER_CREDIT};
+pub use error::{JanusError, Result};
+pub use key::{KeyError, QosKey, MAX_KEY_BYTES};
+pub use message::{QosRequest, QosResponse, RequestId, Verdict};
+pub use rule::QosRule;

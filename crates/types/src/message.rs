@@ -1,0 +1,129 @@
+//! The key-value admission request/response protocol.
+
+use crate::QosKey;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Correlates a response with its request across the UDP hop.
+///
+/// The request router retries lost datagrams, so a stale response from an
+/// earlier attempt may arrive after a retry; the id lets the router accept
+/// any response for the same logical request and discard cross-talk.
+pub type RequestId = u64;
+
+/// The admission decision. The paper's QoS response is a boolean; `Verdict`
+/// names the two values to keep call sites readable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// TRUE — admit the request.
+    Allow,
+    /// FALSE — throttle the request.
+    Deny,
+}
+
+impl Verdict {
+    /// Boolean form (TRUE = allow), as surfaced to QoS clients.
+    pub const fn as_bool(self) -> bool {
+        matches!(self, Verdict::Allow)
+    }
+
+    /// From the client-facing boolean.
+    pub const fn from_bool(allow: bool) -> Self {
+        if allow {
+            Verdict::Allow
+        } else {
+            Verdict::Deny
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Allow => "TRUE",
+            Verdict::Deny => "FALSE",
+        })
+    }
+}
+
+impl From<Verdict> for bool {
+    fn from(v: Verdict) -> bool {
+        v.as_bool()
+    }
+}
+
+impl From<bool> for Verdict {
+    fn from(b: bool) -> Verdict {
+        Verdict::from_bool(b)
+    }
+}
+
+/// A QoS request: "may the holder of `key` make one more call?"
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosRequest {
+    /// Retry-correlation id, unique per logical request per router node.
+    pub id: RequestId,
+    /// The QoS key to charge.
+    pub key: QosKey,
+}
+
+impl QosRequest {
+    /// A new request for `key` with correlation id `id`.
+    pub fn new(id: RequestId, key: QosKey) -> Self {
+        QosRequest { id, key }
+    }
+}
+
+/// A QoS response carrying the admission verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosResponse {
+    /// Echoes [`QosRequest::id`].
+    pub id: RequestId,
+    /// The decision.
+    pub verdict: Verdict,
+}
+
+impl QosResponse {
+    /// A new response answering request `id`.
+    pub fn new(id: RequestId, verdict: Verdict) -> Self {
+        QosResponse { id, verdict }
+    }
+
+    /// An `Allow` response for request `id`.
+    pub fn allow(id: RequestId) -> Self {
+        QosResponse::new(id, Verdict::Allow)
+    }
+
+    /// A `Deny` response for request `id`.
+    pub fn deny(id: RequestId) -> Self {
+        QosResponse::new(id, Verdict::Deny)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_bool_roundtrip() {
+        assert!(Verdict::Allow.as_bool());
+        assert!(!Verdict::Deny.as_bool());
+        assert_eq!(Verdict::from_bool(true), Verdict::Allow);
+        assert_eq!(Verdict::from_bool(false), Verdict::Deny);
+        assert!(bool::from(Verdict::Allow));
+        assert_eq!(Verdict::from(false), Verdict::Deny);
+    }
+
+    #[test]
+    fn verdict_displays_as_paper_booleans() {
+        assert_eq!(Verdict::Allow.to_string(), "TRUE");
+        assert_eq!(Verdict::Deny.to_string(), "FALSE");
+    }
+
+    #[test]
+    fn response_constructors() {
+        assert_eq!(QosResponse::allow(7).verdict, Verdict::Allow);
+        assert_eq!(QosResponse::deny(7).verdict, Verdict::Deny);
+        assert_eq!(QosResponse::allow(7).id, 7);
+    }
+}

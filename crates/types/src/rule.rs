@@ -1,0 +1,119 @@
+//! The QoS rule: one row of the `qos_rules` table.
+
+use crate::{Credits, QosKey, RefillRate};
+use serde::{Deserialize, Serialize};
+
+/// A QoS rule, as purchased by an end user and stored in the database.
+///
+/// Mirrors the paper's four-column `qos_rules` schema: the QoS key, the
+/// refill rate (the purchased access rate), the capacity of the leaky
+/// bucket (the burst allowance) and the remaining credit (written back by
+/// QoS-server check-pointing).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QosRule {
+    /// Primary key of the rule.
+    pub key: QosKey,
+    /// Bucket capacity: the maximum credit the user can accumulate.
+    pub capacity: Credits,
+    /// Refill rate: the sustained access rate the user purchased.
+    pub refill_rate: RefillRate,
+    /// Last check-pointed credit. A freshly created rule starts full
+    /// (`credit == capacity`), matching the paper's "initially fully
+    /// filled" assumption.
+    pub credit: Credits,
+}
+
+impl QosRule {
+    /// A new rule with a full bucket.
+    pub fn new(key: QosKey, capacity: Credits, refill_rate: RefillRate) -> Self {
+        QosRule {
+            key,
+            capacity,
+            refill_rate,
+            credit: capacity,
+        }
+    }
+
+    /// Convenience constructor in whole requests: `capacity` requests of
+    /// burst, refilling at `rate_per_sec` requests per second.
+    pub fn per_second(key: QosKey, capacity: u64, rate_per_sec: u64) -> Self {
+        QosRule::new(
+            key,
+            Credits::from_whole(capacity),
+            RefillRate::per_second(rate_per_sec),
+        )
+    }
+
+    /// The deny-all rule for a key: zero capacity, zero refill.
+    pub fn deny(key: QosKey) -> Self {
+        QosRule::new(key, Credits::ZERO, RefillRate::ZERO)
+    }
+
+    /// True if this rule can never admit a request.
+    pub fn denies_everything(&self) -> bool {
+        !self.capacity.covers_one_request() && self.refill_rate == RefillRate::ZERO
+    }
+
+    /// Clamp the stored credit to the capacity (rule updates may shrink a
+    /// bucket below its check-pointed credit).
+    pub fn clamped(mut self) -> Self {
+        self.credit = self.credit.min(self.capacity);
+        self
+    }
+
+    /// Approximate size of this rule when stored, in bytes. The paper
+    /// quotes ~100 bytes per rule; this tracks that budget in tests.
+    pub fn approx_stored_size(&self) -> usize {
+        self.key.len() + 3 * std::mem::size_of::<u64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> QosKey {
+        QosKey::new(s).unwrap()
+    }
+
+    #[test]
+    fn new_rule_starts_full() {
+        let r = QosRule::per_second(key("alice"), 1000, 100);
+        assert_eq!(r.credit, r.capacity);
+        assert_eq!(r.capacity, Credits::from_whole(1000));
+        assert_eq!(r.refill_rate, RefillRate::per_second(100));
+    }
+
+    #[test]
+    fn deny_rule_denies() {
+        let r = QosRule::deny(key("intruder"));
+        assert!(r.denies_everything());
+        assert!(!QosRule::per_second(key("ok"), 1, 0).denies_everything());
+        assert!(!QosRule::per_second(key("ok"), 0, 1).denies_everything());
+    }
+
+    #[test]
+    fn clamp_shrinks_credit() {
+        let mut r = QosRule::per_second(key("alice"), 10, 1);
+        r.credit = Credits::from_whole(50);
+        let r = r.clamped();
+        assert_eq!(r.credit, Credits::from_whole(10));
+    }
+
+    #[test]
+    fn stored_size_near_paper_estimate() {
+        // A typical rule (UUID key) should be in the neighbourhood of the
+        // paper's ~100-byte figure.
+        let r = QosRule::per_second(key("00000000-0000-0000-0000-000000000000"), 1000, 100);
+        let size = r.approx_stored_size();
+        assert!((40..=120).contains(&size), "size was {size}");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let r = QosRule::per_second(key("alice:photos"), 1000, 100);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: QosRule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,408 @@
+//! Open- and closed-loop load drivers.
+//!
+//! Both drivers exercise an arbitrary async request function and produce a
+//! [`LoadReport`] (latency histogram, per-second accepted/rejected series,
+//! totals). The request function returns `Ok(true)` for an admitted
+//! request, `Ok(false)` for a throttled one, and `Err` for a transport
+//! failure.
+//!
+//! * [`run_closed_loop`] — `concurrency` workers each issue the next
+//!   request as soon as the previous completes, exactly like `ab -c N`:
+//!   this is how the paper saturates Janus for the scalability figures.
+//! * [`run_open_loop`] — requests are issued on a fixed schedule
+//!   (`rate_per_sec`, with optional uniform noise) regardless of response
+//!   times, like the Fig. 13 photo-sharing client at "130 requests per
+//!   second, with an intentionally added noise".
+
+use crate::{Histogram, LatencyStats, SecondSeries};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use std::future::Future;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tokio::time::Instant;
+
+/// Configuration for [`run_closed_loop`].
+#[derive(Debug, Clone)]
+pub struct ClosedLoopConfig {
+    /// Number of concurrent workers (`ab -c`).
+    pub concurrency: usize,
+    /// Total requests to issue across all workers (`ab -n`).
+    pub total_requests: u64,
+}
+
+/// Configuration for [`run_open_loop`].
+#[derive(Debug, Clone)]
+pub struct OpenLoopConfig {
+    /// Offered load, requests per second.
+    pub rate_per_sec: f64,
+    /// How long to generate for.
+    pub duration: Duration,
+    /// Uniform inter-arrival noise: each gap is scaled by
+    /// `1 ± noise_fraction`. Zero for a metronome.
+    pub noise_fraction: f64,
+    /// RNG seed for the noise.
+    pub seed: u64,
+}
+
+/// The outcome of a load run.
+#[derive(Debug, Serialize)]
+pub struct LoadReport {
+    /// Latency of every completed request.
+    pub histogram: Histogram,
+    /// Accepted/rejected counts per second of the run.
+    pub series: SecondSeries,
+    /// Requests that returned `Ok(true)`.
+    pub accepted: u64,
+    /// Requests that returned `Ok(false)`.
+    pub rejected: u64,
+    /// Requests that returned `Err`.
+    pub errors: u64,
+    /// Wall-clock duration of the run, seconds.
+    pub elapsed_secs: f64,
+}
+
+impl LoadReport {
+    /// Completed requests (accepted + rejected).
+    pub fn completed(&self) -> u64 {
+        self.accepted + self.rejected
+    }
+
+    /// Completed requests per second over the whole run.
+    pub fn throughput_rps(&self) -> f64 {
+        if self.elapsed_secs <= 0.0 {
+            return 0.0;
+        }
+        self.completed() as f64 / self.elapsed_secs
+    }
+
+    /// Latency summary.
+    pub fn stats(&self) -> LatencyStats {
+        LatencyStats::from_histogram(&self.histogram)
+    }
+}
+
+/// Drive `request` with a fixed number of always-busy workers.
+///
+/// `request` is called with the global request index and must resolve to
+/// `Ok(accepted)` or `Err(_)`.
+pub async fn run_closed_loop<F, Fut, E>(config: ClosedLoopConfig, request: F) -> LoadReport
+where
+    F: Fn(u64) -> Fut + Send + Sync + 'static,
+    Fut: Future<Output = Result<bool, E>> + Send,
+    E: Send + 'static,
+{
+    assert!(config.concurrency > 0, "need at least one worker");
+    let request = Arc::new(request);
+    let next = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+
+    let mut workers = Vec::with_capacity(config.concurrency);
+    for _ in 0..config.concurrency {
+        let request = Arc::clone(&request);
+        let next = Arc::clone(&next);
+        let total = config.total_requests;
+        workers.push(tokio::spawn(async move {
+            let mut histogram = Histogram::new();
+            let mut series = SecondSeries::new();
+            let (mut accepted, mut rejected, mut errors) = (0u64, 0u64, 0u64);
+            loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= total {
+                    break;
+                }
+                let issued = Instant::now();
+                let outcome = request(index).await;
+                let latency = issued.elapsed();
+                let at = (issued - start).as_nanos() as u64;
+                match outcome {
+                    Ok(ok) => {
+                        histogram.record_duration(latency);
+                        series.record(at, ok);
+                        if ok {
+                            accepted += 1;
+                        } else {
+                            rejected += 1;
+                        }
+                    }
+                    Err(_) => errors += 1,
+                }
+            }
+            (histogram, series, accepted, rejected, errors)
+        }));
+    }
+
+    let mut report = LoadReport {
+        histogram: Histogram::new(),
+        series: SecondSeries::new(),
+        accepted: 0,
+        rejected: 0,
+        errors: 0,
+        elapsed_secs: 0.0,
+    };
+    let mut merged_series = Vec::new();
+    for worker in workers {
+        let (histogram, series, accepted, rejected, errors) =
+            worker.await.expect("load worker panicked");
+        report.histogram.merge(&histogram);
+        merged_series.push(series);
+        report.accepted += accepted;
+        report.rejected += rejected;
+        report.errors += errors;
+    }
+    for series in merged_series {
+        for sample in series.samples() {
+            for _ in 0..sample.accepted {
+                report.series.record(sample.second * 1_000_000_000, true);
+            }
+            for _ in 0..sample.rejected {
+                report.series.record(sample.second * 1_000_000_000, false);
+            }
+        }
+    }
+    report.elapsed_secs = start.elapsed().as_secs_f64();
+    report
+}
+
+/// Drive `request` on a fixed arrival schedule, independent of response
+/// latency (an *open* loop: slow responses do not slow the client down).
+pub async fn run_open_loop<F, Fut, E>(config: OpenLoopConfig, request: F) -> LoadReport
+where
+    F: Fn(u64) -> Fut + Send + Sync + 'static,
+    Fut: Future<Output = Result<bool, E>> + Send + 'static,
+    E: Send + 'static,
+{
+    assert!(config.rate_per_sec > 0.0, "rate must be positive");
+    assert!(
+        (0.0..1.0).contains(&config.noise_fraction),
+        "noise fraction must be in [0, 1)"
+    );
+    let request = Arc::new(request);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let start = Instant::now();
+    let deadline = start + config.duration;
+    let base_gap = Duration::from_secs_f64(1.0 / config.rate_per_sec);
+
+    let (tx, mut rx) = tokio::sync::mpsc::unbounded_channel();
+    let mut issued = 0u64;
+    let mut next_at = start;
+    while next_at < deadline {
+        tokio::time::sleep_until(next_at).await;
+        let issued_at = Instant::now();
+        let tx = tx.clone();
+        let request = Arc::clone(&request);
+        let index = issued;
+        tokio::spawn(async move {
+            let outcome = request(index).await;
+            let latency = issued_at.elapsed();
+            let _ = tx.send((issued_at, latency, outcome));
+        });
+        issued += 1;
+        let jitter = if config.noise_fraction > 0.0 {
+            1.0 + config.noise_fraction * rng.gen_range(-1.0..1.0)
+        } else {
+            1.0
+        };
+        next_at += base_gap.mul_f64(jitter);
+    }
+    drop(tx);
+
+    let mut report = LoadReport {
+        histogram: Histogram::new(),
+        series: SecondSeries::new(),
+        accepted: 0,
+        rejected: 0,
+        errors: 0,
+        elapsed_secs: 0.0,
+    };
+    while let Some((issued_at, latency, outcome)) = rx.recv().await {
+        let at = (issued_at - start).as_nanos() as u64;
+        match outcome {
+            Ok(ok) => {
+                report.histogram.record_duration(latency);
+                report.series.record(at, ok);
+                if ok {
+                    report.accepted += 1;
+                } else {
+                    report.rejected += 1;
+                }
+            }
+            Err(_) => report.errors += 1,
+        }
+    }
+    report.elapsed_secs = start.elapsed().as_secs_f64();
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::convert::Infallible;
+    use std::sync::atomic::AtomicBool;
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn closed_loop_issues_exact_total() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&counter);
+        let report = run_closed_loop(
+            ClosedLoopConfig {
+                concurrency: 8,
+                total_requests: 1000,
+            },
+            move |_| {
+                let c = Arc::clone(&c);
+                async move {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    Ok::<bool, Infallible>(true)
+                }
+            },
+        )
+        .await;
+        assert_eq!(counter.load(Ordering::Relaxed), 1000);
+        assert_eq!(report.accepted, 1000);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(report.errors, 0);
+        assert_eq!(report.completed(), 1000);
+        assert_eq!(report.histogram.count(), 1000);
+    }
+
+    #[tokio::test]
+    async fn closed_loop_classifies_outcomes() {
+        let report = run_closed_loop(
+            ClosedLoopConfig {
+                concurrency: 2,
+                total_requests: 300,
+            },
+            |i| async move {
+                match i % 3 {
+                    0 => Ok(true),
+                    1 => Ok(false),
+                    _ => Err("boom"),
+                }
+            },
+        )
+        .await;
+        assert_eq!(report.accepted, 100);
+        assert_eq!(report.rejected, 100);
+        assert_eq!(report.errors, 100);
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn open_loop_paces_at_offered_rate() {
+        let report = run_open_loop(
+            OpenLoopConfig {
+                rate_per_sec: 100.0,
+                duration: Duration::from_secs(5),
+                noise_fraction: 0.0,
+                seed: 0,
+            },
+            |_| async { Ok::<bool, Infallible>(true) },
+        )
+        .await;
+        // 100 req/s for 5 s = 500 requests, all accepted.
+        assert_eq!(report.accepted, 500);
+        assert_eq!(report.series.len(), 5);
+        for sample in report.series.samples() {
+            assert_eq!(sample.accepted, 100, "second {}", sample.second);
+        }
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn open_loop_with_noise_keeps_mean_rate() {
+        let report = run_open_loop(
+            OpenLoopConfig {
+                rate_per_sec: 130.0,
+                duration: Duration::from_secs(20),
+                noise_fraction: 0.3,
+                seed: 42,
+            },
+            |_| async { Ok::<bool, Infallible>(true) },
+        )
+        .await;
+        let total = report.completed();
+        // 130 req/s ± noise over 20 s: expect within 10% of 2600.
+        assert!(
+            (2300..2900).contains(&total),
+            "issued {total} requests"
+        );
+    }
+
+    #[tokio::test(start_paused = true)]
+    async fn open_loop_is_not_blocked_by_slow_responses() {
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let peak = Arc::new(AtomicU64::new(0));
+        let (infl, pk) = (Arc::clone(&in_flight), Arc::clone(&peak));
+        let report = run_open_loop(
+            OpenLoopConfig {
+                rate_per_sec: 50.0,
+                duration: Duration::from_secs(2),
+                noise_fraction: 0.0,
+                seed: 0,
+            },
+            move |_| {
+                let infl = Arc::clone(&infl);
+                let pk = Arc::clone(&pk);
+                async move {
+                    let now = infl.fetch_add(1, Ordering::SeqCst) + 1;
+                    pk.fetch_max(now, Ordering::SeqCst);
+                    // Each response takes 500 ms: an open loop must stack
+                    // up ~25 in-flight requests rather than slow down.
+                    tokio::time::sleep(Duration::from_millis(500)).await;
+                    infl.fetch_sub(1, Ordering::SeqCst);
+                    Ok::<bool, Infallible>(true)
+                }
+            },
+        )
+        .await;
+        assert_eq!(report.completed(), 100);
+        assert!(
+            peak.load(Ordering::SeqCst) >= 20,
+            "open loop throttled itself: peak in-flight {}",
+            peak.load(Ordering::SeqCst)
+        );
+    }
+
+    #[tokio::test]
+    async fn closed_loop_limits_concurrency() {
+        let in_flight = Arc::new(AtomicU64::new(0));
+        let violated = Arc::new(AtomicBool::new(false));
+        let (infl, viol) = (Arc::clone(&in_flight), Arc::clone(&violated));
+        run_closed_loop(
+            ClosedLoopConfig {
+                concurrency: 4,
+                total_requests: 200,
+            },
+            move |_| {
+                let infl = Arc::clone(&infl);
+                let viol = Arc::clone(&viol);
+                async move {
+                    let now = infl.fetch_add(1, Ordering::SeqCst) + 1;
+                    if now > 4 {
+                        viol.store(true, Ordering::SeqCst);
+                    }
+                    tokio::task::yield_now().await;
+                    infl.fetch_sub(1, Ordering::SeqCst);
+                    Ok::<bool, Infallible>(true)
+                }
+            },
+        )
+        .await;
+        assert!(!violated.load(Ordering::SeqCst), "exceeded concurrency");
+    }
+
+    #[test]
+    fn report_throughput_math() {
+        let report = LoadReport {
+            histogram: Histogram::new(),
+            series: SecondSeries::new(),
+            accepted: 900,
+            rejected: 100,
+            errors: 5,
+            elapsed_secs: 10.0,
+        };
+        assert_eq!(report.completed(), 1000);
+        assert!((report.throughput_rps() - 100.0).abs() < 1e-9);
+    }
+}

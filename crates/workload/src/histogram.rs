@@ -1,0 +1,295 @@
+//! Log-bucketed latency histogram.
+//!
+//! Latencies span five orders of magnitude (hundreds of nanoseconds on
+//! loopback to tens of milliseconds through the full stack), so a linear
+//! histogram is either huge or coarse. This recorder uses the HDR scheme:
+//! values are bucketed by `(exponent, mantissa-slice)` with
+//! [`SUB_BUCKET_BITS`] mantissa bits per power of two, bounding relative
+//! quantile error at `1 / 2^SUB_BUCKET_BITS` (≈1.6 % with 6 bits) while
+//! using a few KiB regardless of range.
+
+use serde::Serialize;
+use std::time::Duration;
+
+/// Mantissa bits per power of two: 64 sub-buckets, ≤1.6 % relative error.
+pub const SUB_BUCKET_BITS: u32 = 6;
+
+const SUB_BUCKETS: usize = 1 << SUB_BUCKET_BITS;
+/// Number of power-of-two groups needed to cover u64 nanoseconds.
+const GROUPS: usize = (64 - SUB_BUCKET_BITS as usize) + 1;
+
+/// A fixed-footprint histogram of nanosecond values.
+#[derive(Debug, Clone, Serialize)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    total: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: vec![0; GROUPS * SUB_BUCKETS],
+            total: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value < SUB_BUCKETS as u64 {
+            // Values below 2^SUB_BUCKET_BITS are recorded exactly in
+            // group 0.
+            return value as usize;
+        }
+        let msb = 63 - value.leading_zeros() as usize;
+        let group = msb - SUB_BUCKET_BITS as usize + 1;
+        // Top SUB_BUCKET_BITS+1 bits of the value, normalized into
+        // [SUB_BUCKETS, 2*SUB_BUCKETS); the low SUB_BUCKETS offsets index
+        // the group's slots.
+        let sub = (value >> (msb - SUB_BUCKET_BITS as usize)) as usize - SUB_BUCKETS;
+        group * SUB_BUCKETS + sub
+    }
+
+    /// Lower bound of the bucket `value` falls into (the value reported
+    /// back for any member of the bucket).
+    fn bucket_floor(index: usize) -> u64 {
+        let group = index / SUB_BUCKETS;
+        let slot = index % SUB_BUCKETS;
+        if group == 0 {
+            return slot as u64;
+        }
+        // Inverse of bucket_index: msb = group + SUB_BUCKET_BITS - 1.
+        ((SUB_BUCKETS + slot) as u64) << (group - 1)
+    }
+
+    /// Record one nanosecond value.
+    pub fn record(&mut self, nanos: u64) {
+        self.counts[Self::bucket_index(nanos)] += 1;
+        self.total += 1;
+        self.sum += nanos as u128;
+        self.min = self.min.min(nanos);
+        self.max = self.max.max(nanos);
+    }
+
+    /// Record a [`Duration`].
+    pub fn record_duration(&mut self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Exact arithmetic mean of recorded values, nanoseconds.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.total as f64
+    }
+
+    /// Smallest recorded value (exact), or 0 if empty.
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (exact), or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at quantile `q ∈ [0, 1]` (bucket lower bound; ≤1.6 % below the
+    /// true quantile). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.total as f64).ceil() as u64).max(1);
+        if rank >= self.total {
+            // The full-rank quantile is the maximum, which we track
+            // exactly.
+            return self.max;
+        }
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // Clamp the reported value into the observed range so
+                // e.g. p100 never exceeds the true max.
+                return Self::bucket_floor(index).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one (fan-in from worker threads).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..64u64 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(1.0), 63);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 63);
+        assert_eq!(h.count(), 64);
+    }
+
+    #[test]
+    fn median_of_uniform_range() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v * 1_000); // 1µs .. 10ms
+        }
+        let p50 = h.quantile(0.5);
+        let exact = 5_000_000u64;
+        let err = (p50 as f64 - exact as f64).abs() / exact as f64;
+        assert!(err < 0.02, "p50 {p50} vs {exact} (err {err:.4})");
+    }
+
+    #[test]
+    fn quantiles_are_monotonic() {
+        let mut h = Histogram::new();
+        let mut x = 12345u64;
+        for _ in 0..10_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            h.record(x >> 40); // ~0..16M ns
+        }
+        let qs = [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0];
+        for pair in qs.windows(2) {
+            assert!(
+                h.quantile(pair[0]) <= h.quantile(pair[1]),
+                "quantile not monotonic at {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        h.record(100);
+        h.record(200);
+        h.record(300);
+        assert_eq!(h.mean(), 200.0);
+    }
+
+    #[test]
+    fn merge_equals_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut combined = Histogram::new();
+        for v in 0..1000u64 {
+            let scaled = v * 7919;
+            if v % 2 == 0 {
+                a.record(scaled);
+            } else {
+                b.record(scaled);
+            }
+            combined.record(scaled);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), combined.count());
+        assert_eq!(a.mean(), combined.mean());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            assert_eq!(a.quantile(q), combined.quantile(q));
+        }
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        assert!(h.quantile(0.99) > 0);
+    }
+
+    #[test]
+    fn record_duration_matches_record() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record_duration(Duration::from_micros(1500));
+        b.record(1_500_000);
+        assert_eq!(a.quantile(1.0), b.quantile(1.0));
+    }
+
+    proptest! {
+        /// Relative quantile error is bounded by the sub-bucket resolution.
+        #[test]
+        fn bucket_roundtrip_error_bounded(value in 0u64..u64::MAX / 2) {
+            let idx = Histogram::bucket_index(value);
+            let floor = Histogram::bucket_floor(idx);
+            prop_assert!(floor <= value, "floor {floor} > value {value}");
+            // floor is within one sub-bucket width below value.
+            let err = (value - floor) as f64 / (value.max(1)) as f64;
+            prop_assert!(err <= 1.0 / 32.0 + 1e-9, "err {err} for {value}");
+        }
+
+        #[test]
+        fn bucket_index_is_monotonic(a in 0u64..u64::MAX / 2, b in 0u64..u64::MAX / 2) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(Histogram::bucket_index(lo) <= Histogram::bucket_index(hi));
+        }
+
+        #[test]
+        fn p100_equals_max(values in proptest::collection::vec(0u64..1_000_000_000, 1..500)) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            prop_assert_eq!(h.quantile(1.0), h.max());
+            prop_assert!(h.quantile(0.0) >= h.min() && h.quantile(0.0) <= h.max());
+        }
+    }
+}

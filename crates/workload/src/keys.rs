@@ -1,0 +1,165 @@
+//! Key selection over a population (which tenant issues each request).
+
+use janus_types::QosKey;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Picks the QoS key for each generated request.
+///
+/// * `Uniform` — every tenant equally likely, the paper's `ab` runs over
+///   100 M keys.
+/// * `Zipf` — a few hot tenants dominate, the realistic SaaS case and a
+///   stress test for per-partition hot spots.
+/// * `Single` — one tenant, the Fig. 13 photo-sharing client.
+#[derive(Debug)]
+pub struct KeyPicker {
+    keys: Vec<QosKey>,
+    rng: StdRng,
+    /// Precomputed cumulative distribution for Zipf; empty means uniform.
+    cdf: Vec<f64>,
+}
+
+impl KeyPicker {
+    /// Uniform selection over `keys`.
+    ///
+    /// # Panics
+    /// Panics if `keys` is empty.
+    pub fn uniform(keys: Vec<QosKey>, seed: u64) -> Self {
+        assert!(!keys.is_empty(), "key population must be non-empty");
+        KeyPicker {
+            keys,
+            rng: StdRng::seed_from_u64(seed),
+            cdf: Vec::new(),
+        }
+    }
+
+    /// Zipf(`exponent`) selection over `keys`; rank 0 is the hottest.
+    ///
+    /// # Panics
+    /// Panics if `keys` is empty or `exponent` is not finite/positive.
+    pub fn zipf(keys: Vec<QosKey>, exponent: f64, seed: u64) -> Self {
+        assert!(!keys.is_empty(), "key population must be non-empty");
+        assert!(
+            exponent.is_finite() && exponent > 0.0,
+            "zipf exponent must be positive"
+        );
+        let mut cdf = Vec::with_capacity(keys.len());
+        let mut acc = 0.0;
+        for rank in 1..=keys.len() {
+            acc += 1.0 / (rank as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        KeyPicker {
+            keys,
+            rng: StdRng::seed_from_u64(seed),
+            cdf,
+        }
+    }
+
+    /// Always the same key.
+    pub fn single(key: QosKey) -> Self {
+        KeyPicker {
+            keys: vec![key],
+            rng: StdRng::seed_from_u64(0),
+            cdf: Vec::new(),
+        }
+    }
+
+    /// Size of the key population.
+    pub fn population(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Draw the key for the next request.
+    pub fn pick(&mut self) -> QosKey {
+        let idx = if self.cdf.is_empty() {
+            self.rng.gen_range(0..self.keys.len())
+        } else {
+            let u: f64 = self.rng.gen();
+            self.cdf.partition_point(|&p| p < u).min(self.keys.len() - 1)
+        };
+        self.keys[idx].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn population(n: usize) -> Vec<QosKey> {
+        (0..n)
+            .map(|i| QosKey::new(format!("tenant-{i}")).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn uniform_covers_population() {
+        let mut picker = KeyPicker::uniform(population(10), 1);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            let k = picker.pick();
+            let idx: usize = k.as_str()["tenant-".len()..].parse().unwrap();
+            counts[idx] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            assert!((700..1300).contains(&c), "tenant-{i} picked {c} times");
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut picker = KeyPicker::zipf(population(100), 1.0, 1);
+        let mut head = 0usize;
+        let n = 10_000;
+        for _ in 0..n {
+            let k = picker.pick();
+            let idx: usize = k.as_str()["tenant-".len()..].parse().unwrap();
+            if idx < 10 {
+                head += 1;
+            }
+        }
+        // With s=1 over 100 ranks, the top 10 hold ~56% of the mass.
+        assert!(
+            head > n * 45 / 100,
+            "head keys only picked {head}/{n} times"
+        );
+    }
+
+    #[test]
+    fn single_always_returns_same_key() {
+        let mut picker = KeyPicker::single(QosKey::new("10.1.2.3").unwrap());
+        for _ in 0..100 {
+            assert_eq!(picker.pick().as_str(), "10.1.2.3");
+        }
+        assert_eq!(picker.population(), 1);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a: Vec<_> = {
+            let mut p = KeyPicker::uniform(population(50), 9);
+            (0..100).map(|_| p.pick()).collect()
+        };
+        let b: Vec<_> = {
+            let mut p = KeyPicker::uniform(population(50), 9);
+            (0..100).map(|_| p.pick()).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_population_panics() {
+        KeyPicker::uniform(Vec::new(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_zipf_exponent_panics() {
+        KeyPicker::zipf(population(3), 0.0, 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! Failure-handling integration tests: QoS-server HA failover,
+//! checkpoint-based replacement, and router behaviour when a partition
+//! dies.
+
+use janus_core::{Deployment, DeploymentConfig, QosKey, QosRule, QosServerConfig, Verdict};
+use std::time::Duration;
+
+fn key(s: &str) -> QosKey {
+    QosKey::new(s).unwrap()
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn slave_promotion_is_transparent_to_clients() {
+    let config = DeploymentConfig {
+        qos_servers: 2,
+        routers: 2,
+        ha: true,
+        rules: vec![QosRule::per_second(key("steady"), 1_000_000, 1_000_000)],
+        default_verdict: Verdict::Deny,
+        ..Default::default()
+    };
+    let mut deployment = Deployment::launch(config).await.unwrap();
+    let mut client = deployment.client().await.unwrap();
+    for _ in 0..10 {
+        assert!(client.qos_check(&key("steady")).await.unwrap());
+    }
+
+    // Find the partition that owns "steady" and kill its master.
+    let partition = janus_hash::routing::Router::route(
+        &janus_hash::routing::ModuloRouter::new(2),
+        &key("steady"),
+    );
+    deployment.kill_qos_master(partition);
+    deployment
+        .await_failover(partition, Duration::from_secs(5))
+        .await
+        .unwrap();
+
+    // Service continues against the promoted slave.
+    let mut ok = 0;
+    for _ in 0..10 {
+        if client.qos_check(&key("steady")).await.unwrap() {
+            ok += 1;
+        }
+    }
+    assert_eq!(ok, 10, "promoted slave did not serve");
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn failover_does_not_reset_quota() {
+    // The promoted slave must carry the replicated credit, not a fresh
+    // bucket — otherwise a crash would hand every tenant a free burst.
+    let config = DeploymentConfig {
+        qos_servers: 1,
+        routers: 1,
+        ha: true,
+        replication_interval: Duration::from_millis(25),
+        rules: vec![QosRule::per_second(key("metered"), 50, 0)],
+        default_verdict: Verdict::Deny,
+        ..Default::default()
+    };
+    let mut deployment = Deployment::launch(config).await.unwrap();
+    let mut client = deployment.client().await.unwrap();
+    for _ in 0..30 {
+        assert!(client.qos_check(&key("metered")).await.unwrap());
+    }
+    tokio::time::sleep(Duration::from_millis(150)).await; // replication catch-up
+    deployment.kill_qos_master(0);
+    deployment
+        .await_failover(0, Duration::from_secs(5))
+        .await
+        .unwrap();
+
+    let mut admitted = 0;
+    for _ in 0..50 {
+        if client.qos_check(&key("metered")).await.unwrap() {
+            admitted += 1;
+        }
+    }
+    assert!(
+        (18..=23).contains(&admitted),
+        "slave admitted {admitted}, expected ~20 remaining credits"
+    );
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn dead_partition_degrades_to_default_reply() {
+    // Without HA, killing a partition's master leaves its keys to the
+    // router's default verdict — a localized failure: the other
+    // partition keeps answering authoritatively (paper §II-D).
+    let mut server = QosServerConfig::test_defaults();
+    server.default_policy = janus_core::DefaultRulePolicy::AllowAll;
+    let config = DeploymentConfig {
+        qos_servers: 2,
+        routers: 1,
+        ha: false,
+        server,
+        udp: janus_core::UdpRpcConfig {
+            timeout: Duration::from_millis(2),
+            max_retries: 2,
+        },
+        default_verdict: Verdict::Deny,
+        ..Default::default()
+    };
+    let mut deployment = Deployment::launch(config).await.unwrap();
+    let mut client = deployment.client().await.unwrap();
+
+    // Pick keys on both partitions.
+    let hash = janus_hash::routing::ModuloRouter::new(2);
+    let key_on = |partition: usize| {
+        for i in 0..1000 {
+            let candidate = key(&format!("probe-{i}"));
+            if janus_hash::routing::Router::route(&hash, &candidate) == partition {
+                return candidate;
+            }
+        }
+        unreachable!()
+    };
+    let key0 = key_on(0);
+    let key1 = key_on(1);
+
+    assert!(client.qos_check(&key0).await.unwrap());
+    assert!(client.qos_check(&key1).await.unwrap());
+
+    deployment.kill_qos_master(0);
+    tokio::time::sleep(Duration::from_millis(100)).await;
+
+    // Partition 0's keys now hit the retry budget and fall to the
+    // router's default (Deny); partition 1 is unaffected.
+    assert!(!client.qos_check(&key0).await.unwrap(), "expected default deny");
+    assert!(client.qos_check(&key1).await.unwrap(), "healthy partition broke");
+    assert!(
+        deployment.router_defaulted_total() >= 1,
+        "router never used its default reply"
+    );
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn replacement_server_resumes_from_checkpoints() {
+    // Full-deployment version of the checkpoint-resume property: kill a
+    // non-HA master, launch a replacement deployment against the same
+    // database, and verify the tenant does not get a fresh bucket.
+    let mut server = QosServerConfig::test_defaults();
+    server.checkpoint_interval = Duration::from_millis(25);
+    let config = DeploymentConfig {
+        qos_servers: 1,
+        routers: 1,
+        server: server.clone(),
+        rules: vec![QosRule::per_second(key("persistent"), 40, 0)],
+        default_verdict: Verdict::Deny,
+        ..Default::default()
+    };
+    let deployment = Deployment::launch(config).await.unwrap();
+    let mut client = deployment.client().await.unwrap();
+    for _ in 0..25 {
+        assert!(client.qos_check(&key("persistent")).await.unwrap());
+    }
+    // Wait for the checkpoint to land in the DB.
+    let mut db = deployment.db_client().await.unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        let rule = db.get_rule(&key("persistent")).await.unwrap().unwrap();
+        if rule.credit.whole() == 15 {
+            break;
+        }
+        assert!(std::time::Instant::now() < deadline, "checkpoint missing");
+        tokio::time::sleep(Duration::from_millis(20)).await;
+    }
+    // Simulate replacement: a brand-new QoS server attached to the same
+    // database must resume from credit 15.
+    let fresh = janus_server::QosServer::spawn(
+        server,
+        Some(deployment.db().addr().into()),
+        janus_clock::system(),
+    )
+    .await
+    .unwrap();
+    let rpc = janus_net::udp::UdpRpcClient::new(janus_net::udp::UdpRpcConfig::lan_defaults());
+    let mut admitted = 0;
+    for id in 0..40u64 {
+        let resp = rpc
+            .call(
+                fresh.udp_addr(),
+                &janus_types::QosRequest::new(id, key("persistent")),
+            )
+            .await
+            .unwrap();
+        if resp.verdict == Verdict::Allow {
+            admitted += 1;
+        }
+    }
+    assert_eq!(admitted, 15, "replacement ignored the checkpoint");
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn db_failover_is_transparent_to_qos_servers() {
+    // Multi-AZ database: kill the master; the standby (which received
+    // replicated writes) is promoted via DNS, and QoS servers re-resolve
+    // on reconnect — first sightings of new keys keep working.
+    let config = DeploymentConfig {
+        qos_servers: 1,
+        routers: 1,
+        db_ha: true,
+        rules: vec![QosRule::per_second(key("pre-crash"), 10, 0)],
+        default_verdict: Verdict::Deny,
+        ..Default::default()
+    };
+    let mut deployment = Deployment::launch(config).await.unwrap();
+    let mut client = deployment.client().await.unwrap();
+
+    // Seed an extra rule at runtime so replication is exercised too.
+    deployment
+        .upsert_rule(&QosRule::per_second(key("replicated"), 5, 0))
+        .await
+        .unwrap();
+    assert!(client.qos_check(&key("pre-crash")).await.unwrap());
+
+    // Give the (async, best-effort) replication a beat, then crash.
+    tokio::time::sleep(Duration::from_millis(200)).await;
+    deployment.kill_db_master();
+    deployment
+        .await_db_failover(Duration::from_secs(5))
+        .await
+        .unwrap();
+
+    // A key the QoS server has never seen must be fetchable from the
+    // promoted standby (the QoS server reconnects through DNS).
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    loop {
+        if client.qos_check(&key("replicated")).await.unwrap() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "QoS server never reached the promoted standby"
+        );
+        tokio::time::sleep(Duration::from_millis(50)).await;
+    }
+
+    // Admin traffic follows the failover as well.
+    let mut db = deployment.db_client().await.unwrap();
+    assert!(db.count().await.unwrap() >= 2);
+    assert_eq!(
+        deployment.active_db_addr().unwrap(),
+        deployment.db_standby().unwrap().addr()
+    );
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn db_standby_receives_runtime_rules() {
+    let config = DeploymentConfig {
+        qos_servers: 1,
+        routers: 1,
+        db_ha: true,
+        rules: vec![QosRule::per_second(key("seeded"), 1, 1)],
+        ..Default::default()
+    };
+    let deployment = Deployment::launch(config).await.unwrap();
+    deployment
+        .upsert_rule(&QosRule::per_second(key("runtime"), 2, 2))
+        .await
+        .unwrap();
+    // Seeded rules land in both engines at launch; runtime rules arrive
+    // at the standby via statement forwarding.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let standby = deployment.db_standby().unwrap();
+    loop {
+        let engine = standby.engine();
+        if engine.get(&key("runtime")).is_some() && engine.get(&key("seeded")).is_some() {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "standby never converged: {:?}",
+            engine.all()
+        );
+        tokio::time::sleep(Duration::from_millis(20)).await;
+    }
+}
