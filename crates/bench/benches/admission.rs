@@ -116,9 +116,90 @@ fn bench_udp_leg_only(c: &mut Criterion) {
     });
 }
 
+fn bench_udp_leg_concurrent(c: &mut Criterion) {
+    // The batching win only exists under concurrency: 8 in-flight
+    // checks through one pooled socket, batched datagrams + key-affinity
+    // dispatch vs the single-frame wire format (DESIGN.md ablation 9).
+    // One iteration = 8 concurrent checks, so divide the reported time
+    // by 8 for per-check latency.
+    use janus_net::fault::FaultPlan;
+    use janus_net::udp::UdpRpcConfig;
+    use janus_net::udp_pool::{BatchConfig, PooledUdpRpcClient};
+    use janus_server::{DispatchMode, QosServer, TableKind};
+
+    const CONCURRENCY: usize = 8;
+
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(4)
+        .enable_all()
+        .build()
+        .expect("runtime");
+
+    let mut group = c.benchmark_group("admission/udp_leg_x8");
+    for (label, batch, dispatch, table) in [
+        (
+            "batched_affinity",
+            BatchConfig::default(),
+            DispatchMode::KeyAffinity,
+            TableKind::PerWorker,
+        ),
+        (
+            "single_frame_shared_fifo",
+            BatchConfig::disabled(),
+            DispatchMode::SharedFifo,
+            TableKind::Sharded,
+        ),
+    ] {
+        let server = runtime.block_on(async {
+            let mut config = QosServerConfig::test_defaults();
+            config.default_policy = DefaultRulePolicy::AllowAll;
+            config.workers = 4;
+            config.dispatch = dispatch;
+            config.table = table;
+            config.batching = !matches!(dispatch, janus_server::DispatchMode::SharedFifo);
+            QosServer::spawn(config, None::<janus_server::DbTarget>, janus_clock::system())
+                .await
+                .expect("server")
+        });
+        let addr = server.udp_addr();
+        let pool = runtime
+            .block_on(PooledUdpRpcClient::bind_with_batch(
+                UdpRpcConfig::lan_defaults(),
+                batch,
+                FaultPlan::none(),
+            ))
+            .expect("pool");
+        let keys: Vec<QosKey> = (0..CONCURRENCY)
+            .map(|i| QosKey::new(format!("tenant-{i}")).unwrap())
+            .collect();
+        group.bench_function(BenchmarkId::new("qos_check", label), |b| {
+            b.iter_custom(|iters| {
+                runtime.block_on(async {
+                    let start = std::time::Instant::now();
+                    for _ in 0..iters {
+                        let mut handles = Vec::with_capacity(CONCURRENCY);
+                        for key in &keys {
+                            let pool = pool.clone();
+                            let key = key.clone();
+                            handles.push(tokio::spawn(
+                                async move { pool.check(addr, key).await },
+                            ));
+                        }
+                        for handle in handles {
+                            handle.await.expect("join").expect("pooled call");
+                        }
+                    }
+                    start.elapsed()
+                })
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = bench_full_stack, bench_udp_leg_only
+    targets = bench_full_stack, bench_udp_leg_only, bench_udp_leg_concurrent
 }
 criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Batched admission data-plane sweep (DESIGN.md ablation 9).
+//!
+//! Spawns a real QoS server per variant and hammers it over loopback
+//! with a shared pooled UDP client, contrasting the batched
+//! key-affinity plane against the paper-faithful shared-FIFO
+//! single-frame baseline. Writes `BENCH_admission.json` next to the
+//! working directory so the measured numbers travel with the repo.
+//!
+//! ```text
+//! cargo run --release -p janus-bench --bin bench_admission
+//! cargo run --release -p janus-bench --bin bench_admission -- --quick --json
+//! ```
+
+use janus_bench::live::{admission_variants, run_admission_variant, AdmissionPoint};
+use janus_bench::{fmt_krps, print_table, FigureCli};
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Output {
+    /// How to regenerate this file.
+    regenerate: &'static str,
+    /// Client-task counts swept per variant.
+    client_sweep: Vec<usize>,
+    points: Vec<AdmissionPoint>,
+}
+
+fn main() {
+    let cli = FigureCli::parse();
+    let runtime = tokio::runtime::Builder::new_multi_thread()
+        .worker_threads(8)
+        .enable_all()
+        .build()
+        .expect("tokio runtime");
+
+    let (client_sweep, per_client) = if cli.quick {
+        (vec![8], 500)
+    } else {
+        (vec![1, 4, 8, 16], 2_000)
+    };
+
+    let mut points = Vec::new();
+    for variant in admission_variants() {
+        for &clients in &client_sweep {
+            let point =
+                runtime.block_on(run_admission_variant(&variant, clients, per_client));
+            eprintln!(
+                "{:<32} clients={:<3} {:>8} completed, {}",
+                point.mode,
+                point.clients,
+                point.completed,
+                fmt_krps(point.krps * 1_000.0)
+            );
+            points.push(point);
+        }
+    }
+
+    let output = Output {
+        regenerate: "cargo run --release -p janus-bench --bin bench_admission",
+        client_sweep,
+        points,
+    };
+
+    let json = serde_json::to_string_pretty(&output).expect("serializable");
+    std::fs::write("BENCH_admission.json", format!("{json}\n")).expect("write BENCH_admission.json");
+    eprintln!("wrote BENCH_admission.json");
+
+    cli.emit(&output, |out| {
+        let rows: Vec<Vec<String>> = out
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.mode.clone(),
+                    p.clients.to_string(),
+                    fmt_krps(p.krps * 1_000.0),
+                    p.completed.to_string(),
+                    p.timed_out.to_string(),
+                    p.shed.to_string(),
+                    format!("{:.1}ms", p.elapsed_ms),
+                ]
+            })
+            .collect();
+        print_table(
+            "Admission data plane: batched vs single-frame (live loopback)",
+            &["mode", "clients", "krps", "completed", "timed_out", "shed", "elapsed"],
+            &rows,
+        );
+    });
+}

@@ -8,6 +8,8 @@
 
 use serde::Serialize;
 
+pub mod live;
+
 /// CLI conventions shared by all figure binaries.
 #[derive(Debug, Clone)]
 pub struct FigureCli {

@@ -1,0 +1,185 @@
+//! Live (loopback-process) admission throughput sweeps.
+//!
+//! Unlike the `janus-sim` experiments, these spin up a real
+//! [`QosServer`] and a real pooled UDP client in-process and hammer the
+//! admission path, so the numbers include every syscall, wakeup and
+//! lock the data plane actually pays. The sweep contrasts the batched
+//! key-affinity plane against the paper-faithful shared-FIFO
+//! single-frame plane (DESIGN.md ablation 9); `bench_admission` emits
+//! the machine-readable `BENCH_admission.json` from it.
+
+use janus_bucket::DefaultRulePolicy;
+use janus_net::fault::FaultPlan;
+use janus_net::udp::UdpRpcConfig;
+use janus_net::udp_pool::{BatchConfig, PooledUdpRpcClient};
+use janus_server::{DispatchMode, QosServer, QosServerConfig, TableKind};
+use janus_types::QosKey;
+use serde::Serialize;
+
+/// One configuration of the admission data plane under test.
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionVariant {
+    /// Stable identifier used in tables and JSON (`mode` field).
+    pub name: &'static str,
+    /// Listener → worker hand-off.
+    pub dispatch: DispatchMode,
+    /// Local table flavour.
+    pub table: TableKind,
+    /// Server-side drain + response coalescing.
+    pub server_batching: bool,
+    /// Client-side datagram coalescing.
+    pub client_batching: bool,
+}
+
+/// The sweep every harness runs: the optimized plane, the same plane
+/// without batching, and the paper's shared-FIFO single-frame baseline.
+pub fn admission_variants() -> Vec<AdmissionVariant> {
+    vec![
+        AdmissionVariant {
+            name: "batched+affinity+per_worker",
+            dispatch: DispatchMode::KeyAffinity,
+            table: TableKind::PerWorker,
+            server_batching: true,
+            client_batching: true,
+        },
+        AdmissionVariant {
+            name: "batched+affinity+sharded",
+            dispatch: DispatchMode::KeyAffinity,
+            table: TableKind::Sharded,
+            server_batching: true,
+            client_batching: true,
+        },
+        AdmissionVariant {
+            name: "unbatched+affinity",
+            dispatch: DispatchMode::KeyAffinity,
+            table: TableKind::Sharded,
+            server_batching: false,
+            client_batching: false,
+        },
+        AdmissionVariant {
+            name: "unbatched+shared_fifo",
+            dispatch: DispatchMode::SharedFifo,
+            table: TableKind::Sharded,
+            server_batching: false,
+            client_batching: false,
+        },
+    ]
+}
+
+/// One measured point of the sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct AdmissionPoint {
+    /// Which [`AdmissionVariant`] produced this point.
+    pub mode: String,
+    /// Concurrent client tasks sharing the pooled socket.
+    pub clients: usize,
+    /// Checks each client issued.
+    pub requests_per_client: usize,
+    /// Checks that completed with a verdict.
+    pub completed: u64,
+    /// Checks that exhausted the retry budget.
+    pub timed_out: u64,
+    /// Wall-clock for the whole sweep point.
+    pub elapsed_ms: f64,
+    /// Completed checks per second, in thousands.
+    pub krps: f64,
+    /// Datagrams the server shed at full queues.
+    pub shed: u64,
+}
+
+/// Run one variant: spawn a standalone allow-all QoS server configured
+/// per `variant`, share one pooled client across `clients` concurrent
+/// tasks, and time `clients × requests_per_client` checks.
+pub async fn run_admission_variant(
+    variant: &AdmissionVariant,
+    clients: usize,
+    requests_per_client: usize,
+) -> AdmissionPoint {
+    let mut config = QosServerConfig::test_defaults();
+    config.workers = 4;
+    config.dispatch = variant.dispatch;
+    config.table = variant.table;
+    config.batching = variant.server_batching;
+    config.default_policy = DefaultRulePolicy::AllowAll;
+    let server = QosServer::spawn(config, None, janus_clock::system())
+        .await
+        .expect("qos server");
+    let addr = server.udp_addr();
+
+    let batch = if variant.client_batching {
+        BatchConfig::default()
+    } else {
+        BatchConfig::disabled()
+    };
+    let pool = PooledUdpRpcClient::bind_with_batch(
+        UdpRpcConfig::lan_defaults(),
+        batch,
+        FaultPlan::none(),
+    )
+    .await
+    .expect("pooled client");
+
+    // Warm the table (first sighting of every key inserts a guest rule)
+    // so the timed section measures the steady-state hot path.
+    let keys_per_client = 8usize;
+    for c in 0..clients {
+        for k in 0..keys_per_client {
+            let key = QosKey::new(format!("c{c}-k{k}")).unwrap();
+            let _ = pool.check(addr, key).await;
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let mut handles = Vec::with_capacity(clients);
+    for c in 0..clients {
+        let pool = pool.clone();
+        handles.push(tokio::spawn(async move {
+            let keys: Vec<QosKey> = (0..keys_per_client)
+                .map(|k| QosKey::new(format!("c{c}-k{k}")).unwrap())
+                .collect();
+            let mut completed = 0u64;
+            let mut timed_out = 0u64;
+            for j in 0..requests_per_client {
+                match pool.check(addr, keys[j % keys.len()].clone()).await {
+                    Ok(_) => completed += 1,
+                    Err(_) => timed_out += 1,
+                }
+            }
+            (completed, timed_out)
+        }));
+    }
+    let mut completed = 0u64;
+    let mut timed_out = 0u64;
+    for handle in handles {
+        let (ok, lost) = handle.await.expect("client task");
+        completed += ok;
+        timed_out += lost;
+    }
+    let elapsed = start.elapsed();
+    let stats = server.stats().snapshot();
+    AdmissionPoint {
+        mode: variant.name.to_string(),
+        clients,
+        requests_per_client,
+        completed,
+        timed_out,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        krps: completed as f64 / elapsed.as_secs_f64() / 1e3,
+        shed: stats.shed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn every_variant_completes_a_tiny_sweep() {
+        for variant in admission_variants() {
+            let point = run_admission_variant(&variant, 2, 10).await;
+            assert_eq!(point.mode, variant.name);
+            assert_eq!(point.completed + point.timed_out, 20, "{}", variant.name);
+            assert!(point.completed > 0, "{} completed nothing", variant.name);
+        }
+    }
+}

@@ -17,17 +17,21 @@
 //!   thread adds `A × interval` to every bucket, the paper's design. Admits
 //!   within one interval's rounding of lazy refill.
 //!
-//! The local QoS table comes in two flavours: [`table::ShardedTable`]
-//! (lock-striped, the "future work" optimization the paper alludes to) and
+//! The local QoS table comes in three flavours: [`table::ShardedTable`]
+//! (lock-striped, the "future work" optimization the paper alludes to),
 //! [`table::SyncTable`] (one global lock, faithfully reproducing the
-//! synchronized-hash-map contention visible in the paper's Fig. 10b).
+//! synchronized-hash-map contention visible in the paper's Fig. 10b), and
+//! [`partitioned::PartitionedTable`] (one partition per worker, uncontended
+//! under the server's key-affinity dispatch — see [`worker_affinity`]).
 
 pub mod algorithms;
 mod bucket;
+pub mod partitioned;
 mod policy;
 pub mod table;
 
 pub use algorithms::{Admission, FixedWindowCounter, LeakyBucketLimiter, SlidingWindowCounter};
 pub use bucket::LeakyBucket;
+pub use partitioned::{worker_affinity, PartitionedTable};
 pub use policy::DefaultRulePolicy;
 pub use table::{QosTable, ShardedTable, SyncTable, TableStats};

@@ -60,6 +60,10 @@ pub struct DeploymentConfig {
     /// paper's socket-per-request discipline (see
     /// `janus_net::udp_pool`).
     pub pooled_rpc: bool,
+    /// With `pooled_rpc`, routers coalesce concurrent requests to the
+    /// same QoS server into batched datagrams (the optimized data
+    /// plane). Ignored for the per-request discipline.
+    pub batching: bool,
     /// Spawn a slave per QoS server plus a health monitor that promotes
     /// it via DNS failover.
     pub ha: bool,
@@ -84,6 +88,7 @@ impl Default for DeploymentConfig {
             udp: janus_net::udp::UdpRpcConfig::lan_defaults(),
             default_verdict: Verdict::Allow,
             pooled_rpc: false,
+            batching: true,
             ha: false,
             db_ha: false,
             replication_interval: Duration::from_millis(50),
@@ -129,6 +134,7 @@ struct RouterTemplate {
     udp: janus_net::udp::UdpRpcConfig,
     default_verdict: Verdict,
     pooled_rpc: bool,
+    batching: bool,
     lb_ttl: Option<Duration>,
 }
 
@@ -270,6 +276,7 @@ impl Deployment {
                 udp: config.udp.clone(),
                 default_verdict: config.default_verdict,
                 pooled_rpc: config.pooled_rpc,
+                batching: config.batching,
             };
             routers.push(RequestRouter::spawn(router_config, Some(resolver)).await?);
         }
@@ -331,6 +338,7 @@ impl Deployment {
                 udp: config.udp,
                 default_verdict: config.default_verdict,
                 pooled_rpc: config.pooled_rpc,
+                batching: config.batching,
                 lb_ttl,
             },
         })
@@ -473,6 +481,7 @@ impl Deployment {
                 udp: self.router_template.udp.clone(),
                 default_verdict: self.router_template.default_verdict,
                 pooled_rpc: self.router_template.pooled_rpc,
+                batching: self.router_template.batching,
             };
             fresh.push(RequestRouter::spawn(router_config, Some(resolver)).await?);
         }

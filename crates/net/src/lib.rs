@@ -53,4 +53,4 @@ pub fn poke_listener(addr: std::net::SocketAddr) {
 pub use fault::FaultPlan;
 pub use http::{HttpClient, HttpRequest, HttpResponse, HttpServer, Method, StatusCode};
 pub use udp::{UdpRpcClient, UdpRpcConfig, UdpServerSocket};
-pub use udp_pool::PooledUdpRpcClient;
+pub use udp_pool::{BatchConfig, PooledUdpRpcClient};

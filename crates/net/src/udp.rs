@@ -138,12 +138,27 @@ impl UdpRpcClient {
     }
 }
 
+/// Receive-buffer size: must hold the largest batch datagram (plus one
+/// byte so oversize datagrams are detectably truncated and rejected).
+const RECV_BUF_BYTES: usize = if codec::MAX_DATAGRAM_BYTES > MAX_FRAME_BYTES {
+    codec::MAX_DATAGRAM_BYTES + 1
+} else {
+    MAX_FRAME_BYTES + 1
+};
+
 /// The QoS-server side: a bound socket that receives admission requests
 /// and sends responses, with fault injection on the response path.
+///
+/// Understands both wire formats: legacy single-frame datagrams and the
+/// batched format (`Frame::Batch`). A batch datagram is split into
+/// individual requests in an internal pending queue, so callers keep the
+/// one-request-at-a-time API regardless of how the router packed them.
 #[derive(Debug)]
 pub struct UdpServerSocket {
     socket: UdpSocket,
     faults: Arc<FaultPlan>,
+    /// Requests decoded from a batch datagram but not yet handed out.
+    pending: parking_lot::Mutex<std::collections::VecDeque<(QosRequest, SocketAddr)>>,
 }
 
 impl UdpServerSocket {
@@ -155,7 +170,11 @@ impl UdpServerSocket {
     /// Bind with response-path fault injection.
     pub async fn bind_with_faults(faults: Arc<FaultPlan>) -> Result<Self> {
         let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
-        Ok(UdpServerSocket { socket, faults })
+        Ok(UdpServerSocket {
+            socket,
+            faults,
+            pending: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+        })
     }
 
     /// The bound address (hand this to routers / the DNS zone).
@@ -163,16 +182,44 @@ impl UdpServerSocket {
         Ok(self.socket.local_addr()?)
     }
 
-    /// Receive the next well-formed admission request. Malformed datagrams
-    /// are counted and skipped, never fatal — a public UDP port must
-    /// tolerate garbage.
+    /// Decode a datagram and queue every request it carries. Malformed
+    /// datagrams and response frames are skipped, never fatal — a public
+    /// UDP port must tolerate garbage.
+    fn queue_datagram(&self, data: &[u8], peer: SocketAddr) {
+        if let Ok(frames) = codec::decode_all(data) {
+            let mut pending = self.pending.lock();
+            for frame in frames {
+                if let Frame::Request(req) = frame {
+                    pending.push_back((req, peer));
+                }
+            }
+        }
+    }
+
+    /// Receive the next well-formed admission request.
     pub async fn recv_request(&self) -> Result<(QosRequest, SocketAddr)> {
-        let mut buf = vec![0u8; MAX_FRAME_BYTES + 1];
+        let mut buf = vec![0u8; RECV_BUF_BYTES];
         loop {
+            if let Some(item) = self.pending.lock().pop_front() {
+                return Ok(item);
+            }
             let (len, peer) = self.socket.recv_from(&mut buf).await?;
-            match codec::decode(&buf[..len]) {
-                Ok(Frame::Request(req)) => return Ok((req, peer)),
-                Ok(Frame::Response(_)) | Err(_) => continue,
+            self.queue_datagram(&buf[..len], peer);
+        }
+    }
+
+    /// Pop an immediately-available request without awaiting: a queued
+    /// batch item, or a datagram the kernel already holds. `None` when
+    /// nothing is ready right now — the listener goes back to sleep.
+    pub fn try_recv_request(&self) -> Option<(QosRequest, SocketAddr)> {
+        let mut buf = [0u8; RECV_BUF_BYTES];
+        loop {
+            if let Some(item) = self.pending.lock().pop_front() {
+                return Some(item);
+            }
+            match self.socket.try_recv_from(&mut buf) {
+                Ok((len, peer)) => self.queue_datagram(&buf[..len], peer),
+                Err(_) => return None,
             }
         }
     }
@@ -194,6 +241,33 @@ impl UdpServerSocket {
                 Ok(())
             }
         }
+    }
+
+    /// Send a group of responses to one peer, coalesced into as few
+    /// datagrams as the size budget allows. Fault injection applies per
+    /// datagram (a dropped datagram loses the whole batch, exactly like a
+    /// real network would).
+    pub async fn send_responses(
+        &self,
+        responses: &[QosResponse],
+        peer: SocketAddr,
+    ) -> Result<()> {
+        if responses.len() == 1 {
+            return self.send_response(&responses[0], peer).await;
+        }
+        let frames: Vec<Frame> = responses.iter().map(|r| Frame::Response(*r)).collect();
+        for wire in codec::encode_batch(&frames) {
+            match self.faults.judge() {
+                None => {}
+                Some(delay) => {
+                    if !delay.is_zero() {
+                        tokio::time::sleep(delay).await;
+                    }
+                    self.socket.send_to(&wire, peer).await?;
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -321,6 +395,39 @@ mod tests {
             .unwrap();
         let (req, _) = server.recv_request().await.unwrap();
         assert_eq!(req.id, 7);
+    }
+
+    #[tokio::test]
+    async fn server_splits_batch_datagrams_into_requests() {
+        let server = UdpServerSocket::bind_ephemeral().await.unwrap();
+        let addr = server.local_addr().unwrap();
+        let prober = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let frames: Vec<Frame> = (10..13u64).map(|id| Frame::Request(request(id))).collect();
+        let wires = codec::encode_batch(&frames);
+        assert_eq!(wires.len(), 1, "three small frames fit one datagram");
+        prober.send_to(&wires[0], addr).await.unwrap();
+        for expected in 10..13u64 {
+            let (req, _) = server.recv_request().await.unwrap();
+            assert_eq!(req.id, expected);
+        }
+    }
+
+    #[tokio::test]
+    async fn send_responses_coalesces_and_stays_decodable() {
+        let server = UdpServerSocket::bind_ephemeral().await.unwrap();
+        let addr = server.local_addr().unwrap();
+        let peer = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let peer_addr = peer.local_addr().unwrap();
+        let responses: Vec<QosResponse> = (0..5u64).map(QosResponse::allow).collect();
+        server.send_responses(&responses, peer_addr).await.unwrap();
+        let mut buf = vec![0u8; RECV_BUF_BYTES];
+        let (len, from) = peer.recv_from(&mut buf).await.unwrap();
+        assert_eq!(from, addr);
+        let frames = codec::decode_all(&buf[..len]).unwrap();
+        assert_eq!(frames.len(), 5);
+        for (i, frame) in frames.iter().enumerate() {
+            assert_eq!(*frame, Frame::Response(QosResponse::allow(i as u64)));
+        }
     }
 
     #[test]

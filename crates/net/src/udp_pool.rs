@@ -13,22 +13,62 @@
 //! * late responses for timed-out or completed requests are dropped at
 //!   the demux map;
 //! * retries re-send the *same* id, so whichever attempt's response
-//!   arrives first completes the call.
+//!   arrives first completes the call;
+//! * with batching on, concurrent sends headed for the same QoS server
+//!   coalesce into one datagram on a size-or-deadline trigger. Each
+//!   retry re-enqueues the request individually, so the paper's
+//!   per-request timeout × retry discipline is unchanged — only the
+//!   datagram packing differs.
 
 use crate::fault::FaultPlan;
 use crate::udp::UdpRpcConfig;
-use janus_types::codec::{self, Frame, MAX_FRAME_BYTES};
+use janus_types::codec::{self, Frame, MAX_DATAGRAM_BYTES};
 use janus_types::{JanusError, QosKey, QosRequest, QosResponse, RequestId, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use tokio::net::UdpSocket;
 use tokio::sync::oneshot;
 
 /// Response demultiplexer: request id → waiting caller.
 type Waiters = Arc<Mutex<HashMap<RequestId, oneshot::Sender<QosResponse>>>>;
+
+/// Per-destination send queues awaiting a coalesced flush.
+type PendingSends = Arc<Mutex<HashMap<SocketAddr, Vec<QosRequest>>>>;
+
+/// Datagram-coalescing policy for the pooled client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Coalesce at all? Off reproduces the single-frame wire format.
+    pub enabled: bool,
+    /// Flush once this many frames are queued for one destination.
+    pub max_frames: usize,
+    /// Flush this long after the first frame queues, even if not full.
+    pub max_delay: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            enabled: true,
+            max_frames: 16,
+            max_delay: Duration::from_micros(50),
+        }
+    }
+}
+
+impl BatchConfig {
+    /// The paper-faithful single-frame-per-datagram wire format.
+    pub fn disabled() -> Self {
+        BatchConfig {
+            enabled: false,
+            ..BatchConfig::default()
+        }
+    }
+}
 
 /// A shared-socket UDP RPC client.
 ///
@@ -38,6 +78,8 @@ pub struct PooledUdpRpcClient {
     socket: Arc<UdpSocket>,
     waiters: Waiters,
     config: UdpRpcConfig,
+    batch: BatchConfig,
+    pending: PendingSends,
     faults: Arc<FaultPlan>,
     next_id: Arc<AtomicU64>,
 }
@@ -51,7 +93,8 @@ impl std::fmt::Debug for PooledUdpRpcClient {
 }
 
 impl PooledUdpRpcClient {
-    /// Bind the shared socket and start the demux task.
+    /// Bind the shared socket and start the demux task. Coalescing is on
+    /// by default — this is the optimized client.
     pub async fn bind(config: UdpRpcConfig) -> Result<Self> {
         Self::bind_with_faults(config, FaultPlan::none()).await
     }
@@ -61,22 +104,37 @@ impl PooledUdpRpcClient {
         config: UdpRpcConfig,
         faults: Arc<FaultPlan>,
     ) -> Result<Self> {
+        Self::bind_with_batch(config, BatchConfig::default(), faults).await
+    }
+
+    /// Bind with an explicit coalescing policy.
+    pub async fn bind_with_batch(
+        config: UdpRpcConfig,
+        batch: BatchConfig,
+        faults: Arc<FaultPlan>,
+    ) -> Result<Self> {
         let socket = Arc::new(UdpSocket::bind(("127.0.0.1", 0)).await?);
         let waiters: Waiters = Arc::new(Mutex::new(HashMap::new()));
 
-        // Demux task: route every arriving response to its waiter.
+        // Demux task: route every arriving response frame — single or
+        // batched — to its waiter.
         let demux_socket = Arc::clone(&socket);
         let demux_waiters = Arc::clone(&waiters);
         tokio::spawn(async move {
-            let mut buf = vec![0u8; MAX_FRAME_BYTES + 1];
+            let mut buf = vec![0u8; MAX_DATAGRAM_BYTES + 1];
             loop {
                 let Ok((len, _peer)) = demux_socket.recv_from(&mut buf).await else {
                     return;
                 };
-                if let Ok(Frame::Response(resp)) = codec::decode(&buf[..len]) {
-                    // A missing waiter is a late duplicate: drop it.
-                    if let Some(tx) = demux_waiters.lock().remove(&resp.id) {
-                        let _ = tx.send(resp);
+                let Ok(frames) = codec::decode_all(&buf[..len]) else {
+                    continue;
+                };
+                for frame in frames {
+                    if let Frame::Response(resp) = frame {
+                        // A missing waiter is a late duplicate: drop it.
+                        if let Some(tx) = demux_waiters.lock().remove(&resp.id) {
+                            let _ = tx.send(resp);
+                        }
                     }
                 }
             }
@@ -86,6 +144,8 @@ impl PooledUdpRpcClient {
             socket,
             waiters,
             config,
+            batch,
+            pending: Arc::new(Mutex::new(HashMap::new())),
             faults,
             next_id: Arc::new(AtomicU64::new(1)),
         })
@@ -107,22 +167,13 @@ impl PooledUdpRpcClient {
     pub async fn check(&self, server: SocketAddr, key: QosKey) -> Result<QosResponse> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let request = QosRequest::new(id, key);
-        let wire = codec::encode_request(&request);
 
         let (tx, mut rx) = oneshot::channel();
         self.waiters.lock().insert(id, tx);
         // Ensure cleanup on every exit path.
         let result = async {
             for _attempt in 0..self.config.attempts() {
-                match self.faults.judge() {
-                    None => {} // dropped on the floor, like a lossy link
-                    Some(delay) => {
-                        if !delay.is_zero() {
-                            tokio::time::sleep(delay).await;
-                        }
-                        self.socket.send_to(&wire, server).await?;
-                    }
-                }
+                self.send_attempt(server, &request).await?;
                 match tokio::time::timeout(self.config.timeout, &mut rx).await {
                     Ok(Ok(resp)) => return Ok(resp),
                     // Channel dropped: demux task died (socket closed).
@@ -139,6 +190,76 @@ impl PooledUdpRpcClient {
         .await;
         self.waiters.lock().remove(&id);
         result
+    }
+
+    /// Put one attempt of `request` on the wire. Unbatched: encode and
+    /// send immediately. Batched: enqueue for `server` and flush when the
+    /// queue fills or the deadline passes, whichever comes first.
+    async fn send_attempt(&self, server: SocketAddr, request: &QosRequest) -> Result<()> {
+        if !self.batch.enabled {
+            return self
+                .send_datagram(codec::encode_request(request), server)
+                .await;
+        }
+        let mut to_flush = None;
+        let mut arm_timer = false;
+        {
+            let mut pending = self.pending.lock();
+            let queue = pending.entry(server).or_default();
+            queue.push(request.clone());
+            if queue.len() >= self.batch.max_frames.max(1) {
+                to_flush = pending.remove(&server);
+            } else {
+                // First frame in a fresh window: schedule the deadline
+                // flush. Later frames ride on this window's timer.
+                arm_timer = queue.len() == 1;
+            }
+        }
+        if arm_timer {
+            let this = self.clone();
+            tokio::spawn(async move {
+                tokio::time::sleep(this.batch.max_delay).await;
+                let queued = this.pending.lock().remove(&server);
+                if let Some(queue) = queued {
+                    let _ = this.flush_queue(server, queue).await;
+                }
+            });
+        }
+        match to_flush {
+            Some(queue) => self.flush_queue(server, queue).await,
+            None => Ok(()),
+        }
+    }
+
+    /// Encode a drained queue (legacy format for a lone frame, batch
+    /// otherwise) and send it, one fault-injection judgement per
+    /// datagram — a dropped datagram loses the whole batch, exactly as a
+    /// lossy link would, and each affected request retries on its own.
+    async fn flush_queue(&self, server: SocketAddr, queue: Vec<QosRequest>) -> Result<()> {
+        let wires = if queue.len() == 1 {
+            vec![codec::encode_request(&queue[0])]
+        } else {
+            let frames: Vec<Frame> = queue.into_iter().map(Frame::Request).collect();
+            codec::encode_batch(&frames)
+        };
+        for wire in wires {
+            self.send_datagram(wire, server).await?;
+        }
+        Ok(())
+    }
+
+    /// Send one datagram through the fault plan.
+    async fn send_datagram(&self, wire: bytes::Bytes, server: SocketAddr) -> Result<()> {
+        match self.faults.judge() {
+            None => Ok(()), // dropped on the floor, like a lossy link
+            Some(delay) => {
+                if !delay.is_zero() {
+                    tokio::time::sleep(delay).await;
+                }
+                self.socket.send_to(&wire, server).await?;
+                Ok(())
+            }
+        }
     }
 }
 
@@ -240,6 +361,67 @@ mod tests {
             }
         }
         assert!(ok >= 18, "only {ok}/20 under 40% loss");
+    }
+
+    /// 32 concurrent checks against one server must land in far fewer
+    /// than 32 request datagrams once coalescing kicks in, and every
+    /// caller must still get its own answer back.
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn batched_requests_coalesce_on_the_wire() {
+        let socket = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let addr = socket.local_addr().unwrap();
+        let datagrams = Arc::new(AtomicU64::new(0));
+        let counter = Arc::clone(&datagrams);
+        tokio::spawn(async move {
+            let mut buf = vec![0u8; MAX_DATAGRAM_BYTES + 1];
+            loop {
+                let Ok((len, peer)) = socket.recv_from(&mut buf).await else { return };
+                counter.fetch_add(1, Ordering::Relaxed);
+                let Ok(frames) = codec::decode_all(&buf[..len]) else { continue };
+                let responses: Vec<Frame> = frames
+                    .iter()
+                    .filter_map(|frame| match frame {
+                        Frame::Request(req) => {
+                            Some(Frame::Response(QosResponse::allow(req.id)))
+                        }
+                        Frame::Response(_) => None,
+                    })
+                    .collect();
+                for wire in codec::encode_batch(&responses) {
+                    let _ = socket.send_to(&wire, peer).await;
+                }
+            }
+        });
+
+        // A generous deadline so all 32 sends share coalescing windows
+        // regardless of scheduling jitter.
+        let pool = PooledUdpRpcClient::bind_with_batch(
+            UdpRpcConfig::lan_defaults(),
+            BatchConfig {
+                enabled: true,
+                max_frames: 16,
+                max_delay: Duration::from_millis(5),
+            },
+            FaultPlan::none(),
+        )
+        .await
+        .unwrap();
+        let mut handles = Vec::new();
+        for i in 0..32usize {
+            let pool = pool.clone();
+            handles.push(tokio::spawn(async move {
+                pool.check(addr, key(&format!("tenant-{i}"))).await.unwrap()
+            }));
+        }
+        for handle in handles {
+            assert_eq!(handle.await.unwrap().verdict, Verdict::Allow);
+        }
+        let sent = datagrams.load(Ordering::Relaxed);
+        assert!(
+            sent < 32,
+            "expected coalescing, saw {sent} request datagrams for 32 checks"
+        );
+        assert_eq!(pool.in_flight(), 0);
     }
 
     #[tokio::test]

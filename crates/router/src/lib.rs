@@ -20,9 +20,10 @@
 
 use janus_hash::{ModuloRouter, Router as _};
 use janus_net::dns::Resolver;
+use janus_net::fault::FaultPlan;
 use janus_net::http::{HttpHandler, HttpRequest, HttpResponse, HttpServer, StatusCode};
 use janus_net::udp::{UdpRpcClient, UdpRpcConfig};
-use janus_net::udp_pool::PooledUdpRpcClient;
+use janus_net::udp_pool::{BatchConfig, PooledUdpRpcClient};
 use janus_types::{JanusError, QosKey, QosRequest, Result, Verdict};
 use std::future::Future;
 use std::net::SocketAddr;
@@ -64,6 +65,11 @@ pub struct RouterConfig {
     /// ablation; see `janus_net::udp_pool`). Default: false, the
     /// faithful discipline.
     pub pooled_rpc: bool,
+    /// With `pooled_rpc`, coalesce concurrent requests headed to the
+    /// same QoS server into one batched datagram (size-or-deadline
+    /// trigger; see [`BatchConfig`]). Ignored for the per-request
+    /// client, which stays on the paper's single-frame wire format.
+    pub batching: bool,
 }
 
 impl RouterConfig {
@@ -75,6 +81,7 @@ impl RouterConfig {
             udp: UdpRpcConfig::lan_defaults(),
             default_verdict: Verdict::Allow,
             pooled_rpc: false,
+            batching: true,
         }
     }
 }
@@ -207,7 +214,15 @@ impl RequestRouter {
         let stats = Arc::new(RouterStats::default());
         let partitions = config.backends.len();
         let rpc = if config.pooled_rpc {
-            RpcBackend::Pooled(PooledUdpRpcClient::bind(config.udp).await?)
+            let batch = if config.batching {
+                BatchConfig::default()
+            } else {
+                BatchConfig::disabled()
+            };
+            RpcBackend::Pooled(
+                PooledUdpRpcClient::bind_with_batch(config.udp, batch, FaultPlan::none())
+                    .await?,
+            )
         } else {
             RpcBackend::PerRequest(UdpRpcClient::new(config.udp))
         };
@@ -467,6 +482,21 @@ mod tests {
         assert_eq!(check(&mut client, "pooled").await, Verdict::Allow);
         assert_eq!(check(&mut client, "pooled").await, Verdict::Deny);
         assert_eq!(router.stats().forwarded_ok.load(Ordering::Relaxed), 4);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn pooled_unbatched_ablation_routes_identically() {
+        // The paper-faithful single-frame wire format must remain
+        // selectable underneath the pooled client.
+        let server = standalone_server(&[("plain", 2, 0)]).await;
+        let mut config = RouterConfig::direct([server.udp_addr()]);
+        config.pooled_rpc = true;
+        config.batching = false;
+        let router = RequestRouter::spawn(config, None).await.unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        assert_eq!(check(&mut client, "plain").await, Verdict::Allow);
+        assert_eq!(check(&mut client, "plain").await, Verdict::Allow);
+        assert_eq!(check(&mut client, "plain").await, Verdict::Deny);
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

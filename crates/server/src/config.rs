@@ -53,6 +53,22 @@ pub enum TableKind {
     /// One global lock — the paper's synchronized hash map, kept for the
     /// lock-contention ablation.
     Synchronized,
+    /// One partition per worker, matched to key-affinity dispatch: a
+    /// worker only ever touches its own partition, so the partition lock
+    /// is uncontended. Requires [`DispatchMode::KeyAffinity`].
+    PerWorker,
+}
+
+/// How the listener hands requests to workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Route each request to the worker `CRC32(key) % workers` through a
+    /// per-worker SPSC queue. One key is always decided by the same
+    /// worker — the contention-free fast path.
+    KeyAffinity,
+    /// One shared FIFO all workers pop under a mutex — the paper's
+    /// design, kept for the dispatch ablation.
+    SharedFifo,
 }
 
 /// Tunables for one QoS server node.
@@ -80,6 +96,19 @@ pub struct QosServerConfig {
     /// it on the QoS server also removes first-sighting misses, which is
     /// the right trade when the rule set fits comfortably in memory.
     pub preload: bool,
+    /// Listener → worker hand-off strategy.
+    pub dispatch: DispatchMode,
+    /// Batch the data plane: the listener drains every immediately-ready
+    /// datagram per wakeup, workers drain their queue and coalesce
+    /// responses headed to the same peer into one datagram. Off
+    /// reproduces the paper's one-datagram-per-wakeup behaviour.
+    pub batching: bool,
+    /// Budget for the per-miss database fetch (connect + `get_rule`). A
+    /// hung database connection otherwise stalls the worker — and, under
+    /// key-affinity dispatch, every key that hashes to it. On expiry the
+    /// request falls back to the default policy and the connection is
+    /// dropped for the next miss to rebuild.
+    pub db_fetch_timeout: Duration,
 }
 
 impl Default for QosServerConfig {
@@ -93,13 +122,17 @@ impl Default for QosServerConfig {
             default_policy: DefaultRulePolicy::Deny,
             table: TableKind::Sharded,
             preload: false,
+            dispatch: DispatchMode::KeyAffinity,
+            batching: true,
+            db_fetch_timeout: Duration::from_millis(250),
         }
     }
 }
 
 impl QosServerConfig {
     /// Sensible defaults for fast integration tests: small FIFO, short
-    /// intervals.
+    /// intervals. The DB-fetch budget stays generous because a loaded CI
+    /// box can take a while to complete a first-sighting fetch.
     pub fn test_defaults() -> Self {
         QosServerConfig {
             workers: 2,
@@ -110,6 +143,9 @@ impl QosServerConfig {
             default_policy: DefaultRulePolicy::Deny,
             table: TableKind::Sharded,
             preload: false,
+            dispatch: DispatchMode::KeyAffinity,
+            batching: true,
+            db_fetch_timeout: Duration::from_secs(2),
         }
     }
 
@@ -120,6 +156,17 @@ impl QosServerConfig {
         }
         if self.fifo_capacity == 0 {
             return Err(janus_types::JanusError::config("fifo_capacity must be > 0"));
+        }
+        if self.table == TableKind::PerWorker && self.dispatch != DispatchMode::KeyAffinity {
+            return Err(janus_types::JanusError::config(
+                "TableKind::PerWorker requires DispatchMode::KeyAffinity \
+                 (the per-worker partitions are only uncontended under affinity dispatch)",
+            ));
+        }
+        if self.db_fetch_timeout.is_zero() {
+            return Err(janus_types::JanusError::config(
+                "db_fetch_timeout must be > 0",
+            ));
         }
         Ok(())
     }
@@ -147,6 +194,23 @@ mod tests {
     fn zero_fifo_invalid() {
         let mut c = QosServerConfig::default();
         c.fifo_capacity = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn per_worker_table_requires_affinity_dispatch() {
+        let mut c = QosServerConfig::default();
+        c.table = TableKind::PerWorker;
+        c.dispatch = DispatchMode::KeyAffinity;
+        assert!(c.validate().is_ok());
+        c.dispatch = DispatchMode::SharedFifo;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_db_fetch_timeout_invalid() {
+        let mut c = QosServerConfig::default();
+        c.db_fetch_timeout = Duration::ZERO;
         assert!(c.validate().is_err());
     }
 }

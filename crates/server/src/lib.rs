@@ -20,12 +20,21 @@
 //!
 //! The local table flavour is configurable: [`TableKind::Synchronized`]
 //! reproduces the paper's single-lock design, [`TableKind::Sharded`] is
-//! the lock-striped optimization (DESIGN.md ablation 1).
+//! the lock-striped optimization (DESIGN.md ablation 1), and
+//! [`TableKind::PerWorker`] partitions the table per worker for the
+//! key-affinity dispatch path (DESIGN.md ablation 9).
+//!
+//! Dispatch itself is configurable too: [`DispatchMode::SharedFifo`] is
+//! the paper's single shared queue, [`DispatchMode::KeyAffinity`] routes
+//! `CRC32(key) % workers` through per-worker SPSC queues so one key is
+//! always decided by the same worker, and (with batching on) the listener
+//! drains every ready datagram per wakeup while workers coalesce
+//! responses per peer into batched datagrams.
 
 mod config;
 mod ha;
 mod server;
 
-pub use config::{DbTarget, QosServerConfig, TableKind};
+pub use config::{DbTarget, DispatchMode, QosServerConfig, TableKind};
 pub use ha::{fetch_snapshot, SlaveReplicator};
-pub use server::{QosServer, ServerStats};
+pub use server::{QosServer, ServerStats, ServerStatsSnapshot};

@@ -1,8 +1,18 @@
-//! The QoS server node: listener, FIFO, workers and maintenance tasks.
+//! The QoS server node: listener, dispatch, workers and maintenance tasks.
+//!
+//! Two data planes are selectable ([`crate::config::DispatchMode`]):
+//!
+//! * **SharedFifo** — the paper's design: one bounded FIFO, every worker
+//!   pops it under a mutex.
+//! * **KeyAffinity** — the batched plane: the listener drains every
+//!   immediately-ready datagram per wakeup and routes each request to
+//!   worker `CRC32(key) % workers` through that worker's own SPSC queue;
+//!   the worker drains its queue, decides the batch, and coalesces
+//!   responses to the same peer into one batched datagram.
 
-use crate::config::{DbTarget, QosServerConfig, TableKind};
+use crate::config::{DbTarget, DispatchMode, QosServerConfig, TableKind};
 use crate::ha;
-use janus_bucket::{QosTable, ShardedTable, SyncTable};
+use janus_bucket::{worker_affinity, PartitionedTable, QosTable, ShardedTable, SyncTable};
 use janus_clock::SharedClock;
 use janus_db::DbClient;
 use janus_net::fault::FaultPlan;
@@ -12,7 +22,17 @@ use std::collections::HashSet;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 use tokio::sync::{mpsc, watch, Mutex};
+
+/// Most datagrams the affinity listener pulls in one wakeup before
+/// yielding back to the scheduler (keeps one flood from starving the
+/// maintenance tasks).
+const LISTENER_DRAIN_LIMIT: usize = 256;
+
+/// Most requests an affinity worker decides per queue drain; also the
+/// cap on how many responses coalesce into one send burst.
+const WORKER_DRAIN_LIMIT: usize = 16;
 
 /// Keys whose local bucket came from the default policy rather than a
 /// database row. The rule-sync task must not treat their absence from
@@ -37,6 +57,53 @@ pub struct ServerStats {
     pub checkpoints: AtomicU64,
     /// Rule-sync rounds that found changes.
     pub sync_rounds: AtomicU64,
+    /// First-sighting DB fetches abandoned at the fetch budget.
+    pub db_timeouts: AtomicU64,
+    /// Requests currently queued between listener and workers (gauge).
+    pub fifo_depth: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`], for benches and experiment
+/// harnesses that want one coherent read instead of a field-by-field
+/// probe of the atomics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Datagrams shed because the FIFO was full.
+    pub shed: u64,
+    /// Decisions answered.
+    pub answered: u64,
+    /// Rules fetched from the database on first sighting.
+    pub db_fetches: u64,
+    /// Unknown keys admitted under the default policy.
+    pub default_rule_hits: u64,
+    /// House-keeping refill sweeps executed.
+    pub refill_sweeps: u64,
+    /// Check-point rounds completed.
+    pub checkpoints: u64,
+    /// Rule-sync rounds that found changes.
+    pub sync_rounds: u64,
+    /// First-sighting DB fetches abandoned at the fetch budget.
+    pub db_timeouts: u64,
+    /// Requests queued between listener and workers right now (gauge —
+    /// queue pressure, not a running total).
+    pub fifo_depth: u64,
+}
+
+impl ServerStats {
+    /// Read every counter at once.
+    pub fn snapshot(&self) -> ServerStatsSnapshot {
+        ServerStatsSnapshot {
+            shed: self.shed.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            db_fetches: self.db_fetches.load(Ordering::Relaxed),
+            default_rule_hits: self.default_rule_hits.load(Ordering::Relaxed),
+            refill_sweeps: self.refill_sweeps.load(Ordering::Relaxed),
+            checkpoints: self.checkpoints.load(Ordering::Relaxed),
+            sync_rounds: self.sync_rounds.load(Ordering::Relaxed),
+            db_timeouts: self.db_timeouts.load(Ordering::Relaxed),
+            fifo_depth: self.fifo_depth.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A running QoS server node.
@@ -78,6 +145,7 @@ impl QosServer {
         let table: Arc<dyn QosTable> = match config.table {
             TableKind::Sharded => Arc::new(ShardedTable::new()),
             TableKind::Synchronized => Arc::new(SyncTable::new()),
+            TableKind::PerWorker => Arc::new(PartitionedTable::new(config.workers)),
         };
         let stats = Arc::new(ServerStats::default());
         let (shutdown, shutdown_rx) = watch::channel(false);
@@ -100,26 +168,62 @@ impl QosServer {
         let udp_addr = socket.local_addr()?;
         let guest_keys: GuestKeys = Arc::new(parking_lot::Mutex::new(HashSet::new()));
 
-        // Listener -> FIFO -> workers.
-        let (fifo_tx, fifo_rx) = mpsc::channel::<(QosRequest, SocketAddr)>(config.fifo_capacity);
-        let fifo_rx = Arc::new(Mutex::new(fifo_rx));
-        spawn_listener(
-            Arc::clone(&socket),
-            fifo_tx,
-            Arc::clone(&stats),
-            shutdown_rx.clone(),
-        );
-        for _ in 0..config.workers {
-            spawn_worker(
-                Arc::clone(&socket),
-                Arc::clone(&fifo_rx),
-                Arc::clone(&table),
-                Arc::clone(&stats),
-                Arc::clone(&clock) as SharedClock,
-                db.clone(),
-                config.default_policy.clone(),
-                Arc::clone(&guest_keys),
-            );
+        // Listener -> dispatch -> workers.
+        match config.dispatch {
+            DispatchMode::KeyAffinity => {
+                // Per-worker SPSC queues: the listener is the only sender
+                // for each queue and the owning worker the only receiver,
+                // so neither side ever contends on a shared lock.
+                let per_worker = (config.fifo_capacity / config.workers).max(1);
+                let mut senders = Vec::with_capacity(config.workers);
+                for _ in 0..config.workers {
+                    let (tx, rx) = mpsc::channel::<(QosRequest, SocketAddr)>(per_worker);
+                    senders.push(tx);
+                    spawn_affinity_worker(
+                        Arc::clone(&socket),
+                        rx,
+                        Arc::clone(&table),
+                        Arc::clone(&stats),
+                        Arc::clone(&clock) as SharedClock,
+                        db.clone(),
+                        config.default_policy.clone(),
+                        Arc::clone(&guest_keys),
+                        config.batching,
+                        config.db_fetch_timeout,
+                    );
+                }
+                spawn_affinity_listener(
+                    Arc::clone(&socket),
+                    senders,
+                    Arc::clone(&stats),
+                    shutdown_rx.clone(),
+                    config.batching,
+                );
+            }
+            DispatchMode::SharedFifo => {
+                let (fifo_tx, fifo_rx) =
+                    mpsc::channel::<(QosRequest, SocketAddr)>(config.fifo_capacity);
+                let fifo_rx = Arc::new(Mutex::new(fifo_rx));
+                spawn_listener(
+                    Arc::clone(&socket),
+                    fifo_tx,
+                    Arc::clone(&stats),
+                    shutdown_rx.clone(),
+                );
+                for _ in 0..config.workers {
+                    spawn_worker(
+                        Arc::clone(&socket),
+                        Arc::clone(&fifo_rx),
+                        Arc::clone(&table),
+                        Arc::clone(&stats),
+                        Arc::clone(&clock) as SharedClock,
+                        db.clone(),
+                        config.default_policy.clone(),
+                        Arc::clone(&guest_keys),
+                        config.db_fetch_timeout,
+                    );
+                }
+            }
         }
 
         // House-keeping refill.
@@ -222,7 +326,9 @@ fn spawn_listener(
                     let Ok((request, peer)) = incoming else { return };
                     // try_send sheds load when the FIFO is full; the
                     // router's retry will re-deliver if capacity frees up.
-                    if fifo.try_send((request, peer)).is_err() {
+                    if fifo.try_send((request, peer)).is_ok() {
+                        stats.fifo_depth.fetch_add(1, Ordering::Relaxed);
+                    } else {
                         stats.shed.fetch_add(1, Ordering::Relaxed);
                     }
                 }
@@ -241,6 +347,7 @@ fn spawn_worker(
     db_target: Option<DbTarget>,
     default_policy: janus_bucket::DefaultRulePolicy,
     guest_keys: GuestKeys,
+    db_fetch_timeout: Duration,
 ) {
     tokio::spawn(async move {
         let mut db: Option<DbClient> = None;
@@ -250,6 +357,7 @@ fn spawn_worker(
                 rx.recv().await
             };
             let Some((request, peer)) = item else { return };
+            stats.fifo_depth.fetch_sub(1, Ordering::Relaxed);
             let verdict = decide(
                 &table,
                 &clock,
@@ -259,6 +367,7 @@ fn spawn_worker(
                 &default_policy,
                 &stats,
                 &guest_keys,
+                db_fetch_timeout,
             )
             .await;
             stats.answered.fetch_add(1, Ordering::Relaxed);
@@ -269,8 +378,120 @@ fn spawn_worker(
     });
 }
 
-/// The decision path: local table hit, else database fetch, else default
-/// policy.
+/// The key-affinity listener: route each request to the worker its key
+/// hashes to, and (with batching on) drain every datagram the kernel
+/// already holds before sleeping again — one wakeup, many requests.
+fn spawn_affinity_listener(
+    socket: Arc<UdpServerSocket>,
+    workers: Vec<mpsc::Sender<(QosRequest, SocketAddr)>>,
+    stats: Arc<ServerStats>,
+    mut shutdown: watch::Receiver<bool>,
+    batching: bool,
+) {
+    tokio::spawn(async move {
+        loop {
+            tokio::select! {
+                _ = shutdown.changed() => return,
+                incoming = socket.recv_request() => {
+                    let Ok(item) = incoming else { return };
+                    dispatch_by_key(item, &workers, &stats);
+                    if batching {
+                        for _ in 0..LISTENER_DRAIN_LIMIT {
+                            let Some(item) = socket.try_recv_request() else { break };
+                            dispatch_by_key(item, &workers, &stats);
+                        }
+                    }
+                }
+            }
+        }
+    });
+}
+
+/// Hand one request to the worker `CRC32(key) % workers`, shedding when
+/// that worker's queue is full (the router's retry covers the loss — and
+/// because affinity is deterministic, the retry lands on the same queue,
+/// preserving the paper's shed-and-retry semantics per key).
+fn dispatch_by_key(
+    item: (QosRequest, SocketAddr),
+    workers: &[mpsc::Sender<(QosRequest, SocketAddr)>],
+    stats: &ServerStats,
+) {
+    let idx = worker_affinity(&item.0.key, workers.len());
+    if workers[idx].try_send(item).is_ok() {
+        stats.fifo_depth.fetch_add(1, Ordering::Relaxed);
+    } else {
+        stats.shed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A key-affinity worker: sole consumer of its own queue. With batching
+/// on it drains up to [`WORKER_DRAIN_LIMIT`] queued requests per wakeup,
+/// decides them all, then coalesces responses going to the same peer
+/// into one batched datagram.
+#[allow(clippy::too_many_arguments)]
+fn spawn_affinity_worker(
+    socket: Arc<UdpServerSocket>,
+    mut rx: mpsc::Receiver<(QosRequest, SocketAddr)>,
+    table: Arc<dyn QosTable>,
+    stats: Arc<ServerStats>,
+    clock: SharedClock,
+    db_target: Option<DbTarget>,
+    default_policy: janus_bucket::DefaultRulePolicy,
+    guest_keys: GuestKeys,
+    batching: bool,
+    db_fetch_timeout: Duration,
+) {
+    tokio::spawn(async move {
+        let mut db: Option<DbClient> = None;
+        let mut batch: Vec<(QosRequest, SocketAddr)> = Vec::with_capacity(WORKER_DRAIN_LIMIT);
+        // Responses grouped by destination; linear scan because a drain
+        // rarely spans more than a couple of distinct peers.
+        let mut by_peer: Vec<(SocketAddr, Vec<QosResponse>)> = Vec::new();
+        loop {
+            batch.clear();
+            by_peer.clear();
+            let Some(first) = rx.recv().await else { return };
+            batch.push(first);
+            if batching {
+                while batch.len() < WORKER_DRAIN_LIMIT {
+                    match rx.try_recv() {
+                        Ok(item) => batch.push(item),
+                        Err(_) => break,
+                    }
+                }
+            }
+            stats
+                .fifo_depth
+                .fetch_sub(batch.len() as u64, Ordering::Relaxed);
+            for (request, peer) in batch.drain(..) {
+                let verdict = decide(
+                    &table,
+                    &clock,
+                    &request.key,
+                    db_target.as_ref(),
+                    &mut db,
+                    &default_policy,
+                    &stats,
+                    &guest_keys,
+                    db_fetch_timeout,
+                )
+                .await;
+                stats.answered.fetch_add(1, Ordering::Relaxed);
+                let response = QosResponse::new(request.id, verdict);
+                match by_peer.iter_mut().find(|(addr, _)| *addr == peer) {
+                    Some((_, responses)) => responses.push(response),
+                    None => by_peer.push((peer, vec![response])),
+                }
+            }
+            for (peer, responses) in by_peer.drain(..) {
+                let _ = socket.send_responses(&responses, peer).await;
+            }
+        }
+    });
+}
+
+/// The decision path: local table hit, else database fetch (bounded by
+/// `db_fetch_timeout`), else default policy.
 #[allow(clippy::too_many_arguments)]
 async fn decide(
     table: &Arc<dyn QosTable>,
@@ -281,32 +502,48 @@ async fn decide(
     default_policy: &janus_bucket::DefaultRulePolicy,
     stats: &ServerStats,
     guest_keys: &GuestKeys,
+    db_fetch_timeout: Duration,
 ) -> Verdict {
     let now = clock.now();
     if let Some(verdict) = table.decide(key, now) {
         return verdict;
     }
-    // First sighting: consult the database.
+    // First sighting: consult the database. The whole fetch — including
+    // (re)connecting — runs under one budget: a hung connection must not
+    // stall this worker (under affinity dispatch it would stall every
+    // key hashing to it).
     let rule = match db_target {
         Some(target) => {
-            if db.is_none() {
-                *db = target.connect().await;
-            }
-            let fetched = match db.as_mut() {
-                Some(client) => match client.get_rule(key).await {
-                    Ok(rule) => rule,
-                    Err(_) => {
-                        // Connection went bad; drop it so the next miss
-                        // reconnects, and fall back to the default policy
-                        // for this request.
-                        *db = None;
-                        None
-                    }
-                },
-                None => None,
-            };
+            let fetched = tokio::time::timeout(db_fetch_timeout, async {
+                if db.is_none() {
+                    *db = target.connect().await;
+                }
+                match db.as_mut() {
+                    Some(client) => match client.get_rule(key).await {
+                        Ok(rule) => Ok(rule),
+                        // Connection went bad; signal the caller to drop
+                        // it so the next miss reconnects.
+                        Err(_) => Err(()),
+                    },
+                    None => Ok(None),
+                }
+            })
+            .await;
             stats.db_fetches.fetch_add(1, Ordering::Relaxed);
-            fetched
+            match fetched {
+                Ok(Ok(rule)) => rule,
+                Ok(Err(())) => {
+                    *db = None;
+                    None
+                }
+                Err(_elapsed) => {
+                    // Budget blown: drop the (possibly hung) connection
+                    // and fall back to the default policy this once.
+                    stats.db_timeouts.fetch_add(1, Ordering::Relaxed);
+                    *db = None;
+                    None
+                }
+            }
         }
         None => None,
     };
@@ -755,6 +992,122 @@ mod tests {
             }
         }
         assert_eq!(admitted, 3, "upgrade lost the purchased burst");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn stats_snapshot_reads_all_counters() {
+        let db = spawn_db(vec![rule("snap", 3, 0)]).await;
+        let server = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            Some(db.addr().into()),
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        let client = rpc();
+        for id in 0..5 {
+            check(&client, &server, id, "snap").await;
+        }
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.answered, 5);
+        assert_eq!(snap.db_fetches, 1);
+        assert_eq!(snap.shed, 0);
+        assert_eq!(snap.db_timeouts, 0);
+        assert_eq!(snap.fifo_depth, 0, "queue must drain back to empty");
+        assert_eq!(snap, server.stats().snapshot(), "idle snapshots agree");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn per_worker_table_admits_exactly() {
+        // The third TableKind under its required dispatch mode: per-key
+        // exactness must hold even with concurrent clients, because one
+        // key is always decided by the same worker on the same partition.
+        let rules: Vec<_> = (0..8).map(|i| rule(&format!("p{i}"), 25, 0)).collect();
+        let db = spawn_db(rules).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.workers = 4;
+        config.table = TableKind::PerWorker;
+        let server = Arc::new(
+            QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+                .await
+                .unwrap(),
+        );
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let server = Arc::clone(&server);
+            handles.push(tokio::spawn(async move {
+                let client = rpc();
+                let mut allowed = 0;
+                for j in 0..40u64 {
+                    if check(&client, &server, i * 1000 + j, &format!("p{i}")).await
+                        == Verdict::Allow
+                    {
+                        allowed += 1;
+                    }
+                }
+                allowed
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.await.unwrap(), 25, "per-worker table oversold a bucket");
+        }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn shared_fifo_mode_still_works() {
+        // The paper-faithful ablation path: shared FIFO, no batching.
+        let db = spawn_db(vec![rule("fifo", 5, 0)]).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.dispatch = DispatchMode::SharedFifo;
+        config.batching = false;
+        let server = QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        let client = rpc();
+        let mut allowed = 0;
+        for id in 0..10 {
+            if check(&client, &server, id, "fifo").await == Verdict::Allow {
+                allowed += 1;
+            }
+        }
+        assert_eq!(allowed, 5);
+        assert_eq!(server.stats().snapshot().fifo_depth, 0);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn hung_database_fetch_times_out_to_default_policy() {
+        // A database that accepts the TCP connection and then never
+        // speaks: the per-miss fetch budget must expire, the request
+        // must fall back to the default policy, and the worker must stay
+        // responsive for subsequent requests.
+        let hung = tokio::net::TcpListener::bind(("127.0.0.1", 0)).await.unwrap();
+        let hung_addr = hung.local_addr().unwrap();
+        tokio::spawn(async move {
+            let mut held = Vec::new();
+            loop {
+                let Ok((stream, _)) = hung.accept().await else { return };
+                held.push(stream); // accept and go silent, forever
+            }
+        });
+        let mut config = QosServerConfig::test_defaults();
+        config.db_fetch_timeout = Duration::from_millis(50);
+        let server = QosServer::spawn(config, Some(hung_addr.into()), janus_clock::system())
+            .await
+            .unwrap();
+        // A generous client timeout: the server needs the full fetch
+        // budget before it can answer at all.
+        let client = UdpRpcClient::new(UdpRpcConfig {
+            timeout: Duration::from_millis(500),
+            max_retries: 3,
+        });
+        assert_eq!(check(&client, &server, 1, "victim").await, Verdict::Deny);
+        assert!(
+            server.stats().snapshot().db_timeouts >= 1,
+            "timeout was not counted"
+        );
+        // The worker survived: an already-inserted guest bucket answers
+        // locally, no DB involved.
+        assert_eq!(check(&client, &server, 2, "victim").await, Verdict::Deny);
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

@@ -10,10 +10,19 @@
 //!
 //! kind = 0x01 (request):   id: u64 BE | key_len: u8 | key bytes
 //! kind = 0x02 (response):  id: u64 BE | verdict: u8 (0=deny, 1=allow)
+//! kind = 0x03 (batch):     count: u16 BE | count × (item kind: u8 | item payload)
 //! ```
 //!
 //! A request for a UUID key is 49 bytes on the wire; a response is 13.
 //! Both fit in a single datagram with no fragmentation at any sane MTU.
+//!
+//! The **batch** kind amortizes per-datagram syscall cost: a coalescing
+//! sender packs many requests (or responses) into one datagram, bounded
+//! by [`MAX_DATAGRAM_BYTES`]. Items reuse the single-frame payload
+//! encodings verbatim, and mixed request/response batches are legal.
+//! Single-frame datagrams remain the wire format for unbatched peers, so
+//! old senders interoperate with new receivers ([`decode_all`] accepts
+//! both) and batching stays a per-sender opt-in.
 
 use crate::{JanusError, QosKey, QosRequest, QosResponse, Result, Verdict, MAX_KEY_BYTES};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
@@ -24,9 +33,15 @@ pub const MAGIC: u16 = 0x4A51;
 pub const VERSION: u8 = 1;
 /// Largest possible encoded frame (a request with a maximum-length key).
 pub const MAX_FRAME_BYTES: usize = 4 + 8 + 1 + MAX_KEY_BYTES;
+/// Size budget for one batched datagram. Conservative for a 1500-byte
+/// Ethernet MTU minus IP + UDP headers, so a batch never fragments.
+pub const MAX_DATAGRAM_BYTES: usize = 1400;
+/// Bytes of fixed overhead in a batch datagram (header + item count).
+const BATCH_OVERHEAD: usize = 4 + 2;
 
 const KIND_REQUEST: u8 = 0x01;
 const KIND_RESPONSE: u8 = 0x02;
+const KIND_BATCH: u8 = 0x03;
 
 /// A decoded frame: either direction of the admission protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,11 +98,113 @@ pub fn encode(frame: &Frame) -> Bytes {
     }
 }
 
-/// Decode one frame from a datagram.
-///
-/// The entire datagram must be consumed: trailing bytes indicate a framing
-/// bug or corruption and are rejected rather than silently ignored.
-pub fn decode(mut data: &[u8]) -> Result<Frame> {
+/// Bytes one frame occupies as a batch item (kind byte + payload).
+pub fn batch_item_len(frame: &Frame) -> usize {
+    match frame {
+        Frame::Request(r) => 1 + 8 + 1 + r.key.len(),
+        Frame::Response(_) => 1 + 8 + 1,
+    }
+}
+
+fn put_batch_item(buf: &mut BytesMut, frame: &Frame) {
+    match frame {
+        Frame::Request(req) => {
+            buf.put_u8(KIND_REQUEST);
+            buf.put_u64(req.id);
+            debug_assert!(req.key.len() <= MAX_KEY_BYTES);
+            buf.put_u8(req.key.len() as u8);
+            buf.put_slice(req.key.as_bytes());
+        }
+        Frame::Response(resp) => {
+            buf.put_u8(KIND_RESPONSE);
+            buf.put_u64(resp.id);
+            buf.put_u8(resp.verdict.as_bool() as u8);
+        }
+    }
+}
+
+/// Pack frames into as few datagrams as possible, each within
+/// [`MAX_DATAGRAM_BYTES`]. Frame order is preserved across the returned
+/// datagrams. A group that ends up holding a single frame is emitted in
+/// the legacy single-frame format, so unbatched receivers stay
+/// compatible; larger groups use the batch format.
+pub fn encode_batch(frames: &[Frame]) -> Vec<Bytes> {
+    // Every single frame fits: MAX_FRAME_BYTES (269) << MAX_DATAGRAM_BYTES.
+    const _: () = assert!(MAX_FRAME_BYTES + BATCH_OVERHEAD <= MAX_DATAGRAM_BYTES);
+    let mut datagrams = Vec::new();
+    let mut group: Vec<&Frame> = Vec::new();
+    let mut group_bytes = BATCH_OVERHEAD;
+    let flush = |group: &mut Vec<&Frame>, datagrams: &mut Vec<Bytes>| {
+        match group.len() {
+            0 => {}
+            1 => datagrams.push(encode(group[0])),
+            n => {
+                let mut buf = BytesMut::with_capacity(MAX_DATAGRAM_BYTES);
+                put_header(&mut buf, KIND_BATCH);
+                buf.put_u16(n as u16);
+                for frame in group.iter() {
+                    put_batch_item(&mut buf, frame);
+                }
+                debug_assert!(buf.len() <= MAX_DATAGRAM_BYTES);
+                datagrams.push(buf.freeze());
+            }
+        }
+        group.clear();
+    };
+    for frame in frames {
+        let item = batch_item_len(frame);
+        if !group.is_empty()
+            && (group_bytes + item > MAX_DATAGRAM_BYTES || group.len() == u16::MAX as usize)
+        {
+            flush(&mut group, &mut datagrams);
+            group_bytes = BATCH_OVERHEAD;
+        }
+        group.push(frame);
+        group_bytes += item;
+    }
+    flush(&mut group, &mut datagrams);
+    datagrams
+}
+
+/// Parse a request payload (`id | key_len | key`), consuming it from `data`.
+fn parse_request_body(data: &mut &[u8]) -> Result<QosRequest> {
+    if data.len() < 9 {
+        return Err(JanusError::codec("truncated request"));
+    }
+    let id = data.get_u64();
+    let key_len = data.get_u8() as usize;
+    if data.len() < key_len {
+        return Err(JanusError::codec(format!(
+            "truncated key: want {key_len}, have {}",
+            data.len()
+        )));
+    }
+    let key_bytes = &data[..key_len];
+    let key_str =
+        std::str::from_utf8(key_bytes).map_err(|_| JanusError::codec("key is not UTF-8"))?;
+    let key = QosKey::new(key_str).map_err(|e| JanusError::codec(format!("bad key: {e}")))?;
+    data.advance(key_len);
+    Ok(QosRequest::new(id, key))
+}
+
+/// Parse a response payload (`id | verdict`), consuming it from `data`.
+fn parse_response_body(data: &mut &[u8]) -> Result<QosResponse> {
+    if data.len() < 9 {
+        return Err(JanusError::codec("truncated response"));
+    }
+    let id = data.get_u64();
+    let verdict = match data.get_u8() {
+        0 => Verdict::Deny,
+        1 => Verdict::Allow,
+        other => {
+            return Err(JanusError::codec(format!("bad verdict byte {other}")));
+        }
+    };
+    Ok(QosResponse::new(id, verdict))
+}
+
+/// Parse and validate the 4-byte header, returning the frame kind.
+fn parse_header(data: &mut &[u8]) -> Result<u8> {
     if data.len() < 4 {
         return Err(JanusError::codec(format!(
             "frame too short: {} bytes",
@@ -102,53 +219,80 @@ pub fn decode(mut data: &[u8]) -> Result<Frame> {
     if version != VERSION {
         return Err(JanusError::codec(format!("unsupported version {version}")));
     }
-    let kind = data.get_u8();
-    let frame = match kind {
-        KIND_REQUEST => {
-            if data.len() < 9 {
-                return Err(JanusError::codec("truncated request"));
-            }
-            let id = data.get_u64();
-            let key_len = data.get_u8() as usize;
-            if data.len() < key_len {
-                return Err(JanusError::codec(format!(
-                    "truncated key: want {key_len}, have {}",
-                    data.len()
-                )));
-            }
-            let key_bytes = &data[..key_len];
-            data.advance(key_len);
-            let key_str = std::str::from_utf8(key_bytes)
-                .map_err(|_| JanusError::codec("key is not UTF-8"))?;
-            let key =
-                QosKey::new(key_str).map_err(|e| JanusError::codec(format!("bad key: {e}")))?;
-            Frame::Request(QosRequest::new(id, key))
-        }
-        KIND_RESPONSE => {
-            if data.len() < 9 {
-                return Err(JanusError::codec("truncated response"));
-            }
-            let id = data.get_u64();
-            let verdict = match data.get_u8() {
-                0 => Verdict::Deny,
-                1 => Verdict::Allow,
-                other => {
-                    return Err(JanusError::codec(format!("bad verdict byte {other}")));
-                }
-            };
-            Frame::Response(QosResponse::new(id, verdict))
-        }
-        other => {
-            return Err(JanusError::codec(format!("unknown frame kind 0x{other:02x}")));
-        }
-    };
+    Ok(data.get_u8())
+}
+
+fn reject_trailing(data: &[u8]) -> Result<()> {
     if !data.is_empty() {
         return Err(JanusError::codec(format!(
             "{} trailing bytes after frame",
             data.len()
         )));
     }
+    Ok(())
+}
+
+/// Decode one single-frame datagram.
+///
+/// The entire datagram must be consumed: trailing bytes indicate a framing
+/// bug or corruption and are rejected rather than silently ignored. Batch
+/// datagrams are rejected here — receivers on the batched data plane use
+/// [`decode_all`], which accepts both formats.
+pub fn decode(mut data: &[u8]) -> Result<Frame> {
+    let kind = parse_header(&mut data)?;
+    let frame = match kind {
+        KIND_REQUEST => Frame::Request(parse_request_body(&mut data)?),
+        KIND_RESPONSE => Frame::Response(parse_response_body(&mut data)?),
+        KIND_BATCH => {
+            return Err(JanusError::codec(
+                "batch frame in a single-frame context (use decode_all)",
+            ));
+        }
+        other => {
+            return Err(JanusError::codec(format!("unknown frame kind 0x{other:02x}")));
+        }
+    };
+    reject_trailing(data)?;
     Ok(frame)
+}
+
+/// Decode every frame in a datagram: a legacy single frame yields one
+/// element, a batch yields its items in order. The entire datagram must
+/// be consumed.
+pub fn decode_all(mut data: &[u8]) -> Result<Vec<Frame>> {
+    let kind = parse_header(&mut data)?;
+    let frames = match kind {
+        KIND_REQUEST => vec![Frame::Request(parse_request_body(&mut data)?)],
+        KIND_RESPONSE => vec![Frame::Response(parse_response_body(&mut data)?)],
+        KIND_BATCH => {
+            if data.len() < 2 {
+                return Err(JanusError::codec("truncated batch count"));
+            }
+            let count = data.get_u16() as usize;
+            let mut frames = Vec::with_capacity(count);
+            for _ in 0..count {
+                if data.is_empty() {
+                    return Err(JanusError::codec("truncated batch item"));
+                }
+                let item_kind = data.get_u8();
+                frames.push(match item_kind {
+                    KIND_REQUEST => Frame::Request(parse_request_body(&mut data)?),
+                    KIND_RESPONSE => Frame::Response(parse_response_body(&mut data)?),
+                    other => {
+                        return Err(JanusError::codec(format!(
+                            "unknown batch item kind 0x{other:02x}"
+                        )));
+                    }
+                });
+            }
+            frames
+        }
+        other => {
+            return Err(JanusError::codec(format!("unknown frame kind 0x{other:02x}")));
+        }
+    };
+    reject_trailing(data)?;
+    Ok(frames)
 }
 
 #[cfg(test)]
@@ -251,7 +395,119 @@ mod tests {
         assert_eq!(encode_request(&req).len(), MAX_FRAME_BYTES);
     }
 
+    #[test]
+    fn batch_roundtrip_mixed() {
+        let frames = vec![
+            Frame::Request(QosRequest::new(1, key("alice"))),
+            Frame::Response(QosResponse::allow(2)),
+            Frame::Request(QosRequest::new(3, key("bob:photos"))),
+            Frame::Response(QosResponse::deny(4)),
+        ];
+        let datagrams = encode_batch(&frames);
+        assert_eq!(datagrams.len(), 1);
+        assert_eq!(decode_all(&datagrams[0]).unwrap(), frames);
+    }
+
+    #[test]
+    fn batch_of_one_uses_legacy_format() {
+        let frames = vec![Frame::Response(QosResponse::allow(9))];
+        let datagrams = encode_batch(&frames);
+        assert_eq!(datagrams.len(), 1);
+        // Decodable by the single-frame decoder: old receivers interoperate.
+        assert_eq!(decode(&datagrams[0]).unwrap(), frames[0]);
+    }
+
+    #[test]
+    fn empty_batch_encodes_to_nothing() {
+        assert!(encode_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn decode_all_accepts_legacy_single_frames() {
+        let req = QosRequest::new(42, key("alice"));
+        let frames = decode_all(&encode_request(&req)).unwrap();
+        assert_eq!(frames, vec![Frame::Request(req)]);
+        let resp = QosResponse::deny(7);
+        assert_eq!(
+            decode_all(&encode_response(&resp)).unwrap(),
+            vec![Frame::Response(resp)]
+        );
+    }
+
+    #[test]
+    fn decode_rejects_batch_frames() {
+        let frames = vec![
+            Frame::Response(QosResponse::allow(1)),
+            Frame::Response(QosResponse::allow(2)),
+        ];
+        let wire = encode_batch(&frames).remove(0);
+        assert!(decode(&wire).is_err());
+    }
+
+    #[test]
+    fn oversized_batch_splits_within_budget() {
+        // 40 max-length-key requests cannot fit one datagram.
+        let big = "x".repeat(MAX_KEY_BYTES);
+        let frames: Vec<Frame> = (0..40)
+            .map(|i| Frame::Request(QosRequest::new(i, key(&big))))
+            .collect();
+        let datagrams = encode_batch(&frames);
+        assert!(datagrams.len() > 1, "expected a split");
+        let mut decoded = Vec::new();
+        for d in &datagrams {
+            assert!(d.len() <= MAX_DATAGRAM_BYTES, "datagram over budget: {}", d.len());
+            decoded.extend(decode_all(d).unwrap());
+        }
+        assert_eq!(decoded, frames);
+    }
+
+    #[test]
+    fn batch_rejects_truncation_and_trailing() {
+        let frames = vec![
+            Frame::Request(QosRequest::new(1, key("abc"))),
+            Frame::Response(QosResponse::allow(2)),
+        ];
+        let wire = encode_batch(&frames).remove(0).to_vec();
+        for cut in 0..wire.len() {
+            assert!(decode_all(&wire[..cut]).is_err(), "accepted {cut}-byte prefix");
+        }
+        let mut padded = wire.clone();
+        padded.push(0);
+        assert!(decode_all(&padded).is_err());
+    }
+
     proptest! {
+        #[test]
+        fn any_batch_roundtrips_within_budget(
+            specs in proptest::collection::vec(
+                prop_oneof![
+                    (any::<u64>(), "[ -~]{1,255}").prop_map(|(id, s)| (Some(s), id, false)),
+                    (any::<u64>(), any::<bool>()).prop_map(|(id, allow)| (None, id, allow)),
+                ],
+                0..200,
+            ),
+        ) {
+            let frames: Vec<Frame> = specs
+                .iter()
+                .map(|(s, id, allow)| match s {
+                    Some(s) => Frame::Request(QosRequest::new(*id, key(s))),
+                    None => Frame::Response(QosResponse::new(*id, Verdict::from_bool(*allow))),
+                })
+                .collect();
+            let datagrams = encode_batch(&frames);
+            let mut decoded = Vec::new();
+            for d in &datagrams {
+                prop_assert!(d.len() <= MAX_DATAGRAM_BYTES);
+                decoded.extend(decode_all(d).unwrap());
+            }
+            prop_assert_eq!(decoded, frames);
+        }
+
+        #[test]
+        fn decode_all_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
+            let _ = decode_all(&data);
+        }
+
         #[test]
         fn any_request_roundtrips(id: u64, s in "[ -~]{1,255}") {
             let req = QosRequest::new(id, key(&s));

@@ -176,6 +176,96 @@ async fn network_healing_restores_service() {
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn batched_pool_retries_mask_response_loss() {
+    // The batched data plane must not weaken the retry discipline: with
+    // 20% response loss, each check in a coalesced datagram still
+    // retries on its own timeout and almost all complete.
+    use janus_net::udp_pool::{BatchConfig, PooledUdpRpcClient};
+
+    let faults = FaultPlan::new(0.2, 0.0, Duration::ZERO, 41);
+    let mut config = QosServerConfig::test_defaults();
+    config.batching = true;
+    let server = QosServer::spawn_with_faults(
+        config,
+        None,
+        janus_clock::system(),
+        Arc::clone(&faults),
+    )
+    .await
+    .unwrap();
+    server.table().insert(
+        QosRule::per_second(key("lossy"), 1_000_000, 0),
+        server.clock().now(),
+    );
+
+    let pool = PooledUdpRpcClient::bind_with_batch(
+        UdpRpcConfig::lan_defaults(),
+        BatchConfig::default(),
+        FaultPlan::none(),
+    )
+    .await
+    .unwrap();
+    let addr = server.udp_addr();
+    let mut handles = Vec::new();
+    for _ in 0..100u64 {
+        let pool = pool.clone();
+        handles.push(tokio::spawn(async move {
+            pool.check(addr, key("lossy")).await.is_ok()
+        }));
+    }
+    let mut ok = 0;
+    for handle in handles {
+        if handle.await.unwrap() {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 95, "only {ok}/100 batched checks survived 20% loss");
+    assert!(faults.dropped() > 0, "loss injection never fired");
+    assert_eq!(pool.in_flight(), 0, "waiters leaked");
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn batching_preserves_per_request_timeout_semantics_under_blackout() {
+    // Total send-side blackout: every check in the batch must fail with
+    // its own Timeout after the full first-try + 5-retry discipline —
+    // coalescing frames into shared datagrams must not collapse them
+    // into one shared failure or change the attempt count.
+    use janus_net::udp_pool::{BatchConfig, PooledUdpRpcClient};
+    use janus_types::JanusError;
+
+    let server = QosServer::spawn(QosServerConfig::test_defaults(), None, janus_clock::system())
+        .await
+        .unwrap();
+    let blackout = FaultPlan::new(1.0, 0.0, Duration::ZERO, 11);
+    let pool = PooledUdpRpcClient::bind_with_batch(
+        UdpRpcConfig {
+            timeout: Duration::from_millis(2),
+            max_retries: 5,
+        },
+        BatchConfig::default(),
+        blackout,
+    )
+    .await
+    .unwrap();
+    let addr = server.udp_addr();
+    let mut handles = Vec::new();
+    for i in 0..8u64 {
+        let pool = pool.clone();
+        handles.push(tokio::spawn(async move {
+            pool.check(addr, key(&format!("dark-{i}"))).await
+        }));
+    }
+    for handle in handles {
+        let err = handle.await.unwrap().unwrap_err();
+        match err {
+            JanusError::Timeout { attempts } => assert_eq!(attempts, 6),
+            other => panic!("expected Timeout after 6 attempts, got {other:?}"),
+        }
+    }
+    assert_eq!(pool.in_flight(), 0, "waiters leaked after blackout");
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn delayed_responses_still_correlate_by_request_id() {
     // 3 ms injected delay with a 20 ms client timeout: slow but correct.
     let faults = FaultPlan::new(0.0, 1.0, Duration::from_millis(3), 5);
