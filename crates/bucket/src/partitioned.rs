@@ -18,7 +18,7 @@
 use crate::table::{QosTable, SyncTable, TableStatsSnapshot};
 use janus_clock::Nanos;
 use janus_hash::crc32;
-use janus_types::{QosKey, QosRule, Verdict};
+use janus_types::{Credits, QosKey, QosRule, RefillRate, Verdict};
 
 /// The worker (and table partition) responsible for `key` out of
 /// `workers` total. CRC32 matches the checksum already used for
@@ -68,6 +68,10 @@ impl PartitionedTable {
 impl QosTable for PartitionedTable {
     fn decide(&self, key: &QosKey, now: Nanos) -> Option<Verdict> {
         self.part(key).decide(key, now)
+    }
+
+    fn shape(&self, key: &QosKey) -> Option<(Credits, RefillRate)> {
+        self.part(key).shape(key)
     }
 
     fn insert(&self, rule: QosRule, now: Nanos) {
@@ -190,6 +194,9 @@ mod tests {
         assert_eq!(table.decide(&key("alice"), Nanos::ZERO), Some(Verdict::Allow));
         assert_eq!(table.decide(&key("alice"), Nanos::ZERO), Some(Verdict::Deny));
         assert_eq!(table.decide(&key("ghost"), Nanos::ZERO), None);
+        assert_eq!(table.shape(&key("ghost")), None);
+        let (cap, _) = table.shape(&key("alice")).unwrap();
+        assert_eq!(cap, Credits::from_whole(2));
         let stats = table.stats();
         assert_eq!(
             (stats.decisions, stats.allows, stats.denies, stats.misses),

@@ -11,7 +11,7 @@
 
 use crate::LeakyBucket;
 use janus_clock::Nanos;
-use janus_types::{Credits, QosKey, QosRule, Verdict};
+use janus_types::{Credits, QosKey, QosRule, RefillRate, Verdict};
 use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -76,6 +76,12 @@ pub trait QosTable: Send + Sync {
     /// Make an admission decision for `key` at `now`, or `None` if the key
     /// has no local bucket yet.
     fn decide(&self, key: &QosKey, now: Nanos) -> Option<Verdict>;
+
+    /// The shape (capacity, refill rate) of `key`'s bucket without
+    /// charging it, or `None` if the key has no local bucket. Feeds the
+    /// rule hints a QoS server attaches to hint-soliciting responses; not
+    /// a decision, so no stats are recorded.
+    fn shape(&self, key: &QosKey) -> Option<(Credits, RefillRate)>;
 
     /// Install a bucket for a rule (first sighting of a key). If the key
     /// already exists the rule is applied as an update instead, so two
@@ -194,6 +200,13 @@ impl QosTable for ShardedTable {
         }
     }
 
+    fn shape(&self, key: &QosKey) -> Option<(Credits, RefillRate)> {
+        self.shard(key)
+            .lock()
+            .get(key)
+            .map(|bucket| (bucket.capacity(), bucket.refill_rate()))
+    }
+
     fn insert(&self, rule: QosRule, now: Nanos) {
         let mut shard = self.shard(&rule.key).lock();
         match shard.get_mut(&rule.key) {
@@ -308,6 +321,13 @@ impl QosTable for SyncTable {
                 None
             }
         }
+    }
+
+    fn shape(&self, key: &QosKey) -> Option<(Credits, RefillRate)> {
+        self.map
+            .lock()
+            .get(key)
+            .map(|bucket| (bucket.capacity(), bucket.refill_rate()))
     }
 
     fn insert(&self, rule: QosRule, now: Nanos) {
@@ -437,6 +457,23 @@ mod tests {
             let snap = table.snapshot(Nanos::ZERO);
             assert_eq!(snap.len(), 1, "{name}");
             assert_eq!(snap[0].credit, Credits::from_whole(10), "{name}");
+        }
+    }
+
+    #[test]
+    fn shape_reports_rule_without_charging() {
+        for (name, table) in tables() {
+            assert_eq!(table.shape(&key("ghost")), None, "{name}");
+            table.insert(rule("alice", 7, 3), Nanos::ZERO);
+            let (cap, rate) = table.shape(&key("alice")).unwrap();
+            assert_eq!(cap, Credits::from_whole(7), "{name}");
+            assert_eq!(rate.micro_per_sec(), 3_000_000, "{name}");
+            // Shape is a read: no decision or miss was recorded, and the
+            // bucket's credit is untouched.
+            let stats = table.stats();
+            assert_eq!((stats.decisions, stats.misses), (0, 0), "{name}");
+            let snap = table.snapshot(Nanos::ZERO);
+            assert_eq!(snap[0].credit, Credits::from_whole(7), "{name}");
         }
     }
 

@@ -3,8 +3,9 @@
 use crate::client::{Endpoint, QosClient};
 use janus_clock::SharedClock;
 use janus_db::{DbClient, DbServer, RulesEngine};
-use janus_lb::{DnsLb, GatewayLb, LbPolicy};
+use janus_lb::{DnsLb, GatewayLb, HealthCheckConfig, LbPolicy};
 use janus_net::dns::{spawn_tcp_health_monitor, HealthMonitor, Resolver, Zone};
+use janus_net::BreakerConfig;
 use janus_router::{Backend, RequestRouter, RouterConfig};
 use janus_server::{DbTarget, QosServer, QosServerConfig, SlaveReplicator};
 use janus_types::{JanusError, QosRule, Result, Verdict};
@@ -74,6 +75,21 @@ pub struct DeploymentConfig {
     pub db_ha: bool,
     /// Slave replication interval (only with `ha`).
     pub replication_interval: Duration,
+    /// Probe interval of the QoS/DB failover health monitors (with `ha`
+    /// or `db_ha`). Shorter detects crashes faster at the price of more
+    /// probe traffic.
+    pub health_probe_interval: Duration,
+    /// Consecutive failed probes before a failover monitor promotes the
+    /// standby.
+    pub health_fail_threshold: u32,
+    /// Per-partition circuit breaker on every router. `None` reproduces
+    /// the paper exactly: full retry budget on every request, default
+    /// reply on exhaustion, no degraded local admission.
+    pub breaker: Option<BreakerConfig>,
+    /// Active `/healthz` probing by gateway LB nodes, ejecting routers
+    /// that report themselves browned out (all breakers open) or stop
+    /// answering. `None` keeps the passive skip-on-connect-error LB.
+    pub gateway_health: Option<HealthCheckConfig>,
     /// Initial contents of the `qos_rules` table.
     pub rules: Vec<QosRule>,
 }
@@ -92,6 +108,10 @@ impl Default for DeploymentConfig {
             ha: false,
             db_ha: false,
             replication_interval: Duration::from_millis(50),
+            health_probe_interval: Duration::from_millis(25),
+            health_fail_threshold: 3,
+            breaker: None,
+            gateway_health: None,
             rules: Vec::new(),
         }
     }
@@ -127,6 +147,10 @@ pub struct Deployment {
     dns_lb: Option<DnsLb>,
     /// Everything needed to spawn another router node at runtime.
     router_template: RouterTemplate,
+    /// Everything needed to respawn a QoS server node at runtime
+    /// (healing a blacked-out partition in fault drills).
+    server_config: QosServerConfig,
+    db_target: DbTarget,
 }
 
 struct RouterTemplate {
@@ -135,6 +159,8 @@ struct RouterTemplate {
     default_verdict: Verdict,
     pooled_rpc: bool,
     batching: bool,
+    breaker: Option<BreakerConfig>,
+    fleet_size: usize,
     lb_ttl: Option<Duration>,
 }
 
@@ -173,8 +199,8 @@ impl Deployment {
                 Arc::clone(&zone),
                 DB_DNS_NAME.to_string(),
                 |addr| addr,
-                Duration::from_millis(25),
-                3,
+                config.health_probe_interval,
+                config.health_fail_threshold,
             );
             DbLayer {
                 master: Some(master),
@@ -247,8 +273,8 @@ impl Deployment {
                     Arc::clone(&zone),
                     dns_name.clone(),
                     move |udp_addr| probe_map.get(&udp_addr).copied().unwrap_or(udp_addr),
-                    Duration::from_millis(25),
-                    3,
+                    config.health_probe_interval,
+                    config.health_fail_threshold,
                 ))
             } else {
                 None
@@ -277,15 +303,24 @@ impl Deployment {
                 default_verdict: config.default_verdict,
                 pooled_rpc: config.pooled_rpc,
                 batching: config.batching,
+                breaker: config.breaker,
+                fleet_size: config.routers,
             };
             routers.push(RequestRouter::spawn(router_config, Some(resolver)).await?);
         }
 
         // Load balancer layer.
+        let gateway_health = config.gateway_health;
+        let spawn_gateway = move |addrs: Vec<SocketAddr>, policy: LbPolicy| async move {
+            match gateway_health {
+                Some(health) => GatewayLb::spawn_with_health(addrs, policy, health).await,
+                None => GatewayLb::spawn(addrs, policy).await,
+            }
+        };
         let router_addrs: Vec<SocketAddr> = routers.iter().map(|r| r.addr()).collect();
         let (gateways, dns_lb) = match config.lb {
             LbMode::Gateway(policy) => (
-                vec![GatewayLb::spawn(router_addrs, policy).await?],
+                vec![spawn_gateway(router_addrs, policy).await?],
                 None,
             ),
             LbMode::Dns { ttl } => (
@@ -307,7 +342,7 @@ impl Deployment {
                 }
                 let mut gateways = Vec::with_capacity(count);
                 for _ in 0..count {
-                    gateways.push(GatewayLb::spawn(router_addrs.clone(), policy).await?);
+                    gateways.push(spawn_gateway(router_addrs.clone(), policy).await?);
                 }
                 let gateway_addrs = gateways.iter().map(|g| g.addr()).collect();
                 let dns_lb = DnsLb::publish(
@@ -333,12 +368,16 @@ impl Deployment {
             routers: RwLock::new(routers),
             gateways,
             dns_lb,
+            server_config: config.server,
+            db_target,
             router_template: RouterTemplate {
                 backends,
                 udp: config.udp,
                 default_verdict: config.default_verdict,
                 pooled_rpc: config.pooled_rpc,
                 batching: config.batching,
+                breaker: config.breaker,
+                fleet_size: config.routers,
                 lb_ttl,
             },
         })
@@ -482,6 +521,11 @@ impl Deployment {
                 default_verdict: self.router_template.default_verdict,
                 pooled_rpc: self.router_template.pooled_rpc,
                 batching: self.router_template.batching,
+                breaker: self.router_template.breaker,
+                // The degraded-bucket split keeps using the launch-time
+                // fleet size: a scaled fleet briefly over- or
+                // under-splits, which the soak's slack bound absorbs.
+                fleet_size: self.router_template.fleet_size,
             };
             fresh.push(RequestRouter::spawn(router_config, Some(resolver)).await?);
         }
@@ -531,6 +575,12 @@ impl Deployment {
         &self.zone
     }
 
+    /// DNS name of the database failover record (fault-injection tests
+    /// rewire it to simulate a hung rather than dead database).
+    pub fn db_dns_name(&self) -> &'static str {
+        DB_DNS_NAME
+    }
+
     /// The clock all nodes share.
     pub fn clock(&self) -> &SharedClock {
         &self.clock
@@ -563,6 +613,110 @@ impl Deployment {
         if let Some(master) = partition.master.take() {
             master.shutdown();
         }
+    }
+
+    /// Kill the slave of partition `index` (crash injection). Combined
+    /// with [`kill_qos_master`](Self::kill_qos_master) this blacks the
+    /// partition out entirely — no node answers admission RPCs until
+    /// [`heal_partition`](Self::heal_partition).
+    pub fn kill_qos_slave(&mut self, index: usize) {
+        let partition = &mut self.partitions[index];
+        if let Some(replicator) = &partition.replicator {
+            replicator.stop();
+        }
+        if let Some(slave) = partition.slave.take() {
+            slave.shutdown();
+        }
+    }
+
+    /// Respawn a fresh master for a blacked-out partition and repoint
+    /// its DNS record at it (healing after a blackout drill). The new
+    /// node starts with an empty table and re-learns rules from the DB
+    /// on first sighting, exactly like a node replaced by auto scaling.
+    /// Any failover monitor for the partition is stopped first — its
+    /// probe map predates the new node, so it would fight the record.
+    pub async fn heal_partition(&mut self, index: usize) -> Result<SocketAddr> {
+        let master = QosServer::spawn(
+            self.server_config.clone(),
+            Some(self.db_target.clone()),
+            Arc::clone(&self.clock),
+        )
+        .await?;
+        let partition = &mut self.partitions[index];
+        if let Some(monitor) = partition.monitor.take() {
+            monitor.stop();
+        }
+        self.zone.insert_failover(
+            &partition.dns_name,
+            master.udp_addr(),
+            partition.slave.as_ref().map(|s| s.udp_addr()),
+            Duration::ZERO,
+        );
+        let addr = master.udp_addr();
+        partition.master = Some(master);
+        Ok(addr)
+    }
+
+    /// Breaker fast-fails summed over the router fleet (0 with the
+    /// breaker disabled).
+    pub fn router_fast_fail_total(&self) -> u64 {
+        self.routers
+            .read()
+            .iter()
+            .map(|r| {
+                r.stats()
+                    .breaker_fast_fails
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
+            .sum()
+    }
+
+    /// Degraded-mode local admissions `(allowed, denied)` summed over
+    /// the router fleet.
+    pub fn router_degraded_totals(&self) -> (u64, u64) {
+        let routers = self.routers.read();
+        let allowed = routers
+            .iter()
+            .map(|r| {
+                r.stats()
+                    .degraded_allowed
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
+            .sum();
+        let denied = routers
+            .iter()
+            .map(|r| {
+                r.stats()
+                    .degraded_denied
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
+            .sum();
+        (allowed, denied)
+    }
+
+    /// True while at least one router holds the circuit breaker for
+    /// `partition` open.
+    pub fn breaker_open_anywhere(&self, partition: usize) -> bool {
+        self.routers
+            .read()
+            .iter()
+            .any(|r| r.breaker_state(partition) == Some(janus_net::BreakerState::Open))
+    }
+
+    /// True once no router's breaker for `partition` is open or probing
+    /// (i.e. the fleet has confirmed the partition healthy again).
+    pub fn breakers_closed_everywhere(&self, partition: usize) -> bool {
+        self.routers.read().iter().all(|r| {
+            matches!(
+                r.breaker_state(partition),
+                None | Some(janus_net::BreakerState::Closed)
+            )
+        })
+    }
+
+    /// Addresses of the live router nodes, in fleet order.
+    pub fn router_addrs(&self) -> Vec<SocketAddr> {
+        self.routers.read().iter().map(|r| r.addr()).collect()
     }
 
     /// Wait until the failover record of partition `index` points at the
@@ -757,6 +911,50 @@ mod tests {
             (55..=65).contains(&allowed),
             "slave admitted {allowed}, expected ~60 (replicated credit)"
         );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn breaker_deployment_survives_blackout_and_heals() {
+        let mut config = DeploymentConfig::default();
+        config.qos_servers = 1;
+        config.routers = 1;
+        config.lb = LbMode::None;
+        config.default_verdict = Verdict::Deny;
+        config.breaker = Some(BreakerConfig {
+            failure_threshold: 2,
+            open_timeout: Duration::from_millis(200),
+        });
+        config.rules = rules(&[("metered", 4, 0)]);
+        let mut deployment = Deployment::launch(config).await.unwrap();
+        let mut client = deployment.client().await.unwrap();
+
+        // One healthy request teaches the router the rule shape.
+        assert!(client.qos_check(&key("metered")).await.unwrap());
+
+        // Blackout: the only node of the only partition dies (no HA).
+        deployment.kill_qos_master(0);
+        let mut allowed_during_outage = 0;
+        for _ in 0..12 {
+            if client.qos_check(&key("metered")).await.unwrap() {
+                allowed_during_outage += 1;
+            }
+        }
+        // Request 1 exhausts retries -> default Deny and trips attempt 2's
+        // breaker; from then on the degraded bucket (capacity 4, rate 0)
+        // answers locally: 4 allows, then denies.
+        assert_eq!(allowed_during_outage, 4, "degraded bucket oversold");
+        assert!(deployment.breaker_open_anywhere(0));
+        assert!(deployment.router_fast_fail_total() >= 1);
+        let (degraded_allowed, degraded_denied) = deployment.router_degraded_totals();
+        assert_eq!(degraded_allowed, 4);
+        assert!(degraded_denied >= 6);
+
+        // Heal: fresh node, DNS repointed; after the open timeout the
+        // half-open probe closes the breaker on a live answer.
+        deployment.heal_partition(0).await.unwrap();
+        tokio::time::sleep(Duration::from_millis(250)).await;
+        assert!(client.qos_check(&key("metered")).await.unwrap());
+        assert!(deployment.breakers_closed_everywhere(0));
     }
 
     #[tokio::test]

@@ -34,19 +34,22 @@
 
 mod admin;
 mod autoscale;
+pub mod chaos;
 mod client;
 mod deployment;
 
 pub use admin::{AdminApi, FleetStats};
 pub use autoscale::{Autoscaler, AutoscalerConfig, ScaleEvent};
+pub use chaos::{run_chaos_soak, ChaosConfig, ChaosReport, PhaseReport};
 pub use client::{Endpoint, QosClient};
 pub use deployment::{Deployment, DeploymentConfig, LbMode};
 
 // Re-export the pieces applications and experiments touch directly, so a
 // single dependency on `janus-core` suffices.
 pub use janus_bucket::{DefaultRulePolicy, LeakyBucket, QosTable};
-pub use janus_lb::LbPolicy;
+pub use janus_lb::{HealthCheckConfig, LbPolicy};
 pub use janus_net::udp::UdpRpcConfig;
+pub use janus_net::{BreakerConfig, BreakerState, RetryBackoff};
 pub use janus_router::{parse_qos_response, qos_http_request};
 pub use janus_server::{DbTarget, DispatchMode, QosServerConfig, TableKind};
 pub use janus_types::{Credits, QosKey, QosRule, RefillRate, Verdict};

@@ -27,7 +27,7 @@ use parking_lot::RwLock;
 use std::future::Future;
 use std::net::SocketAddr;
 use std::pin::Pin;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -40,6 +40,31 @@ pub enum LbPolicy {
     LeastConnections,
 }
 
+/// Active health checking: the gateway probes each router's `/healthz`
+/// and stops routing to nodes that keep failing (ELB-style ejection).
+/// A probe fails on connect error, timeout, or any non-200 status — so a
+/// router answering 503 (all its breakers open) is drained exactly like
+/// a dead one. One later success readmits the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthCheckConfig {
+    /// Time between probe rounds.
+    pub interval: Duration,
+    /// Consecutive probe failures that eject a backend.
+    pub fail_threshold: u32,
+    /// Per-probe response budget.
+    pub probe_timeout: Duration,
+}
+
+impl Default for HealthCheckConfig {
+    fn default() -> Self {
+        HealthCheckConfig {
+            interval: Duration::from_millis(50),
+            fail_threshold: 3,
+            probe_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
 /// Counters exported by a gateway LB.
 #[derive(Debug, Default)]
 pub struct GatewayStats {
@@ -49,6 +74,10 @@ pub struct GatewayStats {
     pub failed: AtomicU64,
     /// Connect errors observed against individual backends.
     pub backend_errors: AtomicU64,
+    /// Backends ejected by the health checker.
+    pub ejections: AtomicU64,
+    /// Ejected backends readmitted after a successful probe.
+    pub readmissions: AtomicU64,
 }
 
 /// Live state for one registered backend (survives fleet resizes as long
@@ -58,6 +87,22 @@ struct BackendState {
     addr: SocketAddr,
     in_flight: AtomicUsize,
     proxied: AtomicU64,
+    /// Set by the health checker; ejected backends get no proxied traffic.
+    ejected: AtomicBool,
+    /// Consecutive failed probes (health-checker private).
+    fail_streak: AtomicU32,
+}
+
+impl BackendState {
+    fn new(addr: SocketAddr) -> Arc<BackendState> {
+        Arc::new(BackendState {
+            addr,
+            in_flight: AtomicUsize::new(0),
+            proxied: AtomicU64::new(0),
+            ejected: AtomicBool::new(false),
+            fail_streak: AtomicU32::new(0),
+        })
+    }
 }
 
 struct GatewayHandler {
@@ -69,38 +114,45 @@ struct GatewayHandler {
 
 impl GatewayHandler {
     fn backend_states(addrs: Vec<SocketAddr>) -> Vec<Arc<BackendState>> {
-        addrs
-            .into_iter()
-            .map(|addr| {
-                Arc::new(BackendState {
-                    addr,
-                    in_flight: AtomicUsize::new(0),
-                    proxied: AtomicU64::new(0),
-                })
-            })
-            .collect()
+        addrs.into_iter().map(BackendState::new).collect()
     }
 
     /// Backends in preference order for one request (snapshot; a
-    /// concurrent resize affects only subsequent requests).
+    /// concurrent resize affects only subsequent requests). Ejected
+    /// backends are skipped — unless every backend is ejected, in which
+    /// case the full list is used: attempting delivery beats an instant
+    /// 502, and doubles as the probe that detects recovery.
     fn pick_order(&self) -> Vec<Arc<BackendState>> {
-        let guard = self.backends.read();
-        let n = guard.len();
+        let pool: Vec<Arc<BackendState>> = {
+            let guard = self.backends.read();
+            let healthy: Vec<Arc<BackendState>> = guard
+                .iter()
+                .filter(|b| !b.ejected.load(Ordering::Relaxed))
+                .cloned()
+                .collect();
+            if healthy.is_empty() {
+                guard.clone()
+            } else {
+                healthy
+            }
+        };
+        let n = pool.len();
         match self.policy {
             LbPolicy::RoundRobin => {
                 let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n.max(1);
-                (0..n).map(|i| Arc::clone(&guard[(start + i) % n])).collect()
+                (0..n).map(|i| Arc::clone(&pool[(start + i) % n])).collect()
             }
             LbPolicy::LeastConnections => {
-                let mut order: Vec<Arc<BackendState>> = guard.iter().cloned().collect();
+                let mut order = pool;
                 order.sort_by_key(|b| b.in_flight.load(Ordering::Relaxed));
                 order
             }
         }
     }
 
-    /// Replace the backend fleet, carrying over live counters for
-    /// addresses present in both the old and new lists.
+    /// Replace the backend fleet, carrying over live counters (and
+    /// ejection state) for addresses present in both the old and new
+    /// lists.
     fn set_backends(&self, addrs: Vec<SocketAddr>) {
         let mut guard = self.backends.write();
         let old: Vec<Arc<BackendState>> = guard.clone();
@@ -110,15 +162,36 @@ impl GatewayHandler {
                 old.iter()
                     .find(|b| b.addr == addr)
                     .cloned()
-                    .unwrap_or_else(|| {
-                        Arc::new(BackendState {
-                            addr,
-                            in_flight: AtomicUsize::new(0),
-                            proxied: AtomicU64::new(0),
-                        })
-                    })
+                    .unwrap_or_else(|| BackendState::new(addr))
             })
             .collect();
+    }
+
+    /// One health-check round: probe every registered backend's
+    /// `/healthz` and update ejection state.
+    async fn probe_round(&self, health: HealthCheckConfig) {
+        let backends: Vec<Arc<BackendState>> = self.backends.read().clone();
+        for backend in backends {
+            let probe = tokio::time::timeout(
+                health.probe_timeout,
+                HttpClient::oneshot(backend.addr, &HttpRequest::get("/healthz")),
+            )
+            .await;
+            let healthy = matches!(probe, Ok(Ok(ref resp)) if resp.status == StatusCode::OK);
+            if healthy {
+                backend.fail_streak.store(0, Ordering::Relaxed);
+                if backend.ejected.swap(false, Ordering::Relaxed) {
+                    self.stats.readmissions.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                let streak = backend.fail_streak.fetch_add(1, Ordering::Relaxed) + 1;
+                if streak >= health.fail_threshold
+                    && !backend.ejected.swap(true, Ordering::Relaxed)
+                {
+                    self.stats.ejections.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 }
 
@@ -159,11 +232,33 @@ pub struct GatewayLb {
     http: HttpServer,
     stats: Arc<GatewayStats>,
     handler: Arc<GatewayHandler>,
+    health_stop: Option<tokio::sync::watch::Sender<bool>>,
 }
 
 impl GatewayLb {
-    /// Spawn a gateway LB over `backends` with the given policy.
+    /// Spawn a gateway LB over `backends` with the given policy and no
+    /// active health checking (passive skip-on-error only).
     pub async fn spawn(backends: Vec<SocketAddr>, policy: LbPolicy) -> Result<GatewayLb> {
+        GatewayLb::spawn_inner(backends, policy, None).await
+    }
+
+    /// Spawn a gateway LB that additionally runs an active health
+    /// checker: every `health.interval` it probes each backend's
+    /// `/healthz`, ejecting backends after `health.fail_threshold`
+    /// consecutive failures and readmitting them on the next success.
+    pub async fn spawn_with_health(
+        backends: Vec<SocketAddr>,
+        policy: LbPolicy,
+        health: HealthCheckConfig,
+    ) -> Result<GatewayLb> {
+        GatewayLb::spawn_inner(backends, policy, Some(health)).await
+    }
+
+    async fn spawn_inner(
+        backends: Vec<SocketAddr>,
+        policy: LbPolicy,
+        health: Option<HealthCheckConfig>,
+    ) -> Result<GatewayLb> {
         if backends.is_empty() {
             return Err(JanusError::config("gateway LB needs at least one backend"));
         }
@@ -175,10 +270,24 @@ impl GatewayLb {
             stats: Arc::clone(&stats),
         });
         let http = HttpServer::spawn(Arc::clone(&handler) as Arc<dyn HttpHandler>).await?;
+        let health_stop = health.map(|config| {
+            let (stop_tx, mut stop_rx) = tokio::sync::watch::channel(false);
+            let checker = Arc::clone(&handler);
+            tokio::spawn(async move {
+                loop {
+                    tokio::select! {
+                        _ = tokio::time::sleep(config.interval) => checker.probe_round(config).await,
+                        _ = stop_rx.changed() => return,
+                    }
+                }
+            });
+            stop_tx
+        });
         Ok(GatewayLb {
             http,
             stats,
             handler,
+            health_stop,
         })
     }
 
@@ -208,6 +317,18 @@ impl GatewayLb {
         self.handler.backends.read().iter().map(|b| b.addr).collect()
     }
 
+    /// Backends currently ejected by the health checker (empty when
+    /// health checking is off).
+    pub fn ejected_backends(&self) -> Vec<SocketAddr> {
+        self.handler
+            .backends
+            .read()
+            .iter()
+            .filter(|b| b.ejected.load(Ordering::Relaxed))
+            .map(|b| b.addr)
+            .collect()
+    }
+
     /// Replace the backend fleet at runtime (autoscaling). Counters for
     /// retained addresses are preserved; in-flight requests to removed
     /// backends complete normally.
@@ -219,8 +340,11 @@ impl GatewayLb {
         Ok(())
     }
 
-    /// Stop accepting connections.
+    /// Stop accepting connections and halt the health checker.
     pub fn shutdown(&self) {
+        if let Some(stop) = &self.health_stop {
+            let _ = stop.send(true);
+        }
         self.http.shutdown();
     }
 }
@@ -413,6 +537,83 @@ mod tests {
     #[tokio::test]
     async fn rejects_empty_backends() {
         assert!(GatewayLb::spawn(vec![], LbPolicy::RoundRobin).await.is_err());
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn health_checker_drains_and_readmits_unhealthy_backend() {
+        // A backend that flips between healthy and "all breakers open"
+        // (503 on /healthz), like a router whose partitions all browned
+        // out and later healed.
+        let sick = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&sick);
+        let flappy = HttpServer::spawn(Arc::new(
+            move |req: HttpRequest, _peer: SocketAddr| {
+                let flag = Arc::clone(&flag);
+                async move {
+                    if req.target == "/healthz" && flag.load(Ordering::Relaxed) {
+                        HttpResponse::status(StatusCode::SERVICE_UNAVAILABLE)
+                    } else {
+                        HttpResponse::ok("flappy").with_header("x-backend", "flappy")
+                    }
+                }
+            },
+        ))
+        .await
+        .unwrap();
+        let steady = tagged_backend("steady").await;
+        let lb = GatewayLb::spawn_with_health(
+            vec![flappy.addr(), steady.addr()],
+            LbPolicy::RoundRobin,
+            HealthCheckConfig {
+                interval: Duration::from_millis(10),
+                fail_threshold: 2,
+                probe_timeout: Duration::from_millis(100),
+            },
+        )
+        .await
+        .unwrap();
+
+        // Phase 1: both healthy — traffic reaches both.
+        tokio::time::sleep(Duration::from_millis(50)).await;
+        for _ in 0..8 {
+            HttpClient::oneshot(lb.addr(), &HttpRequest::get("/a"))
+                .await
+                .unwrap();
+        }
+        let before = lb.per_backend_counts();
+        assert!(before[0] > 0 && before[1] > 0, "warmup skipped a backend: {before:?}");
+        assert!(lb.ejected_backends().is_empty());
+
+        // Phase 2: flappy's health endpoint goes 503 — after two failed
+        // probes the LB drains it; every request lands on steady.
+        sick.store(true, Ordering::Relaxed);
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        assert_eq!(lb.ejected_backends(), vec![flappy.addr()]);
+        for _ in 0..10 {
+            let resp = HttpClient::oneshot(lb.addr(), &HttpRequest::get("/b"))
+                .await
+                .unwrap();
+            assert_eq!(resp.header("x-backend"), Some("steady"));
+        }
+        assert!(lb.stats().ejections.load(Ordering::Relaxed) >= 1);
+
+        // Phase 3: heal — one passing probe readmits flappy and traffic
+        // resumes flowing to it.
+        sick.store(false, Ordering::Relaxed);
+        tokio::time::sleep(Duration::from_millis(100)).await;
+        assert!(lb.ejected_backends().is_empty());
+        let drained = lb.per_backend_counts()[0];
+        for _ in 0..8 {
+            HttpClient::oneshot(lb.addr(), &HttpRequest::get("/c"))
+                .await
+                .unwrap();
+        }
+        assert!(
+            lb.per_backend_counts()[0] > drained,
+            "readmitted backend got no traffic"
+        );
+        assert!(lb.stats().readmissions.load(Ordering::Relaxed) >= 1);
+        lb.shutdown();
     }
 
     #[tokio::test]

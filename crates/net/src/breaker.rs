@@ -1,0 +1,295 @@
+//! Per-backend circuit breaker for the admission RPC.
+//!
+//! The paper's router answers a dead partition with the default reply —
+//! but only after burning the full timeout × retry budget on every single
+//! request, which during a failover window turns one sick partition into
+//! a router-wide retry storm. A circuit breaker bounds that damage:
+//!
+//! * **Closed** (healthy): every call goes through. `failure_threshold`
+//!   *consecutive* RPC failures trip the breaker.
+//! * **Open** (tripped): calls fast-fail without touching the network, so
+//!   the retry budget is spent zero times instead of once per request.
+//!   After `open_timeout` the breaker becomes willing to probe.
+//! * **Half-open** (probing): exactly one in-flight call is let through as
+//!   a probe. Success closes the breaker; failure re-opens it for another
+//!   `open_timeout`.
+//!
+//! The breaker is a pure state machine over [`std::time::Instant`]: it
+//! performs no I/O and spawns no tasks. Callers ask
+//! [`try_acquire`](CircuitBreaker::try_acquire) before an RPC and report
+//! the outcome with [`record_success`](CircuitBreaker::record_success) /
+//! [`record_failure`](CircuitBreaker::record_failure).
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Breaker tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip the breaker open.
+    pub failure_threshold: u32,
+    /// How long an open breaker fast-fails before allowing a half-open
+    /// probe.
+    pub open_timeout: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            // One tripped request's worth of evidence: matches the
+            // paper's 5-retry budget, so a single fully-timed-out
+            // request (plus its last attempt) is enough to open.
+            failure_threshold: 5,
+            // A few health-monitor failover windows (75 ms in the default
+            // Deployment): long enough to skip the brownout, short enough
+            // that recovery is probed promptly.
+            open_timeout: Duration::from_millis(250),
+        }
+    }
+}
+
+/// Where the breaker currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: calls flow.
+    Closed,
+    /// Tripped: calls fast-fail.
+    Open,
+    /// Probing: one call in flight decides open vs closed.
+    HalfOpen,
+}
+
+/// What [`CircuitBreaker::try_acquire`] tells the caller to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// Breaker closed: perform the call normally.
+    Allow,
+    /// Breaker half-open and this caller won the probe slot: perform the
+    /// call; its outcome decides the breaker's fate.
+    Probe,
+    /// Breaker open (or another probe is in flight): do not touch the
+    /// network.
+    FastFail,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    opened_at: Instant,
+    probe_in_flight: bool,
+}
+
+/// A per-backend circuit breaker. Thread-safe; one lock per transition.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+    opens: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given tuning.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                opened_at: Instant::now(),
+                probe_in_flight: false,
+            }),
+            opens: AtomicU64::new(0),
+        }
+    }
+
+    /// The tuning in force.
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    /// The current state, advancing Open → HalfOpen if the open timeout
+    /// has elapsed (observation does not consume the probe slot).
+    pub fn state(&self) -> BreakerState {
+        let inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Open if inner.opened_at.elapsed() >= self.config.open_timeout => {
+                BreakerState::HalfOpen
+            }
+            state => state,
+        }
+    }
+
+    /// True when calls would currently fast-fail (open, probe not yet
+    /// due). Half-open counts as not-open: a call could be the probe.
+    pub fn is_open(&self) -> bool {
+        self.state() == BreakerState::Open
+    }
+
+    /// Times this breaker has tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens.load(Ordering::Relaxed)
+    }
+
+    /// Ask to perform a call.
+    pub fn try_acquire(&self) -> Admission {
+        let mut inner = self.inner.lock();
+        match inner.state {
+            BreakerState::Closed => Admission::Allow,
+            BreakerState::Open => {
+                if inner.opened_at.elapsed() >= self.config.open_timeout {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_in_flight = true;
+                    Admission::Probe
+                } else {
+                    Admission::FastFail
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_in_flight {
+                    Admission::FastFail
+                } else {
+                    inner.probe_in_flight = true;
+                    Admission::Probe
+                }
+            }
+        }
+    }
+
+    /// Report a successful call. Closes a half-open breaker and clears
+    /// the failure streak.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock();
+        inner.consecutive_failures = 0;
+        inner.probe_in_flight = false;
+        inner.state = BreakerState::Closed;
+    }
+
+    /// Report a failed call (retry budget exhausted). Trips a closed
+    /// breaker at the threshold; re-opens a half-open breaker whose probe
+    /// failed.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock();
+        inner.probe_in_flight = false;
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.failure_threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Instant::now();
+                    self.opens.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Instant::now();
+                self.opens.fetch_add(1, Ordering::Relaxed);
+            }
+            BreakerState::Open => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, open_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            open_timeout: Duration::from_millis(open_ms),
+        })
+    }
+
+    #[test]
+    fn stays_closed_below_threshold() {
+        let b = breaker(3, 1000);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.try_acquire(), Admission::Allow);
+        assert_eq!(b.opens(), 0);
+    }
+
+    #[test]
+    fn success_resets_failure_streak() {
+        let b = breaker(3, 1000);
+        b.record_failure();
+        b.record_failure();
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn trips_open_at_threshold_and_fast_fails() {
+        let b = breaker(3, 1000);
+        for _ in 0..3 {
+            b.record_failure();
+        }
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(b.is_open());
+        assert_eq!(b.try_acquire(), Admission::FastFail);
+        assert_eq!(b.opens(), 1);
+    }
+
+    #[test]
+    fn half_open_grants_exactly_one_probe() {
+        let b = breaker(1, 0); // open timeout 0: probe due immediately
+        b.record_failure();
+        assert_eq!(b.try_acquire(), Admission::Probe);
+        // Second caller while the probe is in flight: fast-fail.
+        assert_eq!(b.try_acquire(), Admission::FastFail);
+    }
+
+    #[test]
+    fn probe_success_closes() {
+        let b = breaker(1, 0);
+        b.record_failure();
+        assert_eq!(b.try_acquire(), Admission::Probe);
+        b.record_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.try_acquire(), Admission::Allow);
+    }
+
+    #[test]
+    fn probe_failure_reopens_for_another_window() {
+        let b = breaker(1, 60_000); // long window: no second probe soon
+        b.record_failure();
+        // Force the half-open transition by waiting out a zero-length
+        // window is not possible here, so drive it directly: the breaker
+        // re-opens from half-open on a failed probe.
+        {
+            let mut inner = b.inner.lock();
+            inner.state = BreakerState::HalfOpen;
+            inner.probe_in_flight = true;
+        }
+        b.record_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.try_acquire(), Admission::FastFail);
+        assert_eq!(b.opens(), 2);
+    }
+
+    #[test]
+    fn open_timeout_elapses_into_probe() {
+        let b = breaker(1, 20);
+        b.record_failure();
+        assert_eq!(b.try_acquire(), Admission::FastFail);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert_eq!(b.try_acquire(), Admission::Probe);
+    }
+
+    #[test]
+    fn failures_while_open_do_not_double_count() {
+        let b = breaker(2, 60_000);
+        b.record_failure();
+        b.record_failure();
+        assert_eq!(b.opens(), 1);
+        b.record_failure(); // e.g. an in-flight call completing late
+        assert_eq!(b.opens(), 1);
+        assert_eq!(b.state(), BreakerState::Open);
+    }
+}

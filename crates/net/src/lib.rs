@@ -25,12 +25,14 @@
 //! colocate every node on 127.0.0.1 and distinguish them by port. The
 //! permutation, TTL and failover semantics are unchanged.
 
+pub mod breaker;
 pub mod dns;
 pub mod fault;
 pub mod http;
 pub mod udp;
 pub mod udp_pool;
 
+pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use dns::{DnsRecord, Resolver, Zone};
 
 /// Wake a TCP accept loop so it observes a freshly-set shutdown flag.
@@ -52,5 +54,5 @@ pub fn poke_listener(addr: std::net::SocketAddr) {
 }
 pub use fault::FaultPlan;
 pub use http::{HttpClient, HttpRequest, HttpResponse, HttpServer, Method, StatusCode};
-pub use udp::{UdpRpcClient, UdpRpcConfig, UdpServerSocket};
+pub use udp::{RetryBackoff, UdpRpcClient, UdpRpcConfig, UdpServerSocket};
 pub use udp_pool::{BatchConfig, PooledUdpRpcClient};

@@ -23,6 +23,69 @@ use std::sync::Arc;
 use std::time::Duration;
 use tokio::net::UdpSocket;
 
+/// How long to pause before each retry attempt.
+///
+/// The paper's discipline retries immediately after the 100 µs per-attempt
+/// timeout elapses ([`RetryBackoff::Fixed`], the default). Under a
+/// correlated brownout — a rebooting partition, a saturated NIC queue —
+/// immediate retries from every router arrive in lockstep and prolong the
+/// brownout they are reacting to. [`RetryBackoff::ExponentialJitter`]
+/// decorrelates them: retry `k` sleeps a uniformly random duration in
+/// `[0, min(base · 2^(k−1), cap)]` first (AWS-style "full jitter").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RetryBackoff {
+    /// Paper-faithful: no pause between retries beyond the per-attempt
+    /// timeout itself.
+    #[default]
+    Fixed,
+    /// Jittered exponential backoff between retries.
+    ExponentialJitter {
+        /// Ceiling of the first retry's jitter window.
+        base: Duration,
+        /// Upper bound the window never exceeds, however many retries.
+        cap: Duration,
+    },
+}
+
+impl RetryBackoff {
+    /// The pause before retry attempt `attempt` (1 = first retry).
+    /// Attempt 0 — the initial send — never waits.
+    pub fn delay_before(&self, attempt: u32) -> Duration {
+        match *self {
+            RetryBackoff::Fixed => Duration::ZERO,
+            RetryBackoff::ExponentialJitter { base, cap } => {
+                if attempt == 0 {
+                    return Duration::ZERO;
+                }
+                let doublings = (attempt - 1).min(20);
+                let window = base
+                    .saturating_mul(1u32 << doublings)
+                    .min(cap)
+                    .as_nanos() as u64;
+                if window == 0 {
+                    return Duration::ZERO;
+                }
+                use rand::Rng;
+                Duration::from_nanos(rand::thread_rng().gen_range(0..=window))
+            }
+        }
+    }
+
+    /// The worst pause this policy can impose before retry `attempt`.
+    pub fn max_delay_before(&self, attempt: u32) -> Duration {
+        match *self {
+            RetryBackoff::Fixed => Duration::ZERO,
+            RetryBackoff::ExponentialJitter { base, cap } => {
+                if attempt == 0 {
+                    return Duration::ZERO;
+                }
+                let doublings = (attempt - 1).min(20);
+                base.saturating_mul(1u32 << doublings).min(cap)
+            }
+        }
+    }
+}
+
 /// Client-side retry discipline.
 #[derive(Debug, Clone)]
 pub struct UdpRpcConfig {
@@ -30,6 +93,8 @@ pub struct UdpRpcConfig {
     pub timeout: Duration,
     /// Retries after the first attempt. Paper value: 5.
     pub max_retries: u32,
+    /// Pause policy between retries. Paper value: none ([`RetryBackoff::Fixed`]).
+    pub backoff: RetryBackoff,
 }
 
 impl Default for UdpRpcConfig {
@@ -37,6 +102,7 @@ impl Default for UdpRpcConfig {
         UdpRpcConfig {
             timeout: Duration::from_micros(100),
             max_retries: 5,
+            backoff: RetryBackoff::Fixed,
         }
     }
 }
@@ -47,9 +113,14 @@ impl UdpRpcConfig {
         1 + self.max_retries
     }
 
-    /// Worst-case time spent before giving up.
+    /// Worst-case time spent before giving up, including the worst draw
+    /// of every backoff pause.
     pub fn worst_case(&self) -> Duration {
-        self.timeout * self.attempts()
+        let mut total = self.timeout * self.attempts();
+        for attempt in 1..self.attempts() {
+            total += self.backoff.max_delay_before(attempt);
+        }
+        total
     }
 
     /// A looser discipline for loopback test environments where the
@@ -59,6 +130,7 @@ impl UdpRpcConfig {
         UdpRpcConfig {
             timeout: Duration::from_millis(20),
             max_retries: 5,
+            backoff: RetryBackoff::Fixed,
         }
     }
 }
@@ -98,14 +170,32 @@ impl UdpRpcClient {
     /// Returns the verdict, or [`JanusError::Timeout`] once the retry
     /// budget is exhausted (the router then substitutes its default
     /// reply).
+    ///
+    /// A hint-soliciting request is downgraded to the plain frame on
+    /// retries: a hint-unaware server drops the unknown frame kind as
+    /// garbage, so the fallback costs at most one lost attempt against an
+    /// old peer and nothing against a new one.
     pub async fn call(&self, server: SocketAddr, request: &QosRequest) -> Result<QosResponse> {
         let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
         socket.connect(server).await?;
         let wire = codec::encode_request(request);
+        let fallback = request
+            .solicit_hint
+            .then(|| codec::encode_request(&request.without_hint()));
         let mut buf = vec![0u8; MAX_FRAME_BYTES];
 
-        for _attempt in 0..self.config.attempts() {
-            self.send_with_faults(&socket, &wire).await?;
+        for attempt in 0..self.config.attempts() {
+            if attempt > 0 {
+                let pause = self.config.backoff.delay_before(attempt);
+                if !pause.is_zero() {
+                    tokio::time::sleep(pause).await;
+                }
+            }
+            let datagram = match &fallback {
+                Some(plain) if attempt > 0 => plain,
+                _ => &wire,
+            };
+            self.send_with_faults(&socket, datagram).await?;
             match tokio::time::timeout(self.config.timeout, socket.recv(&mut buf)).await {
                 Ok(Ok(len)) => match codec::decode(&buf[..len]) {
                     Ok(Frame::Response(resp)) if resp.id == request.id => return Ok(resp),
@@ -355,6 +445,7 @@ mod tests {
         let config = UdpRpcConfig {
             timeout: Duration::from_millis(1),
             max_retries: 5,
+            ..Default::default()
         };
         let client = UdpRpcClient::with_faults(config, faults);
         let err = client.call(addr, &request(2)).await.unwrap_err();
@@ -373,6 +464,7 @@ mod tests {
         let config = UdpRpcConfig {
             timeout: Duration::from_millis(1),
             max_retries: 2,
+            ..Default::default()
         };
         let client = UdpRpcClient::new(config);
         let err = client.call(addr, &request(1)).await.unwrap_err();
@@ -436,8 +528,90 @@ mod tests {
         assert_eq!(d.timeout, Duration::from_micros(100));
         assert_eq!(d.max_retries, 5);
         assert_eq!(d.attempts(), 6);
+        assert_eq!(d.backoff, RetryBackoff::Fixed);
         // Paper: "In the worst case ... fails after 5 retries, which is
         // 500 microseconds" (counting the retry waits).
         assert_eq!(d.worst_case(), Duration::from_micros(600));
+    }
+
+    #[test]
+    fn jittered_backoff_stays_within_doubling_windows() {
+        let policy = RetryBackoff::ExponentialJitter {
+            base: Duration::from_micros(100),
+            cap: Duration::from_micros(350),
+        };
+        assert_eq!(policy.delay_before(0), Duration::ZERO);
+        assert_eq!(policy.max_delay_before(1), Duration::from_micros(100));
+        assert_eq!(policy.max_delay_before(2), Duration::from_micros(200));
+        // Capped from here on: 400 µs would exceed the 350 µs ceiling.
+        assert_eq!(policy.max_delay_before(3), Duration::from_micros(350));
+        assert_eq!(policy.max_delay_before(9), Duration::from_micros(350));
+        for attempt in 1..6 {
+            for _ in 0..32 {
+                assert!(policy.delay_before(attempt) <= policy.max_delay_before(attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn backoff_extends_worst_case() {
+        let config = UdpRpcConfig {
+            timeout: Duration::from_micros(100),
+            max_retries: 2,
+            backoff: RetryBackoff::ExponentialJitter {
+                base: Duration::from_micros(100),
+                cap: Duration::from_micros(1_000),
+            },
+        };
+        // 3 × 100 µs attempts + 100 µs before retry 1 + 200 µs before
+        // retry 2.
+        assert_eq!(config.worst_case(), Duration::from_micros(600));
+    }
+
+    #[tokio::test]
+    async fn jittered_retries_still_recover() {
+        let addr = spawn_echo_server(FaultPlan::none()).await;
+        let faults = FaultPlan::new(0.4, 0.0, Duration::ZERO, 12345);
+        let config = UdpRpcConfig {
+            backoff: RetryBackoff::ExponentialJitter {
+                base: Duration::from_micros(200),
+                cap: Duration::from_millis(2),
+            },
+            ..UdpRpcConfig::lan_defaults()
+        };
+        let client = UdpRpcClient::with_faults(config, faults);
+        let mut ok = 0;
+        for id in 0..20u64 {
+            if client.call(addr, &request(id * 2)).await.is_ok() {
+                ok += 1;
+            }
+        }
+        assert!(ok >= 18, "only {ok}/20 calls survived 40% loss with jitter");
+    }
+
+    #[tokio::test]
+    async fn soliciting_request_downgrades_to_plain_frame_on_retry() {
+        // A frame-recording "server" that never answers: every attempt
+        // lands here and we inspect the raw wire bytes per attempt.
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let addr = sink.local_addr().unwrap();
+        let config = UdpRpcConfig {
+            timeout: Duration::from_millis(1),
+            max_retries: 2,
+            ..Default::default()
+        };
+        let client = UdpRpcClient::new(config);
+        let soliciting = QosRequest::soliciting_hint(7, QosKey::new("tenant").unwrap());
+        let call = tokio::spawn(async move { client.call(addr, &soliciting).await });
+        let mut kinds = Vec::new();
+        let mut buf = [0u8; RECV_BUF_BYTES];
+        for _ in 0..3 {
+            let (len, _) = sink.recv_from(&mut buf).await.unwrap();
+            kinds.push(buf[..len][3]);
+        }
+        assert!(call.await.unwrap().is_err(), "nothing answered");
+        // Attempt 0 solicits; every retry is the plain v1 frame an old
+        // server understands.
+        assert_eq!(kinds, vec![codec::KIND_REQUEST_HINT, codec::KIND_REQUEST, codec::KIND_REQUEST]);
     }
 }

@@ -165,15 +165,51 @@ impl PooledUdpRpcClient {
     /// The request id is allocated internally (callers supply only the
     /// key), guaranteeing pool-wide uniqueness.
     pub async fn check(&self, server: SocketAddr, key: QosKey) -> Result<QosResponse> {
+        self.do_check(server, key, false).await
+    }
+
+    /// Like [`check`](Self::check), but the first attempt solicits a rule
+    /// hint in the response. Retries fall back to the plain frame, so a
+    /// hint-unaware server (which drops the unknown frame kind) costs at
+    /// most one lost attempt.
+    pub async fn check_soliciting_hint(
+        &self,
+        server: SocketAddr,
+        key: QosKey,
+    ) -> Result<QosResponse> {
+        self.do_check(server, key, true).await
+    }
+
+    async fn do_check(
+        &self,
+        server: SocketAddr,
+        key: QosKey,
+        solicit: bool,
+    ) -> Result<QosResponse> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let request = QosRequest::new(id, key);
+        let request = if solicit {
+            QosRequest::soliciting_hint(id, key)
+        } else {
+            QosRequest::new(id, key)
+        };
+        let fallback = solicit.then(|| request.without_hint());
 
         let (tx, mut rx) = oneshot::channel();
         self.waiters.lock().insert(id, tx);
         // Ensure cleanup on every exit path.
         let result = async {
-            for _attempt in 0..self.config.attempts() {
-                self.send_attempt(server, &request).await?;
+            for attempt in 0..self.config.attempts() {
+                if attempt > 0 {
+                    let pause = self.config.backoff.delay_before(attempt);
+                    if !pause.is_zero() {
+                        tokio::time::sleep(pause).await;
+                    }
+                }
+                let this_attempt = match &fallback {
+                    Some(plain) if attempt > 0 => plain,
+                    _ => &request,
+                };
+                self.send_attempt(server, this_attempt).await?;
                 match tokio::time::timeout(self.config.timeout, &mut rx).await {
                     Ok(Ok(resp)) => return Ok(resp),
                     // Channel dropped: demux task died (socket closed).
@@ -335,6 +371,7 @@ mod tests {
             UdpRpcConfig {
                 timeout: Duration::from_millis(1),
                 max_retries: 2,
+                ..Default::default()
             },
             FaultPlan::new(1.0, 0.0, Duration::ZERO, 5),
         )
@@ -425,6 +462,35 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn soliciting_check_receives_hint_from_aware_server() {
+        use janus_types::{Credits, RefillRate, RuleHint};
+        let server = UdpServerSocket::bind_ephemeral().await.unwrap();
+        let addr = server.local_addr().unwrap();
+        tokio::spawn(async move {
+            loop {
+                let Ok((req, peer)) = server.recv_request().await else { return };
+                let mut resp = QosResponse::allow(req.id);
+                if req.solicit_hint {
+                    resp = resp.with_hint(RuleHint::new(
+                        Credits::from_whole(10),
+                        RefillRate::per_second(5),
+                    ));
+                }
+                let _ = server.send_response(&resp, peer).await;
+            }
+        });
+        let pool = PooledUdpRpcClient::bind(UdpRpcConfig::lan_defaults())
+            .await
+            .unwrap();
+        let plain = pool.check(addr, key("ab")).await.unwrap();
+        assert_eq!(plain.hint, None);
+        let hinted = pool.check_soliciting_hint(addr, key("ab")).await.unwrap();
+        let hint = hinted.hint.expect("hint solicited but absent");
+        assert_eq!(hint.capacity, Credits::from_whole(10));
+        assert_eq!(hint.refill_rate, RefillRate::per_second(5));
+    }
+
+    #[tokio::test]
     async fn late_responses_are_dropped_not_misdelivered() {
         // A slow server answers after the caller timed out; the next call
         // must not receive the stale response.
@@ -443,6 +509,7 @@ mod tests {
         let pool = PooledUdpRpcClient::bind(UdpRpcConfig {
             timeout: Duration::from_millis(2),
             max_retries: 0,
+            ..Default::default()
         })
         .await
         .unwrap();

@@ -18,13 +18,18 @@
 //! master→slave failover reaches routers without reconfiguration; direct
 //! socket addresses are also accepted for simple deployments.
 
+use janus_bucket::LeakyBucket;
+use janus_clock::SharedClock;
 use janus_hash::{ModuloRouter, Router as _};
+use janus_net::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 use janus_net::dns::Resolver;
 use janus_net::fault::FaultPlan;
 use janus_net::http::{HttpHandler, HttpRequest, HttpResponse, HttpServer, StatusCode};
 use janus_net::udp::{UdpRpcClient, UdpRpcConfig};
 use janus_net::udp_pool::{BatchConfig, PooledUdpRpcClient};
-use janus_types::{JanusError, QosKey, QosRequest, Result, Verdict};
+use janus_types::{JanusError, QosKey, QosRequest, QosResponse, Result, RuleHint, Verdict};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::future::Future;
 use std::net::SocketAddr;
 use std::pin::Pin;
@@ -70,11 +75,22 @@ pub struct RouterConfig {
     /// trigger; see [`BatchConfig`]). Ignored for the per-request
     /// client, which stays on the paper's single-frame wire format.
     pub batching: bool,
+    /// Per-partition circuit breaking plus degraded local admission.
+    /// While a partition's breaker is open the router answers its keys
+    /// from a local leaky bucket seeded by rule hints learned from the
+    /// QoS server (scaled by `fleet_size`), instead of burning the full
+    /// retry budget per request. `None` is the paper-faithful ablation:
+    /// no breakers, no hint soliciting, default reply on every timeout.
+    pub breaker: Option<BreakerConfig>,
+    /// How many router nodes share admission duty. Degraded local
+    /// buckets enforce `1/fleet_size` of a hinted rule so the fleet
+    /// jointly approximates the purchased rate. Clamped to at least 1.
+    pub fleet_size: usize,
 }
 
 impl RouterConfig {
     /// A config for a fixed fleet of direct addresses with LAN-friendly
-    /// retry timing and a fail-open default.
+    /// retry timing, a fail-open default, and brownout protection on.
     pub fn direct(backends: impl IntoIterator<Item = SocketAddr>) -> Self {
         RouterConfig {
             backends: backends.into_iter().map(Backend::Direct).collect(),
@@ -82,6 +98,8 @@ impl RouterConfig {
             default_verdict: Verdict::Allow,
             pooled_rpc: false,
             batching: true,
+            breaker: Some(BreakerConfig::default()),
+            fleet_size: 1,
         }
     }
 }
@@ -97,6 +115,15 @@ pub struct RouterStats {
     pub defaulted: AtomicU64,
     /// Malformed HTTP requests rejected.
     pub bad_requests: AtomicU64,
+    /// Requests answered without touching the network because the
+    /// partition's breaker was open.
+    pub breaker_fast_fails: AtomicU64,
+    /// Degraded local admissions that allowed the request.
+    pub degraded_allowed: AtomicU64,
+    /// Degraded local admissions that denied the request.
+    pub degraded_denied: AtomicU64,
+    /// Rule hints learned (first sightings and shape changes).
+    pub hints_learned: AtomicU64,
 }
 
 /// A running request-router node.
@@ -104,6 +131,7 @@ pub struct RequestRouter {
     http: HttpServer,
     stats: Arc<RouterStats>,
     partitions: usize,
+    handler: Arc<RouterHandler>,
 }
 
 enum RpcBackend {
@@ -121,30 +149,150 @@ struct RouterHandler {
     default_verdict: Verdict,
     stats: Arc<RouterStats>,
     next_id: AtomicU64,
+    clock: SharedClock,
+    fleet_size: usize,
+    /// One breaker per partition; empty when the feature is off.
+    breakers: Vec<CircuitBreaker>,
+    /// Rule shapes learned from hint-carrying responses, kept across
+    /// outages so degraded admission has something to enforce.
+    hints: Mutex<HashMap<QosKey, RuleHint>>,
+    /// Router-local buckets for degraded admission. A key's bucket is
+    /// created once (seeded full at the fleet-scaled shape) and persists
+    /// across outage episodes, so repeated brownouts never re-grant the
+    /// burst — over-admission stays bounded by one scaled capacity.
+    degraded: Mutex<HashMap<QosKey, LeakyBucket>>,
+}
+
+/// How a verdict was produced, for stats attribution.
+enum Served {
+    /// The owning QoS server answered.
+    Backend(Verdict),
+    /// The partition is browned out; a router-local bucket answered.
+    Degraded(Verdict),
+    /// No backend answer and no learned rule: the configured default.
+    Default,
 }
 
 impl RouterHandler {
-    async fn qos_check(&self, key: QosKey) -> Result<Verdict> {
-        let partition = self.hash.route(&key);
-        let addr = match &self.backends[partition] {
-            Backend::Direct(addr) => *addr,
+    fn breakers_enabled(&self) -> bool {
+        !self.breakers.is_empty()
+    }
+
+    /// True when every partition's breaker is currently fast-failing —
+    /// this node cannot reach any QoS state and should be drained.
+    fn all_breakers_open(&self) -> bool {
+        !self.breakers.is_empty() && self.breakers.iter().all(|b| b.is_open())
+    }
+
+    fn resolve(&self, partition: usize) -> Result<SocketAddr> {
+        match &self.backends[partition] {
+            Backend::Direct(addr) => Ok(*addr),
             Backend::Named(name) => match &self.resolver {
-                Some(resolver) => resolver.resolve_one(name)?,
-                None => {
-                    return Err(JanusError::config(format!(
-                        "backend {name:?} is a DNS name but the router has no resolver"
-                    )))
-                }
+                Some(resolver) => resolver.resolve_one(name),
+                None => Err(JanusError::config(format!(
+                    "backend {name:?} is a DNS name but the router has no resolver"
+                ))),
             },
+        }
+    }
+
+    async fn qos_check(&self, key: QosKey) -> Served {
+        let partition = self.hash.route(&key);
+        if self.breakers_enabled() {
+            match self.breakers[partition].try_acquire() {
+                Admission::FastFail => {
+                    self.stats.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+                    return self.local_verdict(&key);
+                }
+                Admission::Allow | Admission::Probe => {}
+            }
+        }
+        let result = match self.resolve(partition) {
+            Ok(addr) => self.call_backend(addr, &key).await,
+            Err(e) => Err(e),
         };
-        let response = match &self.rpc {
+        match result {
+            Ok(response) => {
+                if self.breakers_enabled() {
+                    self.breakers[partition].record_success();
+                    if let Some(hint) = response.hint {
+                        self.learn_hint(&key, hint);
+                    }
+                }
+                Served::Backend(response.verdict)
+            }
+            Err(_) => {
+                if self.breakers_enabled() {
+                    self.breakers[partition].record_failure();
+                    if self.breakers[partition].is_open() {
+                        return self.local_verdict(&key);
+                    }
+                }
+                Served::Default
+            }
+        }
+    }
+
+    /// One UDP exchange. With breakers on, the first attempt solicits a
+    /// rule hint (retries inside the client fall back to the plain
+    /// frame, so hint-unaware servers cost at most one attempt).
+    async fn call_backend(&self, addr: SocketAddr, key: &QosKey) -> Result<QosResponse> {
+        let solicit = self.breakers_enabled();
+        match &self.rpc {
             RpcBackend::PerRequest(rpc) => {
                 let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-                rpc.call(addr, &QosRequest::new(id, key)).await?
+                let request = if solicit {
+                    QosRequest::soliciting_hint(id, key.clone())
+                } else {
+                    QosRequest::new(id, key.clone())
+                };
+                rpc.call(addr, &request).await
             }
-            RpcBackend::Pooled(pool) => pool.check(addr, key).await?,
+            RpcBackend::Pooled(pool) => {
+                if solicit {
+                    pool.check_soliciting_hint(addr, key.clone()).await
+                } else {
+                    pool.check(addr, key.clone()).await
+                }
+            }
+        }
+    }
+
+    /// Cache a hinted rule shape. A shape *change* drops the key's
+    /// degraded bucket so the next brownout rebuilds it with the new
+    /// rule (re-seeding only on a genuine rule update).
+    fn learn_hint(&self, key: &QosKey, hint: RuleHint) {
+        let mut hints = self.hints.lock();
+        let previous = hints.get(key).copied();
+        if previous == Some(hint) {
+            return;
+        }
+        hints.insert(key.clone(), hint);
+        self.stats.hints_learned.fetch_add(1, Ordering::Relaxed);
+        if previous.is_some() {
+            self.degraded.lock().remove(key);
+        }
+    }
+
+    /// Serve a verdict without the backend: the key's degraded bucket if
+    /// a rule shape was ever learned, the blind default otherwise.
+    fn local_verdict(&self, key: &QosKey) -> Served {
+        let hint = self.hints.lock().get(key).copied();
+        let Some(hint) = hint else {
+            return Served::Default;
         };
-        Ok(response.verdict)
+        let shape = hint.split_across(self.fleet_size);
+        let now = self.clock.now();
+        let mut buckets = self.degraded.lock();
+        let bucket = buckets
+            .entry(key.clone())
+            .or_insert_with(|| LeakyBucket::full(shape.capacity, shape.refill_rate, now));
+        let verdict = bucket.try_consume(now);
+        match verdict {
+            Verdict::Allow => self.stats.degraded_allowed.fetch_add(1, Ordering::Relaxed),
+            Verdict::Deny => self.stats.degraded_denied.fetch_add(1, Ordering::Relaxed),
+        };
+        Served::Degraded(verdict)
     }
 }
 
@@ -167,21 +315,32 @@ impl HttpHandler for RouterHandler {
                         return HttpResponse::status(StatusCode::BAD_REQUEST);
                     };
                     let verdict = match self.qos_check(key).await {
-                        Ok(verdict) => {
+                        Served::Backend(verdict) => {
                             self.stats.forwarded_ok.fetch_add(1, Ordering::Relaxed);
                             verdict
                         }
-                        Err(_) => {
+                        // Degraded counters were recorded at the bucket.
+                        Served::Degraded(verdict) => verdict,
+                        Served::Default => {
                             // Retry budget exhausted (or resolution
-                            // failed): the default reply keeps the client
-                            // unblocked (paper §III-B).
+                            // failed) and no learned rule: the default
+                            // reply keeps the client unblocked (§III-B).
                             self.stats.defaulted.fetch_add(1, Ordering::Relaxed);
                             self.default_verdict
                         }
                     };
                     HttpResponse::ok(verdict.to_string())
                 }
-                "/healthz" => HttpResponse::ok("ok"),
+                // Healthy while any partition is reachable; a node whose
+                // every breaker is open serves nothing but defaults, so
+                // it reports unhealthy and the LB drains it.
+                "/healthz" => {
+                    if self.all_breakers_open() {
+                        HttpResponse::status(StatusCode::SERVICE_UNAVAILABLE)
+                    } else {
+                        HttpResponse::ok("ok")
+                    }
+                }
                 _ => {
                     self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                     HttpResponse::status(StatusCode::NOT_FOUND)
@@ -226,6 +385,10 @@ impl RequestRouter {
         } else {
             RpcBackend::PerRequest(UdpRpcClient::new(config.udp))
         };
+        let breakers = match &config.breaker {
+            Some(breaker) => (0..partitions).map(|_| CircuitBreaker::new(*breaker)).collect(),
+            None => Vec::new(),
+        };
         let handler = Arc::new(RouterHandler {
             hash: ModuloRouter::new(partitions),
             backends: config.backends,
@@ -234,12 +397,18 @@ impl RequestRouter {
             default_verdict: config.default_verdict,
             stats: Arc::clone(&stats),
             next_id: AtomicU64::new(rand_seed()),
+            clock: janus_clock::system(),
+            fleet_size: config.fleet_size.max(1),
+            breakers,
+            hints: Mutex::new(HashMap::new()),
+            degraded: Mutex::new(HashMap::new()),
         });
-        let http = HttpServer::spawn(handler).await?;
+        let http = HttpServer::spawn(Arc::clone(&handler)).await?;
         Ok(RequestRouter {
             http,
             stats,
             partitions,
+            handler,
         })
     }
 
@@ -258,6 +427,28 @@ impl RequestRouter {
         &self.stats
     }
 
+    /// Breaker state for `partition`; `None` when breakers are disabled
+    /// or the partition index is out of range.
+    pub fn breaker_state(&self, partition: usize) -> Option<BreakerState> {
+        self.handler.breakers.get(partition).map(|b| b.state())
+    }
+
+    /// Times `partition`'s breaker has tripped open; `None` as above.
+    pub fn breaker_opens(&self, partition: usize) -> Option<u64> {
+        self.handler.breakers.get(partition).map(|b| b.opens())
+    }
+
+    /// True when every partition's breaker is currently open (the
+    /// condition under which `/healthz` reports 503).
+    pub fn all_breakers_open(&self) -> bool {
+        self.handler.all_breakers_open()
+    }
+
+    /// Keys with a learned rule hint (diagnostics).
+    pub fn hinted_keys(&self) -> usize {
+        self.handler.hints.lock().len()
+    }
+
     /// Stop accepting requests.
     pub fn shutdown(&self) {
         self.http.shutdown();
@@ -267,13 +458,27 @@ impl RequestRouter {
 /// Seed request ids from the router's identity so two router nodes never
 /// reuse the same id space (ids only need per-socket uniqueness, but
 /// distinct spaces make debugging traces unambiguous).
+///
+/// Mixing in a process-global spawn counter guarantees distinct seeds for
+/// routers created inside one process (a whole test deployment shares one
+/// pid, and two spawns can share a clock reading); splitmix64 finalization
+/// spreads the entropy over all 64 bits instead of packing pid and nanos
+/// into disjoint halves.
 fn rand_seed() -> u64 {
     use std::time::{SystemTime, UNIX_EPOCH};
+    static SPAWNS: AtomicU64 = AtomicU64::new(0);
     let nanos = SystemTime::now()
         .duration_since(UNIX_EPOCH)
-        .map(|d| d.subsec_nanos() as u64)
+        .map(|d| d.as_nanos() as u64)
         .unwrap_or(0);
-    (std::process::id() as u64) << 32 | nanos
+    let spawn = SPAWNS.fetch_add(1, Ordering::Relaxed);
+    let mut z = (std::process::id() as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ nanos
+        ^ spawn.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Build the HTTP request a QoS client sends for `key` (shared by the
@@ -392,6 +597,7 @@ mod tests {
         config.udp = UdpRpcConfig {
             timeout: std::time::Duration::from_millis(1),
             max_retries: 2,
+            ..Default::default()
         };
         config.default_verdict = Verdict::Deny;
         let router = RequestRouter::spawn(config, None).await.unwrap();
@@ -497,6 +703,172 @@ mod tests {
         assert_eq!(check(&mut client, "plain").await, Verdict::Allow);
         assert_eq!(check(&mut client, "plain").await, Verdict::Allow);
         assert_eq!(check(&mut client, "plain").await, Verdict::Deny);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn breaker_trips_on_dead_backend_and_fast_fails() {
+        let dead = tokio::net::UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        let mut config = RouterConfig::direct([dead_addr]);
+        config.udp = UdpRpcConfig {
+            timeout: std::time::Duration::from_millis(1),
+            max_retries: 1,
+            ..Default::default()
+        };
+        config.default_verdict = Verdict::Deny;
+        config.breaker = Some(BreakerConfig {
+            failure_threshold: 3,
+            open_timeout: std::time::Duration::from_secs(60),
+        });
+        let router = RequestRouter::spawn(config, None).await.unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        for _ in 0..10 {
+            assert_eq!(check(&mut client, "anyone").await, Verdict::Deny);
+        }
+        assert_eq!(router.breaker_state(0), Some(BreakerState::Open));
+        assert_eq!(router.breaker_opens(0), Some(1));
+        let stats = router.stats();
+        // Three timed-out requests tripped the breaker; the remaining
+        // seven never touched the network.
+        assert_eq!(stats.defaulted.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.breaker_fast_fails.load(Ordering::Relaxed), 7);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn degraded_admission_serves_learned_rule_during_outage() {
+        // Learn the rule shape while healthy, kill the partition, and
+        // verify the router enforces the learned shape locally instead of
+        // answering blind.
+        let server = standalone_server(&[("tenant", 5, 0)]).await;
+        let mut config = RouterConfig::direct([server.udp_addr()]);
+        config.udp = UdpRpcConfig {
+            timeout: std::time::Duration::from_millis(5),
+            max_retries: 1,
+            ..Default::default()
+        };
+        config.default_verdict = Verdict::Deny;
+        config.breaker = Some(BreakerConfig {
+            failure_threshold: 2,
+            open_timeout: std::time::Duration::from_secs(60),
+        });
+        let router = RequestRouter::spawn(config, None).await.unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        assert_eq!(check(&mut client, "tenant").await, Verdict::Allow);
+        assert_eq!(router.hinted_keys(), 1, "hint was not learned");
+
+        server.shutdown();
+        drop(server);
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+
+        let mut allowed = 0;
+        let mut denied = 0;
+        for _ in 0..20 {
+            match check(&mut client, "tenant").await {
+                Verdict::Allow => allowed += 1,
+                Verdict::Deny => denied += 1,
+            }
+        }
+        let stats = router.stats();
+        assert_eq!(router.breaker_state(0), Some(BreakerState::Open));
+        // Request 1 fails below threshold (blind default Deny); request 2
+        // trips the breaker and every request from there is served from
+        // the local bucket: capacity 5, zero refill => exactly 5 allowed.
+        assert_eq!(allowed, 5, "degraded bucket did not enforce capacity");
+        assert_eq!(denied, 15);
+        assert_eq!(stats.degraded_allowed.load(Ordering::Relaxed), 5);
+        assert_eq!(stats.degraded_denied.load(Ordering::Relaxed), 14);
+        assert_eq!(stats.defaulted.load(Ordering::Relaxed), 1);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn degraded_bucket_splits_rule_across_fleet() {
+        let server = standalone_server(&[("shared", 8, 0)]).await;
+        let mut config = RouterConfig::direct([server.udp_addr()]);
+        config.udp = UdpRpcConfig {
+            timeout: std::time::Duration::from_millis(5),
+            max_retries: 1,
+            ..Default::default()
+        };
+        config.default_verdict = Verdict::Deny;
+        config.breaker = Some(BreakerConfig {
+            failure_threshold: 1,
+            open_timeout: std::time::Duration::from_secs(60),
+        });
+        config.fleet_size = 4; // this node may serve 8/4 = 2 locally
+        let router = RequestRouter::spawn(config, None).await.unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        assert_eq!(check(&mut client, "shared").await, Verdict::Allow);
+        server.shutdown();
+        drop(server);
+        tokio::time::sleep(std::time::Duration::from_millis(50)).await;
+        let mut allowed = 0;
+        for _ in 0..10 {
+            if check(&mut client, "shared").await == Verdict::Allow {
+                allowed += 1;
+            }
+        }
+        assert_eq!(allowed, 2, "fleet split not enforced");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn healthz_degrades_to_503_when_all_breakers_open() {
+        let dead = tokio::net::UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        let mut config = RouterConfig::direct([dead_addr]);
+        config.udp = UdpRpcConfig {
+            timeout: std::time::Duration::from_millis(1),
+            max_retries: 0,
+            ..Default::default()
+        };
+        config.breaker = Some(BreakerConfig {
+            failure_threshold: 1,
+            open_timeout: std::time::Duration::from_secs(60),
+        });
+        let router = RequestRouter::spawn(config, None).await.unwrap();
+        let resp = HttpClient::oneshot(router.addr(), &HttpRequest::get("/healthz"))
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::OK, "healthy before any failure");
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        check(&mut client, "victim").await;
+        assert!(router.all_breakers_open());
+        let resp = HttpClient::oneshot(router.addr(), &HttpRequest::get("/healthz"))
+            .await
+            .unwrap();
+        assert_eq!(resp.status, StatusCode::SERVICE_UNAVAILABLE);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn breaker_ablation_preserves_paper_behavior() {
+        let dead = tokio::net::UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let dead_addr = dead.local_addr().unwrap();
+        drop(dead);
+        let mut config = RouterConfig::direct([dead_addr]);
+        config.udp = UdpRpcConfig {
+            timeout: std::time::Duration::from_millis(1),
+            max_retries: 1,
+            ..Default::default()
+        };
+        config.default_verdict = Verdict::Deny;
+        config.breaker = None; // paper-faithful: retry budget every time
+        let router = RequestRouter::spawn(config, None).await.unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        for _ in 0..10 {
+            assert_eq!(check(&mut client, "anyone").await, Verdict::Deny);
+        }
+        let stats = router.stats();
+        assert_eq!(stats.defaulted.load(Ordering::Relaxed), 10);
+        assert_eq!(stats.breaker_fast_fails.load(Ordering::Relaxed), 0);
+        assert_eq!(router.breaker_state(0), None);
+        assert_eq!(router.hinted_keys(), 0, "ablation must not solicit hints");
+    }
+
+    #[test]
+    fn rand_seed_is_unique_within_a_process() {
+        let seeds: std::collections::HashSet<u64> = (0..1000).map(|_| rand_seed()).collect();
+        assert_eq!(seeds.len(), 1000, "seed collision within one process");
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

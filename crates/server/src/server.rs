@@ -17,7 +17,7 @@ use janus_clock::SharedClock;
 use janus_db::DbClient;
 use janus_net::fault::FaultPlan;
 use janus_net::udp::UdpServerSocket;
-use janus_types::{QosKey, QosRequest, QosResponse, Result, Verdict};
+use janus_types::{QosKey, QosRequest, QosResponse, Result, RuleHint, Verdict};
 use std::collections::HashSet;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -371,11 +371,28 @@ fn spawn_worker(
             )
             .await;
             stats.answered.fetch_add(1, Ordering::Relaxed);
-            let _ = socket
-                .send_response(&QosResponse::new(request.id, verdict), peer)
-                .await;
+            let response = respond(&table, &request, verdict);
+            let _ = socket.send_response(&response, peer).await;
         }
     });
+}
+
+/// Build the response for `request`, attaching the rule shape when the
+/// request solicited a hint. `decide` has already installed a bucket for
+/// the key (DB rule or default policy), so the shape is normally present;
+/// a concurrent `remove` simply yields a plain response, which soliciting
+/// clients must tolerate anyway.
+fn respond(table: &Arc<dyn QosTable>, request: &QosRequest, verdict: Verdict) -> QosResponse {
+    let response = QosResponse::new(request.id, verdict);
+    if !request.solicit_hint {
+        return response;
+    }
+    match table.shape(&request.key) {
+        Some((capacity, refill_rate)) => {
+            response.with_hint(RuleHint::new(capacity, refill_rate))
+        }
+        None => response,
+    }
 }
 
 /// The key-affinity listener: route each request to the worker its key
@@ -477,7 +494,7 @@ fn spawn_affinity_worker(
                 )
                 .await;
                 stats.answered.fetch_add(1, Ordering::Relaxed);
-                let response = QosResponse::new(request.id, verdict);
+                let response = respond(&table, &request, verdict);
                 match by_peer.iter_mut().find(|(addr, _)| *addr == peer) {
                     Some((_, responses)) => responses.push(response),
                     None => by_peer.push((peer, vec![response])),
@@ -1099,6 +1116,7 @@ mod tests {
         let client = UdpRpcClient::new(UdpRpcConfig {
             timeout: Duration::from_millis(500),
             max_retries: 3,
+            ..Default::default()
         });
         assert_eq!(check(&client, &server, 1, "victim").await, Verdict::Deny);
         assert!(
@@ -1108,6 +1126,70 @@ mod tests {
         // The worker survived: an already-inserted guest bucket answers
         // locally, no DB involved.
         assert_eq!(check(&client, &server, 2, "victim").await, Verdict::Deny);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn soliciting_request_receives_rule_hint() {
+        let db = spawn_db(vec![rule("hinted", 8, 2)]).await;
+        let server = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            Some(db.addr().into()),
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        let client = rpc();
+        // Plain requests stay hint-free.
+        let plain = client
+            .call(server.udp_addr(), &QosRequest::new(1, key("hinted")))
+            .await
+            .unwrap();
+        assert_eq!(plain.hint, None);
+        // A soliciting request learns the rule shape alongside the verdict.
+        let hinted = client
+            .call(
+                server.udp_addr(),
+                &QosRequest::soliciting_hint(2, key("hinted")),
+            )
+            .await
+            .unwrap();
+        let hint = hinted.hint.expect("hint solicited but absent");
+        assert_eq!(hint.capacity, Credits::from_whole(8));
+        assert_eq!(hint.refill_rate.micro_per_sec(), 2_000_000);
+        // Guest keys advertise the default policy's shape the same way.
+        let guest = client
+            .call(
+                server.udp_addr(),
+                &QosRequest::soliciting_hint(3, key("stranger")),
+            )
+            .await
+            .unwrap();
+        assert!(guest.hint.is_some(), "default-policy rule has a shape too");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn affinity_batch_path_carries_hints() {
+        // The batched worker path builds responses through the same
+        // helper; a soliciting request inside a drained batch must still
+        // get its hint.
+        let db = spawn_db(vec![rule("bh", 100, 10)]).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.workers = 2;
+        config.batching = true;
+        let server = QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        let client = rpc();
+        for id in 0..10u64 {
+            let resp = client
+                .call(
+                    server.udp_addr(),
+                    &QosRequest::soliciting_hint(id, key("bh")),
+                )
+                .await
+                .unwrap();
+            assert!(resp.hint.is_some(), "request {id} lost its hint");
+        }
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

@@ -11,10 +11,23 @@
 //! kind = 0x01 (request):   id: u64 BE | key_len: u8 | key bytes
 //! kind = 0x02 (response):  id: u64 BE | verdict: u8 (0=deny, 1=allow)
 //! kind = 0x03 (batch):     count: u16 BE | count × (item kind: u8 | item payload)
+//! kind = 0x04 (request, hint solicited):  same payload as 0x01
+//! kind = 0x05 (response + rule hint):     id: u64 BE | verdict: u8
+//!                                         | capacity: u64 BE microcredits
+//!                                         | rate: u64 BE microcredits/s
 //! ```
 //!
-//! A request for a UUID key is 49 bytes on the wire; a response is 13.
-//! Both fit in a single datagram with no fragmentation at any sane MTU.
+//! A request for a UUID key is 49 bytes on the wire; a response is 13
+//! (29 with a rule hint). All fit in a single datagram with no
+//! fragmentation at any sane MTU.
+//!
+//! Kinds 0x04/0x05 are the **rule-hint** extension: a router that wants to
+//! passively learn rule shapes sends 0x04, and a hint-aware server answers
+//! with 0x05 when a rule is in force (0x02 otherwise). Compatibility is by
+//! construction: a hint-unaware server drops the unknown 0x04 frame as
+//! garbage, so soliciting clients re-send the plain 0x01 frame on retries
+//! and lose at most one attempt against an old peer; a hint-unaware client
+//! never sends 0x04, so it is never shown an 0x05 response.
 //!
 //! The **batch** kind amortizes per-datagram syscall cost: a coalescing
 //! sender packs many requests (or responses) into one datagram, bounded
@@ -24,7 +37,10 @@
 //! old senders interoperate with new receivers ([`decode_all`] accepts
 //! both) and batching stays a per-sender opt-in.
 
-use crate::{JanusError, QosKey, QosRequest, QosResponse, Result, Verdict, MAX_KEY_BYTES};
+use crate::{
+    Credits, JanusError, QosKey, QosRequest, QosResponse, RefillRate, Result, RuleHint, Verdict,
+    MAX_KEY_BYTES,
+};
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 /// Frame magic: "JQ" for *J*anus *Q*oS.
@@ -39,9 +55,16 @@ pub const MAX_DATAGRAM_BYTES: usize = 1400;
 /// Bytes of fixed overhead in a batch datagram (header + item count).
 const BATCH_OVERHEAD: usize = 4 + 2;
 
-const KIND_REQUEST: u8 = 0x01;
-const KIND_RESPONSE: u8 = 0x02;
-const KIND_BATCH: u8 = 0x03;
+/// Frame kind: plain admission request.
+pub const KIND_REQUEST: u8 = 0x01;
+/// Frame kind: plain admission response.
+pub const KIND_RESPONSE: u8 = 0x02;
+/// Frame kind: batch container holding multiple frames.
+pub const KIND_BATCH: u8 = 0x03;
+/// Frame kind: admission request soliciting a rule hint.
+pub const KIND_REQUEST_HINT: u8 = 0x04;
+/// Frame kind: admission response carrying a rule hint.
+pub const KIND_RESPONSE_HINT: u8 = 0x05;
 
 /// A decoded frame: either direction of the admission protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,10 +93,26 @@ fn put_header(buf: &mut BytesMut, kind: u8) {
     buf.put_u8(kind);
 }
 
+fn request_kind(req: &QosRequest) -> u8 {
+    if req.solicit_hint {
+        KIND_REQUEST_HINT
+    } else {
+        KIND_REQUEST
+    }
+}
+
+fn response_kind(resp: &QosResponse) -> u8 {
+    if resp.hint.is_some() {
+        KIND_RESPONSE_HINT
+    } else {
+        KIND_RESPONSE
+    }
+}
+
 /// Encode a request into a fresh buffer.
 pub fn encode_request(req: &QosRequest) -> Bytes {
     let mut buf = BytesMut::with_capacity(4 + 8 + 1 + req.key.len());
-    put_header(&mut buf, KIND_REQUEST);
+    put_header(&mut buf, request_kind(req));
     buf.put_u64(req.id);
     debug_assert!(req.key.len() <= MAX_KEY_BYTES);
     buf.put_u8(req.key.len() as u8);
@@ -83,10 +122,14 @@ pub fn encode_request(req: &QosRequest) -> Bytes {
 
 /// Encode a response into a fresh buffer.
 pub fn encode_response(resp: &QosResponse) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + 8 + 1);
-    put_header(&mut buf, KIND_RESPONSE);
+    let mut buf = BytesMut::with_capacity(4 + 8 + 1 + 16);
+    put_header(&mut buf, response_kind(resp));
     buf.put_u64(resp.id);
     buf.put_u8(resp.verdict.as_bool() as u8);
+    if let Some(hint) = &resp.hint {
+        buf.put_u64(hint.capacity.as_micro());
+        buf.put_u64(hint.refill_rate.micro_per_sec());
+    }
     buf.freeze()
 }
 
@@ -102,23 +145,27 @@ pub fn encode(frame: &Frame) -> Bytes {
 pub fn batch_item_len(frame: &Frame) -> usize {
     match frame {
         Frame::Request(r) => 1 + 8 + 1 + r.key.len(),
-        Frame::Response(_) => 1 + 8 + 1,
+        Frame::Response(r) => 1 + 8 + 1 + if r.hint.is_some() { 16 } else { 0 },
     }
 }
 
 fn put_batch_item(buf: &mut BytesMut, frame: &Frame) {
     match frame {
         Frame::Request(req) => {
-            buf.put_u8(KIND_REQUEST);
+            buf.put_u8(request_kind(req));
             buf.put_u64(req.id);
             debug_assert!(req.key.len() <= MAX_KEY_BYTES);
             buf.put_u8(req.key.len() as u8);
             buf.put_slice(req.key.as_bytes());
         }
         Frame::Response(resp) => {
-            buf.put_u8(KIND_RESPONSE);
+            buf.put_u8(response_kind(resp));
             buf.put_u64(resp.id);
             buf.put_u8(resp.verdict.as_bool() as u8);
+            if let Some(hint) = &resp.hint {
+                buf.put_u64(hint.capacity.as_micro());
+                buf.put_u64(hint.refill_rate.micro_per_sec());
+            }
         }
     }
 }
@@ -203,6 +250,17 @@ fn parse_response_body(data: &mut &[u8]) -> Result<QosResponse> {
     Ok(QosResponse::new(id, verdict))
 }
 
+/// Parse a hint-bearing response payload (`id | verdict | capacity | rate`).
+fn parse_response_hint_body(data: &mut &[u8]) -> Result<QosResponse> {
+    let response = parse_response_body(data)?;
+    if data.len() < 16 {
+        return Err(JanusError::codec("truncated rule hint"));
+    }
+    let capacity = Credits::from_micro(data.get_u64());
+    let rate = RefillRate::from_micro_per_sec(data.get_u64());
+    Ok(response.with_hint(RuleHint::new(capacity, rate)))
+}
+
 /// Parse and validate the 4-byte header, returning the frame kind.
 fn parse_header(data: &mut &[u8]) -> Result<u8> {
     if data.len() < 4 {
@@ -243,6 +301,12 @@ pub fn decode(mut data: &[u8]) -> Result<Frame> {
     let frame = match kind {
         KIND_REQUEST => Frame::Request(parse_request_body(&mut data)?),
         KIND_RESPONSE => Frame::Response(parse_response_body(&mut data)?),
+        KIND_REQUEST_HINT => {
+            let mut request = parse_request_body(&mut data)?;
+            request.solicit_hint = true;
+            Frame::Request(request)
+        }
+        KIND_RESPONSE_HINT => Frame::Response(parse_response_hint_body(&mut data)?),
         KIND_BATCH => {
             return Err(JanusError::codec(
                 "batch frame in a single-frame context (use decode_all)",
@@ -264,6 +328,12 @@ pub fn decode_all(mut data: &[u8]) -> Result<Vec<Frame>> {
     let frames = match kind {
         KIND_REQUEST => vec![Frame::Request(parse_request_body(&mut data)?)],
         KIND_RESPONSE => vec![Frame::Response(parse_response_body(&mut data)?)],
+        KIND_REQUEST_HINT => {
+            let mut request = parse_request_body(&mut data)?;
+            request.solicit_hint = true;
+            vec![Frame::Request(request)]
+        }
+        KIND_RESPONSE_HINT => vec![Frame::Response(parse_response_hint_body(&mut data)?)],
         KIND_BATCH => {
             if data.len() < 2 {
                 return Err(JanusError::codec("truncated batch count"));
@@ -278,6 +348,14 @@ pub fn decode_all(mut data: &[u8]) -> Result<Vec<Frame>> {
                 frames.push(match item_kind {
                     KIND_REQUEST => Frame::Request(parse_request_body(&mut data)?),
                     KIND_RESPONSE => Frame::Response(parse_response_body(&mut data)?),
+                    KIND_REQUEST_HINT => {
+                        let mut request = parse_request_body(&mut data)?;
+                        request.solicit_hint = true;
+                        Frame::Request(request)
+                    }
+                    KIND_RESPONSE_HINT => {
+                        Frame::Response(parse_response_hint_body(&mut data)?)
+                    }
                     other => {
                         return Err(JanusError::codec(format!(
                             "unknown batch item kind 0x{other:02x}"
@@ -395,6 +473,92 @@ mod tests {
         assert_eq!(encode_request(&req).len(), MAX_FRAME_BYTES);
     }
 
+    fn hint(cap: u64, rate: u64) -> RuleHint {
+        RuleHint::new(Credits::from_whole(cap), RefillRate::per_second(rate))
+    }
+
+    #[test]
+    fn hint_request_roundtrip() {
+        let req = QosRequest::soliciting_hint(42, key("alice:photos"));
+        let wire = encode_request(&req);
+        assert_eq!(wire[3], KIND_REQUEST_HINT);
+        assert_eq!(decode(&wire).unwrap(), Frame::Request(req));
+    }
+
+    #[test]
+    fn hint_response_roundtrip() {
+        for verdict in [Verdict::Allow, Verdict::Deny] {
+            let resp = QosResponse::new(7, verdict).with_hint(hint(100, 40));
+            let wire = encode_response(&resp);
+            assert_eq!(wire[3], KIND_RESPONSE_HINT);
+            assert_eq!(decode(&wire).unwrap(), Frame::Response(resp));
+        }
+    }
+
+    #[test]
+    fn hint_response_is_29_bytes() {
+        let resp = QosResponse::allow(1).with_hint(hint(10, 5));
+        assert_eq!(encode_response(&resp).len(), 29);
+    }
+
+    #[test]
+    fn hint_unaware_wire_format_is_unchanged() {
+        // Direction 1 of the compatibility contract: frames from peers
+        // that never use hints are byte-for-byte the v1 format, so a
+        // hint-aware receiver and a hint-unaware receiver see identical
+        // datagrams.
+        let req = QosRequest::new(42, key("alice"));
+        let wire = encode_request(&req);
+        assert_eq!(wire[3], KIND_REQUEST);
+        let resp = QosResponse::allow(42);
+        let wire = encode_response(&resp);
+        assert_eq!(wire[3], KIND_RESPONSE);
+        assert_eq!(wire.len(), 13);
+    }
+
+    #[test]
+    fn hint_soliciting_fallback_frame_matches_plain_encoding() {
+        // Direction 2: against a hint-unaware server the soliciting
+        // client's retry frame (`without_hint`) must be exactly the plain
+        // v1 request that server understands.
+        let soliciting = QosRequest::soliciting_hint(9, key("bob"));
+        let fallback = encode_request(&soliciting.without_hint());
+        let plain = encode_request(&QosRequest::new(9, key("bob")));
+        assert_eq!(fallback, plain);
+    }
+
+    #[test]
+    fn hintless_response_to_soliciting_request_stays_v1() {
+        // A hint-aware server with no rule in force answers a soliciting
+        // request with the plain v1 response frame.
+        let resp = QosResponse::deny(3);
+        let wire = encode_response(&resp);
+        assert_eq!(wire[3], KIND_RESPONSE);
+        assert_eq!(decode(&wire).unwrap(), Frame::Response(resp));
+    }
+
+    #[test]
+    fn hint_rejects_truncation_at_every_length() {
+        let resp = QosResponse::allow(5).with_hint(hint(7, 3));
+        let wire = encode_response(&resp);
+        for cut in 0..wire.len() {
+            assert!(decode(&wire[..cut]).is_err(), "accepted {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_with_hints() {
+        let frames = vec![
+            Frame::Request(QosRequest::soliciting_hint(1, key("alice"))),
+            Frame::Response(QosResponse::allow(2).with_hint(hint(50, 25))),
+            Frame::Request(QosRequest::new(3, key("bob"))),
+            Frame::Response(QosResponse::deny(4)),
+        ];
+        let datagrams = encode_batch(&frames);
+        assert_eq!(datagrams.len(), 1);
+        assert_eq!(decode_all(&datagrams[0]).unwrap(), frames);
+    }
+
     #[test]
     fn batch_roundtrip_mixed() {
         let frames = vec![
@@ -481,17 +645,32 @@ mod tests {
         fn any_batch_roundtrips_within_budget(
             specs in proptest::collection::vec(
                 prop_oneof![
-                    (any::<u64>(), "[ -~]{1,255}").prop_map(|(id, s)| (Some(s), id, false)),
-                    (any::<u64>(), any::<bool>()).prop_map(|(id, allow)| (None, id, allow)),
+                    (any::<u64>(), "[ -~]{1,255}", any::<bool>())
+                        .prop_map(|(id, s, solicit)| (Some((s, solicit)), id, false, None)),
+                    (any::<u64>(), any::<bool>(), proptest::option::of((any::<u64>(), any::<u64>())))
+                        .prop_map(|(id, allow, hint)| (None, id, allow, hint)),
                 ],
                 0..200,
             ),
         ) {
             let frames: Vec<Frame> = specs
                 .iter()
-                .map(|(s, id, allow)| match s {
-                    Some(s) => Frame::Request(QosRequest::new(*id, key(s))),
-                    None => Frame::Response(QosResponse::new(*id, Verdict::from_bool(*allow))),
+                .map(|(s, id, allow, hint)| match s {
+                    Some((s, solicit)) => Frame::Request(if *solicit {
+                        QosRequest::soliciting_hint(*id, key(s))
+                    } else {
+                        QosRequest::new(*id, key(s))
+                    }),
+                    None => {
+                        let mut resp = QosResponse::new(*id, Verdict::from_bool(*allow));
+                        if let Some((cap, rate)) = hint {
+                            resp = resp.with_hint(RuleHint::new(
+                                Credits::from_micro(*cap),
+                                RefillRate::from_micro_per_sec(*rate),
+                            ));
+                        }
+                        Frame::Response(resp)
+                    }
                 })
                 .collect();
             let datagrams = encode_batch(&frames);
@@ -518,6 +697,15 @@ mod tests {
         #[test]
         fn any_response_roundtrips(id: u64, allow: bool) {
             let resp = QosResponse::new(id, Verdict::from_bool(allow));
+            let wire = encode_response(&resp);
+            prop_assert_eq!(decode(&wire).unwrap(), Frame::Response(resp));
+        }
+
+        #[test]
+        fn any_hinted_response_roundtrips(id: u64, allow: bool, cap: u64, rate: u64) {
+            let resp = QosResponse::new(id, Verdict::from_bool(allow)).with_hint(
+                RuleHint::new(Credits::from_micro(cap), RefillRate::from_micro_per_sec(rate)),
+            );
             let wire = encode_response(&resp);
             prop_assert_eq!(decode(&wire).unwrap(), Frame::Response(resp));
         }

@@ -27,5 +27,5 @@ mod rule;
 pub use credits::{Credits, RefillRate, MICROCREDITS_PER_CREDIT};
 pub use error::{JanusError, Result};
 pub use key::{KeyError, QosKey, MAX_KEY_BYTES};
-pub use message::{QosRequest, QosResponse, RequestId, Verdict};
+pub use message::{QosRequest, QosResponse, RequestId, RuleHint, Verdict};
 pub use rule::QosRule;

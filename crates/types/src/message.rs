@@ -1,6 +1,6 @@
 //! The key-value admission request/response protocol.
 
-use crate::QosKey;
+use crate::{Credits, QosKey, RefillRate};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -58,6 +58,45 @@ impl From<bool> for Verdict {
     }
 }
 
+/// The shape of the rule a verdict was decided under: bucket capacity and
+/// refill rate, without the live credit (which only the owning QoS server
+/// may spend).
+///
+/// A QoS server attaches a hint to its response when the request solicited
+/// one, letting routers passively learn the rules they forward. During a
+/// partition brownout a router divides the hinted shape by the fleet size
+/// and serves *degraded local admission* from a router-local bucket, so N
+/// stateless routers jointly approximate the purchased rate instead of
+/// falling back to a blind default reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleHint {
+    /// Bucket capacity of the rule in force.
+    pub capacity: Credits,
+    /// Refill rate of the rule in force.
+    pub refill_rate: RefillRate,
+}
+
+impl RuleHint {
+    /// A hint advertising the given shape.
+    pub fn new(capacity: Credits, refill_rate: RefillRate) -> Self {
+        RuleHint {
+            capacity,
+            refill_rate,
+        }
+    }
+
+    /// The shape divided across `n` enforcers (degraded local admission:
+    /// each of N routers enforces 1/N of the purchased rate). `n` is
+    /// clamped to at least 1.
+    pub fn split_across(self, n: usize) -> Self {
+        let n = n.max(1) as u64;
+        RuleHint {
+            capacity: Credits::from_micro(self.capacity.as_micro() / n),
+            refill_rate: RefillRate::from_micro_per_sec(self.refill_rate.micro_per_sec() / n),
+        }
+    }
+}
+
 /// A QoS request: "may the holder of `key` make one more call?"
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QosRequest {
@@ -65,12 +104,41 @@ pub struct QosRequest {
     pub id: RequestId,
     /// The QoS key to charge.
     pub key: QosKey,
+    /// Ask the QoS server to include a [`RuleHint`] in its response. Off
+    /// the wire this selects the hint-soliciting frame kind; a
+    /// hint-unaware server ignores such a frame, so soliciting clients
+    /// fall back to the plain frame on retries.
+    #[serde(default)]
+    pub solicit_hint: bool,
 }
 
 impl QosRequest {
     /// A new request for `key` with correlation id `id`.
     pub fn new(id: RequestId, key: QosKey) -> Self {
-        QosRequest { id, key }
+        QosRequest {
+            id,
+            key,
+            solicit_hint: false,
+        }
+    }
+
+    /// A request that also solicits a rule hint in the response.
+    pub fn soliciting_hint(id: RequestId, key: QosKey) -> Self {
+        QosRequest {
+            id,
+            key,
+            solicit_hint: true,
+        }
+    }
+
+    /// This request without the hint solicitation (the retry fallback
+    /// frame understood by hint-unaware servers).
+    pub fn without_hint(&self) -> Self {
+        QosRequest {
+            id: self.id,
+            key: self.key.clone(),
+            solicit_hint: false,
+        }
     }
 }
 
@@ -81,12 +149,26 @@ pub struct QosResponse {
     pub id: RequestId,
     /// The decision.
     pub verdict: Verdict,
+    /// The shape of the rule the verdict was decided under, present only
+    /// when the request solicited it and a rule was in force.
+    #[serde(default)]
+    pub hint: Option<RuleHint>,
 }
 
 impl QosResponse {
     /// A new response answering request `id`.
     pub fn new(id: RequestId, verdict: Verdict) -> Self {
-        QosResponse { id, verdict }
+        QosResponse {
+            id,
+            verdict,
+            hint: None,
+        }
+    }
+
+    /// This response with a rule hint attached.
+    pub fn with_hint(mut self, hint: RuleHint) -> Self {
+        self.hint = Some(hint);
+        self
     }
 
     /// An `Allow` response for request `id`.
@@ -125,5 +207,29 @@ mod tests {
         assert_eq!(QosResponse::allow(7).verdict, Verdict::Allow);
         assert_eq!(QosResponse::deny(7).verdict, Verdict::Deny);
         assert_eq!(QosResponse::allow(7).id, 7);
+        assert_eq!(QosResponse::allow(7).hint, None);
+    }
+
+    #[test]
+    fn hint_solicitation_constructors() {
+        let key = QosKey::new("k").unwrap();
+        assert!(!QosRequest::new(1, key.clone()).solicit_hint);
+        let soliciting = QosRequest::soliciting_hint(1, key);
+        assert!(soliciting.solicit_hint);
+        let plain = soliciting.without_hint();
+        assert!(!plain.solicit_hint);
+        assert_eq!(plain.id, soliciting.id);
+        assert_eq!(plain.key, soliciting.key);
+    }
+
+    #[test]
+    fn hint_splits_across_fleet() {
+        let hint = RuleHint::new(Credits::from_whole(100), RefillRate::per_second(40));
+        let quarter = hint.split_across(4);
+        assert_eq!(quarter.capacity, Credits::from_whole(25));
+        assert_eq!(quarter.refill_rate, RefillRate::per_second(10));
+        // Degenerate fleet sizes clamp to identity.
+        assert_eq!(hint.split_across(0), hint);
+        assert_eq!(hint.split_across(1), hint);
     }
 }

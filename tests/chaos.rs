@@ -100,6 +100,45 @@ async fn admissions_conserved_across_master_crash_and_failover() {
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn scripted_chaos_soak_holds_invariants() {
+    // The full brownout schedule: baseline -> master kill (failover) ->
+    // partition blackout (breakers open, degraded local admission) ->
+    // DB outage (Multi-AZ failover) -> heal. The harness scores safety
+    // (no overselling beyond the bounded authority-transfer slack),
+    // availability, and breaker recovery; the report is archived for CI.
+    let report = janus_core::run_chaos_soak(janus_core::ChaosConfig::default())
+        .await
+        .unwrap();
+
+    assert!(
+        report.safety_ok,
+        "oversold: {} admissions > bound {}",
+        report.total_allowed, report.admission_bound
+    );
+    assert!(
+        report.availability_ok,
+        "availability {:.4} under floor {:.2} ({} errors)",
+        report.availability, report.availability_floor, report.total_errors
+    );
+    assert!(
+        report.breaker_recovery_ok,
+        "breakers did not close after heal (fast_fails={})",
+        report.breaker_fast_fails
+    );
+    // The schedule really exercised the brownout path: breakers tripped
+    // and degraded admission both allowed and denied traffic.
+    assert!(report.breaker_fast_fails > 0, "blackout never tripped a breaker");
+    assert!(report.degraded_allowed > 0, "degraded admission never allowed");
+    assert!(report.degraded_denied > 0, "degraded admission never throttled");
+
+    // Archive the report where CI expects it (repo-root results/; the
+    // test binary's cwd is the bench crate).
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("chaos_soak.json"), report.to_json_string().unwrap()).unwrap();
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn every_partition_crash_is_localized() {
     // 3 partitions, no HA. Crash each master in turn; only that
     // partition's keys degrade to the router default, the others keep
@@ -126,6 +165,7 @@ async fn every_partition_crash_is_localized() {
         udp: janus_core::UdpRpcConfig {
             timeout: Duration::from_millis(2),
             max_retries: 1,
+            ..Default::default()
         },
         default_verdict: Verdict::Deny,
         ..Default::default()

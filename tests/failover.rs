@@ -98,6 +98,7 @@ async fn dead_partition_degrades_to_default_reply() {
         udp: janus_core::UdpRpcConfig {
             timeout: Duration::from_millis(2),
             max_retries: 2,
+            ..Default::default()
         },
         default_verdict: Verdict::Deny,
         ..Default::default()
@@ -244,6 +245,86 @@ async fn db_failover_is_transparent_to_qos_servers() {
         deployment.active_db_addr().unwrap(),
         deployment.db_standby().unwrap().addr()
     );
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn db_failover_racing_the_miss_path_defaults_then_recovers() {
+    // A database that *hangs* mid-failover is nastier than one that
+    // dies: an in-flight first-sighting lookup must burn
+    // `db_fetch_timeout`, fall back to the default policy, and the next
+    // miss after the standby's promotion must be authoritative again.
+    let mut server = QosServerConfig::test_defaults();
+    server.db_fetch_timeout = Duration::from_millis(150);
+    let config = DeploymentConfig {
+        qos_servers: 1,
+        routers: 1,
+        db_ha: true,
+        server,
+        // Give the router patience to see the server's own fallback
+        // verdict (the server sits in the DB timeout before answering).
+        udp: janus_core::UdpRpcConfig {
+            timeout: Duration::from_millis(400),
+            max_retries: 2,
+            ..Default::default()
+        },
+        rules: vec![
+            QosRule::per_second(key("racer"), 3, 0),
+            QosRule::per_second(key("after"), 5, 0),
+        ],
+        default_verdict: Verdict::Deny,
+        ..Default::default()
+    };
+    let mut deployment = Deployment::launch(config).await.unwrap();
+    let mut client = deployment.client().await.unwrap();
+
+    // A tarpit that accepts DB connections and never answers a byte.
+    let tarpit = tokio::net::TcpListener::bind(("127.0.0.1", 0)).await.unwrap();
+    let tarpit_addr = tarpit.local_addr().unwrap();
+    let tarpit_task = tokio::spawn(async move {
+        let mut held = Vec::new();
+        loop {
+            if let Ok((socket, _)) = tarpit.accept().await {
+                held.push(socket);
+            }
+        }
+    });
+
+    // Point the failover record's primary at the tarpit, then kill the
+    // real master. The database is now "hung": the health monitor still
+    // sees an accepting socket, so no promotion happens yet.
+    let standby_addr = deployment.db_standby().unwrap().addr();
+    deployment.zone().insert_failover(
+        deployment.db_dns_name(),
+        tarpit_addr,
+        Some(standby_addr),
+        Duration::ZERO,
+    );
+    deployment.kill_db_master();
+
+    // First sighting of "racer" races the hung DB: the lookup blows the
+    // fetch budget and falls back to the default policy (Deny) even
+    // though its rule would have allowed it.
+    assert!(
+        !client.qos_check(&key("racer")).await.unwrap(),
+        "hung DB lookup did not fall back to the default policy"
+    );
+    let stats = deployment.qos_master(0).unwrap().stats().snapshot();
+    assert!(stats.db_timeouts >= 1, "lookup never hit db_fetch_timeout");
+    assert!(stats.default_rule_hits >= 1);
+
+    // The tarpit finally dies; the monitor's probes start failing and
+    // the standby is promoted.
+    tarpit_task.abort();
+    deployment
+        .await_db_failover(Duration::from_secs(5))
+        .await
+        .unwrap();
+
+    // The next miss is served from the promoted standby. (The raced key
+    // keeps its cached guest bucket — the fallback was already
+    // recorded, deliberately.)
+    assert!(client.qos_check(&key("after")).await.unwrap());
+    assert!(!client.qos_check(&key("racer")).await.unwrap());
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

@@ -108,6 +108,7 @@ async fn tiny_fifo_sheds_load_instead_of_collapsing() {
             let rpc = UdpRpcClient::new(UdpRpcConfig {
                 timeout: Duration::from_millis(5),
                 max_retries: 1,
+                ..Default::default()
             });
             rpc.call(server.udp_addr(), &QosRequest::new(id, key("flood")))
                 .await
@@ -160,6 +161,7 @@ async fn network_healing_restores_service() {
     let rpc = UdpRpcClient::new(UdpRpcConfig {
         timeout: Duration::from_millis(2),
         max_retries: 2,
+        ..Default::default()
     });
     // Total blackout: calls fail.
     assert!(rpc
@@ -241,6 +243,7 @@ async fn batching_preserves_per_request_timeout_semantics_under_blackout() {
         UdpRpcConfig {
             timeout: Duration::from_millis(2),
             max_retries: 5,
+            ..Default::default()
         },
         BatchConfig::default(),
         blackout,
