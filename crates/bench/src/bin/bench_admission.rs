@@ -9,7 +9,13 @@
 //! ```text
 //! cargo run --release -p janus-bench --bin bench_admission
 //! cargo run --release -p janus-bench --bin bench_admission -- --quick --json
+//! cargo run --release -p janus-bench --bin bench_admission -- --smoke
 //! ```
+//!
+//! `--smoke` (the CI preset) runs every variant at 1 client ×
+//! 1000 requests purely as a did-the-data-plane-survive check; it prints
+//! the table but deliberately does **not** rewrite `BENCH_admission.json`
+//! — a loaded CI box would overwrite real measurements with noise.
 
 use janus_bench::live::{admission_variants, run_admission_variant, AdmissionPoint};
 use janus_bench::{fmt_krps, print_table, FigureCli};
@@ -32,7 +38,9 @@ fn main() {
         .build()
         .expect("tokio runtime");
 
-    let (client_sweep, per_client) = if cli.quick {
+    let (client_sweep, per_client) = if cli.smoke {
+        (vec![1], 1_000)
+    } else if cli.quick {
         (vec![8], 500)
     } else {
         (vec![1, 4, 8, 16], 2_000)
@@ -60,9 +68,14 @@ fn main() {
         points,
     };
 
-    let json = serde_json::to_string_pretty(&output).expect("serializable");
-    std::fs::write("BENCH_admission.json", format!("{json}\n")).expect("write BENCH_admission.json");
-    eprintln!("wrote BENCH_admission.json");
+    if cli.smoke {
+        eprintln!("smoke run: BENCH_admission.json left untouched");
+    } else {
+        let json = serde_json::to_string_pretty(&output).expect("serializable");
+        std::fs::write("BENCH_admission.json", format!("{json}\n"))
+            .expect("write BENCH_admission.json");
+        eprintln!("wrote BENCH_admission.json");
+    }
 
     cli.emit(&output, |out| {
         let rows: Vec<Vec<String>> = out
@@ -71,18 +84,30 @@ fn main() {
             .map(|p| {
                 vec![
                     p.mode.clone(),
+                    p.table_kind.to_string(),
                     p.clients.to_string(),
                     fmt_krps(p.krps * 1_000.0),
                     p.completed.to_string(),
                     p.timed_out.to_string(),
                     p.shed.to_string(),
+                    p.cas_retries.to_string(),
                     format!("{:.1}ms", p.elapsed_ms),
                 ]
             })
             .collect();
         print_table(
             "Admission data plane: batched vs single-frame (live loopback)",
-            &["mode", "clients", "krps", "completed", "timed_out", "shed", "elapsed"],
+            &[
+                "mode",
+                "table_kind",
+                "clients",
+                "krps",
+                "completed",
+                "timed_out",
+                "shed",
+                "cas_retries",
+                "elapsed",
+            ],
             &rows,
         );
     });

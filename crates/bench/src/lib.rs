@@ -17,6 +17,10 @@ pub struct FigureCli {
     pub json: bool,
     /// Use the fast simulation preset.
     pub quick: bool,
+    /// Smallest possible correctness-only run (the CI smoke preset,
+    /// smaller still than `--quick`). Binaries that support it must not
+    /// overwrite checked-in measurement files under it.
+    pub smoke: bool,
     /// Run the live (loopback-process) variant where one exists.
     pub live: bool,
     /// Seed for deterministic runs.
@@ -30,6 +34,7 @@ impl FigureCli {
         let mut cli = FigureCli {
             json: false,
             quick: false,
+            smoke: false,
             live: false,
             seed: 2018,
         };
@@ -38,6 +43,7 @@ impl FigureCli {
             match arg.as_str() {
                 "--json" => cli.json = true,
                 "--quick" => cli.quick = true,
+                "--smoke" => cli.smoke = true,
                 "--live" => cli.live = true,
                 "--seed" => {
                     cli.seed = iter
@@ -48,6 +54,7 @@ impl FigureCli {
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --json (machine output) --quick (fast preset) \
+                         --smoke (tiny CI correctness run) \
                          --live (real loopback run where supported) --seed <n>"
                     );
                     std::process::exit(0);

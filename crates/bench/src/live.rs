@@ -36,6 +36,13 @@ pub struct AdmissionVariant {
 pub fn admission_variants() -> Vec<AdmissionVariant> {
     vec![
         AdmissionVariant {
+            name: "batched+affinity+lock_free",
+            dispatch: DispatchMode::KeyAffinity,
+            table: TableKind::LockFree,
+            server_batching: true,
+            client_batching: true,
+        },
+        AdmissionVariant {
             name: "batched+affinity+per_worker",
             dispatch: DispatchMode::KeyAffinity,
             table: TableKind::PerWorker,
@@ -63,7 +70,27 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             server_batching: false,
             client_batching: false,
         },
+        AdmissionVariant {
+            // Shared FIFO is the worst interleaving for the CAS loop
+            // (any worker decides any key); this point isolates the
+            // table discipline with dispatch held at the paper baseline.
+            name: "unbatched+shared_fifo+lock_free",
+            dispatch: DispatchMode::SharedFifo,
+            table: TableKind::LockFree,
+            server_batching: false,
+            client_batching: false,
+        },
     ]
+}
+
+/// Stable JSON label for a [`TableKind`] (the `table_kind` column).
+pub fn table_kind_label(kind: TableKind) -> &'static str {
+    match kind {
+        TableKind::Sharded => "sharded",
+        TableKind::Synchronized => "synchronized",
+        TableKind::PerWorker => "per_worker",
+        TableKind::LockFree => "lock_free",
+    }
 }
 
 /// One measured point of the sweep.
@@ -71,6 +98,10 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
 pub struct AdmissionPoint {
     /// Which [`AdmissionVariant`] produced this point.
     pub mode: String,
+    /// The variant's table discipline (see [`table_kind_label`]), so the
+    /// lock ablation can be sliced out of the sweep without parsing
+    /// `mode`.
+    pub table_kind: &'static str,
     /// Concurrent client tasks sharing the pooled socket.
     pub clients: usize,
     /// Checks each client issued.
@@ -85,6 +116,12 @@ pub struct AdmissionPoint {
     pub krps: f64,
     /// Datagrams the server shed at full queues.
     pub shed: u64,
+    /// Bucket CAS retries the server's table paid (lock-free only).
+    pub cas_retries: u64,
+    /// Open-addressing probe steps beyond the home slot (lock-free only).
+    pub probe_steps: u64,
+    /// Receive buffers served from the recycle pool instead of malloc.
+    pub pool_recycle_hits: u64,
 }
 
 /// Run one variant: spawn a standalone allow-all QoS server configured
@@ -159,6 +196,7 @@ pub async fn run_admission_variant(
     let stats = server.stats().snapshot();
     AdmissionPoint {
         mode: variant.name.to_string(),
+        table_kind: table_kind_label(variant.table),
         clients,
         requests_per_client,
         completed,
@@ -166,6 +204,9 @@ pub async fn run_admission_variant(
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         krps: completed as f64 / elapsed.as_secs_f64() / 1e3,
         shed: stats.shed,
+        cas_retries: stats.cas_retries,
+        probe_steps: stats.probe_steps,
+        pool_recycle_hits: stats.pool_recycle_hits,
     }
 }
 
@@ -178,8 +219,13 @@ mod tests {
         for variant in admission_variants() {
             let point = run_admission_variant(&variant, 2, 10).await;
             assert_eq!(point.mode, variant.name);
+            assert_eq!(point.table_kind, table_kind_label(variant.table));
             assert_eq!(point.completed + point.timed_out, 20, "{}", variant.name);
             assert!(point.completed > 0, "{} completed nothing", variant.name);
+            if variant.table != TableKind::LockFree {
+                assert_eq!(point.cas_retries, 0, "{}: locked tables never CAS", variant.name);
+                assert_eq!(point.probe_steps, 0, "{}", variant.name);
+            }
         }
     }
 }

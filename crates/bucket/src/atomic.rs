@@ -1,0 +1,609 @@
+//! A wait-free leaky bucket: credit and refill anchor packed into one
+//! [`AtomicU64`], updated by a single CAS.
+//!
+//! [`LeakyBucket`] needs a `&mut` (in practice: a mutex) because its state
+//! — credit plus anchor timestamp — is two words. [`AtomicBucket`] packs a
+//! reduced form of both into one word so the decision fast path is a load,
+//! a handful of register ops, and one `compare_exchange`: no lock, no
+//! blocking, and a *pure read* on the deny path.
+//!
+//! # Packing
+//!
+//! ```text
+//! 63          40 39                        0
+//! +------------+---------------------------+
+//! | anchor tick|        credit (µc)        |
+//! |  24 bits   |          40 bits          |
+//! +------------+---------------------------+
+//! ```
+//!
+//! * **Credit** is stored in microcredits, saturating at 2⁴⁰ − 1 µc
+//!   (≈ 1.099 M whole credits — above any capacity in the evaluation;
+//!   larger capacities are honored up to that ceiling).
+//! * **Anchor** is the refill anchor quantized to 1 ms ticks, kept modulo
+//!   2²⁴ (≈ 4.66 h of wrap range).
+//!
+//! # Quantization contract
+//!
+//! Elapsed time is measured between *ticks*, with the anchor rounded **up**
+//! to a tick on every write and `now` rounded **down** on every read — so
+//! measured elapsed never exceeds true elapsed and the bucket can only
+//! under-refill, never oversell. When every observation lands on a whole
+//! tick (all integration tests and any schedule built from `from_secs` /
+//! `from_millis`), floor and ceil coincide and the bucket is **bit-for-bit
+//! identical** to [`LeakyBucket`] — the property tests below pin this.
+//!
+//! The modular anchor distinguishes "time went backwards" (UDP reordering)
+//! from forward progress by the half-range rule: a modular difference of
+//! ≥ 2²³ ticks (~2.33 h) reads as backwards, which mints nothing — the
+//! safe direction. A *genuine* forward jump beyond 2.33 h between touches
+//! would therefore forfeit its refill; the QoS server's housekeeping sweep
+//! (every ≤ 100 ms) makes that unreachable in a running system, and the
+//! failure mode is under-admission, never a rate violation.
+
+use crate::LeakyBucket;
+use janus_clock::Nanos;
+use janus_types::{Credits, QosRule, RefillRate, Verdict, MICROCREDITS_PER_CREDIT};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+const CREDIT_BITS: u32 = 40;
+const CREDIT_MASK: u64 = (1 << CREDIT_BITS) - 1;
+const TICK_MASK: u64 = (1 << 24) - 1;
+const TICK_HALF_RANGE: u64 = 1 << 23;
+/// One anchor tick in nanoseconds (1 ms).
+const TICK_NANOS: u64 = 1_000_000;
+
+fn pack(credit_micro: u64, tick: u64) -> u64 {
+    debug_assert!(credit_micro <= CREDIT_MASK);
+    debug_assert!(tick <= TICK_MASK);
+    (tick << CREDIT_BITS) | credit_micro
+}
+
+fn unpack(state: u64) -> (u64, u64) {
+    (state & CREDIT_MASK, state >> CREDIT_BITS)
+}
+
+/// `now` quantized down to a tick (read side: never overstates elapsed).
+fn floor_tick(now: Nanos) -> u64 {
+    (now.as_nanos() / TICK_NANOS) & TICK_MASK
+}
+
+/// `now` quantized up to a tick (write side: an anchor in the slight
+/// future under-counts the next interval rather than over-counting it).
+fn ceil_tick(now: Nanos) -> u64 {
+    (now.as_nanos().div_ceil(TICK_NANOS)) & TICK_MASK
+}
+
+/// Elapsed whole ticks from `anchor` to `now_floor` and the anchor the
+/// next state should carry. Modular half-range comparison: apparent
+/// backwards motion (or a wrap-scale forward jump) yields zero elapsed
+/// and keeps the old anchor — the atomic analogue of
+/// `anchor.max(now)` + `saturating_since`.
+fn elapsed_ticks(anchor: u64, now_floor: u64, now_ceil: u64) -> (u64, u64) {
+    let diff = now_floor.wrapping_sub(anchor) & TICK_MASK;
+    if diff >= TICK_HALF_RANGE {
+        (0, anchor)
+    } else {
+        (diff, now_ceil)
+    }
+}
+
+/// A leaky bucket whose fast path is one CAS loop on a single
+/// [`AtomicU64`] — see the module docs for the packing and quantization
+/// contract. Shape (capacity, refill rate) lives in two further relaxed
+/// atomics so control-plane rule updates need no lock either.
+#[derive(Debug)]
+pub struct AtomicBucket {
+    /// Packed `(anchor_tick << 40) | credit_micro`.
+    state: AtomicU64,
+    /// Capacity in microcredits.
+    capacity: AtomicU64,
+    /// Refill rate in microcredits per second.
+    rate: AtomicU64,
+}
+
+impl AtomicBucket {
+    /// A bucket initialized from a rule at `now` (credit clamped to
+    /// capacity, like [`LeakyBucket::from_rule`]).
+    pub fn from_rule(rule: &QosRule, now: Nanos) -> Self {
+        let cap = rule.capacity.as_micro();
+        let credit = rule.credit.as_micro().min(cap).min(CREDIT_MASK);
+        AtomicBucket {
+            state: AtomicU64::new(pack(credit, ceil_tick(now))),
+            capacity: AtomicU64::new(cap),
+            rate: AtomicU64::new(rule.refill_rate.micro_per_sec()),
+        }
+    }
+
+    /// A full bucket with the given shape, anchored at `now`.
+    pub fn full(capacity: Credits, refill_rate: RefillRate, now: Nanos) -> Self {
+        let cap = capacity.as_micro();
+        AtomicBucket {
+            state: AtomicU64::new(pack(cap.min(CREDIT_MASK), ceil_tick(now))),
+            capacity: AtomicU64::new(cap),
+            rate: AtomicU64::new(refill_rate.micro_per_sec()),
+        }
+    }
+
+    /// Bucket capacity `C`.
+    pub fn capacity(&self) -> Credits {
+        Credits::from_micro(self.capacity.load(Ordering::Relaxed))
+    }
+
+    /// Refill rate `A`.
+    pub fn refill_rate(&self) -> RefillRate {
+        RefillRate::from_micro_per_sec(self.rate.load(Ordering::Relaxed))
+    }
+
+    /// Credit derived from `state` at `now`, clamped to `[0, C]` (and to
+    /// the packed-field ceiling).
+    fn derive(&self, state: u64, now_floor: u64) -> u64 {
+        let (credit, anchor) = unpack(state);
+        let (ticks, _) = elapsed_ticks(anchor, now_floor, now_floor);
+        let rate = RefillRate::from_micro_per_sec(self.rate.load(Ordering::Relaxed));
+        let accrued = rate.accrued_over(Duration::from_millis(ticks)).as_micro();
+        credit
+            .saturating_add(accrued)
+            .min(self.capacity.load(Ordering::Relaxed))
+            .min(CREDIT_MASK)
+    }
+
+    /// Credit available at `now` — a pure read, no state change.
+    pub fn credit(&self, now: Nanos) -> Credits {
+        let state = self.state.load(Ordering::Relaxed);
+        Credits::from_micro(self.derive(state, floor_tick(now)))
+    }
+
+    /// Decide one request at `now`: admit (and consume one whole credit)
+    /// iff at least one is available. Lock-free; the deny path is a pure
+    /// read (no CAS at all).
+    pub fn try_consume(&self, now: Nanos) -> Verdict {
+        self.try_consume_counted(now).0
+    }
+
+    /// [`Self::try_consume`], also reporting how many CAS retries the
+    /// decision took (0 on the uncontended path). Tables aggregate this
+    /// into their exported contention counters.
+    pub fn try_consume_counted(&self, now: Nanos) -> (Verdict, u64) {
+        let now_floor = floor_tick(now);
+        let now_ceil = ceil_tick(now);
+        let mut retries = 0u64;
+        let mut state = self.state.load(Ordering::Relaxed);
+        loop {
+            let current = self.derive(state, now_floor);
+            if current < MICROCREDITS_PER_CREDIT {
+                // Deny consumes nothing and (like LeakyBucket) leaves the
+                // anchor alone, so fractional accrual keeps compounding
+                // from the original anchor with no rounding loss.
+                return (Verdict::Deny, retries);
+            }
+            let (_, anchor) = unpack(state);
+            let (_, new_anchor) = elapsed_ticks(anchor, now_floor, now_ceil);
+            let next = pack(current - MICROCREDITS_PER_CREDIT, new_anchor);
+            match self.state.compare_exchange_weak(
+                state,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return (Verdict::Allow, retries),
+                Err(actual) => {
+                    retries += 1;
+                    state = actual;
+                }
+            }
+        }
+    }
+
+    /// Fold accrued credit into the stored state and advance the anchor
+    /// to `now` — the housekeeping-sweep discipline. Returns CAS retries.
+    pub fn refill(&self, now: Nanos) -> u64 {
+        let now_floor = floor_tick(now);
+        let now_ceil = ceil_tick(now);
+        let mut retries = 0u64;
+        let mut state = self.state.load(Ordering::Relaxed);
+        loop {
+            let (_, anchor) = unpack(state);
+            let (ticks, new_anchor) = elapsed_ticks(anchor, now_floor, now_ceil);
+            if ticks == 0 && new_anchor == anchor {
+                return retries;
+            }
+            let next = pack(self.derive(state, now_floor), new_anchor);
+            match self.state.compare_exchange_weak(
+                state,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return retries,
+                Err(actual) => {
+                    retries += 1;
+                    state = actual;
+                }
+            }
+        }
+    }
+
+    /// Replace the bucket's shape from an updated rule, preserving accrued
+    /// credit clamped to the new capacity (mirrors
+    /// [`LeakyBucket::apply_rule_update`]).
+    pub fn apply_rule_update(&self, rule: &QosRule, now: Nanos) {
+        // Fold accrual at the *old* rate up to now, then swap the shape,
+        // then clamp. Concurrent consumers interleaving between the steps
+        // observe one shape or the other — never minted credit.
+        self.refill(now);
+        self.capacity
+            .store(rule.capacity.as_micro(), Ordering::Relaxed);
+        self.rate
+            .store(rule.refill_rate.micro_per_sec(), Ordering::Relaxed);
+        let cap = rule.capacity.as_micro().min(CREDIT_MASK);
+        let mut state = self.state.load(Ordering::Relaxed);
+        loop {
+            let (credit, anchor) = unpack(state);
+            if credit <= cap {
+                return;
+            }
+            let next = pack(cap, anchor);
+            match self.state.compare_exchange_weak(
+                state,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => state = actual,
+            }
+        }
+    }
+
+    /// Overwrite the credit (adopting a check-point or HA snapshot),
+    /// clamped to capacity, anchoring at `now`.
+    pub fn set_credit(&self, credit: Credits, now: Nanos) {
+        let clamped = credit
+            .as_micro()
+            .min(self.capacity.load(Ordering::Relaxed))
+            .min(CREDIT_MASK);
+        let now_floor = floor_tick(now);
+        let now_ceil = ceil_tick(now);
+        let mut state = self.state.load(Ordering::Relaxed);
+        loop {
+            let (_, anchor) = unpack(state);
+            let (_, new_anchor) = elapsed_ticks(anchor, now_floor, now_ceil);
+            let next = pack(clamped, new_anchor);
+            match self.state.compare_exchange_weak(
+                state,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => state = actual,
+            }
+        }
+    }
+
+    /// Overwrite shape and credit in place from a rule. The three stores
+    /// are not atomic as a group: callers must ensure no concurrent
+    /// readers (the lock-free table only uses this on slots that are
+    /// reserved but not yet published).
+    pub fn store_rule(&self, rule: &QosRule, now: Nanos) {
+        let cap = rule.capacity.as_micro();
+        self.capacity.store(cap, Ordering::Relaxed);
+        self.rate
+            .store(rule.refill_rate.micro_per_sec(), Ordering::Relaxed);
+        let credit = rule.credit.as_micro().min(cap).min(CREDIT_MASK);
+        self.state
+            .store(pack(credit, ceil_tick(now)), Ordering::Relaxed);
+    }
+
+    /// Export as a rule row with credit evaluated at `now`.
+    pub fn to_rule(&self, key: janus_types::QosKey, now: Nanos) -> QosRule {
+        QosRule {
+            key,
+            capacity: self.capacity(),
+            refill_rate: self.refill_rate(),
+            credit: self.credit(now),
+        }
+    }
+
+    /// A locked-bucket twin with identical observable state at `now`
+    /// (test and migration helper).
+    pub fn to_leaky(&self, now: Nanos) -> LeakyBucket {
+        let mut bucket = LeakyBucket::full(self.capacity(), self.refill_rate(), now);
+        bucket.set_credit(Credits::ZERO, now);
+        bucket.add_credit(self.credit(now));
+        bucket
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::sync::Arc;
+
+    fn ms(m: u64) -> Nanos {
+        Nanos::from_millis(m)
+    }
+
+    fn bucket(cap: u64, rate: u64) -> AtomicBucket {
+        AtomicBucket::full(
+            Credits::from_whole(cap),
+            RefillRate::per_second(rate),
+            Nanos::ZERO,
+        )
+    }
+
+    fn locked(cap: u64, rate: u64) -> LeakyBucket {
+        LeakyBucket::full(
+            Credits::from_whole(cap),
+            RefillRate::per_second(rate),
+            Nanos::ZERO,
+        )
+    }
+
+    #[test]
+    fn packing_roundtrips() {
+        for (credit, tick) in [(0, 0), (CREDIT_MASK, TICK_MASK), (1_000_000, 42)] {
+            assert_eq!(unpack(pack(credit, tick)), (credit, tick));
+        }
+    }
+
+    #[test]
+    fn starts_full_and_consumes_one() {
+        let b = bucket(10, 0);
+        assert_eq!(b.credit(Nanos::ZERO), Credits::from_whole(10));
+        assert_eq!(b.try_consume(Nanos::ZERO), Verdict::Allow);
+        assert_eq!(b.credit(Nanos::ZERO), Credits::from_whole(9));
+    }
+
+    #[test]
+    fn denies_when_dry_without_state_change() {
+        let b = bucket(2, 0);
+        assert_eq!(b.try_consume(Nanos::ZERO), Verdict::Allow);
+        assert_eq!(b.try_consume(Nanos::ZERO), Verdict::Allow);
+        let state = b.state.load(Ordering::Relaxed);
+        assert_eq!(b.try_consume(Nanos::ZERO), Verdict::Deny);
+        assert_eq!(
+            b.state.load(Ordering::Relaxed),
+            state,
+            "deny must be a pure read"
+        );
+    }
+
+    #[test]
+    fn refills_at_purchased_rate() {
+        let b = bucket(1000, 100);
+        for _ in 0..1000 {
+            assert_eq!(b.try_consume(Nanos::ZERO), Verdict::Allow);
+        }
+        assert_eq!(b.try_consume(Nanos::ZERO), Verdict::Deny);
+        let admitted = (0..200)
+            .filter(|_| b.try_consume(Nanos::from_secs(1)) == Verdict::Allow)
+            .count();
+        assert_eq!(admitted, 100);
+    }
+
+    #[test]
+    fn backwards_time_is_safe() {
+        let b = bucket(10, 1);
+        assert_eq!(b.try_consume(Nanos::from_secs(100)), Verdict::Allow);
+        // An older timestamp mints nothing and still decides correctly.
+        assert_eq!(
+            b.credit(Nanos::from_secs(50)),
+            b.credit(Nanos::from_secs(100))
+        );
+        assert_eq!(b.try_consume(Nanos::from_secs(50)), Verdict::Allow);
+        // The anchor did not rewind: credit at 100 s reflects no double
+        // accrual.
+        assert!(b.credit(Nanos::from_secs(100)) <= Credits::from_whole(10));
+    }
+
+    #[test]
+    fn wrap_scale_forward_jump_never_oversells() {
+        // A forward jump beyond the 2²³-tick half range reads as
+        // backwards: the bucket under-refills (safe) instead of minting
+        // hours of credit twice across the modular wrap.
+        let b = bucket(5, 1000);
+        for _ in 0..5 {
+            b.try_consume(Nanos::ZERO);
+        }
+        let far = Nanos::from_millis(TICK_HALF_RANGE + 10);
+        assert_eq!(b.credit(far), Credits::ZERO, "jump must not mint credit");
+        let admitted = (0..20)
+            .filter(|_| b.try_consume(far) == Verdict::Allow)
+            .count();
+        assert_eq!(admitted, 0);
+    }
+
+    #[test]
+    fn sub_tick_times_never_oversell() {
+        // Anchors round up, reads round down: a schedule off the tick grid
+        // can only under-admit relative to the exact bucket, never over.
+        let b = bucket(1, 1000);
+        assert_eq!(b.try_consume(Nanos::from_nanos(1)), Verdict::Allow);
+        // 0.9 ms later the exact bucket would hold 0.9 credits; quantized
+        // elapsed is 0 ticks, so still deny — and never the reverse.
+        assert_eq!(b.try_consume(Nanos::from_nanos(900_001)), Verdict::Deny);
+        let exact = locked(1, 1000);
+        let supply = exact.credit(Nanos::from_millis(2));
+        assert!(b.credit(Nanos::from_millis(2)) <= supply);
+    }
+
+    #[test]
+    fn rule_update_clamps_and_preserves_credit() {
+        let b = bucket(1000, 100);
+        for _ in 0..990 {
+            b.try_consume(Nanos::ZERO);
+        }
+        let rule = QosRule::per_second(janus_types::QosKey::new("k").unwrap(), 200, 1);
+        b.apply_rule_update(&rule, Nanos::ZERO);
+        assert_eq!(b.capacity(), Credits::from_whole(200));
+        assert_eq!(b.refill_rate(), RefillRate::per_second(1));
+        assert_eq!(b.credit(Nanos::ZERO), Credits::from_whole(10));
+        let shrink = QosRule::per_second(janus_types::QosKey::new("k").unwrap(), 3, 1);
+        b.apply_rule_update(&shrink, Nanos::ZERO);
+        assert_eq!(b.credit(Nanos::ZERO), Credits::from_whole(3));
+    }
+
+    #[test]
+    fn to_rule_roundtrips_through_from_rule() {
+        let b = bucket(50, 3);
+        b.try_consume(Nanos::from_secs(2));
+        let key = janus_types::QosKey::new("alice").unwrap();
+        let rule = b.to_rule(key.clone(), Nanos::from_secs(2));
+        let restored = AtomicBucket::from_rule(&rule, Nanos::from_secs(2));
+        assert_eq!(
+            restored.credit(Nanos::from_secs(2)),
+            b.credit(Nanos::from_secs(2))
+        );
+        assert_eq!(restored.capacity(), b.capacity());
+    }
+
+    #[test]
+    fn oversized_capacity_saturates_at_packed_ceiling() {
+        // 2^40 µc ≈ 1.0995e6 whole credits; a 10 M-credit rule still
+        // works, with usable burst clamped at the ceiling.
+        let b = bucket(10_000_000, 0);
+        let credit = b.credit(Nanos::ZERO);
+        assert_eq!(credit, Credits::from_micro(CREDIT_MASK));
+        assert_eq!(b.try_consume(Nanos::ZERO), Verdict::Allow);
+    }
+
+    #[test]
+    fn concurrent_consumption_is_exact_with_zero_rate() {
+        let b = Arc::new(bucket(1000, 0));
+        let admitted = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let b = Arc::clone(&b);
+                    scope.spawn(move |_| {
+                        (0..500)
+                            .filter(|_| b.try_consume(Nanos::ZERO) == Verdict::Allow)
+                            .count()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
+        })
+        .unwrap();
+        assert_eq!(admitted, 1000);
+    }
+
+    proptest! {
+        /// Sequential, on the tick grid: the atomic bucket is bit-for-bit
+        /// the locked bucket — same verdict on every attempt, same derived
+        /// credit at every observation, under consumes, sweeps and clock
+        /// jumps (forward and backward).
+        #[test]
+        fn matches_locked_bucket_exactly_on_tick_grid(
+            cap in 0u64..2_000,
+            rate in 0u64..2_000,
+            ops in proptest::collection::vec((0u8..3, 0i64..200_000), 1..250),
+        ) {
+            let atomic = bucket(cap, rate);
+            let mut exact = locked(cap, rate);
+            let mut now_ms: i64 = 0;
+            for (op, jump_ms) in ops {
+                // Jumps go forward mostly, sometimes backward (UDP
+                // reordering / SimClock skew), never below zero.
+                now_ms = (now_ms + jump_ms - 50_000).max(0);
+                let now = ms(now_ms as u64);
+                match op {
+                    0 => {
+                        prop_assert_eq!(
+                            atomic.try_consume(now),
+                            exact.try_consume(now),
+                            "verdict diverged at {}ms", now_ms
+                        );
+                    }
+                    1 => {
+                        atomic.refill(now);
+                        exact.refill(now);
+                    }
+                    _ => {
+                        prop_assert_eq!(
+                            atomic.credit(now),
+                            exact.credit(now),
+                            "credit diverged at {}ms", now_ms
+                        );
+                    }
+                }
+            }
+            let end = ms(now_ms as u64);
+            prop_assert_eq!(atomic.credit(end), exact.credit(end));
+        }
+
+        /// Concurrent consumers against the atomic bucket vs a
+        /// mutex-serialized locked bucket driven over the same timestamp
+        /// multiset: with zero refill the totals are identical; with
+        /// refill both respect the paper's Eq. 1–2 supply bound
+        /// `capacity + rate × makespan`.
+        #[test]
+        fn concurrent_total_matches_serialized_within_supply_bound(
+            cap in 1u64..300,
+            rate in 0u64..500,
+            threads in 2usize..6,
+            per_thread in 1usize..80,
+            jumps in proptest::collection::vec(0u64..50, 8),
+        ) {
+            // A shared, monotone tick-grid schedule with occasional jumps.
+            let schedule: Vec<Nanos> = {
+                let mut t = 0u64;
+                (0..threads * per_thread)
+                    .map(|i| {
+                        t += jumps[i % jumps.len()];
+                        ms(t)
+                    })
+                    .collect()
+            };
+            let makespan = *schedule.last().unwrap();
+
+            let atomic = Arc::new(bucket(cap, rate));
+            let total_atomic: usize = crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let atomic = Arc::clone(&atomic);
+                        let slice: Vec<Nanos> = schedule
+                            .iter()
+                            .skip(t)
+                            .step_by(threads)
+                            .copied()
+                            .collect();
+                        scope.spawn(move |_| {
+                            slice
+                                .iter()
+                                .filter(|now| atomic.try_consume(**now) == Verdict::Allow)
+                                .count()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+
+            let serialized = parking_lot::Mutex::new(locked(cap, rate));
+            let total_locked = schedule
+                .iter()
+                .filter(|now| serialized.lock().try_consume(**now) == Verdict::Allow)
+                .count();
+
+            let minted = RefillRate::per_second(rate)
+                .accrued_over(makespan.saturating_since(Nanos::ZERO));
+            let supply = Credits::from_whole(cap).saturating_add(minted);
+            prop_assert!(
+                Credits::from_whole(total_atomic as u64) <= supply,
+                "atomic oversold: {} vs supply {:?}", total_atomic, supply
+            );
+            prop_assert!(Credits::from_whole(total_locked as u64) <= supply);
+            if rate == 0 {
+                prop_assert_eq!(total_atomic, total_locked);
+                prop_assert_eq!(total_atomic, (cap as usize).min(threads * per_thread));
+            }
+        }
+    }
+}

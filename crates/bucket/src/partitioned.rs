@@ -17,19 +17,20 @@
 
 use crate::table::{QosTable, SyncTable, TableStatsSnapshot};
 use janus_clock::Nanos;
-use janus_hash::crc32;
 use janus_types::{Credits, QosKey, QosRule, RefillRate, Verdict};
 
 /// The worker (and table partition) responsible for `key` out of
 /// `workers` total. CRC32 matches the checksum already used for
 /// key-space partitioning across QoS servers, so the distribution
-/// properties are the ones the paper measured.
+/// properties are the ones the paper measured. The checksum is read from
+/// the key's cache ([`QosKey::crc32`], computed once at construction), so
+/// dispatch never re-hashes the key bytes.
 ///
 /// # Panics
 /// Panics if `workers` is zero.
 pub fn worker_affinity(key: &QosKey, workers: usize) -> usize {
     assert!(workers > 0, "need at least one worker");
-    crc32(key.as_bytes()) as usize % workers
+    key.crc32() as usize % workers
 }
 
 /// A QoS table split into per-worker partitions by [`worker_affinity`].
@@ -126,6 +127,8 @@ impl QosTable for PartitionedTable {
             allows: 0,
             denies: 0,
             misses: 0,
+            cas_retries: 0,
+            probe_steps: 0,
         };
         for part in &self.parts {
             let snap = part.stats();
@@ -133,6 +136,8 @@ impl QosTable for PartitionedTable {
             total.allows += snap.allows;
             total.denies += snap.denies;
             total.misses += snap.misses;
+            total.cas_retries += snap.cas_retries;
+            total.probe_steps += snap.probe_steps;
         }
         total
     }
@@ -184,6 +189,17 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_panics() {
         worker_affinity(&key("k"), 0);
+    }
+
+    #[test]
+    fn affinity_still_matches_the_wire_checksum() {
+        // `worker_affinity` reads the key's cached CRC32; it must stay
+        // byte-identical to hashing the key text with the shared
+        // checksum, or dispatch and key-space partitioning would drift.
+        for i in 0..100 {
+            let k = key(&format!("tenant-{i}"));
+            assert_eq!(k.crc32(), janus_hash::crc32(k.as_bytes()));
+        }
     }
 
     #[test]

@@ -44,10 +44,16 @@ pub struct TableStatsSnapshot {
     pub denies: u64,
     /// Local-table misses.
     pub misses: u64,
+    /// CAS retries on the decision path (always zero for locked tables;
+    /// [`crate::LockFreeTable`] reports bucket-level contention here).
+    pub cas_retries: u64,
+    /// Probe steps beyond the home slot (lock-free table only: a proxy
+    /// for open-addressing clustering / fill factor).
+    pub probe_steps: u64,
 }
 
 impl TableStats {
-    fn record(&self, verdict: Verdict) {
+    pub(crate) fn record(&self, verdict: Verdict) {
         self.decisions.fetch_add(1, Ordering::Relaxed);
         match verdict {
             Verdict::Allow => self.allows.fetch_add(1, Ordering::Relaxed),
@@ -55,13 +61,16 @@ impl TableStats {
         };
     }
 
-    /// Read all counters at once.
+    /// Read all counters at once. The contention counters are zero here:
+    /// tables that track them (the lock-free flavour) fill them in.
     pub fn snapshot(&self) -> TableStatsSnapshot {
         TableStatsSnapshot {
             decisions: self.decisions.load(Ordering::Relaxed),
             allows: self.allows.load(Ordering::Relaxed),
             denies: self.denies.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            cas_retries: 0,
+            probe_steps: 0,
         }
     }
 }
@@ -408,6 +417,10 @@ mod tests {
             ("sharded", Arc::new(ShardedTable::new())),
             ("sharded-1", Arc::new(ShardedTable::with_shards(1))),
             ("sync", Arc::new(SyncTable::new())),
+            ("lock-free", Arc::new(crate::LockFreeTable::new())),
+            // A deliberately tiny slot array so the shared tests also
+            // exercise the probe-limit overflow path.
+            ("lock-free-tiny", Arc::new(crate::LockFreeTable::with_slots(8))),
         ]
     }
 

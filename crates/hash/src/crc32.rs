@@ -48,6 +48,25 @@ const fn build_tables() -> [[u32; 256]; 8] {
     tables
 }
 
+/// One-shot CRC32 evaluable in `const` context (Sarwate over the const
+/// table). Lets callers bake checksums of fixed labels into constants; at
+/// runtime prefer [`crc32`], whose slicing-by-8 loop is faster.
+pub const fn crc32_const(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut i = 0;
+    while i < data.len() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ data[i] as u32) & 0xff) as usize];
+        i += 1;
+    }
+    !crc
+}
+
+// Compile-time known-answer check: a regression in the const table build
+// fails `cargo build` itself, not just the test suite. 0xCBF4_3926 is the
+// standard CRC-32/ISO-HDLC "check" value.
+const _: () = assert!(crc32_const(b"123456789") == 0xCBF4_3926);
+const _: () = assert!(crc32_const(b"") == 0);
+
 /// Bit-at-a-time reference implementation (test oracle; do not use on the
 /// hot path).
 pub fn crc32_bitwise(data: &[u8]) -> u32 {
@@ -193,6 +212,7 @@ mod tests {
             let expected = crc32_bitwise(&data);
             prop_assert_eq!(crc32_sarwate(&data), expected);
             prop_assert_eq!(crc32(&data), expected);
+            prop_assert_eq!(crc32_const(&data), expected);
         }
 
         #[test]

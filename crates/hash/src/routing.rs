@@ -58,7 +58,10 @@ impl Router for ModuloRouter {
     }
 
     fn route(&self, key: &QosKey) -> RouteTarget {
-        self.route_bytes(key.as_bytes())
+        // The key caches its CRC32 at construction, so routing a QosKey
+        // never re-hashes the text (`routing_matches_key_cache` pins the
+        // two functions together).
+        (key.crc32() as usize) % self.backends
     }
 }
 
@@ -108,8 +111,9 @@ impl ConsistentRing {
     }
 
     /// The ring position a key hashes to (exposed for tests/analysis).
+    /// Reads the key's cached checksum — no re-hash.
     pub fn position_of(&self, key: &QosKey) -> u32 {
-        crc32(key.as_bytes())
+        key.crc32()
     }
 }
 
@@ -119,7 +123,7 @@ impl Router for ConsistentRing {
     }
 
     fn route(&self, key: &QosKey) -> RouteTarget {
-        let pos = crc32(key.as_bytes());
+        let pos = key.crc32();
         // First point at or after `pos`, wrapping to the start.
         let idx = self.points.partition_point(|&(p, _)| p < pos);
         let (_, backend) = self.points[idx % self.points.len()];
@@ -155,6 +159,23 @@ mod tests {
         let router = ModuloRouter::new(20);
         let k = key("alice");
         assert_eq!(router.route(&k), (crc32(b"alice") as usize) % 20);
+    }
+
+    #[test]
+    fn routing_matches_key_cache() {
+        // Routers read `QosKey::crc32()` (cached at key construction) and
+        // the simulator hashes raw bytes via `route_bytes`; both paths
+        // must stay byte-identical or router nodes would disagree on key
+        // ownership.
+        let router = ModuloRouter::new(13);
+        let ring = ConsistentRing::new(4);
+        let mut gen = KeyGenerator::new(KeyFamily::Uuid, 11);
+        for _ in 0..500 {
+            let k = gen.next_key();
+            assert_eq!(k.crc32(), crc32(k.as_bytes()));
+            assert_eq!(router.route(&k), router.route_bytes(k.as_bytes()));
+            assert_eq!(ring.position_of(&k), crc32(k.as_bytes()));
+        }
     }
 
     #[test]

@@ -1,0 +1,221 @@
+//! Recycled receive/send buffers for the UDP hot path.
+//!
+//! `recv_from` needs a scratch buffer big enough for the largest datagram.
+//! Allocating one per call puts a malloc/free pair on every admission
+//! request the server handles; [`BufferPool::acquire`] hands out recycled
+//! buffers instead. Returned buffers park in a **thread-local** freelist —
+//! checkout and return are plain `Vec` pushes/pops with no atomics, no
+//! locks and no cross-core traffic, which is the right shape for the
+//! server's share-nothing workers.
+//!
+//! The pool object itself only carries counters (`hits`/`misses`), shared
+//! via `Arc` with `ServerStats` so recycling effectiveness shows up in
+//! [`snapshot`]s next to the other hot-path counters. Buffers are not
+//! owned by any particular pool: a buffer checked out against one pool and
+//! dropped on another thread simply joins *that* thread's freelist. The
+//! freelist is capped per thread, so a burst can never pin unbounded
+//! memory.
+//!
+//! [`snapshot`]: BufferPoolSnapshot
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Most parked buffers per thread. Beyond this, dropped buffers free
+/// normally. One listener + a handful of workers never hold more than a
+/// few buffers at once, so this is generous.
+const MAX_POOLED_PER_THREAD: usize = 32;
+
+thread_local! {
+    // const-initialized: touching the freelist never allocates by itself.
+    static FREELIST: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Counters for one logical pool (e.g. one QoS server's sockets). See the
+/// module docs — the buffers themselves live in thread-local freelists.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A point-in-time copy of a pool's counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BufferPoolSnapshot {
+    /// Checkouts served from a recycled buffer (no allocation).
+    pub hits: u64,
+    /// Checkouts that had to allocate fresh.
+    pub misses: u64,
+}
+
+impl BufferPool {
+    /// A fresh pool (counters at zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Check out a buffer of exactly `len` bytes. Contents are
+    /// unspecified — callers overwrite (a `recv` fills it and only the
+    /// filled prefix is read). Dropping the returned handle recycles the
+    /// buffer into the current thread's freelist.
+    pub fn acquire(&self, len: usize) -> PooledBuf {
+        let recycled = FREELIST
+            .try_with(|cell| {
+                let mut freelist = cell.borrow_mut();
+                // Pop until a buffer with enough capacity turns up;
+                // undersized strays (from a caller with a bigger request
+                // size) are simply freed.
+                while let Some(buf) = freelist.pop() {
+                    if buf.capacity() >= len {
+                        return Some(buf);
+                    }
+                }
+                None
+            })
+            .ok()
+            .flatten();
+        match recycled {
+            Some(mut buf) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                buf.resize(len, 0);
+                PooledBuf { buf }
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                PooledBuf {
+                    buf: vec![0u8; len],
+                }
+            }
+        }
+    }
+
+    /// Checkouts served without allocating.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Checkouts that allocated fresh.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Both counters at once.
+    pub fn snapshot(&self) -> BufferPoolSnapshot {
+        BufferPoolSnapshot {
+            hits: self.hits(),
+            misses: self.misses(),
+        }
+    }
+}
+
+/// A checked-out buffer; recycles itself on drop.
+#[derive(Debug)]
+pub struct PooledBuf {
+    buf: Vec<u8>,
+}
+
+impl Deref for PooledBuf {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for PooledBuf {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl Drop for PooledBuf {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        // try_with: during thread teardown the freelist may already be
+        // destroyed — then the buffer just frees normally.
+        let _ = FREELIST.try_with(|cell| {
+            let mut freelist = cell.borrow_mut();
+            if freelist.len() < MAX_POOLED_PER_THREAD {
+                freelist.push(buf);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drain this thread's freelist so tests see deterministic hit/miss
+    /// sequences regardless of what ran before them on the same thread.
+    fn drain_freelist() {
+        FREELIST.with(|cell| cell.borrow_mut().clear());
+    }
+
+    #[test]
+    fn first_acquire_misses_then_recycles() {
+        drain_freelist();
+        let pool = BufferPool::new();
+        let buf = pool.acquire(1401);
+        assert_eq!(buf.len(), 1401);
+        drop(buf);
+        let again = pool.acquire(1401);
+        assert_eq!(again.len(), 1401);
+        assert_eq!(pool.snapshot(), BufferPoolSnapshot { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn undersized_recycled_buffers_are_discarded_not_returned() {
+        drain_freelist();
+        let pool = BufferPool::new();
+        drop(pool.acquire(16)); // parks a 16-byte buffer
+        let big = pool.acquire(4096); // must not get the small one
+        assert_eq!(big.len(), 4096);
+        assert_eq!(pool.misses(), 2);
+        assert_eq!(pool.hits(), 0);
+    }
+
+    #[test]
+    fn shrinking_reuse_keeps_exact_len() {
+        drain_freelist();
+        let pool = BufferPool::new();
+        drop(pool.acquire(1000));
+        let small = pool.acquire(10);
+        assert_eq!(small.len(), 10, "len must match the request, not capacity");
+        assert_eq!(pool.hits(), 1);
+    }
+
+    #[test]
+    fn buffers_are_writable_through_deref() {
+        drain_freelist();
+        let pool = BufferPool::new();
+        let mut buf = pool.acquire(8);
+        buf[0] = 0xAB;
+        buf[7] = 0xCD;
+        assert_eq!((buf[0], buf[7]), (0xAB, 0xCD));
+    }
+
+    #[test]
+    fn freelist_is_bounded() {
+        drain_freelist();
+        let pool = BufferPool::new();
+        let held: Vec<_> = (0..2 * MAX_POOLED_PER_THREAD)
+            .map(|_| pool.acquire(64))
+            .collect();
+        drop(held);
+        let parked = FREELIST.with(|cell| cell.borrow().len());
+        assert!(parked <= MAX_POOLED_PER_THREAD, "freelist grew to {parked}");
+    }
+
+    #[test]
+    fn counters_are_per_pool_even_with_shared_freelists() {
+        drain_freelist();
+        let a = BufferPool::new();
+        let b = BufferPool::new();
+        drop(a.acquire(100)); // a: 1 miss, buffer parked
+        drop(b.acquire(100)); // b: 1 hit (recycled from a's checkout)
+        assert_eq!((a.hits(), a.misses()), (0, 1));
+        assert_eq!((b.hits(), b.misses()), (1, 0));
+    }
+}

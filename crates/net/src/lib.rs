@@ -26,6 +26,7 @@
 //! permutation, TTL and failover semantics are unchanged.
 
 pub mod breaker;
+pub mod buffer_pool;
 pub mod dns;
 pub mod fault;
 pub mod http;
@@ -52,6 +53,7 @@ pub fn poke_listener(addr: std::net::SocketAddr) {
         );
     }
 }
+pub use buffer_pool::{BufferPool, BufferPoolSnapshot, PooledBuf};
 pub use fault::FaultPlan;
 pub use http::{HttpClient, HttpRequest, HttpResponse, HttpServer, Method, StatusCode};
 pub use udp::{RetryBackoff, UdpRpcClient, UdpRpcConfig, UdpServerSocket};

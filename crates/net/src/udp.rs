@@ -247,6 +247,9 @@ const RECV_BUF_BYTES: usize = if codec::MAX_DATAGRAM_BYTES > MAX_FRAME_BYTES {
 pub struct UdpServerSocket {
     socket: UdpSocket,
     faults: Arc<FaultPlan>,
+    /// Recycles the per-`recv_request` scratch buffer (the QoS server
+    /// shares its pool here so recycle hits surface in `ServerStats`).
+    pool: Arc<crate::buffer_pool::BufferPool>,
     /// Requests decoded from a batch datagram but not yet handed out.
     pending: parking_lot::Mutex<std::collections::VecDeque<(QosRequest, SocketAddr)>>,
 }
@@ -259,10 +262,20 @@ impl UdpServerSocket {
 
     /// Bind with response-path fault injection.
     pub async fn bind_with_faults(faults: Arc<FaultPlan>) -> Result<Self> {
+        Self::bind_with_pool(faults, Arc::new(crate::buffer_pool::BufferPool::new())).await
+    }
+
+    /// Bind with fault injection and a caller-shared buffer pool (so the
+    /// caller can read the recycle counters).
+    pub async fn bind_with_pool(
+        faults: Arc<FaultPlan>,
+        pool: Arc<crate::buffer_pool::BufferPool>,
+    ) -> Result<Self> {
         let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
         Ok(UdpServerSocket {
             socket,
             faults,
+            pool,
             pending: parking_lot::Mutex::new(std::collections::VecDeque::new()),
         })
     }
@@ -288,7 +301,9 @@ impl UdpServerSocket {
 
     /// Receive the next well-formed admission request.
     pub async fn recv_request(&self) -> Result<(QosRequest, SocketAddr)> {
-        let mut buf = vec![0u8; RECV_BUF_BYTES];
+        // Recycled scratch buffer: steady state, this listener loop makes
+        // zero heap allocations per datagram.
+        let mut buf = self.pool.acquire(RECV_BUF_BYTES);
         loop {
             if let Some(item) = self.pending.lock().pop_front() {
                 return Ok(item);
@@ -487,6 +502,30 @@ mod tests {
             .unwrap();
         let (req, _) = server.recv_request().await.unwrap();
         assert_eq!(req.id, 7);
+    }
+
+    #[tokio::test]
+    async fn recv_scratch_buffers_recycle_through_the_pool() {
+        // Single-threaded runtime: every recv_request runs on this
+        // thread, so after the first (miss) checkout all later scratch
+        // buffers come from the thread's freelist.
+        let pool = Arc::new(crate::buffer_pool::BufferPool::new());
+        let server = UdpServerSocket::bind_with_pool(FaultPlan::none(), Arc::clone(&pool))
+            .await
+            .unwrap();
+        let addr = server.local_addr().unwrap();
+        let prober = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        for id in 0..5u64 {
+            prober
+                .send_to(&codec::encode_request(&request(id)), addr)
+                .await
+                .unwrap();
+            let (req, _) = server.recv_request().await.unwrap();
+            assert_eq!(req.id, id);
+        }
+        let snap = pool.snapshot();
+        assert_eq!(snap.hits + snap.misses, 5);
+        assert!(snap.hits >= 4, "scratch buffers were not recycled: {snap:?}");
     }
 
     #[tokio::test]

@@ -57,6 +57,11 @@ pub enum TableKind {
     /// worker only ever touches its own partition, so the partition lock
     /// is uncontended. Requires [`DispatchMode::KeyAffinity`].
     PerWorker,
+    /// Lock-free open-addressing table over atomic buckets: no lock on
+    /// the decision path under either dispatch mode. The server exports
+    /// its CAS-retry and probe-length counters through
+    /// [`crate::ServerStats`].
+    LockFree,
 }
 
 /// How the listener hands requests to workers.
@@ -205,6 +210,16 @@ mod tests {
         assert!(c.validate().is_ok());
         c.dispatch = DispatchMode::SharedFifo;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn lock_free_table_is_valid_under_both_dispatch_modes() {
+        let mut c = QosServerConfig::default();
+        c.table = TableKind::LockFree;
+        c.dispatch = DispatchMode::KeyAffinity;
+        assert!(c.validate().is_ok());
+        c.dispatch = DispatchMode::SharedFifo;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

@@ -20,9 +20,13 @@
 //!
 //! The local table flavour is configurable: [`TableKind::Synchronized`]
 //! reproduces the paper's single-lock design, [`TableKind::Sharded`] is
-//! the lock-striped optimization (DESIGN.md ablation 1), and
+//! the lock-striped optimization (DESIGN.md ablation 1),
 //! [`TableKind::PerWorker`] partitions the table per worker for the
-//! key-affinity dispatch path (DESIGN.md ablation 9).
+//! key-affinity dispatch path (DESIGN.md ablation 9), and
+//! [`TableKind::LockFree`] runs the open-addressing atomic-bucket table
+//! with no lock on the decision path under either dispatch mode
+//! (DESIGN.md ablation 10), exporting its CAS-retry and probe-length
+//! counters through [`ServerStats`].
 //!
 //! Dispatch itself is configurable too: [`DispatchMode::SharedFifo`] is
 //! the paper's single shared queue, [`DispatchMode::KeyAffinity`] routes

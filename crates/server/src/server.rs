@@ -12,9 +12,12 @@
 
 use crate::config::{DbTarget, DispatchMode, QosServerConfig, TableKind};
 use crate::ha;
-use janus_bucket::{worker_affinity, PartitionedTable, QosTable, ShardedTable, SyncTable};
+use janus_bucket::{
+    worker_affinity, LockFreeTable, PartitionedTable, QosTable, ShardedTable, SyncTable,
+};
 use janus_clock::SharedClock;
 use janus_db::DbClient;
+use janus_net::buffer_pool::BufferPool;
 use janus_net::fault::FaultPlan;
 use janus_net::udp::UdpServerSocket;
 use janus_types::{QosKey, QosRequest, QosResponse, Result, RuleHint, Verdict};
@@ -61,6 +64,16 @@ pub struct ServerStats {
     pub db_timeouts: AtomicU64,
     /// Requests currently queued between listener and workers (gauge).
     pub fifo_depth: AtomicU64,
+    /// Bucket CAS retries on the decision path. Only the lock-free table
+    /// writes here (the cell is shared into it at spawn); always zero
+    /// under the locked table kinds.
+    pub cas_retries: Arc<AtomicU64>,
+    /// Open-addressing probe steps beyond the home slot (lock-free table
+    /// only) — a clustering / fill-factor proxy.
+    pub probe_steps: Arc<AtomicU64>,
+    /// Receive-buffer pool for this server's UDP socket; its hit counter
+    /// is exported as `pool_recycle_hits`.
+    pub pool: Arc<BufferPool>,
 }
 
 /// A point-in-time copy of [`ServerStats`], for benches and experiment
@@ -87,6 +100,14 @@ pub struct ServerStatsSnapshot {
     /// Requests queued between listener and workers right now (gauge —
     /// queue pressure, not a running total).
     pub fifo_depth: u64,
+    /// Bucket CAS retries on the decision path (lock-free table only).
+    pub cas_retries: u64,
+    /// Open-addressing probe steps beyond the home slot (lock-free table
+    /// only).
+    pub probe_steps: u64,
+    /// Receive-buffer checkouts served from the recycle pool instead of a
+    /// fresh allocation.
+    pub pool_recycle_hits: u64,
 }
 
 impl ServerStats {
@@ -102,6 +123,9 @@ impl ServerStats {
             sync_rounds: self.sync_rounds.load(Ordering::Relaxed),
             db_timeouts: self.db_timeouts.load(Ordering::Relaxed),
             fifo_depth: self.fifo_depth.load(Ordering::Relaxed),
+            cas_retries: self.cas_retries.load(Ordering::Relaxed),
+            probe_steps: self.probe_steps.load(Ordering::Relaxed),
+            pool_recycle_hits: self.pool.hits(),
         }
     }
 }
@@ -142,12 +166,19 @@ impl QosServer {
         faults: Arc<FaultPlan>,
     ) -> Result<QosServer> {
         config.validate()?;
+        // Stats first: the lock-free table writes its hot-path counters
+        // straight into cells shared with the stats block.
+        let stats = Arc::new(ServerStats::default());
         let table: Arc<dyn QosTable> = match config.table {
             TableKind::Sharded => Arc::new(ShardedTable::new()),
             TableKind::Synchronized => Arc::new(SyncTable::new()),
             TableKind::PerWorker => Arc::new(PartitionedTable::new(config.workers)),
+            TableKind::LockFree => Arc::new(LockFreeTable::with_hot_counters(
+                LockFreeTable::DEFAULT_SLOTS,
+                Arc::clone(&stats.cas_retries),
+                Arc::clone(&stats.probe_steps),
+            )),
         };
-        let stats = Arc::new(ServerStats::default());
         let (shutdown, shutdown_rx) = watch::channel(false);
 
         // Preload the full rule table if asked.
@@ -164,7 +195,8 @@ impl QosServer {
             }
         }
 
-        let socket = Arc::new(UdpServerSocket::bind_with_faults(faults).await?);
+        let socket =
+            Arc::new(UdpServerSocket::bind_with_pool(faults, Arc::clone(&stats.pool)).await?);
         let udp_addr = socket.local_addr()?;
         let guest_keys: GuestKeys = Arc::new(parking_lot::Mutex::new(HashSet::new()));
 
@@ -1067,6 +1099,76 @@ mod tests {
         }
         for h in handles {
             assert_eq!(h.await.unwrap(), 25, "per-worker table oversold a bucket");
+        }
+    }
+
+    /// Drive one table kind with 8 concurrent clients × 40 requests over 8
+    /// keys capped at 25 and return the per-client admit counts plus a
+    /// final stats snapshot.
+    async fn drive_exactness(config: QosServerConfig) -> (Vec<u64>, ServerStatsSnapshot) {
+        let rules: Vec<_> = (0..8).map(|i| rule(&format!("p{i}"), 25, 0)).collect();
+        let db = spawn_db(rules).await;
+        let server = Arc::new(
+            QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+                .await
+                .unwrap(),
+        );
+        let mut handles = Vec::new();
+        for i in 0..8u64 {
+            let server = Arc::clone(&server);
+            handles.push(tokio::spawn(async move {
+                let client = rpc();
+                let mut allowed = 0u64;
+                for j in 0..40u64 {
+                    if check(&client, &server, i * 1000 + j, &format!("p{i}")).await
+                        == Verdict::Allow
+                    {
+                        allowed += 1;
+                    }
+                }
+                allowed
+            }));
+        }
+        let mut admits = Vec::new();
+        for h in handles {
+            admits.push(h.await.unwrap());
+        }
+        (admits, server.stats().snapshot())
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn lock_free_table_admits_exactly() {
+        // The lock-free table must match the sharded/per-worker tables
+        // credit-for-credit under concurrent clients: CAS loops may retry
+        // but can never double-spend or lose a credit.
+        let mut config = QosServerConfig::test_defaults();
+        config.workers = 4;
+        config.table = TableKind::LockFree;
+        let (admits, snap) = drive_exactness(config).await;
+        for allowed in admits {
+            assert_eq!(allowed, 25, "lock-free table oversold a bucket");
+        }
+        assert_eq!(snap.answered, 320);
+        // 320 datagrams through one listener: the scratch-buffer pool must
+        // be recycling by now (first checkout per thread is a miss).
+        assert!(
+            snap.pool_recycle_hits > 0,
+            "recv path is allocating per datagram: {snap:?}"
+        );
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn lock_free_table_admits_exactly_under_shared_fifo() {
+        // Unlike PerWorker, LockFree is valid under shared-FIFO dispatch,
+        // where any worker may decide any key — the harshest interleaving
+        // for the CAS loop. Exactness must still hold.
+        let mut config = QosServerConfig::test_defaults();
+        config.workers = 4;
+        config.table = TableKind::LockFree;
+        config.dispatch = DispatchMode::SharedFifo;
+        let (admits, _snap) = drive_exactness(config).await;
+        for allowed in admits {
+            assert_eq!(allowed, 25, "lock-free table oversold under shared FIFO");
         }
     }
 

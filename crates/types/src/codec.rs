@@ -409,38 +409,36 @@ mod tests {
         assert_eq!(encode_response(&QosResponse::allow(1)).len(), 13);
     }
 
-    #[test]
-    fn rejects_bad_magic() {
-        let mut wire = encode_response(&QosResponse::allow(1)).to_vec();
-        wire[0] = 0xff;
-        assert!(decode(&wire).is_err());
+    /// Corrupt `wire[at]` to `bad` in place, assert the decoder rejects
+    /// it, then restore the original byte. One buffer serves every
+    /// mutation case — no per-case `.to_vec()` copies.
+    fn assert_mutation_rejected(wire: &mut [u8], at: usize, bad: u8, what: &str) {
+        let original = wire[at];
+        assert_ne!(original, bad, "mutation for {what} is a no-op");
+        wire[at] = bad;
+        assert!(decode(&*wire).is_err(), "accepted corrupted {what}");
+        wire[at] = original;
     }
 
     #[test]
-    fn rejects_bad_version() {
-        let mut wire = encode_response(&QosResponse::allow(1)).to_vec();
-        wire[2] = 99;
-        assert!(decode(&wire).is_err());
-    }
-
-    #[test]
-    fn rejects_unknown_kind() {
-        let mut wire = encode_response(&QosResponse::allow(1)).to_vec();
-        wire[3] = 0x7f;
-        assert!(decode(&wire).is_err());
-    }
-
-    #[test]
-    fn rejects_bad_verdict_byte() {
-        let mut wire = encode_response(&QosResponse::allow(1)).to_vec();
-        *wire.last_mut().unwrap() = 2;
-        assert!(decode(&wire).is_err());
+    fn rejects_every_header_and_body_mutation() {
+        let mut wire = BytesMut::from(&encode_response(&QosResponse::allow(1))[..]);
+        let last = wire.len() - 1;
+        assert_mutation_rejected(&mut wire, 0, 0xff, "magic");
+        assert_mutation_rejected(&mut wire, 2, 99, "version");
+        assert_mutation_rejected(&mut wire, 3, 0x7f, "kind");
+        assert_mutation_rejected(&mut wire, last, 2, "verdict byte");
+        // The buffer is pristine again after every restore.
+        assert_eq!(
+            decode(&wire).unwrap(),
+            Frame::Response(QosResponse::allow(1))
+        );
     }
 
     #[test]
     fn rejects_trailing_bytes() {
-        let mut wire = encode_response(&QosResponse::allow(1)).to_vec();
-        wire.push(0);
+        let mut wire = BytesMut::from(&encode_response(&QosResponse::allow(1))[..]);
+        wire.put_u8(0);
         assert!(decode(&wire).is_err());
     }
 
@@ -454,11 +452,9 @@ mod tests {
 
     #[test]
     fn rejects_non_utf8_key() {
-        let req = QosRequest::new(3, key("abcd"));
-        let mut wire = encode_request(&req).to_vec();
+        let mut wire = BytesMut::from(&encode_request(&QosRequest::new(3, key("abcd")))[..]);
         let last = wire.len() - 1;
-        wire[last] = 0xff;
-        assert!(decode(&wire).is_err());
+        assert_mutation_rejected(&mut wire, last, 0xff, "key byte (non-UTF-8)");
     }
 
     #[test]
@@ -640,6 +636,39 @@ mod tests {
         assert!(decode_all(&padded).is_err());
     }
 
+    #[test]
+    fn decode_of_inline_key_request_makes_zero_allocations() {
+        // The acceptance bar for the zero-allocation request path: a
+        // request frame whose key fits the inline representation decodes
+        // without touching the heap at all. `QosKey` stores ≤ 23 bytes
+        // inline and the parser borrows straight from the datagram.
+        let req = QosRequest::new(77, key("tenant-1234567890"));
+        assert!(req.key.is_inline());
+        let wire = encode_request(&req);
+        // Warm up once outside the counted window (thread-locals, lazy
+        // runtime bits).
+        assert_eq!(decode(&wire).unwrap(), Frame::Request(req.clone()));
+        let allocs = crate::alloc_counter::allocations_during(|| {
+            let frame = decode(&wire).unwrap();
+            assert!(matches!(frame, Frame::Request(_)));
+        });
+        assert_eq!(allocs, 0, "inline-key request decode allocated {allocs} times");
+    }
+
+    #[test]
+    fn decode_of_heap_key_request_allocates_exactly_the_key() {
+        // Sanity check that the counting harness counts: a key longer
+        // than the inline budget costs exactly one Arc allocation.
+        let req = QosRequest::new(78, key(&"x".repeat(64)));
+        let wire = encode_request(&req);
+        assert_eq!(decode(&wire).unwrap(), Frame::Request(req.clone()));
+        let allocs = crate::alloc_counter::allocations_during(|| {
+            let frame = decode(&wire).unwrap();
+            assert!(matches!(frame, Frame::Request(_)));
+        });
+        assert_eq!(allocs, 1, "heap-key request decode allocated {allocs} times");
+    }
+
     proptest! {
         #[test]
         fn any_batch_roundtrips_within_budget(
@@ -685,6 +714,37 @@ mod tests {
         #[test]
         fn decode_all_never_panics(data in proptest::collection::vec(any::<u8>(), 0..2000)) {
             let _ = decode_all(&data);
+        }
+
+        #[test]
+        fn any_batch_rejects_truncation_inflation_and_trailing(
+            specs in proptest::collection::vec(("[ -~]{1,40}", any::<u64>()), 2..24),
+            cut in any::<prop::sample::Index>(),
+        ) {
+            // Fuzz the borrowing decoder against malformed batch
+            // datagrams: every strict prefix, an item count claiming
+            // more items than are present, a count claiming fewer
+            // (trailing bytes), and appended garbage must all be
+            // rejected — and the pristine datagram must still decode
+            // after the in-place mutations are undone.
+            let frames: Vec<Frame> = specs
+                .iter()
+                .map(|(s, id)| Frame::Request(QosRequest::new(*id, key(s))))
+                .collect();
+            let datagrams = encode_batch(&frames);
+            prop_assert_eq!(datagrams.len(), 1);
+            let mut wire = BytesMut::from(&datagrams[0][..]);
+            let cut = cut.index(wire.len());
+            prop_assert!(decode_all(&wire[..cut]).is_err(), "accepted {}-byte prefix", cut);
+            let count = u16::from_be_bytes([wire[4], wire[5]]);
+            wire[4..6].copy_from_slice(&(count + 1).to_be_bytes());
+            prop_assert!(decode_all(&wire).is_err(), "accepted inflated item count");
+            wire[4..6].copy_from_slice(&(count - 1).to_be_bytes());
+            prop_assert!(decode_all(&wire).is_err(), "accepted deflated item count");
+            wire[4..6].copy_from_slice(&count.to_be_bytes());
+            prop_assert_eq!(decode_all(&wire).unwrap(), frames);
+            wire.put_u8(0);
+            prop_assert!(decode_all(&wire).is_err(), "accepted trailing garbage");
         }
 
         #[test]

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
 
 /// Maximum length of a QoS key in bytes.
@@ -12,6 +13,14 @@ use std::sync::Arc;
 /// `user:database` pairs and User-Agent strings while keeping the QoS rule
 /// record near the ~100 bytes the paper reports.
 pub const MAX_KEY_BYTES: usize = 255;
+
+/// Keys at or below this length are stored inline (no heap allocation).
+///
+/// 23 bytes keeps the inline variant within two machine words alongside the
+/// length tag, and covers the paper's key families — user ids, IPv4/IPv6
+/// addresses, and short `user:database` pairs — so the request hot path
+/// decodes without touching the allocator.
+pub const INLINE_KEY_BYTES: usize = 23;
 
 /// Why a candidate string was rejected as a QoS key.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +50,74 @@ impl fmt::Display for KeyError {
 
 impl std::error::Error for KeyError {}
 
+/// CRC32 (ISO-HDLC, reflected 0xEDB88320) lookup table, built at compile
+/// time. This is the Sarwate single-table form; `janus-hash` carries the
+/// slicing-by-8 production implementation and a cross-crate test pins the
+/// two to identical outputs. The duplication is forced by the dependency
+/// direction: `janus-hash` depends on this crate for [`QosKey`], so the
+/// cached-checksum constructor here cannot call into it.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+const fn crc32_of(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    let mut i = 0;
+    while i < bytes.len() {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ bytes[i] as u32) & 0xFF) as usize];
+        i += 1;
+    }
+    !crc
+}
+
+/// FNV-1a 64-bit. The lock-free QoS table keys its slots by this digest;
+/// 64 bits keeps the birthday collision probability negligible at realistic
+/// tenant counts (~n²/2⁶⁴), where the 32-bit CRC would start colliding
+/// around 77 k keys.
+const fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+// Compile-time known-answer checks (CRC32 check value from the ISO-HDLC
+// spec; FNV-1a from the reference vectors).
+const _: () = assert!(crc32_of(b"123456789") == 0xCBF4_3926);
+const _: () = assert!(fnv1a_64(b"") == 0xcbf2_9ce4_8422_2325);
+
+/// Key storage: short keys live inline, long ones on the heap.
+#[derive(Clone)]
+enum Repr {
+    /// `len` bytes of valid UTF-8 in `buf[..len]`, `len <= INLINE_KEY_BYTES`.
+    Inline {
+        len: u8,
+        buf: [u8; INLINE_KEY_BYTES],
+    },
+    /// Keys longer than [`INLINE_KEY_BYTES`]; still cheap to clone.
+    Heap(Arc<str>),
+}
+
 /// A validated QoS key.
 ///
 /// The composition of the key is up to the integrating service: a web
@@ -49,10 +126,17 @@ impl std::error::Error for KeyError {}
 /// uses the client IP address. Janus itself only ever hashes and compares
 /// keys.
 ///
-/// Keys are immutable and cheaply cloneable (`Arc<str>` internally) because
-/// the hot path clones them into the local QoS table and into wire messages.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct QosKey(Arc<str>);
+/// Keys are immutable and cheap to clone: up to [`INLINE_KEY_BYTES`] bytes
+/// are stored inline (constructing such a key never allocates — the wire
+/// decoder relies on this), longer keys share an `Arc<str>`. Both the CRC32
+/// routing checksum and the 64-bit table digest are computed once at
+/// construction and cached, so the hot path never re-hashes key bytes.
+#[derive(Clone)]
+pub struct QosKey {
+    repr: Repr,
+    crc32: u32,
+    digest: u64,
+}
 
 impl QosKey {
     /// Validate and construct a key.
@@ -67,51 +151,128 @@ impl QosKey {
         if let Some(b) = s.bytes().find(|b| b.is_ascii_control()) {
             return Err(KeyError::ControlCharacter(b));
         }
-        Ok(QosKey(Arc::from(s)))
+        let repr = if s.len() <= INLINE_KEY_BYTES {
+            let mut buf = [0u8; INLINE_KEY_BYTES];
+            buf[..s.len()].copy_from_slice(s.as_bytes());
+            Repr::Inline {
+                len: s.len() as u8,
+                buf,
+            }
+        } else {
+            Repr::Heap(Arc::from(s))
+        };
+        Ok(QosKey {
+            repr,
+            crc32: crc32_of(s.as_bytes()),
+            digest: fnv1a_64(s.as_bytes()),
+        })
     }
 
     /// The key text.
     pub fn as_str(&self) -> &str {
-        &self.0
+        match &self.repr {
+            // SAFETY: `buf[..len]` was copied verbatim from a validated
+            // `&str` in `new`, so it is valid UTF-8.
+            Repr::Inline { len, buf } => unsafe {
+                std::str::from_utf8_unchecked(&buf[..*len as usize])
+            },
+            Repr::Heap(s) => s,
+        }
     }
 
     /// The key bytes (what the CRC32 routing hash consumes).
     pub fn as_bytes(&self) -> &[u8] {
-        self.0.as_bytes()
+        self.as_str().as_bytes()
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.repr {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Heap(s) => s.len(),
+        }
     }
 
     /// Always false: empty keys cannot be constructed.
     pub fn is_empty(&self) -> bool {
         false
     }
+
+    /// The CRC32 of the key bytes, cached at construction.
+    ///
+    /// Identical to `janus_hash::crc32(key.as_bytes())` — router backend
+    /// selection and worker affinity consume this so the hot path never
+    /// re-walks the key.
+    pub fn crc32(&self) -> u32 {
+        self.crc32
+    }
+
+    /// The 64-bit FNV-1a digest of the key bytes, cached at construction.
+    ///
+    /// The lock-free QoS table keys its slots by this value.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Whether this key is stored inline (true for keys of at most
+    /// [`INLINE_KEY_BYTES`] bytes — such keys were built without heap
+    /// allocation).
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline { .. })
+    }
+}
+
+impl PartialEq for QosKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached digest disagrees for unequal keys with overwhelming
+        // probability, so most inequality checks never touch the bytes.
+        self.digest == other.digest && self.as_str() == other.as_str()
+    }
+}
+
+impl Eq for QosKey {}
+
+impl Hash for QosKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Must match `str`'s Hash exactly: the `Borrow<str>` impl lets
+        // hash maps look keys up by `&str`.
+        self.as_str().hash(state);
+    }
+}
+
+impl PartialOrd for QosKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QosKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_str().cmp(other.as_str())
+    }
 }
 
 impl fmt::Debug for QosKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "QosKey({:?})", &*self.0)
+        write!(f, "QosKey({:?})", self.as_str())
     }
 }
 
 impl fmt::Display for QosKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
 impl AsRef<str> for QosKey {
     fn as_ref(&self) -> &str {
-        &self.0
+        self.as_str()
     }
 }
 
 impl Borrow<str> for QosKey {
     fn borrow(&self) -> &str {
-        &self.0
+        self.as_str()
     }
 }
 
@@ -138,7 +299,7 @@ impl TryFrom<String> for QosKey {
 
 impl Serialize for QosKey {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.0)
+        serializer.serialize_str(self.as_str())
     }
 }
 
@@ -200,11 +361,60 @@ mod tests {
     }
 
     #[test]
+    fn short_keys_are_inline_long_keys_are_heap() {
+        assert!(QosKey::new("x".repeat(INLINE_KEY_BYTES))
+            .unwrap()
+            .is_inline());
+        assert!(!QosKey::new("x".repeat(INLINE_KEY_BYTES + 1))
+            .unwrap()
+            .is_inline());
+        assert!(QosKey::new("10.0.0.1").unwrap().is_inline());
+    }
+
+    #[test]
+    fn inline_and_heap_reprs_of_same_text_are_equal() {
+        // Equality and hashing go through the text, not the representation.
+        // (Same text always picks the same repr, but the invariant worth
+        // pinning is that repr never leaks into Eq/Hash/Ord.)
+        let k = QosKey::new("alice").unwrap();
+        assert_eq!(k.as_str(), "alice");
+        assert_eq!(k, QosKey::new("alice").unwrap());
+    }
+
+    #[test]
+    fn crc32_known_answer() {
+        // ISO-HDLC check value; janus-hash cross-checks the full
+        // slicing-by-8 implementation against this cached one.
+        assert_eq!(QosKey::new("123456789").unwrap().crc32(), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn digest_is_stable_and_discriminates() {
+        let a = QosKey::new("alice").unwrap();
+        assert_eq!(a.digest(), QosKey::new("alice").unwrap().digest());
+        assert_ne!(a.digest(), QosKey::new("bob").unwrap().digest());
+    }
+
+    #[test]
     fn borrow_allows_str_lookup() {
         use std::collections::HashMap;
         let mut map = HashMap::new();
         map.insert(QosKey::new("alice").unwrap(), 1u32);
         assert_eq!(map.get("alice"), Some(&1));
+    }
+
+    #[test]
+    fn hash_matches_str_hash() {
+        // The Borrow<str> contract: QosKey must hash exactly as its text.
+        use std::collections::hash_map::DefaultHasher;
+        for text in ["a", "alice:photos", &"x".repeat(200)] {
+            let key = QosKey::new(text).unwrap();
+            let mut h1 = DefaultHasher::new();
+            let mut h2 = DefaultHasher::new();
+            key.hash(&mut h1);
+            text.hash(&mut h2);
+            assert_eq!(h1.finish(), h2.finish(), "hash mismatch for {text:?}");
+        }
     }
 
     #[test]
@@ -227,6 +437,7 @@ mod tests {
             let key = QosKey::new(&s).unwrap();
             prop_assert_eq!(key.as_str(), s.as_str());
             prop_assert_eq!(key.len(), s.len());
+            prop_assert_eq!(key.is_inline(), s.len() <= INLINE_KEY_BYTES);
         }
 
         #[test]
@@ -234,13 +445,22 @@ mod tests {
             let key = QosKey::new(&s).unwrap();
             let dup = key.clone();
             prop_assert_eq!(&key, &dup);
+            prop_assert_eq!(key.crc32(), dup.crc32());
+            prop_assert_eq!(key.digest(), dup.digest());
             use std::collections::hash_map::DefaultHasher;
-            use std::hash::{Hash, Hasher};
             let mut h1 = DefaultHasher::new();
             let mut h2 = DefaultHasher::new();
             key.hash(&mut h1);
             dup.hash(&mut h2);
             prop_assert_eq!(h1.finish(), h2.finish());
+        }
+
+        #[test]
+        fn ord_matches_str_ord(a in "[ -~]{1,40}", b in "[ -~]{1,40}") {
+            let ka = QosKey::new(&a).unwrap();
+            let kb = QosKey::new(&b).unwrap();
+            prop_assert_eq!(ka.cmp(&kb), a.as_str().cmp(b.as_str()));
+            prop_assert_eq!(ka == kb, a == b);
         }
     }
 }

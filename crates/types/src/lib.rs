@@ -26,6 +26,58 @@ mod rule;
 
 pub use credits::{Credits, RefillRate, MICROCREDITS_PER_CREDIT};
 pub use error::{JanusError, Result};
-pub use key::{KeyError, QosKey, MAX_KEY_BYTES};
+pub use key::{KeyError, QosKey, INLINE_KEY_BYTES, MAX_KEY_BYTES};
 pub use message::{QosRequest, QosResponse, RequestId, RuleHint, Verdict};
 pub use rule::QosRule;
+
+/// A counting global allocator for this crate's test binary only: the
+/// zero-allocation guarantees of the request hot path (inline [`QosKey`],
+/// borrowing codec) are asserted by counting allocations, not by eyeball.
+/// Counters are per-thread so `cargo test`'s parallel tests cannot perturb
+/// each other's windows.
+#[cfg(test)]
+pub(crate) mod alloc_counter {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        // const-initialized: reading the counter never allocates, so the
+        // allocator itself is re-entrancy safe.
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub struct CountingAllocator;
+
+    // SAFETY: delegates every operation to `System`; the only addition is
+    // a thread-local counter bump, which does not allocate.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+            System.alloc(layout)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.with(|c| c.set(c.get() + 1));
+            System.realloc(ptr, layout, new_size)
+        }
+    }
+
+    #[global_allocator]
+    static COUNTER: CountingAllocator = CountingAllocator;
+
+    /// Heap allocations made by the current thread while `f` runs.
+    pub fn allocations_during(f: impl FnOnce()) -> u64 {
+        let before = ALLOCS.with(|c| c.get());
+        f();
+        ALLOCS.with(|c| c.get()) - before
+    }
+}

@@ -84,6 +84,45 @@ async fn batched_pooled_stack_is_still_exact() {
 }
 
 #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+async fn lock_free_stack_is_still_exact() {
+    // Same optimized plane with the lock-free table swapped in: the CAS
+    // loop must conserve credit exactly through routers, coalescing and
+    // concurrent clients, matching the per-worker table bit for bit.
+    let mut server = QosServerConfig::test_defaults();
+    server.table = janus_core::TableKind::LockFree;
+    let config = DeploymentConfig {
+        qos_servers: 2,
+        routers: 2,
+        pooled_rpc: true,
+        batching: true,
+        server,
+        rules: rules(&[("alice", 25, 0)]),
+        default_verdict: Verdict::Deny,
+        ..Default::default()
+    };
+    let deployment = std::sync::Arc::new(Deployment::launch(config).await.unwrap());
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let deployment = std::sync::Arc::clone(&deployment);
+        handles.push(tokio::spawn(async move {
+            let mut client = deployment.client().await.unwrap();
+            let mut admitted = 0u32;
+            for _ in 0..10 {
+                if client.qos_check(&key("alice")).await.unwrap() {
+                    admitted += 1;
+                }
+            }
+            admitted
+        }));
+    }
+    let mut admitted = 0;
+    for handle in handles {
+        admitted += handle.await.unwrap();
+    }
+    assert_eq!(admitted, 25, "lock-free plane must conserve credit exactly");
+}
+
+#[tokio::test(flavor = "multi_thread", worker_threads = 4)]
 async fn tenants_are_isolated() {
     // Draining one tenant's bucket must not affect another, even when
     // both land on the same QoS partition.
