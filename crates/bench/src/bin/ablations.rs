@@ -81,8 +81,7 @@ fn main() {
         print_table(
             "Ablation 1: UDP loss vs the 100us x 5-retry discipline (light load)",
             &["loss", "avg latency", "P99 latency", "default-reply rate"],
-            &out
-                .loss
+            &out.loss
                 .iter()
                 .map(|p| {
                     vec![
@@ -98,8 +97,7 @@ fn main() {
         print_table(
             "Ablation 2: synchronized vs sharded QoS table (5 x c3.8xlarge routers)",
             &["QoS server", "vCPU", "synchronized", "sharded", "sync CPU"],
-            &out
-                .lock
+            &out.lock
                 .iter()
                 .map(|p| {
                     vec![
@@ -117,8 +115,7 @@ fn main() {
         print_table(
             "Ablation 3: DNS-LB skew (4 routers, client-side TTL caching)",
             &["client hosts", "idle routers", "max/mean CPU"],
-            &out
-                .skew
+            &out.skew
                 .iter()
                 .map(|p| {
                     vec![
@@ -134,8 +131,7 @@ fn main() {
         print_table(
             "Ablation 4: tenant-popularity skew (Zipf over 8 QoS partitions)",
             &["zipf s", "throughput", "hottest QoS CPU", "coldest QoS CPU"],
-            &out
-                .tenant_skew
+            &out.tenant_skew
                 .iter()
                 .map(|p| {
                     vec![
@@ -156,8 +152,7 @@ fn main() {
         print_table(
             "Ablation 5: keys remapped when the QoS fleet resizes",
             &["fleet change", "modulo", "consistent ring"],
-            &out
-                .remap
+            &out.remap
                 .iter()
                 .map(|p| {
                     vec![
@@ -177,8 +172,7 @@ fn main() {
         print_table(
             "Ablation 6: batched admission data plane (live loopback, 8 clients)",
             &["mode", "krps", "completed", "timed_out", "shed"],
-            &out
-                .admission
+            &out.admission
                 .iter()
                 .map(|p| {
                     vec![
@@ -186,7 +180,7 @@ fn main() {
                         fmt_krps(p.krps * 1_000.0),
                         p.completed.to_string(),
                         p.timed_out.to_string(),
-                        p.shed.to_string(),
+                        (p.shed_full + p.shed_expired + p.shed_sojourn).to_string(),
                     ]
                 })
                 .collect::<Vec<_>>(),

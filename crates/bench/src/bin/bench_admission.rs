@@ -49,8 +49,7 @@ fn main() {
     let mut points = Vec::new();
     for variant in admission_variants() {
         for &clients in &client_sweep {
-            let point =
-                runtime.block_on(run_admission_variant(&variant, clients, per_client));
+            let point = runtime.block_on(run_admission_variant(&variant, clients, per_client));
             eprintln!(
                 "{:<32} clients={:<3} {:>8} completed, {}",
                 point.mode,
@@ -89,7 +88,9 @@ fn main() {
                     fmt_krps(p.krps * 1_000.0),
                     p.completed.to_string(),
                     p.timed_out.to_string(),
-                    p.shed.to_string(),
+                    (p.shed_full + p.shed_expired + p.shed_sojourn).to_string(),
+                    p.dedup_hits.to_string(),
+                    format!("{}us", p.sojourn_p99_us),
                     p.cas_retries.to_string(),
                     format!("{:.1}ms", p.elapsed_ms),
                 ]
@@ -105,6 +106,8 @@ fn main() {
                 "completed",
                 "timed_out",
                 "shed",
+                "dedup_hits",
+                "sojourn_p99",
                 "cas_retries",
                 "elapsed",
             ],

@@ -115,7 +115,17 @@ pub struct AdmissionPoint {
     /// Completed checks per second, in thousands.
     pub krps: f64,
     /// Datagrams the server shed at full queues.
-    pub shed: u64,
+    pub shed_full: u64,
+    /// Datagrams the server shed because their deadline budget was spent.
+    pub shed_expired: u64,
+    /// Datagrams the sojourn governor shed (standing queue).
+    pub shed_sojourn: u64,
+    /// Duplicate attempts absorbed by the server's dedup window.
+    pub dedup_hits: u64,
+    /// Server-side median queue sojourn, microseconds.
+    pub sojourn_p50_us: u64,
+    /// Server-side 99th-percentile queue sojourn, microseconds.
+    pub sojourn_p99_us: u64,
     /// Bucket CAS retries the server's table paid (lock-free only).
     pub cas_retries: u64,
     /// Open-addressing probe steps beyond the home slot (lock-free only).
@@ -148,13 +158,10 @@ pub async fn run_admission_variant(
     } else {
         BatchConfig::disabled()
     };
-    let pool = PooledUdpRpcClient::bind_with_batch(
-        UdpRpcConfig::lan_defaults(),
-        batch,
-        FaultPlan::none(),
-    )
-    .await
-    .expect("pooled client");
+    let pool =
+        PooledUdpRpcClient::bind_with_batch(UdpRpcConfig::lan_defaults(), batch, FaultPlan::none())
+            .await
+            .expect("pooled client");
 
     // Warm the table (first sighting of every key inserts a guest rule)
     // so the timed section measures the steady-state hot path.
@@ -203,7 +210,12 @@ pub async fn run_admission_variant(
         timed_out,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         krps: completed as f64 / elapsed.as_secs_f64() / 1e3,
-        shed: stats.shed,
+        shed_full: stats.shed_full,
+        shed_expired: stats.shed_expired,
+        shed_sojourn: stats.shed_sojourn,
+        dedup_hits: stats.dedup_hits,
+        sojourn_p50_us: stats.sojourn_p50_us,
+        sojourn_p99_us: stats.sojourn_p99_us,
         cas_retries: stats.cas_retries,
         probe_steps: stats.probe_steps,
         pool_recycle_hits: stats.pool_recycle_hits,
@@ -223,7 +235,11 @@ mod tests {
             assert_eq!(point.completed + point.timed_out, 20, "{}", variant.name);
             assert!(point.completed > 0, "{} completed nothing", variant.name);
             if variant.table != TableKind::LockFree {
-                assert_eq!(point.cas_retries, 0, "{}: locked tables never CAS", variant.name);
+                assert_eq!(
+                    point.cas_retries, 0,
+                    "{}: locked tables never CAS",
+                    variant.name
+                );
                 assert_eq!(point.probe_steps, 0, "{}", variant.name);
             }
         }

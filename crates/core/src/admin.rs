@@ -43,7 +43,8 @@ pub struct FleetStats {
     pub partitions: usize,
     /// Per-partition decision counters.
     pub partition_answered: Vec<u64>,
-    /// Per-partition datagrams shed by a full FIFO.
+    /// Per-partition datagrams shed for any reason: full queue, expired
+    /// deadline budget, or the sojourn governor.
     pub partition_shed: Vec<u64>,
     /// Per-partition database fetches (first sightings).
     pub partition_db_fetches: Vec<u64>,
@@ -116,12 +117,7 @@ impl AdminHandler {
                     .map(|s| s.answered.load(Ordering::Relaxed))
                     .unwrap_or(0),
             );
-            shed.push(
-                stats
-                    .as_ref()
-                    .map(|s| s.shed.load(Ordering::Relaxed))
-                    .unwrap_or(0),
-            );
+            shed.push(stats.as_ref().map(|s| s.shed_total()).unwrap_or(0));
             db_fetches.push(
                 stats
                     .as_ref()
@@ -187,9 +183,7 @@ impl HttpHandler for AdminHandler {
                 },
                 _ => Ok(HttpResponse::status(StatusCode::NOT_FOUND)),
             };
-            outcome.unwrap_or_else(|_| {
-                HttpResponse::status(StatusCode::SERVICE_UNAVAILABLE)
-            })
+            outcome.unwrap_or_else(|_| HttpResponse::status(StatusCode::SERVICE_UNAVAILABLE))
         })
     }
 }
@@ -346,10 +340,7 @@ mod tests {
             .unwrap();
         assert_eq!(resp.status, StatusCode::BAD_REQUEST);
         // Nested path.
-        let resp = http
-            .request(&HttpRequest::get("/rules/a/b"))
-            .await
-            .unwrap();
+        let resp = http.request(&HttpRequest::get("/rules/a/b")).await.unwrap();
         assert_eq!(resp.status, StatusCode::BAD_REQUEST);
         // Unknown route.
         let resp = http.request(&HttpRequest::get("/nope")).await.unwrap();

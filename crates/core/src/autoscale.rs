@@ -107,8 +107,8 @@ impl Autoscaler {
                     _ = ticker.tick() => {}
                 }
                 let total: u64 = deployment.router_served_counts().iter().sum();
-                let rate = (total.saturating_sub(last_total)) as f64
-                    / config.evaluate_every.as_secs_f64();
+                let rate =
+                    (total.saturating_sub(last_total)) as f64 / config.evaluate_every.as_secs_f64();
                 last_total = total;
                 if cooldown > 0 {
                     cooldown -= 1;

@@ -239,8 +239,7 @@ pub async fn run_chaos_soak(config: ChaosConfig) -> Result<ChaosReport> {
     phases.push(hammer(&mut client, &key, &config, "healed").await);
 
     let elapsed = soak_started.elapsed();
-    let total_allowed =
-        phases.iter().map(|p| u64::from(p.allowed)).sum::<u64>() + recovery_allowed;
+    let total_allowed = phases.iter().map(|p| u64::from(p.allowed)).sum::<u64>() + recovery_allowed;
     let total_denied = phases.iter().map(|p| u64::from(p.denied)).sum();
     let total_errors = phases.iter().map(|p| u64::from(p.errors)).sum();
     let total_requests: u64 = phases.iter().map(|p| u64::from(p.requests)).sum();
@@ -256,7 +255,9 @@ pub async fn run_chaos_soak(config: ChaosConfig) -> Result<ChaosReport> {
         let stats = g.stats();
         (
             stats.ejections.load(std::sync::atomic::Ordering::Relaxed),
-            stats.readmissions.load(std::sync::atomic::Ordering::Relaxed),
+            stats
+                .readmissions
+                .load(std::sync::atomic::Ordering::Relaxed),
         )
     });
 

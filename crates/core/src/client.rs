@@ -117,16 +117,14 @@ mod tests {
     async fn fake_router(allow: bool) -> (HttpServer, Arc<AtomicU64>) {
         let hits = Arc::new(AtomicU64::new(0));
         let hits_handler = Arc::clone(&hits);
-        let server = HttpServer::spawn(Arc::new(
-            move |req: HttpRequest, _peer: SocketAddr| {
-                let hits = Arc::clone(&hits_handler);
-                async move {
-                    hits.fetch_add(1, Ordering::Relaxed);
-                    assert_eq!(req.path(), "/qos");
-                    HttpResponse::ok(if allow { "TRUE" } else { "FALSE" })
-                }
-            },
-        ))
+        let server = HttpServer::spawn(Arc::new(move |req: HttpRequest, _peer: SocketAddr| {
+            let hits = Arc::clone(&hits_handler);
+            async move {
+                hits.fetch_add(1, Ordering::Relaxed);
+                assert_eq!(req.path(), "/qos");
+                HttpResponse::ok(if allow { "TRUE" } else { "FALSE" })
+            }
+        }))
         .await
         .unwrap();
         (server, hits)

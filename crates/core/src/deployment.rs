@@ -186,8 +186,7 @@ impl Deployment {
             let standby = DbServer::spawn(standby_engine).await?;
             let master_engine = Arc::new(RulesEngine::new());
             master_engine.load(config.rules.iter().cloned());
-            let master =
-                DbServer::spawn_with_standby(master_engine, standby.addr()).await?;
+            let master = DbServer::spawn_with_standby(master_engine, standby.addr()).await?;
             zone.insert_failover(
                 DB_DNS_NAME,
                 master.addr(),
@@ -222,19 +221,16 @@ impl Deployment {
                 resolver: Arc::new(Resolver::new(Arc::clone(&zone), Arc::clone(&clock))),
             }
         } else {
-            DbTarget::Direct(
-                db.master
-                    .as_ref()
-                    .expect("master exists at launch")
-                    .addr(),
-            )
+            DbTarget::Direct(db.master.as_ref().expect("master exists at launch").addr())
         };
 
         // QoS server layer: one failover DNS record per partition.
         let mut partitions = Vec::with_capacity(config.qos_servers);
         let mut ha_ports: HashMap<SocketAddr, SocketAddr> = HashMap::new();
         for index in 0..config.qos_servers {
-            let master = QosServer::spawn(config.server.clone(), Some(db_target.clone()),
+            let master = QosServer::spawn(
+                config.server.clone(),
+                Some(db_target.clone()),
                 Arc::clone(&clock),
             )
             .await?;
@@ -242,7 +238,9 @@ impl Deployment {
             ha_ports.insert(master.udp_addr(), master.ha_addr());
 
             let (slave, replicator) = if config.ha {
-                let slave = QosServer::spawn(config.server.clone(), Some(db_target.clone()),
+                let slave = QosServer::spawn(
+                    config.server.clone(),
+                    Some(db_target.clone()),
                     Arc::clone(&clock),
                 )
                 .await?;
@@ -319,10 +317,7 @@ impl Deployment {
         };
         let router_addrs: Vec<SocketAddr> = routers.iter().map(|r| r.addr()).collect();
         let (gateways, dns_lb) = match config.lb {
-            LbMode::Gateway(policy) => (
-                vec![spawn_gateway(router_addrs, policy).await?],
-                None,
-            ),
+            LbMode::Gateway(policy) => (vec![spawn_gateway(router_addrs, policy).await?], None),
             LbMode::Dns { ttl } => (
                 Vec::new(),
                 Some(DnsLb::publish(
@@ -345,12 +340,8 @@ impl Deployment {
                     gateways.push(spawn_gateway(router_addrs.clone(), policy).await?);
                 }
                 let gateway_addrs = gateways.iter().map(|g| g.addr()).collect();
-                let dns_lb = DnsLb::publish(
-                    Arc::clone(&zone),
-                    "janus.endpoint",
-                    gateway_addrs,
-                    ttl,
-                )?;
+                let dns_lb =
+                    DnsLb::publish(Arc::clone(&zone), "janus.endpoint", gateway_addrs, ttl)?;
                 (gateways, Some(dns_lb))
             }
             LbMode::None => (Vec::new(), None),
@@ -396,9 +387,10 @@ impl Deployment {
         if let Some(dns_lb) = &self.dns_lb {
             Endpoint::Dns {
                 name: dns_lb.name().to_string(),
-                resolver: Arc::new(
-                    Resolver::new(Arc::clone(&self.zone), Arc::clone(&self.clock)),
-                ),
+                resolver: Arc::new(Resolver::new(
+                    Arc::clone(&self.zone),
+                    Arc::clone(&self.clock),
+                )),
             }
         } else if let Some(gateway) = self.gateways.first() {
             Endpoint::Direct(gateway.addr())
@@ -494,7 +486,11 @@ impl Deployment {
         self.routers
             .read()
             .iter()
-            .map(|r| r.stats().defaulted.load(std::sync::atomic::Ordering::Relaxed))
+            .map(|r| {
+                r.stats()
+                    .defaulted
+                    .load(std::sync::atomic::Ordering::Relaxed)
+            })
             .sum()
     }
 
@@ -543,10 +539,8 @@ impl Deployment {
         // DNS-over-gateways it lists gateways, which do not change here.
         if self.gateways.is_empty() {
             if let Some(dns_lb) = &self.dns_lb {
-                dns_lb.update_targets(
-                    addrs,
-                    self.router_template.lb_ttl.unwrap_or(Duration::ZERO),
-                )?;
+                dns_lb
+                    .update_targets(addrs, self.router_template.lb_ttl.unwrap_or(Duration::ZERO))?;
             }
         }
         for router in removed {

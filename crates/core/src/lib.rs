@@ -37,12 +37,14 @@ mod autoscale;
 pub mod chaos;
 mod client;
 mod deployment;
+pub mod overload;
 
 pub use admin::{AdminApi, FleetStats};
 pub use autoscale::{Autoscaler, AutoscalerConfig, ScaleEvent};
 pub use chaos::{run_chaos_soak, ChaosConfig, ChaosReport, PhaseReport};
 pub use client::{Endpoint, QosClient};
 pub use deployment::{Deployment, DeploymentConfig, LbMode};
+pub use overload::{run_overload_soak, OverloadPhase, OverloadReport, OverloadSoakConfig};
 
 // Re-export the pieces applications and experiments touch directly, so a
 // single dependency on `janus-core` suffices.

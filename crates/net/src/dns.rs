@@ -320,7 +320,11 @@ mod tests {
     #[test]
     fn round_robin_permutes_per_query() {
         let zone = Zone::new();
-        zone.insert("janus.test", vec![addr(1), addr(2), addr(3)], Duration::from_secs(30));
+        zone.insert(
+            "janus.test",
+            vec![addr(1), addr(2), addr(3)],
+            Duration::from_secs(30),
+        );
         let a = zone.query("janus.test").unwrap().targets;
         let b = zone.query("janus.test").unwrap().targets;
         let c = zone.query("janus.test").unwrap().targets;
@@ -335,7 +339,11 @@ mod tests {
     fn first_answers_cycle_over_all_routers() {
         // Uncached clients hitting the zone directly spread across nodes.
         let zone = Zone::new();
-        zone.insert("janus.test", vec![addr(1), addr(2)], Duration::from_secs(30));
+        zone.insert(
+            "janus.test",
+            vec![addr(1), addr(2)],
+            Duration::from_secs(30),
+        );
         let firsts: Vec<_> = (0..4)
             .map(|_| zone.query("janus.test").unwrap().targets[0])
             .collect();
@@ -351,7 +359,11 @@ mod tests {
     #[test]
     fn resolver_caches_within_ttl() {
         let zone = Zone::new();
-        zone.insert("janus.test", vec![addr(1), addr(2)], Duration::from_secs(30));
+        zone.insert(
+            "janus.test",
+            vec![addr(1), addr(2)],
+            Duration::from_secs(30),
+        );
         let clock = Arc::new(SimClock::new());
         let resolver = Resolver::new(Arc::clone(&zone), clock.clone());
 
@@ -373,7 +385,11 @@ mod tests {
         // Two client hosts each cache a different permutation: DNS LB
         // spreads clients across routers even while each is pinned.
         let zone = Zone::new();
-        zone.insert("janus.test", vec![addr(1), addr(2)], Duration::from_secs(30));
+        zone.insert(
+            "janus.test",
+            vec![addr(1), addr(2)],
+            Duration::from_secs(30),
+        );
         let clock: SharedClock = Arc::new(SimClock::new());
         let host_a = Resolver::new(Arc::clone(&zone), Arc::clone(&clock));
         let host_b = Resolver::new(Arc::clone(&zone), clock);
@@ -386,7 +402,11 @@ mod tests {
     #[test]
     fn resolver_flush_forces_requery() {
         let zone = Zone::new();
-        zone.insert("janus.test", vec![addr(1), addr(2)], Duration::from_secs(3600));
+        zone.insert(
+            "janus.test",
+            vec![addr(1), addr(2)],
+            Duration::from_secs(3600),
+        );
         let clock: SharedClock = Arc::new(SimClock::new());
         let resolver = Resolver::new(Arc::clone(&zone), clock);
         let first = resolver.resolve_one("janus.test").unwrap();
@@ -398,7 +418,12 @@ mod tests {
     #[test]
     fn failover_answers_primary_then_standby() {
         let zone = Zone::new();
-        zone.insert_failover("qos-1.test", addr(10), Some(addr(11)), Duration::from_secs(5));
+        zone.insert_failover(
+            "qos-1.test",
+            addr(10),
+            Some(addr(11)),
+            Duration::from_secs(5),
+        );
         assert_eq!(zone.query("qos-1.test").unwrap().targets, vec![addr(10)]);
         assert_eq!(zone.active_primary("qos-1.test").unwrap(), addr(10));
 
@@ -425,12 +450,19 @@ mod tests {
     async fn health_monitor_promotes_on_dead_primary() {
         // Primary "health port" is a dead socket; standby should be
         // promoted after the failure threshold.
-        let dead = tokio::net::TcpListener::bind(("127.0.0.1", 0)).await.unwrap();
+        let dead = tokio::net::TcpListener::bind(("127.0.0.1", 0))
+            .await
+            .unwrap();
         let dead_addr = dead.local_addr().unwrap();
         drop(dead);
 
         let zone = Zone::new();
-        zone.insert_failover("qos-0.test", dead_addr, Some(addr(999)), Duration::from_secs(1));
+        zone.insert_failover(
+            "qos-0.test",
+            dead_addr,
+            Some(addr(999)),
+            Duration::from_secs(1),
+        );
         let _monitor = spawn_tcp_health_monitor(
             Arc::clone(&zone),
             "qos-0.test".to_string(),
@@ -450,7 +482,9 @@ mod tests {
 
     #[tokio::test]
     async fn health_monitor_leaves_healthy_primary_alone() {
-        let listener = tokio::net::TcpListener::bind(("127.0.0.1", 0)).await.unwrap();
+        let listener = tokio::net::TcpListener::bind(("127.0.0.1", 0))
+            .await
+            .unwrap();
         let healthy_addr = listener.local_addr().unwrap();
         tokio::spawn(async move {
             loop {
@@ -458,7 +492,12 @@ mod tests {
             }
         });
         let zone = Zone::new();
-        zone.insert_failover("qos-0.test", healthy_addr, Some(addr(999)), Duration::from_secs(1));
+        zone.insert_failover(
+            "qos-0.test",
+            healthy_addr,
+            Some(addr(999)),
+            Duration::from_secs(1),
+        );
         let _monitor = spawn_tcp_health_monitor(
             Arc::clone(&zone),
             "qos-0.test".to_string(),

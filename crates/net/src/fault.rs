@@ -3,9 +3,16 @@
 //! UDP "does not ensure reliable communication" (paper §III-B); the router
 //! compensates with timeouts and retries. To test that machinery — and to
 //! quantify decision latency as a function of loss (DESIGN.md ablation 3)
-//! — sockets can be wrapped with a [`FaultPlan`] that drops or delays
-//! datagrams with configured probabilities, driven by a seeded RNG so
-//! every test run sees the same loss pattern.
+//! — sockets can be wrapped with a [`FaultPlan`] that drops, delays,
+//! duplicates or reorders datagrams with configured probabilities, driven
+//! by a seeded RNG so every test run sees the same fault pattern.
+//!
+//! Duplication and reordering are the two UDP behaviours that make retry
+//! *idempotency* testable: a duplicated request datagram is exactly what a
+//! router retry looks like to the server, and a deferred (reordered) one
+//! lets a later attempt overtake an earlier one. Both resolve out-of-band:
+//! the send path transmits the extra/late copy from a spawned task so the
+//! caller is never blocked.
 
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -14,18 +21,49 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// What should happen to one datagram, as decided by [`FaultPlan::judge_fate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fate {
+    /// Silently discard it (the caller pretends it left).
+    Drop,
+    /// Deliver it after the given pause (zero = immediately). The pause
+    /// blocks the sender, like a congested local queue would.
+    Deliver(Duration),
+    /// Deliver it now **and** again after the given pause. The second
+    /// copy is sent out-of-band so the caller never blocks — to the
+    /// receiver it is indistinguishable from a router retry.
+    Duplicate(Duration),
+    /// Deliver it only after the given pause, out-of-band: datagrams
+    /// sent later overtake this one, i.e. reordering.
+    Defer(Duration),
+}
+
 /// A shared, thread-safe fault injection plan.
 ///
 /// Probabilities are stored as parts-per-million so they can be read and
 /// updated atomically mid-test (e.g. "heal the network after 2 seconds").
+/// One roll decides the fate of each datagram; the fault classes are
+/// mutually exclusive per datagram, with precedence drop > delay >
+/// duplicate > reorder.
 #[derive(Debug)]
 pub struct FaultPlan {
     drop_ppm: AtomicU64,
     delay_ppm: AtomicU64,
     delay: Mutex<Duration>,
+    duplicate_ppm: AtomicU64,
+    duplicate_delay: Mutex<Duration>,
+    reorder_ppm: AtomicU64,
+    reorder_delay: Mutex<Duration>,
     rng: Mutex<StdRng>,
     dropped: AtomicU64,
     delayed: AtomicU64,
+    duplicated: AtomicU64,
+    reordered: AtomicU64,
+}
+
+fn to_ppm(p: f64) -> u64 {
+    assert!((0.0..=1.0).contains(&p), "probability in [0,1]");
+    (p * 1_000_000.0) as u64
 }
 
 impl FaultPlan {
@@ -36,20 +74,24 @@ impl FaultPlan {
 
     /// A plan dropping each datagram with probability `drop_p` and
     /// delaying (by `delay`) with probability `delay_p`, deterministically
-    /// from `seed`.
+    /// from `seed`. Duplication and reordering start disabled; see
+    /// [`FaultPlan::set_duplication`] and [`FaultPlan::set_reordering`].
     pub fn new(drop_p: f64, delay_p: f64, delay: Duration, seed: u64) -> Arc<Self> {
         assert!((0.0..=1.0).contains(&drop_p), "drop probability in [0,1]");
-        assert!(
-            (0.0..=1.0).contains(&delay_p),
-            "delay probability in [0,1]"
-        );
+        assert!((0.0..=1.0).contains(&delay_p), "delay probability in [0,1]");
         Arc::new(FaultPlan {
             drop_ppm: AtomicU64::new((drop_p * 1_000_000.0) as u64),
             delay_ppm: AtomicU64::new((delay_p * 1_000_000.0) as u64),
             delay: Mutex::new(delay),
+            duplicate_ppm: AtomicU64::new(0),
+            duplicate_delay: Mutex::new(Duration::ZERO),
+            reorder_ppm: AtomicU64::new(0),
+            reorder_delay: Mutex::new(Duration::ZERO),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             dropped: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
+            duplicated: AtomicU64::new(0),
+            reordered: AtomicU64::new(0),
         })
     }
 
@@ -60,24 +102,61 @@ impl FaultPlan {
             .store((p * 1_000_000.0) as u64, Ordering::Relaxed);
     }
 
-    /// Decide the fate of one datagram: `None` to drop it, or
-    /// `Some(delay)` (possibly zero) to deliver it after `delay`.
-    pub fn judge(&self) -> Option<Duration> {
+    /// Duplicate each datagram with probability `p`; the second copy is
+    /// transmitted `delay` after the first.
+    pub fn set_duplication(&self, p: f64, delay: Duration) {
+        self.duplicate_ppm.store(to_ppm(p), Ordering::Relaxed);
+        *self.duplicate_delay.lock() = delay;
+    }
+
+    /// Defer each datagram with probability `p` by `delay`, letting
+    /// later datagrams overtake it (reordering).
+    pub fn set_reordering(&self, p: f64, delay: Duration) {
+        self.reorder_ppm.store(to_ppm(p), Ordering::Relaxed);
+        *self.reorder_delay.lock() = delay;
+    }
+
+    /// Decide the fate of one datagram, counting what was decided.
+    pub fn judge_fate(&self) -> Fate {
         let drop_ppm = self.drop_ppm.load(Ordering::Relaxed);
         let delay_ppm = self.delay_ppm.load(Ordering::Relaxed);
-        if drop_ppm == 0 && delay_ppm == 0 {
-            return Some(Duration::ZERO);
+        let duplicate_ppm = self.duplicate_ppm.load(Ordering::Relaxed);
+        let reorder_ppm = self.reorder_ppm.load(Ordering::Relaxed);
+        if drop_ppm == 0 && delay_ppm == 0 && duplicate_ppm == 0 && reorder_ppm == 0 {
+            return Fate::Deliver(Duration::ZERO);
         }
         let roll: u64 = self.rng.lock().gen_range(0..1_000_000);
         if roll < drop_ppm {
             self.dropped.fetch_add(1, Ordering::Relaxed);
-            return None;
+            return Fate::Drop;
         }
         if roll < drop_ppm + delay_ppm {
             self.delayed.fetch_add(1, Ordering::Relaxed);
-            return Some(*self.delay.lock());
+            return Fate::Deliver(*self.delay.lock());
         }
-        Some(Duration::ZERO)
+        if roll < drop_ppm + delay_ppm + duplicate_ppm {
+            self.duplicated.fetch_add(1, Ordering::Relaxed);
+            return Fate::Duplicate(*self.duplicate_delay.lock());
+        }
+        if roll < drop_ppm + delay_ppm + duplicate_ppm + reorder_ppm {
+            self.reordered.fetch_add(1, Ordering::Relaxed);
+            return Fate::Defer(*self.reorder_delay.lock());
+        }
+        Fate::Deliver(Duration::ZERO)
+    }
+
+    /// Decide the fate of one datagram: `None` to drop it, or
+    /// `Some(delay)` (possibly zero) to deliver it after `delay`.
+    ///
+    /// This is the drop/delay-only view kept for call sites that cannot
+    /// transmit out-of-band copies; a duplicate fate degrades to an
+    /// immediate single delivery and a defer fate to a blocking delay.
+    pub fn judge(&self) -> Option<Duration> {
+        match self.judge_fate() {
+            Fate::Drop => None,
+            Fate::Deliver(delay) | Fate::Defer(delay) => Some(delay),
+            Fate::Duplicate(_) => Some(Duration::ZERO),
+        }
     }
 
     /// Datagrams dropped so far.
@@ -88,6 +167,16 @@ impl FaultPlan {
     /// Datagrams delayed so far.
     pub fn delayed(&self) -> u64 {
         self.delayed.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams duplicated so far.
+    pub fn duplicated(&self) -> u64 {
+        self.duplicated.load(Ordering::Relaxed)
+    }
+
+    /// Datagrams deferred (reordered) so far.
+    pub fn reordered(&self) -> u64 {
+        self.reordered.load(Ordering::Relaxed)
     }
 }
 
@@ -142,5 +231,78 @@ mod tests {
     #[should_panic(expected = "in [0,1]")]
     fn rejects_bad_probability() {
         FaultPlan::new(1.5, 0.0, Duration::ZERO, 0);
+    }
+
+    #[test]
+    fn duplication_fires_and_counts() {
+        let plan = FaultPlan::new(0.0, 0.0, Duration::ZERO, 11);
+        plan.set_duplication(1.0, Duration::from_millis(2));
+        assert_eq!(plan.judge_fate(), Fate::Duplicate(Duration::from_millis(2)));
+        assert_eq!(plan.duplicated(), 1);
+        // Through the drop/delay-only view the datagram still leaves once,
+        // immediately.
+        assert_eq!(plan.judge(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn reordering_fires_and_counts() {
+        let plan = FaultPlan::new(0.0, 0.0, Duration::ZERO, 12);
+        plan.set_reordering(1.0, Duration::from_millis(4));
+        assert_eq!(plan.judge_fate(), Fate::Defer(Duration::from_millis(4)));
+        assert_eq!(plan.reordered(), 1);
+    }
+
+    #[test]
+    fn duplication_rate_approximates_probability() {
+        let plan = FaultPlan::new(0.0, 0.0, Duration::ZERO, 13);
+        plan.set_duplication(0.2, Duration::ZERO);
+        let n = 100_000;
+        let dup = (0..n)
+            .filter(|_| matches!(plan.judge_fate(), Fate::Duplicate(_)))
+            .count();
+        let rate = dup as f64 / n as f64;
+        assert!(
+            (rate - 0.2).abs() < 0.01,
+            "observed duplication rate {rate}"
+        );
+        assert_eq!(plan.duplicated(), dup as u64);
+    }
+
+    #[test]
+    fn fault_classes_are_mutually_exclusive_per_datagram() {
+        // drop 0.3 + delay 0.2 + duplicate 0.3 + reorder 0.2 exactly
+        // partition the roll space: every datagram draws exactly one fate
+        // and the class counters sum to the datagram count.
+        let plan = FaultPlan::new(0.3, 0.2, Duration::from_micros(1), 21);
+        plan.set_duplication(0.3, Duration::from_micros(1));
+        plan.set_reordering(0.2, Duration::from_micros(1));
+        let n = 10_000u64;
+        for _ in 0..n {
+            plan.judge_fate();
+        }
+        assert_eq!(
+            plan.dropped() + plan.delayed() + plan.duplicated() + plan.reordered(),
+            n
+        );
+    }
+
+    #[test]
+    fn same_seed_same_fates() {
+        let mk = || {
+            let p = FaultPlan::new(0.2, 0.1, Duration::from_micros(5), 77);
+            p.set_duplication(0.3, Duration::from_micros(7));
+            p.set_reordering(0.2, Duration::from_micros(9));
+            p
+        };
+        let (a, b) = (mk(), mk());
+        for _ in 0..1000 {
+            assert_eq!(a.judge_fate(), b.judge_fate());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability in [0,1]")]
+    fn rejects_bad_duplication_probability() {
+        FaultPlan::none().set_duplication(-0.1, Duration::ZERO);
     }
 }

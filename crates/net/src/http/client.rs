@@ -38,10 +38,7 @@ impl HttpClient {
 
     /// Issue one request and await its response.
     pub async fn request(&mut self, request: &HttpRequest) -> Result<HttpResponse> {
-        self.reader
-            .get_mut()
-            .write_all(&request.to_bytes())
-            .await?;
+        self.reader.get_mut().write_all(&request.to_bytes()).await?;
         read_response(&mut self.reader, &self.limits).await
     }
 
@@ -82,7 +79,9 @@ mod tests {
     #[tokio::test]
     async fn connect_to_dead_port_errors() {
         // Bind and immediately drop to obtain a (very likely) dead port.
-        let listener = tokio::net::TcpListener::bind(("127.0.0.1", 0)).await.unwrap();
+        let listener = tokio::net::TcpListener::bind(("127.0.0.1", 0))
+            .await
+            .unwrap();
         let addr = listener.local_addr().unwrap();
         drop(listener);
         assert!(HttpClient::connect(addr).await.is_err());

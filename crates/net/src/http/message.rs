@@ -128,7 +128,8 @@ impl HttpRequest {
 
     /// Add a header (name is lowercased).
     pub fn with_header(mut self, name: &str, value: &str) -> Self {
-        self.headers.push((name.to_ascii_lowercase(), value.to_string()));
+        self.headers
+            .push((name.to_ascii_lowercase(), value.to_string()));
         self
     }
 
@@ -240,7 +241,8 @@ impl HttpResponse {
 
     /// Add a header (name lowercased).
     pub fn with_header(mut self, name: &str, value: &str) -> Self {
-        self.headers.push((name.to_ascii_lowercase(), value.to_string()));
+        self.headers
+            .push((name.to_ascii_lowercase(), value.to_string()));
         self
     }
 
@@ -291,8 +293,7 @@ pub fn percent_decode(s: &str) -> String {
             }
             b'%' => {
                 let hex = bytes.get(i + 1..i + 3);
-                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok())
-                {
+                match hex.and_then(|h| u8::from_str_radix(std::str::from_utf8(h).ok()?, 16).ok()) {
                     Some(b) => {
                         out.push(b);
                         i += 3;

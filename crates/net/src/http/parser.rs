@@ -77,10 +77,7 @@ async fn read_headers<R: AsyncBufRead + Unpin>(
         let (name, value) = line
             .split_once(':')
             .ok_or_else(|| JanusError::http(format!("malformed header: {line:?}")))?;
-        headers.push((
-            name.trim().to_ascii_lowercase(),
-            value.trim().to_string(),
-        ));
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 }
 
@@ -201,12 +198,10 @@ mod tests {
 
     #[tokio::test]
     async fn parses_post_with_body() {
-        let req = parse_request(
-            "POST /rules HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
-        )
-        .await
-        .unwrap()
-        .unwrap();
+        let req = parse_request("POST /rules HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello")
+            .await
+            .unwrap()
+            .unwrap();
         assert_eq!(req.method, Method::Post);
         assert_eq!(req.body, b"hello");
     }
@@ -228,7 +223,9 @@ mod tests {
     #[tokio::test]
     async fn eof_mid_request_errors() {
         assert!(parse_request("GET / HT").await.is_err());
-        assert!(parse_request("GET / HTTP/1.1\r\nhost: x\r\n").await.is_err());
+        assert!(parse_request("GET / HTTP/1.1\r\nhost: x\r\n")
+            .await
+            .is_err());
     }
 
     #[tokio::test]
@@ -244,7 +241,9 @@ mod tests {
 
     #[tokio::test]
     async fn rejects_relative_target() {
-        assert!(parse_request("GET index.html HTTP/1.1\r\n\r\n").await.is_err());
+        assert!(parse_request("GET index.html HTTP/1.1\r\n\r\n")
+            .await
+            .is_err());
     }
 
     #[tokio::test]
@@ -355,9 +354,7 @@ mod proptests {
     }
 
     fn header_name() -> impl Strategy<Value = String> {
-        "[a-z][a-z0-9-]{0,20}".prop_filter("content-length is auto-set", |n| {
-            n != "content-length"
-        })
+        "[a-z][a-z0-9-]{0,20}".prop_filter("content-length is auto-set", |n| n != "content-length")
     }
 
     proptest! {

@@ -84,8 +84,8 @@ impl HttpServer {
                 let shutdown = Arc::clone(&accept_shutdown);
                 let requests = Arc::clone(&accept_requests);
                 tokio::spawn(async move {
-                    let _ = serve_connection(stream, peer, handler, limits, shutdown, requests)
-                        .await;
+                    let _ =
+                        serve_connection(stream, peer, handler, limits, shutdown, requests).await;
                 });
             }
         });
@@ -196,7 +196,11 @@ mod tests {
                 .unwrap();
             assert!(resp.body_text().contains(&format!("/req{i}")));
         }
-        assert_eq!(server.connections(), 1, "keep-alive should reuse one TCP connection");
+        assert_eq!(
+            server.connections(),
+            1,
+            "keep-alive should reuse one TCP connection"
+        );
         assert_eq!(server.requests(), 10);
     }
 

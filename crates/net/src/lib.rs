@@ -47,14 +47,11 @@ pub fn poke_listener(addr: std::net::SocketAddr) {
             let _ = tokio::net::TcpStream::connect(addr).await;
         });
     } else {
-        let _ = std::net::TcpStream::connect_timeout(
-            &addr,
-            std::time::Duration::from_millis(50),
-        );
+        let _ = std::net::TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(50));
     }
 }
 pub use buffer_pool::{BufferPool, BufferPoolSnapshot, PooledBuf};
-pub use fault::FaultPlan;
+pub use fault::{Fate, FaultPlan};
 pub use http::{HttpClient, HttpRequest, HttpResponse, HttpServer, Method, StatusCode};
 pub use udp::{RetryBackoff, UdpRpcClient, UdpRpcConfig, UdpServerSocket};
 pub use udp_pool::{BatchConfig, PooledUdpRpcClient};

@@ -14,7 +14,7 @@
 //! (the bucket is charged twice, which errs on the conservative side —
 //! admission control may only undercount credit, never oversell).
 
-use crate::fault::FaultPlan;
+use crate::fault::{Fate, FaultPlan};
 use bytes::Bytes;
 use janus_types::codec::{self, Frame, MAX_FRAME_BYTES};
 use janus_types::{JanusError, QosRequest, QosResponse, Result};
@@ -58,10 +58,7 @@ impl RetryBackoff {
                     return Duration::ZERO;
                 }
                 let doublings = (attempt - 1).min(20);
-                let window = base
-                    .saturating_mul(1u32 << doublings)
-                    .min(cap)
-                    .as_nanos() as u64;
+                let window = base.saturating_mul(1u32 << doublings).min(cap).as_nanos() as u64;
                 if window == 0 {
                     return Duration::ZERO;
                 }
@@ -95,6 +92,17 @@ pub struct UdpRpcConfig {
     pub max_retries: u32,
     /// Pause policy between retries. Paper value: none ([`RetryBackoff::Fixed`]).
     pub backoff: RetryBackoff,
+    /// Propagate the retry budget end to end: stamp every attempt with
+    /// the remaining deadline (total budget = [`UdpRpcConfig::worst_case`],
+    /// or the caller's pre-stamped budget) and a per-logical-request
+    /// nonce, and stop retrying once the budget is spent. Servers use the
+    /// budget to shed work nobody is waiting for and the nonce to answer
+    /// duplicate attempts from a cached verdict instead of charging the
+    /// bucket twice. Off by default — the paper's discipline sends plain
+    /// frames, and old servers drop the deadline frame kind as garbage
+    /// (the final attempt always falls back to a legacy frame so at least
+    /// one attempt reaches an old peer).
+    pub stamp_deadlines: bool,
 }
 
 impl Default for UdpRpcConfig {
@@ -103,6 +111,7 @@ impl Default for UdpRpcConfig {
             timeout: Duration::from_micros(100),
             max_retries: 5,
             backoff: RetryBackoff::Fixed,
+            stamp_deadlines: false,
         }
     }
 }
@@ -131,6 +140,7 @@ impl UdpRpcConfig {
             timeout: Duration::from_millis(20),
             max_retries: 5,
             backoff: RetryBackoff::Fixed,
+            stamp_deadlines: false,
         }
     }
 }
@@ -175,26 +185,75 @@ impl UdpRpcClient {
     /// retries: a hint-unaware server drops the unknown frame kind as
     /// garbage, so the fallback costs at most one lost attempt against an
     /// old peer and nothing against a new one.
+    ///
+    /// With [`UdpRpcConfig::stamp_deadlines`] on, every attempt but the
+    /// last carries the remaining budget and the logical request's nonce
+    /// (deadline frame kind); the final attempt downgrades to a legacy
+    /// frame so a deadline-unaware server still sees one attempt it
+    /// understands. Retrying stops early once the budget is spent —
+    /// nobody is waiting for a later answer.
     pub async fn call(&self, server: SocketAddr, request: &QosRequest) -> Result<QosResponse> {
-        let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
+        let socket = Arc::new(UdpSocket::bind(("127.0.0.1", 0)).await?);
         socket.connect(server).await?;
+        let attempts = self.config.attempts();
+        // (start, total budget, nonce) when propagating deadlines. A
+        // caller-stamped request pins both the budget and the nonce (the
+        // router stamps from its retry schedule); otherwise the budget is
+        // this discipline's worst case and the nonce is drawn fresh.
+        let deadline = self.config.stamp_deadlines.then(|| {
+            let (total, nonce) = match request.attempt {
+                Some(meta) => (Duration::from_micros(u64::from(meta.budget_us)), meta.nonce),
+                None => (self.config.worst_case(), rand::random::<u32>()),
+            };
+            (std::time::Instant::now(), total, nonce)
+        });
         let wire = codec::encode_request(request);
         let fallback = request
             .solicit_hint
             .then(|| codec::encode_request(&request.without_hint()));
+        // The final-attempt frame an old, deadline-unaware server still
+        // understands: no attempt metadata, no hint solicitation.
+        let legacy = deadline
+            .is_some()
+            .then(|| codec::encode_request(&request.without_attempt().without_hint()));
         let mut buf = vec![0u8; MAX_FRAME_BYTES];
+        let mut attempted = 0u32;
 
-        for attempt in 0..self.config.attempts() {
+        for attempt in 0..attempts {
             if attempt > 0 {
                 let pause = self.config.backoff.delay_before(attempt);
                 if !pause.is_zero() {
                     tokio::time::sleep(pause).await;
                 }
             }
-            let datagram = match &fallback {
-                Some(plain) if attempt > 0 => plain,
-                _ => &wire,
+            let datagram: Bytes = match &deadline {
+                Some((started, total, nonce)) => {
+                    let elapsed = started.elapsed();
+                    if attempt > 0 && elapsed >= *total {
+                        // Budget spent: the caller's deadline passed, so
+                        // further retries would only add load.
+                        break;
+                    }
+                    if attempt + 1 < attempts {
+                        let remaining = total.saturating_sub(elapsed).as_micros();
+                        let budget_us = remaining.clamp(1, u128::from(u32::MAX)) as u32;
+                        let mut stamped = if attempt == 0 {
+                            request.clone()
+                        } else {
+                            request.without_hint()
+                        };
+                        stamped.attempt = Some(janus_types::AttemptMeta::new(budget_us, *nonce));
+                        codec::encode_request(&stamped)
+                    } else {
+                        legacy.clone().expect("legacy frame precomputed")
+                    }
+                }
+                None => match &fallback {
+                    Some(plain) if attempt > 0 => plain.clone(),
+                    _ => wire.clone(),
+                },
             };
+            attempted += 1;
             self.send_with_faults(&socket, datagram).await?;
             match tokio::time::timeout(self.config.timeout, socket.recv(&mut buf)).await {
                 Ok(Ok(len)) => match codec::decode(&buf[..len]) {
@@ -210,18 +269,39 @@ impl UdpRpcClient {
             }
         }
         Err(JanusError::Timeout {
-            attempts: self.config.attempts(),
+            attempts: attempted,
         })
     }
 
-    async fn send_with_faults(&self, socket: &UdpSocket, wire: &Bytes) -> Result<()> {
-        match self.faults.judge() {
-            None => Ok(()), // dropped: pretend it left, like a real network
-            Some(delay) => {
+    async fn send_with_faults(&self, socket: &Arc<UdpSocket>, wire: Bytes) -> Result<()> {
+        match self.faults.judge_fate() {
+            Fate::Drop => Ok(()), // dropped: pretend it left, like a real network
+            Fate::Deliver(delay) => {
                 if !delay.is_zero() {
                     tokio::time::sleep(delay).await;
                 }
-                socket.send(wire).await?;
+                socket.send(&wire).await?;
+                Ok(())
+            }
+            Fate::Duplicate(delay) => {
+                socket.send(&wire).await?;
+                let socket = Arc::clone(socket);
+                tokio::spawn(async move {
+                    if !delay.is_zero() {
+                        tokio::time::sleep(delay).await;
+                    }
+                    let _ = socket.send(&wire).await;
+                });
+                Ok(())
+            }
+            Fate::Defer(delay) => {
+                // Only the delivery is delayed (out-of-band): datagrams
+                // sent after this one overtake it, i.e. reordering.
+                let socket = Arc::clone(socket);
+                tokio::spawn(async move {
+                    tokio::time::sleep(delay).await;
+                    let _ = socket.send(&wire).await;
+                });
                 Ok(())
             }
         }
@@ -245,7 +325,7 @@ const RECV_BUF_BYTES: usize = if codec::MAX_DATAGRAM_BYTES > MAX_FRAME_BYTES {
 /// one-request-at-a-time API regardless of how the router packed them.
 #[derive(Debug)]
 pub struct UdpServerSocket {
-    socket: UdpSocket,
+    socket: Arc<UdpSocket>,
     faults: Arc<FaultPlan>,
     /// Recycles the per-`recv_request` scratch buffer (the QoS server
     /// shares its pool here so recycle hits surface in `ServerStats`).
@@ -271,7 +351,7 @@ impl UdpServerSocket {
         faults: Arc<FaultPlan>,
         pool: Arc<crate::buffer_pool::BufferPool>,
     ) -> Result<Self> {
-        let socket = UdpSocket::bind(("127.0.0.1", 0)).await?;
+        let socket = Arc::new(UdpSocket::bind(("127.0.0.1", 0)).await?);
         Ok(UdpServerSocket {
             socket,
             faults,
@@ -334,45 +414,57 @@ impl UdpServerSocket {
     /// (paper §III-C) — so loss injection silently eats it, as the real
     /// network would.
     pub async fn send_response(&self, response: &QosResponse, peer: SocketAddr) -> Result<()> {
-        match self.faults.judge() {
-            None => Ok(()),
-            Some(delay) => {
-                if !delay.is_zero() {
-                    tokio::time::sleep(delay).await;
-                }
-                self.socket
-                    .send_to(&codec::encode_response(response), peer)
-                    .await?;
-                Ok(())
-            }
-        }
+        self.deliver(codec::encode_response(response), peer).await
     }
 
     /// Send a group of responses to one peer, coalesced into as few
     /// datagrams as the size budget allows. Fault injection applies per
     /// datagram (a dropped datagram loses the whole batch, exactly like a
     /// real network would).
-    pub async fn send_responses(
-        &self,
-        responses: &[QosResponse],
-        peer: SocketAddr,
-    ) -> Result<()> {
+    pub async fn send_responses(&self, responses: &[QosResponse], peer: SocketAddr) -> Result<()> {
         if responses.len() == 1 {
             return self.send_response(&responses[0], peer).await;
         }
         let frames: Vec<Frame> = responses.iter().map(|r| Frame::Response(*r)).collect();
         for wire in codec::encode_batch(&frames) {
-            match self.faults.judge() {
-                None => {}
-                Some(delay) => {
+            self.deliver(wire, peer).await?;
+        }
+        Ok(())
+    }
+
+    /// Transmit one datagram to `peer` through the fault plan. Duplicate
+    /// and deferred copies go out from a spawned task so the caller never
+    /// blocks beyond an inline delay fate.
+    async fn deliver(&self, wire: Bytes, peer: SocketAddr) -> Result<()> {
+        match self.faults.judge_fate() {
+            Fate::Drop => Ok(()),
+            Fate::Deliver(delay) => {
+                if !delay.is_zero() {
+                    tokio::time::sleep(delay).await;
+                }
+                self.socket.send_to(&wire, peer).await?;
+                Ok(())
+            }
+            Fate::Duplicate(delay) => {
+                self.socket.send_to(&wire, peer).await?;
+                let socket = Arc::clone(&self.socket);
+                tokio::spawn(async move {
                     if !delay.is_zero() {
                         tokio::time::sleep(delay).await;
                     }
-                    self.socket.send_to(&wire, peer).await?;
-                }
+                    let _ = socket.send_to(&wire, peer).await;
+                });
+                Ok(())
+            }
+            Fate::Defer(delay) => {
+                let socket = Arc::clone(&self.socket);
+                tokio::spawn(async move {
+                    tokio::time::sleep(delay).await;
+                    let _ = socket.send_to(&wire, peer).await;
+                });
+                Ok(())
             }
         }
-        Ok(())
     }
 }
 
@@ -483,7 +575,10 @@ mod tests {
         };
         let client = UdpRpcClient::new(config);
         let err = client.call(addr, &request(1)).await.unwrap_err();
-        assert!(matches!(err, JanusError::Timeout { attempts: 3 } | JanusError::Io(_)));
+        assert!(matches!(
+            err,
+            JanusError::Timeout { attempts: 3 } | JanusError::Io(_)
+        ));
     }
 
     #[tokio::test]
@@ -525,7 +620,10 @@ mod tests {
         }
         let snap = pool.snapshot();
         assert_eq!(snap.hits + snap.misses, 5);
-        assert!(snap.hits >= 4, "scratch buffers were not recycled: {snap:?}");
+        assert!(
+            snap.hits >= 4,
+            "scratch buffers were not recycled: {snap:?}"
+        );
     }
 
     #[tokio::test]
@@ -601,6 +699,7 @@ mod tests {
                 base: Duration::from_micros(100),
                 cap: Duration::from_micros(1_000),
             },
+            stamp_deadlines: false,
         };
         // 3 × 100 µs attempts + 100 µs before retry 1 + 200 µs before
         // retry 2.
@@ -651,6 +750,135 @@ mod tests {
         assert!(call.await.unwrap().is_err(), "nothing answered");
         // Attempt 0 solicits; every retry is the plain v1 frame an old
         // server understands.
-        assert_eq!(kinds, vec![codec::KIND_REQUEST_HINT, codec::KIND_REQUEST, codec::KIND_REQUEST]);
+        assert_eq!(
+            kinds,
+            vec![
+                codec::KIND_REQUEST_HINT,
+                codec::KIND_REQUEST,
+                codec::KIND_REQUEST
+            ]
+        );
+    }
+
+    #[tokio::test]
+    async fn deadline_attempts_downgrade_to_legacy_on_final_try() {
+        // Frame-recording sink: every attempt lands here unanswered, so
+        // we can inspect the per-attempt wire encoding.
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let addr = sink.local_addr().unwrap();
+        let config = UdpRpcConfig {
+            timeout: Duration::from_millis(20),
+            max_retries: 2,
+            backoff: RetryBackoff::Fixed,
+            stamp_deadlines: true,
+        };
+        let client = UdpRpcClient::new(config);
+        let req = request(9);
+        let call = tokio::spawn(async move { client.call(addr, &req).await });
+        let mut frames = Vec::new();
+        let mut buf = [0u8; RECV_BUF_BYTES];
+        for _ in 0..3 {
+            let (len, _) = sink.recv_from(&mut buf).await.unwrap();
+            frames.push(buf[..len].to_vec());
+        }
+        assert!(call.await.unwrap().is_err(), "nothing answered");
+        let kinds: Vec<u8> = frames.iter().map(|f| f[3]).collect();
+        // Every attempt but the last carries the deadline; the final
+        // attempt is the legacy frame an old server still understands.
+        assert_eq!(
+            kinds,
+            vec![
+                codec::KIND_REQUEST_DEADLINE,
+                codec::KIND_REQUEST_DEADLINE,
+                codec::KIND_REQUEST
+            ]
+        );
+        let decoded: Vec<QosRequest> = frames
+            .iter()
+            .map(|f| match codec::decode(f).unwrap() {
+                Frame::Request(r) => r,
+                other => panic!("expected request, got {other:?}"),
+            })
+            .collect();
+        let first = decoded[0].attempt.expect("attempt 0 stamped");
+        let second = decoded[1].attempt.expect("attempt 1 stamped");
+        assert_eq!(first.nonce, second.nonce, "nonce is per logical request");
+        assert!(
+            second.budget_us <= first.budget_us,
+            "budget must shrink as the deadline approaches: {} -> {}",
+            first.budget_us,
+            second.budget_us
+        );
+        assert_eq!(decoded[2].attempt, None, "legacy fallback strips the stamp");
+        for r in &decoded {
+            assert_eq!(r.id, 9, "the request id is stable across attempts");
+        }
+    }
+
+    #[tokio::test]
+    async fn duplication_injection_delivers_two_copies() {
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let addr = sink.local_addr().unwrap();
+        let faults = FaultPlan::none();
+        faults.set_duplication(1.0, Duration::ZERO);
+        let config = UdpRpcConfig {
+            timeout: Duration::from_millis(5),
+            max_retries: 0,
+            ..Default::default()
+        };
+        let client = UdpRpcClient::with_faults(config, faults.clone());
+        let call = tokio::spawn(async move { client.call(addr, &request(3)).await });
+        let mut buf = [0u8; RECV_BUF_BYTES];
+        let mut seen = Vec::new();
+        for _ in 0..2 {
+            let (len, _) = sink.recv_from(&mut buf).await.unwrap();
+            seen.push(buf[..len].to_vec());
+        }
+        assert!(call.await.unwrap().is_err(), "nothing answered");
+        assert_eq!(seen[0], seen[1], "the duplicate is byte-identical");
+        assert_eq!(faults.duplicated(), 1);
+    }
+
+    #[tokio::test]
+    async fn reordering_injection_inverts_arrival_order() {
+        // Two datagrams through a plan that defers the *first* roll only:
+        // seed chosen so roll 1 lands in the reorder slice and roll 2
+        // does not, making the second datagram overtake the first.
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let addr = sink.local_addr().unwrap();
+        let faults = FaultPlan::none();
+        faults.set_reordering(0.5, Duration::from_millis(30));
+        let socket = Arc::new(UdpSocket::bind(("127.0.0.1", 0)).await.unwrap());
+        socket.connect(addr).await.unwrap();
+        let client = UdpRpcClient::with_faults(UdpRpcConfig::lan_defaults(), faults.clone());
+        // Send until a datagram delivers inline *after* an earlier one
+        // deferred: the inline one overtakes it (drop/delay/dup are all
+        // zero, so "reordered count unchanged" means inline delivery).
+        let mut sent = 0u64;
+        loop {
+            let before = faults.reordered();
+            client
+                .send_with_faults(&socket, codec::encode_request(&request(sent)))
+                .await
+                .unwrap();
+            sent += 1;
+            let was_deferred = faults.reordered() > before;
+            if !was_deferred && faults.reordered() > 0 {
+                break;
+            }
+        }
+        let mut ids = Vec::new();
+        let mut buf = [0u8; RECV_BUF_BYTES];
+        for _ in 0..sent {
+            let (len, _) = sink.recv_from(&mut buf).await.unwrap();
+            match codec::decode(&buf[..len]).unwrap() {
+                Frame::Request(r) => ids.push(r.id),
+                other => panic!("expected request, got {other:?}"),
+            }
+        }
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..sent).collect::<Vec<_>>(), "nothing was lost");
+        assert_ne!(ids, sorted, "deferred datagrams must arrive out of order");
     }
 }

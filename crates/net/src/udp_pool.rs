@@ -20,10 +20,10 @@
 //!   per-request timeout × retry discipline is unchanged — only the
 //!   datagram packing differs.
 
-use crate::fault::FaultPlan;
+use crate::fault::{Fate, FaultPlan};
 use crate::udp::UdpRpcConfig;
 use janus_types::codec::{self, Frame, MAX_DATAGRAM_BYTES};
-use janus_types::{JanusError, QosKey, QosRequest, QosResponse, RequestId, Result};
+use janus_types::{AttemptMeta, JanusError, QosKey, QosRequest, QosResponse, RequestId, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -100,10 +100,7 @@ impl PooledUdpRpcClient {
     }
 
     /// Bind with fault injection on the send path.
-    pub async fn bind_with_faults(
-        config: UdpRpcConfig,
-        faults: Arc<FaultPlan>,
-    ) -> Result<Self> {
+    pub async fn bind_with_faults(config: UdpRpcConfig, faults: Arc<FaultPlan>) -> Result<Self> {
         Self::bind_with_batch(config, BatchConfig::default(), faults).await
     }
 
@@ -193,34 +190,67 @@ impl PooledUdpRpcClient {
             QosRequest::new(id, key)
         };
         let fallback = solicit.then(|| request.without_hint());
+        // Same end-to-end deadline discipline as `UdpRpcClient::call`:
+        // every attempt but the last carries the remaining budget and the
+        // logical request's nonce, the final attempt downgrades to a
+        // legacy frame, and retrying stops once the budget is spent.
+        let deadline = self.config.stamp_deadlines.then(|| {
+            (
+                std::time::Instant::now(),
+                self.config.worst_case(),
+                rand::random::<u32>(),
+            )
+        });
+        let attempts = self.config.attempts();
 
         let (tx, mut rx) = oneshot::channel();
         self.waiters.lock().insert(id, tx);
         // Ensure cleanup on every exit path.
         let result = async {
-            for attempt in 0..self.config.attempts() {
+            let mut attempted = 0u32;
+            for attempt in 0..attempts {
                 if attempt > 0 {
                     let pause = self.config.backoff.delay_before(attempt);
                     if !pause.is_zero() {
                         tokio::time::sleep(pause).await;
                     }
                 }
-                let this_attempt = match &fallback {
-                    Some(plain) if attempt > 0 => plain,
-                    _ => &request,
+                let this_attempt: QosRequest = match &deadline {
+                    Some((started, total, nonce)) => {
+                        let elapsed = started.elapsed();
+                        if attempt > 0 && elapsed >= *total {
+                            break;
+                        }
+                        if attempt + 1 < attempts {
+                            let remaining = total.saturating_sub(elapsed).as_micros();
+                            let budget_us = remaining.clamp(1, u128::from(u32::MAX)) as u32;
+                            let mut stamped = if attempt == 0 {
+                                request.clone()
+                            } else {
+                                request.without_hint()
+                            };
+                            stamped.attempt = Some(AttemptMeta::new(budget_us, *nonce));
+                            stamped
+                        } else {
+                            request.without_attempt().without_hint()
+                        }
+                    }
+                    None => match &fallback {
+                        Some(plain) if attempt > 0 => plain.clone(),
+                        _ => request.clone(),
+                    },
                 };
-                self.send_attempt(server, this_attempt).await?;
+                attempted += 1;
+                self.send_attempt(server, &this_attempt).await?;
                 match tokio::time::timeout(self.config.timeout, &mut rx).await {
                     Ok(Ok(resp)) => return Ok(resp),
                     // Channel dropped: demux task died (socket closed).
-                    Ok(Err(_)) => {
-                        return Err(JanusError::state("udp pool demux task is gone"))
-                    }
+                    Ok(Err(_)) => return Err(JanusError::state("udp pool demux task is gone")),
                     Err(_elapsed) => continue,
                 }
             }
             Err(JanusError::Timeout {
-                attempts: self.config.attempts(),
+                attempts: attempted,
             })
         }
         .await;
@@ -284,15 +314,36 @@ impl PooledUdpRpcClient {
         Ok(())
     }
 
-    /// Send one datagram through the fault plan.
+    /// Send one datagram through the fault plan. Duplicate and deferred
+    /// copies go out from a spawned task so the caller never blocks
+    /// beyond an inline delay fate.
     async fn send_datagram(&self, wire: bytes::Bytes, server: SocketAddr) -> Result<()> {
-        match self.faults.judge() {
-            None => Ok(()), // dropped on the floor, like a lossy link
-            Some(delay) => {
+        match self.faults.judge_fate() {
+            Fate::Drop => Ok(()), // dropped on the floor, like a lossy link
+            Fate::Deliver(delay) => {
                 if !delay.is_zero() {
                     tokio::time::sleep(delay).await;
                 }
                 self.socket.send_to(&wire, server).await?;
+                Ok(())
+            }
+            Fate::Duplicate(delay) => {
+                self.socket.send_to(&wire, server).await?;
+                let socket = Arc::clone(&self.socket);
+                tokio::spawn(async move {
+                    if !delay.is_zero() {
+                        tokio::time::sleep(delay).await;
+                    }
+                    let _ = socket.send_to(&wire, server).await;
+                });
+                Ok(())
+            }
+            Fate::Defer(delay) => {
+                let socket = Arc::clone(&self.socket);
+                tokio::spawn(async move {
+                    tokio::time::sleep(delay).await;
+                    let _ = socket.send_to(&wire, server).await;
+                });
                 Ok(())
             }
         }
@@ -316,7 +367,9 @@ mod tests {
         let addr = server.local_addr().unwrap();
         tokio::spawn(async move {
             loop {
-                let Ok((req, peer)) = server.recv_request().await else { return };
+                let Ok((req, peer)) = server.recv_request().await else {
+                    return;
+                };
                 let verdict = Verdict::from_bool(req.key.len() % 2 == 0);
                 let _ = server
                     .send_response(&QosResponse::new(req.id, verdict), peer)
@@ -412,15 +465,17 @@ mod tests {
         tokio::spawn(async move {
             let mut buf = vec![0u8; MAX_DATAGRAM_BYTES + 1];
             loop {
-                let Ok((len, peer)) = socket.recv_from(&mut buf).await else { return };
+                let Ok((len, peer)) = socket.recv_from(&mut buf).await else {
+                    return;
+                };
                 counter.fetch_add(1, Ordering::Relaxed);
-                let Ok(frames) = codec::decode_all(&buf[..len]) else { continue };
+                let Ok(frames) = codec::decode_all(&buf[..len]) else {
+                    continue;
+                };
                 let responses: Vec<Frame> = frames
                     .iter()
                     .filter_map(|frame| match frame {
-                        Frame::Request(req) => {
-                            Some(Frame::Response(QosResponse::allow(req.id)))
-                        }
+                        Frame::Request(req) => Some(Frame::Response(QosResponse::allow(req.id))),
                         Frame::Response(_) => None,
                     })
                     .collect();
@@ -468,7 +523,9 @@ mod tests {
         let addr = server.local_addr().unwrap();
         tokio::spawn(async move {
             loop {
-                let Ok((req, peer)) = server.recv_request().await else { return };
+                let Ok((req, peer)) = server.recv_request().await else {
+                    return;
+                };
                 let mut resp = QosResponse::allow(req.id);
                 if req.solicit_hint {
                     resp = resp.with_hint(RuleHint::new(
@@ -491,6 +548,42 @@ mod tests {
     }
 
     #[tokio::test]
+    async fn pooled_deadline_attempts_downgrade_to_legacy_on_final_try() {
+        // Unanswered sink: inspect every attempt's frame kind. Batching
+        // is off so each attempt is one legacy-format datagram.
+        let sink = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let addr = sink.local_addr().unwrap();
+        let pool = PooledUdpRpcClient::bind_with_batch(
+            UdpRpcConfig {
+                timeout: Duration::from_millis(20),
+                max_retries: 2,
+                stamp_deadlines: true,
+                ..Default::default()
+            },
+            BatchConfig::disabled(),
+            FaultPlan::none(),
+        )
+        .await
+        .unwrap();
+        let call = tokio::spawn(async move { pool.check(addr, key("ab")).await });
+        let mut kinds = Vec::new();
+        let mut buf = [0u8; MAX_DATAGRAM_BYTES + 1];
+        for _ in 0..3 {
+            let (len, _) = sink.recv_from(&mut buf).await.unwrap();
+            kinds.push(buf[..len][3]);
+        }
+        assert!(call.await.unwrap().is_err(), "nothing answered");
+        assert_eq!(
+            kinds,
+            vec![
+                codec::KIND_REQUEST_DEADLINE,
+                codec::KIND_REQUEST_DEADLINE,
+                codec::KIND_REQUEST
+            ]
+        );
+    }
+
+    #[tokio::test]
     async fn late_responses_are_dropped_not_misdelivered() {
         // A slow server answers after the caller timed out; the next call
         // must not receive the stale response.
@@ -498,12 +591,12 @@ mod tests {
         let addr = server.local_addr().unwrap();
         tokio::spawn(async move {
             loop {
-                let Ok((req, peer)) = server.recv_request().await else { return };
+                let Ok((req, peer)) = server.recv_request().await else {
+                    return;
+                };
                 tokio::time::sleep(Duration::from_millis(20)).await;
                 // Always answer Deny (the stale answer).
-                let _ = server
-                    .send_response(&QosResponse::deny(req.id), peer)
-                    .await;
+                let _ = server.send_response(&QosResponse::deny(req.id), peer).await;
             }
         });
         let pool = PooledUdpRpcClient::bind(UdpRpcConfig {

@@ -86,6 +86,14 @@ pub struct RouterConfig {
     /// buckets enforce `1/fleet_size` of a hinted rule so the fleet
     /// jointly approximates the purchased rate. Clamped to at least 1.
     pub fleet_size: usize,
+    /// Propagate the end-to-end deadline: stamp every UDP attempt with
+    /// the remaining retry budget and a per-logical-request nonce (see
+    /// [`UdpRpcConfig::stamp_deadlines`], which this flag turns on), so
+    /// the QoS server can shed work this router has already given up on
+    /// and answer duplicate attempts from a cached verdict instead of
+    /// charging the bucket twice. Safe against old servers — the final
+    /// attempt always falls back to the legacy frame.
+    pub deadline_propagation: bool,
 }
 
 impl RouterConfig {
@@ -100,6 +108,7 @@ impl RouterConfig {
             batching: true,
             breaker: Some(BreakerConfig::default()),
             fleet_size: 1,
+            deadline_propagation: true,
         }
     }
 }
@@ -201,7 +210,9 @@ impl RouterHandler {
         if self.breakers_enabled() {
             match self.breakers[partition].try_acquire() {
                 Admission::FastFail => {
-                    self.stats.breaker_fast_fails.fetch_add(1, Ordering::Relaxed);
+                    self.stats
+                        .breaker_fast_fails
+                        .fetch_add(1, Ordering::Relaxed);
                     return self.local_verdict(&key);
                 }
                 Admission::Allow | Admission::Probe => {}
@@ -366,12 +377,12 @@ impl RequestRouter {
                 .iter()
                 .any(|b| matches!(b, Backend::Named(_)))
         {
-            return Err(JanusError::config(
-                "named backends require a resolver",
-            ));
+            return Err(JanusError::config("named backends require a resolver"));
         }
         let stats = Arc::new(RouterStats::default());
         let partitions = config.backends.len();
+        let mut udp = config.udp;
+        udp.stamp_deadlines |= config.deadline_propagation;
         let rpc = if config.pooled_rpc {
             let batch = if config.batching {
                 BatchConfig::default()
@@ -379,14 +390,15 @@ impl RequestRouter {
                 BatchConfig::disabled()
             };
             RpcBackend::Pooled(
-                PooledUdpRpcClient::bind_with_batch(config.udp, batch, FaultPlan::none())
-                    .await?,
+                PooledUdpRpcClient::bind_with_batch(udp, batch, FaultPlan::none()).await?,
             )
         } else {
-            RpcBackend::PerRequest(UdpRpcClient::new(config.udp))
+            RpcBackend::PerRequest(UdpRpcClient::new(udp))
         };
         let breakers = match &config.breaker {
-            Some(breaker) => (0..partitions).map(|_| CircuitBreaker::new(*breaker)).collect(),
+            Some(breaker) => (0..partitions)
+                .map(|_| CircuitBreaker::new(*breaker))
+                .collect(),
             None => Vec::new(),
         };
         let handler = Arc::new(RouterHandler {
@@ -472,8 +484,7 @@ fn rand_seed() -> u64 {
         .map(|d| d.as_nanos() as u64)
         .unwrap_or(0);
     let spawn = SPAWNS.fetch_add(1, Ordering::Relaxed);
-    let mut z = (std::process::id() as u64)
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    let mut z = (std::process::id() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
         ^ nanos
         ^ spawn.wrapping_mul(0xD1B5_4A32_D192_ED03);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -567,13 +578,15 @@ mod tests {
         let b = QosServer::spawn(config, None, janus_clock::system())
             .await
             .unwrap();
-        let router =
-            RequestRouter::spawn(RouterConfig::direct([a.udp_addr(), b.udp_addr()]), None)
-                .await
-                .unwrap();
+        let router = RequestRouter::spawn(RouterConfig::direct([a.udp_addr(), b.udp_addr()]), None)
+            .await
+            .unwrap();
         let mut client = HttpClient::connect(router.addr()).await.unwrap();
         for i in 0..40 {
-            assert_eq!(check(&mut client, &format!("user-{i}")).await, Verdict::Allow);
+            assert_eq!(
+                check(&mut client, &format!("user-{i}")).await,
+                Verdict::Allow
+            );
         }
         let hash = ModuloRouter::new(2);
         let a_expected = (0..40)
@@ -583,7 +596,10 @@ mod tests {
         let b_stats = b.stats().answered.load(Ordering::Relaxed);
         assert_eq!(a_stats, a_expected);
         assert_eq!(a_stats + b_stats, 40);
-        assert!(a_stats > 0 && b_stats > 0, "one partition starved: {a_stats}/{b_stats}");
+        assert!(
+            a_stats > 0 && b_stats > 0,
+            "one partition starved: {a_stats}/{b_stats}"
+        );
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
@@ -863,6 +879,37 @@ mod tests {
         assert_eq!(stats.breaker_fast_fails.load(Ordering::Relaxed), 0);
         assert_eq!(router.breaker_state(0), None);
         assert_eq!(router.hinted_keys(), 0, "ablation must not solicit hints");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn deadline_propagation_reaches_the_wire() {
+        // An unanswering sink in place of the QoS server: the router
+        // burns its retry budget, and we inspect the per-attempt frames.
+        let sink = tokio::net::UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let sink_addr = sink.local_addr().unwrap();
+        let mut config = RouterConfig::direct([sink_addr]);
+        config.udp = UdpRpcConfig {
+            timeout: std::time::Duration::from_millis(20),
+            max_retries: 1,
+            ..Default::default()
+        };
+        config.default_verdict = Verdict::Deny;
+        config.breaker = None;
+        assert!(config.deadline_propagation, "direct() enables propagation");
+        let router = RequestRouter::spawn(config, None).await.unwrap();
+        let mut client = HttpClient::connect(router.addr()).await.unwrap();
+        let check = tokio::spawn(async move { check(&mut client, "tenant").await });
+        let mut kinds = Vec::new();
+        let mut buf = [0u8; 2048];
+        for _ in 0..2 {
+            let (len, _) = sink.recv_from(&mut buf).await.unwrap();
+            kinds.push(buf[..len][3]);
+        }
+        assert_eq!(check.await.unwrap(), Verdict::Deny, "default reply");
+        // Attempt 0 carries the deadline stamp; the final attempt is the
+        // legacy frame an old QoS server still understands.
+        use janus_types::codec::{KIND_REQUEST, KIND_REQUEST_DEADLINE};
+        assert_eq!(kinds, vec![KIND_REQUEST_DEADLINE, KIND_REQUEST]);
     }
 
     #[test]

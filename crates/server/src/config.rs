@@ -3,6 +3,7 @@
 use janus_bucket::DefaultRulePolicy;
 use janus_db::DbClient;
 use janus_net::dns::Resolver;
+use janus_types::Verdict;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
@@ -76,6 +77,50 @@ pub enum DispatchMode {
     SharedFifo,
 }
 
+/// Overload-control tunables: staleness shedding, the sojourn governor
+/// and duplicate suppression. Every mechanism here applies only to
+/// deadline-stamped requests (wire kind `0x06`); legacy frames keep the
+/// paper's semantics — queue, decide, charge on every attempt.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Queue sojourn a request may accumulate before the governor calls
+    /// the queue "standing" (CoDel's `target`).
+    pub sojourn_target: Duration,
+    /// How long sojourns must stay above target before shedding starts
+    /// (CoDel's `interval`): a full window in which even the *fastest*
+    /// dequeue sat above target.
+    pub sojourn_window: Duration,
+    /// Run the sojourn governor at all. Off leaves FIFO-full as the only
+    /// non-staleness shed trigger (the paper's behaviour).
+    pub sojourn_shedding: bool,
+    /// Nonces the duplicate-suppression window remembers. 0 disables
+    /// dedup entirely (every duplicate charges the bucket, as before).
+    pub dedup_window: usize,
+    /// The verdict a shed reply carries. `Deny` is the safe default: a
+    /// shed request never consumes credit, so admission may undercount
+    /// but never oversell.
+    pub shed_verdict: Verdict,
+    /// Answer sheds (FIFO-full and sojourn) with `shed_verdict` when the
+    /// request still has deadline budget, instead of dropping silently
+    /// and letting the router burn its whole retry schedule against a
+    /// queue that will shed every copy. Legacy frames are always dropped
+    /// silently — old routers expect today's semantics.
+    pub shed_replies: bool,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            sojourn_target: Duration::from_micros(500),
+            sojourn_window: Duration::from_millis(10),
+            sojourn_shedding: true,
+            dedup_window: 4096,
+            shed_verdict: Verdict::Deny,
+            shed_replies: true,
+        }
+    }
+}
+
 /// Tunables for one QoS server node.
 #[derive(Debug, Clone)]
 pub struct QosServerConfig {
@@ -114,6 +159,9 @@ pub struct QosServerConfig {
     /// request falls back to the default policy and the connection is
     /// dropped for the next miss to rebuild.
     pub db_fetch_timeout: Duration,
+    /// Overload control: staleness shedding, sojourn governor, duplicate
+    /// suppression.
+    pub overload: OverloadConfig,
 }
 
 impl Default for QosServerConfig {
@@ -130,6 +178,7 @@ impl Default for QosServerConfig {
             dispatch: DispatchMode::KeyAffinity,
             batching: true,
             db_fetch_timeout: Duration::from_millis(250),
+            overload: OverloadConfig::default(),
         }
     }
 }
@@ -151,6 +200,7 @@ impl QosServerConfig {
             dispatch: DispatchMode::KeyAffinity,
             batching: true,
             db_fetch_timeout: Duration::from_secs(2),
+            overload: OverloadConfig::default(),
         }
     }
 
@@ -172,6 +222,19 @@ impl QosServerConfig {
             return Err(janus_types::JanusError::config(
                 "db_fetch_timeout must be > 0",
             ));
+        }
+        if self.overload.sojourn_shedding {
+            if self.overload.sojourn_target.is_zero() {
+                return Err(janus_types::JanusError::config(
+                    "overload.sojourn_target must be > 0 when sojourn shedding is on",
+                ));
+            }
+            if self.overload.sojourn_window < self.overload.sojourn_target {
+                return Err(janus_types::JanusError::config(
+                    "overload.sojourn_window must be >= overload.sojourn_target \
+                     (the governor needs a full window of standing sojourns)",
+                ));
+            }
         }
         Ok(())
     }
@@ -227,5 +290,20 @@ mod tests {
         let mut c = QosServerConfig::default();
         c.db_fetch_timeout = Duration::ZERO;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn sojourn_governor_shape_is_validated() {
+        let mut c = QosServerConfig::default();
+        c.overload.sojourn_target = Duration::ZERO;
+        assert!(c.validate().is_err());
+        c.overload.sojourn_target = Duration::from_millis(20);
+        assert!(
+            c.validate().is_err(),
+            "window shorter than target must be rejected"
+        );
+        // With the governor off the shape is irrelevant.
+        c.overload.sojourn_shedding = false;
+        assert!(c.validate().is_ok());
     }
 }

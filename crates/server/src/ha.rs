@@ -244,7 +244,10 @@ mod tests {
                     break;
                 }
             }
-            assert!(std::time::Instant::now() < deadline, "slave never converged");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "slave never converged"
+            );
             tokio::time::sleep(Duration::from_millis(10)).await;
         }
         assert!(replicator.rounds() >= 1);

@@ -37,8 +37,10 @@
 
 mod config;
 mod ha;
+mod overload;
 mod server;
 
-pub use config::{DbTarget, DispatchMode, QosServerConfig, TableKind};
+pub use config::{DbTarget, DispatchMode, OverloadConfig, QosServerConfig, TableKind};
 pub use ha::{fetch_snapshot, SlaveReplicator};
+pub use overload::{DedupOutcome, DedupWindow, SojournGovernor};
 pub use server::{QosServer, ServerStats, ServerStatsSnapshot};

@@ -1,0 +1,274 @@
+//! Overload control primitives: sojourn-based shedding and duplicate
+//! suppression.
+//!
+//! Two small, independently testable pieces the data plane composes:
+//!
+//! * [`SojournGovernor`] — a CoDel-flavoured queue governor. A worker
+//!   feeds it the *sojourn* (enqueue → dequeue delay) of every request it
+//!   pops; the governor tracks the minimum sojourn per observation
+//!   window. Once a whole window passes in which even the fastest request
+//!   sat longer than the target, the queue is standing — serving its tail
+//!   wastes work nobody is waiting for, so the governor votes to shed.
+//!   Unlike a queue-length threshold, the sojourn signal is independent
+//!   of worker count and service time, which is the CoDel insight.
+//! * [`DedupWindow`] — a bounded recent-nonce table mapping the attempt
+//!   nonce of a deadline-stamped request to its (key, verdict). Retries
+//!   and duplicated datagrams carry the same nonce, so a hit answers from
+//!   the cached verdict instead of charging the leaky bucket twice —
+//!   admission stays credit-exact under at-least-once delivery.
+//!
+//! Both apply only to deadline-stamped requests (wire kind `0x06`): a
+//! legacy frame has neither a budget nor a nonce, and keeps the paper's
+//! charge-on-every-attempt semantics untouched.
+
+use janus_clock::Nanos;
+use janus_types::{QosKey, Verdict};
+use std::collections::hash_map::Entry;
+use std::collections::{HashMap, VecDeque};
+use std::time::Duration;
+
+/// CoDel-style standing-queue detector fed with per-request sojourn
+/// times (see module docs). One instance per worker: the signal is local
+/// to the queue the worker drains.
+#[derive(Debug)]
+pub struct SojournGovernor {
+    target: Duration,
+    window: Duration,
+    window_start: Option<Nanos>,
+    window_min: Option<Duration>,
+    prev_min: Option<Duration>,
+}
+
+impl SojournGovernor {
+    /// A governor shedding when sojourns stay above `target` for a whole
+    /// `window`.
+    pub fn new(target: Duration, window: Duration) -> Self {
+        SojournGovernor {
+            target,
+            window,
+            window_start: None,
+            window_min: None,
+            prev_min: None,
+        }
+    }
+
+    /// Feed one dequeue's sojourn; `true` means the queue has been
+    /// standing above target for at least one full window *and* this
+    /// request also sat above target — shed it.
+    pub fn observe(&mut self, sojourn: Duration, now: Nanos) -> bool {
+        let start = *self.window_start.get_or_insert(now);
+        if now.saturating_since(start) >= self.window {
+            self.prev_min = self.window_min.take();
+            self.window_start = Some(now);
+        }
+        self.window_min = Some(match self.window_min {
+            Some(min) => min.min(sojourn),
+            None => sojourn,
+        });
+        self.prev_min.is_some_and(|min| min > self.target) && sojourn > self.target
+    }
+
+    /// The sojourn target this governor sheds against.
+    pub fn target(&self) -> Duration {
+        self.target
+    }
+}
+
+/// What a [`DedupWindow`] lookup found for an attempt nonce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DedupOutcome {
+    /// Never seen (or evicted, or the nonce collided with another key):
+    /// process the request normally.
+    Miss,
+    /// The first copy is queued but not yet decided: drop this duplicate
+    /// silently — the in-flight copy's response answers every attempt,
+    /// because retries reuse the request id.
+    Pending,
+    /// Already decided: answer from the cached verdict without touching
+    /// the bucket.
+    Done(Verdict),
+}
+
+/// A bounded insertion-ordered map of recently seen attempt nonces (see
+/// module docs). Eviction is FIFO: once `capacity` nonces are tracked,
+/// the oldest is forgotten — an evicted nonce's late duplicate is then
+/// processed (and charged) normally, which errs on the conservative side
+/// exactly like the pre-nonce protocol always did.
+#[derive(Debug)]
+pub struct DedupWindow {
+    capacity: usize,
+    entries: HashMap<u32, (QosKey, Option<Verdict>)>,
+    order: VecDeque<u32>,
+}
+
+impl DedupWindow {
+    /// A window remembering up to `capacity` nonces (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        DedupWindow {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            order: VecDeque::with_capacity(capacity),
+        }
+    }
+
+    /// Look up `nonce`. A stored entry under a *different* key is a
+    /// nonce collision between unrelated logical requests (nonces are
+    /// 32-bit randoms) — treated as a miss so the colliding request is
+    /// decided on its own bucket rather than served another key's
+    /// verdict.
+    pub fn lookup(&self, nonce: u32, key: &QosKey) -> DedupOutcome {
+        match self.entries.get(&nonce) {
+            Some((stored, _)) if stored != key => DedupOutcome::Miss,
+            Some((_, Some(verdict))) => DedupOutcome::Done(*verdict),
+            Some((_, None)) => DedupOutcome::Pending,
+            None => DedupOutcome::Miss,
+        }
+    }
+
+    /// Start tracking `nonce` as in-flight (call after the request is
+    /// successfully queued). A colliding entry is overwritten — the newer
+    /// request wins the slot.
+    pub fn insert_pending(&mut self, nonce: u32, key: QosKey) {
+        match self.entries.entry(nonce) {
+            Entry::Occupied(mut slot) => {
+                slot.insert((key, None));
+            }
+            Entry::Vacant(slot) => {
+                if self.order.len() >= self.capacity {
+                    if let Some(evicted) = self.order.pop_front() {
+                        self.entries.remove(&evicted);
+                    }
+                }
+                slot.insert((key, None));
+                self.order.push_back(nonce);
+            }
+        }
+    }
+
+    /// Record the decided verdict for `nonce`. A no-op if the entry was
+    /// evicted meanwhile or the slot now belongs to a different key.
+    pub fn record(&mut self, nonce: u32, key: &QosKey, verdict: Verdict) {
+        if let Some((stored, slot)) = self.entries.get_mut(&nonce) {
+            if stored == key {
+                *slot = Some(verdict);
+            }
+        }
+    }
+
+    /// Nonces currently tracked (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> QosKey {
+        QosKey::new(s).unwrap()
+    }
+
+    fn us(n: u64) -> Duration {
+        Duration::from_micros(n)
+    }
+
+    #[test]
+    fn governor_never_sheds_below_target() {
+        let mut g = SojournGovernor::new(us(500), Duration::from_millis(10));
+        for tick in 0..100u64 {
+            let now = Nanos::from_micros(tick * 1_000);
+            assert!(!g.observe(us(400), now), "shed at tick {tick}");
+        }
+    }
+
+    #[test]
+    fn governor_sheds_after_a_full_standing_window() {
+        let mut g = SojournGovernor::new(us(500), Duration::from_millis(10));
+        // First window: every sojourn above target, but no *previous*
+        // window proves the queue is standing yet — no shedding.
+        for tick in 0..10u64 {
+            assert!(!g.observe(us(900), Nanos::from_micros(tick * 1_000)));
+        }
+        // The window rolls at 10 ms; from here the previous window's min
+        // (900 µs) is above target, so slow requests are shed...
+        assert!(g.observe(us(900), Nanos::from_micros(10_000)));
+        // ...while a fast request in the same window is served.
+        assert!(!g.observe(us(100), Nanos::from_micros(11_000)));
+    }
+
+    #[test]
+    fn governor_recovers_once_a_window_drains() {
+        let mut g = SojournGovernor::new(us(500), Duration::from_millis(10));
+        for tick in 0..10u64 {
+            g.observe(us(900), Nanos::from_micros(tick * 1_000));
+        }
+        assert!(g.observe(us(900), Nanos::from_micros(10_000)));
+        // One fast dequeue inside the new window drags its min below
+        // target; once that window completes, shedding stops even for a
+        // slow straggler.
+        assert!(!g.observe(us(100), Nanos::from_micros(12_000)));
+        assert!(
+            !g.observe(us(900), Nanos::from_micros(20_500)),
+            "previous window had a fast dequeue, queue is not standing"
+        );
+    }
+
+    #[test]
+    fn dedup_roundtrip_miss_pending_done() {
+        let mut w = DedupWindow::new(8);
+        let k = key("tenant");
+        assert_eq!(w.lookup(7, &k), DedupOutcome::Miss);
+        w.insert_pending(7, k.clone());
+        assert_eq!(w.lookup(7, &k), DedupOutcome::Pending);
+        w.record(7, &k, Verdict::Allow);
+        assert_eq!(w.lookup(7, &k), DedupOutcome::Done(Verdict::Allow));
+    }
+
+    #[test]
+    fn dedup_nonce_collision_across_keys_is_a_miss() {
+        let mut w = DedupWindow::new(8);
+        w.insert_pending(7, key("alice"));
+        w.record(7, &key("alice"), Verdict::Deny);
+        // Another logical request drew the same nonce for a different
+        // key: it must not inherit alice's verdict.
+        assert_eq!(w.lookup(7, &key("bob")), DedupOutcome::Miss);
+        // Recording under the colliding key is a no-op...
+        w.record(7, &key("bob"), Verdict::Allow);
+        assert_eq!(
+            w.lookup(7, &key("alice")),
+            DedupOutcome::Done(Verdict::Deny)
+        );
+        // ...but re-inserting hands the newer request the slot.
+        w.insert_pending(7, key("bob"));
+        assert_eq!(w.lookup(7, &key("alice")), DedupOutcome::Miss);
+        assert_eq!(w.lookup(7, &key("bob")), DedupOutcome::Pending);
+    }
+
+    #[test]
+    fn dedup_evicts_oldest_at_capacity() {
+        let mut w = DedupWindow::new(3);
+        for nonce in 0..3u32 {
+            w.insert_pending(nonce, key("k"));
+        }
+        assert_eq!(w.len(), 3);
+        w.insert_pending(3, key("k"));
+        assert_eq!(w.len(), 3, "capacity is a hard bound");
+        assert_eq!(w.lookup(0, &key("k")), DedupOutcome::Miss, "oldest evicted");
+        assert_eq!(w.lookup(3, &key("k")), DedupOutcome::Pending);
+    }
+
+    #[test]
+    fn dedup_zero_capacity_is_clamped() {
+        let mut w = DedupWindow::new(0);
+        w.insert_pending(1, key("k"));
+        assert_eq!(w.lookup(1, &key("k")), DedupOutcome::Pending);
+        assert!(!w.is_empty());
+    }
+}

@@ -10,17 +10,19 @@
 //!   the worker drains its queue, decides the batch, and coalesces
 //!   responses to the same peer into one batched datagram.
 
-use crate::config::{DbTarget, DispatchMode, QosServerConfig, TableKind};
+use crate::config::{DbTarget, DispatchMode, OverloadConfig, QosServerConfig, TableKind};
 use crate::ha;
+use crate::overload::{DedupOutcome, DedupWindow, SojournGovernor};
 use janus_bucket::{
     worker_affinity, LockFreeTable, PartitionedTable, QosTable, ShardedTable, SyncTable,
 };
-use janus_clock::SharedClock;
+use janus_clock::{Nanos, SharedClock};
 use janus_db::DbClient;
 use janus_net::buffer_pool::BufferPool;
 use janus_net::fault::FaultPlan;
 use janus_net::udp::UdpServerSocket;
 use janus_types::{QosKey, QosRequest, QosResponse, Result, RuleHint, Verdict};
+use janus_workload::Histogram;
 use std::collections::HashSet;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -43,11 +45,46 @@ const WORKER_DRAIN_LIMIT: usize = 16;
 /// guest bucket every sync round.
 type GuestKeys = Arc<parking_lot::Mutex<HashSet<QosKey>>>;
 
+/// The recent-nonce window shared by the listener (lookups at ingress)
+/// and the workers (verdict recording after a decision). One shared
+/// window — not one per worker — because under shared-FIFO dispatch any
+/// worker may decide any key, and credit exactness requires duplicate
+/// detection to be serialized at a single point.
+type SharedDedup = Arc<parking_lot::Mutex<DedupWindow>>;
+
+/// One queued admission request, stamped with its enqueue time so the
+/// dequeuing worker can compute the queue sojourn — the signal behind
+/// both staleness shedding and the sojourn governor.
+struct Job {
+    request: QosRequest,
+    peer: SocketAddr,
+    enqueued_at: Nanos,
+}
+
+/// The remaining deadline a stamped request arrived with.
+fn budget_of(request: &QosRequest) -> Option<Duration> {
+    request
+        .attempt
+        .map(|meta| Duration::from_micros(u64::from(meta.budget_us)))
+}
+
 /// Counters exported by a running QoS server.
 #[derive(Debug, Default)]
 pub struct ServerStats {
-    /// Datagrams shed because the FIFO was full.
-    pub shed: AtomicU64,
+    /// Requests shed because the FIFO (or a worker's queue) was full.
+    pub shed_full: AtomicU64,
+    /// Requests shed because their deadline budget was already spent —
+    /// at ingress (budget arrived as zero), at dequeue (the queue
+    /// sojourn consumed it), or after deciding but before the send.
+    pub shed_expired: AtomicU64,
+    /// Requests shed by the sojourn governor: the queue was standing
+    /// above target for a full window (see
+    /// [`crate::overload::SojournGovernor`]).
+    pub shed_sojourn: AtomicU64,
+    /// Duplicate attempts absorbed by the dedup window — answered from
+    /// the cached verdict (or silently dropped while the first copy was
+    /// still in flight) instead of charging the bucket again.
+    pub dedup_hits: AtomicU64,
     /// Decisions answered.
     pub answered: AtomicU64,
     /// Rules fetched from the database on first sighting.
@@ -74,6 +111,10 @@ pub struct ServerStats {
     /// Receive-buffer pool for this server's UDP socket; its hit counter
     /// is exported as `pool_recycle_hits`.
     pub pool: Arc<BufferPool>,
+    /// Queue sojourn (enqueue → dequeue) of every request a worker
+    /// popped, shed or served — the signal the sojourn governor runs on,
+    /// exported as percentiles in the snapshot.
+    pub sojourn: parking_lot::Mutex<Histogram>,
 }
 
 /// A point-in-time copy of [`ServerStats`], for benches and experiment
@@ -81,8 +122,14 @@ pub struct ServerStats {
 /// probe of the atomics.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerStatsSnapshot {
-    /// Datagrams shed because the FIFO was full.
-    pub shed: u64,
+    /// Requests shed because the FIFO (or a worker's queue) was full.
+    pub shed_full: u64,
+    /// Requests shed because their deadline budget was already spent.
+    pub shed_expired: u64,
+    /// Requests shed by the sojourn governor (standing queue).
+    pub shed_sojourn: u64,
+    /// Duplicate attempts absorbed by the dedup window.
+    pub dedup_hits: u64,
     /// Decisions answered.
     pub answered: u64,
     /// Rules fetched from the database on first sighting.
@@ -108,13 +155,34 @@ pub struct ServerStatsSnapshot {
     /// Receive-buffer checkouts served from the recycle pool instead of a
     /// fresh allocation.
     pub pool_recycle_hits: u64,
+    /// Median queue sojourn, whole microseconds (0 when nothing popped).
+    pub sojourn_p50_us: u64,
+    /// 99th-percentile queue sojourn, whole microseconds.
+    pub sojourn_p99_us: u64,
 }
 
 impl ServerStats {
+    /// Total sheds across every cause.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_full.load(Ordering::Relaxed)
+            + self.shed_expired.load(Ordering::Relaxed)
+            + self.shed_sojourn.load(Ordering::Relaxed)
+    }
+
     /// Read every counter at once.
     pub fn snapshot(&self) -> ServerStatsSnapshot {
+        let (sojourn_p50_us, sojourn_p99_us) = {
+            let sojourn = self.sojourn.lock();
+            (
+                sojourn.quantile(0.5) / 1_000,
+                sojourn.quantile(0.99) / 1_000,
+            )
+        };
         ServerStatsSnapshot {
-            shed: self.shed.load(Ordering::Relaxed),
+            shed_full: self.shed_full.load(Ordering::Relaxed),
+            shed_expired: self.shed_expired.load(Ordering::Relaxed),
+            shed_sojourn: self.shed_sojourn.load(Ordering::Relaxed),
+            dedup_hits: self.dedup_hits.load(Ordering::Relaxed),
             answered: self.answered.load(Ordering::Relaxed),
             db_fetches: self.db_fetches.load(Ordering::Relaxed),
             default_rule_hits: self.default_rule_hits.load(Ordering::Relaxed),
@@ -126,7 +194,16 @@ impl ServerStats {
             cas_retries: self.cas_retries.load(Ordering::Relaxed),
             probe_steps: self.probe_steps.load(Ordering::Relaxed),
             pool_recycle_hits: self.pool.hits(),
+            sojourn_p50_us,
+            sojourn_p99_us,
         }
+    }
+}
+
+impl ServerStatsSnapshot {
+    /// Total sheds across every cause.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_full + self.shed_expired + self.shed_sojourn
     }
 }
 
@@ -200,7 +277,28 @@ impl QosServer {
         let udp_addr = socket.local_addr()?;
         let guest_keys: GuestKeys = Arc::new(parking_lot::Mutex::new(HashSet::new()));
 
-        // Listener -> dispatch -> workers.
+        // Listener -> dispatch -> workers. The dedup window is shared by
+        // the listener (lookups at ingress) and every worker (verdict
+        // recording): under shared-FIFO dispatch any worker may decide
+        // any key, so duplicate detection must serialize at one point.
+        let overload = config.overload.clone();
+        let dedup: Option<SharedDedup> = (overload.dedup_window > 0).then(|| {
+            Arc::new(parking_lot::Mutex::new(DedupWindow::new(
+                overload.dedup_window,
+            )))
+        });
+        let worker_ctx = WorkerCtx {
+            socket: Arc::clone(&socket),
+            table: Arc::clone(&table),
+            stats: Arc::clone(&stats),
+            clock: Arc::clone(&clock),
+            db_target: db.clone(),
+            default_policy: config.default_policy.clone(),
+            guest_keys: Arc::clone(&guest_keys),
+            db_fetch_timeout: config.db_fetch_timeout,
+            overload: overload.clone(),
+            dedup: dedup.clone(),
+        };
         match config.dispatch {
             DispatchMode::KeyAffinity => {
                 // Per-worker SPSC queues: the listener is the only sender
@@ -209,51 +307,43 @@ impl QosServer {
                 let per_worker = (config.fifo_capacity / config.workers).max(1);
                 let mut senders = Vec::with_capacity(config.workers);
                 for _ in 0..config.workers {
-                    let (tx, rx) = mpsc::channel::<(QosRequest, SocketAddr)>(per_worker);
+                    let (tx, rx) = mpsc::channel::<Job>(per_worker);
                     senders.push(tx);
-                    spawn_affinity_worker(
-                        Arc::clone(&socket),
-                        rx,
-                        Arc::clone(&table),
-                        Arc::clone(&stats),
-                        Arc::clone(&clock) as SharedClock,
-                        db.clone(),
-                        config.default_policy.clone(),
-                        Arc::clone(&guest_keys),
-                        config.batching,
-                        config.db_fetch_timeout,
-                    );
+                    spawn_affinity_worker(worker_ctx.clone(), rx, config.batching);
                 }
-                spawn_affinity_listener(
-                    Arc::clone(&socket),
-                    senders,
-                    Arc::clone(&stats),
+                spawn_ingress_listener(
+                    IngressCtx {
+                        socket: Arc::clone(&socket),
+                        stats: Arc::clone(&stats),
+                        clock: Arc::clone(&clock),
+                        table: Arc::clone(&table),
+                        overload: overload.clone(),
+                        dedup,
+                        queues: senders,
+                    },
                     shutdown_rx.clone(),
                     config.batching,
                 );
             }
             DispatchMode::SharedFifo => {
-                let (fifo_tx, fifo_rx) =
-                    mpsc::channel::<(QosRequest, SocketAddr)>(config.fifo_capacity);
+                let (fifo_tx, fifo_rx) = mpsc::channel::<Job>(config.fifo_capacity);
                 let fifo_rx = Arc::new(Mutex::new(fifo_rx));
-                spawn_listener(
-                    Arc::clone(&socket),
-                    fifo_tx,
-                    Arc::clone(&stats),
+                spawn_ingress_listener(
+                    IngressCtx {
+                        socket: Arc::clone(&socket),
+                        stats: Arc::clone(&stats),
+                        clock: Arc::clone(&clock),
+                        table: Arc::clone(&table),
+                        overload: overload.clone(),
+                        dedup,
+                        queues: vec![fifo_tx],
+                    },
                     shutdown_rx.clone(),
+                    // The paper's listener takes one datagram per wakeup.
+                    false,
                 );
                 for _ in 0..config.workers {
-                    spawn_worker(
-                        Arc::clone(&socket),
-                        Arc::clone(&fifo_rx),
-                        Arc::clone(&table),
-                        Arc::clone(&stats),
-                        Arc::clone(&clock) as SharedClock,
-                        db.clone(),
-                        config.default_policy.clone(),
-                        Arc::clone(&guest_keys),
-                        config.db_fetch_timeout,
-                    );
+                    spawn_worker(worker_ctx.clone(), Arc::clone(&fifo_rx));
                 }
             }
         }
@@ -344,35 +434,11 @@ impl Drop for QosServer {
     }
 }
 
-fn spawn_listener(
+/// Everything a worker task needs, bundled so the spawn functions stay
+/// readable as the overload machinery grows the dependency list.
+#[derive(Clone)]
+struct WorkerCtx {
     socket: Arc<UdpServerSocket>,
-    fifo: mpsc::Sender<(QosRequest, SocketAddr)>,
-    stats: Arc<ServerStats>,
-    mut shutdown: watch::Receiver<bool>,
-) {
-    tokio::spawn(async move {
-        loop {
-            tokio::select! {
-                _ = shutdown.changed() => return,
-                incoming = socket.recv_request() => {
-                    let Ok((request, peer)) = incoming else { return };
-                    // try_send sheds load when the FIFO is full; the
-                    // router's retry will re-deliver if capacity frees up.
-                    if fifo.try_send((request, peer)).is_ok() {
-                        stats.fifo_depth.fetch_add(1, Ordering::Relaxed);
-                    } else {
-                        stats.shed.fetch_add(1, Ordering::Relaxed);
-                    }
-                }
-            }
-        }
-    });
-}
-
-#[allow(clippy::too_many_arguments)]
-fn spawn_worker(
-    socket: Arc<UdpServerSocket>,
-    fifo: Arc<Mutex<mpsc::Receiver<(QosRequest, SocketAddr)>>>,
     table: Arc<dyn QosTable>,
     stats: Arc<ServerStats>,
     clock: SharedClock,
@@ -380,31 +446,113 @@ fn spawn_worker(
     default_policy: janus_bucket::DefaultRulePolicy,
     guest_keys: GuestKeys,
     db_fetch_timeout: Duration,
-) {
+    overload: OverloadConfig,
+    dedup: Option<SharedDedup>,
+}
+
+impl WorkerCtx {
+    /// A fresh per-worker governor, if sojourn shedding is on. The signal
+    /// is local to the queue the worker drains, so governors are never
+    /// shared.
+    fn governor(&self) -> Option<SojournGovernor> {
+        self.overload.sojourn_shedding.then(|| {
+            SojournGovernor::new(self.overload.sojourn_target, self.overload.sojourn_window)
+        })
+    }
+
+    /// Dequeue-time triage: record the sojourn, then shed the job if its
+    /// deadline budget is already spent or the governor says the queue is
+    /// standing. Returns the job when it should be decided. Legacy frames
+    /// (no attempt metadata) pass straight through — paper semantics.
+    async fn triage(&self, job: Job, governor: Option<&mut SojournGovernor>) -> Option<Job> {
+        let now = self.clock.now();
+        let sojourn = now.saturating_since(job.enqueued_at);
+        self.stats.sojourn.lock().record_duration(sojourn);
+        let Some(budget) = budget_of(&job.request) else {
+            return Some(job);
+        };
+        if sojourn >= budget {
+            // The router's deadline passed while the job sat queued:
+            // nobody is waiting for this answer. Silent by design — the
+            // dedup entry stays Pending, so a late duplicate of the same
+            // attempt is absorbed without a charge too.
+            self.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if let Some(governor) = governor {
+            let standing = governor.observe(sojourn, now);
+            // Gate the verdict on real backlog: an idle queue's sojourn
+            // is scheduler noise, not a standing queue.
+            if standing && self.stats.fifo_depth.load(Ordering::Relaxed) > 0 {
+                self.stats.shed_sojourn.fetch_add(1, Ordering::Relaxed);
+                if self.overload.shed_replies {
+                    let response = respond(&self.table, &job.request, self.overload.shed_verdict);
+                    let _ = self.socket.send_response(&response, job.peer).await;
+                }
+                return None;
+            }
+        }
+        Some(job)
+    }
+
+    /// Cache the decided verdict under the job's attempt nonce so a late
+    /// duplicate is answered without a second charge.
+    fn record_verdict(&self, job: &Job, verdict: Verdict) {
+        if let (Some(meta), Some(dedup)) = (job.request.attempt, &self.dedup) {
+            dedup.lock().record(meta.nonce, &job.request.key, verdict);
+        }
+    }
+
+    /// Post-decision staleness check: deciding (a first-sighting DB
+    /// fetch, say) may have consumed the rest of the budget, in which
+    /// case sending is wasted work. The charge already happened and the
+    /// verdict is cached, so a retry gets the cached verdict rather than
+    /// a second charge.
+    fn expired_before_send(&self, job: &Job) -> bool {
+        let Some(budget) = budget_of(&job.request) else {
+            return false;
+        };
+        let expired = self.clock.now().saturating_since(job.enqueued_at) >= budget;
+        if expired {
+            self.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
+        }
+        expired
+    }
+}
+
+fn spawn_worker(ctx: WorkerCtx, fifo: Arc<Mutex<mpsc::Receiver<Job>>>) {
     tokio::spawn(async move {
         let mut db: Option<DbClient> = None;
+        let mut governor = ctx.governor();
         loop {
             let item = {
                 let mut rx = fifo.lock().await;
                 rx.recv().await
             };
-            let Some((request, peer)) = item else { return };
-            stats.fifo_depth.fetch_sub(1, Ordering::Relaxed);
+            let Some(job) = item else { return };
+            ctx.stats.fifo_depth.fetch_sub(1, Ordering::Relaxed);
+            let Some(job) = ctx.triage(job, governor.as_mut()).await else {
+                continue;
+            };
             let verdict = decide(
-                &table,
-                &clock,
-                &request.key,
-                db_target.as_ref(),
+                &ctx.table,
+                &ctx.clock,
+                &job.request.key,
+                ctx.db_target.as_ref(),
                 &mut db,
-                &default_policy,
-                &stats,
-                &guest_keys,
-                db_fetch_timeout,
+                &ctx.default_policy,
+                &ctx.stats,
+                &ctx.guest_keys,
+                ctx.db_fetch_timeout,
             )
             .await;
-            stats.answered.fetch_add(1, Ordering::Relaxed);
-            let response = respond(&table, &request, verdict);
-            let _ = socket.send_response(&response, peer).await;
+            ctx.stats.answered.fetch_add(1, Ordering::Relaxed);
+            ctx.record_verdict(&job, verdict);
+            if ctx.expired_before_send(&job) {
+                continue;
+            }
+            let response = respond(&ctx.table, &job.request, verdict);
+            let _ = ctx.socket.send_response(&response, job.peer).await;
         }
     });
 }
@@ -420,34 +568,110 @@ fn respond(table: &Arc<dyn QosTable>, request: &QosRequest, verdict: Verdict) ->
         return response;
     }
     match table.shape(&request.key) {
-        Some((capacity, refill_rate)) => {
-            response.with_hint(RuleHint::new(capacity, refill_rate))
-        }
+        Some((capacity, refill_rate)) => response.with_hint(RuleHint::new(capacity, refill_rate)),
         None => response,
     }
 }
 
-/// The key-affinity listener: route each request to the worker its key
-/// hashes to, and (with batching on) drain every datagram the kernel
-/// already holds before sleeping again — one wakeup, many requests.
-fn spawn_affinity_listener(
+/// Everything the ingress listener needs: the worker queues plus the
+/// overload machinery consulted *before* a request is queued.
+struct IngressCtx {
     socket: Arc<UdpServerSocket>,
-    workers: Vec<mpsc::Sender<(QosRequest, SocketAddr)>>,
     stats: Arc<ServerStats>,
-    mut shutdown: watch::Receiver<bool>,
-    batching: bool,
-) {
+    clock: SharedClock,
+    table: Arc<dyn QosTable>,
+    overload: OverloadConfig,
+    dedup: Option<SharedDedup>,
+    queues: Vec<mpsc::Sender<Job>>,
+}
+
+impl IngressCtx {
+    /// Triage one datagram and (usually) queue it:
+    ///
+    /// 1. a stamped request whose budget arrived as zero is already dead
+    ///    — shed silently, nobody is waiting;
+    /// 2. a duplicate nonce is answered from the dedup window (cached
+    ///    verdict, or silent drop while the first copy is in flight);
+    /// 3. otherwise hand it to `CRC32(key) % workers` (one shared queue
+    ///    degenerates to index 0), shedding when that queue is full. A
+    ///    stamped shed gets the configured shed verdict back instead of
+    ///    the silent drop legacy frames keep — the router stops burning
+    ///    retries against a queue that would shed every copy.
+    async fn ingress(&self, request: QosRequest, peer: SocketAddr) {
+        if let Some(meta) = request.attempt {
+            if meta.budget_us == 0 {
+                self.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            if let Some(dedup) = &self.dedup {
+                let outcome = dedup.lock().lookup(meta.nonce, &request.key);
+                match outcome {
+                    DedupOutcome::Done(verdict) => {
+                        self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                        let response = respond(&self.table, &request, verdict);
+                        let _ = self.socket.send_response(&response, peer).await;
+                        return;
+                    }
+                    DedupOutcome::Pending => {
+                        // The first copy is queued; retries reuse the
+                        // request id, so its response answers every
+                        // attempt.
+                        self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    DedupOutcome::Miss => {}
+                }
+            }
+        }
+        // Clone the key only when the queued job must leave a Pending
+        // dedup entry behind.
+        let pending = match (&self.dedup, request.attempt) {
+            (Some(_), Some(meta)) => Some((meta.nonce, request.key.clone())),
+            _ => None,
+        };
+        let idx = worker_affinity(&request.key, self.queues.len());
+        let job = Job {
+            request,
+            peer,
+            enqueued_at: self.clock.now(),
+        };
+        match self.queues[idx].try_send(job) {
+            Ok(()) => {
+                self.stats.fifo_depth.fetch_add(1, Ordering::Relaxed);
+                if let (Some((nonce, key)), Some(dedup)) = (pending, &self.dedup) {
+                    dedup.lock().insert_pending(nonce, key);
+                }
+            }
+            Err(err) => {
+                let job = err.into_inner();
+                self.stats.shed_full.fetch_add(1, Ordering::Relaxed);
+                if job.request.attempt.is_some() && self.overload.shed_replies {
+                    let response = respond(&self.table, &job.request, self.overload.shed_verdict);
+                    let _ = self.socket.send_response(&response, job.peer).await;
+                }
+            }
+        }
+    }
+}
+
+/// The ingress listener for both dispatch modes: triage each datagram
+/// through [`IngressCtx::ingress`], and (with `drain` on) pull every
+/// datagram the kernel already holds before sleeping again — one wakeup,
+/// many requests.
+fn spawn_ingress_listener(ctx: IngressCtx, mut shutdown: watch::Receiver<bool>, drain: bool) {
     tokio::spawn(async move {
         loop {
             tokio::select! {
                 _ = shutdown.changed() => return,
-                incoming = socket.recv_request() => {
-                    let Ok(item) = incoming else { return };
-                    dispatch_by_key(item, &workers, &stats);
-                    if batching {
+                incoming = ctx.socket.recv_request() => {
+                    let Ok((request, peer)) = incoming else { return };
+                    ctx.ingress(request, peer).await;
+                    if drain {
                         for _ in 0..LISTENER_DRAIN_LIMIT {
-                            let Some(item) = socket.try_recv_request() else { break };
-                            dispatch_by_key(item, &workers, &stats);
+                            let Some((request, peer)) = ctx.socket.try_recv_request() else {
+                                break;
+                            };
+                            ctx.ingress(request, peer).await;
                         }
                     }
                 }
@@ -456,43 +680,15 @@ fn spawn_affinity_listener(
     });
 }
 
-/// Hand one request to the worker `CRC32(key) % workers`, shedding when
-/// that worker's queue is full (the router's retry covers the loss — and
-/// because affinity is deterministic, the retry lands on the same queue,
-/// preserving the paper's shed-and-retry semantics per key).
-fn dispatch_by_key(
-    item: (QosRequest, SocketAddr),
-    workers: &[mpsc::Sender<(QosRequest, SocketAddr)>],
-    stats: &ServerStats,
-) {
-    let idx = worker_affinity(&item.0.key, workers.len());
-    if workers[idx].try_send(item).is_ok() {
-        stats.fifo_depth.fetch_add(1, Ordering::Relaxed);
-    } else {
-        stats.shed.fetch_add(1, Ordering::Relaxed);
-    }
-}
-
 /// A key-affinity worker: sole consumer of its own queue. With batching
 /// on it drains up to [`WORKER_DRAIN_LIMIT`] queued requests per wakeup,
 /// decides them all, then coalesces responses going to the same peer
 /// into one batched datagram.
-#[allow(clippy::too_many_arguments)]
-fn spawn_affinity_worker(
-    socket: Arc<UdpServerSocket>,
-    mut rx: mpsc::Receiver<(QosRequest, SocketAddr)>,
-    table: Arc<dyn QosTable>,
-    stats: Arc<ServerStats>,
-    clock: SharedClock,
-    db_target: Option<DbTarget>,
-    default_policy: janus_bucket::DefaultRulePolicy,
-    guest_keys: GuestKeys,
-    batching: bool,
-    db_fetch_timeout: Duration,
-) {
+fn spawn_affinity_worker(ctx: WorkerCtx, mut rx: mpsc::Receiver<Job>, batching: bool) {
     tokio::spawn(async move {
         let mut db: Option<DbClient> = None;
-        let mut batch: Vec<(QosRequest, SocketAddr)> = Vec::with_capacity(WORKER_DRAIN_LIMIT);
+        let mut governor = ctx.governor();
+        let mut batch: Vec<Job> = Vec::with_capacity(WORKER_DRAIN_LIMIT);
         // Responses grouped by destination; linear scan because a drain
         // rarely spans more than a couple of distinct peers.
         let mut by_peer: Vec<(SocketAddr, Vec<QosResponse>)> = Vec::new();
@@ -509,31 +705,38 @@ fn spawn_affinity_worker(
                     }
                 }
             }
-            stats
+            ctx.stats
                 .fifo_depth
                 .fetch_sub(batch.len() as u64, Ordering::Relaxed);
-            for (request, peer) in batch.drain(..) {
+            for job in batch.drain(..) {
+                let Some(job) = ctx.triage(job, governor.as_mut()).await else {
+                    continue;
+                };
                 let verdict = decide(
-                    &table,
-                    &clock,
-                    &request.key,
-                    db_target.as_ref(),
+                    &ctx.table,
+                    &ctx.clock,
+                    &job.request.key,
+                    ctx.db_target.as_ref(),
                     &mut db,
-                    &default_policy,
-                    &stats,
-                    &guest_keys,
-                    db_fetch_timeout,
+                    &ctx.default_policy,
+                    &ctx.stats,
+                    &ctx.guest_keys,
+                    ctx.db_fetch_timeout,
                 )
                 .await;
-                stats.answered.fetch_add(1, Ordering::Relaxed);
-                let response = respond(&table, &request, verdict);
-                match by_peer.iter_mut().find(|(addr, _)| *addr == peer) {
+                ctx.stats.answered.fetch_add(1, Ordering::Relaxed);
+                ctx.record_verdict(&job, verdict);
+                if ctx.expired_before_send(&job) {
+                    continue;
+                }
+                let response = respond(&ctx.table, &job.request, verdict);
+                match by_peer.iter_mut().find(|(addr, _)| *addr == job.peer) {
                     Some((_, responses)) => responses.push(response),
-                    None => by_peer.push((peer, vec![response])),
+                    None => by_peer.push((job.peer, vec![response])),
                 }
             }
             for (peer, responses) in by_peer.drain(..) {
-                let _ = socket.send_responses(&responses, peer).await;
+                let _ = ctx.socket.send_responses(&responses, peer).await;
             }
         }
     });
@@ -790,7 +993,9 @@ mod tests {
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn admits_until_bucket_drains() {
         let db = spawn_db(vec![rule("alice", 5, 0)]).await;
-        let server = QosServer::spawn(QosServerConfig::test_defaults(), Some(db.addr().into()),
+        let server = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            Some(db.addr().into()),
             janus_clock::system(),
         )
         .await
@@ -827,7 +1032,9 @@ mod tests {
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn deny_policy_denies_unknown_keys() {
         let db = spawn_db(vec![]).await;
-        let server = QosServer::spawn(QosServerConfig::test_defaults(), Some(db.addr().into()),
+        let server = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            Some(db.addr().into()),
             janus_clock::system(),
         )
         .await
@@ -874,7 +1081,9 @@ mod tests {
         // "new QoS keys/rules are immediately effective as soon as they
         // are added to the database" — no restart, no sync wait.
         let db = spawn_db(vec![]).await;
-        let server = QosServer::spawn(QosServerConfig::test_defaults(), Some(db.addr().into()),
+        let server = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            Some(db.addr().into()),
             janus_clock::system(),
         )
         .await
@@ -883,7 +1092,10 @@ mod tests {
         assert_eq!(check(&client, &server, 1, "newbie").await, Verdict::Deny);
 
         db.engine().put(rule("late-tenant", 3, 0));
-        assert_eq!(check(&client, &server, 2, "late-tenant").await, Verdict::Allow);
+        assert_eq!(
+            check(&client, &server, 2, "late-tenant").await,
+            Verdict::Allow
+        );
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
@@ -909,12 +1121,13 @@ mod tests {
             let snap = server.table().snapshot(server.clock().now());
             let tenant = snap.iter().find(|r| r.key.as_str() == "tenant");
             let doomed_gone = !snap.iter().any(|r| r.key.as_str() == "doomed");
-            if doomed_gone
-                && tenant.is_some_and(|r| r.capacity == Credits::from_whole(1))
-            {
+            if doomed_gone && tenant.is_some_and(|r| r.capacity == Credits::from_whole(1)) {
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "sync never applied: {snap:?}");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "sync never applied: {snap:?}"
+            );
             tokio::time::sleep(Duration::from_millis(20)).await;
         }
     }
@@ -952,9 +1165,13 @@ mod tests {
         let db = spawn_db(vec![rule("phoenix", 100, 0)]).await;
         let mut config = QosServerConfig::test_defaults();
         config.checkpoint_interval = Duration::from_millis(20);
-        let server = QosServer::spawn(config.clone(), Some(db.addr().into()), janus_clock::system())
-            .await
-            .unwrap();
+        let server = QosServer::spawn(
+            config.clone(),
+            Some(db.addr().into()),
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
         let client = rpc();
         for id in 0..90 {
             check(&client, &server, id, "phoenix").await;
@@ -1060,10 +1277,100 @@ mod tests {
         let snap = server.stats().snapshot();
         assert_eq!(snap.answered, 5);
         assert_eq!(snap.db_fetches, 1);
-        assert_eq!(snap.shed, 0);
+        assert_eq!(snap.shed_total(), 0, "healthy run must not shed");
+        assert_eq!(snap.dedup_hits, 0, "unique nonces must not hit dedup");
         assert_eq!(snap.db_timeouts, 0);
         assert_eq!(snap.fifo_depth, 0, "queue must drain back to empty");
         assert_eq!(snap, server.stats().snapshot(), "idle snapshots agree");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn duplicate_nonce_is_answered_from_cache_without_second_charge() {
+        let db = spawn_db(vec![rule("dup", 1, 0)]).await;
+        let server = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            Some(db.addr().into()),
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        let mut config = UdpRpcConfig::lan_defaults();
+        config.stamp_deadlines = true;
+        let client = UdpRpcClient::new(config);
+        // Two attempts of the same logical request: same nonce, generous
+        // budget. The bucket holds exactly one credit.
+        let meta = janus_types::AttemptMeta::new(2_000_000, 42);
+        let first = client
+            .call(
+                server.udp_addr(),
+                &QosRequest::new(1, key("dup")).with_attempt(meta),
+            )
+            .await
+            .unwrap();
+        assert_eq!(first.verdict, Verdict::Allow);
+        let second = client
+            .call(
+                server.udp_addr(),
+                &QosRequest::new(2, key("dup")).with_attempt(meta),
+            )
+            .await
+            .unwrap();
+        assert_eq!(
+            second.verdict,
+            Verdict::Allow,
+            "a duplicate attempt must be served from the cached verdict, \
+             not re-decided against the drained bucket"
+        );
+        assert!(server.stats().dedup_hits.load(Ordering::Relaxed) >= 1);
+        // A genuinely new logical request sees the drained bucket: the
+        // duplicate above did not double-charge.
+        let fresh = janus_types::AttemptMeta::new(2_000_000, 43);
+        let third = client
+            .call(
+                server.udp_addr(),
+                &QosRequest::new(3, key("dup")).with_attempt(fresh),
+            )
+            .await
+            .unwrap();
+        assert_eq!(third.verdict, Verdict::Deny);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn expired_budget_request_is_shed_and_never_charged() {
+        let db = spawn_db(vec![rule("stale", 3, 0)]).await;
+        let server = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            Some(db.addr().into()),
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        // A raw deadline frame whose budget arrived as zero: the router's
+        // deadline passed in flight. The server must shed it silently at
+        // ingress — no reply, no bucket charge.
+        let dead =
+            QosRequest::new(1, key("stale")).with_attempt(janus_types::AttemptMeta::new(0, 7));
+        let socket = tokio::net::UdpSocket::bind("127.0.0.1:0").await.unwrap();
+        socket
+            .send_to(
+                &janus_types::codec::encode_request(&dead),
+                server.udp_addr(),
+            )
+            .await
+            .unwrap();
+        let mut buf = [0u8; 64];
+        let reply = tokio::time::timeout(Duration::from_millis(50), socket.recv(&mut buf)).await;
+        assert!(reply.is_err(), "an expired request must not be answered");
+        assert_eq!(server.stats().shed_expired.load(Ordering::Relaxed), 1);
+        // The bucket still holds its full burst: the shed never charged.
+        let client = rpc();
+        let mut allowed = 0;
+        for id in 10..20 {
+            if check(&client, &server, id, "stale").await == Verdict::Allow {
+                allowed += 1;
+            }
+        }
+        assert_eq!(allowed, 3, "the expired request must not consume credit");
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
@@ -1199,12 +1506,16 @@ mod tests {
         // speaks: the per-miss fetch budget must expire, the request
         // must fall back to the default policy, and the worker must stay
         // responsive for subsequent requests.
-        let hung = tokio::net::TcpListener::bind(("127.0.0.1", 0)).await.unwrap();
+        let hung = tokio::net::TcpListener::bind(("127.0.0.1", 0))
+            .await
+            .unwrap();
         let hung_addr = hung.local_addr().unwrap();
         tokio::spawn(async move {
             let mut held = Vec::new();
             loop {
-                let Ok((stream, _)) = hung.accept().await else { return };
+                let Ok((stream, _)) = hung.accept().await else {
+                    return;
+                };
                 held.push(stream); // accept and go silent, forever
             }
         });
@@ -1296,7 +1607,9 @@ mod tests {
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
     async fn many_concurrent_clients() {
-        let rules: Vec<_> = (0..32).map(|i| rule(&format!("u{i}"), 1000, 1000)).collect();
+        let rules: Vec<_> = (0..32)
+            .map(|i| rule(&format!("u{i}"), 1000, 1000))
+            .collect();
         let db = spawn_db(rules).await;
         let mut config = QosServerConfig::test_defaults();
         config.workers = 4;

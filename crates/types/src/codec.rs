@@ -15,11 +15,14 @@
 //! kind = 0x05 (response + rule hint):     id: u64 BE | verdict: u8
 //!                                         | capacity: u64 BE microcredits
 //!                                         | rate: u64 BE microcredits/s
+//! kind = 0x06 (request + deadline):  id: u64 BE | flags: u8
+//!                                    | budget_us: u32 BE | nonce: u32 BE
+//!                                    | key_len: u8 | key bytes
 //! ```
 //!
-//! A request for a UUID key is 49 bytes on the wire; a response is 13
-//! (29 with a rule hint). All fit in a single datagram with no
-//! fragmentation at any sane MTU.
+//! A request for a UUID key is 49 bytes on the wire (58 with deadline
+//! metadata); a response is 13 (29 with a rule hint). All fit in a single
+//! datagram with no fragmentation at any sane MTU.
 //!
 //! Kinds 0x04/0x05 are the **rule-hint** extension: a router that wants to
 //! passively learn rule shapes sends 0x04, and a hint-aware server answers
@@ -28,6 +31,19 @@
 //! garbage, so soliciting clients re-send the plain 0x01 frame on retries
 //! and lose at most one attempt against an old peer; a hint-unaware client
 //! never sends 0x04, so it is never shown an 0x05 response.
+//!
+//! Kind 0x06 is the **overload-control** extension: a deadline-propagating
+//! client stamps the remaining retry budget (microseconds) and a per
+//! logical-request nonce onto each attempt, letting servers shed expired
+//! work and deduplicate retries instead of double-charging the bucket.
+//! `flags` bit 0 carries the hint solicitation (so 0x06 composes with the
+//! 0x04 extension); the remaining bits are reserved and rejected. The same
+//! back-compat discipline applies: a deadline-unaware server drops the
+//! unknown 0x06 frame as garbage, so propagating clients downgrade their
+//! *final* attempt to the legacy frame and lose all but one attempt
+//! against an old peer — and nothing against a new one. Responses are
+//! unchanged: retries reuse the request id, so the cached-verdict reply to
+//! a duplicate attempt is an ordinary 0x02/0x05 frame.
 //!
 //! The **batch** kind amortizes per-datagram syscall cost: a coalescing
 //! sender packs many requests (or responses) into one datagram, bounded
@@ -38,8 +54,8 @@
 //! both) and batching stays a per-sender opt-in.
 
 use crate::{
-    Credits, JanusError, QosKey, QosRequest, QosResponse, RefillRate, Result, RuleHint, Verdict,
-    MAX_KEY_BYTES,
+    AttemptMeta, Credits, JanusError, QosKey, QosRequest, QosResponse, RefillRate, Result,
+    RuleHint, Verdict, MAX_KEY_BYTES,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -47,8 +63,14 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 pub const MAGIC: u16 = 0x4A51;
 /// Current protocol version.
 pub const VERSION: u8 = 1;
-/// Largest possible encoded frame (a request with a maximum-length key).
-pub const MAX_FRAME_BYTES: usize = 4 + 8 + 1 + MAX_KEY_BYTES;
+/// Largest possible encoded frame (a deadline-stamped request with a
+/// maximum-length key).
+pub const MAX_FRAME_BYTES: usize = 4 + 8 + DEADLINE_META_BYTES + 1 + MAX_KEY_BYTES;
+/// Extra payload bytes a deadline-stamped request carries over the plain
+/// one (`flags: u8 | budget_us: u32 | nonce: u32`).
+const DEADLINE_META_BYTES: usize = 1 + 4 + 4;
+/// Flag bit in the 0x06 `flags` byte: the request solicits a rule hint.
+const DEADLINE_FLAG_SOLICIT_HINT: u8 = 0x01;
 /// Size budget for one batched datagram. Conservative for a 1500-byte
 /// Ethernet MTU minus IP + UDP headers, so a batch never fragments.
 pub const MAX_DATAGRAM_BYTES: usize = 1400;
@@ -65,6 +87,8 @@ pub const KIND_BATCH: u8 = 0x03;
 pub const KIND_REQUEST_HINT: u8 = 0x04;
 /// Frame kind: admission response carrying a rule hint.
 pub const KIND_RESPONSE_HINT: u8 = 0x05;
+/// Frame kind: admission request carrying deadline budget and retry nonce.
+pub const KIND_REQUEST_DEADLINE: u8 = 0x06;
 
 /// A decoded frame: either direction of the admission protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -94,10 +118,21 @@ fn put_header(buf: &mut BytesMut, kind: u8) {
 }
 
 fn request_kind(req: &QosRequest) -> u8 {
-    if req.solicit_hint {
+    if req.attempt.is_some() {
+        KIND_REQUEST_DEADLINE
+    } else if req.solicit_hint {
         KIND_REQUEST_HINT
     } else {
         KIND_REQUEST
+    }
+}
+
+/// The 0x06 `flags` byte for a deadline-stamped request.
+fn deadline_flags(req: &QosRequest) -> u8 {
+    if req.solicit_hint {
+        DEADLINE_FLAG_SOLICIT_HINT
+    } else {
+        0
     }
 }
 
@@ -111,9 +146,14 @@ fn response_kind(resp: &QosResponse) -> u8 {
 
 /// Encode a request into a fresh buffer.
 pub fn encode_request(req: &QosRequest) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + 8 + 1 + req.key.len());
+    let mut buf = BytesMut::with_capacity(4 + 8 + DEADLINE_META_BYTES + 1 + req.key.len());
     put_header(&mut buf, request_kind(req));
     buf.put_u64(req.id);
+    if let Some(attempt) = &req.attempt {
+        buf.put_u8(deadline_flags(req));
+        buf.put_u32(attempt.budget_us);
+        buf.put_u32(attempt.nonce);
+    }
     debug_assert!(req.key.len() <= MAX_KEY_BYTES);
     buf.put_u8(req.key.len() as u8);
     buf.put_slice(req.key.as_bytes());
@@ -144,7 +184,16 @@ pub fn encode(frame: &Frame) -> Bytes {
 /// Bytes one frame occupies as a batch item (kind byte + payload).
 pub fn batch_item_len(frame: &Frame) -> usize {
     match frame {
-        Frame::Request(r) => 1 + 8 + 1 + r.key.len(),
+        Frame::Request(r) => {
+            1 + 8
+                + if r.attempt.is_some() {
+                    DEADLINE_META_BYTES
+                } else {
+                    0
+                }
+                + 1
+                + r.key.len()
+        }
         Frame::Response(r) => 1 + 8 + 1 + if r.hint.is_some() { 16 } else { 0 },
     }
 }
@@ -154,6 +203,11 @@ fn put_batch_item(buf: &mut BytesMut, frame: &Frame) {
         Frame::Request(req) => {
             buf.put_u8(request_kind(req));
             buf.put_u64(req.id);
+            if let Some(attempt) = &req.attempt {
+                buf.put_u8(deadline_flags(req));
+                buf.put_u32(attempt.budget_us);
+                buf.put_u32(attempt.nonce);
+            }
             debug_assert!(req.key.len() <= MAX_KEY_BYTES);
             buf.put_u8(req.key.len() as u8);
             buf.put_slice(req.key.as_bytes());
@@ -213,12 +267,8 @@ pub fn encode_batch(frames: &[Frame]) -> Vec<Bytes> {
     datagrams
 }
 
-/// Parse a request payload (`id | key_len | key`), consuming it from `data`.
-fn parse_request_body(data: &mut &[u8]) -> Result<QosRequest> {
-    if data.len() < 9 {
-        return Err(JanusError::codec("truncated request"));
-    }
-    let id = data.get_u64();
+/// Parse a length-prefixed key (`key_len | key`), consuming it from `data`.
+fn parse_key(data: &mut &[u8]) -> Result<QosKey> {
     let key_len = data.get_u8() as usize;
     if data.len() < key_len {
         return Err(JanusError::codec(format!(
@@ -231,7 +281,38 @@ fn parse_request_body(data: &mut &[u8]) -> Result<QosRequest> {
         std::str::from_utf8(key_bytes).map_err(|_| JanusError::codec("key is not UTF-8"))?;
     let key = QosKey::new(key_str).map_err(|e| JanusError::codec(format!("bad key: {e}")))?;
     data.advance(key_len);
+    Ok(key)
+}
+
+/// Parse a request payload (`id | key_len | key`), consuming it from `data`.
+fn parse_request_body(data: &mut &[u8]) -> Result<QosRequest> {
+    if data.len() < 9 {
+        return Err(JanusError::codec("truncated request"));
+    }
+    let id = data.get_u64();
+    let key = parse_key(data)?;
     Ok(QosRequest::new(id, key))
+}
+
+/// Parse a deadline-stamped request payload
+/// (`id | flags | budget_us | nonce | key_len | key`).
+fn parse_request_deadline_body(data: &mut &[u8]) -> Result<QosRequest> {
+    if data.len() < 8 + DEADLINE_META_BYTES + 1 {
+        return Err(JanusError::codec("truncated deadline request"));
+    }
+    let id = data.get_u64();
+    let flags = data.get_u8();
+    if flags & !DEADLINE_FLAG_SOLICIT_HINT != 0 {
+        return Err(JanusError::codec(format!(
+            "unknown deadline request flags 0x{flags:02x}"
+        )));
+    }
+    let budget_us = data.get_u32();
+    let nonce = data.get_u32();
+    let key = parse_key(data)?;
+    let mut request = QosRequest::new(id, key).with_attempt(AttemptMeta::new(budget_us, nonce));
+    request.solicit_hint = flags & DEADLINE_FLAG_SOLICIT_HINT != 0;
+    Ok(request)
 }
 
 /// Parse a response payload (`id | verdict`), consuming it from `data`.
@@ -307,13 +388,16 @@ pub fn decode(mut data: &[u8]) -> Result<Frame> {
             Frame::Request(request)
         }
         KIND_RESPONSE_HINT => Frame::Response(parse_response_hint_body(&mut data)?),
+        KIND_REQUEST_DEADLINE => Frame::Request(parse_request_deadline_body(&mut data)?),
         KIND_BATCH => {
             return Err(JanusError::codec(
                 "batch frame in a single-frame context (use decode_all)",
             ));
         }
         other => {
-            return Err(JanusError::codec(format!("unknown frame kind 0x{other:02x}")));
+            return Err(JanusError::codec(format!(
+                "unknown frame kind 0x{other:02x}"
+            )));
         }
     };
     reject_trailing(data)?;
@@ -334,6 +418,7 @@ pub fn decode_all(mut data: &[u8]) -> Result<Vec<Frame>> {
             vec![Frame::Request(request)]
         }
         KIND_RESPONSE_HINT => vec![Frame::Response(parse_response_hint_body(&mut data)?)],
+        KIND_REQUEST_DEADLINE => vec![Frame::Request(parse_request_deadline_body(&mut data)?)],
         KIND_BATCH => {
             if data.len() < 2 {
                 return Err(JanusError::codec("truncated batch count"));
@@ -353,8 +438,9 @@ pub fn decode_all(mut data: &[u8]) -> Result<Vec<Frame>> {
                         request.solicit_hint = true;
                         Frame::Request(request)
                     }
-                    KIND_RESPONSE_HINT => {
-                        Frame::Response(parse_response_hint_body(&mut data)?)
+                    KIND_RESPONSE_HINT => Frame::Response(parse_response_hint_body(&mut data)?),
+                    KIND_REQUEST_DEADLINE => {
+                        Frame::Request(parse_request_deadline_body(&mut data)?)
                     }
                     other => {
                         return Err(JanusError::codec(format!(
@@ -366,7 +452,9 @@ pub fn decode_all(mut data: &[u8]) -> Result<Vec<Frame>> {
             frames
         }
         other => {
-            return Err(JanusError::codec(format!("unknown frame kind 0x{other:02x}")));
+            return Err(JanusError::codec(format!(
+                "unknown frame kind 0x{other:02x}"
+            )));
         }
     };
     reject_trailing(data)?;
@@ -465,8 +553,12 @@ mod tests {
     #[test]
     fn max_frame_bound_is_tight() {
         let big = "x".repeat(MAX_KEY_BYTES);
-        let req = QosRequest::new(u64::MAX, key(&big));
+        let req =
+            QosRequest::new(u64::MAX, key(&big)).with_attempt(AttemptMeta::new(u32::MAX, u32::MAX));
         assert_eq!(encode_request(&req).len(), MAX_FRAME_BYTES);
+        // The plain frame is exactly the deadline metadata smaller.
+        let plain = req.without_attempt();
+        assert_eq!(encode_request(&plain).len(), MAX_FRAME_BYTES - 9);
     }
 
     fn hint(cap: u64, rate: u64) -> RuleHint {
@@ -542,6 +634,91 @@ mod tests {
         }
     }
 
+    fn meta(budget_us: u32, nonce: u32) -> AttemptMeta {
+        AttemptMeta::new(budget_us, nonce)
+    }
+
+    #[test]
+    fn deadline_request_roundtrip() {
+        let req = QosRequest::new(42, key("alice:photos")).with_attempt(meta(400, 0xDEAD_BEEF));
+        let wire = encode_request(&req);
+        assert_eq!(wire[3], KIND_REQUEST_DEADLINE);
+        assert_eq!(decode(&wire).unwrap(), Frame::Request(req));
+    }
+
+    #[test]
+    fn deadline_request_composes_with_hint_solicitation() {
+        let req = QosRequest::soliciting_hint(7, key("bob")).with_attempt(meta(100, 3));
+        let wire = encode_request(&req);
+        // One frame kind carries both extensions; the hint rides the
+        // flags byte instead of a second kind.
+        assert_eq!(wire[3], KIND_REQUEST_DEADLINE);
+        assert_eq!(wire[12], 0x01, "solicit_hint flag bit");
+        assert_eq!(decode(&wire).unwrap(), Frame::Request(req));
+    }
+
+    #[test]
+    fn uuid_deadline_request_is_58_bytes() {
+        let req = QosRequest::new(1, key("00000000-0000-0000-0000-000000000000"))
+            .with_attempt(meta(600, 9));
+        assert_eq!(encode_request(&req).len(), 58);
+    }
+
+    #[test]
+    fn deadline_unaware_wire_format_is_unchanged() {
+        // Direction 1 of the compatibility contract: a client that never
+        // stamps deadlines emits byte-for-byte the v1 frames, so old and
+        // new receivers see identical datagrams.
+        let req = QosRequest::new(42, key("alice"));
+        assert_eq!(encode_request(&req)[3], KIND_REQUEST);
+        let soliciting = QosRequest::soliciting_hint(42, key("alice"));
+        assert_eq!(encode_request(&soliciting)[3], KIND_REQUEST_HINT);
+    }
+
+    #[test]
+    fn deadline_fallback_frame_matches_plain_encoding() {
+        // Direction 2: the final-attempt fallback against a
+        // deadline-unaware server is exactly the legacy frame that server
+        // understands.
+        let stamped = QosRequest::new(9, key("bob")).with_attempt(meta(50, 1));
+        let fallback = encode_request(&stamped.without_attempt());
+        let plain = encode_request(&QosRequest::new(9, key("bob")));
+        assert_eq!(fallback, plain);
+    }
+
+    #[test]
+    fn deadline_request_rejects_unknown_flag_bits() {
+        let req = QosRequest::new(3, key("abcd")).with_attempt(meta(10, 2));
+        let mut wire = BytesMut::from(&encode_request(&req)[..]);
+        // Byte 12 is the flags byte; only bit 0 is defined today.
+        for bad in [0x02u8, 0x80, 0xff] {
+            assert_mutation_rejected(&mut wire, 12, bad, "reserved deadline flag");
+        }
+        assert_eq!(decode(&wire).unwrap(), Frame::Request(req));
+    }
+
+    #[test]
+    fn deadline_request_rejects_truncation_at_every_length() {
+        let req = QosRequest::new(9, key("some-user")).with_attempt(meta(600, 77));
+        let wire = encode_request(&req);
+        for cut in 0..wire.len() {
+            assert!(decode(&wire[..cut]).is_err(), "accepted {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_with_deadline_items() {
+        let frames = vec![
+            Frame::Request(QosRequest::new(1, key("alice")).with_attempt(meta(500, 10))),
+            Frame::Response(QosResponse::allow(2)),
+            Frame::Request(QosRequest::soliciting_hint(3, key("bob")).with_attempt(meta(250, 11))),
+            Frame::Request(QosRequest::new(4, key("carol"))),
+        ];
+        let datagrams = encode_batch(&frames);
+        assert_eq!(datagrams.len(), 1);
+        assert_eq!(decode_all(&datagrams[0]).unwrap(), frames);
+    }
+
     #[test]
     fn batch_roundtrip_with_hints() {
         let frames = vec![
@@ -615,7 +792,11 @@ mod tests {
         assert!(datagrams.len() > 1, "expected a split");
         let mut decoded = Vec::new();
         for d in &datagrams {
-            assert!(d.len() <= MAX_DATAGRAM_BYTES, "datagram over budget: {}", d.len());
+            assert!(
+                d.len() <= MAX_DATAGRAM_BYTES,
+                "datagram over budget: {}",
+                d.len()
+            );
             decoded.extend(decode_all(d).unwrap());
         }
         assert_eq!(decoded, frames);
@@ -629,7 +810,10 @@ mod tests {
         ];
         let wire = encode_batch(&frames).remove(0).to_vec();
         for cut in 0..wire.len() {
-            assert!(decode_all(&wire[..cut]).is_err(), "accepted {cut}-byte prefix");
+            assert!(
+                decode_all(&wire[..cut]).is_err(),
+                "accepted {cut}-byte prefix"
+            );
         }
         let mut padded = wire.clone();
         padded.push(0);
@@ -652,7 +836,10 @@ mod tests {
             let frame = decode(&wire).unwrap();
             assert!(matches!(frame, Frame::Request(_)));
         });
-        assert_eq!(allocs, 0, "inline-key request decode allocated {allocs} times");
+        assert_eq!(
+            allocs, 0,
+            "inline-key request decode allocated {allocs} times"
+        );
     }
 
     #[test]
@@ -666,7 +853,10 @@ mod tests {
             let frame = decode(&wire).unwrap();
             assert!(matches!(frame, Frame::Request(_)));
         });
-        assert_eq!(allocs, 1, "heap-key request decode allocated {allocs} times");
+        assert_eq!(
+            allocs, 1,
+            "heap-key request decode allocated {allocs} times"
+        );
     }
 
     proptest! {
@@ -674,8 +864,15 @@ mod tests {
         fn any_batch_roundtrips_within_budget(
             specs in proptest::collection::vec(
                 prop_oneof![
-                    (any::<u64>(), "[ -~]{1,255}", any::<bool>())
-                        .prop_map(|(id, s, solicit)| (Some((s, solicit)), id, false, None)),
+                    (
+                        any::<u64>(),
+                        "[ -~]{1,255}",
+                        any::<bool>(),
+                        proptest::option::of((any::<u32>(), any::<u32>())),
+                    )
+                        .prop_map(|(id, s, solicit, attempt)| {
+                            (Some((s, solicit, attempt)), id, false, None)
+                        }),
                     (any::<u64>(), any::<bool>(), proptest::option::of((any::<u64>(), any::<u64>())))
                         .prop_map(|(id, allow, hint)| (None, id, allow, hint)),
                 ],
@@ -685,11 +882,17 @@ mod tests {
             let frames: Vec<Frame> = specs
                 .iter()
                 .map(|(s, id, allow, hint)| match s {
-                    Some((s, solicit)) => Frame::Request(if *solicit {
-                        QosRequest::soliciting_hint(*id, key(s))
-                    } else {
-                        QosRequest::new(*id, key(s))
-                    }),
+                    Some((s, solicit, attempt)) => {
+                        let mut req = if *solicit {
+                            QosRequest::soliciting_hint(*id, key(s))
+                        } else {
+                            QosRequest::new(*id, key(s))
+                        };
+                        if let Some((budget_us, nonce)) = attempt {
+                            req = req.with_attempt(AttemptMeta::new(*budget_us, *nonce));
+                        }
+                        Frame::Request(req)
+                    }
                     None => {
                         let mut resp = QosResponse::new(*id, Verdict::from_bool(*allow));
                         if let Some((cap, rate)) = hint {
@@ -752,6 +955,25 @@ mod tests {
             let req = QosRequest::new(id, key(&s));
             let wire = encode_request(&req);
             prop_assert_eq!(decode(&wire).unwrap(), Frame::Request(req));
+        }
+
+        #[test]
+        fn any_deadline_request_roundtrips(
+            id: u64,
+            s in "[ -~]{1,255}",
+            solicit: bool,
+            budget_us: u32,
+            nonce: u32,
+        ) {
+            let mut req = if solicit {
+                QosRequest::soliciting_hint(id, key(&s))
+            } else {
+                QosRequest::new(id, key(&s))
+            };
+            req = req.with_attempt(AttemptMeta::new(budget_us, nonce));
+            let wire = encode_request(&req);
+            prop_assert_eq!(decode(&wire).unwrap(), Frame::Request(req.clone()));
+            prop_assert_eq!(decode_all(&wire).unwrap(), vec![Frame::Request(req)]);
         }
 
         #[test]

@@ -23,9 +23,7 @@ const NANOS_PER_SEC: u128 = 1_000_000_000;
 ///
 /// One whole credit admits one request. Fractional credit accumulates
 /// between refill observations.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct Credits(u64);
 
@@ -129,9 +127,7 @@ impl SubAssign for Credits {
 ///
 /// Stored as microcredits per second so that e.g. "0.5 requests/second"
 /// (one request every two seconds) is representable exactly.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 #[serde(transparent)]
 pub struct RefillRate(u64);
 

@@ -27,7 +27,7 @@ mod rule;
 pub use credits::{Credits, RefillRate, MICROCREDITS_PER_CREDIT};
 pub use error::{JanusError, Result};
 pub use key::{KeyError, QosKey, INLINE_KEY_BYTES, MAX_KEY_BYTES};
-pub use message::{QosRequest, QosResponse, RequestId, RuleHint, Verdict};
+pub use message::{AttemptMeta, QosRequest, QosResponse, RequestId, RuleHint, Verdict};
 pub use rule::QosRule;
 
 /// A counting global allocator for this crate's test binary only: the

@@ -97,6 +97,34 @@ impl RuleHint {
     }
 }
 
+/// Per-attempt overload-control metadata: how much of the router's
+/// retry budget remains, and which logical request this attempt belongs
+/// to.
+///
+/// The budget is *remaining microseconds*, re-stamped on every retry
+/// (total budget minus elapsed), so every hop can shed work whose
+/// router-side deadline already passed instead of burning CPU on an
+/// answer nobody is waiting for. The nonce is drawn once per logical
+/// request and reused verbatim across its retries; a server that
+/// remembers recently-seen nonces can recognize a duplicate attempt and
+/// return the cached verdict instead of charging the bucket twice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttemptMeta {
+    /// Remaining deadline budget in microseconds. Clients stamp at least
+    /// 1 (a zero budget means "already expired — shed me").
+    pub budget_us: u32,
+    /// Logical-request nonce, constant across retries of one call.
+    pub nonce: u32,
+}
+
+impl AttemptMeta {
+    /// Metadata for one attempt of logical request `nonce` with
+    /// `budget_us` microseconds of deadline budget remaining.
+    pub fn new(budget_us: u32, nonce: u32) -> Self {
+        AttemptMeta { budget_us, nonce }
+    }
+}
+
 /// A QoS request: "may the holder of `key` make one more call?"
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QosRequest {
@@ -110,6 +138,13 @@ pub struct QosRequest {
     /// fall back to the plain frame on retries.
     #[serde(default)]
     pub solicit_hint: bool,
+    /// Deadline budget and retry nonce for this attempt, when the client
+    /// propagates them. Off the wire this selects the deadline frame
+    /// kind; a deadline-unaware server drops that frame as garbage, so
+    /// propagating clients fall back to a legacy frame on the final
+    /// attempt.
+    #[serde(default)]
+    pub attempt: Option<AttemptMeta>,
 }
 
 impl QosRequest {
@@ -119,6 +154,7 @@ impl QosRequest {
             id,
             key,
             solicit_hint: false,
+            attempt: None,
         }
     }
 
@@ -128,7 +164,14 @@ impl QosRequest {
             id,
             key,
             solicit_hint: true,
+            attempt: None,
         }
+    }
+
+    /// This request carrying deadline budget and retry nonce.
+    pub fn with_attempt(mut self, attempt: AttemptMeta) -> Self {
+        self.attempt = Some(attempt);
+        self
     }
 
     /// This request without the hint solicitation (the retry fallback
@@ -138,6 +181,18 @@ impl QosRequest {
             id: self.id,
             key: self.key.clone(),
             solicit_hint: false,
+            attempt: self.attempt,
+        }
+    }
+
+    /// This request without deadline metadata (the final-attempt fallback
+    /// frame understood by deadline-unaware servers).
+    pub fn without_attempt(&self) -> Self {
+        QosRequest {
+            id: self.id,
+            key: self.key.clone(),
+            solicit_hint: self.solicit_hint,
+            attempt: None,
         }
     }
 }
@@ -220,6 +275,25 @@ mod tests {
         assert!(!plain.solicit_hint);
         assert_eq!(plain.id, soliciting.id);
         assert_eq!(plain.key, soliciting.key);
+    }
+
+    #[test]
+    fn attempt_meta_constructors() {
+        let key = QosKey::new("k").unwrap();
+        let plain = QosRequest::new(1, key.clone());
+        assert_eq!(plain.attempt, None);
+        let stamped = plain.clone().with_attempt(AttemptMeta::new(400, 0xBEEF));
+        assert_eq!(stamped.attempt, Some(AttemptMeta::new(400, 0xBEEF)));
+        // The final-attempt fallback strips the metadata but keeps the
+        // rest of the request intact.
+        let fallback = stamped.without_attempt();
+        assert_eq!(fallback, plain);
+        // Stripping the hint preserves the attempt metadata: the two
+        // extensions downgrade independently.
+        let both = QosRequest::soliciting_hint(2, key).with_attempt(AttemptMeta::new(9, 9));
+        let hintless = both.without_hint();
+        assert!(!hintless.solicit_hint);
+        assert_eq!(hintless.attempt, both.attempt);
     }
 
     #[test]

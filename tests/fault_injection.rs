@@ -29,9 +29,10 @@ async fn retries_mask_moderate_response_loss() {
     )
     .await
     .unwrap();
-    server
-        .table()
-        .insert(QosRule::per_second(key("t"), 1_000_000, 0), server.clock().now());
+    server.table().insert(
+        QosRule::per_second(key("t"), 1_000_000, 0),
+        server.clock().now(),
+    );
 
     let rpc = lan_rpc();
     let mut ok = 0;
@@ -62,9 +63,10 @@ async fn response_loss_overcharges_but_never_oversells() {
     )
     .await
     .unwrap();
-    server
-        .table()
-        .insert(QosRule::per_second(key("quota"), 50, 0), server.clock().now());
+    server.table().insert(
+        QosRule::per_second(key("quota"), 50, 0),
+        server.clock().now(),
+    );
 
     let rpc = lan_rpc();
     let mut admitted = 0;
@@ -123,10 +125,7 @@ async fn tiny_fifo_sheds_load_instead_of_collapsing() {
     }
     // Some calls must be shed (tiny FIFO), but the server keeps serving.
     assert!(succeeded > 0, "server collapsed entirely");
-    let shed = server
-        .stats()
-        .shed
-        .load(std::sync::atomic::Ordering::Relaxed);
+    let shed = server.stats().shed_total();
     let answered = server
         .stats()
         .answered
@@ -154,9 +153,10 @@ async fn network_healing_restores_service() {
     )
     .await
     .unwrap();
-    server
-        .table()
-        .insert(QosRule::per_second(key("heal"), 100, 0), server.clock().now());
+    server.table().insert(
+        QosRule::per_second(key("heal"), 100, 0),
+        server.clock().now(),
+    );
 
     let rpc = UdpRpcClient::new(UdpRpcConfig {
         timeout: Duration::from_millis(2),
@@ -187,14 +187,10 @@ async fn batched_pool_retries_mask_response_loss() {
     let faults = FaultPlan::new(0.2, 0.0, Duration::ZERO, 41);
     let mut config = QosServerConfig::test_defaults();
     config.batching = true;
-    let server = QosServer::spawn_with_faults(
-        config,
-        None,
-        janus_clock::system(),
-        Arc::clone(&faults),
-    )
-    .await
-    .unwrap();
+    let server =
+        QosServer::spawn_with_faults(config, None, janus_clock::system(), Arc::clone(&faults))
+            .await
+            .unwrap();
     server.table().insert(
         QosRule::per_second(key("lossy"), 1_000_000, 0),
         server.clock().now(),
@@ -235,9 +231,13 @@ async fn batching_preserves_per_request_timeout_semantics_under_blackout() {
     use janus_net::udp_pool::{BatchConfig, PooledUdpRpcClient};
     use janus_types::JanusError;
 
-    let server = QosServer::spawn(QosServerConfig::test_defaults(), None, janus_clock::system())
-        .await
-        .unwrap();
+    let server = QosServer::spawn(
+        QosServerConfig::test_defaults(),
+        None,
+        janus_clock::system(),
+    )
+    .await
+    .unwrap();
     let blackout = FaultPlan::new(1.0, 0.0, Duration::ZERO, 11);
     let pool = PooledUdpRpcClient::bind_with_batch(
         UdpRpcConfig {
@@ -280,9 +280,10 @@ async fn delayed_responses_still_correlate_by_request_id() {
     )
     .await
     .unwrap();
-    server
-        .table()
-        .insert(QosRule::per_second(key("slow"), 1_000, 0), server.clock().now());
+    server.table().insert(
+        QosRule::per_second(key("slow"), 1_000, 0),
+        server.clock().now(),
+    );
     let rpc = lan_rpc();
     for id in 0..20u64 {
         let resp = rpc
