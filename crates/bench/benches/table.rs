@@ -27,19 +27,18 @@ fn populate(table: &dyn QosTable) -> Vec<QosKey> {
 }
 
 fn run_contended(table: Arc<dyn QosTable>, keys: Arc<Vec<QosKey>>, threads: usize) {
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..threads {
             let table = Arc::clone(&table);
             let keys = Arc::clone(&keys);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for i in 0..OPS_PER_THREAD {
                     let key = &keys[(t * 7919 + i) % keys.len()];
                     black_box(table.decide(key, Nanos::from_nanos(i as u64)));
                 }
             });
         }
-    })
-    .unwrap();
+    });
 }
 
 fn bench_contention(c: &mut Criterion) {

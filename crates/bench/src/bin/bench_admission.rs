@@ -10,14 +10,19 @@
 //! cargo run --release -p janus-bench --bin bench_admission
 //! cargo run --release -p janus-bench --bin bench_admission -- --quick --json
 //! cargo run --release -p janus-bench --bin bench_admission -- --smoke
+//! cargo run --release -p janus-bench --bin bench_admission -- --smoke --socket-mode per_core
 //! ```
 //!
 //! `--smoke` (the CI preset) runs every variant at 1 client ×
 //! 1000 requests purely as a did-the-data-plane-survive check; it prints
 //! the table but deliberately does **not** rewrite `BENCH_admission.json`
 //! — a loaded CI box would overwrite real measurements with noise.
+//! `--socket-mode` restricts the sweep to one kernel path (the syscall
+//! ablation's decisions/sec/core curve comes from comparing the three).
 
-use janus_bench::live::{admission_variants, run_admission_variant, AdmissionPoint};
+use janus_bench::live::{
+    admission_variants, run_admission_variant, socket_mode_label, AdmissionPoint,
+};
 use janus_bench::{fmt_krps, print_table, FigureCli};
 use serde::Serialize;
 
@@ -46,16 +51,31 @@ fn main() {
         (vec![1, 4, 8, 16], 2_000)
     };
 
+    let variants: Vec<_> = admission_variants()
+        .into_iter()
+        .filter(|v| match &cli.socket_mode {
+            Some(label) => socket_mode_label(v.socket_mode) == label,
+            None => true,
+        })
+        .collect();
+    if variants.is_empty() {
+        // e.g. `--socket-mode per_core` on a non-Linux host, where the
+        // sweep omits the per-core variant entirely.
+        eprintln!("no variants match this --socket-mode on this platform");
+        return;
+    }
+
     let mut points = Vec::new();
-    for variant in admission_variants() {
+    for variant in variants {
         for &clients in &client_sweep {
             let point = runtime.block_on(run_admission_variant(&variant, clients, per_client));
             eprintln!(
-                "{:<32} clients={:<3} {:>8} completed, {}",
+                "{:<32} clients={:<3} {:>8} completed, {} ({:.0}/s/core)",
                 point.mode,
                 point.clients,
                 point.completed,
-                fmt_krps(point.krps * 1_000.0)
+                fmt_krps(point.krps * 1_000.0),
+                point.decisions_per_sec_per_core
             );
             points.push(point);
         }
@@ -67,8 +87,10 @@ fn main() {
         points,
     };
 
-    if cli.smoke {
-        eprintln!("smoke run: BENCH_admission.json left untouched");
+    if cli.smoke || cli.socket_mode.is_some() {
+        // A filtered sweep is partial by construction; only the full
+        // three-mode sweep may replace the checked-in measurements.
+        eprintln!("smoke/filtered run: BENCH_admission.json left untouched");
     } else {
         let json = serde_json::to_string_pretty(&output).expect("serializable");
         std::fs::write("BENCH_admission.json", format!("{json}\n"))
@@ -84,12 +106,16 @@ fn main() {
                 vec![
                     p.mode.clone(),
                     p.table_kind.to_string(),
+                    p.socket_mode.to_string(),
                     p.clients.to_string(),
                     fmt_krps(p.krps * 1_000.0),
+                    format!("{:.0}", p.decisions_per_sec_per_core),
                     p.completed.to_string(),
                     p.timed_out.to_string(),
                     (p.shed_full + p.shed_expired + p.shed_sojourn).to_string(),
                     p.dedup_hits.to_string(),
+                    p.syscalls_saved.to_string(),
+                    format!("{}/{}", p.batch_recv_p50, p.batch_recv_p99),
                     format!("{}us", p.sojourn_p99_us),
                     p.cas_retries.to_string(),
                     format!("{:.1}ms", p.elapsed_ms),
@@ -101,12 +127,16 @@ fn main() {
             &[
                 "mode",
                 "table_kind",
+                "socket_mode",
                 "clients",
                 "krps",
+                "per_core",
                 "completed",
                 "timed_out",
                 "shed",
                 "dedup_hits",
+                "sys_saved",
+                "batch_p50/99",
                 "sojourn_p99",
                 "cas_retries",
                 "elapsed",

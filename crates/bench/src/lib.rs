@@ -23,6 +23,10 @@ pub struct FigureCli {
     pub smoke: bool,
     /// Run the live (loopback-process) variant where one exists.
     pub live: bool,
+    /// Restrict a sweep to one kernel-path label (`single_listener`,
+    /// `batched_syscall` or `per_core`); `None` sweeps them all.
+    /// Binaries without a socket-mode axis ignore it.
+    pub socket_mode: Option<String>,
     /// Seed for deterministic runs.
     pub seed: u64,
 }
@@ -36,6 +40,7 @@ impl FigureCli {
             quick: false,
             smoke: false,
             live: false,
+            socket_mode: None,
             seed: 2018,
         };
         let mut iter = args.iter().peekable();
@@ -51,11 +56,27 @@ impl FigureCli {
                         .and_then(|s| s.parse().ok())
                         .unwrap_or_else(|| die("--seed needs an integer"));
                 }
+                "--socket-mode" => {
+                    let value = iter
+                        .next()
+                        .unwrap_or_else(|| die("--socket-mode needs a label"));
+                    match value.as_str() {
+                        "single_listener" | "batched_syscall" | "per_core" => {
+                            cli.socket_mode = Some(value.clone());
+                        }
+                        other => die(&format!(
+                            "unknown socket mode {other:?} (expected single_listener, \
+                             batched_syscall or per_core)"
+                        )),
+                    }
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --json (machine output) --quick (fast preset) \
                          --smoke (tiny CI correctness run) \
-                         --live (real loopback run where supported) --seed <n>"
+                         --live (real loopback run where supported) \
+                         --socket-mode <single_listener|batched_syscall|per_core> \
+                         --seed <n>"
                     );
                     std::process::exit(0);
                 }

@@ -12,7 +12,7 @@ use janus_bucket::DefaultRulePolicy;
 use janus_net::fault::FaultPlan;
 use janus_net::udp::UdpRpcConfig;
 use janus_net::udp_pool::{BatchConfig, PooledUdpRpcClient};
-use janus_server::{DispatchMode, QosServer, QosServerConfig, TableKind};
+use janus_server::{DispatchMode, QosServer, QosServerConfig, SocketMode, TableKind};
 use janus_types::QosKey;
 use serde::Serialize;
 
@@ -29,18 +29,24 @@ pub struct AdmissionVariant {
     pub server_batching: bool,
     /// Client-side datagram coalescing.
     pub client_batching: bool,
+    /// Kernel path: single listener, batched syscalls, or per-core
+    /// `SO_REUSEPORT` sockets (DESIGN.md ablation 12).
+    pub socket_mode: SocketMode,
 }
 
 /// The sweep every harness runs: the optimized plane, the same plane
-/// without batching, and the paper's shared-FIFO single-frame baseline.
+/// without batching, the paper's shared-FIFO single-frame baseline, and
+/// the kernel-path ablation (batched syscalls, per-core sockets).
 pub fn admission_variants() -> Vec<AdmissionVariant> {
-    vec![
+    let single = SocketMode::SingleListener;
+    let mut variants = vec![
         AdmissionVariant {
             name: "batched+affinity+lock_free",
             dispatch: DispatchMode::KeyAffinity,
             table: TableKind::LockFree,
             server_batching: true,
             client_batching: true,
+            socket_mode: single,
         },
         AdmissionVariant {
             name: "batched+affinity+per_worker",
@@ -48,6 +54,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             table: TableKind::PerWorker,
             server_batching: true,
             client_batching: true,
+            socket_mode: single,
         },
         AdmissionVariant {
             name: "batched+affinity+sharded",
@@ -55,6 +62,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             table: TableKind::Sharded,
             server_batching: true,
             client_batching: true,
+            socket_mode: single,
         },
         AdmissionVariant {
             name: "unbatched+affinity",
@@ -62,6 +70,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             table: TableKind::Sharded,
             server_batching: false,
             client_batching: false,
+            socket_mode: single,
         },
         AdmissionVariant {
             name: "unbatched+shared_fifo",
@@ -69,6 +78,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             table: TableKind::Sharded,
             server_batching: false,
             client_batching: false,
+            socket_mode: single,
         },
         AdmissionVariant {
             // Shared FIFO is the worst interleaving for the CAS loop
@@ -79,8 +89,42 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             table: TableKind::LockFree,
             server_batching: false,
             client_batching: false,
+            socket_mode: single,
         },
-    ]
+        AdmissionVariant {
+            // Same topology as the optimized plane, but whole batches
+            // move per kernel crossing (recvmmsg/sendmmsg) — frames vs
+            // syscalls is the batching ablation's second axis.
+            name: "mmsg+affinity+lock_free",
+            dispatch: DispatchMode::KeyAffinity,
+            table: TableKind::LockFree,
+            server_batching: true,
+            client_batching: true,
+            socket_mode: SocketMode::BatchedSyscall,
+        },
+    ];
+    if cfg!(target_os = "linux") {
+        // SO_REUSEPORT flow steering is Linux-only; spawning PerCore
+        // elsewhere fails by design, so the sweep simply omits it.
+        variants.push(AdmissionVariant {
+            name: "per_core+lock_free",
+            dispatch: DispatchMode::KeyAffinity,
+            table: TableKind::LockFree,
+            server_batching: true,
+            client_batching: true,
+            socket_mode: SocketMode::PerCore,
+        });
+    }
+    variants
+}
+
+/// Stable JSON label for a [`SocketMode`] (the `socket_mode` column).
+pub fn socket_mode_label(mode: SocketMode) -> &'static str {
+    match mode {
+        SocketMode::SingleListener => "single_listener",
+        SocketMode::BatchedSyscall => "batched_syscall",
+        SocketMode::PerCore => "per_core",
+    }
 }
 
 /// Stable JSON label for a [`TableKind`] (the `table_kind` column).
@@ -102,6 +146,11 @@ pub struct AdmissionPoint {
     /// lock ablation can be sliced out of the sweep without parsing
     /// `mode`.
     pub table_kind: &'static str,
+    /// The variant's kernel path (see [`socket_mode_label`]).
+    pub socket_mode: &'static str,
+    /// Server worker count — the denominator of
+    /// [`AdmissionPoint::decisions_per_sec_per_core`].
+    pub workers: usize,
     /// Concurrent client tasks sharing the pooled socket.
     pub clients: usize,
     /// Checks each client issued.
@@ -114,6 +163,9 @@ pub struct AdmissionPoint {
     pub elapsed_ms: f64,
     /// Completed checks per second, in thousands.
     pub krps: f64,
+    /// Completed checks per second divided by server workers — the
+    /// decisions/sec/core curve the syscall ablation plots.
+    pub decisions_per_sec_per_core: f64,
     /// Datagrams the server shed at full queues.
     pub shed_full: u64,
     /// Datagrams the server shed because their deadline budget was spent.
@@ -132,6 +184,13 @@ pub struct AdmissionPoint {
     pub probe_steps: u64,
     /// Receive buffers served from the recycle pool instead of malloc.
     pub pool_recycle_hits: u64,
+    /// Per-datagram syscalls amortized away by `recvmmsg`/`sendmmsg`
+    /// (0 under `single_listener`).
+    pub syscalls_saved: u64,
+    /// Server-side median receive batch length, datagrams.
+    pub batch_recv_p50: u64,
+    /// Server-side 99th-percentile receive batch length, datagrams.
+    pub batch_recv_p99: u64,
 }
 
 /// Run one variant: spawn a standalone allow-all QoS server configured
@@ -147,7 +206,9 @@ pub async fn run_admission_variant(
     config.dispatch = variant.dispatch;
     config.table = variant.table;
     config.batching = variant.server_batching;
+    config.socket_mode = variant.socket_mode;
     config.default_policy = DefaultRulePolicy::AllowAll;
+    let workers = config.workers;
     let server = QosServer::spawn(config, None, janus_clock::system())
         .await
         .expect("qos server");
@@ -158,15 +219,42 @@ pub async fn run_admission_variant(
     } else {
         BatchConfig::disabled()
     };
-    let pool =
-        PooledUdpRpcClient::bind_with_batch(UdpRpcConfig::lan_defaults(), batch, FaultPlan::none())
+    // SO_REUSEPORT steers by client 4-tuple: one shared client socket
+    // would pin the whole load onto one per-core worker, so the per-core
+    // variant gives every client task its own socket (its own flow).
+    let mut pools = Vec::with_capacity(clients);
+    let shared = if variant.socket_mode == SocketMode::PerCore {
+        None
+    } else {
+        Some(
+            PooledUdpRpcClient::bind_with_batch(
+                UdpRpcConfig::lan_defaults(),
+                batch,
+                FaultPlan::none(),
+            )
             .await
-            .expect("pooled client");
+            .expect("pooled client"),
+        )
+    };
+    for _ in 0..clients {
+        match &shared {
+            Some(pool) => pools.push(pool.clone()),
+            None => pools.push(
+                PooledUdpRpcClient::bind_with_batch(
+                    UdpRpcConfig::lan_defaults(),
+                    batch,
+                    FaultPlan::none(),
+                )
+                .await
+                .expect("pooled client"),
+            ),
+        }
+    }
 
     // Warm the table (first sighting of every key inserts a guest rule)
     // so the timed section measures the steady-state hot path.
     let keys_per_client = 8usize;
-    for c in 0..clients {
+    for (c, pool) in pools.iter().enumerate() {
         for k in 0..keys_per_client {
             let key = QosKey::new(format!("c{c}-k{k}")).unwrap();
             let _ = pool.check(addr, key).await;
@@ -175,8 +263,7 @@ pub async fn run_admission_variant(
 
     let start = std::time::Instant::now();
     let mut handles = Vec::with_capacity(clients);
-    for c in 0..clients {
-        let pool = pool.clone();
+    for (c, pool) in pools.iter().cloned().enumerate() {
         handles.push(tokio::spawn(async move {
             let keys: Vec<QosKey> = (0..keys_per_client)
                 .map(|k| QosKey::new(format!("c{c}-k{k}")).unwrap())
@@ -204,12 +291,15 @@ pub async fn run_admission_variant(
     AdmissionPoint {
         mode: variant.name.to_string(),
         table_kind: table_kind_label(variant.table),
+        socket_mode: socket_mode_label(variant.socket_mode),
+        workers,
         clients,
         requests_per_client,
         completed,
         timed_out,
         elapsed_ms: elapsed.as_secs_f64() * 1e3,
         krps: completed as f64 / elapsed.as_secs_f64() / 1e3,
+        decisions_per_sec_per_core: completed as f64 / elapsed.as_secs_f64() / workers as f64,
         shed_full: stats.shed_full,
         shed_expired: stats.shed_expired,
         shed_sojourn: stats.shed_sojourn,
@@ -219,6 +309,9 @@ pub async fn run_admission_variant(
         cas_retries: stats.cas_retries,
         probe_steps: stats.probe_steps,
         pool_recycle_hits: stats.pool_recycle_hits,
+        syscalls_saved: stats.syscalls_saved,
+        batch_recv_p50: stats.batch_recv_p50,
+        batch_recv_p99: stats.batch_recv_p99,
     }
 }
 
@@ -232,8 +325,21 @@ mod tests {
             let point = run_admission_variant(&variant, 2, 10).await;
             assert_eq!(point.mode, variant.name);
             assert_eq!(point.table_kind, table_kind_label(variant.table));
+            assert_eq!(point.socket_mode, socket_mode_label(variant.socket_mode));
             assert_eq!(point.completed + point.timed_out, 20, "{}", variant.name);
             assert!(point.completed > 0, "{} completed nothing", variant.name);
+            assert!(
+                point.decisions_per_sec_per_core > 0.0,
+                "{} has a zero per-core rate",
+                variant.name
+            );
+            if variant.socket_mode == SocketMode::SingleListener {
+                assert_eq!(
+                    point.syscalls_saved, 0,
+                    "{}: the unbatched plane never calls recvmmsg",
+                    variant.name
+                );
+            }
             if variant.table != TableKind::LockFree {
                 assert_eq!(
                     point.cas_retries, 0,

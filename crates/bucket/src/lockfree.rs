@@ -494,18 +494,17 @@ mod tests {
         use std::sync::Arc as StdArc;
         let table = StdArc::new(LockFreeTable::new());
         table.insert(rule("hot", 100_000, 0), Nanos::ZERO);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for _ in 0..8 {
                 let table = StdArc::clone(&table);
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let k = key("hot");
                     for _ in 0..2_000 {
                         table.decide(&k, Nanos::ZERO);
                     }
                 });
             }
-        })
-        .unwrap();
+        });
         let stats = table.stats();
         assert_eq!(stats.decisions, 16_000);
         // 8 threads hammering one bucket must collide at least once; the

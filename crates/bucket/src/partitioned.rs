@@ -266,11 +266,11 @@ mod tests {
     fn concurrent_decisions_conserve_credit() {
         let table = Arc::new(PartitionedTable::new(4));
         table.insert(rule("shared", 1000, 0), Nanos::ZERO);
-        let admitted = crossbeam::thread::scope(|scope| {
+        let admitted = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..8)
                 .map(|_| {
                     let table = Arc::clone(&table);
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let k = key("shared");
                         (0..500)
                             .filter(|_| table.decide(&k, Nanos::ZERO) == Some(Verdict::Allow))
@@ -279,8 +279,7 @@ mod tests {
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
-        })
-        .unwrap();
+        });
         assert_eq!(admitted, 1000);
     }
 

@@ -129,6 +129,14 @@ impl DerefMut for PooledBuf {
     }
 }
 
+impl AsMut<[u8]> for PooledBuf {
+    // The `B: AsMut<[u8]>` bound on `mmsg::recv_batch` lets pooled
+    // scratch buffers and plain `Vec<u8>`s share one receive path.
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
 impl Drop for PooledBuf {
     fn drop(&mut self) {
         let buf = std::mem::take(&mut self.buf);

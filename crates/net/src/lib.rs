@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 //! Networking substrate for Janus.
 //!
 //! The paper deploys Janus on AWS primitives — HTTP between client, load
@@ -19,6 +20,9 @@
 //!   relies on).
 //! * [`fault`] — deterministic packet-loss and delay injection shared by
 //!   the UDP layer.
+//! * [`mmsg`] — batched UDP syscalls (`recvmmsg`/`sendmmsg`) and
+//!   `SO_REUSEPORT` per-core socket groups, declared by hand against the
+//!   system libc, with a portable single-syscall fallback.
 //!
 //! One deliberate substrate simplification: our DNS "A records" carry full
 //! socket addresses rather than bare IPs, because test deployments
@@ -30,6 +34,7 @@ pub mod buffer_pool;
 pub mod dns;
 pub mod fault;
 pub mod http;
+pub mod mmsg;
 pub mod udp;
 pub mod udp_pool;
 
@@ -53,5 +58,6 @@ pub fn poke_listener(addr: std::net::SocketAddr) {
 pub use buffer_pool::{BufferPool, BufferPoolSnapshot, PooledBuf};
 pub use fault::{Fate, FaultPlan};
 pub use http::{HttpClient, HttpRequest, HttpResponse, HttpServer, Method, StatusCode};
+pub use mmsg::{BatchStats, Backend, RecvSlot};
 pub use udp::{RetryBackoff, UdpRpcClient, UdpRpcConfig, UdpServerSocket};
 pub use udp_pool::{BatchConfig, PooledUdpRpcClient};

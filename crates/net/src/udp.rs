@@ -103,6 +103,12 @@ pub struct UdpRpcConfig {
     /// (the final attempt always falls back to a legacy frame so at least
     /// one attempt reaches an old peer).
     pub stamp_deadlines: bool,
+    /// Local address each per-call socket binds before connecting.
+    /// Historically hard-coded to loopback, which made every deployment
+    /// loopback-only; multi-host routers set an unspecified or
+    /// interface-specific address here. Port 0 (ephemeral) is almost
+    /// always right.
+    pub bind_addr: SocketAddr,
 }
 
 impl Default for UdpRpcConfig {
@@ -112,6 +118,7 @@ impl Default for UdpRpcConfig {
             max_retries: 5,
             backoff: RetryBackoff::Fixed,
             stamp_deadlines: false,
+            bind_addr: SocketAddr::from(([127, 0, 0, 1], 0)),
         }
     }
 }
@@ -138,9 +145,7 @@ impl UdpRpcConfig {
     pub fn lan_defaults() -> Self {
         UdpRpcConfig {
             timeout: Duration::from_millis(20),
-            max_retries: 5,
-            backoff: RetryBackoff::Fixed,
-            stamp_deadlines: false,
+            ..Default::default()
         }
     }
 }
@@ -193,7 +198,7 @@ impl UdpRpcClient {
     /// understands. Retrying stops early once the budget is spent —
     /// nobody is waiting for a later answer.
     pub async fn call(&self, server: SocketAddr, request: &QosRequest) -> Result<QosResponse> {
-        let socket = Arc::new(UdpSocket::bind(("127.0.0.1", 0)).await?);
+        let socket = Arc::new(UdpSocket::bind(self.config.bind_addr).await?);
         socket.connect(server).await?;
         let attempts = self.config.attempts();
         // (start, total budget, nonce) when propagating deadlines. A
@@ -310,7 +315,9 @@ impl UdpRpcClient {
 
 /// Receive-buffer size: must hold the largest batch datagram (plus one
 /// byte so oversize datagrams are detectably truncated and rejected).
-const RECV_BUF_BYTES: usize = if codec::MAX_DATAGRAM_BYTES > MAX_FRAME_BYTES {
+/// Public so alternative data planes (`janus-server`'s per-core socket
+/// workers) size their scratch buffers identically.
+pub const RECV_BUF_BYTES: usize = if codec::MAX_DATAGRAM_BYTES > MAX_FRAME_BYTES {
     codec::MAX_DATAGRAM_BYTES + 1
 } else {
     MAX_FRAME_BYTES + 1
@@ -332,6 +339,15 @@ pub struct UdpServerSocket {
     pool: Arc<crate::buffer_pool::BufferPool>,
     /// Requests decoded from a batch datagram but not yet handed out.
     pending: parking_lot::Mutex<std::collections::VecDeque<(QosRequest, SocketAddr)>>,
+    /// Move whole batches of datagrams per syscall with
+    /// `recvmmsg`/`sendmmsg`. Ignored off Linux — the plain paths are
+    /// byte-identical, one syscall per datagram.
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    batched: bool,
+    /// Syscall-amortization counters, shared with the owning server's
+    /// `ServerStats`.
+    #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+    mmsg: Arc<crate::mmsg::BatchStats>,
 }
 
 impl UdpServerSocket {
@@ -351,12 +367,34 @@ impl UdpServerSocket {
         faults: Arc<FaultPlan>,
         pool: Arc<crate::buffer_pool::BufferPool>,
     ) -> Result<Self> {
-        let socket = Arc::new(UdpSocket::bind(("127.0.0.1", 0)).await?);
+        Self::bind_with_options(
+            SocketAddr::from(([127, 0, 0, 1], 0)),
+            faults,
+            pool,
+            false,
+            Arc::new(crate::mmsg::BatchStats::new()),
+        )
+        .await
+    }
+
+    /// Fully-specified bind: address (port 0 = ephemeral), fault plan,
+    /// shared buffer pool, batched-syscall mode, and the counters the
+    /// batched paths report into.
+    pub async fn bind_with_options(
+        bind_addr: SocketAddr,
+        faults: Arc<FaultPlan>,
+        pool: Arc<crate::buffer_pool::BufferPool>,
+        batched: bool,
+        mmsg: Arc<crate::mmsg::BatchStats>,
+    ) -> Result<Self> {
+        let socket = Arc::new(UdpSocket::bind(bind_addr).await?);
         Ok(UdpServerSocket {
             socket,
             faults,
             pool,
             pending: parking_lot::Mutex::new(std::collections::VecDeque::new()),
+            batched,
+            mmsg,
         })
     }
 
@@ -381,6 +419,10 @@ impl UdpServerSocket {
 
     /// Receive the next well-formed admission request.
     pub async fn recv_request(&self) -> Result<(QosRequest, SocketAddr)> {
+        #[cfg(target_os = "linux")]
+        if self.batched {
+            return self.recv_request_batched().await;
+        }
         // Recycled scratch buffer: steady state, this listener loop makes
         // zero heap allocations per datagram.
         let mut buf = self.pool.acquire(RECV_BUF_BYTES);
@@ -393,10 +435,48 @@ impl UdpServerSocket {
         }
     }
 
+    /// Batched receive: one `recvmmsg` drains up to a whole batch of
+    /// datagrams per kernel crossing. `async_io` runs the non-blocking
+    /// call under tokio's readiness tracking — a `WouldBlock` clears
+    /// readiness and re-awaits, so this never busy-spins.
+    #[cfg(target_os = "linux")]
+    async fn recv_request_batched(&self) -> Result<(QosRequest, SocketAddr)> {
+        use std::os::fd::AsRawFd;
+        use tokio::io::Interest;
+
+        let mut bufs: Vec<crate::buffer_pool::PooledBuf> = (0..crate::mmsg::MAX_BATCH)
+            .map(|_| self.pool.acquire(RECV_BUF_BYTES))
+            .collect();
+        let mut slots: Vec<crate::mmsg::RecvSlot> = Vec::with_capacity(crate::mmsg::MAX_BATCH);
+        loop {
+            if let Some(item) = self.pending.lock().pop_front() {
+                return Ok(item);
+            }
+            let fd = self.socket.as_raw_fd();
+            self.socket
+                .async_io(Interest::READABLE, || {
+                    crate::mmsg::recv_batch_nonblocking(
+                        fd,
+                        &mut bufs,
+                        &mut slots,
+                        Some(&self.mmsg),
+                    )
+                })
+                .await?;
+            for (buf, slot) in bufs.iter().zip(slots.iter()) {
+                self.queue_datagram(&buf[..slot.len], slot.peer);
+            }
+        }
+    }
+
     /// Pop an immediately-available request without awaiting: a queued
     /// batch item, or a datagram the kernel already holds. `None` when
     /// nothing is ready right now — the listener goes back to sleep.
     pub fn try_recv_request(&self) -> Option<(QosRequest, SocketAddr)> {
+        #[cfg(target_os = "linux")]
+        if self.batched {
+            return self.try_recv_request_batched();
+        }
         let mut buf = [0u8; RECV_BUF_BYTES];
         loop {
             if let Some(item) = self.pending.lock().pop_front() {
@@ -404,6 +484,37 @@ impl UdpServerSocket {
             }
             match self.socket.try_recv_from(&mut buf) {
                 Ok((len, peer)) => self.queue_datagram(&buf[..len], peer),
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// `try_recv_request` over `recvmmsg`: the listener's drain loop
+    /// pulls whole batches per crossing instead of one datagram each.
+    /// `try_io` returns `WouldBlock` (→ `None`) without the syscall when
+    /// tokio already knows the socket is idle.
+    #[cfg(target_os = "linux")]
+    fn try_recv_request_batched(&self) -> Option<(QosRequest, SocketAddr)> {
+        use std::os::fd::AsRawFd;
+        use tokio::io::Interest;
+
+        let mut bufs: Vec<crate::buffer_pool::PooledBuf> = (0..crate::mmsg::MAX_BATCH)
+            .map(|_| self.pool.acquire(RECV_BUF_BYTES))
+            .collect();
+        let mut slots: Vec<crate::mmsg::RecvSlot> = Vec::with_capacity(crate::mmsg::MAX_BATCH);
+        loop {
+            if let Some(item) = self.pending.lock().pop_front() {
+                return Some(item);
+            }
+            let fd = self.socket.as_raw_fd();
+            match self.socket.try_io(Interest::READABLE, || {
+                crate::mmsg::recv_batch_nonblocking(fd, &mut bufs, &mut slots, Some(&self.mmsg))
+            }) {
+                Ok(_) => {
+                    for (buf, slot) in bufs.iter().zip(slots.iter()) {
+                        self.queue_datagram(&buf[..slot.len], slot.peer);
+                    }
+                }
                 Err(_) => return None,
             }
         }
@@ -432,11 +543,83 @@ impl UdpServerSocket {
         Ok(())
     }
 
+    /// Send every peer's response group, draining `groups`. The plain
+    /// path is [`UdpServerSocket::send_responses`] per peer (one
+    /// `sendto` per datagram); with batched syscalls on, every
+    /// cleanly-delivered datagram across *all* peers goes out through
+    /// one `sendmmsg` — cross-peer syscall amortization the per-peer
+    /// API cannot express.
+    pub async fn send_response_groups(
+        &self,
+        groups: &mut Vec<(SocketAddr, Vec<QosResponse>)>,
+    ) -> Result<()> {
+        #[cfg(target_os = "linux")]
+        if self.batched {
+            return self.send_response_groups_batched(groups).await;
+        }
+        for (peer, responses) in groups.drain(..) {
+            self.send_responses(&responses, peer).await?;
+        }
+        Ok(())
+    }
+
+    /// The `sendmmsg` flush. Fault injection still applies per datagram
+    /// *before* batching: clean immediate deliveries join the batch,
+    /// every other fate (drop, delay, duplicate, defer) takes the exact
+    /// same path as the unbatched plane, so fault-plan semantics are
+    /// invariant under socket mode.
+    #[cfg(target_os = "linux")]
+    async fn send_response_groups_batched(
+        &self,
+        groups: &mut Vec<(SocketAddr, Vec<QosResponse>)>,
+    ) -> Result<()> {
+        use std::os::fd::AsRawFd;
+        use tokio::io::Interest;
+
+        let mut ready: Vec<(Bytes, SocketAddr)> = Vec::new();
+        for (peer, responses) in groups.drain(..) {
+            let wires = if responses.len() == 1 {
+                vec![codec::encode_response(&responses[0])]
+            } else {
+                let frames: Vec<Frame> = responses.iter().map(|r| Frame::Response(*r)).collect();
+                codec::encode_batch(&frames)
+            };
+            for wire in wires {
+                match self.faults.judge_fate() {
+                    Fate::Deliver(delay) if delay.is_zero() => ready.push((wire, peer)),
+                    fate => self.deliver_with_fate(fate, wire, peer).await?,
+                }
+            }
+        }
+        if ready.is_empty() {
+            return Ok(());
+        }
+        let msgs: Vec<(&[u8], SocketAddr)> = ready.iter().map(|(w, p)| (w.as_ref(), *p)).collect();
+        let fd = self.socket.as_raw_fd();
+        // Partial progress before a full send-buffer is reported as Ok:
+        // a datagram the kernel refused is indistinguishable from one
+        // the network dropped, and the router's retry covers both.
+        self.socket
+            .async_io(Interest::WRITABLE, || {
+                crate::mmsg::send_batch_nonblocking(fd, &msgs, Some(&self.mmsg)).map(|_| ())
+            })
+            .await?;
+        Ok(())
+    }
+
     /// Transmit one datagram to `peer` through the fault plan. Duplicate
     /// and deferred copies go out from a spawned task so the caller never
     /// blocks beyond an inline delay fate.
     async fn deliver(&self, wire: Bytes, peer: SocketAddr) -> Result<()> {
-        match self.faults.judge_fate() {
+        let fate = self.faults.judge_fate();
+        self.deliver_with_fate(fate, wire, peer).await
+    }
+
+    /// [`UdpServerSocket::deliver`] with the fate already rolled — the
+    /// batched flush rolls fates itself so clean deliveries can join
+    /// one `sendmmsg`.
+    async fn deliver_with_fate(&self, fate: Fate, wire: Bytes, peer: SocketAddr) -> Result<()> {
+        match fate {
             Fate::Drop => Ok(()),
             Fate::Deliver(delay) => {
                 if !delay.is_zero() {
@@ -659,6 +842,81 @@ mod tests {
         }
     }
 
+    #[tokio::test]
+    async fn response_groups_drain_per_peer_on_the_plain_path() {
+        let server = UdpServerSocket::bind_ephemeral().await.unwrap();
+        let peer_a = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let peer_b = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let mut groups = vec![
+            (peer_a.local_addr().unwrap(), vec![QosResponse::allow(1)]),
+            (
+                peer_b.local_addr().unwrap(),
+                vec![QosResponse::allow(2), QosResponse::deny(3)],
+            ),
+        ];
+        server.send_response_groups(&mut groups).await.unwrap();
+        assert!(groups.is_empty(), "groups must be drained");
+        let mut buf = vec![0u8; RECV_BUF_BYTES];
+        let (len, _) = peer_a.recv_from(&mut buf).await.unwrap();
+        assert_eq!(
+            codec::decode_all(&buf[..len]).unwrap(),
+            vec![Frame::Response(QosResponse::allow(1))]
+        );
+        let (len, _) = peer_b.recv_from(&mut buf).await.unwrap();
+        assert_eq!(
+            codec::decode_all(&buf[..len]).unwrap(),
+            vec![
+                Frame::Response(QosResponse::allow(2)),
+                Frame::Response(QosResponse::deny(3))
+            ]
+        );
+    }
+
+    #[cfg(target_os = "linux")]
+    #[tokio::test]
+    async fn batched_socket_round_trips_and_amortizes_syscalls() {
+        let mmsg = Arc::new(crate::mmsg::BatchStats::new());
+        let server = UdpServerSocket::bind_with_options(
+            SocketAddr::from(([127, 0, 0, 1], 0)),
+            FaultPlan::none(),
+            Arc::new(crate::buffer_pool::BufferPool::new()),
+            true,
+            Arc::clone(&mmsg),
+        )
+        .await
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let prober = UdpSocket::bind(("127.0.0.1", 0)).await.unwrap();
+        let prober_addr = prober.local_addr().unwrap();
+        const N: u64 = 6;
+        for id in 0..N {
+            prober
+                .send_to(&codec::encode_request(&request(id)), addr)
+                .await
+                .unwrap();
+        }
+        let mut responses = Vec::new();
+        for _ in 0..N {
+            let (req, peer) = server.recv_request().await.unwrap();
+            assert_eq!(peer, prober_addr);
+            responses.push(QosResponse::allow(req.id));
+        }
+        let mut groups = vec![(prober_addr, responses)];
+        server.send_response_groups(&mut groups).await.unwrap();
+        let mut buf = vec![0u8; RECV_BUF_BYTES];
+        let mut got = 0;
+        while got < N as usize {
+            let (len, _) = prober.recv_from(&mut buf).await.unwrap();
+            got += codec::decode_all(&buf[..len]).unwrap().len();
+        }
+        assert_eq!(got, N as usize);
+        assert_eq!(mmsg.recv_datagrams(), N, "all requests came through recvmmsg");
+        assert!(
+            mmsg.recv_syscalls() <= N,
+            "batching must never spend more crossings than datagrams"
+        );
+    }
+
     #[test]
     fn paper_discipline_constants() {
         let d = UdpRpcConfig::default();
@@ -699,7 +957,7 @@ mod tests {
                 base: Duration::from_micros(100),
                 cap: Duration::from_micros(1_000),
             },
-            stamp_deadlines: false,
+            ..Default::default()
         };
         // 3 × 100 µs attempts + 100 µs before retry 1 + 200 µs before
         // retry 2.

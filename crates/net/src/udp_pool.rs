@@ -110,7 +110,7 @@ impl PooledUdpRpcClient {
         batch: BatchConfig,
         faults: Arc<FaultPlan>,
     ) -> Result<Self> {
-        let socket = Arc::new(UdpSocket::bind(("127.0.0.1", 0)).await?);
+        let socket = Arc::new(UdpSocket::bind(config.bind_addr).await?);
         let waiters: Waiters = Arc::new(Mutex::new(HashMap::new()));
 
         // Demux task: route every arriving response frame — single or
@@ -308,8 +308,50 @@ impl PooledUdpRpcClient {
             let frames: Vec<Frame> = queue.into_iter().map(Frame::Request).collect();
             codec::encode_batch(&frames)
         };
+        // Fates roll per datagram exactly as before; the cleanly-
+        // delivered remainder of a multi-datagram flush shares one
+        // `sendmmsg` on Linux instead of one `sendto` each.
+        let mut ready: Vec<bytes::Bytes> = Vec::new();
         for wire in wires {
-            self.send_datagram(wire, server).await?;
+            match self.faults.judge_fate() {
+                Fate::Deliver(delay) if delay.is_zero() => ready.push(wire),
+                fate => self.send_datagram_with_fate(fate, wire, server).await?,
+            }
+        }
+        self.send_ready(&ready, server).await
+    }
+
+    /// Send fate-cleared datagrams: one `sendmmsg` when there is more
+    /// than one (Linux), plain `send_to` otherwise.
+    #[cfg(target_os = "linux")]
+    async fn send_ready(&self, ready: &[bytes::Bytes], server: SocketAddr) -> Result<()> {
+        use std::os::fd::AsRawFd;
+        use tokio::io::Interest;
+        match ready.len() {
+            0 => Ok(()),
+            1 => {
+                self.socket.send_to(&ready[0], server).await?;
+                Ok(())
+            }
+            _ => {
+                let msgs: Vec<(&[u8], SocketAddr)> =
+                    ready.iter().map(|w| (w.as_ref(), server)).collect();
+                let fd = self.socket.as_raw_fd();
+                self.socket
+                    .async_io(Interest::WRITABLE, || {
+                        crate::mmsg::send_batch_nonblocking(fd, &msgs, None).map(|_| ())
+                    })
+                    .await?;
+                Ok(())
+            }
+        }
+    }
+
+    /// Portable fallback: one `send_to` per datagram, byte-identical.
+    #[cfg(not(target_os = "linux"))]
+    async fn send_ready(&self, ready: &[bytes::Bytes], server: SocketAddr) -> Result<()> {
+        for wire in ready {
+            self.socket.send_to(wire, server).await?;
         }
         Ok(())
     }
@@ -318,7 +360,19 @@ impl PooledUdpRpcClient {
     /// copies go out from a spawned task so the caller never blocks
     /// beyond an inline delay fate.
     async fn send_datagram(&self, wire: bytes::Bytes, server: SocketAddr) -> Result<()> {
-        match self.faults.judge_fate() {
+        let fate = self.faults.judge_fate();
+        self.send_datagram_with_fate(fate, wire, server).await
+    }
+
+    /// [`Self::send_datagram`] with the fate already rolled (the flush
+    /// path rolls fates itself so clean deliveries can share a batch).
+    async fn send_datagram_with_fate(
+        &self,
+        fate: Fate,
+        wire: bytes::Bytes,
+        server: SocketAddr,
+    ) -> Result<()> {
+        match fate {
             Fate::Drop => Ok(()), // dropped on the floor, like a lossy link
             Fate::Deliver(delay) => {
                 if !delay.is_zero() {

@@ -65,6 +65,28 @@ pub enum TableKind {
     LockFree,
 }
 
+/// How the server's UDP ingress maps onto sockets and syscalls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SocketMode {
+    /// One listener socket, one `recvfrom` per datagram, listener →
+    /// worker queue hand-off — the paper-faithful baseline.
+    #[default]
+    SingleListener,
+    /// One listener socket but batched syscalls: the listener drains
+    /// ready datagrams with a single `recvmmsg` and workers flush
+    /// responses with `sendmmsg` (portable fallback off Linux). The
+    /// dispatch topology is unchanged — this isolates the syscall cost
+    /// in the ablation.
+    BatchedSyscall,
+    /// Per-core sockets: each worker binds its own `SO_REUSEPORT`
+    /// socket on the same address and drains/answers its own batches
+    /// directly — kernel flow steering replaces the listener→queue hop
+    /// entirely. Linux only (spawn fails elsewhere). The kernel steers
+    /// by client 4-tuple hash, not QoS key, so this mode is
+    /// incompatible with [`TableKind::PerWorker`].
+    PerCore,
+}
+
 /// How the listener hands requests to workers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DispatchMode {
@@ -162,6 +184,21 @@ pub struct QosServerConfig {
     /// Overload control: staleness shedding, sojourn governor, duplicate
     /// suppression.
     pub overload: OverloadConfig,
+    /// Socket/syscall strategy for the UDP data plane.
+    pub socket_mode: SocketMode,
+    /// Address the admission socket(s) bind. Port 0 picks an ephemeral
+    /// port (the default, right for tests); multi-host deployments set
+    /// a routable address here instead of the historic hard-coded
+    /// loopback.
+    pub bind_addr: SocketAddr,
+    /// `SO_BUSY_POLL` budget in µs for [`SocketMode::PerCore`] sockets:
+    /// the kernel busy-polls the device queue that long before a
+    /// blocking receive sleeps. `None` (default) leaves it off.
+    /// Best-effort — unsupported kernels are ignored.
+    pub busy_poll_us: Option<u32>,
+    /// Pin each [`SocketMode::PerCore`] worker thread to CPU
+    /// `worker_index % available_cpus`. Best-effort, off by default.
+    pub pin_workers: bool,
 }
 
 impl Default for QosServerConfig {
@@ -179,8 +216,18 @@ impl Default for QosServerConfig {
             batching: true,
             db_fetch_timeout: Duration::from_millis(250),
             overload: OverloadConfig::default(),
+            socket_mode: SocketMode::default(),
+            bind_addr: default_bind_addr(),
+            busy_poll_us: None,
+            pin_workers: false,
         }
     }
+}
+
+/// Loopback with an ephemeral port — the historic behaviour, now
+/// overridable per deployment.
+fn default_bind_addr() -> SocketAddr {
+    SocketAddr::from(([127, 0, 0, 1], 0))
 }
 
 impl QosServerConfig {
@@ -201,6 +248,10 @@ impl QosServerConfig {
             batching: true,
             db_fetch_timeout: Duration::from_secs(2),
             overload: OverloadConfig::default(),
+            socket_mode: SocketMode::default(),
+            bind_addr: default_bind_addr(),
+            busy_poll_us: None,
+            pin_workers: false,
         }
     }
 
@@ -216,6 +267,13 @@ impl QosServerConfig {
             return Err(janus_types::JanusError::config(
                 "TableKind::PerWorker requires DispatchMode::KeyAffinity \
                  (the per-worker partitions are only uncontended under affinity dispatch)",
+            ));
+        }
+        if self.socket_mode == SocketMode::PerCore && self.table == TableKind::PerWorker {
+            return Err(janus_types::JanusError::config(
+                "SocketMode::PerCore is incompatible with TableKind::PerWorker: \
+                 SO_REUSEPORT steers flows by client 4-tuple hash, not QoS key, \
+                 so a key may be decided by any socket owner",
             ));
         }
         if self.db_fetch_timeout.is_zero() {
@@ -283,6 +341,16 @@ mod tests {
         assert!(c.validate().is_ok());
         c.dispatch = DispatchMode::SharedFifo;
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn per_core_sockets_reject_per_worker_table() {
+        let mut c = QosServerConfig::default();
+        c.socket_mode = SocketMode::PerCore;
+        c.table = TableKind::LockFree;
+        assert!(c.validate().is_ok());
+        c.table = TableKind::PerWorker;
+        assert!(c.validate().is_err(), "reuseport steers by flow, not key");
     }
 
     #[test]

@@ -34,13 +34,25 @@
 //! always decided by the same worker, and (with batching on) the listener
 //! drains every ready datagram per wakeup while workers coalesce
 //! responses per peer into batched datagrams.
+//!
+//! The kernel path is configurable on a third axis:
+//! [`SocketMode::SingleListener`] is the paper's one-socket,
+//! one-`recvfrom`-per-datagram plane; [`SocketMode::BatchedSyscall`]
+//! keeps the topology but moves whole batches per kernel crossing with
+//! `recvmmsg`/`sendmmsg` (DESIGN.md ablation 12); and
+//! [`SocketMode::PerCore`] gives every worker its own `SO_REUSEPORT`
+//! socket so kernel flow steering replaces the listener→queue hop
+//! entirely, with optional `SO_BUSY_POLL` and core pinning.
 
 mod config;
 mod ha;
 mod overload;
+mod percore;
 mod server;
 
-pub use config::{DbTarget, DispatchMode, OverloadConfig, QosServerConfig, TableKind};
+pub use config::{
+    DbTarget, DispatchMode, OverloadConfig, QosServerConfig, SocketMode, TableKind,
+};
 pub use ha::{fetch_snapshot, SlaveReplicator};
 pub use overload::{DedupOutcome, DedupWindow, SojournGovernor};
 pub use server::{QosServer, ServerStats, ServerStatsSnapshot};

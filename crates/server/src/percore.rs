@@ -1,0 +1,294 @@
+//! The per-core socket plane ([`crate::SocketMode::PerCore`]).
+//!
+//! Instead of one listener task fanning datagrams out through SPSC
+//! queues, every worker owns its own `SO_REUSEPORT` socket bound to the
+//! same address. The kernel steers each client flow (by 4-tuple hash) to
+//! exactly one socket, so a worker drains its own batches with
+//! `recvmmsg`, decides them inline, and answers straight back with
+//! `sendmmsg` — no listener→queue hop, no cross-thread hand-off, no
+//! queue sojourn at all.
+//!
+//! Consequences, documented rather than hidden:
+//!
+//! * `fifo_depth` stays 0 and the sojourn histogram stays empty — there
+//!   is no user-space queue to measure. The sojourn governor therefore
+//!   never runs; staleness shedding still applies (arrival-stamped).
+//! * Flow steering hashes the *client* 4-tuple, not the QoS key, so any
+//!   worker may decide any key. [`crate::config::QosServerConfig::validate`]
+//!   rejects the per-worker table for this mode; the other table kinds
+//!   are safe under concurrent deciders by construction.
+//! * Duplicate suppression still serializes through the one shared
+//!   dedup window. Duplicates of one attempt come from one client
+//!   socket, hence land on one worker, so the Pending→record sequence
+//!   is race-free per nonce.
+//!
+//! Workers are ordinary named OS threads (the blocking `recvmmsg` loop
+//! must not occupy tokio executor threads); they re-enter the runtime
+//! via [`tokio::runtime::Handle::block_on`] only for the decision path's
+//! DB fetch machinery. Linux only: spawning fails cleanly elsewhere
+//! because [`janus_net::mmsg::reuseport_socket`] is a stub off-Linux.
+
+use crate::config::{DbTarget, QosServerConfig};
+use crate::overload::DedupOutcome;
+use crate::server::{budget_of, decide, respond, GuestKeys, ServerStats, SharedDedup};
+use janus_bucket::QosTable;
+use janus_clock::SharedClock;
+use janus_db::DbClient;
+use janus_net::buffer_pool::PooledBuf;
+use janus_net::fault::{Fate, FaultPlan};
+use janus_net::mmsg::{self, RecvSlot, MAX_BATCH};
+use janus_net::udp::RECV_BUF_BYTES;
+use janus_types::codec::{self, Frame};
+use janus_types::{QosRequest, QosResponse, Result};
+use std::io::ErrorKind;
+use std::net::{SocketAddr, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocking `recvmmsg` waits before surfacing a timeout so
+/// the worker can notice shutdown. Bounds shutdown latency; unrelated to
+/// request deadlines.
+const READ_TIMEOUT: Duration = Duration::from_millis(25);
+
+/// Everything a per-core worker needs besides its socket. One clone per
+/// worker thread.
+#[derive(Clone)]
+pub(crate) struct PerCoreCtx {
+    pub table: Arc<dyn QosTable>,
+    pub stats: Arc<ServerStats>,
+    pub clock: SharedClock,
+    pub db_target: Option<DbTarget>,
+    pub default_policy: janus_bucket::DefaultRulePolicy,
+    pub guest_keys: GuestKeys,
+    pub db_fetch_timeout: Duration,
+    pub dedup: Option<SharedDedup>,
+    pub faults: Arc<FaultPlan>,
+}
+
+/// Bind `config.workers` `SO_REUSEPORT` sockets on `config.bind_addr`
+/// (the first learns the port when it was 0, the rest join it) and spawn
+/// one draining worker thread per socket. Returns the shared address.
+pub(crate) fn spawn_percore_plane(
+    config: &QosServerConfig,
+    ctx: PerCoreCtx,
+    mut shutdown: tokio::sync::watch::Receiver<bool>,
+) -> Result<SocketAddr> {
+    let handle = tokio::runtime::Handle::current();
+    let first = mmsg::reuseport_socket(config.bind_addr)?;
+    let addr = first.local_addr()?;
+    let mut sockets = vec![first];
+    for _ in 1..config.workers {
+        sockets.push(mmsg::reuseport_socket(addr)?);
+    }
+
+    // Translate the async shutdown signal into a flag the blocking
+    // threads poll between (time-bounded) receive calls.
+    let stop = Arc::new(AtomicBool::new(false));
+    {
+        let stop = Arc::clone(&stop);
+        tokio::spawn(async move {
+            let _ = shutdown.changed().await;
+            stop.store(true, Ordering::Relaxed);
+        });
+    }
+
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    for (i, socket) in sockets.into_iter().enumerate() {
+        socket.set_read_timeout(Some(READ_TIMEOUT))?;
+        if let Some(micros) = config.busy_poll_us {
+            // Best-effort: needs CAP_NET_ADMIN on older kernels.
+            let _ = mmsg::set_busy_poll(&socket, micros);
+        }
+        let pin = config.pin_workers.then_some(i % cpus);
+        let ctx = ctx.clone();
+        let stop = Arc::clone(&stop);
+        let handle = handle.clone();
+        std::thread::Builder::new()
+            .name(format!("qos-percore-{i}"))
+            .spawn(move || worker_loop(socket, ctx, stop, handle, pin))?;
+    }
+    Ok(addr)
+}
+
+/// One worker's life: drain a batch, decide every request in it,
+/// coalesce responses per peer, flush them in one `sendmmsg`.
+fn worker_loop(
+    socket: UdpSocket,
+    ctx: PerCoreCtx,
+    stop: Arc<AtomicBool>,
+    handle: tokio::runtime::Handle,
+    pin: Option<usize>,
+) {
+    if let Some(cpu) = pin {
+        // Advisory: a denied affinity mask costs nothing but locality.
+        let _ = mmsg::pin_current_thread(cpu);
+    }
+    let mut db: Option<DbClient> = None;
+    // Scratch buffers come from the shared pool once and are reused for
+    // every batch this thread ever receives.
+    let mut bufs: Vec<PooledBuf> = (0..MAX_BATCH)
+        .map(|_| ctx.stats.pool.acquire(RECV_BUF_BYTES))
+        .collect();
+    let mut slots: Vec<RecvSlot> = Vec::with_capacity(MAX_BATCH);
+    let mut by_peer: Vec<(SocketAddr, Vec<QosResponse>)> = Vec::new();
+    while !stop.load(Ordering::Relaxed) {
+        let n = match mmsg::recv_batch(&socket, &mut bufs, &mut slots, Some(&ctx.stats.mmsg)) {
+            Ok(n) => n,
+            // Read-timeout expiry surfaces as WouldBlock or TimedOut
+            // depending on platform; both just mean "check stop again".
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(_) => return,
+        };
+        by_peer.clear();
+        for (buf, slot) in bufs.iter().zip(slots.iter()).take(n) {
+            let Ok(frames) = codec::decode_all(&buf[..slot.len]) else {
+                continue;
+            };
+            for frame in frames {
+                let Frame::Request(request) = frame else {
+                    continue;
+                };
+                if let Some(response) = handle_request(&ctx, &mut db, &handle, request) {
+                    match by_peer.iter_mut().find(|(addr, _)| *addr == slot.peer) {
+                        Some((_, responses)) => responses.push(response),
+                        None => by_peer.push((slot.peer, vec![response])),
+                    }
+                }
+            }
+        }
+        flush(&ctx, &socket, &mut by_peer);
+    }
+}
+
+/// The inline equivalent of ingress triage + worker decision: zero-budget
+/// shed, dedup lookup, decide, verdict recording, post-decision staleness.
+/// Returns the response to send, or `None` for the silent-shed paths.
+fn handle_request(
+    ctx: &PerCoreCtx,
+    db: &mut Option<DbClient>,
+    handle: &tokio::runtime::Handle,
+    request: QosRequest,
+) -> Option<QosResponse> {
+    let arrived = ctx.clock.now();
+    if let Some(meta) = request.attempt {
+        if meta.budget_us == 0 {
+            ctx.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        if let Some(dedup) = &ctx.dedup {
+            let outcome = dedup.lock().lookup(meta.nonce, &request.key);
+            match outcome {
+                DedupOutcome::Done(verdict) => {
+                    ctx.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    return Some(respond(&ctx.table, &request, verdict));
+                }
+                DedupOutcome::Pending => {
+                    // A duplicate of an attempt this plane is already
+                    // deciding (it must have raced here via another
+                    // client socket); the first copy's response answers
+                    // every attempt.
+                    ctx.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                    return None;
+                }
+                DedupOutcome::Miss => {
+                    dedup.lock().insert_pending(meta.nonce, request.key.clone());
+                }
+            }
+        }
+    }
+    // The decision path may await a DB fetch; hop back onto the runtime
+    // just for that future. Table hits never actually yield.
+    let verdict = handle.block_on(decide(
+        &ctx.table,
+        &ctx.clock,
+        &request.key,
+        ctx.db_target.as_ref(),
+        db,
+        &ctx.default_policy,
+        &ctx.stats,
+        &ctx.guest_keys,
+        ctx.db_fetch_timeout,
+    ));
+    ctx.stats.answered.fetch_add(1, Ordering::Relaxed);
+    if let (Some(meta), Some(dedup)) = (request.attempt, &ctx.dedup) {
+        dedup.lock().record(meta.nonce, &request.key, verdict);
+    }
+    // Post-decision staleness: a first-sighting DB fetch may have eaten
+    // the budget. The charge stands and the verdict is cached, so a
+    // retry gets the cached verdict, never a second charge.
+    if let Some(budget) = budget_of(&request) {
+        if ctx.clock.now().saturating_since(arrived) >= budget {
+            ctx.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+    }
+    Some(respond(&ctx.table, &request, verdict))
+}
+
+/// Drain `by_peer`, judging response fates per datagram exactly like the
+/// async plane: clean immediate deliveries coalesce into one `sendmmsg`
+/// batch, every other fate takes its own per-datagram path.
+fn flush(ctx: &PerCoreCtx, socket: &UdpSocket, by_peer: &mut Vec<(SocketAddr, Vec<QosResponse>)>) {
+    let mut ready = Vec::new();
+    for (peer, responses) in by_peer.drain(..) {
+        let wires = if responses.len() == 1 {
+            vec![codec::encode_response(&responses[0])]
+        } else {
+            let frames: Vec<Frame> = responses.iter().map(|r| Frame::Response(*r)).collect();
+            codec::encode_batch(&frames)
+        };
+        for wire in wires {
+            match ctx.faults.judge_fate() {
+                Fate::Drop => {}
+                Fate::Deliver(delay) if delay.is_zero() => ready.push((wire, peer)),
+                Fate::Deliver(delay) => {
+                    // Blocking the worker mirrors the async plane, where
+                    // the sending task awaits the injected delay inline.
+                    std::thread::sleep(delay);
+                    ready.push((wire, peer));
+                }
+                Fate::Duplicate(delay) => {
+                    ready.push((wire.clone(), peer));
+                    deferred_send(socket, wire, peer, delay);
+                }
+                Fate::Defer(delay) => deferred_send(socket, wire, peer, delay),
+            }
+        }
+    }
+    if ready.is_empty() {
+        return;
+    }
+    let msgs: Vec<(&[u8], SocketAddr)> = ready.iter().map(|(w, p)| (w.as_ref(), *p)).collect();
+    // A refused datagram is indistinguishable from a network drop; the
+    // router's retry covers it, exactly as on the async plane.
+    let _ = mmsg::send_batch(socket, &msgs, Some(&ctx.stats.mmsg));
+}
+
+/// Send `wire` to `peer` after `delay`, off-thread, fire-and-forget —
+/// the fault plan's deferred/duplicated deliveries.
+fn deferred_send<W: AsRef<[u8]> + Send + 'static>(
+    socket: &UdpSocket,
+    wire: W,
+    peer: SocketAddr,
+    delay: Duration,
+) {
+    let Ok(clone) = socket.try_clone() else {
+        return;
+    };
+    std::thread::spawn(move || {
+        if !delay.is_zero() {
+            std::thread::sleep(delay);
+        }
+        let _ = clone.send_to(wire.as_ref(), peer);
+    });
+}

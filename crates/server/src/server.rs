@@ -10,9 +10,10 @@
 //!   the worker drains its queue, decides the batch, and coalesces
 //!   responses to the same peer into one batched datagram.
 
-use crate::config::{DbTarget, DispatchMode, OverloadConfig, QosServerConfig, TableKind};
+use crate::config::{DbTarget, DispatchMode, OverloadConfig, QosServerConfig, SocketMode, TableKind};
 use crate::ha;
 use crate::overload::{DedupOutcome, DedupWindow, SojournGovernor};
+use crate::percore;
 use janus_bucket::{
     worker_affinity, LockFreeTable, PartitionedTable, QosTable, ShardedTable, SyncTable,
 };
@@ -43,14 +44,14 @@ const WORKER_DRAIN_LIMIT: usize = 16;
 /// database row. The rule-sync task must not treat their absence from
 /// the database as a deletion — removing them would re-grant a fresh
 /// guest bucket every sync round.
-type GuestKeys = Arc<parking_lot::Mutex<HashSet<QosKey>>>;
+pub(crate) type GuestKeys = Arc<parking_lot::Mutex<HashSet<QosKey>>>;
 
 /// The recent-nonce window shared by the listener (lookups at ingress)
 /// and the workers (verdict recording after a decision). One shared
 /// window — not one per worker — because under shared-FIFO dispatch any
 /// worker may decide any key, and credit exactness requires duplicate
 /// detection to be serialized at a single point.
-type SharedDedup = Arc<parking_lot::Mutex<DedupWindow>>;
+pub(crate) type SharedDedup = Arc<parking_lot::Mutex<DedupWindow>>;
 
 /// One queued admission request, stamped with its enqueue time so the
 /// dequeuing worker can compute the queue sojourn — the signal behind
@@ -62,7 +63,7 @@ struct Job {
 }
 
 /// The remaining deadline a stamped request arrived with.
-fn budget_of(request: &QosRequest) -> Option<Duration> {
+pub(crate) fn budget_of(request: &QosRequest) -> Option<Duration> {
     request
         .attempt
         .map(|meta| Duration::from_micros(u64::from(meta.budget_us)))
@@ -115,6 +116,10 @@ pub struct ServerStats {
     /// popped, shed or served — the signal the sojourn governor runs on,
     /// exported as percentiles in the snapshot.
     pub sojourn: parking_lot::Mutex<Histogram>,
+    /// Batched-syscall counters (`recvmmsg`/`sendmmsg` amortization);
+    /// shared into the UDP socket or per-core workers at spawn. Always
+    /// zero under [`SocketMode::SingleListener`].
+    pub mmsg: Arc<janus_net::mmsg::BatchStats>,
 }
 
 /// A point-in-time copy of [`ServerStats`], for benches and experiment
@@ -159,6 +164,14 @@ pub struct ServerStatsSnapshot {
     pub sojourn_p50_us: u64,
     /// 99th-percentile queue sojourn, whole microseconds.
     pub sojourn_p99_us: u64,
+    /// Per-datagram syscalls amortized away by `recvmmsg`/`sendmmsg`
+    /// (datagrams moved minus kernel crossings spent, both directions).
+    pub syscalls_saved: u64,
+    /// Median receive batch length in datagrams (0 before any batched
+    /// receive).
+    pub batch_recv_p50: u64,
+    /// 99th-percentile receive batch length in datagrams.
+    pub batch_recv_p99: u64,
 }
 
 impl ServerStats {
@@ -196,6 +209,9 @@ impl ServerStats {
             pool_recycle_hits: self.pool.hits(),
             sojourn_p50_us,
             sojourn_p99_us,
+            syscalls_saved: self.mmsg.syscalls_saved(),
+            batch_recv_p50: self.mmsg.recv_len_quantile(0.5),
+            batch_recv_p99: self.mmsg.recv_len_quantile(0.99),
         }
     }
 }
@@ -272,9 +288,6 @@ impl QosServer {
             }
         }
 
-        let socket =
-            Arc::new(UdpServerSocket::bind_with_pool(faults, Arc::clone(&stats.pool)).await?);
-        let udp_addr = socket.local_addr()?;
         let guest_keys: GuestKeys = Arc::new(parking_lot::Mutex::new(HashSet::new()));
 
         // Listener -> dispatch -> workers. The dedup window is shared by
@@ -287,66 +300,99 @@ impl QosServer {
                 overload.dedup_window,
             )))
         });
-        let worker_ctx = WorkerCtx {
-            socket: Arc::clone(&socket),
-            table: Arc::clone(&table),
-            stats: Arc::clone(&stats),
-            clock: Arc::clone(&clock),
-            db_target: db.clone(),
-            default_policy: config.default_policy.clone(),
-            guest_keys: Arc::clone(&guest_keys),
-            db_fetch_timeout: config.db_fetch_timeout,
-            overload: overload.clone(),
-            dedup: dedup.clone(),
+        let udp_addr = if config.socket_mode == SocketMode::PerCore {
+            // Kernel flow steering replaces the listener→queue hop: each
+            // worker thread owns an SO_REUSEPORT socket and drains it
+            // with recvmmsg directly (DESIGN.md ablation 12).
+            percore::spawn_percore_plane(
+                &config,
+                percore::PerCoreCtx {
+                    table: Arc::clone(&table),
+                    stats: Arc::clone(&stats),
+                    clock: Arc::clone(&clock),
+                    db_target: db.clone(),
+                    default_policy: config.default_policy.clone(),
+                    guest_keys: Arc::clone(&guest_keys),
+                    db_fetch_timeout: config.db_fetch_timeout,
+                    dedup,
+                    faults: Arc::clone(&faults),
+                },
+                shutdown_rx.clone(),
+            )?
+        } else {
+            let socket = Arc::new(
+                UdpServerSocket::bind_with_options(
+                    config.bind_addr,
+                    faults,
+                    Arc::clone(&stats.pool),
+                    config.socket_mode == SocketMode::BatchedSyscall,
+                    Arc::clone(&stats.mmsg),
+                )
+                .await?,
+            );
+            let udp_addr = socket.local_addr()?;
+            let worker_ctx = WorkerCtx {
+                socket: Arc::clone(&socket),
+                table: Arc::clone(&table),
+                stats: Arc::clone(&stats),
+                clock: Arc::clone(&clock),
+                db_target: db.clone(),
+                default_policy: config.default_policy.clone(),
+                guest_keys: Arc::clone(&guest_keys),
+                db_fetch_timeout: config.db_fetch_timeout,
+                overload: overload.clone(),
+                dedup: dedup.clone(),
+            };
+            match config.dispatch {
+                DispatchMode::KeyAffinity => {
+                    // Per-worker SPSC queues: the listener is the only sender
+                    // for each queue and the owning worker the only receiver,
+                    // so neither side ever contends on a shared lock.
+                    let per_worker = (config.fifo_capacity / config.workers).max(1);
+                    let mut senders = Vec::with_capacity(config.workers);
+                    for _ in 0..config.workers {
+                        let (tx, rx) = mpsc::channel::<Job>(per_worker);
+                        senders.push(tx);
+                        spawn_affinity_worker(worker_ctx.clone(), rx, config.batching);
+                    }
+                    spawn_ingress_listener(
+                        IngressCtx {
+                            socket: Arc::clone(&socket),
+                            stats: Arc::clone(&stats),
+                            clock: Arc::clone(&clock),
+                            table: Arc::clone(&table),
+                            overload: overload.clone(),
+                            dedup,
+                            queues: senders,
+                        },
+                        shutdown_rx.clone(),
+                        config.batching,
+                    );
+                }
+                DispatchMode::SharedFifo => {
+                    let (fifo_tx, fifo_rx) = mpsc::channel::<Job>(config.fifo_capacity);
+                    let fifo_rx = Arc::new(Mutex::new(fifo_rx));
+                    spawn_ingress_listener(
+                        IngressCtx {
+                            socket: Arc::clone(&socket),
+                            stats: Arc::clone(&stats),
+                            clock: Arc::clone(&clock),
+                            table: Arc::clone(&table),
+                            overload: overload.clone(),
+                            dedup,
+                            queues: vec![fifo_tx],
+                        },
+                        shutdown_rx.clone(),
+                        // The paper's listener takes one datagram per wakeup.
+                        false,
+                    );
+                    for _ in 0..config.workers {
+                        spawn_worker(worker_ctx.clone(), Arc::clone(&fifo_rx));
+                    }
+                }
+            }
+            udp_addr
         };
-        match config.dispatch {
-            DispatchMode::KeyAffinity => {
-                // Per-worker SPSC queues: the listener is the only sender
-                // for each queue and the owning worker the only receiver,
-                // so neither side ever contends on a shared lock.
-                let per_worker = (config.fifo_capacity / config.workers).max(1);
-                let mut senders = Vec::with_capacity(config.workers);
-                for _ in 0..config.workers {
-                    let (tx, rx) = mpsc::channel::<Job>(per_worker);
-                    senders.push(tx);
-                    spawn_affinity_worker(worker_ctx.clone(), rx, config.batching);
-                }
-                spawn_ingress_listener(
-                    IngressCtx {
-                        socket: Arc::clone(&socket),
-                        stats: Arc::clone(&stats),
-                        clock: Arc::clone(&clock),
-                        table: Arc::clone(&table),
-                        overload: overload.clone(),
-                        dedup,
-                        queues: senders,
-                    },
-                    shutdown_rx.clone(),
-                    config.batching,
-                );
-            }
-            DispatchMode::SharedFifo => {
-                let (fifo_tx, fifo_rx) = mpsc::channel::<Job>(config.fifo_capacity);
-                let fifo_rx = Arc::new(Mutex::new(fifo_rx));
-                spawn_ingress_listener(
-                    IngressCtx {
-                        socket: Arc::clone(&socket),
-                        stats: Arc::clone(&stats),
-                        clock: Arc::clone(&clock),
-                        table: Arc::clone(&table),
-                        overload: overload.clone(),
-                        dedup,
-                        queues: vec![fifo_tx],
-                    },
-                    shutdown_rx.clone(),
-                    // The paper's listener takes one datagram per wakeup.
-                    false,
-                );
-                for _ in 0..config.workers {
-                    spawn_worker(worker_ctx.clone(), Arc::clone(&fifo_rx));
-                }
-            }
-        }
 
         // House-keeping refill.
         spawn_refill(
@@ -562,7 +608,11 @@ fn spawn_worker(ctx: WorkerCtx, fifo: Arc<Mutex<mpsc::Receiver<Job>>>) {
 /// the key (DB rule or default policy), so the shape is normally present;
 /// a concurrent `remove` simply yields a plain response, which soliciting
 /// clients must tolerate anyway.
-fn respond(table: &Arc<dyn QosTable>, request: &QosRequest, verdict: Verdict) -> QosResponse {
+pub(crate) fn respond(
+    table: &Arc<dyn QosTable>,
+    request: &QosRequest,
+    verdict: Verdict,
+) -> QosResponse {
     let response = QosResponse::new(request.id, verdict);
     if !request.solicit_hint {
         return response;
@@ -735,9 +785,9 @@ fn spawn_affinity_worker(ctx: WorkerCtx, mut rx: mpsc::Receiver<Job>, batching: 
                     None => by_peer.push((job.peer, vec![response])),
                 }
             }
-            for (peer, responses) in by_peer.drain(..) {
-                let _ = ctx.socket.send_responses(&responses, peer).await;
-            }
+            // One sendmmsg call covers every zero-delay peer group when
+            // the socket is batched; the plain path drains per peer.
+            let _ = ctx.socket.send_response_groups(&mut by_peer).await;
         }
     });
 }
@@ -745,7 +795,7 @@ fn spawn_affinity_worker(ctx: WorkerCtx, mut rx: mpsc::Receiver<Job>, batching: 
 /// The decision path: local table hit, else database fetch (bounded by
 /// `db_fetch_timeout`), else default policy.
 #[allow(clippy::too_many_arguments)]
-async fn decide(
+pub(crate) async fn decide(
     table: &Arc<dyn QosTable>,
     clock: &SharedClock,
     key: &QosKey,

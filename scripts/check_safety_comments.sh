@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Every `unsafe` block or fn in the FFI module must be justified by a
+# `// SAFETY:` comment in the (up to 8) lines above it — room for a
+# multi-line justification plus the statement's own continuation lines.
+# Run from the repo root; exits 1 listing each naked `unsafe`.
+#
+# Scope is deliberately the one module allowed to contain unsafe code —
+# if unsafe ever spreads, add the file here and justify it in DESIGN.md
+# §7.
+set -euo pipefail
+
+files=(crates/net/src/mmsg.rs)
+status=0
+
+for file in "${files[@]}"; do
+    if [[ ! -f "$file" ]]; then
+        echo "error: $file not found (run from the repo root)" >&2
+        exit 2
+    fi
+    naked=$(awk '
+        function covered(  i) {
+            if ($0 ~ /\/\/ SAFETY:/) return 1
+            for (i = 1; i <= 8; i++) {
+                if (prev[i] ~ /\/\/ SAFETY:/) return 1
+            }
+            return 0
+        }
+        /(^|[^[:alnum:]_"])unsafe([^[:alnum:]_]|$)/ {
+            # Ignore mentions inside line comments (doc text) and the
+            # lint name itself.
+            if ($0 !~ /^[[:space:]]*\/\// && $0 !~ /unsafe_op_in_unsafe_fn/ && !covered()) {
+                printf "%s:%d: unsafe without a // SAFETY: comment\n", FILENAME, FNR
+            }
+        }
+        {
+            for (i = 8; i > 1; i--) prev[i] = prev[i - 1]
+            prev[1] = $0
+        }
+    ' "$file")
+    if [[ -n "$naked" ]]; then
+        echo "$naked"
+        status=1
+    fi
+done
+
+if [[ $status -eq 0 ]]; then
+    echo "ok: every unsafe block in ${files[*]} carries a // SAFETY: comment"
+fi
+exit $status
