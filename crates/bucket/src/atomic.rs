@@ -584,7 +584,7 @@ mod tests {
                 handles.into_iter().map(|h| h.join().unwrap()).sum()
             });
 
-            let serialized = parking_lot::Mutex::new(locked(cap, rate));
+            let serialized = janus_types::sync::Mutex::new(locked(cap, rate));
             let total_locked = schedule
                 .iter()
                 .filter(|now| serialized.lock().try_consume(**now) == Verdict::Allow)

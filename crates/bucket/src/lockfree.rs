@@ -52,8 +52,8 @@
 
 use crate::table::{QosTable, ShardedTable, TableStats, TableStatsSnapshot};
 use janus_clock::Nanos;
+use janus_types::sync::Mutex;
 use janus_types::{Credits, QosKey, QosRule, RefillRate, Verdict};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 

@@ -7,10 +7,10 @@
 //! through (useful while onboarding Janus in shadow mode).
 
 use janus_types::{Credits, QosKey, QosRule, RefillRate};
-use serde::{Deserialize, Serialize};
 
 /// What a QoS server does with a key that has no rule in the database.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 #[derive(Default)]
 pub enum DefaultRulePolicy {
     /// Zero capacity, zero refill: every request from unknown keys is

@@ -11,8 +11,8 @@
 
 use crate::LeakyBucket;
 use janus_clock::Nanos;
+use janus_types::sync::Mutex;
 use janus_types::{Credits, QosKey, QosRule, RefillRate, Verdict};
-use parking_lot::Mutex;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};

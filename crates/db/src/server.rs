@@ -30,42 +30,16 @@ use tokio::io::{AsyncBufReadExt, AsyncWriteExt, BufReader};
 use tokio::net::{TcpListener, TcpStream};
 use tokio::sync::mpsc;
 
-/// Render one rule as a wire row.
+/// Render one rule as a wire row. Delegates to [`janus_types::QosRule::to_row`]
+/// (the row format is shared with the HA snapshot core); kept under the
+/// historic name for existing callers.
 pub fn format_rule_row(rule: &janus_types::QosRule) -> String {
-    format!(
-        "{}\t{}\t{}\t{}",
-        rule.key,
-        sql::format_micro(rule.refill_rate.micro_per_sec()),
-        sql::format_micro(rule.capacity.as_micro()),
-        sql::format_micro(rule.credit.as_micro())
-    )
+    rule.to_row()
 }
 
 /// Parse one wire row back into a rule.
 pub fn parse_rule_row(line: &str) -> Result<janus_types::QosRule> {
-    use janus_types::{Credits, JanusError, QosKey, QosRule, RefillRate};
-    let mut parts = line.split('\t');
-    let key = parts
-        .next()
-        .ok_or_else(|| JanusError::db("row missing key"))?;
-    let rate = parts
-        .next()
-        .ok_or_else(|| JanusError::db("row missing refill_rate"))?;
-    let capacity = parts
-        .next()
-        .ok_or_else(|| JanusError::db("row missing capacity"))?;
-    let credit = parts
-        .next()
-        .ok_or_else(|| JanusError::db("row missing credit"))?;
-    if parts.next().is_some() {
-        return Err(JanusError::db(format!("trailing fields in row {line:?}")));
-    }
-    Ok(QosRule {
-        key: QosKey::new(key).map_err(|e| JanusError::db(format!("bad key in row: {e}")))?,
-        refill_rate: RefillRate::from_micro_per_sec(sql::parse_decimal_micro(rate)?),
-        capacity: Credits::from_micro(sql::parse_decimal_micro(capacity)?),
-        credit: Credits::from_micro(sql::parse_decimal_micro(credit)?),
-    })
+    janus_types::QosRule::parse_row(line)
 }
 
 fn encode_response(resp: &Result<SqlResponse>) -> String {

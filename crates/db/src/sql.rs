@@ -123,54 +123,16 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
 // ---------------------------------------------------------------------
 
 /// Parse a decimal credit literal ("100", "0.5", "42.000001") into
-/// microcredits.
+/// microcredits. The implementation lives in `janus_types` so the
+/// std-only HA snapshot core shares it; this is the historic name.
 pub fn parse_decimal_micro(s: &str) -> Result<u64> {
-    let (int_part, frac_part) = match s.split_once('.') {
-        Some((i, f)) => (i, f),
-        None => (s, ""),
-    };
-    if int_part.is_empty() && frac_part.is_empty() {
-        return Err(JanusError::db(format!("bad number {s:?}")));
-    }
-    if frac_part.len() > 6 {
-        return Err(JanusError::db(format!(
-            "number {s:?} exceeds 6 fractional digits"
-        )));
-    }
-    let int: u64 = if int_part.is_empty() {
-        0
-    } else {
-        int_part
-            .parse()
-            .map_err(|_| JanusError::db(format!("bad number {s:?}")))?
-    };
-    let frac: u64 = if frac_part.is_empty() {
-        0
-    } else {
-        let padded = format!("{frac_part:0<6}");
-        padded
-            .parse()
-            .map_err(|_| JanusError::db(format!("bad number {s:?}")))?
-    };
-    int.checked_mul(1_000_000)
-        .and_then(|i| i.checked_add(frac))
-        .ok_or_else(|| JanusError::db(format!("number {s:?} out of range")))
+    janus_types::parse_micro_decimal(s)
 }
 
 /// Exact decimal rendering of a microcredit amount (inverse of
 /// [`parse_decimal_micro`]).
 pub fn format_micro(micro: u64) -> String {
-    let int = micro / 1_000_000;
-    let frac = micro % 1_000_000;
-    if frac == 0 {
-        int.to_string()
-    } else {
-        let mut s = format!("{int}.{frac:06}");
-        while s.ends_with('0') {
-            s.pop();
-        }
-        s
-    }
+    janus_types::format_micro_decimal(micro)
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,37 @@
+//! `dst-trace <seed> [profile]` — replay one deterministic simulation
+//! and print its event trace plus summary. Exit code 0 iff every
+//! oracle held. `scripts/check_determinism.sh` runs the same seed
+//! twice and diffs the output byte-for-byte.
+
+use janus_dst::{run_seed, Profile, PROFILES};
+
+fn usage() -> ! {
+    eprintln!("usage: dst-trace <seed> [profile]");
+    eprintln!(
+        "profiles: {}",
+        PROFILES
+            .iter()
+            .map(|p| p.as_str())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(seed) = args.next().and_then(|s| s.parse::<u64>().ok()) else {
+        usage();
+    };
+    let profile = match args.next() {
+        Some(name) => match Profile::parse(&name) {
+            Some(p) => p,
+            None => usage(),
+        },
+        None => Profile::Mixed,
+    };
+    let report = run_seed(seed, profile);
+    print!("{}", report.trace);
+    print!("{}", report.summary());
+    std::process::exit(if report.ok() { 0 } else { 1 });
+}

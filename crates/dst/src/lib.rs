@@ -1,0 +1,35 @@
+//! Deterministic simulation testing for the Janus QoS cluster.
+//!
+//! The production router and server are split into sans-IO decision
+//! cores ([`janus_router::core`], [`janus_server::core`]) driven by
+//! thin tokio shells. This crate drives the *same cores* from a
+//! single-threaded discrete-event scheduler over a virtual clock
+//! ([`janus_clock::SimClock`]) and an in-memory network that drops,
+//! delays, duplicates, reorders and partitions datagrams from a seeded
+//! in-tree PRNG ([`janus_hash::Rng`]) — so a whole cluster's failure
+//! behaviour is explored as a pure function of one `u64` seed:
+//!
+//! - [`sim`] — the world: event queue, partitions, router node, fault
+//!   injection, byte-stable trace.
+//! - [`oracle`] — the four invariants checked after every event
+//!   (credit exactness, at-most-one charge per attempt nonce, bounded
+//!   over-admission during failover/brownout, availability floor).
+//! - [`search`] — randomized fault-schedule search, greedy schedule
+//!   shrinking to a minimal reproducer, and the committed seed corpus
+//!   replayed by CI (`tests/dst_corpus.txt`).
+//!
+//! The crate is std-only (no tokio, no external `rand`): every test
+//! here compiles and runs with bare `rustc --test`
+//! (`scripts/run_dst_standalone.sh`), and byte-exact replay is pinned
+//! by `scripts/check_determinism.sh`.
+
+pub mod oracle;
+pub mod search;
+pub mod sim;
+
+pub use oracle::OracleState;
+pub use search::{
+    config_for, parse_corpus, run_seed, search, shrink, shrink_directives, CorpusEntry, Profile,
+    PROFILES,
+};
+pub use sim::{Completion, Directive, DirectiveKind, Sim, SimConfig, SimReport};

@@ -1,0 +1,183 @@
+//! Invariant oracles checked after every simulated event.
+//!
+//! The simulator feeds every observable admission outcome into an
+//! [`OracleState`]; a violation is a property of the *whole cluster
+//! history*, not of any single core, which is what the deterministic
+//! simulator buys over unit tests. Four invariants are enforced:
+//!
+//! 1. **Credit exactness / no oversell** — for a zero-refill key with
+//!    capacity `C` whose owning partition has rebooted `r` times, the
+//!    QoS servers grant at most `C * (1 + r)` allows. Every reboot may
+//!    at worst resurrect a full bucket (cold restart re-reads the rule
+//!    database; failover adopts a stale standby snapshot), so the bound
+//!    grows by exactly one capacity per reboot and never more.
+//! 2. **At-most-one charge per attempt nonce** — within one server
+//!    lifetime (partition epoch), a stamped retry nonce is decided at
+//!    most once no matter how often the network duplicates or the
+//!    router retries the frame. This is the dedup-window guarantee,
+//!    including the DESIGN.md §4c legacy-downgrade case.
+//! 3. **Bounded over-admission during failover/brownout** — server
+//!    allows plus the router's degraded-mode allows stay under
+//!    `C * (1 + r) + C`: brownout admission replays a learned
+//!    [`RuleHint`](janus_types::RuleHint) shape, so it can over-admit at
+//!    most one extra bucket of credit per key, never unbounded.
+//! 4. **Availability floor** — every issued request completes (backend,
+//!    degraded or default answer) within its retry budget. Brownouts
+//!    degrade answers; they must never hang a caller.
+//!
+//! Oracles 1–3 are re-validated from accumulated counters after every
+//! event (`check_all`); oracle 4 is asserted once the event queue
+//! drains, when completion times are known.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use janus_clock::Nanos;
+use janus_types::QosRequest;
+
+/// How a fresh server-side decision is keyed for the at-most-once
+/// oracle: stamped frames by their attempt nonce, legacy frames by the
+/// router-assigned request id. Legacy frames carry no nonce and are
+/// deliberately not deduplicated against each other (paper semantics),
+/// so only stamped charges are constrained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ChargeKey {
+    Nonce(u32),
+}
+
+/// Accumulated admission history plus the violations found so far.
+#[derive(Debug)]
+pub struct OracleState {
+    /// Per-key bucket capacity, in whole requests (zero refill).
+    capacity: u64,
+    /// Fresh `Allow` decisions per key index, server side.
+    pub server_allows: Vec<u64>,
+    /// Degraded-mode (router brownout) allows per key index.
+    pub degraded_allows: Vec<u64>,
+    /// Stamped decisions already seen: (partition, epoch, nonce).
+    charged: HashSet<(usize, u32, ChargeKey)>,
+    violations: Vec<String>,
+    seen: HashSet<String>,
+}
+
+impl OracleState {
+    /// Fresh state for `keys` tenant keys of `capacity` whole credits.
+    pub fn new(keys: usize, capacity: u64) -> Self {
+        OracleState {
+            capacity,
+            server_allows: vec![0; keys],
+            degraded_allows: vec![0; keys],
+            charged: HashSet::new(),
+            violations: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+
+    /// The violations recorded so far, in discovery order.
+    pub fn violations(&self) -> &[String] {
+        &self.violations
+    }
+
+    /// Record a violation once; duplicates of the same message are
+    /// dropped so a persistent breach doesn't flood the report.
+    pub fn record_violation(&mut self, message: String) {
+        if self.seen.insert(message.clone()) {
+            self.violations.push(message);
+        }
+    }
+
+    /// A QoS server made a fresh decision (charged its table) for
+    /// `request` on `partition` at `epoch`. `reboots` is the owning
+    /// partition's reboot count at this instant.
+    pub fn record_decision(
+        &mut self,
+        partition: usize,
+        epoch: u32,
+        request: &QosRequest,
+        allow: bool,
+        key_idx: usize,
+        key_name: &str,
+        reboots: u64,
+    ) {
+        if let Some(meta) = request.attempt {
+            let charge = (partition, epoch, ChargeKey::Nonce(meta.nonce));
+            if !self.charged.insert(charge) {
+                self.record_violation(format!(
+                    "oracle[at-most-once]: nonce {} charged twice on p{partition} epoch {epoch} \
+                     (key {key_name}, request {})",
+                    meta.nonce, request.id,
+                ));
+            }
+        }
+        if allow {
+            self.server_allows[key_idx] += 1;
+            self.check_key(key_idx, key_name, reboots);
+        }
+    }
+
+    /// The router admitted a request in degraded (brownout) mode from a
+    /// learned hint bucket.
+    pub fn record_degraded_allow(&mut self, key_idx: usize, key_name: &str, reboots: u64) {
+        self.degraded_allows[key_idx] += 1;
+        self.check_key(key_idx, key_name, reboots);
+    }
+
+    /// Re-validate the credit bounds for one key.
+    pub fn check_key(&mut self, key_idx: usize, key_name: &str, reboots: u64) {
+        let server = self.server_allows[key_idx];
+        let degraded = self.degraded_allows[key_idx];
+        let exact_bound = self.capacity * (1 + reboots);
+        if server > exact_bound {
+            self.record_violation(format!(
+                "oracle[credit-exactness]: key {key_name} got {server} server allows, \
+                 bound {exact_bound} (capacity {} x {} boots)",
+                self.capacity,
+                1 + reboots,
+            ));
+        }
+        if server + degraded > exact_bound + self.capacity {
+            self.record_violation(format!(
+                "oracle[over-admission]: key {key_name} got {server}+{degraded} allows, \
+                 bound {} (+1 degraded bucket)",
+                exact_bound + self.capacity,
+            ));
+        }
+    }
+
+    /// Re-validate every key's bounds — run after each simulated event.
+    /// `reboots_of(key_idx)` reports the owning partition's current
+    /// reboot count; `names` are the key display names by index.
+    pub fn check_all(&mut self, names: &[String], reboots_of: impl Fn(usize) -> u64) {
+        for idx in 0..names.len() {
+            let name = names[idx].clone();
+            self.check_key(idx, &name, reboots_of(idx));
+        }
+    }
+
+    /// Oracle 4, asserted at end of run: every call completed, within
+    /// `budget` of its issue time (plus `slack` for bookkeeping).
+    pub fn check_availability(
+        &mut self,
+        call: u32,
+        issued_at: Nanos,
+        completed_at: Option<Nanos>,
+        budget: Duration,
+        slack: Duration,
+    ) {
+        match completed_at {
+            None => self.record_violation(format!(
+                "oracle[availability]: request #{call} never completed",
+            )),
+            Some(done) => {
+                let latency = done.saturating_since(issued_at);
+                if latency > budget + slack {
+                    self.record_violation(format!(
+                        "oracle[availability]: request #{call} took {}us, budget {}us",
+                        latency.as_micros(),
+                        (budget + slack).as_micros(),
+                    ));
+                }
+            }
+        }
+    }
+}

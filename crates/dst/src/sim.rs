@@ -1,0 +1,1154 @@
+//! The seeded cluster simulator: a discrete-event scheduler driving the
+//! sans-IO protocol cores through an in-memory faulty network.
+//!
+//! One [`Sim`] owns a [`RouterCore`] (the admission client: hashing,
+//! retries, deadline stamping, breakers, degraded hints) and a set of
+//! [`ServerCore`] partitions (admit/shed/dedup over a [`QosTable`]),
+//! exactly the objects the production tokio shells drive — the
+//! simulator runs *byte-identical decision logic*, only the transport
+//! and the clock are simulated. Datagrams pass through a
+//! [`FaultPlan`] that drops, delays, duplicates and reorders them from
+//! a seeded PRNG; [`Directive`]s crash partitions, sever links and
+//! shift fault probabilities mid-run. Every event appends to a trace
+//! (same seed ⇒ byte-identical trace) and is followed by a full
+//! invariant re-check via [`OracleState`].
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use janus_bucket::{DefaultRulePolicy, QosTable, ShardedTable};
+use janus_clock::{Clock, Nanos, SimClock};
+use janus_hash::Rng;
+use janus_net::attempt::{AttemptPlan, AttemptStep};
+use janus_net::breaker::BreakerConfig;
+use janus_net::fault::{Fate, FaultPlan};
+use janus_router::core::{LocalAnswer, RouterCore, RouterCoreConfig, RouterStep};
+use janus_server::core::{decode_snapshot_header, encode_snapshot, ServerCore};
+use janus_server::OverloadConfig;
+use janus_types::{Credits, QosKey, QosRequest, QosResponse, QosRule, RefillRate, Verdict};
+
+use crate::oracle::OracleState;
+
+/// Virtual start of time: past zero so breaker/bucket timestamp
+/// arithmetic never sits on the epoch edge.
+const T0: Nanos = Nanos::from_secs(1);
+
+/// Runaway backstop: a healthy run of the default config processes a
+/// few thousand events; hitting this cap is itself reported as a
+/// violation rather than looping forever.
+const EVENT_CAP: u64 = 500_000;
+
+/// One scripted fault, applied at a virtual-time offset from [`T0`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Directive {
+    /// Offset from the start of the run.
+    pub at: Duration,
+    /// What happens.
+    pub kind: DirectiveKind,
+}
+
+/// The fault vocabulary the schedule searcher composes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DirectiveKind {
+    /// Kill a partition's server process: table, queue and dedup state
+    /// are lost. It reboots after the configured failover/restart
+    /// delay (standby adoption when `ha`, cold restart otherwise).
+    Crash {
+        /// Victim partition (wrapped modulo the partition count).
+        partition: usize,
+    },
+    /// Cut the router↔partition link in both directions.
+    Sever {
+        /// Victim partition (wrapped modulo the partition count).
+        partition: usize,
+        /// How long the link stays down.
+        heal_after: Duration,
+    },
+    /// Degrade the whole network: percentages of datagrams dropped,
+    /// duplicated and deferred (reordered) until healed.
+    Burst {
+        /// Percent of datagrams silently dropped.
+        drop_pct: u8,
+        /// Percent of datagrams delivered twice.
+        dup_pct: u8,
+        /// Percent of datagrams deferred so later sends overtake them.
+        reorder_pct: u8,
+        /// How long the burst lasts.
+        heal_after: Duration,
+    },
+}
+
+/// Everything that parameterizes one deterministic run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Master seed: nonces and network fates derive from it.
+    pub seed: u64,
+    /// QoS server partitions behind the router.
+    pub partitions: usize,
+    /// Standby snapshot adoption on crash (`true`) vs cold restart.
+    pub ha: bool,
+    /// Client requests issued over the run.
+    pub requests: u32,
+    /// Distinct tenant keys the requests cycle through.
+    pub keys: u32,
+    /// Per-key bucket capacity in whole requests; refill is zero so
+    /// credit arithmetic is exact.
+    pub capacity: u64,
+    /// Gap between consecutive client requests.
+    pub request_gap: Duration,
+    /// Per-attempt RPC timeout.
+    pub rpc_timeout: Duration,
+    /// Attempt slots per logical request (first try + retries).
+    pub attempts: u32,
+    /// Worker service time per queued job.
+    pub service_time: Duration,
+    /// One-way link latency.
+    pub link_latency: Duration,
+    /// Master→standby snapshot cadence (HA mode).
+    pub replication_interval: Duration,
+    /// Crash→standby-adoption delay (HA mode).
+    pub failover_delay: Duration,
+    /// Crash→cold-restart delay (non-HA mode).
+    pub restart_delay: Duration,
+    /// Server dedup window size; 0 disables deduplication (the oracle
+    /// non-vacuousness lever).
+    pub dedup_window: usize,
+    /// Server ingress FIFO capacity.
+    pub fifo_capacity: usize,
+    /// The scripted fault schedule.
+    pub directives: Vec<Directive>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 1,
+            partitions: 3,
+            ha: false,
+            requests: 120,
+            keys: 4,
+            capacity: 10,
+            request_gap: Duration::from_millis(2),
+            rpc_timeout: Duration::from_millis(10),
+            attempts: 3,
+            service_time: Duration::from_micros(500),
+            link_latency: Duration::from_micros(200),
+            replication_interval: Duration::from_millis(20),
+            failover_delay: Duration::from_millis(5),
+            restart_delay: Duration::from_millis(25),
+            dedup_window: 1024,
+            fifo_capacity: 64,
+            directives: Vec::new(),
+        }
+    }
+}
+
+/// How one logical request finally completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Completion {
+    /// A QoS server answered (fresh, cached or shed verdict).
+    Backend(Verdict),
+    /// The router answered from a learned hint bucket (brownout).
+    Degraded(Verdict),
+    /// The router fell back to the static default verdict.
+    Default(Verdict),
+}
+
+#[derive(Debug)]
+struct Call {
+    key_idx: usize,
+    partition: usize,
+    plan: Option<AttemptPlan>,
+    issued_at: Nanos,
+    completed_at: Option<Nanos>,
+    completion: Option<Completion>,
+}
+
+struct Partition {
+    core: Option<ServerCore>,
+    /// Latest snapshot the standby holds (decoded from the production
+    /// `SNAPSHOT` wire format each replication round).
+    standby: Vec<QosRule>,
+    severed: bool,
+    epoch: u32,
+    reboots: u64,
+    poll_scheduled: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    Issue(u32),
+    DeliverRequest {
+        call: u32,
+        partition: usize,
+        request: QosRequest,
+    },
+    DeliverResponse {
+        call: u32,
+        partition: usize,
+        response: QosResponse,
+    },
+    RetryTimer {
+        call: u32,
+        attempt: u32,
+    },
+    Poll {
+        partition: usize,
+        epoch: u32,
+    },
+    Replicate,
+    Reboot {
+        partition: usize,
+        epoch: u32,
+    },
+    Apply(usize),
+    Heal(usize),
+}
+
+/// What one run produced: the byte-stable trace, the violations, and
+/// summary counters for assertions and the CLI.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// The seed the run used.
+    pub seed: u64,
+    /// One line per simulated event, byte-identical across reruns of
+    /// the same config.
+    pub trace: String,
+    /// Oracle violations, in discovery order (empty = healthy run).
+    pub violations: Vec<String>,
+    /// Requests issued / completed.
+    pub issued: u32,
+    /// Requests that reached a completion.
+    pub completed: u32,
+    /// Completions answered by a QoS server.
+    pub backend: u32,
+    /// Completions answered from a learned hint bucket.
+    pub degraded: u32,
+    /// Completions answered by the static default verdict.
+    pub defaulted: u32,
+    /// Fresh server-side `Allow` decisions per key: `(name, count)`.
+    pub per_key_allows: Vec<(String, u64)>,
+    /// Degraded-mode allows per key: `(name, count)`.
+    pub per_key_degraded: Vec<(String, u64)>,
+    /// Total partition reboots over the run.
+    pub reboots: u64,
+    /// Datagrams the fault plan dropped / duplicated / deferred.
+    pub dropped: u64,
+    /// See [`SimReport::dropped`].
+    pub duplicated: u64,
+    /// See [`SimReport::dropped`].
+    pub reordered: u64,
+}
+
+impl SimReport {
+    /// True when every oracle held for the whole run.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// A deterministic multi-line summary (the CLI prints it under the
+    /// trace; the determinism check diffs it along with the trace).
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "seed={} issued={} completed={} backend={} degraded={} default={}\n",
+            self.seed, self.issued, self.completed, self.backend, self.degraded, self.defaulted
+        ));
+        out.push_str(&format!(
+            "reboots={} net: dropped={} duplicated={} reordered={}\n",
+            self.reboots, self.dropped, self.duplicated, self.reordered
+        ));
+        for (name, count) in &self.per_key_allows {
+            out.push_str(&format!("allows {name}={count}\n"));
+        }
+        for (name, count) in &self.per_key_degraded {
+            if *count > 0 {
+                out.push_str(&format!("degraded {name}={count}\n"));
+            }
+        }
+        match self.violations.len() {
+            0 => out.push_str("violations: none\n"),
+            n => {
+                out.push_str(&format!("violations: {n}\n"));
+                for v in &self.violations {
+                    out.push_str(&format!("  {v}\n"));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The deterministic cluster simulator. Build with [`Sim::new`], then
+/// [`Sim::run`] to completion.
+pub struct Sim {
+    config: SimConfig,
+    clock: SimClock,
+    router: RouterCore,
+    partitions: Vec<Partition>,
+    calls: Vec<Call>,
+    events: BTreeMap<(u64, u64), Event>,
+    seq: u64,
+    fault: Arc<FaultPlan>,
+    trace: Vec<String>,
+    oracle: OracleState,
+    key_names: Vec<String>,
+    keys: Vec<QosKey>,
+    owners: Vec<usize>,
+    nonce_base: u32,
+    completed: u32,
+    backend: u32,
+    degraded: u32,
+    defaulted: u32,
+}
+
+impl Sim {
+    /// Build a world from `config`: router core with breakers on,
+    /// every partition booted with full zero-refill buckets for the
+    /// keys it owns, network clean until the first directive.
+    pub fn new(config: SimConfig) -> Self {
+        let config = SimConfig {
+            partitions: config.partitions.max(1),
+            keys: config.keys.max(1),
+            attempts: config.attempts.max(1),
+            ..config
+        };
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let nonce_base = rng.next_u32();
+        let router = RouterCore::new(RouterCoreConfig {
+            partitions: config.partitions,
+            default_verdict: Verdict::Deny,
+            fleet_size: 1,
+            breaker: Some(BreakerConfig {
+                failure_threshold: 2,
+                open_timeout: config.rpc_timeout * 2,
+            }),
+        });
+        let key_names: Vec<String> = (0..config.keys).map(|i| format!("tenant-{i}")).collect();
+        let keys: Vec<QosKey> = key_names
+            .iter()
+            .map(|n| QosKey::new(n).expect("generated key is valid"))
+            .collect();
+        let owners: Vec<usize> = keys.iter().map(|k| router.route(k)).collect();
+        let fault = FaultPlan::new(0.0, 0.0, Duration::ZERO, rng.next_u64());
+        let oracle = OracleState::new(keys.len(), config.capacity);
+        let mut sim = Sim {
+            clock: SimClock::starting_at(T0),
+            router,
+            partitions: Vec::new(),
+            calls: Vec::new(),
+            events: BTreeMap::new(),
+            seq: 0,
+            fault,
+            trace: Vec::new(),
+            oracle,
+            key_names,
+            keys,
+            owners,
+            nonce_base,
+            completed: 0,
+            backend: 0,
+            degraded: 0,
+            defaulted: 0,
+            config,
+        };
+        for p in 0..sim.config.partitions {
+            let core = sim.boot_core(p, None);
+            sim.partitions.push(Partition {
+                core: Some(core),
+                standby: Vec::new(),
+                severed: false,
+                epoch: 0,
+                reboots: 0,
+                poll_scheduled: false,
+            });
+        }
+        for i in 0..sim.config.requests {
+            let at = T0 + sim.config.request_gap * i;
+            sim.schedule_at(at, Event::Issue(i));
+        }
+        for (i, d) in sim.config.directives.clone().iter().enumerate() {
+            sim.schedule_at(T0 + d.at, Event::Apply(i));
+        }
+        if sim.config.ha {
+            sim.schedule_at(T0 + sim.config.replication_interval, Event::Replicate);
+        }
+        sim
+    }
+
+    /// A freshly booted server core for partition `p`. With `restore`
+    /// it adopts the given snapshot (HA failover, via the production
+    /// wire encoding); otherwise it re-reads its owned rules at full
+    /// credit (cold restart re-reading the rule database).
+    fn boot_core(&mut self, p: usize, restore: Option<Vec<QosRule>>) -> ServerCore {
+        let table: Arc<dyn QosTable> = Arc::new(ShardedTable::with_shards(8));
+        let overload = OverloadConfig {
+            dedup_window: self.config.dedup_window,
+            sojourn_shedding: false,
+            ..OverloadConfig::default()
+        };
+        let core = ServerCore::new(
+            table,
+            DefaultRulePolicy::Deny,
+            self.config.fifo_capacity,
+            overload,
+        );
+        let now = self.clock.now();
+        match restore {
+            Some(rules) => core.restore(rules, now),
+            None => {
+                for (idx, key) in self.keys.iter().enumerate() {
+                    if self.owners[idx] == p {
+                        let rule = QosRule::new(
+                            key.clone(),
+                            Credits::from_whole(self.config.capacity),
+                            RefillRate::ZERO,
+                        );
+                        core.table().insert(rule, now);
+                    }
+                }
+            }
+        }
+        core
+    }
+
+    fn schedule_at(&mut self, at: Nanos, event: Event) {
+        let at = at.max(self.clock.now());
+        self.seq += 1;
+        self.events.insert((at.as_nanos(), self.seq), event);
+    }
+
+    fn schedule_in(&mut self, d: Duration, event: Event) {
+        self.schedule_at(self.clock.now() + d, event);
+    }
+
+    fn note(&mut self, message: String) {
+        let us = self.clock.now().saturating_since(T0).as_micros();
+        self.trace.push(format!("[{us:>9}us] {message}"));
+    }
+
+    fn all_done(&self) -> bool {
+        self.completed >= self.config.requests
+    }
+
+    /// Drain the event queue, checking every oracle after each event,
+    /// then assert the availability floor and assemble the report.
+    pub fn run(mut self) -> SimReport {
+        let mut processed: u64 = 0;
+        while let Some((&slot, _)) = self.events.iter().next() {
+            let event = self.events.remove(&slot).expect("peeked key exists");
+            self.clock.set(Nanos::from_nanos(slot.0));
+            self.handle(event);
+            self.check_oracles();
+            processed += 1;
+            if processed > EVENT_CAP {
+                self.oracle
+                    .record_violation(format!("event cap {EVENT_CAP} exceeded: runaway schedule"));
+                break;
+            }
+        }
+        let budget = self.config.rpc_timeout * self.config.attempts;
+        let slack = Duration::from_millis(1);
+        for i in 0..self.calls.len() {
+            let (issued_at, completed_at) = (self.calls[i].issued_at, self.calls[i].completed_at);
+            self.oracle
+                .check_availability(i as u32, issued_at, completed_at, budget, slack);
+        }
+        let per_key_allows = self
+            .key_names
+            .iter()
+            .cloned()
+            .zip(self.oracle.server_allows.iter().copied())
+            .collect();
+        let per_key_degraded = self
+            .key_names
+            .iter()
+            .cloned()
+            .zip(self.oracle.degraded_allows.iter().copied())
+            .collect();
+        SimReport {
+            seed: self.config.seed,
+            trace: {
+                let mut t = self.trace.join("\n");
+                t.push('\n');
+                t
+            },
+            violations: self.oracle.violations().to_vec(),
+            issued: self.calls.len() as u32,
+            completed: self.completed,
+            backend: self.backend,
+            degraded: self.degraded,
+            defaulted: self.defaulted,
+            per_key_allows,
+            per_key_degraded,
+            reboots: self.partitions.iter().map(|p| p.reboots).sum(),
+            dropped: self.fault.dropped(),
+            duplicated: self.fault.duplicated(),
+            reordered: self.fault.reordered(),
+        }
+    }
+
+    fn check_oracles(&mut self) {
+        let reboots: Vec<u64> = self
+            .owners
+            .iter()
+            .map(|&p| self.partitions[p].reboots)
+            .collect();
+        self.oracle
+            .check_all(&self.key_names.clone(), |idx| reboots[idx]);
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Issue(n) => self.on_issue(n),
+            Event::DeliverRequest {
+                call,
+                partition,
+                request,
+            } => self.on_deliver_request(call, partition, request),
+            Event::DeliverResponse {
+                call,
+                partition,
+                response,
+            } => self.on_deliver_response(call, partition, response),
+            Event::RetryTimer { call, attempt } => self.on_retry_timer(call, attempt),
+            Event::Poll { partition, epoch } => self.on_poll(partition, epoch),
+            Event::Replicate => self.on_replicate(),
+            Event::Reboot { partition, epoch } => self.on_reboot(partition, epoch),
+            Event::Apply(i) => self.on_apply(i),
+            Event::Heal(i) => self.on_heal(i),
+        }
+    }
+
+    fn on_issue(&mut self, n: u32) {
+        let now = self.clock.now();
+        let key_idx = (n as usize) % self.keys.len();
+        let key = self.keys[key_idx].clone();
+        let name = self.key_names[key_idx].clone();
+        match self.router.begin(&key, now) {
+            RouterStep::FastFail { partition, answer } => {
+                self.calls.push(Call {
+                    key_idx,
+                    partition,
+                    plan: None,
+                    issued_at: now,
+                    completed_at: None,
+                    completion: None,
+                });
+                self.note(format!("issue #{n} key={name} -> p{partition} fast-fail"));
+                self.complete_local(n, answer);
+            }
+            RouterStep::Forward {
+                partition,
+                solicit_hint,
+            } => {
+                let id = u64::from(n) + 1;
+                let base = if solicit_hint {
+                    QosRequest::soliciting_hint(id, key)
+                } else {
+                    QosRequest::new(id, key)
+                };
+                let total = self.config.rpc_timeout * self.config.attempts;
+                let nonce = self.nonce_base.wrapping_add(n.wrapping_mul(2_654_435_761));
+                let plan = AttemptPlan::stamped(base, self.config.attempts, now, total, nonce);
+                self.calls.push(Call {
+                    key_idx,
+                    partition,
+                    plan: Some(plan),
+                    issued_at: now,
+                    completed_at: None,
+                    completion: None,
+                });
+                self.note(format!("issue #{n} key={name} -> p{partition}"));
+                self.send_attempt(n, 0);
+            }
+        }
+    }
+
+    fn send_attempt(&mut self, call: u32, attempt: u32) {
+        let now = self.clock.now();
+        let c = &self.calls[call as usize];
+        let plan = c.plan.as_ref().expect("forwarded call has a plan");
+        let partition = c.partition;
+        match plan.request_for(attempt, now) {
+            AttemptStep::BudgetSpent => {
+                self.note(format!("give-up #{call} budget spent at attempt {attempt}"));
+                self.give_up(call);
+            }
+            AttemptStep::Send(request) => {
+                let kind = if request.attempt.is_some() {
+                    "stamped"
+                } else {
+                    "legacy"
+                };
+                self.note(format!("send #{call}.{attempt} -> p{partition} ({kind})"));
+                self.transmit_request(call, partition, request);
+                self.schedule_in(self.config.rpc_timeout, Event::RetryTimer { call, attempt });
+            }
+        }
+    }
+
+    fn transmit_request(&mut self, call: u32, partition: usize, request: QosRequest) {
+        let latency = self.config.link_latency;
+        match self.fault.judge_fate() {
+            Fate::Drop => self.note(format!("net drop req #{call} -> p{partition}")),
+            Fate::Deliver(extra) => self.schedule_in(
+                latency + extra,
+                Event::DeliverRequest {
+                    call,
+                    partition,
+                    request,
+                },
+            ),
+            Fate::Duplicate(extra) => {
+                self.note(format!("net dup req #{call} -> p{partition}"));
+                self.schedule_in(
+                    latency,
+                    Event::DeliverRequest {
+                        call,
+                        partition,
+                        request: request.clone(),
+                    },
+                );
+                self.schedule_in(
+                    latency + extra,
+                    Event::DeliverRequest {
+                        call,
+                        partition,
+                        request,
+                    },
+                );
+            }
+            Fate::Defer(extra) => {
+                self.note(format!("net defer req #{call} -> p{partition}"));
+                self.schedule_in(
+                    latency + extra,
+                    Event::DeliverRequest {
+                        call,
+                        partition,
+                        request,
+                    },
+                );
+            }
+        }
+    }
+
+    fn transmit_response(&mut self, call: u32, partition: usize, response: QosResponse) {
+        if self.partitions[partition].severed {
+            self.note(format!("net severed resp #{call} from p{partition}"));
+            return;
+        }
+        let latency = self.config.link_latency;
+        match self.fault.judge_fate() {
+            Fate::Drop => self.note(format!("net drop resp #{call} from p{partition}")),
+            Fate::Deliver(extra) => self.schedule_in(
+                latency + extra,
+                Event::DeliverResponse {
+                    call,
+                    partition,
+                    response,
+                },
+            ),
+            Fate::Duplicate(extra) => {
+                self.note(format!("net dup resp #{call} from p{partition}"));
+                self.schedule_in(
+                    latency,
+                    Event::DeliverResponse {
+                        call,
+                        partition,
+                        response: response.clone(),
+                    },
+                );
+                self.schedule_in(
+                    latency + extra,
+                    Event::DeliverResponse {
+                        call,
+                        partition,
+                        response,
+                    },
+                );
+            }
+            Fate::Defer(extra) => {
+                self.note(format!("net defer resp #{call} from p{partition}"));
+                self.schedule_in(
+                    latency + extra,
+                    Event::DeliverResponse {
+                        call,
+                        partition,
+                        response,
+                    },
+                );
+            }
+        }
+    }
+
+    fn on_deliver_request(&mut self, call: u32, partition: usize, request: QosRequest) {
+        let now = self.clock.now();
+        if self.partitions[partition].severed {
+            self.note(format!("net severed req #{call} -> p{partition}"));
+            return;
+        }
+        if self.partitions[partition].core.is_none() {
+            self.note(format!("p{partition} down, req #{call} lost"));
+            return;
+        }
+        let (response, queued, dedup_delta, shed_delta, expired_delta) = {
+            let core = self.partitions[partition].core.as_mut().expect("checked");
+            let before = core.stats;
+            let response = core.on_request(request, now);
+            let after = core.stats;
+            (
+                response,
+                core.queue_len() > 0,
+                after.dedup_hits - before.dedup_hits,
+                after.shed_full - before.shed_full,
+                after.shed_expired - before.shed_expired,
+            )
+        };
+        match &response {
+            Some(r) => {
+                let why = if dedup_delta > 0 {
+                    "cached"
+                } else if shed_delta > 0 {
+                    "shed-full"
+                } else {
+                    "reply"
+                };
+                self.note(format!(
+                    "p{partition} recv #{call} -> {why} {}",
+                    verdict_str(r.verdict)
+                ));
+            }
+            None => {
+                let why = if dedup_delta > 0 {
+                    "absorbed"
+                } else if expired_delta > 0 {
+                    "expired"
+                } else {
+                    "queued"
+                };
+                self.note(format!("p{partition} recv #{call} {why}"));
+            }
+        }
+        if let Some(r) = response {
+            self.transmit_response(call, partition, r);
+        }
+        if queued && !self.partitions[partition].poll_scheduled {
+            self.partitions[partition].poll_scheduled = true;
+            let epoch = self.partitions[partition].epoch;
+            self.schedule_in(self.config.service_time, Event::Poll { partition, epoch });
+        }
+    }
+
+    fn on_poll(&mut self, partition: usize, epoch: u32) {
+        let now = self.clock.now();
+        if self.partitions[partition].epoch != epoch || self.partitions[partition].core.is_none() {
+            return;
+        }
+        self.partitions[partition].poll_scheduled = false;
+        let (peeked, response, answered_delta, allowed_delta, backlog) = {
+            let core = self.partitions[partition].core.as_mut().expect("checked");
+            let peeked = core.peek_queue().cloned();
+            if peeked.is_none() {
+                return;
+            }
+            let before = core.stats;
+            let response = core.poll_worker(now);
+            let after = core.stats;
+            (
+                peeked,
+                response,
+                after.answered - before.answered,
+                after.allowed - before.allowed,
+                core.queue_len(),
+            )
+        };
+        if answered_delta > 0 {
+            let request = peeked.expect("non-empty queue was peeked");
+            let key_idx = self
+                .keys
+                .iter()
+                .position(|k| *k == request.key)
+                .expect("simulated keys only");
+            let name = self.key_names[key_idx].clone();
+            let reboots = self.partitions[self.owners[key_idx]].reboots;
+            let allow = allowed_delta > 0;
+            let suppressed = if response.is_none() {
+                " (stale, held)"
+            } else {
+                ""
+            };
+            let call = request.id - 1;
+            self.note(format!(
+                "p{partition} decide #{call} {}{suppressed}",
+                verdict_str_bool(allow)
+            ));
+            let part_epoch = self.partitions[partition].epoch;
+            self.oracle.record_decision(
+                partition, part_epoch, &request, allow, key_idx, &name, reboots,
+            );
+        } else if response.is_none() {
+            self.note(format!("p{partition} shed queued job"));
+        }
+        if let Some(r) = response {
+            let call = (r.id - 1) as u32;
+            self.transmit_response(call, partition, r);
+        }
+        if backlog > 0 {
+            self.partitions[partition].poll_scheduled = true;
+            self.schedule_in(self.config.service_time, Event::Poll { partition, epoch });
+        }
+    }
+
+    fn on_deliver_response(&mut self, call: u32, partition: usize, response: QosResponse) {
+        let now = self.clock.now();
+        if self.calls[call as usize].completion.is_some() {
+            self.note(format!("router late resp #{call} ignored"));
+            return;
+        }
+        let key_idx = self.calls[call as usize].key_idx;
+        let key = self.keys[key_idx].clone();
+        let learned = self.router.on_response(partition, &key, &response);
+        let hint = if learned { " hint=learned" } else { "" };
+        self.note(format!(
+            "router recv #{call} {} backend{hint}",
+            verdict_str(response.verdict)
+        ));
+        self.calls[call as usize].completion = Some(Completion::Backend(response.verdict));
+        self.calls[call as usize].completed_at = Some(now);
+        self.completed += 1;
+        self.backend += 1;
+    }
+
+    fn on_retry_timer(&mut self, call: u32, attempt: u32) {
+        if self.calls[call as usize].completion.is_some() {
+            return;
+        }
+        if attempt + 1 < self.config.attempts {
+            self.note(format!("timeout #{call}.{attempt}, retrying"));
+            self.send_attempt(call, attempt + 1);
+        } else {
+            self.note(format!("timeout #{call}.{attempt}, out of attempts"));
+            self.give_up(call);
+        }
+    }
+
+    fn give_up(&mut self, call: u32) {
+        let now = self.clock.now();
+        let c = &self.calls[call as usize];
+        let (partition, key_idx) = (c.partition, c.key_idx);
+        let key = self.keys[key_idx].clone();
+        match self.router.on_failure(partition, &key, now) {
+            Some(answer) => self.complete_local(call, answer),
+            None => {
+                let verdict = self.router.default_verdict();
+                self.note(format!("give-up #{call} default {}", verdict_str(verdict)));
+                self.calls[call as usize].completion = Some(Completion::Default(verdict));
+                self.calls[call as usize].completed_at = Some(now);
+                self.completed += 1;
+                self.defaulted += 1;
+            }
+        }
+    }
+
+    fn complete_local(&mut self, call: u32, answer: LocalAnswer) {
+        let now = self.clock.now();
+        let key_idx = self.calls[call as usize].key_idx;
+        let name = self.key_names[key_idx].clone();
+        let completion = match answer {
+            LocalAnswer::Degraded(v) => {
+                self.note(format!("local #{call} degraded {}", verdict_str(v)));
+                if v == Verdict::Allow {
+                    let reboots = self.partitions[self.owners[key_idx]].reboots;
+                    self.oracle.record_degraded_allow(key_idx, &name, reboots);
+                }
+                self.degraded += 1;
+                Completion::Degraded(v)
+            }
+            LocalAnswer::Default(v) => {
+                self.note(format!("local #{call} default {}", verdict_str(v)));
+                self.defaulted += 1;
+                Completion::Default(v)
+            }
+        };
+        self.calls[call as usize].completion = Some(completion);
+        self.calls[call as usize].completed_at = Some(now);
+        self.completed += 1;
+    }
+
+    fn on_replicate(&mut self) {
+        let now = self.clock.now();
+        for p in 0..self.partitions.len() {
+            if self.partitions[p].severed {
+                continue;
+            }
+            let Some(core) = &self.partitions[p].core else {
+                continue;
+            };
+            let wire = encode_snapshot(&core.snapshot(now));
+            match decode_snapshot_wire(&wire) {
+                Some(rules) => {
+                    let n = rules.len();
+                    self.partitions[p].standby = rules;
+                    self.note(format!("replicate p{p} rules={n}"));
+                }
+                None => self
+                    .oracle
+                    .record_violation(format!("snapshot wire roundtrip failed for p{p}")),
+            }
+        }
+        if !self.all_done() {
+            self.schedule_in(self.config.replication_interval, Event::Replicate);
+        }
+    }
+
+    fn on_apply(&mut self, i: usize) {
+        let directive = self.config.directives[i].clone();
+        match directive.kind {
+            DirectiveKind::Crash { partition } => {
+                let p = partition % self.partitions.len();
+                if self.partitions[p].core.is_none() {
+                    self.note(format!("crash p{p} (already down)"));
+                    return;
+                }
+                self.partitions[p].core = None;
+                self.partitions[p].poll_scheduled = false;
+                let epoch = self.partitions[p].epoch;
+                let delay = if self.config.ha {
+                    self.config.failover_delay
+                } else {
+                    self.config.restart_delay
+                };
+                self.note(format!("crash p{p}"));
+                self.schedule_in(
+                    delay,
+                    Event::Reboot {
+                        partition: p,
+                        epoch,
+                    },
+                );
+            }
+            DirectiveKind::Sever {
+                partition,
+                heal_after,
+            } => {
+                let p = partition % self.partitions.len();
+                self.partitions[p].severed = true;
+                self.note(format!("sever p{p} for {}us", heal_after.as_micros()));
+                self.schedule_in(heal_after, Event::Heal(i));
+            }
+            DirectiveKind::Burst {
+                drop_pct,
+                dup_pct,
+                reorder_pct,
+                heal_after,
+            } => {
+                self.fault.set_drop_probability(f64::from(drop_pct) / 100.0);
+                self.fault
+                    .set_duplication(f64::from(dup_pct) / 100.0, self.config.link_latency * 4);
+                self.fault
+                    .set_reordering(f64::from(reorder_pct) / 100.0, self.config.link_latency * 8);
+                self.note(format!(
+                    "burst drop={drop_pct}% dup={dup_pct}% reorder={reorder_pct}% for {}us",
+                    heal_after.as_micros()
+                ));
+                self.schedule_in(heal_after, Event::Heal(i));
+            }
+        }
+    }
+
+    fn on_heal(&mut self, i: usize) {
+        match self.config.directives[i].kind {
+            DirectiveKind::Sever { partition, .. } => {
+                let p = partition % self.partitions.len();
+                self.partitions[p].severed = false;
+                self.note(format!("heal p{p} link"));
+            }
+            DirectiveKind::Burst { .. } => {
+                self.fault.set_drop_probability(0.0);
+                self.fault.set_duplication(0.0, Duration::ZERO);
+                self.fault.set_reordering(0.0, Duration::ZERO);
+                self.note("heal burst".to_string());
+            }
+            DirectiveKind::Crash { .. } => {}
+        }
+    }
+
+    fn on_reboot(&mut self, partition: usize, epoch: u32) {
+        if self.partitions[partition].epoch != epoch || self.partitions[partition].core.is_some() {
+            return;
+        }
+        self.partitions[partition].reboots += 1;
+        self.partitions[partition].epoch += 1;
+        let restore = if self.config.ha && !self.partitions[partition].standby.is_empty() {
+            Some(self.partitions[partition].standby.clone())
+        } else {
+            None
+        };
+        let mode = match &restore {
+            Some(rules) => format!("failover restored={} rules", rules.len()),
+            None => "restart fresh rules".to_string(),
+        };
+        let core = self.boot_core(partition, restore);
+        self.partitions[partition].core = Some(core);
+        let new_epoch = self.partitions[partition].epoch;
+        self.note(format!("boot p{partition} epoch={new_epoch} ({mode})"));
+    }
+}
+
+/// Decode a full `SNAPSHOT` wire blob (header + rows) back into rules.
+fn decode_snapshot_wire(wire: &str) -> Option<Vec<QosRule>> {
+    let mut lines = wire.lines();
+    let n = decode_snapshot_header(lines.next()?)?;
+    let rules: Vec<QosRule> = lines
+        .map(QosRule::parse_row)
+        .collect::<Result<Vec<_>, _>>()
+        .ok()?;
+    (rules.len() == n).then_some(rules)
+}
+
+fn verdict_str(v: Verdict) -> &'static str {
+    match v {
+        Verdict::Allow => "allow",
+        Verdict::Deny => "deny",
+    }
+}
+
+fn verdict_str_bool(allow: bool) -> &'static str {
+    if allow {
+        "allow"
+    } else {
+        "deny"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calm() -> SimConfig {
+        SimConfig {
+            seed: 11,
+            requests: 60,
+            keys: 2,
+            capacity: 10,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn calm_run_is_exact_and_fully_backend() {
+        let report = Sim::new(calm()).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.issued, 60);
+        assert_eq!(report.completed, 60);
+        assert_eq!(
+            report.backend, 60,
+            "no faults -> every answer from a server"
+        );
+        // 30 requests per key against a 10-credit zero-refill bucket:
+        // exactly 10 allows each, nothing degraded.
+        for (name, allows) in &report.per_key_allows {
+            assert_eq!(*allows, 10, "key {name} got {allows} allows");
+        }
+        assert_eq!(report.degraded, 0);
+        assert_eq!(report.defaulted, 0);
+    }
+
+    #[test]
+    fn same_config_yields_byte_identical_trace_and_summary() {
+        let a = Sim::new(calm()).run();
+        let b = Sim::new(calm()).run();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn crash_restart_is_bounded_and_counted() {
+        let mut config = calm();
+        config.directives = vec![Directive {
+            at: Duration::from_millis(40),
+            kind: DirectiveKind::Crash { partition: 0 },
+        }];
+        let report = Sim::new(config).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.reboots, 1);
+        assert!(report.trace.contains("crash p0"));
+        assert!(report.trace.contains("restart fresh rules"));
+        assert_eq!(report.completed, report.issued);
+    }
+
+    #[test]
+    fn ha_failover_adopts_the_standby_snapshot() {
+        let mut config = calm();
+        config.ha = true;
+        config.directives = vec![Directive {
+            at: Duration::from_millis(50),
+            kind: DirectiveKind::Crash { partition: 0 },
+        }];
+        let report = Sim::new(config).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(
+            report.trace.contains("failover restored="),
+            "expected a standby adoption in:\n{}",
+            report.trace
+        );
+    }
+
+    #[test]
+    fn severed_link_falls_back_to_local_answers_yet_completes_everything() {
+        let mut config = calm();
+        config.requests = 80;
+        config.directives = vec![Directive {
+            at: Duration::from_millis(30),
+            kind: DirectiveKind::Sever {
+                partition: 0,
+                heal_after: Duration::from_millis(60),
+            },
+        }];
+        let report = Sim::new(config).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.completed, report.issued, "availability floor");
+    }
+
+    #[test]
+    fn disabling_dedup_under_duplication_trips_the_at_most_once_oracle() {
+        // The non-vacuousness check: with the dedup window off, a
+        // duplicated stamped frame is charged twice and the oracle must
+        // say so. This proves the oracle actually bites.
+        let mut config = calm();
+        config.dedup_window = 0;
+        config.directives = vec![Directive {
+            at: Duration::ZERO,
+            kind: DirectiveKind::Burst {
+                drop_pct: 0,
+                dup_pct: 80,
+                reorder_pct: 0,
+                heal_after: Duration::from_secs(5),
+            },
+        }];
+        let report = Sim::new(config).run();
+        assert!(
+            report.violations.iter().any(|v| v.contains("at-most-once")),
+            "expected a double-charge violation, got: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn dedup_window_absorbs_the_same_duplication_storm() {
+        let mut config = calm();
+        config.directives = vec![Directive {
+            at: Duration::ZERO,
+            kind: DirectiveKind::Burst {
+                drop_pct: 0,
+                dup_pct: 80,
+                reorder_pct: 0,
+                heal_after: Duration::from_secs(5),
+            },
+        }];
+        let report = Sim::new(config).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+}

@@ -15,13 +15,12 @@
 //! keys of varying length drawn from a skewed alphabet, unlike hex or
 //! digits — is preserved.
 
+use crate::rng::Rng;
 use janus_types::QosKey;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// The four key families of the paper's Fig. 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum KeyFamily {
     /// `xxxxxxxx-xxxx-xxxx-xxxx-xxxxxxxxxxxx`, random hex.
     Uuid,
@@ -85,7 +84,7 @@ const SUFFIXES: &[&str] = &[
 #[derive(Debug, Clone)]
 pub struct KeyGenerator {
     family: KeyFamily,
-    rng: StdRng,
+    rng: Rng,
     counter: u64,
 }
 
@@ -94,7 +93,7 @@ impl KeyGenerator {
     pub fn new(family: KeyFamily, seed: u64) -> Self {
         KeyGenerator {
             family,
-            rng: StdRng::seed_from_u64(seed ^ family as u64),
+            rng: Rng::seed_from_u64(seed ^ family as u64),
             counter: 0,
         }
     }
@@ -116,7 +115,7 @@ impl KeyGenerator {
         self.counter += 1;
         match self.family {
             KeyFamily::Uuid => {
-                let (a, b) = (self.rng.gen::<u64>(), self.rng.gen::<u64>());
+                let (a, b) = (self.rng.next_u64(), self.rng.next_u64());
                 format!(
                     "{:08x}-{:04x}-{:04x}-{:04x}-{:012x}",
                     (a >> 32) as u32,
@@ -127,12 +126,12 @@ impl KeyGenerator {
                 )
             }
             KeyFamily::Timestamp => {
-                let year = self.rng.gen_range(2000..2038);
-                let month = self.rng.gen_range(1..=12);
-                let day = self.rng.gen_range(1..=28);
-                let hour = self.rng.gen_range(0..24);
-                let min = self.rng.gen_range(0..60);
-                let sec = self.rng.gen_range(0..60);
+                let year = self.rng.gen_range_inclusive(2000, 2037);
+                let month = self.rng.gen_range_inclusive(1, 12);
+                let day = self.rng.gen_range_inclusive(1, 28);
+                let hour = self.rng.gen_range(24);
+                let min = self.rng.gen_range(60);
+                let sec = self.rng.gen_range(60);
                 format!("{year:04}-{month:02}-{day:02}-{hour:02}-{min:02}-{sec:02}")
             }
             KeyFamily::EnglishVocabulary => {

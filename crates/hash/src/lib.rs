@@ -19,9 +19,11 @@
 pub mod crc32;
 pub mod keygen;
 pub mod pressure;
+pub mod rng;
 pub mod routing;
 
 pub use crc32::{crc32, Crc32};
 pub use keygen::{KeyFamily, KeyGenerator};
 pub use pressure::{KeyPressure, PressureReport};
+pub use rng::{mix64, Rng, SplitMix64};
 pub use routing::{ConsistentRing, ModuloRouter, RouteTarget, Router};

@@ -8,10 +8,10 @@
 
 use crate::keygen::{KeyFamily, KeyGenerator};
 use crate::routing::Router;
-use serde::Serialize;
 
 /// Distribution of one key population across the QoS-server fleet.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct KeyPressure {
     /// Key family the population was drawn from (None for ad-hoc key sets).
     pub family: Option<KeyFamily>,
@@ -99,7 +99,8 @@ fn router_route_str<R: Router>(router: &R, key: &str) -> usize {
 }
 
 /// The full Fig. 6 study: all four families routed over one fleet.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize))]
 pub struct PressureReport {
     /// Number of QoS servers behind the router layer.
     pub servers: usize,

@@ -1,0 +1,277 @@
+//! Seedable pseudo-random number generation with no external
+//! dependencies.
+//!
+//! Janus needs randomness in three places — key generation for the
+//! key-pressure study, fault injection for chaos tests, and the
+//! deterministic cluster simulator (`janus-dst`) — and all three need the
+//! same thing: a small, fast generator whose entire output sequence is a
+//! pure function of a 64-bit seed, so a failing run is reproducible from
+//! one number. The external `rand` crate gives no cross-version sequence
+//! stability guarantee and pulls in OS entropy machinery this workspace
+//! cannot build offline, so the generator lives in-tree instead.
+//!
+//! Two layers, both `no_std`-friendly (only `core` is used):
+//!
+//! * [`SplitMix64`] — Steele et al.'s 64-bit mixer. Streams well enough
+//!   for seeding and one-shot hashing; used to expand a user seed into
+//!   generator state and to derive independent sub-streams.
+//! * [`Rng`] — xoshiro256++ (Blackman & Vigna), the workhorse generator:
+//!   4 × u64 of state, one rotate-add-xor per draw, passes BigCrush.
+//!
+//! Sequence stability is part of the contract: committed fault-schedule
+//! seeds in `tests/dst_corpus.txt` replay byte-identically only while
+//! these algorithms produce the exact published sequences, so the known-
+//! answer tests below pin them.
+
+/// Steele, Lea & Flood's SplitMix64: a tiny splittable generator used
+/// here to expand seeds and derive sub-streams.
+///
+/// Every call advances the state by the golden-ratio increment and
+/// returns a finalizer-mixed output; zero is a perfectly fine seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// A generator seeded with `seed`.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+}
+
+/// The SplitMix64 output finalizer: a bijective avalanche mix of one
+/// u64. Useful on its own to hash small integers (e.g. combining a seed
+/// with a stream label).
+pub const fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++: the general-purpose seedable generator.
+///
+/// State is expanded from the seed with [`SplitMix64`] (the seeding
+/// discipline Vigna recommends), so any u64 — including 0 — is a valid
+/// seed and nearby seeds produce unrelated sequences.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// A generator whose whole sequence is determined by `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Rng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Next 64 uniformly-distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Next 32 uniformly-distributed bits (the high half of a 64-bit
+    /// draw — xoshiro's low bits are its weakest).
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform draw from `[0, bound)`. `bound` 0 returns 0.
+    ///
+    /// Uses the widening-multiply range reduction (Lemire): the bias for
+    /// any bound representable here is below 2⁻⁶⁴ per draw, far beneath
+    /// anything a simulation schedule could observe, and — unlike
+    /// rejection sampling — it consumes exactly one draw per call, which
+    /// keeps sequence alignment simple to reason about.
+    pub fn gen_range(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from `[lo, hi]` (inclusive). Panics if `lo > hi`.
+    pub fn gen_range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "gen_range_inclusive: lo > hi");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.gen_range(span + 1)
+    }
+
+    /// Uniform float in `[0, 1)` with 53 bits of precision.
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// `true` with probability `p`. Panics unless `p` is in `[0, 1]`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability in [0,1]");
+        self.gen_f64() < p
+    }
+
+    /// An independent generator derived from this one's stream.
+    ///
+    /// The child is seeded from one draw of the parent, so N forks from a
+    /// fixed parent state are reproducible and mutually unrelated — the
+    /// discipline the simulator uses to give every component (network,
+    /// workload, each node) its own stream while the whole run stays a
+    /// function of one root seed.
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_matches_published_vectors() {
+        // Known-answer: the reference SplitMix64 sequence for seed
+        // 1234567, as published with the algorithm. Pins the sequence
+        // the corpus seeds depend on.
+        let mut sm = SplitMix64::new(1234567);
+        for expected in [
+            6457827717110365317u64,
+            3203168211198807973,
+            9817491932198370423,
+            4593380528125082431,
+            16408922859458223821,
+        ] {
+            assert_eq!(sm.next_u64(), expected);
+        }
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        let mut c = Rng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..32).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn xoshiro_first_draws_are_pinned() {
+        // Sequence-stability canary: if the seeding or step function ever
+        // changes, every committed simulation seed silently changes
+        // meaning. This test makes that loud instead.
+        let mut rng = Rng::seed_from_u64(0);
+        let first: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180
+            ]
+        );
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(rng.gen_range(10) < 10);
+            let v = rng.gen_range_inclusive(5, 9);
+            assert!((5..=9).contains(&v));
+        }
+        assert_eq!(rng.gen_range(0), 0);
+        assert_eq!(rng.gen_range(1), 0);
+        assert_eq!(rng.gen_range_inclusive(3, 3), 3);
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut counts = [0u32; 8];
+        let n = 80_000;
+        for _ in 0..n {
+            counts[rng.gen_range(8) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let expected = n / 8;
+            assert!(
+                (c as i64 - expected as i64).unsigned_abs() < expected as u64 / 10,
+                "bucket {i} count {c} far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Rng::seed_from_u64(5);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.01, "observed {rate}");
+        let mut rng = Rng::seed_from_u64(5);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        let mut rng = Rng::seed_from_u64(5);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability in [0,1]")]
+    fn gen_bool_rejects_bad_probability() {
+        Rng::seed_from_u64(0).gen_bool(1.5);
+    }
+
+    #[test]
+    fn forks_are_independent_and_reproducible() {
+        let mut parent = Rng::seed_from_u64(99);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        let sa: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_ne!(sa, sb, "sibling forks must differ");
+        let mut parent2 = Rng::seed_from_u64(99);
+        let mut a2 = parent2.fork();
+        let sa2: Vec<u64> = (0..16).map(|_| a2.next_u64()).collect();
+        assert_eq!(sa, sa2, "forks must be reproducible from the root seed");
+    }
+
+    #[test]
+    fn mix64_is_a_bijection_probe() {
+        // Not a proof, but distinct inputs in a dense range must stay
+        // distinct — catches accidental truncation in the mixer.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(mix64(i)));
+        }
+    }
+}

@@ -14,15 +14,19 @@
 //!   a probe. Success closes the breaker; failure re-opens it for another
 //!   `open_timeout`.
 //!
-//! The breaker is a pure state machine over [`std::time::Instant`]: it
-//! performs no I/O and spawns no tasks. Callers ask
+//! The breaker is a pure state machine over an *injected* clock: every
+//! time-sensitive method takes the current [`Nanos`] instead of reading a
+//! wall clock, so the same code runs under the production `SharedClock`
+//! and under the deterministic simulator's `SimClock`. It performs no I/O
+//! and spawns no tasks. Callers ask
 //! [`try_acquire`](CircuitBreaker::try_acquire) before an RPC and report
 //! the outcome with [`record_success`](CircuitBreaker::record_success) /
 //! [`record_failure`](CircuitBreaker::record_failure).
 
-use parking_lot::Mutex;
+use janus_clock::Nanos;
+use janus_types::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Breaker tuning.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +81,7 @@ pub enum Admission {
 struct Inner {
     state: BreakerState,
     consecutive_failures: u32,
-    opened_at: Instant,
+    opened_at: Nanos,
     probe_in_flight: bool,
 }
 
@@ -97,7 +101,7 @@ impl CircuitBreaker {
             inner: Mutex::new(Inner {
                 state: BreakerState::Closed,
                 consecutive_failures: 0,
-                opened_at: Instant::now(),
+                opened_at: Nanos::ZERO,
                 probe_in_flight: false,
             }),
             opens: AtomicU64::new(0),
@@ -109,22 +113,24 @@ impl CircuitBreaker {
         &self.config
     }
 
-    /// The current state, advancing Open → HalfOpen if the open timeout
-    /// has elapsed (observation does not consume the probe slot).
-    pub fn state(&self) -> BreakerState {
+    fn probe_due(&self, opened_at: Nanos, now: Nanos) -> bool {
+        now.saturating_since(opened_at) >= self.config.open_timeout
+    }
+
+    /// The current state at `now`, advancing Open → HalfOpen if the open
+    /// timeout has elapsed (observation does not consume the probe slot).
+    pub fn state(&self, now: Nanos) -> BreakerState {
         let inner = self.inner.lock();
         match inner.state {
-            BreakerState::Open if inner.opened_at.elapsed() >= self.config.open_timeout => {
-                BreakerState::HalfOpen
-            }
+            BreakerState::Open if self.probe_due(inner.opened_at, now) => BreakerState::HalfOpen,
             state => state,
         }
     }
 
     /// True when calls would currently fast-fail (open, probe not yet
     /// due). Half-open counts as not-open: a call could be the probe.
-    pub fn is_open(&self) -> bool {
-        self.state() == BreakerState::Open
+    pub fn is_open(&self, now: Nanos) -> bool {
+        self.state(now) == BreakerState::Open
     }
 
     /// Times this breaker has tripped open.
@@ -132,13 +138,13 @@ impl CircuitBreaker {
         self.opens.load(Ordering::Relaxed)
     }
 
-    /// Ask to perform a call.
-    pub fn try_acquire(&self) -> Admission {
+    /// Ask to perform a call at `now`.
+    pub fn try_acquire(&self, now: Nanos) -> Admission {
         let mut inner = self.inner.lock();
         match inner.state {
             BreakerState::Closed => Admission::Allow,
             BreakerState::Open => {
-                if inner.opened_at.elapsed() >= self.config.open_timeout {
+                if self.probe_due(inner.opened_at, now) {
                     inner.state = BreakerState::HalfOpen;
                     inner.probe_in_flight = true;
                     Admission::Probe
@@ -166,10 +172,10 @@ impl CircuitBreaker {
         inner.state = BreakerState::Closed;
     }
 
-    /// Report a failed call (retry budget exhausted). Trips a closed
-    /// breaker at the threshold; re-opens a half-open breaker whose probe
-    /// failed.
-    pub fn record_failure(&self) {
+    /// Report a failed call (retry budget exhausted) at `now`. Trips a
+    /// closed breaker at the threshold; re-opens a half-open breaker whose
+    /// probe failed.
+    pub fn record_failure(&self, now: Nanos) {
         let mut inner = self.inner.lock();
         inner.probe_in_flight = false;
         match inner.state {
@@ -177,13 +183,13 @@ impl CircuitBreaker {
                 inner.consecutive_failures += 1;
                 if inner.consecutive_failures >= self.config.failure_threshold {
                     inner.state = BreakerState::Open;
-                    inner.opened_at = Instant::now();
+                    inner.opened_at = now;
                     self.opens.fetch_add(1, Ordering::Relaxed);
                 }
             }
             BreakerState::HalfOpen => {
                 inner.state = BreakerState::Open;
-                inner.opened_at = Instant::now();
+                inner.opened_at = now;
                 self.opens.fetch_add(1, Ordering::Relaxed);
             }
             BreakerState::Open => {}
@@ -202,94 +208,113 @@ mod tests {
         })
     }
 
+    const T0: Nanos = Nanos::from_secs(100);
+
     #[test]
     fn stays_closed_below_threshold() {
         let b = breaker(3, 1000);
-        b.record_failure();
-        b.record_failure();
-        assert_eq!(b.state(), BreakerState::Closed);
-        assert_eq!(b.try_acquire(), Admission::Allow);
+        b.record_failure(T0);
+        b.record_failure(T0);
+        assert_eq!(b.state(T0), BreakerState::Closed);
+        assert_eq!(b.try_acquire(T0), Admission::Allow);
         assert_eq!(b.opens(), 0);
     }
 
     #[test]
     fn success_resets_failure_streak() {
         let b = breaker(3, 1000);
-        b.record_failure();
-        b.record_failure();
+        b.record_failure(T0);
+        b.record_failure(T0);
         b.record_success();
-        b.record_failure();
-        b.record_failure();
-        assert_eq!(b.state(), BreakerState::Closed);
+        b.record_failure(T0);
+        b.record_failure(T0);
+        assert_eq!(b.state(T0), BreakerState::Closed);
     }
 
     #[test]
     fn trips_open_at_threshold_and_fast_fails() {
         let b = breaker(3, 1000);
         for _ in 0..3 {
-            b.record_failure();
+            b.record_failure(T0);
         }
-        assert_eq!(b.state(), BreakerState::Open);
-        assert!(b.is_open());
-        assert_eq!(b.try_acquire(), Admission::FastFail);
+        assert_eq!(b.state(T0), BreakerState::Open);
+        assert!(b.is_open(T0));
+        assert_eq!(b.try_acquire(T0), Admission::FastFail);
         assert_eq!(b.opens(), 1);
     }
 
     #[test]
     fn half_open_grants_exactly_one_probe() {
         let b = breaker(1, 0); // open timeout 0: probe due immediately
-        b.record_failure();
-        assert_eq!(b.try_acquire(), Admission::Probe);
+        b.record_failure(T0);
+        assert_eq!(b.try_acquire(T0), Admission::Probe);
         // Second caller while the probe is in flight: fast-fail.
-        assert_eq!(b.try_acquire(), Admission::FastFail);
+        assert_eq!(b.try_acquire(T0), Admission::FastFail);
     }
 
     #[test]
     fn probe_success_closes() {
         let b = breaker(1, 0);
-        b.record_failure();
-        assert_eq!(b.try_acquire(), Admission::Probe);
+        b.record_failure(T0);
+        assert_eq!(b.try_acquire(T0), Admission::Probe);
         b.record_success();
-        assert_eq!(b.state(), BreakerState::Closed);
-        assert_eq!(b.try_acquire(), Admission::Allow);
+        assert_eq!(b.state(T0), BreakerState::Closed);
+        assert_eq!(b.try_acquire(T0), Admission::Allow);
     }
 
     #[test]
     fn probe_failure_reopens_for_another_window() {
         let b = breaker(1, 60_000); // long window: no second probe soon
-        b.record_failure();
-        // Force the half-open transition by waiting out a zero-length
-        // window is not possible here, so drive it directly: the breaker
-        // re-opens from half-open on a failed probe.
+        b.record_failure(T0);
+        // Drive the half-open transition directly: the breaker re-opens
+        // from half-open on a failed probe.
         {
             let mut inner = b.inner.lock();
             inner.state = BreakerState::HalfOpen;
             inner.probe_in_flight = true;
         }
-        b.record_failure();
-        assert_eq!(b.state(), BreakerState::Open);
-        assert_eq!(b.try_acquire(), Admission::FastFail);
+        b.record_failure(T0);
+        assert_eq!(b.state(T0), BreakerState::Open);
+        assert_eq!(b.try_acquire(T0), Admission::FastFail);
         assert_eq!(b.opens(), 2);
     }
 
     #[test]
     fn open_timeout_elapses_into_probe() {
         let b = breaker(1, 20);
-        b.record_failure();
-        assert_eq!(b.try_acquire(), Admission::FastFail);
-        std::thread::sleep(Duration::from_millis(30));
-        assert_eq!(b.state(), BreakerState::HalfOpen);
-        assert_eq!(b.try_acquire(), Admission::Probe);
+        b.record_failure(T0);
+        assert_eq!(b.try_acquire(T0), Admission::FastFail);
+        // No sleeping: advance the injected clock past the window.
+        let later = T0.saturating_add(Duration::from_millis(30));
+        assert_eq!(b.state(later), BreakerState::HalfOpen);
+        assert_eq!(b.try_acquire(later), Admission::Probe);
+    }
+
+    #[test]
+    fn reopened_breaker_restarts_its_window() {
+        let b = breaker(1, 20);
+        b.record_failure(T0);
+        let later = T0.saturating_add(Duration::from_millis(30));
+        assert_eq!(b.try_acquire(later), Admission::Probe);
+        b.record_failure(later); // failed probe re-opens at `later`
+        assert_eq!(
+            b.state(later.saturating_add(Duration::from_millis(10))),
+            BreakerState::Open
+        );
+        assert_eq!(
+            b.state(later.saturating_add(Duration::from_millis(20))),
+            BreakerState::HalfOpen
+        );
     }
 
     #[test]
     fn failures_while_open_do_not_double_count() {
         let b = breaker(2, 60_000);
-        b.record_failure();
-        b.record_failure();
+        b.record_failure(T0);
+        b.record_failure(T0);
         assert_eq!(b.opens(), 1);
-        b.record_failure(); // e.g. an in-flight call completing late
+        b.record_failure(T0); // e.g. an in-flight call completing late
         assert_eq!(b.opens(), 1);
-        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.state(T0), BreakerState::Open);
     }
 }

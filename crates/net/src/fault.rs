@@ -5,18 +5,22 @@
 //! quantify decision latency as a function of loss (DESIGN.md ablation 3)
 //! — sockets can be wrapped with a [`FaultPlan`] that drops, delays,
 //! duplicates or reorders datagrams with configured probabilities, driven
-//! by a seeded RNG so every test run sees the same fault pattern.
+//! by the in-tree seeded [`janus_hash::Rng`] so every test run sees the
+//! same fault pattern.
 //!
 //! Duplication and reordering are the two UDP behaviours that make retry
 //! *idempotency* testable: a duplicated request datagram is exactly what a
 //! router retry looks like to the server, and a deferred (reordered) one
-//! lets a later attempt overtake an earlier one. Both resolve out-of-band:
-//! the send path transmits the extra/late copy from a spawned task so the
-//! caller is never blocked.
+//! lets a later attempt overtake an earlier one. Both resolve out-of-band
+//! through a [`DeliverySchedule`]: the fate judgement *enqueues* the
+//! extra/late copy with a due time, and the transport decides when due
+//! entries drain. Real sockets drain from a best-effort wakeup task; the
+//! deterministic simulator drains exactly at the due tick. Either way the
+//! caller is never blocked and the fate schedule itself is pure data.
 
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use janus_hash::Rng;
+use janus_types::sync::Mutex;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -54,7 +58,7 @@ pub struct FaultPlan {
     duplicate_delay: Mutex<Duration>,
     reorder_ppm: AtomicU64,
     reorder_delay: Mutex<Duration>,
-    rng: Mutex<StdRng>,
+    rng: Mutex<Rng>,
     dropped: AtomicU64,
     delayed: AtomicU64,
     duplicated: AtomicU64,
@@ -87,7 +91,7 @@ impl FaultPlan {
             duplicate_delay: Mutex::new(Duration::ZERO),
             reorder_ppm: AtomicU64::new(0),
             reorder_delay: Mutex::new(Duration::ZERO),
-            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            rng: Mutex::new(Rng::seed_from_u64(seed)),
             dropped: AtomicU64::new(0),
             delayed: AtomicU64::new(0),
             duplicated: AtomicU64::new(0),
@@ -125,7 +129,7 @@ impl FaultPlan {
         if drop_ppm == 0 && delay_ppm == 0 && duplicate_ppm == 0 && reorder_ppm == 0 {
             return Fate::Deliver(Duration::ZERO);
         }
-        let roll: u64 = self.rng.lock().gen_range(0..1_000_000);
+        let roll: u64 = self.rng.lock().gen_range(1_000_000);
         if roll < drop_ppm {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return Fate::Drop;
@@ -177,6 +181,66 @@ impl FaultPlan {
     /// Datagrams deferred (reordered) so far.
     pub fn reordered(&self) -> u64 {
         self.reordered.load(Ordering::Relaxed)
+    }
+}
+
+/// An ordered out-of-band delivery queue for duplicate and deferred
+/// datagram copies.
+///
+/// Entries are keyed by `(due_nanos, seq)` — due time first, then an
+/// admission-order tiebreaker — so draining is a total order independent
+/// of which thread enqueued what. Production transports drain due entries
+/// from a wakeup task against the wall clock; the deterministic simulator
+/// drains them at exactly the due tick of its virtual clock. The schedule
+/// itself is std-only pure data: no tasks, no timers, no sockets.
+#[derive(Debug)]
+pub struct DeliverySchedule<T> {
+    entries: Mutex<BTreeMap<(u64, u64), T>>,
+    seq: AtomicU64,
+}
+
+impl<T> Default for DeliverySchedule<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> DeliverySchedule<T> {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        DeliverySchedule {
+            entries: Mutex::new(BTreeMap::new()),
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueue `item` to become due at absolute time `due_nanos`.
+    pub fn schedule(&self, due_nanos: u64, item: T) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().insert((due_nanos, seq), item);
+    }
+
+    /// The earliest due time of any queued entry, if one exists.
+    pub fn next_due(&self) -> Option<u64> {
+        self.entries.lock().keys().next().map(|(due, _)| *due)
+    }
+
+    /// Remove and return the earliest entry due at or before `now_nanos`,
+    /// in `(due, seq)` order. Call in a loop to drain everything due.
+    pub fn pop_due(&self, now_nanos: u64) -> Option<(u64, T)> {
+        let mut entries = self.entries.lock();
+        let key = *entries.keys().next().filter(|(due, _)| *due <= now_nanos)?;
+        entries.remove(&key).map(|item| (key.0, item))
+    }
+
+    /// Entries still queued.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
     }
 }
 
@@ -304,5 +368,35 @@ mod tests {
     #[should_panic(expected = "probability in [0,1]")]
     fn rejects_bad_duplication_probability() {
         FaultPlan::none().set_duplication(-0.1, Duration::ZERO);
+    }
+
+    #[test]
+    fn delivery_schedule_drains_in_due_then_seq_order() {
+        let q = DeliverySchedule::new();
+        q.schedule(30, "late");
+        q.schedule(10, "first");
+        q.schedule(10, "second"); // same due time: admission order breaks the tie
+        q.schedule(20, "middle");
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.next_due(), Some(10));
+        let mut drained = Vec::new();
+        while let Some((due, item)) = q.pop_due(100) {
+            drained.push((due, item));
+        }
+        assert_eq!(
+            drained,
+            vec![(10, "first"), (10, "second"), (20, "middle"), (30, "late")]
+        );
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn delivery_schedule_holds_entries_not_yet_due() {
+        let q = DeliverySchedule::new();
+        q.schedule(50, "later");
+        assert_eq!(q.pop_due(49), None);
+        assert_eq!(q.next_due(), Some(50), "undelivered entry stays queued");
+        assert_eq!(q.pop_due(50), Some((50, "later")));
+        assert!(q.is_empty());
     }
 }

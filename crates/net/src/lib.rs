@@ -29,6 +29,7 @@
 //! colocate every node on 127.0.0.1 and distinguish them by port. The
 //! permutation, TTL and failover semantics are unchanged.
 
+pub mod attempt;
 pub mod breaker;
 pub mod buffer_pool;
 pub mod dns;
@@ -38,6 +39,7 @@ pub mod mmsg;
 pub mod udp;
 pub mod udp_pool;
 
+pub use attempt::{AttemptPlan, AttemptStep};
 pub use breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 pub use dns::{DnsRecord, Resolver, Zone};
 
@@ -56,7 +58,7 @@ pub fn poke_listener(addr: std::net::SocketAddr) {
     }
 }
 pub use buffer_pool::{BufferPool, BufferPoolSnapshot, PooledBuf};
-pub use fault::{Fate, FaultPlan};
+pub use fault::{DeliverySchedule, Fate, FaultPlan};
 pub use http::{HttpClient, HttpRequest, HttpResponse, HttpServer, Method, StatusCode};
 pub use mmsg::{BatchStats, Backend, RecvSlot};
 pub use udp::{RetryBackoff, UdpRpcClient, UdpRpcConfig, UdpServerSocket};

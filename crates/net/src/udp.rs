@@ -14,14 +14,33 @@
 //! (the bucket is charged twice, which errs on the conservative side —
 //! admission control may only undercount credit, never oversell).
 
-use crate::fault::{Fate, FaultPlan};
+use crate::attempt::{AttemptPlan, AttemptStep};
+use crate::fault::{DeliverySchedule, Fate, FaultPlan};
 use bytes::Bytes;
+use janus_clock::Nanos;
 use janus_types::codec::{self, Frame, MAX_FRAME_BYTES};
 use janus_types::{JanusError, QosRequest, QosResponse, Result};
 use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use tokio::net::UdpSocket;
+
+/// Process-global sequence hashed through [`janus_hash::mix64`] wherever
+/// the transport needs an arbitrary draw (retry jitter, attempt nonces).
+/// Replaces the external `rand` thread-RNG: unpredictable enough to
+/// decorrelate retries and to make nonce collisions across routers
+/// vanishingly rare, with no dependency beyond the workspace.
+static DRAW_SEQ: AtomicU64 = AtomicU64::new(0x9E37_79B9_7F4A_7C15);
+
+fn draw_u64() -> u64 {
+    janus_hash::mix64(DRAW_SEQ.fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed))
+}
+
+/// Draw a fresh attempt nonce for one logical request.
+pub(crate) fn fresh_nonce() -> u32 {
+    draw_u64() as u32
+}
 
 /// How long to pause before each retry attempt.
 ///
@@ -62,8 +81,7 @@ impl RetryBackoff {
                 if window == 0 {
                     return Duration::ZERO;
                 }
-                use rand::Rng;
-                Duration::from_nanos(rand::thread_rng().gen_range(0..=window))
+                Duration::from_nanos(draw_u64() % (window + 1))
             }
         }
     }
@@ -150,6 +168,92 @@ impl UdpRpcConfig {
     }
 }
 
+/// One queued out-of-band transmission: a duplicate's second copy or a
+/// deferred (reordered) datagram.
+#[derive(Debug)]
+struct OobSend {
+    socket: Arc<UdpSocket>,
+    wire: Bytes,
+    /// `None` sends on the connected socket, `Some` via `send_to`.
+    peer: Option<SocketAddr>,
+}
+
+/// The out-of-band delivery queue behind every fault-injecting transport.
+///
+/// Duplicate and deferred copies used to leave from ad-hoc spawned tasks
+/// racing wall-clock sleeps — unobservable and unreproducible. Now every
+/// such copy is *data* in a [`DeliverySchedule`] keyed by absolute due
+/// time: the spawned task is only a best-effort wakeup that drains
+/// whatever is due, in `(due, seq)` order. The deterministic simulator
+/// uses the same schedule type against its virtual clock and drains at
+/// exactly the due tick.
+#[derive(Debug)]
+pub struct OobDelivery {
+    schedule: DeliverySchedule<OobSend>,
+}
+
+impl Default for OobDelivery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OobDelivery {
+    /// An empty queue.
+    pub fn new() -> Self {
+        OobDelivery {
+            schedule: DeliverySchedule::new(),
+        }
+    }
+
+    fn now_nanos() -> u64 {
+        use std::time::{SystemTime, UNIX_EPOCH};
+        SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    }
+
+    /// Copies still queued (diagnostics).
+    pub fn queued(&self) -> usize {
+        self.schedule.len()
+    }
+
+    /// Queue one copy to leave after `delay` and arm a wakeup to drain it.
+    pub(crate) fn transmit_after(
+        self: &Arc<Self>,
+        delay: Duration,
+        socket: Arc<UdpSocket>,
+        wire: Bytes,
+        peer: Option<SocketAddr>,
+    ) {
+        let due = Self::now_nanos().saturating_add(delay.as_nanos() as u64);
+        self.schedule.schedule(due, OobSend { socket, wire, peer });
+        let this = Arc::clone(self);
+        tokio::spawn(async move {
+            if !delay.is_zero() {
+                tokio::time::sleep(delay).await;
+            }
+            this.drain_due().await;
+        });
+    }
+
+    /// Transmit every queued copy whose due time has passed, in
+    /// `(due, seq)` order.
+    async fn drain_due(&self) {
+        while let Some((_, send)) = self.schedule.pop_due(Self::now_nanos()) {
+            match send.peer {
+                Some(peer) => {
+                    let _ = send.socket.send_to(&send.wire, peer).await;
+                }
+                None => {
+                    let _ = send.socket.send(&send.wire).await;
+                }
+            }
+        }
+    }
+}
+
 /// The request-router side of the admission RPC.
 ///
 /// Each call binds a fresh ephemeral socket — mirroring the paper's PHP
@@ -159,6 +263,7 @@ impl UdpRpcConfig {
 pub struct UdpRpcClient {
     config: UdpRpcConfig,
     faults: Arc<FaultPlan>,
+    oob: Arc<OobDelivery>,
 }
 
 impl UdpRpcClient {
@@ -167,12 +272,17 @@ impl UdpRpcClient {
         UdpRpcClient {
             config,
             faults: FaultPlan::none(),
+            oob: Arc::new(OobDelivery::new()),
         }
     }
 
     /// A client whose *outgoing* datagrams pass through `faults`.
     pub fn with_faults(config: UdpRpcConfig, faults: Arc<FaultPlan>) -> Self {
-        UdpRpcClient { config, faults }
+        UdpRpcClient {
+            config,
+            faults,
+            oob: Arc::new(OobDelivery::new()),
+        }
     }
 
     /// The configured discipline.
@@ -201,26 +311,24 @@ impl UdpRpcClient {
         let socket = Arc::new(UdpSocket::bind(self.config.bind_addr).await?);
         socket.connect(server).await?;
         let attempts = self.config.attempts();
-        // (start, total budget, nonce) when propagating deadlines. A
-        // caller-stamped request pins both the budget and the nonce (the
-        // router stamps from its retry schedule); otherwise the budget is
-        // this discipline's worst case and the nonce is drawn fresh.
-        let deadline = self.config.stamp_deadlines.then(|| {
+        // The sans-IO attempt schedule: which frame each attempt sends,
+        // and when the budget cuts retries short, is decided by
+        // [`AttemptPlan`] — the same core the deterministic simulator
+        // drives. This shell only supplies the clock (monotonic elapsed
+        // time since the call began) and moves bytes. A caller-stamped
+        // request pins both the budget and the nonce (the router stamps
+        // from its retry schedule); otherwise the budget is this
+        // discipline's worst case and the nonce is drawn fresh.
+        let plan = if self.config.stamp_deadlines {
             let (total, nonce) = match request.attempt {
                 Some(meta) => (Duration::from_micros(u64::from(meta.budget_us)), meta.nonce),
-                None => (self.config.worst_case(), rand::random::<u32>()),
+                None => (self.config.worst_case(), fresh_nonce()),
             };
-            (std::time::Instant::now(), total, nonce)
-        });
-        let wire = codec::encode_request(request);
-        let fallback = request
-            .solicit_hint
-            .then(|| codec::encode_request(&request.without_hint()));
-        // The final-attempt frame an old, deadline-unaware server still
-        // understands: no attempt metadata, no hint solicitation.
-        let legacy = deadline
-            .is_some()
-            .then(|| codec::encode_request(&request.without_attempt().without_hint()));
+            AttemptPlan::stamped(request.clone(), attempts, Nanos::ZERO, total, nonce)
+        } else {
+            AttemptPlan::plain(request.clone(), attempts)
+        };
+        let started = std::time::Instant::now();
         let mut buf = vec![0u8; MAX_FRAME_BYTES];
         let mut attempted = 0u32;
 
@@ -231,32 +339,12 @@ impl UdpRpcClient {
                     tokio::time::sleep(pause).await;
                 }
             }
-            let datagram: Bytes = match &deadline {
-                Some((started, total, nonce)) => {
-                    let elapsed = started.elapsed();
-                    if attempt > 0 && elapsed >= *total {
-                        // Budget spent: the caller's deadline passed, so
-                        // further retries would only add load.
-                        break;
-                    }
-                    if attempt + 1 < attempts {
-                        let remaining = total.saturating_sub(elapsed).as_micros();
-                        let budget_us = remaining.clamp(1, u128::from(u32::MAX)) as u32;
-                        let mut stamped = if attempt == 0 {
-                            request.clone()
-                        } else {
-                            request.without_hint()
-                        };
-                        stamped.attempt = Some(janus_types::AttemptMeta::new(budget_us, *nonce));
-                        codec::encode_request(&stamped)
-                    } else {
-                        legacy.clone().expect("legacy frame precomputed")
-                    }
-                }
-                None => match &fallback {
-                    Some(plain) if attempt > 0 => plain.clone(),
-                    _ => wire.clone(),
-                },
+            let now = Nanos::from_nanos(started.elapsed().as_nanos() as u64);
+            let datagram: Bytes = match plan.request_for(attempt, now) {
+                AttemptStep::Send(frame) => codec::encode_request(&frame),
+                // Budget spent: the caller's deadline passed, so further
+                // retries would only add load.
+                AttemptStep::BudgetSpent => break,
             };
             attempted += 1;
             self.send_with_faults(&socket, datagram).await?;
@@ -290,23 +378,15 @@ impl UdpRpcClient {
             }
             Fate::Duplicate(delay) => {
                 socket.send(&wire).await?;
-                let socket = Arc::clone(socket);
-                tokio::spawn(async move {
-                    if !delay.is_zero() {
-                        tokio::time::sleep(delay).await;
-                    }
-                    let _ = socket.send(&wire).await;
-                });
+                self.oob
+                    .transmit_after(delay, Arc::clone(socket), wire, None);
                 Ok(())
             }
             Fate::Defer(delay) => {
                 // Only the delivery is delayed (out-of-band): datagrams
                 // sent after this one overtake it, i.e. reordering.
-                let socket = Arc::clone(socket);
-                tokio::spawn(async move {
-                    tokio::time::sleep(delay).await;
-                    let _ = socket.send(&wire).await;
-                });
+                self.oob
+                    .transmit_after(delay, Arc::clone(socket), wire, None);
                 Ok(())
             }
         }
@@ -348,6 +428,8 @@ pub struct UdpServerSocket {
     /// `ServerStats`.
     #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
     mmsg: Arc<crate::mmsg::BatchStats>,
+    /// Out-of-band queue for duplicate/deferred response copies.
+    oob: Arc<OobDelivery>,
 }
 
 impl UdpServerSocket {
@@ -395,6 +477,7 @@ impl UdpServerSocket {
             pending: parking_lot::Mutex::new(std::collections::VecDeque::new()),
             batched,
             mmsg,
+            oob: Arc::new(OobDelivery::new()),
         })
     }
 
@@ -608,8 +691,8 @@ impl UdpServerSocket {
     }
 
     /// Transmit one datagram to `peer` through the fault plan. Duplicate
-    /// and deferred copies go out from a spawned task so the caller never
-    /// blocks beyond an inline delay fate.
+    /// and deferred copies drain from the out-of-band delivery queue so
+    /// the caller never blocks beyond an inline delay fate.
     async fn deliver(&self, wire: Bytes, peer: SocketAddr) -> Result<()> {
         let fate = self.faults.judge_fate();
         self.deliver_with_fate(fate, wire, peer).await
@@ -630,21 +713,13 @@ impl UdpServerSocket {
             }
             Fate::Duplicate(delay) => {
                 self.socket.send_to(&wire, peer).await?;
-                let socket = Arc::clone(&self.socket);
-                tokio::spawn(async move {
-                    if !delay.is_zero() {
-                        tokio::time::sleep(delay).await;
-                    }
-                    let _ = socket.send_to(&wire, peer).await;
-                });
+                self.oob
+                    .transmit_after(delay, Arc::clone(&self.socket), wire, Some(peer));
                 Ok(())
             }
             Fate::Defer(delay) => {
-                let socket = Arc::clone(&self.socket);
-                tokio::spawn(async move {
-                    tokio::time::sleep(delay).await;
-                    let _ = socket.send_to(&wire, peer).await;
-                });
+                self.oob
+                    .transmit_after(delay, Arc::clone(&self.socket), wire, Some(peer));
                 Ok(())
             }
         }

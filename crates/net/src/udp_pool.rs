@@ -20,10 +20,12 @@
 //!   per-request timeout × retry discipline is unchanged — only the
 //!   datagram packing differs.
 
+use crate::attempt::{AttemptPlan, AttemptStep};
 use crate::fault::{Fate, FaultPlan};
-use crate::udp::UdpRpcConfig;
+use crate::udp::{OobDelivery, UdpRpcConfig};
+use janus_clock::Nanos;
 use janus_types::codec::{self, Frame, MAX_DATAGRAM_BYTES};
-use janus_types::{AttemptMeta, JanusError, QosKey, QosRequest, QosResponse, RequestId, Result};
+use janus_types::{JanusError, QosKey, QosRequest, QosResponse, RequestId, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -82,6 +84,7 @@ pub struct PooledUdpRpcClient {
     pending: PendingSends,
     faults: Arc<FaultPlan>,
     next_id: Arc<AtomicU64>,
+    oob: Arc<OobDelivery>,
 }
 
 impl std::fmt::Debug for PooledUdpRpcClient {
@@ -145,6 +148,7 @@ impl PooledUdpRpcClient {
             pending: Arc::new(Mutex::new(HashMap::new())),
             faults,
             next_id: Arc::new(AtomicU64::new(1)),
+            oob: Arc::new(OobDelivery::new()),
         })
     }
 
@@ -189,19 +193,24 @@ impl PooledUdpRpcClient {
         } else {
             QosRequest::new(id, key)
         };
-        let fallback = solicit.then(|| request.without_hint());
-        // Same end-to-end deadline discipline as `UdpRpcClient::call`:
-        // every attempt but the last carries the remaining budget and the
-        // logical request's nonce, the final attempt downgrades to a
-        // legacy frame, and retrying stops once the budget is spent.
-        let deadline = self.config.stamp_deadlines.then(|| {
-            (
-                std::time::Instant::now(),
-                self.config.worst_case(),
-                rand::random::<u32>(),
-            )
-        });
+        // Same end-to-end deadline discipline as `UdpRpcClient::call`,
+        // decided by the shared sans-IO [`AttemptPlan`]: every attempt but
+        // the last carries the remaining budget and the logical request's
+        // nonce, the final attempt downgrades to a legacy frame, and
+        // retrying stops once the budget is spent.
         let attempts = self.config.attempts();
+        let plan = if self.config.stamp_deadlines {
+            AttemptPlan::stamped(
+                request.clone(),
+                attempts,
+                Nanos::ZERO,
+                self.config.worst_case(),
+                crate::udp::fresh_nonce(),
+            )
+        } else {
+            AttemptPlan::plain(request.clone(), attempts)
+        };
+        let started = std::time::Instant::now();
 
         let (tx, mut rx) = oneshot::channel();
         self.waiters.lock().insert(id, tx);
@@ -215,30 +224,10 @@ impl PooledUdpRpcClient {
                         tokio::time::sleep(pause).await;
                     }
                 }
-                let this_attempt: QosRequest = match &deadline {
-                    Some((started, total, nonce)) => {
-                        let elapsed = started.elapsed();
-                        if attempt > 0 && elapsed >= *total {
-                            break;
-                        }
-                        if attempt + 1 < attempts {
-                            let remaining = total.saturating_sub(elapsed).as_micros();
-                            let budget_us = remaining.clamp(1, u128::from(u32::MAX)) as u32;
-                            let mut stamped = if attempt == 0 {
-                                request.clone()
-                            } else {
-                                request.without_hint()
-                            };
-                            stamped.attempt = Some(AttemptMeta::new(budget_us, *nonce));
-                            stamped
-                        } else {
-                            request.without_attempt().without_hint()
-                        }
-                    }
-                    None => match &fallback {
-                        Some(plain) if attempt > 0 => plain.clone(),
-                        _ => request.clone(),
-                    },
+                let now = Nanos::from_nanos(started.elapsed().as_nanos() as u64);
+                let this_attempt: QosRequest = match plan.request_for(attempt, now) {
+                    AttemptStep::Send(frame) => frame,
+                    AttemptStep::BudgetSpent => break,
                 };
                 attempted += 1;
                 self.send_attempt(server, &this_attempt).await?;
@@ -357,8 +346,8 @@ impl PooledUdpRpcClient {
     }
 
     /// Send one datagram through the fault plan. Duplicate and deferred
-    /// copies go out from a spawned task so the caller never blocks
-    /// beyond an inline delay fate.
+    /// copies drain from the out-of-band delivery queue so the caller
+    /// never blocks beyond an inline delay fate.
     async fn send_datagram(&self, wire: bytes::Bytes, server: SocketAddr) -> Result<()> {
         let fate = self.faults.judge_fate();
         self.send_datagram_with_fate(fate, wire, server).await
@@ -383,21 +372,13 @@ impl PooledUdpRpcClient {
             }
             Fate::Duplicate(delay) => {
                 self.socket.send_to(&wire, server).await?;
-                let socket = Arc::clone(&self.socket);
-                tokio::spawn(async move {
-                    if !delay.is_zero() {
-                        tokio::time::sleep(delay).await;
-                    }
-                    let _ = socket.send_to(&wire, server).await;
-                });
+                self.oob
+                    .transmit_after(delay, Arc::clone(&self.socket), wire, Some(server));
                 Ok(())
             }
             Fate::Defer(delay) => {
-                let socket = Arc::clone(&self.socket);
-                tokio::spawn(async move {
-                    tokio::time::sleep(delay).await;
-                    let _ = socket.send_to(&wire, server).await;
-                });
+                self.oob
+                    .transmit_after(delay, Arc::clone(&self.socket), wire, Some(server));
                 Ok(())
             }
         }

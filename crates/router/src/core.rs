@@ -1,0 +1,437 @@
+//! Sans-IO admission core for the request router.
+//!
+//! Every *decision* a router node makes around one QoS check — which
+//! partition owns the key, whether the partition's circuit breaker lets
+//! the RPC out at all, whether a failed RPC should be answered from the
+//! degraded local bucket or the blind default, and what to learn from a
+//! hint-carrying response — is pure state-machine logic over an injected
+//! clock. This module extracts that logic from the HTTP handler in
+//! [`crate`] so the production tokio path and the deterministic simulator
+//! in `janus-dst` drive the *same* code. No sockets, no tasks, no wall
+//! clock: this file compiles with nothing but `std`, `janus-types`,
+//! `janus-clock`, `janus-hash`, `janus-bucket` and the std-only modules
+//! of `janus-net`.
+//!
+//! The retry schedule of the RPC itself — deadline stamping, nonce
+//! reuse, the legacy final attempt — is the sibling sans-IO core
+//! [`janus_net::attempt::AttemptPlan`]; a transport (or the simulator)
+//! composes the two: `RouterCore` decides *whether and where* to call,
+//! `AttemptPlan` decides *what each attempt sends*.
+//!
+//! Flow per request: [`begin`](RouterCore::begin) →
+//! [`RouterStep::Forward`] (perform the RPC) or [`RouterStep::FastFail`]
+//! (answer locally, no network); after a forwarded RPC, report
+//! [`on_response`](RouterCore::on_response) or
+//! [`on_failure`](RouterCore::on_failure).
+
+use janus_bucket::LeakyBucket;
+use janus_clock::Nanos;
+use janus_hash::{ModuloRouter, Router as _};
+use janus_net::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+use janus_types::sync::Mutex;
+use janus_types::{QosKey, QosResponse, RuleHint, Verdict};
+use std::collections::HashMap;
+
+/// The decision half of [`crate::RouterConfig`]: everything the core
+/// needs, nothing the transport owns (addresses, sockets, retry timing).
+#[derive(Debug, Clone)]
+pub struct RouterCoreConfig {
+    /// Number of QoS-server partitions the fleet hashes over (≥ 1).
+    pub partitions: usize,
+    /// The verdict served when the backend never answers and no rule
+    /// shape was ever learned for the key.
+    pub default_verdict: Verdict,
+    /// Router nodes sharing admission duty: degraded buckets enforce
+    /// `1/fleet_size` of a hinted rule (clamped to at least 1).
+    pub fleet_size: usize,
+    /// Per-partition circuit breaking plus degraded local admission;
+    /// `None` is the paper-faithful ablation (no breakers, no hints).
+    pub breaker: Option<BreakerConfig>,
+}
+
+/// What [`RouterCore::begin`] decided for one QoS check.
+#[derive(Debug)]
+pub enum RouterStep {
+    /// Perform the RPC against `partition`. `solicit_hint` is set when
+    /// breakers are enabled: the first attempt asks the QoS server for
+    /// the rule shape so degraded admission has something to enforce.
+    Forward {
+        /// The partition owning the key (`CRC32(key) mod N`).
+        partition: usize,
+        /// Ask the server to attach the key's rule shape.
+        solicit_hint: bool,
+    },
+    /// The partition's breaker is open: answer locally without touching
+    /// the network.
+    FastFail {
+        /// The partition whose breaker fast-failed.
+        partition: usize,
+        /// The locally produced answer.
+        answer: LocalAnswer,
+    },
+}
+
+/// A verdict produced without the backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalAnswer {
+    /// The key's degraded bucket (seeded from a learned rule hint,
+    /// scaled by fleet size) answered.
+    Degraded(Verdict),
+    /// No rule shape was ever learned: the configured default reply.
+    Default(Verdict),
+}
+
+impl LocalAnswer {
+    /// The verdict to relay, however it was produced.
+    pub fn verdict(&self) -> Verdict {
+        match *self {
+            LocalAnswer::Degraded(verdict) | LocalAnswer::Default(verdict) => verdict,
+        }
+    }
+}
+
+/// The sans-IO router core: partition hashing, per-partition circuit
+/// breakers, learned rule hints and degraded local buckets (see module
+/// docs). Thread-safe — the two maps sit behind their own locks and the
+/// breakers are internally synchronized, so the production handler calls
+/// it concurrently from every HTTP connection while the simulator owns
+/// one outright.
+#[derive(Debug)]
+pub struct RouterCore {
+    hash: ModuloRouter,
+    default_verdict: Verdict,
+    fleet_size: usize,
+    /// One breaker per partition; empty when the feature is off.
+    breakers: Vec<CircuitBreaker>,
+    /// Rule shapes learned from hint-carrying responses, kept across
+    /// outages so degraded admission has something to enforce.
+    hints: Mutex<HashMap<QosKey, RuleHint>>,
+    /// Router-local buckets for degraded admission. A key's bucket is
+    /// created once (seeded full at the fleet-scaled shape) and persists
+    /// across outage episodes, so repeated brownouts never re-grant the
+    /// burst — over-admission stays bounded by one scaled capacity.
+    degraded: Mutex<HashMap<QosKey, LeakyBucket>>,
+}
+
+impl RouterCore {
+    /// A core for `config`. `partitions` is clamped to at least 1 (the
+    /// shell validates the backend list before getting here).
+    pub fn new(config: RouterCoreConfig) -> Self {
+        let partitions = config.partitions.max(1);
+        let breakers = match config.breaker {
+            Some(breaker) => (0..partitions)
+                .map(|_| CircuitBreaker::new(breaker))
+                .collect(),
+            None => Vec::new(),
+        };
+        RouterCore {
+            hash: ModuloRouter::new(partitions),
+            default_verdict: config.default_verdict,
+            fleet_size: config.fleet_size.max(1),
+            breakers,
+            hints: Mutex::new(HashMap::new()),
+            degraded: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether the breaker/hint refinement is on at all.
+    pub fn breakers_enabled(&self) -> bool {
+        !self.breakers.is_empty()
+    }
+
+    /// The partition owning `key`.
+    pub fn route(&self, key: &QosKey) -> usize {
+        self.hash.route(key)
+    }
+
+    /// The configured default reply.
+    pub fn default_verdict(&self) -> Verdict {
+        self.default_verdict
+    }
+
+    /// Start one QoS check at `now`: forward to the owning partition, or
+    /// fast-fail from local state while its breaker is open.
+    pub fn begin(&self, key: &QosKey, now: Nanos) -> RouterStep {
+        let partition = self.route(key);
+        if self.breakers_enabled() {
+            if let Admission::FastFail = self.breakers[partition].try_acquire(now) {
+                return RouterStep::FastFail {
+                    partition,
+                    answer: self.local_answer(key, now),
+                };
+            }
+        }
+        RouterStep::Forward {
+            partition,
+            solicit_hint: self.breakers_enabled(),
+        }
+    }
+
+    /// Report a successful RPC: closes/feeds the partition's breaker and
+    /// learns the response's rule hint. Returns `true` when the hint was
+    /// new or changed (for stats attribution).
+    pub fn on_response(&self, partition: usize, key: &QosKey, response: &QosResponse) -> bool {
+        if !self.breakers_enabled() {
+            return false;
+        }
+        self.breakers[partition].record_success();
+        match response.hint {
+            Some(hint) => self.learn_hint(key, hint),
+            None => false,
+        }
+    }
+
+    /// Report an RPC that exhausted its retry budget (or could not be
+    /// dispatched) at `now`. Returns the local answer to serve when the
+    /// failure tripped (or found) an open breaker; `None` means the
+    /// caller serves the blind default.
+    pub fn on_failure(&self, partition: usize, key: &QosKey, now: Nanos) -> Option<LocalAnswer> {
+        if !self.breakers_enabled() {
+            return None;
+        }
+        self.breakers[partition].record_failure(now);
+        self.breakers[partition]
+            .is_open(now)
+            .then(|| self.local_answer(key, now))
+    }
+
+    /// Serve a verdict without the backend: the key's degraded bucket if
+    /// a rule shape was ever learned, the blind default otherwise.
+    pub fn local_answer(&self, key: &QosKey, now: Nanos) -> LocalAnswer {
+        let hint = self.hints.lock().get(key).copied();
+        let Some(hint) = hint else {
+            return LocalAnswer::Default(self.default_verdict);
+        };
+        let shape = hint.split_across(self.fleet_size);
+        let mut buckets = self.degraded.lock();
+        let bucket = buckets
+            .entry(key.clone())
+            .or_insert_with(|| LeakyBucket::full(shape.capacity, shape.refill_rate, now));
+        LocalAnswer::Degraded(bucket.try_consume(now))
+    }
+
+    /// Cache a hinted rule shape. A shape *change* drops the key's
+    /// degraded bucket so the next brownout rebuilds it with the new
+    /// rule (re-seeding only on a genuine rule update). Returns `true`
+    /// when the hint was new or changed.
+    fn learn_hint(&self, key: &QosKey, hint: RuleHint) -> bool {
+        let mut hints = self.hints.lock();
+        let previous = hints.get(key).copied();
+        if previous == Some(hint) {
+            return false;
+        }
+        hints.insert(key.clone(), hint);
+        if previous.is_some() {
+            self.degraded.lock().remove(key);
+        }
+        true
+    }
+
+    /// Breaker state for `partition` at `now`; `None` when breakers are
+    /// disabled or the partition is out of range.
+    pub fn breaker_state(&self, partition: usize, now: Nanos) -> Option<BreakerState> {
+        self.breakers.get(partition).map(|b| b.state(now))
+    }
+
+    /// Times `partition`'s breaker has tripped open; `None` as above.
+    pub fn breaker_opens(&self, partition: usize) -> Option<u64> {
+        self.breakers.get(partition).map(|b| b.opens())
+    }
+
+    /// True when every partition's breaker is currently fast-failing —
+    /// this node cannot reach any QoS state and should be drained.
+    pub fn all_breakers_open(&self, now: Nanos) -> bool {
+        !self.breakers.is_empty() && self.breakers.iter().all(|b| b.is_open(now))
+    }
+
+    /// Keys with a learned rule hint (diagnostics).
+    pub fn hinted_keys(&self) -> usize {
+        self.hints.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use janus_types::{Credits, RefillRate};
+    use std::time::Duration;
+
+    const T0: Nanos = Nanos::from_secs(50);
+
+    fn key(s: &str) -> QosKey {
+        QosKey::new(s).unwrap()
+    }
+
+    fn core(partitions: usize, threshold: u32) -> RouterCore {
+        RouterCore::new(RouterCoreConfig {
+            partitions,
+            default_verdict: Verdict::Deny,
+            fleet_size: 1,
+            breaker: Some(BreakerConfig {
+                failure_threshold: threshold,
+                open_timeout: Duration::from_secs(60),
+            }),
+        })
+    }
+
+    fn hinted(id: u64, capacity: u64, rate: u64) -> QosResponse {
+        QosResponse::new(id, Verdict::Allow).with_hint(RuleHint::new(
+            Credits::from_whole(capacity),
+            RefillRate::per_second(rate),
+        ))
+    }
+
+    #[test]
+    fn routing_is_stable_and_forwarding_solicits_hints() {
+        let core = core(4, 3);
+        let k = key("tenant");
+        let p = core.route(&k);
+        for _ in 0..3 {
+            match core.begin(&k, T0) {
+                RouterStep::Forward {
+                    partition,
+                    solicit_hint,
+                } => {
+                    assert_eq!(partition, p);
+                    assert!(solicit_hint, "breakers on => solicit");
+                }
+                step => panic!("healthy partition must forward, got {step:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn ablation_never_fast_fails_and_learns_nothing() {
+        let core = RouterCore::new(RouterCoreConfig {
+            partitions: 2,
+            default_verdict: Verdict::Allow,
+            fleet_size: 1,
+            breaker: None,
+        });
+        let k = key("tenant");
+        let p = core.route(&k);
+        for _ in 0..20 {
+            assert!(core.on_failure(p, &k, T0).is_none(), "no breakers: default");
+            match core.begin(&k, T0) {
+                RouterStep::Forward { solicit_hint, .. } => {
+                    assert!(!solicit_hint, "ablation must not solicit")
+                }
+                step => panic!("ablation never fast-fails, got {step:?}"),
+            }
+        }
+        assert!(!core.on_response(p, &k, &hinted(1, 10, 1)));
+        assert_eq!(core.hinted_keys(), 0);
+        assert_eq!(core.breaker_state(p, T0), None);
+    }
+
+    #[test]
+    fn failures_trip_breaker_then_requests_fast_fail_locally() {
+        let core = core(1, 3);
+        let k = key("tenant");
+        assert!(core.on_failure(0, &k, T0).is_none());
+        assert!(core.on_failure(0, &k, T0).is_none());
+        // Third consecutive failure trips the breaker: the failing
+        // request itself is answered locally (blind default here).
+        assert_eq!(
+            core.on_failure(0, &k, T0),
+            Some(LocalAnswer::Default(Verdict::Deny))
+        );
+        assert_eq!(core.breaker_state(0, T0), Some(BreakerState::Open));
+        assert_eq!(core.breaker_opens(0), Some(1));
+        assert!(core.all_breakers_open(T0));
+        match core.begin(&k, T0) {
+            RouterStep::FastFail { partition, answer } => {
+                assert_eq!(partition, 0);
+                assert_eq!(answer, LocalAnswer::Default(Verdict::Deny));
+            }
+            step => panic!("open breaker must fast-fail, got {step:?}"),
+        }
+    }
+
+    #[test]
+    fn degraded_bucket_enforces_learned_shape_across_brownout() {
+        let core = core(1, 1);
+        let k = key("tenant");
+        // Healthy exchange learns the shape: capacity 5, zero refill.
+        assert!(core.on_response(0, &k, &hinted(1, 5, 0)));
+        assert_eq!(core.hinted_keys(), 1);
+        // Partition dies; breaker trips on the first failure and the
+        // tripping request itself is served from the bucket (credit 1/5).
+        assert_eq!(
+            core.on_failure(0, &k, T0),
+            Some(LocalAnswer::Degraded(Verdict::Allow))
+        );
+        let mut allowed = 1;
+        for _ in 0..20 {
+            match core.local_answer(&k, T0) {
+                LocalAnswer::Degraded(Verdict::Allow) => allowed += 1,
+                LocalAnswer::Degraded(Verdict::Deny) => {}
+                LocalAnswer::Default(_) => panic!("shape was learned"),
+            }
+        }
+        assert_eq!(allowed, 5, "degraded bucket must enforce capacity");
+    }
+
+    #[test]
+    fn degraded_bucket_splits_shape_across_fleet() {
+        let core = RouterCore::new(RouterCoreConfig {
+            partitions: 1,
+            default_verdict: Verdict::Deny,
+            fleet_size: 4,
+            breaker: Some(BreakerConfig {
+                failure_threshold: 1,
+                open_timeout: Duration::from_secs(60),
+            }),
+        });
+        let k = key("shared");
+        assert!(core.on_response(0, &k, &hinted(1, 8, 0)));
+        let allowed = (0..10)
+            .filter(|_| core.local_answer(&k, T0).verdict() == Verdict::Allow)
+            .count();
+        assert_eq!(allowed, 2, "8 capacity / 4 nodes = 2 local");
+    }
+
+    #[test]
+    fn changed_hint_reseeds_the_degraded_bucket() {
+        let core = core(1, 1);
+        let k = key("tenant");
+        assert!(core.on_response(0, &k, &hinted(1, 2, 0)));
+        // Drain the old bucket dry.
+        assert_eq!(core.local_answer(&k, T0).verdict(), Verdict::Allow);
+        assert_eq!(core.local_answer(&k, T0).verdict(), Verdict::Allow);
+        assert_eq!(core.local_answer(&k, T0).verdict(), Verdict::Deny);
+        // Same shape again: not "learned", bucket untouched (still dry).
+        assert!(!core.on_response(0, &k, &hinted(2, 2, 0)));
+        assert_eq!(core.local_answer(&k, T0).verdict(), Verdict::Deny);
+        // A genuine rule update re-seeds at the new shape.
+        assert!(core.on_response(0, &k, &hinted(3, 4, 0)));
+        let allowed = (0..6)
+            .filter(|_| core.local_answer(&k, T0).verdict() == Verdict::Allow)
+            .count();
+        assert_eq!(allowed, 4, "rebuilt bucket seeds at the new capacity");
+    }
+
+    #[test]
+    fn open_breaker_probes_after_timeout_and_success_closes() {
+        let core = RouterCore::new(RouterCoreConfig {
+            partitions: 1,
+            default_verdict: Verdict::Deny,
+            fleet_size: 1,
+            breaker: Some(BreakerConfig {
+                failure_threshold: 1,
+                open_timeout: Duration::from_millis(250),
+            }),
+        });
+        let k = key("tenant");
+        assert!(core.on_failure(0, &k, T0).is_some());
+        assert!(matches!(core.begin(&k, T0), RouterStep::FastFail { .. }));
+        // Past the open window the next check is let through as a probe.
+        let later = T0.saturating_add(Duration::from_millis(300));
+        assert!(matches!(core.begin(&k, later), RouterStep::Forward { .. }));
+        // ...and only one: a second caller fast-fails while it is out.
+        assert!(matches!(core.begin(&k, later), RouterStep::FastFail { .. }));
+        core.on_response(0, &k, &QosResponse::new(9, Verdict::Allow));
+        assert_eq!(core.breaker_state(0, later), Some(BreakerState::Closed));
+        assert!(matches!(core.begin(&k, later), RouterStep::Forward { .. }));
+    }
+}

@@ -18,23 +18,22 @@
 //! master→slave failover reaches routers without reconfiguration; direct
 //! socket addresses are also accepted for simple deployments.
 
-use janus_bucket::LeakyBucket;
+use crate::core::{LocalAnswer, RouterCore, RouterCoreConfig, RouterStep};
 use janus_clock::SharedClock;
-use janus_hash::{ModuloRouter, Router as _};
-use janus_net::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+use janus_net::breaker::{BreakerConfig, BreakerState};
 use janus_net::dns::Resolver;
 use janus_net::fault::FaultPlan;
 use janus_net::http::{HttpHandler, HttpRequest, HttpResponse, HttpServer, StatusCode};
 use janus_net::udp::{UdpRpcClient, UdpRpcConfig};
 use janus_net::udp_pool::{BatchConfig, PooledUdpRpcClient};
-use janus_types::{JanusError, QosKey, QosRequest, QosResponse, Result, RuleHint, Verdict};
-use parking_lot::Mutex;
-use std::collections::HashMap;
+use janus_types::{JanusError, QosKey, QosRequest, QosResponse, Result, Verdict};
 use std::future::Future;
 use std::net::SocketAddr;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+pub mod core;
 
 /// How the router addresses one QoS server partition.
 #[derive(Debug, Clone)]
@@ -151,25 +150,16 @@ enum RpcBackend {
 }
 
 struct RouterHandler {
-    hash: ModuloRouter,
+    /// The sans-IO decision core: partition hashing, breakers, learned
+    /// hints and degraded buckets. The handler owns only the I/O halves —
+    /// resolution, the RPC transport, stats attribution.
+    core: RouterCore,
     backends: Vec<Backend>,
     resolver: Option<Arc<Resolver>>,
     rpc: RpcBackend,
-    default_verdict: Verdict,
     stats: Arc<RouterStats>,
     next_id: AtomicU64,
     clock: SharedClock,
-    fleet_size: usize,
-    /// One breaker per partition; empty when the feature is off.
-    breakers: Vec<CircuitBreaker>,
-    /// Rule shapes learned from hint-carrying responses, kept across
-    /// outages so degraded admission has something to enforce.
-    hints: Mutex<HashMap<QosKey, RuleHint>>,
-    /// Router-local buckets for degraded admission. A key's bucket is
-    /// created once (seeded full at the fleet-scaled shape) and persists
-    /// across outage episodes, so repeated brownouts never re-grant the
-    /// burst — over-admission stays bounded by one scaled capacity.
-    degraded: Mutex<HashMap<QosKey, LeakyBucket>>,
 }
 
 /// How a verdict was produced, for stats attribution.
@@ -183,16 +173,6 @@ enum Served {
 }
 
 impl RouterHandler {
-    fn breakers_enabled(&self) -> bool {
-        !self.breakers.is_empty()
-    }
-
-    /// True when every partition's breaker is currently fast-failing —
-    /// this node cannot reach any QoS state and should be drained.
-    fn all_breakers_open(&self) -> bool {
-        !self.breakers.is_empty() && self.breakers.iter().all(|b| b.is_open())
-    }
-
     fn resolve(&self, partition: usize) -> Result<SocketAddr> {
         match &self.backends[partition] {
             Backend::Direct(addr) => Ok(*addr),
@@ -206,49 +186,59 @@ impl RouterHandler {
     }
 
     async fn qos_check(&self, key: QosKey) -> Served {
-        let partition = self.hash.route(&key);
-        if self.breakers_enabled() {
-            match self.breakers[partition].try_acquire() {
-                Admission::FastFail => {
-                    self.stats
-                        .breaker_fast_fails
-                        .fetch_add(1, Ordering::Relaxed);
-                    return self.local_verdict(&key);
-                }
-                Admission::Allow | Admission::Probe => {}
+        let (partition, solicit_hint) = match self.core.begin(&key, self.clock.now()) {
+            RouterStep::FastFail { answer, .. } => {
+                self.stats
+                    .breaker_fast_fails
+                    .fetch_add(1, Ordering::Relaxed);
+                return self.serve_local(answer);
             }
-        }
+            RouterStep::Forward {
+                partition,
+                solicit_hint,
+            } => (partition, solicit_hint),
+        };
         let result = match self.resolve(partition) {
-            Ok(addr) => self.call_backend(addr, &key).await,
+            Ok(addr) => self.call_backend(addr, &key, solicit_hint).await,
             Err(e) => Err(e),
         };
         match result {
             Ok(response) => {
-                if self.breakers_enabled() {
-                    self.breakers[partition].record_success();
-                    if let Some(hint) = response.hint {
-                        self.learn_hint(&key, hint);
-                    }
+                if self.core.on_response(partition, &key, &response) {
+                    self.stats.hints_learned.fetch_add(1, Ordering::Relaxed);
                 }
                 Served::Backend(response.verdict)
             }
-            Err(_) => {
-                if self.breakers_enabled() {
-                    self.breakers[partition].record_failure();
-                    if self.breakers[partition].is_open() {
-                        return self.local_verdict(&key);
-                    }
-                }
-                Served::Default
+            Err(_) => match self.core.on_failure(partition, &key, self.clock.now()) {
+                Some(answer) => self.serve_local(answer),
+                None => Served::Default,
+            },
+        }
+    }
+
+    /// Attribute a core-produced local answer to the right counters.
+    fn serve_local(&self, answer: LocalAnswer) -> Served {
+        match answer {
+            LocalAnswer::Degraded(verdict) => {
+                match verdict {
+                    Verdict::Allow => self.stats.degraded_allowed.fetch_add(1, Ordering::Relaxed),
+                    Verdict::Deny => self.stats.degraded_denied.fetch_add(1, Ordering::Relaxed),
+                };
+                Served::Degraded(verdict)
             }
+            LocalAnswer::Default(_) => Served::Default,
         }
     }
 
     /// One UDP exchange. With breakers on, the first attempt solicits a
     /// rule hint (retries inside the client fall back to the plain
     /// frame, so hint-unaware servers cost at most one attempt).
-    async fn call_backend(&self, addr: SocketAddr, key: &QosKey) -> Result<QosResponse> {
-        let solicit = self.breakers_enabled();
+    async fn call_backend(
+        &self,
+        addr: SocketAddr,
+        key: &QosKey,
+        solicit: bool,
+    ) -> Result<QosResponse> {
         match &self.rpc {
             RpcBackend::PerRequest(rpc) => {
                 let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -267,43 +257,6 @@ impl RouterHandler {
                 }
             }
         }
-    }
-
-    /// Cache a hinted rule shape. A shape *change* drops the key's
-    /// degraded bucket so the next brownout rebuilds it with the new
-    /// rule (re-seeding only on a genuine rule update).
-    fn learn_hint(&self, key: &QosKey, hint: RuleHint) {
-        let mut hints = self.hints.lock();
-        let previous = hints.get(key).copied();
-        if previous == Some(hint) {
-            return;
-        }
-        hints.insert(key.clone(), hint);
-        self.stats.hints_learned.fetch_add(1, Ordering::Relaxed);
-        if previous.is_some() {
-            self.degraded.lock().remove(key);
-        }
-    }
-
-    /// Serve a verdict without the backend: the key's degraded bucket if
-    /// a rule shape was ever learned, the blind default otherwise.
-    fn local_verdict(&self, key: &QosKey) -> Served {
-        let hint = self.hints.lock().get(key).copied();
-        let Some(hint) = hint else {
-            return Served::Default;
-        };
-        let shape = hint.split_across(self.fleet_size);
-        let now = self.clock.now();
-        let mut buckets = self.degraded.lock();
-        let bucket = buckets
-            .entry(key.clone())
-            .or_insert_with(|| LeakyBucket::full(shape.capacity, shape.refill_rate, now));
-        let verdict = bucket.try_consume(now);
-        match verdict {
-            Verdict::Allow => self.stats.degraded_allowed.fetch_add(1, Ordering::Relaxed),
-            Verdict::Deny => self.stats.degraded_denied.fetch_add(1, Ordering::Relaxed),
-        };
-        Served::Degraded(verdict)
     }
 }
 
@@ -337,7 +290,7 @@ impl HttpHandler for RouterHandler {
                             // failed) and no learned rule: the default
                             // reply keeps the client unblocked (§III-B).
                             self.stats.defaulted.fetch_add(1, Ordering::Relaxed);
-                            self.default_verdict
+                            self.core.default_verdict()
                         }
                     };
                     HttpResponse::ok(verdict.to_string())
@@ -346,7 +299,7 @@ impl HttpHandler for RouterHandler {
                 // every breaker is open serves nothing but defaults, so
                 // it reports unhealthy and the LB drains it.
                 "/healthz" => {
-                    if self.all_breakers_open() {
+                    if self.core.all_breakers_open(self.clock.now()) {
                         HttpResponse::status(StatusCode::SERVICE_UNAVAILABLE)
                     } else {
                         HttpResponse::ok("ok")
@@ -395,25 +348,19 @@ impl RequestRouter {
         } else {
             RpcBackend::PerRequest(UdpRpcClient::new(udp))
         };
-        let breakers = match &config.breaker {
-            Some(breaker) => (0..partitions)
-                .map(|_| CircuitBreaker::new(*breaker))
-                .collect(),
-            None => Vec::new(),
-        };
         let handler = Arc::new(RouterHandler {
-            hash: ModuloRouter::new(partitions),
+            core: RouterCore::new(RouterCoreConfig {
+                partitions,
+                default_verdict: config.default_verdict,
+                fleet_size: config.fleet_size,
+                breaker: config.breaker,
+            }),
             backends: config.backends,
             resolver,
             rpc,
-            default_verdict: config.default_verdict,
             stats: Arc::clone(&stats),
             next_id: AtomicU64::new(rand_seed()),
             clock: janus_clock::system(),
-            fleet_size: config.fleet_size.max(1),
-            breakers,
-            hints: Mutex::new(HashMap::new()),
-            degraded: Mutex::new(HashMap::new()),
         });
         let http = HttpServer::spawn(Arc::clone(&handler)).await?;
         Ok(RequestRouter {
@@ -442,23 +389,27 @@ impl RequestRouter {
     /// Breaker state for `partition`; `None` when breakers are disabled
     /// or the partition index is out of range.
     pub fn breaker_state(&self, partition: usize) -> Option<BreakerState> {
-        self.handler.breakers.get(partition).map(|b| b.state())
+        self.handler
+            .core
+            .breaker_state(partition, self.handler.clock.now())
     }
 
     /// Times `partition`'s breaker has tripped open; `None` as above.
     pub fn breaker_opens(&self, partition: usize) -> Option<u64> {
-        self.handler.breakers.get(partition).map(|b| b.opens())
+        self.handler.core.breaker_opens(partition)
     }
 
     /// True when every partition's breaker is currently open (the
     /// condition under which `/healthz` reports 503).
     pub fn all_breakers_open(&self) -> bool {
-        self.handler.all_breakers_open()
+        self.handler
+            .core
+            .all_breakers_open(self.handler.clock.now())
     }
 
     /// Keys with a learned rule hint (diagnostics).
     pub fn hinted_keys(&self) -> usize {
-        self.handler.hints.lock().len()
+        self.handler.core.hinted_keys()
     }
 
     /// Stop accepting requests.
@@ -519,6 +470,7 @@ pub fn parse_qos_response(response: &HttpResponse) -> Result<Verdict> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use janus_hash::{ModuloRouter, Router as _};
     use janus_net::http::HttpClient;
     use janus_server::{QosServer, QosServerConfig};
     use janus_types::QosRule;

@@ -3,7 +3,6 @@
 use janus_bucket::DefaultRulePolicy;
 use janus_db::DbClient;
 use janus_net::dns::Resolver;
-use janus_types::Verdict;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
@@ -99,49 +98,12 @@ pub enum DispatchMode {
     SharedFifo,
 }
 
-/// Overload-control tunables: staleness shedding, the sojourn governor
-/// and duplicate suppression. Every mechanism here applies only to
-/// deadline-stamped requests (wire kind `0x06`); legacy frames keep the
-/// paper's semantics — queue, decide, charge on every attempt.
-#[derive(Debug, Clone)]
-pub struct OverloadConfig {
-    /// Queue sojourn a request may accumulate before the governor calls
-    /// the queue "standing" (CoDel's `target`).
-    pub sojourn_target: Duration,
-    /// How long sojourns must stay above target before shedding starts
-    /// (CoDel's `interval`): a full window in which even the *fastest*
-    /// dequeue sat above target.
-    pub sojourn_window: Duration,
-    /// Run the sojourn governor at all. Off leaves FIFO-full as the only
-    /// non-staleness shed trigger (the paper's behaviour).
-    pub sojourn_shedding: bool,
-    /// Nonces the duplicate-suppression window remembers. 0 disables
-    /// dedup entirely (every duplicate charges the bucket, as before).
-    pub dedup_window: usize,
-    /// The verdict a shed reply carries. `Deny` is the safe default: a
-    /// shed request never consumes credit, so admission may undercount
-    /// but never oversell.
-    pub shed_verdict: Verdict,
-    /// Answer sheds (FIFO-full and sojourn) with `shed_verdict` when the
-    /// request still has deadline budget, instead of dropping silently
-    /// and letting the router burn its whole retry schedule against a
-    /// queue that will shed every copy. Legacy frames are always dropped
-    /// silently — old routers expect today's semantics.
-    pub shed_replies: bool,
-}
-
-impl Default for OverloadConfig {
-    fn default() -> Self {
-        OverloadConfig {
-            sojourn_target: Duration::from_micros(500),
-            sojourn_window: Duration::from_millis(10),
-            sojourn_shedding: true,
-            dedup_window: 4096,
-            shed_verdict: Verdict::Deny,
-            shed_replies: true,
-        }
-    }
-}
+// The overload-control tunables live with the mechanisms they tune —
+// and with the sans-IO cores that consume them — so the std-only
+// simulator can build them without pulling in this (tokio-facing)
+// config module. Re-exported here because this is where they always
+// lived publicly.
+pub use crate::overload::OverloadConfig;
 
 /// Tunables for one QoS server node.
 #[derive(Debug, Clone)]

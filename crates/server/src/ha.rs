@@ -14,9 +14,9 @@
 //! master:  SNAPSHOT <n>\n  followed by n rule rows
 //! ```
 
+use crate::core::{decode_snapshot_header, encode_snapshot};
 use janus_bucket::QosTable;
 use janus_clock::SharedClock;
-use janus_db::server::{format_rule_row, parse_rule_row};
 use janus_types::{JanusError, QosRule, Result};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,12 +68,7 @@ async fn serve_ha_connection(
         }
         match line.trim_end() {
             "SNAPSHOT" => {
-                let snapshot = table.snapshot(clock.now());
-                let mut out = format!("SNAPSHOT {}\n", snapshot.len());
-                for rule in &snapshot {
-                    out.push_str(&format_rule_row(rule));
-                    out.push('\n');
-                }
+                let out = encode_snapshot(&table.snapshot(clock.now()));
                 reader.get_mut().write_all(out.as_bytes()).await?;
             }
             // Health probes just connect and close; tolerate anything else.
@@ -94,10 +89,7 @@ pub async fn fetch_snapshot(master_ha: SocketAddr) -> Result<Vec<QosRule>> {
     if reader.read_line(&mut header).await? == 0 {
         return Err(JanusError::state("master closed during snapshot"));
     }
-    let n: usize = header
-        .trim_end()
-        .strip_prefix("SNAPSHOT ")
-        .and_then(|s| s.parse().ok())
+    let n = decode_snapshot_header(header.trim_end())
         .ok_or_else(|| JanusError::state(format!("bad snapshot header {header:?}")))?;
     let mut rules = Vec::with_capacity(n);
     for _ in 0..n {
@@ -105,7 +97,7 @@ pub async fn fetch_snapshot(master_ha: SocketAddr) -> Result<Vec<QosRule>> {
         if reader.read_line(&mut row).await? == 0 {
             return Err(JanusError::state("master closed mid-snapshot"));
         }
-        rules.push(parse_rule_row(row.trim_end_matches(['\r', '\n']))?);
+        rules.push(QosRule::parse_row(row.trim_end_matches(['\r', '\n']))?);
     }
     Ok(rules)
 }

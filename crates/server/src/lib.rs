@@ -45,14 +45,16 @@
 //! entirely, with optional `SO_BUSY_POLL` and core pinning.
 
 mod config;
+pub mod core;
 mod ha;
 mod overload;
 mod percore;
 mod server;
 
-pub use config::{
-    DbTarget, DispatchMode, OverloadConfig, QosServerConfig, SocketMode, TableKind,
+pub use crate::core::{
+    IngressCore, IngressDecision, ServerCore, ServerCoreStats, WorkerCore, WorkerTriage,
 };
+pub use config::{DbTarget, DispatchMode, OverloadConfig, QosServerConfig, SocketMode, TableKind};
 pub use ha::{fetch_snapshot, SlaveReplicator};
 pub use overload::{DedupOutcome, DedupWindow, SojournGovernor};
 pub use server::{QosServer, ServerStats, ServerStatsSnapshot};

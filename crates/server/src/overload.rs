@@ -15,17 +15,65 @@
 //!   nonce of a deadline-stamped request to its (key, verdict). Retries
 //!   and duplicated datagrams carry the same nonce, so a hit answers from
 //!   the cached verdict instead of charging the leaky bucket twice —
-//!   admission stays credit-exact under at-least-once delivery.
+//!   admission stays credit-exact under at-least-once delivery. The
+//!   window also keeps a request-id index so the *legacy-downgraded*
+//!   final attempt of a stamped logical request (which carries no nonce)
+//!   still finds its cached verdict — closing the dedup bypass noted in
+//!   DESIGN.md §4c.
 //!
-//! Both apply only to deadline-stamped requests (wire kind `0x06`): a
-//! legacy frame has neither a budget nor a nonce, and keeps the paper's
-//! charge-on-every-attempt semantics untouched.
+//! Shedding and nonce dedup apply only to deadline-stamped requests
+//! (wire kind `0x06`); a pure-legacy frame (one whose request id the
+//! window has never tracked) keeps the paper's charge-on-every-attempt
+//! semantics untouched.
 
 use janus_clock::Nanos;
-use janus_types::{QosKey, Verdict};
-use std::collections::hash_map::Entry;
+use janus_types::{QosKey, RequestId, Verdict};
 use std::collections::{HashMap, VecDeque};
 use std::time::Duration;
+
+/// Overload-control tunables: staleness shedding, the sojourn governor
+/// and duplicate suppression. Every mechanism here applies only to
+/// deadline-stamped requests (wire kind `0x06`); legacy frames keep the
+/// paper's semantics — queue, decide, charge on every attempt.
+#[derive(Debug, Clone)]
+pub struct OverloadConfig {
+    /// Queue sojourn a request may accumulate before the governor calls
+    /// the queue "standing" (CoDel's `target`).
+    pub sojourn_target: Duration,
+    /// How long sojourns must stay above target before shedding starts
+    /// (CoDel's `interval`): a full window in which even the *fastest*
+    /// dequeue sat above target.
+    pub sojourn_window: Duration,
+    /// Run the sojourn governor at all. Off leaves FIFO-full as the only
+    /// non-staleness shed trigger (the paper's behaviour).
+    pub sojourn_shedding: bool,
+    /// Nonces the duplicate-suppression window remembers. 0 disables
+    /// dedup entirely (every duplicate charges the bucket, as before).
+    pub dedup_window: usize,
+    /// The verdict a shed reply carries. `Deny` is the safe default: a
+    /// shed request never consumes credit, so admission may undercount
+    /// but never oversell.
+    pub shed_verdict: Verdict,
+    /// Answer sheds (FIFO-full and sojourn) with `shed_verdict` when the
+    /// request still has deadline budget, instead of dropping silently
+    /// and letting the router burn its whole retry schedule against a
+    /// queue that will shed every copy. Legacy frames are always dropped
+    /// silently — old routers expect today's semantics.
+    pub shed_replies: bool,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            sojourn_target: Duration::from_micros(500),
+            sojourn_window: Duration::from_millis(10),
+            sojourn_shedding: true,
+            dedup_window: 4096,
+            shed_verdict: Verdict::Deny,
+            shed_replies: true,
+        }
+    }
+}
 
 /// CoDel-style standing-queue detector fed with per-request sojourn
 /// times (see module docs). One instance per worker: the signal is local
@@ -89,6 +137,16 @@ pub enum DedupOutcome {
     Done(Verdict),
 }
 
+/// One tracked logical request: the key it charges, the router-side
+/// request id every attempt (including the legacy-downgraded final one)
+/// shares, and the verdict once decided.
+#[derive(Debug)]
+struct DedupEntry {
+    key: QosKey,
+    id: RequestId,
+    verdict: Option<Verdict>,
+}
+
 /// A bounded insertion-ordered map of recently seen attempt nonces (see
 /// module docs). Eviction is FIFO: once `capacity` nonces are tracked,
 /// the oldest is forgotten — an evicted nonce's late duplicate is then
@@ -97,7 +155,13 @@ pub enum DedupOutcome {
 #[derive(Debug)]
 pub struct DedupWindow {
     capacity: usize,
-    entries: HashMap<u32, (QosKey, Option<Verdict>)>,
+    entries: HashMap<u32, DedupEntry>,
+    /// Secondary index: request id → nonce. The final attempt of a
+    /// stamped schedule downgrades to a legacy frame (no nonce), but it
+    /// reuses the logical request id — this index lets
+    /// [`lookup_legacy`](Self::lookup_legacy) find the cached verdict
+    /// anyway, so the deadline-blind downgrade cannot double-charge.
+    by_id: HashMap<RequestId, u32>,
     order: VecDeque<u32>,
 }
 
@@ -108,6 +172,7 @@ impl DedupWindow {
         DedupWindow {
             capacity,
             entries: HashMap::with_capacity(capacity),
+            by_id: HashMap::with_capacity(capacity),
             order: VecDeque::with_capacity(capacity),
         }
     }
@@ -119,39 +184,73 @@ impl DedupWindow {
     /// verdict.
     pub fn lookup(&self, nonce: u32, key: &QosKey) -> DedupOutcome {
         match self.entries.get(&nonce) {
-            Some((stored, _)) if stored != key => DedupOutcome::Miss,
-            Some((_, Some(verdict))) => DedupOutcome::Done(*verdict),
-            Some((_, None)) => DedupOutcome::Pending,
+            Some(entry) if entry.key != *key => DedupOutcome::Miss,
+            Some(entry) => match entry.verdict {
+                Some(verdict) => DedupOutcome::Done(verdict),
+                None => DedupOutcome::Pending,
+            },
             None => DedupOutcome::Miss,
         }
     }
 
+    /// Look up a *legacy* frame (no attempt metadata) by its request id.
+    /// Hits only when a stamped attempt of the same logical request —
+    /// same id *and* same key — is tracked: the deadline-blind final
+    /// attempt of a stamped schedule then reuses the cached verdict
+    /// instead of charging the bucket a second time (DESIGN.md §4c).
+    /// Frames from genuinely legacy routers were never inserted, so they
+    /// miss and keep the paper's semantics.
+    pub fn lookup_legacy(&self, id: RequestId, key: &QosKey) -> DedupOutcome {
+        match self
+            .by_id
+            .get(&id)
+            .and_then(|nonce| self.entries.get(nonce))
+        {
+            Some(entry) if entry.key == *key => match entry.verdict {
+                Some(verdict) => DedupOutcome::Done(verdict),
+                None => DedupOutcome::Pending,
+            },
+            _ => DedupOutcome::Miss,
+        }
+    }
+
     /// Start tracking `nonce` as in-flight (call after the request is
-    /// successfully queued). A colliding entry is overwritten — the newer
-    /// request wins the slot.
-    pub fn insert_pending(&mut self, nonce: u32, key: QosKey) {
-        match self.entries.entry(nonce) {
-            Entry::Occupied(mut slot) => {
-                slot.insert((key, None));
+    /// successfully queued), remembering `id` so the legacy-downgraded
+    /// final attempt can still find the entry. A colliding entry is
+    /// overwritten — the newer request wins the slot.
+    pub fn insert_pending(&mut self, nonce: u32, id: RequestId, key: QosKey) {
+        let entry = DedupEntry {
+            key,
+            id,
+            verdict: None,
+        };
+        if let Some(old) = self.entries.insert(nonce, entry) {
+            // Nonce collision overwrite: the slot keeps its FIFO
+            // position; drop the loser's reverse mapping.
+            if self.by_id.get(&old.id) == Some(&nonce) {
+                self.by_id.remove(&old.id);
             }
-            Entry::Vacant(slot) => {
-                if self.order.len() >= self.capacity {
-                    if let Some(evicted) = self.order.pop_front() {
-                        self.entries.remove(&evicted);
+        } else {
+            if self.order.len() >= self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    if let Some(old) = self.entries.remove(&evicted) {
+                        if self.by_id.get(&old.id) == Some(&evicted) {
+                            self.by_id.remove(&old.id);
+                        }
                     }
                 }
-                slot.insert((key, None));
-                self.order.push_back(nonce);
             }
+            self.order.push_back(nonce);
         }
+        self.by_id.insert(id, nonce);
     }
 
     /// Record the decided verdict for `nonce`. A no-op if the entry was
     /// evicted meanwhile or the slot now belongs to a different key.
     pub fn record(&mut self, nonce: u32, key: &QosKey, verdict: Verdict) {
-        if let Some((stored, slot)) = self.entries.get_mut(&nonce) {
-            if stored == key {
-                *slot = Some(verdict);
+        if let Some(entry) = self.entries.get_mut(&nonce) {
+            if entry.key == *key {
+                entry.verdict = Some(verdict);
             }
         }
     }
@@ -225,7 +324,7 @@ mod tests {
         let mut w = DedupWindow::new(8);
         let k = key("tenant");
         assert_eq!(w.lookup(7, &k), DedupOutcome::Miss);
-        w.insert_pending(7, k.clone());
+        w.insert_pending(7, 700, k.clone());
         assert_eq!(w.lookup(7, &k), DedupOutcome::Pending);
         w.record(7, &k, Verdict::Allow);
         assert_eq!(w.lookup(7, &k), DedupOutcome::Done(Verdict::Allow));
@@ -234,7 +333,7 @@ mod tests {
     #[test]
     fn dedup_nonce_collision_across_keys_is_a_miss() {
         let mut w = DedupWindow::new(8);
-        w.insert_pending(7, key("alice"));
+        w.insert_pending(7, 700, key("alice"));
         w.record(7, &key("alice"), Verdict::Deny);
         // Another logical request drew the same nonce for a different
         // key: it must not inherit alice's verdict.
@@ -246,7 +345,7 @@ mod tests {
             DedupOutcome::Done(Verdict::Deny)
         );
         // ...but re-inserting hands the newer request the slot.
-        w.insert_pending(7, key("bob"));
+        w.insert_pending(7, 701, key("bob"));
         assert_eq!(w.lookup(7, &key("alice")), DedupOutcome::Miss);
         assert_eq!(w.lookup(7, &key("bob")), DedupOutcome::Pending);
     }
@@ -255,10 +354,10 @@ mod tests {
     fn dedup_evicts_oldest_at_capacity() {
         let mut w = DedupWindow::new(3);
         for nonce in 0..3u32 {
-            w.insert_pending(nonce, key("k"));
+            w.insert_pending(nonce, u64::from(nonce) + 100, key("k"));
         }
         assert_eq!(w.len(), 3);
-        w.insert_pending(3, key("k"));
+        w.insert_pending(3, 103, key("k"));
         assert_eq!(w.len(), 3, "capacity is a hard bound");
         assert_eq!(w.lookup(0, &key("k")), DedupOutcome::Miss, "oldest evicted");
         assert_eq!(w.lookup(3, &key("k")), DedupOutcome::Pending);
@@ -267,8 +366,41 @@ mod tests {
     #[test]
     fn dedup_zero_capacity_is_clamped() {
         let mut w = DedupWindow::new(0);
-        w.insert_pending(1, key("k"));
+        w.insert_pending(1, 100, key("k"));
         assert_eq!(w.lookup(1, &key("k")), DedupOutcome::Pending);
         assert!(!w.is_empty());
+    }
+
+    #[test]
+    fn legacy_lookup_finds_entry_by_request_id() {
+        let mut w = DedupWindow::new(8);
+        let k = key("tenant");
+        // Unknown id: a genuinely legacy frame keeps missing.
+        assert_eq!(w.lookup_legacy(900, &k), DedupOutcome::Miss);
+        w.insert_pending(42, 900, k.clone());
+        // The stamped copy is in flight; its legacy-downgraded final
+        // attempt (same id, no nonce) must be absorbed, not re-queued.
+        assert_eq!(w.lookup_legacy(900, &k), DedupOutcome::Pending);
+        w.record(42, &k, Verdict::Allow);
+        // Once decided, the legacy copy gets the cached verdict — no
+        // second charge (DESIGN.md §4c).
+        assert_eq!(w.lookup_legacy(900, &k), DedupOutcome::Done(Verdict::Allow));
+        // Same id under another key is an id collision, not a duplicate.
+        assert_eq!(w.lookup_legacy(900, &key("other")), DedupOutcome::Miss);
+    }
+
+    #[test]
+    fn legacy_index_follows_eviction_and_overwrite() {
+        let mut w = DedupWindow::new(2);
+        w.insert_pending(1, 100, key("a"));
+        w.insert_pending(2, 200, key("b"));
+        // Evicting nonce 1 must also drop its id mapping.
+        w.insert_pending(3, 300, key("c"));
+        assert_eq!(w.lookup_legacy(100, &key("a")), DedupOutcome::Miss);
+        assert_eq!(w.lookup_legacy(200, &key("b")), DedupOutcome::Pending);
+        // A nonce-collision overwrite rebinds the slot and the index.
+        w.insert_pending(2, 201, key("b2"));
+        assert_eq!(w.lookup_legacy(200, &key("b")), DedupOutcome::Miss);
+        assert_eq!(w.lookup_legacy(201, &key("b2")), DedupOutcome::Pending);
     }
 }

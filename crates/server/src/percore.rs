@@ -29,8 +29,8 @@
 //! because [`janus_net::mmsg::reuseport_socket`] is a stub off-Linux.
 
 use crate::config::{DbTarget, QosServerConfig};
-use crate::overload::DedupOutcome;
-use crate::server::{budget_of, decide, respond, GuestKeys, ServerStats, SharedDedup};
+use crate::core::{self, IngressCore, IngressDecision};
+use crate::server::{decide, respond, GuestKeys, ServerStats, SharedDedup};
 use janus_bucket::QosTable;
 use janus_clock::SharedClock;
 use janus_db::DbClient;
@@ -62,6 +62,7 @@ pub(crate) struct PerCoreCtx {
     pub default_policy: janus_bucket::DefaultRulePolicy,
     pub guest_keys: GuestKeys,
     pub db_fetch_timeout: Duration,
+    pub core: IngressCore,
     pub dedup: Option<SharedDedup>,
     pub faults: Arc<FaultPlan>,
 }
@@ -170,9 +171,12 @@ fn worker_loop(
     }
 }
 
-/// The inline equivalent of ingress triage + worker decision: zero-budget
-/// shed, dedup lookup, decide, verdict recording, post-decision staleness.
-/// Returns the response to send, or `None` for the silent-shed paths.
+/// The inline equivalent of ingress triage + worker decision, driven by
+/// the same sans-IO [`IngressCore`] as the async plane: zero-budget shed,
+/// dedup lookup (nonce for stamped frames, request id for the
+/// legacy-downgraded final attempt), decide, verdict recording,
+/// post-decision staleness. Returns the response to send, or `None` for
+/// the silent-shed paths.
 fn handle_request(
     ctx: &PerCoreCtx,
     db: &mut Option<DbClient>,
@@ -180,30 +184,28 @@ fn handle_request(
     request: QosRequest,
 ) -> Option<QosResponse> {
     let arrived = ctx.clock.now();
-    if let Some(meta) = request.attempt {
-        if meta.budget_us == 0 {
-            ctx.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        if let Some(dedup) = &ctx.dedup {
-            let outcome = dedup.lock().lookup(meta.nonce, &request.key);
-            match outcome {
-                DedupOutcome::Done(verdict) => {
-                    ctx.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                    return Some(respond(&ctx.table, &request, verdict));
-                }
-                DedupOutcome::Pending => {
-                    // A duplicate of an attempt this plane is already
-                    // deciding (it must have raced here via another
-                    // client socket); the first copy's response answers
-                    // every attempt.
-                    ctx.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                    return None;
-                }
-                DedupOutcome::Miss => {
-                    dedup.lock().insert_pending(meta.nonce, request.key.clone());
-                }
+    {
+        let mut guard = ctx.dedup.as_ref().map(|dedup| dedup.lock());
+        match ctx.core.triage(&request, guard.as_deref_mut()) {
+            IngressDecision::ShedExpired => {
+                ctx.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
+                return None;
             }
+            IngressDecision::AnswerCached(verdict) => {
+                ctx.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return Some(respond(&ctx.table, &request, verdict));
+            }
+            IngressDecision::AbsorbDuplicate => {
+                // A duplicate of an attempt this plane is already
+                // deciding (it must have raced here via another client
+                // socket); the first copy's response answers every
+                // attempt.
+                ctx.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            // There is no queue on this plane, so "admitted" means
+            // "decided inline right now" — mark it pending immediately.
+            IngressDecision::Admit => ctx.core.admitted(&request, guard.as_deref_mut()),
         }
     }
     // The decision path may await a DB fetch; hop back onto the runtime
@@ -220,17 +222,15 @@ fn handle_request(
         ctx.db_fetch_timeout,
     ));
     ctx.stats.answered.fetch_add(1, Ordering::Relaxed);
-    if let (Some(meta), Some(dedup)) = (request.attempt, &ctx.dedup) {
-        dedup.lock().record(meta.nonce, &request.key, verdict);
+    if let Some(dedup) = &ctx.dedup {
+        core::record_verdict(&request, &mut dedup.lock(), verdict);
     }
     // Post-decision staleness: a first-sighting DB fetch may have eaten
     // the budget. The charge stands and the verdict is cached, so a
     // retry gets the cached verdict, never a second charge.
-    if let Some(budget) = budget_of(&request) {
-        if ctx.clock.now().saturating_since(arrived) >= budget {
-            ctx.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
+    if core::expired_before_send(&request, ctx.clock.now().saturating_since(arrived)) {
+        ctx.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
+        return None;
     }
     Some(respond(&ctx.table, &request, verdict))
 }

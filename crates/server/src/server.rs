@@ -10,9 +10,12 @@
 //!   the worker drains its queue, decides the batch, and coalesces
 //!   responses to the same peer into one batched datagram.
 
-use crate::config::{DbTarget, DispatchMode, OverloadConfig, QosServerConfig, SocketMode, TableKind};
+use crate::config::{
+    DbTarget, DispatchMode, OverloadConfig, QosServerConfig, SocketMode, TableKind,
+};
+use crate::core::{self, IngressCore, IngressDecision, WorkerCore, WorkerTriage};
 use crate::ha;
-use crate::overload::{DedupOutcome, DedupWindow, SojournGovernor};
+use crate::overload::DedupWindow;
 use crate::percore;
 use janus_bucket::{
     worker_affinity, LockFreeTable, PartitionedTable, QosTable, ShardedTable, SyncTable,
@@ -22,7 +25,7 @@ use janus_db::DbClient;
 use janus_net::buffer_pool::BufferPool;
 use janus_net::fault::FaultPlan;
 use janus_net::udp::UdpServerSocket;
-use janus_types::{QosKey, QosRequest, QosResponse, Result, RuleHint, Verdict};
+use janus_types::{QosKey, QosRequest, QosResponse, Result, Verdict};
 use janus_workload::Histogram;
 use std::collections::HashSet;
 use std::net::SocketAddr;
@@ -62,12 +65,11 @@ struct Job {
     enqueued_at: Nanos,
 }
 
-/// The remaining deadline a stamped request arrived with.
-pub(crate) fn budget_of(request: &QosRequest) -> Option<Duration> {
-    request
-        .attempt
-        .map(|meta| Duration::from_micros(u64::from(meta.budget_us)))
-}
+// The pure halves of this data plane — budget extraction, response
+// shaping, dedup bookkeeping, triage — live in the sans-IO core module
+// so the simulator drives the same code; re-exported for the sibling
+// planes that import them from here.
+pub(crate) use crate::core::{budget_of, respond};
 
 /// Counters exported by a running QoS server.
 #[derive(Debug, Default)]
@@ -314,6 +316,7 @@ impl QosServer {
                     default_policy: config.default_policy.clone(),
                     guest_keys: Arc::clone(&guest_keys),
                     db_fetch_timeout: config.db_fetch_timeout,
+                    core: IngressCore::new(overload.clone()),
                     dedup,
                     faults: Arc::clone(&faults),
                 },
@@ -361,7 +364,7 @@ impl QosServer {
                             stats: Arc::clone(&stats),
                             clock: Arc::clone(&clock),
                             table: Arc::clone(&table),
-                            overload: overload.clone(),
+                            core: IngressCore::new(overload.clone()),
                             dedup,
                             queues: senders,
                         },
@@ -378,7 +381,7 @@ impl QosServer {
                             stats: Arc::clone(&stats),
                             clock: Arc::clone(&clock),
                             table: Arc::clone(&table),
-                            overload: overload.clone(),
+                            core: IngressCore::new(overload.clone()),
                             dedup,
                             queues: vec![fifo_tx],
                         },
@@ -497,55 +500,48 @@ struct WorkerCtx {
 }
 
 impl WorkerCtx {
-    /// A fresh per-worker governor, if sojourn shedding is on. The signal
-    /// is local to the queue the worker drains, so governors are never
-    /// shared.
-    fn governor(&self) -> Option<SojournGovernor> {
-        self.overload.sojourn_shedding.then(|| {
-            SojournGovernor::new(self.overload.sojourn_target, self.overload.sojourn_window)
-        })
+    /// A fresh per-worker sans-IO core (its governor's sojourn signal is
+    /// local to the queue the worker drains, so cores are never shared).
+    fn worker_core(&self) -> WorkerCore {
+        WorkerCore::new(self.overload.clone())
     }
 
-    /// Dequeue-time triage: record the sojourn, then shed the job if its
-    /// deadline budget is already spent or the governor says the queue is
-    /// standing. Returns the job when it should be decided. Legacy frames
-    /// (no attempt metadata) pass straight through — paper semantics.
-    async fn triage(&self, job: Job, governor: Option<&mut SojournGovernor>) -> Option<Job> {
+    /// Dequeue-time triage: record the sojourn, ask the sans-IO core
+    /// what to do, then perform the I/O half (counters and shed
+    /// replies). Returns the job when it should be decided.
+    async fn triage(&self, job: Job, core: &mut WorkerCore) -> Option<Job> {
         let now = self.clock.now();
         let sojourn = now.saturating_since(job.enqueued_at);
         self.stats.sojourn.lock().record_duration(sojourn);
-        let Some(budget) = budget_of(&job.request) else {
-            return Some(job);
-        };
-        if sojourn >= budget {
-            // The router's deadline passed while the job sat queued:
-            // nobody is waiting for this answer. Silent by design — the
-            // dedup entry stays Pending, so a late duplicate of the same
-            // attempt is absorbed without a charge too.
-            self.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        if let Some(governor) = governor {
-            let standing = governor.observe(sojourn, now);
-            // Gate the verdict on real backlog: an idle queue's sojourn
-            // is scheduler noise, not a standing queue.
-            if standing && self.stats.fifo_depth.load(Ordering::Relaxed) > 0 {
+        // Gate the governor's verdict on real backlog: an idle queue's
+        // sojourn is scheduler noise, not a standing queue.
+        let backlog = self.stats.fifo_depth.load(Ordering::Relaxed);
+        match core.triage(&job.request, sojourn, now, backlog) {
+            WorkerTriage::Decide => Some(job),
+            WorkerTriage::ShedExpired => {
+                // The router's deadline passed while the job sat queued:
+                // nobody is waiting for this answer. Silent by design —
+                // the dedup entry stays Pending, so a late duplicate of
+                // the same attempt is absorbed without a charge too.
+                self.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            WorkerTriage::ShedStanding => {
                 self.stats.shed_sojourn.fetch_add(1, Ordering::Relaxed);
-                if self.overload.shed_replies {
-                    let response = respond(&self.table, &job.request, self.overload.shed_verdict);
+                if let Some(verdict) = core.shed_reply(&job.request) {
+                    let response = respond(&self.table, &job.request, verdict);
                     let _ = self.socket.send_response(&response, job.peer).await;
                 }
-                return None;
+                None
             }
         }
-        Some(job)
     }
 
     /// Cache the decided verdict under the job's attempt nonce so a late
     /// duplicate is answered without a second charge.
     fn record_verdict(&self, job: &Job, verdict: Verdict) {
-        if let (Some(meta), Some(dedup)) = (job.request.attempt, &self.dedup) {
-            dedup.lock().record(meta.nonce, &job.request.key, verdict);
+        if let Some(dedup) = &self.dedup {
+            core::record_verdict(&job.request, &mut dedup.lock(), verdict);
         }
     }
 
@@ -555,10 +551,8 @@ impl WorkerCtx {
     /// verdict is cached, so a retry gets the cached verdict rather than
     /// a second charge.
     fn expired_before_send(&self, job: &Job) -> bool {
-        let Some(budget) = budget_of(&job.request) else {
-            return false;
-        };
-        let expired = self.clock.now().saturating_since(job.enqueued_at) >= budget;
+        let waited = self.clock.now().saturating_since(job.enqueued_at);
+        let expired = core::expired_before_send(&job.request, waited);
         if expired {
             self.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
         }
@@ -569,7 +563,7 @@ impl WorkerCtx {
 fn spawn_worker(ctx: WorkerCtx, fifo: Arc<Mutex<mpsc::Receiver<Job>>>) {
     tokio::spawn(async move {
         let mut db: Option<DbClient> = None;
-        let mut governor = ctx.governor();
+        let mut worker = ctx.worker_core();
         loop {
             let item = {
                 let mut rx = fifo.lock().await;
@@ -577,7 +571,7 @@ fn spawn_worker(ctx: WorkerCtx, fifo: Arc<Mutex<mpsc::Receiver<Job>>>) {
             };
             let Some(job) = item else { return };
             ctx.stats.fifo_depth.fetch_sub(1, Ordering::Relaxed);
-            let Some(job) = ctx.triage(job, governor.as_mut()).await else {
+            let Some(job) = ctx.triage(job, &mut worker).await else {
                 continue;
             };
             let verdict = decide(
@@ -603,80 +597,62 @@ fn spawn_worker(ctx: WorkerCtx, fifo: Arc<Mutex<mpsc::Receiver<Job>>>) {
     });
 }
 
-/// Build the response for `request`, attaching the rule shape when the
-/// request solicited a hint. `decide` has already installed a bucket for
-/// the key (DB rule or default policy), so the shape is normally present;
-/// a concurrent `remove` simply yields a plain response, which soliciting
-/// clients must tolerate anyway.
-pub(crate) fn respond(
-    table: &Arc<dyn QosTable>,
-    request: &QosRequest,
-    verdict: Verdict,
-) -> QosResponse {
-    let response = QosResponse::new(request.id, verdict);
-    if !request.solicit_hint {
-        return response;
-    }
-    match table.shape(&request.key) {
-        Some((capacity, refill_rate)) => response.with_hint(RuleHint::new(capacity, refill_rate)),
-        None => response,
-    }
-}
-
 /// Everything the ingress listener needs: the worker queues plus the
-/// overload machinery consulted *before* a request is queued.
+/// sans-IO triage core consulted *before* a request is queued.
 struct IngressCtx {
     socket: Arc<UdpServerSocket>,
     stats: Arc<ServerStats>,
     clock: SharedClock,
     table: Arc<dyn QosTable>,
-    overload: OverloadConfig,
+    core: IngressCore,
     dedup: Option<SharedDedup>,
     queues: Vec<mpsc::Sender<Job>>,
 }
 
 impl IngressCtx {
-    /// Triage one datagram and (usually) queue it:
+    /// Triage one datagram through the sans-IO [`IngressCore`] and
+    /// perform the I/O half of its decision:
     ///
     /// 1. a stamped request whose budget arrived as zero is already dead
     ///    — shed silently, nobody is waiting;
-    /// 2. a duplicate nonce is answered from the dedup window (cached
-    ///    verdict, or silent drop while the first copy is in flight);
+    /// 2. a duplicate (by attempt nonce, or by request id for the
+    ///    legacy-downgraded final attempt) is answered from the dedup
+    ///    window — cached verdict, or silent drop while the first copy
+    ///    is in flight;
     /// 3. otherwise hand it to `CRC32(key) % workers` (one shared queue
     ///    degenerates to index 0), shedding when that queue is full. A
     ///    stamped shed gets the configured shed verdict back instead of
     ///    the silent drop legacy frames keep — the router stops burning
     ///    retries against a queue that would shed every copy.
     async fn ingress(&self, request: QosRequest, peer: SocketAddr) {
-        if let Some(meta) = request.attempt {
-            if meta.budget_us == 0 {
+        let decision = {
+            let mut guard = self.dedup.as_ref().map(|dedup| dedup.lock());
+            self.core.triage(&request, guard.as_deref_mut())
+        };
+        match decision {
+            IngressDecision::ShedExpired => {
                 self.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
                 return;
             }
-            if let Some(dedup) = &self.dedup {
-                let outcome = dedup.lock().lookup(meta.nonce, &request.key);
-                match outcome {
-                    DedupOutcome::Done(verdict) => {
-                        self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                        let response = respond(&self.table, &request, verdict);
-                        let _ = self.socket.send_response(&response, peer).await;
-                        return;
-                    }
-                    DedupOutcome::Pending => {
-                        // The first copy is queued; retries reuse the
-                        // request id, so its response answers every
-                        // attempt.
-                        self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    }
-                    DedupOutcome::Miss => {}
-                }
+            IngressDecision::AnswerCached(verdict) => {
+                self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                let response = respond(&self.table, &request, verdict);
+                let _ = self.socket.send_response(&response, peer).await;
+                return;
             }
+            IngressDecision::AbsorbDuplicate => {
+                // The first copy is queued; retries reuse the request
+                // id, so its response answers every attempt.
+                self.stats.dedup_hits.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            IngressDecision::Admit => {}
         }
         // Clone the key only when the queued job must leave a Pending
-        // dedup entry behind.
+        // dedup entry behind (the insert itself happens after — and only
+        // if — the enqueue succeeds).
         let pending = match (&self.dedup, request.attempt) {
-            (Some(_), Some(meta)) => Some((meta.nonce, request.key.clone())),
+            (Some(_), Some(meta)) => Some((meta.nonce, request.id, request.key.clone())),
             _ => None,
         };
         let idx = worker_affinity(&request.key, self.queues.len());
@@ -688,15 +664,15 @@ impl IngressCtx {
         match self.queues[idx].try_send(job) {
             Ok(()) => {
                 self.stats.fifo_depth.fetch_add(1, Ordering::Relaxed);
-                if let (Some((nonce, key)), Some(dedup)) = (pending, &self.dedup) {
-                    dedup.lock().insert_pending(nonce, key);
+                if let (Some((nonce, id, key)), Some(dedup)) = (pending, &self.dedup) {
+                    dedup.lock().insert_pending(nonce, id, key);
                 }
             }
             Err(err) => {
                 let job = err.into_inner();
                 self.stats.shed_full.fetch_add(1, Ordering::Relaxed);
-                if job.request.attempt.is_some() && self.overload.shed_replies {
-                    let response = respond(&self.table, &job.request, self.overload.shed_verdict);
+                if let Some(verdict) = self.core.shed_reply(&job.request) {
+                    let response = respond(&self.table, &job.request, verdict);
                     let _ = self.socket.send_response(&response, job.peer).await;
                 }
             }

@@ -9,7 +9,6 @@
 //! credit values — which is what makes check-pointed state portable across
 //! a master/slave failover.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 use std::time::Duration;
@@ -23,8 +22,9 @@ const NANOS_PER_SEC: u128 = 1_000_000_000;
 ///
 /// One whole credit admits one request. Fractional credit accumulates
 /// between refill observations.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct Credits(u64);
 
 impl Credits {
@@ -127,8 +127,9 @@ impl SubAssign for Credits {
 ///
 /// Stored as microcredits per second so that e.g. "0.5 requests/second"
 /// (one request every two seconds) is representable exactly.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
-#[serde(transparent)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+#[cfg_attr(feature = "serde", serde(transparent))]
 pub struct RefillRate(u64);
 
 impl RefillRate {

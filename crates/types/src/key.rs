@@ -1,5 +1,6 @@
 //! The QoS key: the string identity a rule is attached to.
 
+#[cfg(feature = "serde")]
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
 use std::fmt;
@@ -297,12 +298,14 @@ impl TryFrom<String> for QosKey {
     }
 }
 
+#[cfg(feature = "serde")]
 impl Serialize for QosKey {
     fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
         serializer.serialize_str(self.as_str())
     }
 }
 
+#[cfg(feature = "serde")]
 impl<'de> Deserialize<'de> for QosKey {
     fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         let s = String::deserialize(deserializer)?;
@@ -417,6 +420,7 @@ mod tests {
         }
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let key = QosKey::new("alice:photos").unwrap();
@@ -426,6 +430,7 @@ mod tests {
         assert_eq!(back, key);
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_rejects_invalid() {
         assert!(serde_json::from_str::<QosKey>("\"\"").is_err());

@@ -17,18 +17,20 @@
 //! Everything here is dependency-light and shared by every other crate in
 //! the workspace.
 
+#[cfg(feature = "wire")]
 pub mod codec;
 mod credits;
 mod error;
 mod key;
 mod message;
 mod rule;
+pub mod sync;
 
 pub use credits::{Credits, RefillRate, MICROCREDITS_PER_CREDIT};
 pub use error::{JanusError, Result};
 pub use key::{KeyError, QosKey, INLINE_KEY_BYTES, MAX_KEY_BYTES};
 pub use message::{AttemptMeta, QosRequest, QosResponse, RequestId, RuleHint, Verdict};
-pub use rule::QosRule;
+pub use rule::{format_micro_decimal, parse_micro_decimal, QosRule};
 
 /// A counting global allocator for this crate's test binary only: the
 /// zero-allocation guarantees of the request hot path (inline [`QosKey`],

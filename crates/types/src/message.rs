@@ -1,7 +1,6 @@
 //! The key-value admission request/response protocol.
 
 use crate::{Credits, QosKey, RefillRate};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Correlates a response with its request across the UDP hop.
@@ -13,7 +12,8 @@ pub type RequestId = u64;
 
 /// The admission decision. The paper's QoS response is a boolean; `Verdict`
 /// names the two values to keep call sites readable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Verdict {
     /// TRUE — admit the request.
     Allow,
@@ -68,7 +68,8 @@ impl From<bool> for Verdict {
 /// and serves *degraded local admission* from a router-local bucket, so N
 /// stateless routers jointly approximate the purchased rate instead of
 /// falling back to a blind default reply.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct RuleHint {
     /// Bucket capacity of the rule in force.
     pub capacity: Credits,
@@ -108,7 +109,8 @@ impl RuleHint {
 /// request and reused verbatim across its retries; a server that
 /// remembers recently-seen nonces can recognize a duplicate attempt and
 /// return the cached verdict instead of charging the bucket twice.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct AttemptMeta {
     /// Remaining deadline budget in microseconds. Clients stamp at least
     /// 1 (a zero budget means "already expired — shed me").
@@ -126,7 +128,8 @@ impl AttemptMeta {
 }
 
 /// A QoS request: "may the holder of `key` make one more call?"
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QosRequest {
     /// Retry-correlation id, unique per logical request per router node.
     pub id: RequestId,
@@ -136,14 +139,14 @@ pub struct QosRequest {
     /// the wire this selects the hint-soliciting frame kind; a
     /// hint-unaware server ignores such a frame, so soliciting clients
     /// fall back to the plain frame on retries.
-    #[serde(default)]
+    #[cfg_attr(feature = "serde", serde(default))]
     pub solicit_hint: bool,
     /// Deadline budget and retry nonce for this attempt, when the client
     /// propagates them. Off the wire this selects the deadline frame
     /// kind; a deadline-unaware server drops that frame as garbage, so
     /// propagating clients fall back to a legacy frame on the final
     /// attempt.
-    #[serde(default)]
+    #[cfg_attr(feature = "serde", serde(default))]
     pub attempt: Option<AttemptMeta>,
 }
 
@@ -198,7 +201,8 @@ impl QosRequest {
 }
 
 /// A QoS response carrying the admission verdict.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QosResponse {
     /// Echoes [`QosRequest::id`].
     pub id: RequestId,
@@ -206,7 +210,7 @@ pub struct QosResponse {
     pub verdict: Verdict,
     /// The shape of the rule the verdict was decided under, present only
     /// when the request solicited it and a rule was in force.
-    #[serde(default)]
+    #[cfg_attr(feature = "serde", serde(default))]
     pub hint: Option<RuleHint>,
 }
 

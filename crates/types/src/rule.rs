@@ -1,7 +1,6 @@
 //! The QoS rule: one row of the `qos_rules` table.
 
-use crate::{Credits, QosKey, RefillRate};
-use serde::{Deserialize, Serialize};
+use crate::{Credits, JanusError, QosKey, RefillRate, Result};
 
 /// A QoS rule, as purchased by an end user and stored in the database.
 ///
@@ -9,7 +8,8 @@ use serde::{Deserialize, Serialize};
 /// refill rate (the purchased access rate), the capacity of the leaky
 /// bucket (the burst allowance) and the remaining credit (written back by
 /// QoS-server check-pointing).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct QosRule {
     /// Primary key of the rule.
     pub key: QosKey,
@@ -66,6 +66,101 @@ impl QosRule {
     pub fn approx_stored_size(&self) -> usize {
         self.key.len() + 3 * std::mem::size_of::<u64>()
     }
+
+    /// Render this rule as one tab-separated text row:
+    /// `key \t refill_rate \t capacity \t credit`, numbers in decimal
+    /// credits with up to six fractional digits.
+    ///
+    /// This is the row format of both the database wire protocol and the
+    /// HA `SNAPSHOT` exchange; it lives here (rather than in `janus-db`)
+    /// so the std-only snapshot core and the deterministic simulator
+    /// speak exactly the production encoding.
+    pub fn to_row(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}",
+            self.key,
+            format_micro_decimal(self.refill_rate.micro_per_sec()),
+            format_micro_decimal(self.capacity.as_micro()),
+            format_micro_decimal(self.credit.as_micro())
+        )
+    }
+
+    /// Parse one [`QosRule::to_row`] line back into a rule.
+    pub fn parse_row(line: &str) -> Result<QosRule> {
+        let mut parts = line.split('\t');
+        let key = parts
+            .next()
+            .ok_or_else(|| JanusError::db("row missing key"))?;
+        let rate = parts
+            .next()
+            .ok_or_else(|| JanusError::db("row missing refill_rate"))?;
+        let capacity = parts
+            .next()
+            .ok_or_else(|| JanusError::db("row missing capacity"))?;
+        let credit = parts
+            .next()
+            .ok_or_else(|| JanusError::db("row missing credit"))?;
+        if parts.next().is_some() {
+            return Err(JanusError::db(format!("trailing fields in row {line:?}")));
+        }
+        Ok(QosRule {
+            key: QosKey::new(key).map_err(|e| JanusError::db(format!("bad key in row: {e}")))?,
+            refill_rate: RefillRate::from_micro_per_sec(parse_micro_decimal(rate)?),
+            capacity: Credits::from_micro(parse_micro_decimal(capacity)?),
+            credit: Credits::from_micro(parse_micro_decimal(credit)?),
+        })
+    }
+}
+
+/// Format a microcredit count as decimal credits, trimming trailing
+/// fractional zeros (`1500000` → `"1.5"`, `2000000` → `"2"`).
+pub fn format_micro_decimal(micro: u64) -> String {
+    let int = micro / 1_000_000;
+    let frac = micro % 1_000_000;
+    if frac == 0 {
+        int.to_string()
+    } else {
+        let mut s = format!("{int}.{frac:06}");
+        while s.ends_with('0') {
+            s.pop();
+        }
+        s
+    }
+}
+
+/// Parse a decimal credit count (`"1.5"`, `"2"`, `".25"`) into
+/// microcredits, rejecting more than six fractional digits.
+pub fn parse_micro_decimal(s: &str) -> Result<u64> {
+    let (int_part, frac_part) = match s.split_once('.') {
+        Some((i, f)) => (i, f),
+        None => (s, ""),
+    };
+    if int_part.is_empty() && frac_part.is_empty() {
+        return Err(JanusError::db(format!("bad number {s:?}")));
+    }
+    if frac_part.len() > 6 {
+        return Err(JanusError::db(format!(
+            "number {s:?} exceeds 6 fractional digits"
+        )));
+    }
+    let int: u64 = if int_part.is_empty() {
+        0
+    } else {
+        int_part
+            .parse()
+            .map_err(|_| JanusError::db(format!("bad number {s:?}")))?
+    };
+    let frac: u64 = if frac_part.is_empty() {
+        0
+    } else {
+        let padded = format!("{frac_part:0<6}");
+        padded
+            .parse()
+            .map_err(|_| JanusError::db(format!("bad number {s:?}")))?
+    };
+    int.checked_mul(1_000_000)
+        .and_then(|i| i.checked_add(frac))
+        .ok_or_else(|| JanusError::db(format!("number {s:?} out of range")))
 }
 
 #[cfg(test)]
@@ -109,11 +204,43 @@ mod tests {
         assert!((40..=120).contains(&size), "size was {size}");
     }
 
+    #[cfg(feature = "serde")]
     #[test]
     fn serde_roundtrip() {
         let r = QosRule::per_second(key("alice:photos"), 1000, 100);
         let json = serde_json::to_string(&r).unwrap();
         let back: QosRule = serde_json::from_str(&json).unwrap();
         assert_eq!(back, r);
+    }
+
+    #[test]
+    fn row_roundtrip() {
+        let mut r = QosRule::per_second(key("alice:photos"), 1000, 100);
+        r.credit = Credits::from_micro(1_500_000);
+        let row = r.to_row();
+        assert_eq!(row, "alice:photos\t100\t1000\t1.5");
+        assert_eq!(QosRule::parse_row(&row).unwrap(), r);
+    }
+
+    #[test]
+    fn row_rejects_malformed_lines() {
+        assert!(QosRule::parse_row("").is_err());
+        assert!(QosRule::parse_row("k\t1\t2").is_err(), "missing credit");
+        assert!(QosRule::parse_row("k\t1\t2\t3\t4").is_err(), "trailing");
+        assert!(QosRule::parse_row("k\tx\t2\t3").is_err(), "bad number");
+        assert!(
+            QosRule::parse_row("k\t1.1234567\t2\t3").is_err(),
+            "too many fractional digits"
+        );
+    }
+
+    #[test]
+    fn micro_decimal_roundtrip() {
+        for micro in [0u64, 1, 999_999, 1_000_000, 1_500_000, u64::MAX / 2] {
+            let s = format_micro_decimal(micro);
+            assert_eq!(parse_micro_decimal(&s).unwrap(), micro, "via {s:?}");
+        }
+        assert_eq!(parse_micro_decimal(".25").unwrap(), 250_000);
+        assert!(parse_micro_decimal(".").is_err());
     }
 }

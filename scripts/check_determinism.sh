@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Pin byte-exact determinism of the cluster simulator: run the same
+# (seed, profile) twice in separate processes and diff the full event
+# trace + summary byte-for-byte. Catches any nondeterminism leak —
+# unordered map iteration, wall-clock reads, unseeded randomness —
+# before it rots the seed corpus.
+#
+#   scripts/check_determinism.sh [seed] [profile]
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+SEED="${1:-42}"
+PROFILE="${2:-mixed}"
+
+export DST_BUILD_DIR="${DST_BUILD_DIR:-$(mktemp -d -t dstdet.XXXXXX)}"
+"$REPO/scripts/run_dst_standalone.sh" --build-only
+
+run_once() { # outfile
+  local status=0
+  "$DST_BUILD_DIR/dst-trace" "$SEED" "$PROFILE" > "$1" || status=$?
+  echo "exit=$status" >> "$1"
+}
+
+run_once "$DST_BUILD_DIR/trace_run1.txt"
+run_once "$DST_BUILD_DIR/trace_run2.txt"
+
+if ! diff -u "$DST_BUILD_DIR/trace_run1.txt" "$DST_BUILD_DIR/trace_run2.txt"; then
+  echo "DETERMINISM VIOLATION: seed $SEED profile $PROFILE produced different traces" >&2
+  exit 1
+fi
+
+lines=$(wc -l < "$DST_BUILD_DIR/trace_run1.txt")
+echo "deterministic: seed $SEED profile $PROFILE reproduced byte-identically ($lines lines)"

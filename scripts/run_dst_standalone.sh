@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Build and run the sans-IO + deterministic-simulation test suites with
+# bare rustc — no cargo, no network, no tokio. This is the same path a
+# network-less sandbox uses, and CI runs it to guarantee the protocol
+# cores and the simulator never grow a non-std dependency.
+#
+#   scripts/run_dst_standalone.sh               # build + run all suites
+#   scripts/run_dst_standalone.sh --build-only  # just produce the rlibs
+#
+# Set DST_BUILD_DIR to reuse a build directory across invocations.
+set -euo pipefail
+
+REPO="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${DST_BUILD_DIR:-$(mktemp -d -t dstbuild.XXXXXX)}"
+mkdir -p "$BUILD"
+RUSTC="${RUSTC:-rustc}"
+EDITION=2021
+
+build_rlib() { # crate_name source_file [extra rustc args...]
+  local name="$1" src="$2"
+  shift 2
+  "$RUSTC" --edition "$EDITION" --crate-type rlib --crate-name "$name" \
+    "$src" -L "$BUILD" -o "$BUILD/lib${name}.rlib" "$@"
+}
+
+build_test() { # crate_name source_file out_name [extra rustc args...]
+  local name="$1" src="$2" out="$3"
+  shift 3
+  "$RUSTC" --edition "$EDITION" --test --crate-name "$name" \
+    "$src" -L "$BUILD" -o "$BUILD/$out" "$@"
+}
+
+# The std-only subset of the tokio crates: only the sans-IO modules,
+# re-rooted so the cores compile without the async shells around them.
+cat > "$BUILD/janus_net_subset.rs" <<EOF
+#![allow(dead_code)]
+#[path = "$REPO/crates/net/src/breaker.rs"]
+pub mod breaker;
+#[path = "$REPO/crates/net/src/fault.rs"]
+pub mod fault;
+#[path = "$REPO/crates/net/src/attempt.rs"]
+pub mod attempt;
+EOF
+
+cat > "$BUILD/janus_server_subset.rs" <<EOF
+//! Standalone subset of janus-server: the std-only sans-IO modules.
+#[path = "$REPO/crates/server/src/overload.rs"]
+pub mod overload;
+#[path = "$REPO/crates/server/src/core.rs"]
+pub mod core;
+pub use overload::{DedupOutcome, DedupWindow, OverloadConfig, SojournGovernor};
+EOF
+
+# The hash crate's crc32 proptests need the external proptest crate, so
+# the standalone run tests only its PRNG module (the simulator's seed
+# source) — the rest is covered by the cargo-driven CI jobs.
+cat > "$BUILD/janus_rng_subset.rs" <<EOF
+#[path = "$REPO/crates/hash/src/rng.rs"]
+pub mod rng;
+pub use rng::{mix64, Rng, SplitMix64};
+EOF
+
+cat > "$BUILD/janus_router_subset.rs" <<EOF
+//! Standalone subset of janus-router: the std-only sans-IO core.
+#[path = "$REPO/crates/router/src/core.rs"]
+pub mod core;
+pub use crate::core::{LocalAnswer, RouterCore, RouterCoreConfig, RouterStep};
+EOF
+
+TYPES=(--extern janus_types="$BUILD/libjanus_types.rlib")
+CLOCK=(--extern janus_clock="$BUILD/libjanus_clock.rlib")
+HASH=(--extern janus_hash="$BUILD/libjanus_hash.rlib")
+BUCKET=(--extern janus_bucket="$BUILD/libjanus_bucket.rlib")
+NET=(--extern janus_net="$BUILD/libjanus_net.rlib")
+SERVER=(--extern janus_server="$BUILD/libjanus_server.rlib")
+ROUTER=(--extern janus_router="$BUILD/libjanus_router.rlib")
+
+echo "== building std-only rlib chain in $BUILD"
+build_rlib janus_types "$REPO/crates/types/src/lib.rs"
+build_rlib janus_clock "$REPO/crates/clock/src/lib.rs"
+build_rlib janus_hash "$REPO/crates/hash/src/lib.rs" "${TYPES[@]}"
+build_rlib janus_bucket "$REPO/crates/bucket/src/lib.rs" "${TYPES[@]}" "${CLOCK[@]}"
+build_rlib janus_net "$BUILD/janus_net_subset.rs" "${TYPES[@]}" "${CLOCK[@]}" "${HASH[@]}"
+build_rlib janus_server "$BUILD/janus_server_subset.rs" \
+  "${TYPES[@]}" "${CLOCK[@]}" "${HASH[@]}" "${BUCKET[@]}" "${NET[@]}"
+build_rlib janus_router "$BUILD/janus_router_subset.rs" \
+  "${TYPES[@]}" "${CLOCK[@]}" "${HASH[@]}" "${BUCKET[@]}" "${NET[@]}"
+build_rlib janus_dst "$REPO/crates/dst/src/lib.rs" \
+  "${TYPES[@]}" "${CLOCK[@]}" "${HASH[@]}" "${BUCKET[@]}" "${NET[@]}" \
+  "${SERVER[@]}" "${ROUTER[@]}"
+
+echo "== building dst-trace binary"
+"$RUSTC" --edition "$EDITION" "$REPO/crates/dst/src/bin/trace.rs" \
+  --extern janus_dst="$BUILD/libjanus_dst.rlib" -L "$BUILD" -o "$BUILD/dst-trace"
+
+if [[ "${1:-}" == "--build-only" ]]; then
+  echo "== build-only: artifacts in $BUILD"
+  exit 0
+fi
+
+echo "== building test binaries"
+build_test janus_hash_rng "$BUILD/janus_rng_subset.rs" rng_test
+build_test janus_net "$BUILD/janus_net_subset.rs" net_subset_test \
+  "${TYPES[@]}" "${CLOCK[@]}" "${HASH[@]}"
+build_test janus_server "$BUILD/janus_server_subset.rs" server_subset_test \
+  "${TYPES[@]}" "${CLOCK[@]}" "${HASH[@]}" "${BUCKET[@]}" "${NET[@]}"
+build_test janus_router "$BUILD/janus_router_subset.rs" router_subset_test \
+  "${TYPES[@]}" "${CLOCK[@]}" "${HASH[@]}" "${BUCKET[@]}" "${NET[@]}"
+build_test janus_dst "$REPO/crates/dst/src/lib.rs" dst_test \
+  "${TYPES[@]}" "${CLOCK[@]}" "${HASH[@]}" "${BUCKET[@]}" "${NET[@]}" \
+  "${SERVER[@]}" "${ROUTER[@]}"
+
+echo "== running"
+"$BUILD/rng_test"
+"$BUILD/net_subset_test"
+"$BUILD/server_subset_test"
+"$BUILD/router_subset_test"
+"$BUILD/dst_test"
+
+echo "== all standalone suites green (artifacts in $BUILD)"
