@@ -20,11 +20,10 @@ use crate::photos::{PhotoClient, PhotoServer};
 use janus_bucket::LeakyBucket;
 use janus_clock::Nanos;
 use janus_core::{Deployment, DeploymentConfig, QosKey, QosRule, Verdict};
+use janus_hash::rng::Rng;
 use janus_net::http::{HttpClient, HttpRequest, StatusCode};
 use janus_types::Result;
 use janus_workload::{Histogram, LatencyStats, SecondSeries};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use serde::Serialize;
 use std::time::Duration;
 
@@ -60,7 +59,7 @@ pub fn fig13a_trace(
         Nanos::ZERO,
     );
     let mut series = SecondSeries::new();
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let base_gap_ns = 1e9 / rate;
     let mut t_ns = 0f64;
     let horizon = (seconds as f64) * 1e9;
@@ -68,7 +67,7 @@ pub fn fig13a_trace(
         let now = Nanos::from_nanos(t_ns as u64);
         let accepted = bucket.try_consume(now) == Verdict::Allow;
         series.record(t_ns as u64, accepted);
-        let jitter = 1.0 + noise * rng.gen_range(-1.0..1.0);
+        let jitter = 1.0 + noise * (2.0 * rng.gen_f64() - 1.0);
         t_ns += base_gap_ns * jitter;
     }
     Fig13aTrace {
@@ -142,7 +141,7 @@ async fn drive(
     let (tx, mut rx) = tokio::sync::mpsc::unbounded_channel();
     let start = tokio::time::Instant::now();
     let deadline = start + duration;
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let base_gap = Duration::from_secs_f64(1.0 / rate);
     let mut next_at = start;
     while next_at < deadline {
@@ -155,7 +154,7 @@ async fn drive(
             let accepted = matches!(&outcome, Ok(resp) if resp.status == StatusCode::OK);
             let _ = tx.send((issued - start, latency, accepted, outcome.is_ok()));
         });
-        let jitter = 1.0 + 0.2 * rng.gen_range(-1.0..1.0);
+        let jitter = 1.0 + 0.2 * (2.0 * rng.gen_f64() - 1.0);
         next_at += base_gap.mul_f64(jitter);
     }
     drop(tx);
@@ -196,13 +195,8 @@ pub async fn fig13_live(config: Fig13LiveConfig) -> Result<Fig13Live> {
         latest_count: 10,
     })
     .await?;
-    let (no_qos_hist, _, _) = drive(
-        plain_app.addr(),
-        config.rate,
-        config.duration,
-        config.seed,
-    )
-    .await;
+    let (no_qos_hist, _, _) =
+        drive(plain_app.addr(), config.rate, config.duration, config.seed).await;
     plain_app.shutdown();
 
     // QoS-wrapped: Janus deployment with the custom rule for this

@@ -19,6 +19,9 @@
 //! — a loaded CI box would overwrite real measurements with noise.
 //! `--socket-mode` restricts the sweep to one kernel path (the syscall
 //! ablation's decisions/sec/core curve comes from comparing the three).
+//! `--mode <substring>` restricts it to matching variant names — CI's
+//! lease smoke runs `--smoke --mode lease` and checks the
+//! `lease_ratio` column is non-zero (DESIGN.md ablation 13).
 
 use janus_bench::live::{
     admission_variants, run_admission_variant, socket_mode_label, AdmissionPoint,
@@ -57,11 +60,15 @@ fn main() {
             Some(label) => socket_mode_label(v.socket_mode) == label,
             None => true,
         })
+        .filter(|v| match &cli.mode {
+            Some(needle) => v.name.contains(needle.as_str()),
+            None => true,
+        })
         .collect();
     if variants.is_empty() {
         // e.g. `--socket-mode per_core` on a non-Linux host, where the
         // sweep omits the per-core variant entirely.
-        eprintln!("no variants match this --socket-mode on this platform");
+        eprintln!("no variants match this --socket-mode/--mode on this platform");
         return;
     }
 
@@ -70,12 +77,13 @@ fn main() {
         for &clients in &client_sweep {
             let point = runtime.block_on(run_admission_variant(&variant, clients, per_client));
             eprintln!(
-                "{:<32} clients={:<3} {:>8} completed, {} ({:.0}/s/core)",
+                "{:<32} clients={:<3} {:>8} completed, {} ({:.0}/s/core, lease_ratio={:.2})",
                 point.mode,
                 point.clients,
                 point.completed,
                 fmt_krps(point.krps * 1_000.0),
-                point.decisions_per_sec_per_core
+                point.decisions_per_sec_per_core,
+                point.lease_admit_ratio
             );
             points.push(point);
         }
@@ -87,7 +95,7 @@ fn main() {
         points,
     };
 
-    if cli.smoke || cli.socket_mode.is_some() {
+    if cli.smoke || cli.socket_mode.is_some() || cli.mode.is_some() {
         // A filtered sweep is partial by construction; only the full
         // three-mode sweep may replace the checked-in measurements.
         eprintln!("smoke/filtered run: BENCH_admission.json left untouched");
@@ -118,6 +126,7 @@ fn main() {
                     format!("{}/{}", p.batch_recv_p50, p.batch_recv_p99),
                     format!("{}us", p.sojourn_p99_us),
                     p.cas_retries.to_string(),
+                    format!("{:.2}", p.lease_admit_ratio),
                     format!("{:.1}ms", p.elapsed_ms),
                 ]
             })
@@ -139,6 +148,7 @@ fn main() {
                 "batch_p50/99",
                 "sojourn_p99",
                 "cas_retries",
+                "lease_ratio",
                 "elapsed",
             ],
             &rows,

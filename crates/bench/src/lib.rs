@@ -27,6 +27,10 @@ pub struct FigureCli {
     /// `batched_syscall` or `per_core`); `None` sweeps them all.
     /// Binaries without a socket-mode axis ignore it.
     pub socket_mode: Option<String>,
+    /// Restrict a sweep to variants whose name contains this substring
+    /// (e.g. `--mode lease` runs only the lease-delegated admission
+    /// variant). Binaries without a variant axis ignore it.
+    pub mode: Option<String>,
     /// Seed for deterministic runs.
     pub seed: u64,
 }
@@ -41,6 +45,7 @@ impl FigureCli {
             smoke: false,
             live: false,
             socket_mode: None,
+            mode: None,
             seed: 2018,
         };
         let mut iter = args.iter().peekable();
@@ -70,12 +75,19 @@ impl FigureCli {
                         )),
                     }
                 }
+                "--mode" => {
+                    let value = iter
+                        .next()
+                        .unwrap_or_else(|| die("--mode needs a variant-name substring"));
+                    cli.mode = Some(value.clone());
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --json (machine output) --quick (fast preset) \
                          --smoke (tiny CI correctness run) \
                          --live (real loopback run where supported) \
                          --socket-mode <single_listener|batched_syscall|per_core> \
+                         --mode <variant-name-substring> \
                          --seed <n>"
                     );
                     std::process::exit(0);
@@ -98,7 +110,10 @@ impl FigureCli {
     /// Emit a result: JSON when asked, otherwise the provided renderer.
     pub fn emit<T: Serialize>(&self, value: &T, render: impl FnOnce(&T)) {
         if self.json {
-            println!("{}", serde_json::to_string_pretty(value).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(value).expect("serializable")
+            );
         } else {
             render(value);
         }
@@ -127,7 +142,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         .map(|(i, h)| format!("{h:<width$}", width = widths[i]))
         .collect();
     println!("{}", header_line.join("  "));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         let line: Vec<String> = row
             .iter()
@@ -169,7 +187,10 @@ mod tests {
         print_table(
             "demo",
             &["a", "b"],
-            &[vec!["1".into(), "two".into()], vec!["333".into(), "4".into()]],
+            &[
+                vec!["1".into(), "two".into()],
+                vec!["333".into(), "4".into()],
+            ],
         );
     }
 }

@@ -12,9 +12,11 @@ use janus_bucket::DefaultRulePolicy;
 use janus_net::fault::FaultPlan;
 use janus_net::udp::UdpRpcConfig;
 use janus_net::udp_pool::{BatchConfig, PooledUdpRpcClient};
-use janus_server::{DispatchMode, QosServer, QosServerConfig, SocketMode, TableKind};
-use janus_types::QosKey;
+use janus_router::core::{RouterCore, RouterCoreConfig, RouterLeaseConfig, RouterStep};
+use janus_server::{DispatchMode, LeaseConfig, QosServer, QosServerConfig, SocketMode, TableKind};
+use janus_types::{QosKey, QosRule, Verdict};
 use serde::Serialize;
+use std::time::Duration;
 
 /// One configuration of the admission data plane under test.
 #[derive(Debug, Clone, Copy)]
@@ -32,6 +34,10 @@ pub struct AdmissionVariant {
     /// Kernel path: single listener, batched syscalls, or per-core
     /// `SO_REUSEPORT` sockets (DESIGN.md ablation 12).
     pub socket_mode: SocketMode,
+    /// Zero-RTT admission: clients run a [`janus_router::core::RouterCore`]
+    /// holding credit leases over shared hot keys, so leased checks skip
+    /// the RPC entirely (DESIGN.md ablation 13).
+    pub lease: bool,
 }
 
 /// The sweep every harness runs: the optimized plane, the same plane
@@ -47,6 +53,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             server_batching: true,
             client_batching: true,
             socket_mode: single,
+            lease: false,
         },
         AdmissionVariant {
             name: "batched+affinity+per_worker",
@@ -55,6 +62,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             server_batching: true,
             client_batching: true,
             socket_mode: single,
+            lease: false,
         },
         AdmissionVariant {
             name: "batched+affinity+sharded",
@@ -63,6 +71,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             server_batching: true,
             client_batching: true,
             socket_mode: single,
+            lease: false,
         },
         AdmissionVariant {
             name: "unbatched+affinity",
@@ -71,6 +80,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             server_batching: false,
             client_batching: false,
             socket_mode: single,
+            lease: false,
         },
         AdmissionVariant {
             name: "unbatched+shared_fifo",
@@ -79,6 +89,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             server_batching: false,
             client_batching: false,
             socket_mode: single,
+            lease: false,
         },
         AdmissionVariant {
             // Shared FIFO is the worst interleaving for the CAS loop
@@ -90,6 +101,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             server_batching: false,
             client_batching: false,
             socket_mode: single,
+            lease: false,
         },
         AdmissionVariant {
             // Same topology as the optimized plane, but whole batches
@@ -101,6 +113,20 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             server_batching: true,
             client_batching: true,
             socket_mode: SocketMode::BatchedSyscall,
+            lease: false,
+        },
+        AdmissionVariant {
+            // Zero-RTT admission: same plane as the optimized point, but
+            // clients hold short-TTL credit leases over shared hot keys
+            // and admit leased checks locally — the RPC-per-decision vs
+            // lease-delegated contrast of DESIGN.md ablation 13.
+            name: "lease+affinity+lock_free",
+            dispatch: DispatchMode::KeyAffinity,
+            table: TableKind::LockFree,
+            server_batching: true,
+            client_batching: true,
+            socket_mode: single,
+            lease: true,
         },
     ];
     if cfg!(target_os = "linux") {
@@ -113,6 +139,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             server_batching: true,
             client_batching: true,
             socket_mode: SocketMode::PerCore,
+            lease: false,
         });
     }
     variants
@@ -191,6 +218,15 @@ pub struct AdmissionPoint {
     pub batch_recv_p50: u64,
     /// Server-side 99th-percentile receive batch length, datagrams.
     pub batch_recv_p99: u64,
+    /// Checks admitted router-locally against a held lease slice with
+    /// zero network I/O (0 for non-lease variants).
+    pub lease_admits: u64,
+    /// Lease grants (first grants and renewals) the server attached to
+    /// responses, each pre-paid from the authoritative bucket.
+    pub lease_grants: u64,
+    /// `lease_admits / completed` — the fraction of checks that never
+    /// touched the network.
+    pub lease_admit_ratio: f64,
 }
 
 /// Run one variant: spawn a standalone allow-all QoS server configured
@@ -208,11 +244,34 @@ pub async fn run_admission_variant(
     config.batching = variant.server_batching;
     config.socket_mode = variant.socket_mode;
     config.default_policy = DefaultRulePolicy::AllowAll;
+    if variant.lease {
+        config.lease = LeaseConfig {
+            enabled: true,
+            ttl: Duration::from_millis(100),
+            hot_threshold: 2,
+            max_holders: 16,
+            slice_fraction: 4,
+        };
+    }
     let workers = config.workers;
     let server = QosServer::spawn(config, None, janus_clock::system())
         .await
         .expect("qos server");
     let addr = server.udp_addr();
+
+    // The lease variant hammers a handful of *shared* hot keys with
+    // explicit rule shapes (leases delegate a slice of a real bucket;
+    // the allow-all guest shape would cap at the ledger's slice bound
+    // and say nothing about real workloads).
+    let hot_keys = 4usize;
+    if variant.lease {
+        let now = server.clock().now();
+        for k in 0..hot_keys {
+            let rule =
+                QosRule::per_second(QosKey::new(format!("hot-k{k}")).unwrap(), 100_000, 50_000);
+            server.table().insert(rule, now);
+        }
+    }
 
     let batch = if variant.client_batching {
         BatchConfig::default()
@@ -252,39 +311,95 @@ pub async fn run_admission_variant(
     }
 
     // Warm the table (first sighting of every key inserts a guest rule)
-    // so the timed section measures the steady-state hot path.
+    // so the timed section measures the steady-state hot path. The lease
+    // variant warms its shared hot keys instead.
     let keys_per_client = 8usize;
     for (c, pool) in pools.iter().enumerate() {
         for k in 0..keys_per_client {
-            let key = QosKey::new(format!("c{c}-k{k}")).unwrap();
+            let key = if variant.lease {
+                QosKey::new(format!("hot-k{}", k % hot_keys)).unwrap()
+            } else {
+                QosKey::new(format!("c{c}-k{k}")).unwrap()
+            };
             let _ = pool.check(addr, key).await;
         }
     }
 
     let start = std::time::Instant::now();
+    let clock = janus_clock::system();
+    let lease = variant.lease;
     let mut handles = Vec::with_capacity(clients);
     for (c, pool) in pools.iter().cloned().enumerate() {
+        let clock = clock.clone();
         handles.push(tokio::spawn(async move {
-            let keys: Vec<QosKey> = (0..keys_per_client)
-                .map(|k| QosKey::new(format!("c{c}-k{k}")).unwrap())
-                .collect();
+            let keys: Vec<QosKey> = if lease {
+                (0..hot_keys)
+                    .map(|k| QosKey::new(format!("hot-k{k}")).unwrap())
+                    .collect()
+            } else {
+                (0..keys_per_client)
+                    .map(|k| QosKey::new(format!("c{c}-k{k}")).unwrap())
+                    .collect()
+            };
+            // One RouterCore per client task: each is its own holder in
+            // the server's lease ledger, like one node of a router fleet.
+            let router = lease.then(|| {
+                RouterCore::new(RouterCoreConfig {
+                    partitions: 1,
+                    default_verdict: Verdict::Allow,
+                    fleet_size: clients,
+                    breaker: None,
+                    lease: Some(RouterLeaseConfig::new(c as u32)),
+                })
+            });
             let mut completed = 0u64;
             let mut timed_out = 0u64;
+            let mut lease_admits = 0u64;
             for j in 0..requests_per_client {
-                match pool.check(addr, keys[j % keys.len()].clone()).await {
-                    Ok(_) => completed += 1,
-                    Err(_) => timed_out += 1,
+                let key = keys[j % keys.len()].clone();
+                let Some(core) = &router else {
+                    match pool.check(addr, key).await {
+                        Ok(_) => completed += 1,
+                        Err(_) => timed_out += 1,
+                    }
+                    continue;
+                };
+                match core.begin(&key, clock.now()) {
+                    RouterStep::LeaseAdmit { .. } => {
+                        lease_admits += 1;
+                        completed += 1;
+                    }
+                    RouterStep::Forward {
+                        partition,
+                        solicit_hint,
+                        lease_ask,
+                    } => match pool
+                        .check_with_lease(addr, key.clone(), solicit_hint, lease_ask)
+                        .await
+                    {
+                        Ok(response) => {
+                            core.on_response(partition, &key, &response, clock.now());
+                            completed += 1;
+                        }
+                        Err(_) => timed_out += 1,
+                    },
+                    // Breakers are off in this harness; FastFail is
+                    // unreachable, but count it as a non-completion
+                    // rather than panic if that ever changes.
+                    RouterStep::FastFail { .. } => timed_out += 1,
                 }
             }
-            (completed, timed_out)
+            (completed, timed_out, lease_admits)
         }));
     }
     let mut completed = 0u64;
     let mut timed_out = 0u64;
+    let mut lease_admits = 0u64;
     for handle in handles {
-        let (ok, lost) = handle.await.expect("client task");
+        let (ok, lost, leased) = handle.await.expect("client task");
         completed += ok;
         timed_out += lost;
+        lease_admits += leased;
     }
     let elapsed = start.elapsed();
     let stats = server.stats().snapshot();
@@ -312,6 +427,13 @@ pub async fn run_admission_variant(
         syscalls_saved: stats.syscalls_saved,
         batch_recv_p50: stats.batch_recv_p50,
         batch_recv_p99: stats.batch_recv_p99,
+        lease_admits,
+        lease_grants: stats.lease_grants,
+        lease_admit_ratio: if completed > 0 {
+            lease_admits as f64 / completed as f64
+        } else {
+            0.0
+        },
     }
 }
 
@@ -347,6 +469,25 @@ mod tests {
                     variant.name
                 );
                 assert_eq!(point.probe_steps, 0, "{}", variant.name);
+            }
+            if variant.lease {
+                assert!(
+                    point.lease_grants > 0,
+                    "{}: hot keys never earned a grant",
+                    variant.name
+                );
+                assert!(
+                    point.lease_admits > 0 && point.lease_admit_ratio > 0.0,
+                    "{}: no check was admitted from a held lease",
+                    variant.name
+                );
+            } else {
+                assert_eq!(
+                    point.lease_admits, 0,
+                    "{}: leases are off for this variant",
+                    variant.name
+                );
+                assert_eq!(point.lease_admit_ratio, 0.0, "{}", variant.name);
             }
         }
     }

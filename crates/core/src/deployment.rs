@@ -303,6 +303,8 @@ impl Deployment {
                 batching: config.batching,
                 breaker: config.breaker,
                 fleet_size: config.routers,
+                deadline_propagation: true,
+                lease: false,
             };
             routers.push(RequestRouter::spawn(router_config, Some(resolver)).await?);
         }
@@ -522,6 +524,8 @@ impl Deployment {
                 // fleet size: a scaled fleet briefly over- or
                 // under-splits, which the soak's slack bound absorbs.
                 fleet_size: self.router_template.fleet_size,
+                deadline_propagation: true,
+                lease: false,
             };
             fresh.push(RequestRouter::spawn(router_config, Some(resolver)).await?);
         }

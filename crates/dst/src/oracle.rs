@@ -24,9 +24,19 @@
 //! 4. **Availability floor** — every issued request completes (backend,
 //!    degraded or default answer) within its retry budget. Brownouts
 //!    degrade answers; they must never hang a caller.
+//! 5. **Lease coverage** — every zero-RTT admit the router makes
+//!    against a delegated credit lease is pre-paid: per key,
+//!    `lease_admits <= lease_drained`, where `lease_drained` counts the
+//!    credits the server's ledger took out of the authoritative bucket
+//!    at grant time. Combined with oracle 1 (which charges those drains
+//!    against the same `C * (1 + r)` budget), total admissions stay
+//!    under authoritative capacity plus the outstanding lease slices
+//!    under any fault schedule — grants lost in flight, renewals
+//!    delayed past the TTL, revocations racing local admits, crashes
+//!    with leases outstanding.
 //!
-//! Oracles 1–3 are re-validated from accumulated counters after every
-//! event (`check_all`); oracle 4 is asserted once the event queue
+//! Oracles 1–3 and 5 are re-validated from accumulated counters after
+//! every event (`check_all`); oracle 4 is asserted once the event queue
 //! drains, when completion times are known.
 
 use std::collections::HashSet;
@@ -54,6 +64,12 @@ pub struct OracleState {
     pub server_allows: Vec<u64>,
     /// Degraded-mode (router brownout) allows per key index.
     pub degraded_allows: Vec<u64>,
+    /// Zero-RTT admits the router made from delegated leases, per key.
+    pub lease_admits: Vec<u64>,
+    /// Credits the server ledger drained from authoritative buckets at
+    /// lease-grant time, per key. Every lease admit must be covered
+    /// here (oracle 5), and the drains count against oracle 1's budget.
+    pub lease_drained: Vec<u64>,
     /// Stamped decisions already seen: (partition, epoch, nonce).
     charged: HashSet<(usize, u32, ChargeKey)>,
     violations: Vec<String>,
@@ -67,6 +83,8 @@ impl OracleState {
             capacity,
             server_allows: vec![0; keys],
             degraded_allows: vec![0; keys],
+            lease_admits: vec![0; keys],
+            lease_drained: vec![0; keys],
             charged: HashSet::new(),
             violations: Vec::new(),
             seen: HashSet::new(),
@@ -122,23 +140,51 @@ impl OracleState {
         self.check_key(key_idx, key_name, reboots);
     }
 
+    /// The router admitted a request from a held credit lease with zero
+    /// network I/O.
+    pub fn record_lease_admit(&mut self, key_idx: usize, key_name: &str, reboots: u64) {
+        self.lease_admits[key_idx] += 1;
+        self.check_key(key_idx, key_name, reboots);
+    }
+
+    /// The server's lease ledger drained `credits` whole credits from
+    /// the key's authoritative bucket while granting/renewing a lease.
+    pub fn record_lease_drain(
+        &mut self,
+        key_idx: usize,
+        key_name: &str,
+        reboots: u64,
+        credits: u64,
+    ) {
+        self.lease_drained[key_idx] += credits;
+        self.check_key(key_idx, key_name, reboots);
+    }
+
     /// Re-validate the credit bounds for one key.
     pub fn check_key(&mut self, key_idx: usize, key_name: &str, reboots: u64) {
         let server = self.server_allows[key_idx];
         let degraded = self.degraded_allows[key_idx];
+        let leased = self.lease_admits[key_idx];
+        let drained = self.lease_drained[key_idx];
         let exact_bound = self.capacity * (1 + reboots);
-        if server > exact_bound {
+        if leased > drained {
             self.record_violation(format!(
-                "oracle[credit-exactness]: key {key_name} got {server} server allows, \
-                 bound {exact_bound} (capacity {} x {} boots)",
+                "oracle[lease-bound]: key {key_name} got {leased} lease admits but only \
+                 {drained} credits were drained at grant time",
+            ));
+        }
+        if server + drained > exact_bound {
+            self.record_violation(format!(
+                "oracle[credit-exactness]: key {key_name} got {server} server allows \
+                 + {drained} lease drains, bound {exact_bound} (capacity {} x {} boots)",
                 self.capacity,
                 1 + reboots,
             ));
         }
-        if server + degraded > exact_bound + self.capacity {
+        if server + drained + degraded > exact_bound + self.capacity {
             self.record_violation(format!(
-                "oracle[over-admission]: key {key_name} got {server}+{degraded} allows, \
-                 bound {} (+1 degraded bucket)",
+                "oracle[over-admission]: key {key_name} got {server}+{drained}+{degraded} \
+                 allows, bound {} (+1 degraded bucket)",
                 exact_bound + self.capacity,
             ));
         }

@@ -35,10 +35,13 @@ pub enum Profile {
     Sever,
     /// Everything at once, HA coin-flipped.
     Mixed,
+    /// Credit leases on over hot keys, with crashes, rule changes,
+    /// severs and bursts racing grants, renewals and revocations.
+    Lease,
 }
 
 /// All profiles, in the order the searcher cycles them.
-pub const PROFILES: [Profile; 8] = [
+pub const PROFILES: [Profile; 9] = [
     Profile::Calm,
     Profile::Lossy,
     Profile::Dup,
@@ -47,6 +50,7 @@ pub const PROFILES: [Profile; 8] = [
     Profile::Failover,
     Profile::Sever,
     Profile::Mixed,
+    Profile::Lease,
 ];
 
 impl Profile {
@@ -61,6 +65,7 @@ impl Profile {
             Profile::Failover => "failover",
             Profile::Sever => "sever",
             Profile::Mixed => "mixed",
+            Profile::Lease => "lease",
         }
     }
 
@@ -81,6 +86,7 @@ impl Profile {
             Profile::Failover => 0x50,
             Profile::Sever => 0x60,
             Profile::Mixed => 0x70,
+            Profile::Lease => 0x80,
         }
     }
 }
@@ -162,6 +168,53 @@ pub fn config_for(seed: u64, profile: Profile) -> SimConfig {
                         },
                     },
                     1 => Directive {
+                        at: millis_between(&mut rng, 10, 150),
+                        kind: DirectiveKind::Sever {
+                            partition: rng.gen_range(config.partitions as u64) as usize,
+                            heal_after: millis_between(&mut rng, 20, 80),
+                        },
+                    },
+                    _ => {
+                        let drop = rng.gen_range(41) as u8;
+                        let dup = rng.gen_range(41) as u8;
+                        let reorder = rng.gen_range(41) as u8;
+                        burst(&mut rng, drop, dup, reorder)
+                    }
+                };
+                config.directives.push(d);
+            }
+        }
+        Profile::Lease => {
+            // Hot keys so leases actually get granted — and a request
+            // gap tight enough that slices drain *within* one TTL, so
+            // proactive renewals (and revocations racing an installed
+            // lease) get exercised, not just expiry returns. Then race
+            // the lease lifecycle against crashes, rule changes, severs
+            // and network bursts.
+            config.lease = true;
+            config.keys = 2;
+            // Capacity sets the slice (capacity / 4): small slices go
+            // dry mid-TTL, forcing forwards — and with them renewals and
+            // the revoked-while-held install race — while large ones
+            // ride a single grant to expiry and exercise returns.
+            config.capacity = 12 + 4 * rng.gen_range(8);
+            config.request_gap = Duration::from_micros(500);
+            config.ha = rng.gen_bool(0.5);
+            for _ in 0..(2 + rng.gen_range(3)) {
+                let d = match rng.gen_range(4) {
+                    0 => Directive {
+                        at: millis_between(&mut rng, 10, 180),
+                        kind: DirectiveKind::Crash {
+                            partition: rng.gen_range(config.partitions as u64) as usize,
+                        },
+                    },
+                    1 => Directive {
+                        at: millis_between(&mut rng, 10, 150),
+                        kind: DirectiveKind::RuleChange {
+                            key: rng.gen_range(u64::from(config.keys)) as usize,
+                        },
+                    },
+                    2 => Directive {
                         at: millis_between(&mut rng, 10, 150),
                         kind: DirectiveKind::Sever {
                             partition: rng.gen_range(config.partitions as u64) as usize,
@@ -338,6 +391,7 @@ mod tests {
             Profile::Reorder,
             Profile::Lossy,
             Profile::Mixed,
+            Profile::Lease,
         ] {
             assert!(
                 covered.contains(&required),

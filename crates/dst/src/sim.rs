@@ -23,9 +23,11 @@ use janus_hash::Rng;
 use janus_net::attempt::{AttemptPlan, AttemptStep};
 use janus_net::breaker::BreakerConfig;
 use janus_net::fault::{Fate, FaultPlan};
-use janus_router::core::{LocalAnswer, RouterCore, RouterCoreConfig, RouterStep};
+use janus_router::core::{
+    LeaseEvent, LocalAnswer, RouterCore, RouterCoreConfig, RouterLeaseConfig, RouterStep,
+};
 use janus_server::core::{decode_snapshot_header, encode_snapshot, ServerCore};
-use janus_server::OverloadConfig;
+use janus_server::{LeaseConfig, OverloadConfig};
 use janus_types::{Credits, QosKey, QosRequest, QosResponse, QosRule, RefillRate, Verdict};
 
 use crate::oracle::OracleState;
@@ -77,6 +79,14 @@ pub enum DirectiveKind {
         /// How long the burst lasts.
         heal_after: Duration,
     },
+    /// Re-apply a key's rule on its owning partition (an administrative
+    /// rule touch with the same shape). Credit is preserved, but the
+    /// server's lease ledger bumps the key's epoch and revokes every
+    /// outstanding lease — racing any zero-RTT admits in flight.
+    RuleChange {
+        /// Victim key (wrapped modulo the key count).
+        key: usize,
+    },
 }
 
 /// Everything that parameterizes one deterministic run.
@@ -116,6 +126,11 @@ pub struct SimConfig {
     pub dedup_window: usize,
     /// Server ingress FIFO capacity.
     pub fifo_capacity: usize,
+    /// Enable the credit-lease plane on both sides: servers grant
+    /// short-TTL slices of hot keys, the router admits them locally and
+    /// reconciles spend asynchronously. Off reproduces the pre-lease
+    /// RPC-per-decision behaviour (and byte-identical traces).
+    pub lease: bool,
     /// The scripted fault schedule.
     pub directives: Vec<Directive>,
 }
@@ -139,6 +154,7 @@ impl Default for SimConfig {
             restart_delay: Duration::from_millis(25),
             dedup_window: 1024,
             fifo_capacity: 64,
+            lease: false,
             directives: Vec::new(),
         }
     }
@@ -149,6 +165,9 @@ impl Default for SimConfig {
 pub enum Completion {
     /// A QoS server answered (fresh, cached or shed verdict).
     Backend(Verdict),
+    /// A held credit lease admitted the request locally (always Allow,
+    /// zero network I/O).
+    Leased,
     /// The router answered from a learned hint bucket (brownout).
     Degraded(Verdict),
     /// The router fell back to the static default verdict.
@@ -223,6 +242,8 @@ pub struct SimReport {
     pub completed: u32,
     /// Completions answered by a QoS server.
     pub backend: u32,
+    /// Completions admitted from a held credit lease (zero RTT).
+    pub leased: u32,
     /// Completions answered from a learned hint bucket.
     pub degraded: u32,
     /// Completions answered by the static default verdict.
@@ -231,6 +252,8 @@ pub struct SimReport {
     pub per_key_allows: Vec<(String, u64)>,
     /// Degraded-mode allows per key: `(name, count)`.
     pub per_key_degraded: Vec<(String, u64)>,
+    /// Lease admits per key: `(name, count)`.
+    pub per_key_leased: Vec<(String, u64)>,
     /// Total partition reboots over the run.
     pub reboots: u64,
     /// Datagrams the fault plan dropped / duplicated / deferred.
@@ -252,8 +275,14 @@ impl SimReport {
     pub fn summary(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "seed={} issued={} completed={} backend={} degraded={} default={}\n",
-            self.seed, self.issued, self.completed, self.backend, self.degraded, self.defaulted
+            "seed={} issued={} completed={} backend={} leased={} degraded={} default={}\n",
+            self.seed,
+            self.issued,
+            self.completed,
+            self.backend,
+            self.leased,
+            self.degraded,
+            self.defaulted
         ));
         out.push_str(&format!(
             "reboots={} net: dropped={} duplicated={} reordered={}\n",
@@ -265,6 +294,11 @@ impl SimReport {
         for (name, count) in &self.per_key_degraded {
             if *count > 0 {
                 out.push_str(&format!("degraded {name}={count}\n"));
+            }
+        }
+        for (name, count) in &self.per_key_leased {
+            if *count > 0 {
+                out.push_str(&format!("leased {name}={count}\n"));
             }
         }
         match self.violations.len() {
@@ -299,6 +333,7 @@ pub struct Sim {
     nonce_base: u32,
     completed: u32,
     backend: u32,
+    leased: u32,
     degraded: u32,
     defaulted: u32,
 }
@@ -324,6 +359,8 @@ impl Sim {
                 failure_threshold: 2,
                 open_timeout: config.rpc_timeout * 2,
             }),
+            // Holder id 7: arbitrary but fixed, so traces stay stable.
+            lease: config.lease.then(|| RouterLeaseConfig::new(7)),
         });
         let key_names: Vec<String> = (0..config.keys).map(|i| format!("tenant-{i}")).collect();
         let keys: Vec<QosKey> = key_names
@@ -349,6 +386,7 @@ impl Sim {
             nonce_base,
             completed: 0,
             backend: 0,
+            leased: 0,
             degraded: 0,
             defaulted: 0,
             config,
@@ -388,12 +426,21 @@ impl Sim {
             sojourn_shedding: false,
             ..OverloadConfig::default()
         };
-        let core = ServerCore::new(
+        let mut core = ServerCore::new(
             table,
             DefaultRulePolicy::Deny,
             self.config.fifo_capacity,
             overload,
         );
+        if self.config.lease {
+            core = core.with_lease(LeaseConfig {
+                enabled: true,
+                ttl: self.config.rpc_timeout,
+                hot_threshold: 2,
+                max_holders: 2,
+                slice_fraction: 4,
+            });
+        }
         let now = self.clock.now();
         match restore {
             Some(rules) => core.restore(rules, now),
@@ -467,6 +514,12 @@ impl Sim {
             .cloned()
             .zip(self.oracle.degraded_allows.iter().copied())
             .collect();
+        let per_key_leased = self
+            .key_names
+            .iter()
+            .cloned()
+            .zip(self.oracle.lease_admits.iter().copied())
+            .collect();
         SimReport {
             seed: self.config.seed,
             trace: {
@@ -478,10 +531,12 @@ impl Sim {
             issued: self.calls.len() as u32,
             completed: self.completed,
             backend: self.backend,
+            leased: self.leased,
             degraded: self.degraded,
             defaulted: self.defaulted,
             per_key_allows,
             per_key_degraded,
+            per_key_leased,
             reboots: self.partitions.iter().map(|p| p.reboots).sum(),
             dropped: self.fault.dropped(),
             duplicated: self.fault.duplicated(),
@@ -527,6 +582,21 @@ impl Sim {
         let key = self.keys[key_idx].clone();
         let name = self.key_names[key_idx].clone();
         match self.router.begin(&key, now) {
+            RouterStep::LeaseAdmit { partition } => {
+                self.calls.push(Call {
+                    key_idx,
+                    partition,
+                    plan: None,
+                    issued_at: now,
+                    completed_at: Some(now),
+                    completion: Some(Completion::Leased),
+                });
+                self.note(format!("issue #{n} key={name} lease-admit"));
+                let reboots = self.partitions[self.owners[key_idx]].reboots;
+                self.oracle.record_lease_admit(key_idx, &name, reboots);
+                self.completed += 1;
+                self.leased += 1;
+            }
             RouterStep::FastFail { partition, answer } => {
                 self.calls.push(Call {
                     key_idx,
@@ -542,13 +612,23 @@ impl Sim {
             RouterStep::Forward {
                 partition,
                 solicit_hint,
+                lease_ask,
             } => {
                 let id = u64::from(n) + 1;
-                let base = if solicit_hint {
+                let ask = match &lease_ask {
+                    None => "",
+                    Some(r) if r.giving_back => " +lease-return",
+                    Some(r) if r.epoch > 0 => " +lease-renew",
+                    Some(_) => " +lease-ask",
+                };
+                let mut base = if solicit_hint {
                     QosRequest::soliciting_hint(id, key)
                 } else {
                     QosRequest::new(id, key)
                 };
+                if let Some(report) = lease_ask {
+                    base = base.with_lease(report);
+                }
                 let total = self.config.rpc_timeout * self.config.attempts;
                 let nonce = self.nonce_base.wrapping_add(n.wrapping_mul(2_654_435_761));
                 let plan = AttemptPlan::stamped(base, self.config.attempts, now, total, nonce);
@@ -560,7 +640,7 @@ impl Sim {
                     completed_at: None,
                     completion: None,
                 });
-                self.note(format!("issue #{n} key={name} -> p{partition}"));
+                self.note(format!("issue #{n} key={name} -> p{partition}{ask}"));
                 self.send_attempt(n, 0);
             }
         }
@@ -747,20 +827,23 @@ impl Sim {
             return;
         }
         self.partitions[partition].poll_scheduled = false;
-        let (peeked, response, answered_delta, allowed_delta, backlog) = {
+        let (peeked, response, answered_delta, allowed_delta, drained_delta, backlog) = {
             let core = self.partitions[partition].core.as_mut().expect("checked");
             let peeked = core.peek_queue().cloned();
             if peeked.is_none() {
                 return;
             }
             let before = core.stats;
+            let drained_before = core.lease_stats().map_or(0, |s| s.drained);
             let response = core.poll_worker(now);
             let after = core.stats;
+            let drained_after = core.lease_stats().map_or(0, |s| s.drained);
             (
                 peeked,
                 response,
                 after.answered - before.answered,
                 after.allowed - before.allowed,
+                drained_after - drained_before,
                 core.queue_len(),
             )
         };
@@ -788,6 +871,22 @@ impl Sim {
             self.oracle.record_decision(
                 partition, part_epoch, &request, allow, key_idx, &name, reboots,
             );
+            if drained_delta > 0 {
+                self.note(format!(
+                    "p{partition} lease-drain {drained_delta} key={name}"
+                ));
+                self.oracle
+                    .record_lease_drain(key_idx, &name, reboots, drained_delta);
+            }
+            if let Some(r) = &response {
+                if let Some(lease) = &r.lease {
+                    self.note(format!(
+                        "p{partition} grant lease key={name} epoch={} slice={}",
+                        lease.epoch,
+                        lease.slice.whole(),
+                    ));
+                }
+            }
         } else if response.is_none() {
             self.note(format!("p{partition} shed queued job"));
         }
@@ -809,10 +908,20 @@ impl Sim {
         }
         let key_idx = self.calls[call as usize].key_idx;
         let key = self.keys[key_idx].clone();
-        let learned = self.router.on_response(partition, &key, &response);
-        let hint = if learned { " hint=learned" } else { "" };
+        let outcome = self.router.on_response(partition, &key, &response, now);
+        let hint = if outcome.hint_learned {
+            " hint=learned"
+        } else {
+            ""
+        };
+        let lease = match outcome.lease {
+            None => "",
+            Some(LeaseEvent::Granted) => " lease=granted",
+            Some(LeaseEvent::Renewed) => " lease=renewed",
+            Some(LeaseEvent::Revoked) => " lease=revoked",
+        };
         self.note(format!(
-            "router recv #{call} {} backend{hint}",
+            "router recv #{call} {} backend{hint}{lease}",
             verdict_str(response.verdict)
         ));
         self.calls[call as usize].completion = Some(Completion::Backend(response.verdict));
@@ -955,6 +1064,27 @@ impl Sim {
                 ));
                 self.schedule_in(heal_after, Event::Heal(i));
             }
+            DirectiveKind::RuleChange { key } => {
+                let now = self.clock.now();
+                let idx = key % self.keys.len();
+                let name = self.key_names[idx].clone();
+                let p = self.owners[idx];
+                match self.partitions[p].core.as_mut() {
+                    Some(core) => {
+                        // Same-shape re-apply: accrued credit is preserved
+                        // (clamped), so the oracle budget is untouched, but
+                        // the ledger's epoch bump revokes outstanding leases.
+                        let rule = QosRule::new(
+                            self.keys[idx].clone(),
+                            Credits::from_whole(self.config.capacity),
+                            RefillRate::ZERO,
+                        );
+                        core.apply_rule(rule, now);
+                        self.note(format!("rule-change key={name} p{p} (revoke leases)"));
+                    }
+                    None => self.note(format!("rule-change key={name} p{p} (down, dropped)")),
+                }
+            }
         }
     }
 
@@ -971,7 +1101,7 @@ impl Sim {
                 self.fault.set_reordering(0.0, Duration::ZERO);
                 self.note("heal burst".to_string());
             }
-            DirectiveKind::Crash { .. } => {}
+            DirectiveKind::Crash { .. } | DirectiveKind::RuleChange { .. } => {}
         }
     }
 
@@ -1150,5 +1280,97 @@ mod tests {
         }];
         let report = Sim::new(config).run();
         assert!(report.ok(), "violations: {:?}", report.violations);
+    }
+
+    /// A hot-key config: few keys, generous capacity, leases on.
+    fn leasing() -> SimConfig {
+        SimConfig {
+            seed: 23,
+            requests: 80,
+            keys: 2,
+            capacity: 40,
+            lease: true,
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn hot_keys_earn_leases_and_admit_with_zero_network_io() {
+        let report = Sim::new(leasing()).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(
+            report.leased > 0,
+            "expected zero-RTT lease admits in:\n{}",
+            report.trace
+        );
+        assert!(report.trace.contains(" +lease-ask"));
+        assert!(report.trace.contains("grant lease"));
+        assert!(report.trace.contains("lease-admit"));
+        assert_eq!(report.completed, report.issued);
+    }
+
+    #[test]
+    fn lease_runs_are_byte_identical_across_reruns() {
+        let a = Sim::new(leasing()).run();
+        let b = Sim::new(leasing()).run();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn lease_mode_off_reproduces_the_pre_lease_trace() {
+        // The lease plane is strictly additive: with the switch off,
+        // the machinery must not perturb a single event.
+        let mut with_field = calm();
+        with_field.lease = false;
+        let a = Sim::new(calm()).run();
+        let b = Sim::new(with_field).run();
+        assert_eq!(a.trace, b.trace);
+        assert!(!a.trace.contains("lease"));
+    }
+
+    #[test]
+    fn rule_change_revokes_leases_while_admits_race() {
+        let mut config = leasing();
+        config.directives = vec![Directive {
+            at: Duration::from_millis(40),
+            kind: DirectiveKind::RuleChange { key: 0 },
+        }];
+        let report = Sim::new(config).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(report.trace.contains("rule-change key=tenant-0"));
+    }
+
+    #[test]
+    fn crash_with_outstanding_leases_stays_within_the_reboot_budget() {
+        let mut config = leasing();
+        config.directives = vec![Directive {
+            at: Duration::from_millis(40),
+            kind: DirectiveKind::Crash { partition: 0 },
+        }];
+        let report = Sim::new(config).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.reboots, 1);
+        assert_eq!(report.completed, report.issued);
+    }
+
+    #[test]
+    fn lossy_network_cannot_break_the_lease_bound() {
+        // Grants lost in flight are written off server-side (drained
+        // but never installed); renewals delayed past the TTL force
+        // return-and-reconcile. Either way oracle 5 must hold.
+        let mut config = leasing();
+        config.directives = vec![Directive {
+            at: Duration::ZERO,
+            kind: DirectiveKind::Burst {
+                drop_pct: 40,
+                dup_pct: 20,
+                reorder_pct: 20,
+                heal_after: Duration::from_secs(5),
+            },
+        }];
+        let report = Sim::new(config).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.completed, report.issued, "availability floor");
     }
 }

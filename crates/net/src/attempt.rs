@@ -95,19 +95,22 @@ impl AttemptPlan {
                     let mut stamped = if attempt == 0 {
                         self.base.clone()
                     } else {
-                        self.base.without_hint()
+                        // Retries downgrade both optimistic extensions:
+                        // the hint solicitation and the lease report.
+                        self.base.without_hint().without_lease()
                     };
                     stamped.attempt = Some(AttemptMeta::new(budget_us, nonce));
                     AttemptStep::Send(stamped)
                 } else {
                     // Final attempt: the legacy frame an old,
-                    // deadline-unaware server still understands.
-                    AttemptStep::Send(self.base.without_attempt().without_hint())
+                    // deadline- and lease-unaware server still
+                    // understands.
+                    AttemptStep::Send(self.base.without_attempt().without_hint().without_lease())
                 }
             }
             None => {
-                if self.base.solicit_hint && attempt > 0 {
-                    AttemptStep::Send(self.base.without_hint())
+                if (self.base.solicit_hint || self.base.lease.is_some()) && attempt > 0 {
+                    AttemptStep::Send(self.base.without_hint().without_lease())
                 } else {
                     AttemptStep::Send(self.base.clone())
                 }
@@ -175,6 +178,30 @@ mod tests {
 
         let last = sent(plan.request_for(2, at));
         assert_eq!(last.attempt, None, "final attempt is a legacy frame");
+        assert!(!last.solicit_hint);
+    }
+
+    #[test]
+    fn lease_report_rides_only_the_first_attempt() {
+        use janus_types::LeaseReport;
+        let leased = base(true).with_lease(LeaseReport::soliciting(3));
+        // Plain plan: retries drop the lease with the hint.
+        let plan = AttemptPlan::plain(leased.clone(), 3);
+        assert!(sent(plan.request_for(0, T0)).lease.is_some());
+        for attempt in 1..3 {
+            let req = sent(plan.request_for(attempt, T0));
+            assert_eq!(req.lease, None, "retry {attempt} must not carry the lease");
+            assert!(!req.solicit_hint);
+        }
+        // Stamped plan: same discipline, and the final legacy attempt is
+        // free of all three extensions.
+        let plan = AttemptPlan::stamped(leased, 3, T0, Duration::from_micros(600), 42);
+        assert!(sent(plan.request_for(0, T0)).lease.is_some());
+        let retry = sent(plan.request_for(1, T0));
+        assert_eq!(retry.lease, None);
+        assert!(retry.attempt.is_some(), "retries keep the deadline stamp");
+        let last = sent(plan.request_for(2, T0));
+        assert_eq!((last.lease, last.attempt), (None, None));
         assert!(!last.solicit_hint);
     }
 

@@ -25,7 +25,7 @@ use crate::fault::{Fate, FaultPlan};
 use crate::udp::{OobDelivery, UdpRpcConfig};
 use janus_clock::Nanos;
 use janus_types::codec::{self, Frame, MAX_DATAGRAM_BYTES};
-use janus_types::{JanusError, QosKey, QosRequest, QosResponse, RequestId, Result};
+use janus_types::{JanusError, LeaseReport, QosKey, QosRequest, QosResponse, RequestId, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::net::SocketAddr;
@@ -166,7 +166,7 @@ impl PooledUdpRpcClient {
     /// The request id is allocated internally (callers supply only the
     /// key), guaranteeing pool-wide uniqueness.
     pub async fn check(&self, server: SocketAddr, key: QosKey) -> Result<QosResponse> {
-        self.do_check(server, key, false).await
+        self.do_check(server, key, false, None).await
     }
 
     /// Like [`check`](Self::check), but the first attempt solicits a rule
@@ -178,7 +178,21 @@ impl PooledUdpRpcClient {
         server: SocketAddr,
         key: QosKey,
     ) -> Result<QosResponse> {
-        self.do_check(server, key, true).await
+        self.do_check(server, key, true, None).await
+    }
+
+    /// Like the two above, but the first attempt also piggybacks a lease
+    /// report (solicitation, renewal, or return-and-reconcile). Retries
+    /// downgrade to the lease-free frame, so a lease-unaware server costs
+    /// at most one lost attempt.
+    pub async fn check_with_lease(
+        &self,
+        server: SocketAddr,
+        key: QosKey,
+        solicit: bool,
+        lease: Option<LeaseReport>,
+    ) -> Result<QosResponse> {
+        self.do_check(server, key, solicit, lease).await
     }
 
     async fn do_check(
@@ -186,13 +200,17 @@ impl PooledUdpRpcClient {
         server: SocketAddr,
         key: QosKey,
         solicit: bool,
+        lease: Option<LeaseReport>,
     ) -> Result<QosResponse> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let request = if solicit {
+        let mut request = if solicit {
             QosRequest::soliciting_hint(id, key)
         } else {
             QosRequest::new(id, key)
         };
+        if let Some(report) = lease {
+            request = request.with_lease(report);
+        }
         // Same end-to-end deadline discipline as `UdpRpcClient::call`,
         // decided by the shared sans-IO [`AttemptPlan`]: every attempt but
         // the last carries the remaining budget and the logical request's

@@ -24,13 +24,14 @@
 //! [`on_response`](RouterCore::on_response) or
 //! [`on_failure`](RouterCore::on_failure).
 
-use janus_bucket::LeakyBucket;
+use janus_bucket::{AtomicBucket, LeakyBucket};
 use janus_clock::Nanos;
 use janus_hash::{ModuloRouter, Router as _};
 use janus_net::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
 use janus_types::sync::Mutex;
-use janus_types::{QosKey, QosResponse, RuleHint, Verdict};
+use janus_types::{Lease, LeaseReport, QosKey, QosResponse, RuleHint, Verdict};
 use std::collections::HashMap;
+use std::time::Duration;
 
 /// The decision half of [`crate::RouterConfig`]: everything the core
 /// needs, nothing the transport owns (addresses, sockets, retry timing).
@@ -47,6 +48,31 @@ pub struct RouterCoreConfig {
     /// Per-partition circuit breaking plus degraded local admission;
     /// `None` is the paper-faithful ablation (no breakers, no hints).
     pub breaker: Option<BreakerConfig>,
+    /// Credit-lease participation: solicit short-TTL slices of hot keys
+    /// and admit them locally with zero network I/O. `None` keeps every
+    /// check on the RPC path (the pre-lease behaviour).
+    pub lease: Option<RouterLeaseConfig>,
+}
+
+/// The router half of the credit-lease plane (DESIGN.md ablation 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RouterLeaseConfig {
+    /// This node's stable identity in servers' lease ledgers.
+    pub holder: u32,
+    /// Renew proactively once this percentage of the TTL has elapsed
+    /// (clamped to ≤ 100), so a healthy exchange never lets a hot
+    /// lease lapse.
+    pub renew_percent: u32,
+}
+
+impl RouterLeaseConfig {
+    /// Lease participation as `holder`, renewing at 3/4 TTL.
+    pub fn new(holder: u32) -> Self {
+        RouterLeaseConfig {
+            holder,
+            renew_percent: 75,
+        }
+    }
 }
 
 /// What [`RouterCore::begin`] decided for one QoS check.
@@ -60,6 +86,15 @@ pub enum RouterStep {
         partition: usize,
         /// Ask the server to attach the key's rule shape.
         solicit_hint: bool,
+        /// Lease solicitation / renewal / return-and-reconcile to
+        /// piggyback on the first attempt, when leases are enabled.
+        lease_ask: Option<LeaseReport>,
+    },
+    /// A live lease covered the check: `Allow`, decided against the
+    /// router-local slice with zero network I/O.
+    LeaseAdmit {
+        /// The partition that granted the lease (for stats attribution).
+        partition: usize,
     },
     /// The partition's breaker is open: answer locally without touching
     /// the network.
@@ -90,6 +125,49 @@ impl LocalAnswer {
     }
 }
 
+/// What a lease-carrying (or lease-relevant) response did to the local
+/// lease cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseEvent {
+    /// A fresh lease was installed for a key that held none.
+    Granted,
+    /// The held lease was renewed at the same epoch: a fresh slice, with
+    /// the cumulative spent count carried forward.
+    Renewed,
+    /// The grant's epoch superseded the held lease (the server revoked
+    /// it on a rule change); the stale slice is dropped and the new one
+    /// installed with its spent count reset.
+    Revoked,
+}
+
+/// What [`RouterCore::on_response`] learned from one successful RPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResponseOutcome {
+    /// The response's rule hint was new or changed.
+    pub hint_learned: bool,
+    /// The response carried a lease grant (and what it did locally).
+    pub lease: Option<LeaseEvent>,
+}
+
+/// One held lease: a router-local bucket seeded from the granted slice,
+/// plus the book-keeping the reconciliation protocol needs.
+#[derive(Debug)]
+struct LeaseEntry {
+    /// The delegated slice, refilling at the granted share.
+    bucket: AtomicBucket,
+    /// Grant epoch; a grant at a different epoch supersedes this entry.
+    epoch: u32,
+    /// Local admits stop here; the entry converts to a return report.
+    expires_at: Nanos,
+    /// Piggyback a renewal ask on the next forwarded request after this.
+    renew_at: Nanos,
+    /// Cumulative admits under (key, holder, epoch) — what reconciliation
+    /// reports. Carried across same-epoch renewals, reset on epoch bump.
+    spent: u32,
+    /// A renewal ask is in flight; don't re-ask on every request.
+    renew_pending: bool,
+}
+
 /// The sans-IO router core: partition hashing, per-partition circuit
 /// breakers, learned rule hints and degraded local buckets (see module
 /// docs). Thread-safe — the two maps sit behind their own locks and the
@@ -111,6 +189,13 @@ pub struct RouterCore {
     /// across outage episodes, so repeated brownouts never re-grant the
     /// burst — over-admission stays bounded by one scaled capacity.
     degraded: Mutex<HashMap<QosKey, LeakyBucket>>,
+    /// Lease participation; `None` disables the whole plane.
+    lease: Option<RouterLeaseConfig>,
+    /// Live leases, admitting locally until dry, renewal or expiry.
+    leases: Mutex<HashMap<QosKey, LeaseEntry>>,
+    /// Expired leases awaiting a return-and-reconcile report, consumed
+    /// by the next forwarded request for the key.
+    returns: Mutex<HashMap<QosKey, LeaseReport>>,
 }
 
 impl RouterCore {
@@ -131,12 +216,20 @@ impl RouterCore {
             breakers,
             hints: Mutex::new(HashMap::new()),
             degraded: Mutex::new(HashMap::new()),
+            lease: config.lease,
+            leases: Mutex::new(HashMap::new()),
+            returns: Mutex::new(HashMap::new()),
         }
     }
 
     /// Whether the breaker/hint refinement is on at all.
     pub fn breakers_enabled(&self) -> bool {
         !self.breakers.is_empty()
+    }
+
+    /// Whether this node participates in credit leases.
+    pub fn leases_enabled(&self) -> bool {
+        self.lease.is_some()
     }
 
     /// The partition owning `key`.
@@ -149,10 +242,15 @@ impl RouterCore {
         self.default_verdict
     }
 
-    /// Start one QoS check at `now`: forward to the owning partition, or
-    /// fast-fail from local state while its breaker is open.
+    /// Start one QoS check at `now`: admit against a held lease with no
+    /// network I/O, forward to the owning partition, or fast-fail from
+    /// local state while its breaker is open. The lease fast path runs
+    /// first — a leased key keeps admitting even through a brownout.
     pub fn begin(&self, key: &QosKey, now: Nanos) -> RouterStep {
         let partition = self.route(key);
+        if self.lease.is_some() && self.lease_admit(key, now) {
+            return RouterStep::LeaseAdmit { partition };
+        }
         if self.breakers_enabled() {
             if let Admission::FastFail = self.breakers[partition].try_acquire(now) {
                 return RouterStep::FastFail {
@@ -164,21 +262,131 @@ impl RouterCore {
         RouterStep::Forward {
             partition,
             solicit_hint: self.breakers_enabled(),
+            lease_ask: self.lease_ask(key, now),
         }
     }
 
-    /// Report a successful RPC: closes/feeds the partition's breaker and
-    /// learns the response's rule hint. Returns `true` when the hint was
-    /// new or changed (for stats attribution).
-    pub fn on_response(&self, partition: usize, key: &QosKey, response: &QosResponse) -> bool {
-        if !self.breakers_enabled() {
+    /// Try to cover one check from the key's held lease. `true` means
+    /// the slice paid for it (the admit was pre-debited at the server at
+    /// grant time). An expired lease is converted into a pending
+    /// return-and-reconcile report; a dry slice falls through to the RPC
+    /// path, which may still find credit in the authoritative bucket.
+    fn lease_admit(&self, key: &QosKey, now: Nanos) -> bool {
+        let Some(cfg) = self.lease else { return false };
+        let mut leases = self.leases.lock();
+        let Some(entry) = leases.get_mut(key) else {
+            return false;
+        };
+        if now >= entry.expires_at {
+            // Hand back the unused remainder (not the spent count): by
+            // removing the entry first, the remainder is credit this
+            // holder provably stopped admitting against, which is the
+            // only amount the server can safely refund.
+            let remaining = u32::try_from(entry.bucket.credit(now).whole()).unwrap_or(u32::MAX);
+            let report = LeaseReport::returning(cfg.holder, entry.epoch, remaining, true);
+            leases.remove(key);
+            self.returns.lock().insert(key.clone(), report);
             return false;
         }
-        self.breakers[partition].record_success();
-        match response.hint {
-            Some(hint) => self.learn_hint(key, hint),
-            None => false,
+        if entry.bucket.try_consume(now) == Verdict::Allow {
+            entry.spent = entry.spent.saturating_add(1);
+            true
+        } else {
+            false
         }
+    }
+
+    /// The lease report (if any) to piggyback on a forwarded request: a
+    /// pending return-and-reconcile first, then a renewal once the TTL
+    /// fraction has elapsed, then a plain solicitation for unleased keys.
+    fn lease_ask(&self, key: &QosKey, now: Nanos) -> Option<LeaseReport> {
+        let cfg = self.lease?;
+        if let Some(report) = self.returns.lock().remove(key) {
+            return Some(report);
+        }
+        let mut leases = self.leases.lock();
+        match leases.get_mut(key) {
+            None => Some(LeaseReport::soliciting(cfg.holder)),
+            Some(entry) => {
+                if now >= entry.renew_at && !entry.renew_pending {
+                    entry.renew_pending = true;
+                    Some(LeaseReport::renewing(cfg.holder, entry.epoch, entry.spent))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Install (or replace) the lease granted by a response. Same epoch
+    /// means renewal: the fresh slice replaces the old bucket and the
+    /// cumulative spent count carries forward. A different epoch means
+    /// the server revoked the held lease (rule change): the stale slice
+    /// is dropped and accounting restarts at zero.
+    fn install_lease(
+        &self,
+        cfg: RouterLeaseConfig,
+        key: &QosKey,
+        lease: Lease,
+        now: Nanos,
+    ) -> LeaseEvent {
+        let ttl = Duration::from_micros(u64::from(lease.ttl_us));
+        let renew = Duration::from_micros(
+            u64::from(lease.ttl_us) * u64::from(cfg.renew_percent.min(100)) / 100,
+        );
+        let entry = LeaseEntry {
+            bucket: AtomicBucket::full(lease.slice, lease.refill, now),
+            epoch: lease.epoch,
+            expires_at: now.saturating_add(ttl),
+            renew_at: now.saturating_add(renew),
+            spent: 0,
+            renew_pending: false,
+        };
+        let mut leases = self.leases.lock();
+        match leases.insert(key.clone(), entry) {
+            None => LeaseEvent::Granted,
+            Some(old) if old.epoch == lease.epoch => {
+                if let Some(fresh) = leases.get_mut(key) {
+                    fresh.spent = old.spent;
+                }
+                LeaseEvent::Renewed
+            }
+            Some(_) => LeaseEvent::Revoked,
+        }
+    }
+
+    /// Report a successful RPC at `now`: closes/feeds the partition's
+    /// breaker, learns the response's rule hint and installs any lease
+    /// grant. The outcome says what was learned (for stats attribution).
+    pub fn on_response(
+        &self,
+        partition: usize,
+        key: &QosKey,
+        response: &QosResponse,
+        now: Nanos,
+    ) -> ResponseOutcome {
+        let mut outcome = ResponseOutcome::default();
+        if self.breakers_enabled() {
+            self.breakers[partition].record_success();
+            if let Some(hint) = response.hint {
+                outcome.hint_learned = self.learn_hint(key, hint);
+            }
+        }
+        if let Some(cfg) = self.lease {
+            match response.lease {
+                Some(lease) => {
+                    outcome.lease = Some(self.install_lease(cfg, key, lease, now));
+                }
+                None => {
+                    // An answered ask without a grant: let a later
+                    // request re-ask instead of waiting forever.
+                    if let Some(entry) = self.leases.lock().get_mut(key) {
+                        entry.renew_pending = false;
+                    }
+                }
+            }
+        }
+        outcome
     }
 
     /// Report an RPC that exhausted its retry budget (or could not be
@@ -248,6 +456,11 @@ impl RouterCore {
     pub fn hinted_keys(&self) -> usize {
         self.hints.lock().len()
     }
+
+    /// Keys currently holding a live lease (diagnostics).
+    pub fn leased_keys(&self) -> usize {
+        self.leases.lock().len()
+    }
 }
 
 #[cfg(test)]
@@ -271,7 +484,34 @@ mod tests {
                 failure_threshold: threshold,
                 open_timeout: Duration::from_secs(60),
             }),
+            lease: None,
         })
+    }
+
+    fn leased_core(holder: u32) -> RouterCore {
+        RouterCore::new(RouterCoreConfig {
+            partitions: 1,
+            default_verdict: Verdict::Deny,
+            fleet_size: 1,
+            breaker: None,
+            lease: Some(RouterLeaseConfig::new(holder)),
+        })
+    }
+
+    fn grant(id: u64, slice: u64, rate: u64, ttl_us: u32, epoch: u32) -> QosResponse {
+        QosResponse::new(id, Verdict::Allow).with_lease(Lease::new(
+            Credits::from_whole(slice),
+            RefillRate::per_second(rate),
+            ttl_us,
+            epoch,
+        ))
+    }
+
+    fn forwarded_ask(core: &RouterCore, k: &QosKey, now: Nanos) -> Option<LeaseReport> {
+        match core.begin(k, now) {
+            RouterStep::Forward { lease_ask, .. } => lease_ask,
+            step => panic!("expected a forward, got {step:?}"),
+        }
     }
 
     fn hinted(id: u64, capacity: u64, rate: u64) -> QosResponse {
@@ -291,9 +531,11 @@ mod tests {
                 RouterStep::Forward {
                     partition,
                     solicit_hint,
+                    lease_ask,
                 } => {
                     assert_eq!(partition, p);
                     assert!(solicit_hint, "breakers on => solicit");
+                    assert_eq!(lease_ask, None, "leases off => no ask");
                 }
                 step => panic!("healthy partition must forward, got {step:?}"),
             }
@@ -307,6 +549,7 @@ mod tests {
             default_verdict: Verdict::Allow,
             fleet_size: 1,
             breaker: None,
+            lease: None,
         });
         let k = key("tenant");
         let p = core.route(&k);
@@ -319,7 +562,10 @@ mod tests {
                 step => panic!("ablation never fast-fails, got {step:?}"),
             }
         }
-        assert!(!core.on_response(p, &k, &hinted(1, 10, 1)));
+        assert_eq!(
+            core.on_response(p, &k, &hinted(1, 10, 1), T0),
+            ResponseOutcome::default()
+        );
         assert_eq!(core.hinted_keys(), 0);
         assert_eq!(core.breaker_state(p, T0), None);
     }
@@ -353,7 +599,7 @@ mod tests {
         let core = core(1, 1);
         let k = key("tenant");
         // Healthy exchange learns the shape: capacity 5, zero refill.
-        assert!(core.on_response(0, &k, &hinted(1, 5, 0)));
+        assert!(core.on_response(0, &k, &hinted(1, 5, 0), T0).hint_learned);
         assert_eq!(core.hinted_keys(), 1);
         // Partition dies; breaker trips on the first failure and the
         // tripping request itself is served from the bucket (credit 1/5).
@@ -382,9 +628,10 @@ mod tests {
                 failure_threshold: 1,
                 open_timeout: Duration::from_secs(60),
             }),
+            lease: None,
         });
         let k = key("shared");
-        assert!(core.on_response(0, &k, &hinted(1, 8, 0)));
+        assert!(core.on_response(0, &k, &hinted(1, 8, 0), T0).hint_learned);
         let allowed = (0..10)
             .filter(|_| core.local_answer(&k, T0).verdict() == Verdict::Allow)
             .count();
@@ -395,16 +642,16 @@ mod tests {
     fn changed_hint_reseeds_the_degraded_bucket() {
         let core = core(1, 1);
         let k = key("tenant");
-        assert!(core.on_response(0, &k, &hinted(1, 2, 0)));
+        assert!(core.on_response(0, &k, &hinted(1, 2, 0), T0).hint_learned);
         // Drain the old bucket dry.
         assert_eq!(core.local_answer(&k, T0).verdict(), Verdict::Allow);
         assert_eq!(core.local_answer(&k, T0).verdict(), Verdict::Allow);
         assert_eq!(core.local_answer(&k, T0).verdict(), Verdict::Deny);
         // Same shape again: not "learned", bucket untouched (still dry).
-        assert!(!core.on_response(0, &k, &hinted(2, 2, 0)));
+        assert!(!core.on_response(0, &k, &hinted(2, 2, 0), T0).hint_learned);
         assert_eq!(core.local_answer(&k, T0).verdict(), Verdict::Deny);
         // A genuine rule update re-seeds at the new shape.
-        assert!(core.on_response(0, &k, &hinted(3, 4, 0)));
+        assert!(core.on_response(0, &k, &hinted(3, 4, 0), T0).hint_learned);
         let allowed = (0..6)
             .filter(|_| core.local_answer(&k, T0).verdict() == Verdict::Allow)
             .count();
@@ -421,6 +668,7 @@ mod tests {
                 failure_threshold: 1,
                 open_timeout: Duration::from_millis(250),
             }),
+            lease: None,
         });
         let k = key("tenant");
         assert!(core.on_failure(0, &k, T0).is_some());
@@ -430,8 +678,136 @@ mod tests {
         assert!(matches!(core.begin(&k, later), RouterStep::Forward { .. }));
         // ...and only one: a second caller fast-fails while it is out.
         assert!(matches!(core.begin(&k, later), RouterStep::FastFail { .. }));
-        core.on_response(0, &k, &QosResponse::new(9, Verdict::Allow));
+        core.on_response(0, &k, &QosResponse::new(9, Verdict::Allow), later);
         assert_eq!(core.breaker_state(0, later), Some(BreakerState::Closed));
         assert!(matches!(core.begin(&k, later), RouterStep::Forward { .. }));
+    }
+
+    #[test]
+    fn unleased_key_solicits_then_lease_admits_with_zero_network_io() {
+        let core = leased_core(7);
+        let k = key("hot");
+        // No lease held: every forward solicits one.
+        assert_eq!(
+            forwarded_ask(&core, &k, T0),
+            Some(LeaseReport::soliciting(7))
+        );
+        // A grant arrives: slice 3, zero refill, 10 ms TTL, epoch 1.
+        let outcome = core.on_response(0, &k, &grant(1, 3, 0, 10_000, 1), T0);
+        assert_eq!(outcome.lease, Some(LeaseEvent::Granted));
+        assert_eq!(core.leased_keys(), 1);
+        // The next three checks admit locally — no Forward step at all.
+        for _ in 0..3 {
+            assert!(matches!(core.begin(&k, T0), RouterStep::LeaseAdmit { .. }));
+        }
+        // Slice dry: fall back to the RPC path (the authoritative bucket
+        // may still have credit), without re-soliciting — a lease is held.
+        assert_eq!(forwarded_ask(&core, &k, T0), None);
+    }
+
+    #[test]
+    fn renewal_is_asked_once_past_the_ttl_fraction() {
+        let core = leased_core(7);
+        let k = key("hot");
+        core.on_response(0, &k, &grant(1, 100, 0, 10_000, 1), T0);
+        // Before 3/4 TTL: locally admitted, nothing to ask.
+        let early = T0.saturating_add(Duration::from_micros(7_000));
+        assert!(matches!(
+            core.begin(&k, early),
+            RouterStep::LeaseAdmit { .. }
+        ));
+        // Past 7.5 ms the slice still admits, but a forwarded request
+        // (forced here by draining nothing — use lease_ask directly via
+        // a dry-key forward after expiry of credit is impossible with
+        // slice 100, so inspect the ask path) piggybacks a renewal.
+        let late = T0.saturating_add(Duration::from_micros(8_000));
+        assert_eq!(
+            core.lease_ask(&k, late),
+            Some(LeaseReport::renewing(7, 1, 1)),
+            "renewal carries the cumulative spent count"
+        );
+        // The ask is pending: no duplicate renewal on the next forward.
+        assert_eq!(core.lease_ask(&k, late), None);
+        // The renewal lands (same epoch): fresh slice, spent carried.
+        let outcome = core.on_response(0, &k, &grant(2, 100, 0, 10_000, 1), late);
+        assert_eq!(outcome.lease, Some(LeaseEvent::Renewed));
+        assert!(matches!(
+            core.begin(&k, late),
+            RouterStep::LeaseAdmit { .. }
+        ));
+        assert_eq!(
+            core.lease_ask(&k, late.saturating_add(Duration::from_micros(8_000))),
+            Some(LeaseReport::renewing(7, 1, 2)),
+            "spent accumulates across same-epoch renewals"
+        );
+    }
+
+    #[test]
+    fn expired_lease_returns_and_reconciles_on_the_next_forward() {
+        let core = leased_core(9);
+        let k = key("hot");
+        core.on_response(0, &k, &grant(1, 5, 0, 1_000, 1), T0);
+        assert!(matches!(core.begin(&k, T0), RouterStep::LeaseAdmit { .. }));
+        assert!(matches!(core.begin(&k, T0), RouterStep::LeaseAdmit { .. }));
+        // Past the TTL the lease stops admitting; the same check falls
+        // back to an RPC carrying the return-and-reconcile report.
+        let late = T0.saturating_add(Duration::from_micros(1_500));
+        match core.begin(&k, late) {
+            RouterStep::Forward { lease_ask, .. } => {
+                let report = lease_ask.expect("expiry must produce a return");
+                assert!(report.giving_back, "unspent credit goes back");
+                assert!(report.solicit, "still hot: re-solicit");
+                // 2 of 5 spent: the return hands back the 3 unused.
+                assert_eq!((report.holder, report.epoch, report.spent), (9, 1, 3));
+            }
+            step => panic!("expired lease must forward, got {step:?}"),
+        }
+        assert_eq!(core.leased_keys(), 0);
+        // The return was consumed: the next forward solicits afresh.
+        assert_eq!(
+            forwarded_ask(&core, &k, late),
+            Some(LeaseReport::soliciting(9))
+        );
+    }
+
+    #[test]
+    fn epoch_bump_revokes_the_held_lease() {
+        let core = leased_core(3);
+        let k = key("hot");
+        core.on_response(0, &k, &grant(1, 5, 0, 10_000, 1), T0);
+        assert!(matches!(core.begin(&k, T0), RouterStep::LeaseAdmit { .. }));
+        // The server revoked epoch 1 (rule change) and granted epoch 2.
+        let outcome = core.on_response(0, &k, &grant(2, 5, 0, 10_000, 2), T0);
+        assert_eq!(outcome.lease, Some(LeaseEvent::Revoked));
+        // Accounting restarted: the next renewal reports epoch 2 spend.
+        assert!(matches!(core.begin(&k, T0), RouterStep::LeaseAdmit { .. }));
+        let late = T0.saturating_add(Duration::from_micros(8_000));
+        assert_eq!(
+            core.lease_ask(&k, late),
+            Some(LeaseReport::renewing(3, 2, 1))
+        );
+    }
+
+    #[test]
+    fn leases_compose_with_breakers_and_survive_brownout() {
+        let core = RouterCore::new(RouterCoreConfig {
+            partitions: 1,
+            default_verdict: Verdict::Deny,
+            fleet_size: 1,
+            breaker: Some(BreakerConfig {
+                failure_threshold: 1,
+                open_timeout: Duration::from_secs(60),
+            }),
+            lease: Some(RouterLeaseConfig::new(1)),
+        });
+        let k = key("hot");
+        core.on_response(0, &k, &grant(1, 2, 0, 50_000, 1), T0);
+        // The partition dies and the breaker opens...
+        assert!(core.on_failure(0, &k, T0).is_some());
+        // ...but leased admits keep flowing: zero network I/O needed.
+        assert!(matches!(core.begin(&k, T0), RouterStep::LeaseAdmit { .. }));
+        assert!(matches!(core.begin(&k, T0), RouterStep::LeaseAdmit { .. }));
+        // Slice dry during the brownout: now the breaker answers.
+        assert!(matches!(core.begin(&k, T0), RouterStep::FastFail { .. }));
     }
 }

@@ -18,7 +18,9 @@
 //! master→slave failover reaches routers without reconfiguration; direct
 //! socket addresses are also accepted for simple deployments.
 
-use crate::core::{LocalAnswer, RouterCore, RouterCoreConfig, RouterStep};
+use crate::core::{
+    LeaseEvent, LocalAnswer, RouterCore, RouterCoreConfig, RouterLeaseConfig, RouterStep,
+};
 use janus_clock::SharedClock;
 use janus_net::breaker::{BreakerConfig, BreakerState};
 use janus_net::dns::Resolver;
@@ -93,6 +95,13 @@ pub struct RouterConfig {
     /// charging the bucket twice. Safe against old servers — the final
     /// attempt always falls back to the legacy frame.
     pub deadline_propagation: bool,
+    /// Participate in credit leases (DESIGN.md ablation 13): solicit
+    /// short-TTL slices of hot keys from the QoS server and admit them
+    /// from a router-local bucket with zero network I/O, renewing
+    /// proactively and reconciling spend asynchronously. Safe against
+    /// old servers — they drop the lease frame kind and retries fall
+    /// back to the lease-free encoding.
+    pub lease: bool,
 }
 
 impl RouterConfig {
@@ -108,6 +117,7 @@ impl RouterConfig {
             breaker: Some(BreakerConfig::default()),
             fleet_size: 1,
             deadline_propagation: true,
+            lease: false,
         }
     }
 }
@@ -132,6 +142,12 @@ pub struct RouterStats {
     pub degraded_denied: AtomicU64,
     /// Rule hints learned (first sightings and shape changes).
     pub hints_learned: AtomicU64,
+    /// Requests admitted from a held credit lease — zero network I/O.
+    pub lease_admits: AtomicU64,
+    /// Lease renewals installed (same-epoch re-grants).
+    pub lease_renewals: AtomicU64,
+    /// Held leases superseded by an epoch bump (server-side revocation).
+    pub lease_revocations: AtomicU64,
 }
 
 /// A running request-router node.
@@ -166,6 +182,8 @@ struct RouterHandler {
 enum Served {
     /// The owning QoS server answered.
     Backend(Verdict),
+    /// A held credit lease admitted the request locally (always Allow).
+    Leased,
     /// The partition is browned out; a router-local bucket answered.
     Degraded(Verdict),
     /// No backend answer and no learned rule: the configured default.
@@ -186,7 +204,11 @@ impl RouterHandler {
     }
 
     async fn qos_check(&self, key: QosKey) -> Served {
-        let (partition, solicit_hint) = match self.core.begin(&key, self.clock.now()) {
+        let (partition, solicit_hint, lease_ask) = match self.core.begin(&key, self.clock.now()) {
+            RouterStep::LeaseAdmit { .. } => {
+                self.stats.lease_admits.fetch_add(1, Ordering::Relaxed);
+                return Served::Leased;
+            }
             RouterStep::FastFail { answer, .. } => {
                 self.stats
                     .breaker_fast_fails
@@ -196,16 +218,29 @@ impl RouterHandler {
             RouterStep::Forward {
                 partition,
                 solicit_hint,
-            } => (partition, solicit_hint),
+                lease_ask,
+            } => (partition, solicit_hint, lease_ask),
         };
         let result = match self.resolve(partition) {
-            Ok(addr) => self.call_backend(addr, &key, solicit_hint).await,
+            Ok(addr) => self.call_backend(addr, &key, solicit_hint, lease_ask).await,
             Err(e) => Err(e),
         };
         match result {
             Ok(response) => {
-                if self.core.on_response(partition, &key, &response) {
+                let outcome = self
+                    .core
+                    .on_response(partition, &key, &response, self.clock.now());
+                if outcome.hint_learned {
                     self.stats.hints_learned.fetch_add(1, Ordering::Relaxed);
+                }
+                match outcome.lease {
+                    Some(LeaseEvent::Renewed) => {
+                        self.stats.lease_renewals.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(LeaseEvent::Revoked) => {
+                        self.stats.lease_revocations.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Some(LeaseEvent::Granted) | None => {}
                 }
                 Served::Backend(response.verdict)
             }
@@ -231,26 +266,35 @@ impl RouterHandler {
     }
 
     /// One UDP exchange. With breakers on, the first attempt solicits a
-    /// rule hint (retries inside the client fall back to the plain
-    /// frame, so hint-unaware servers cost at most one attempt).
+    /// rule hint; with leases on, it piggybacks the lease report from
+    /// the core (retries inside the client fall back to the plain
+    /// frame, so hint- and lease-unaware servers cost at most one
+    /// attempt).
     async fn call_backend(
         &self,
         addr: SocketAddr,
         key: &QosKey,
         solicit: bool,
+        lease_ask: Option<janus_types::LeaseReport>,
     ) -> Result<QosResponse> {
         match &self.rpc {
             RpcBackend::PerRequest(rpc) => {
                 let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-                let request = if solicit {
+                let mut request = if solicit {
                     QosRequest::soliciting_hint(id, key.clone())
                 } else {
                     QosRequest::new(id, key.clone())
                 };
+                if let Some(report) = lease_ask {
+                    request = request.with_lease(report);
+                }
                 rpc.call(addr, &request).await
             }
             RpcBackend::Pooled(pool) => {
-                if solicit {
+                if lease_ask.is_some() {
+                    pool.check_with_lease(addr, key.clone(), solicit, lease_ask)
+                        .await
+                } else if solicit {
                     pool.check_soliciting_hint(addr, key.clone()).await
                 } else {
                     pool.check(addr, key.clone()).await
@@ -283,6 +327,9 @@ impl HttpHandler for RouterHandler {
                             self.stats.forwarded_ok.fetch_add(1, Ordering::Relaxed);
                             verdict
                         }
+                        // The lease admit was counted in qos_check; a
+                        // held slice only ever admits.
+                        Served::Leased => Verdict::Allow,
                         // Degraded counters were recorded at the bucket.
                         Served::Degraded(verdict) => verdict,
                         Served::Default => {
@@ -354,6 +401,11 @@ impl RequestRouter {
                 default_verdict: config.default_verdict,
                 fleet_size: config.fleet_size,
                 breaker: config.breaker,
+                // Holder identity only has to be stable for this node's
+                // lifetime and unlikely to collide within the fleet.
+                lease: config
+                    .lease
+                    .then(|| RouterLeaseConfig::new(rand_seed() as u32)),
             }),
             backends: config.backends,
             resolver,
@@ -410,6 +462,11 @@ impl RequestRouter {
     /// Keys with a learned rule hint (diagnostics).
     pub fn hinted_keys(&self) -> usize {
         self.handler.core.hinted_keys()
+    }
+
+    /// Keys currently holding a live credit lease (diagnostics).
+    pub fn leased_keys(&self) -> usize {
+        self.handler.core.leased_keys()
     }
 
     /// Stop accepting requests.

@@ -105,6 +105,11 @@ pub enum DispatchMode {
 // lived publicly.
 pub use crate::overload::OverloadConfig;
 
+// Same story for the credit-lease policy: it lives with the sans-IO
+// ledger in `crate::lease`, re-exported here next to the config that
+// embeds it.
+pub use crate::lease::LeaseConfig;
+
 /// Tunables for one QoS server node.
 #[derive(Debug, Clone)]
 pub struct QosServerConfig {
@@ -146,6 +151,10 @@ pub struct QosServerConfig {
     /// Overload control: staleness shedding, sojourn governor, duplicate
     /// suppression.
     pub overload: OverloadConfig,
+    /// Credit leases: delegate bucket slices to hot-key routers so they
+    /// admit locally with zero network I/O. Off by default — every
+    /// pre-lease code path is untouched with `lease.enabled: false`.
+    pub lease: LeaseConfig,
     /// Socket/syscall strategy for the UDP data plane.
     pub socket_mode: SocketMode,
     /// Address the admission socket(s) bind. Port 0 picks an ephemeral
@@ -178,6 +187,7 @@ impl Default for QosServerConfig {
             batching: true,
             db_fetch_timeout: Duration::from_millis(250),
             overload: OverloadConfig::default(),
+            lease: LeaseConfig::default(),
             socket_mode: SocketMode::default(),
             bind_addr: default_bind_addr(),
             busy_poll_us: None,
@@ -210,6 +220,7 @@ impl QosServerConfig {
             batching: true,
             db_fetch_timeout: Duration::from_secs(2),
             overload: OverloadConfig::default(),
+            lease: LeaseConfig::default(),
             socket_mode: SocketMode::default(),
             bind_addr: default_bind_addr(),
             busy_poll_us: None,
@@ -242,6 +253,19 @@ impl QosServerConfig {
             return Err(janus_types::JanusError::config(
                 "db_fetch_timeout must be > 0",
             ));
+        }
+        if self.lease.enabled {
+            if self.lease.ttl.is_zero() {
+                return Err(janus_types::JanusError::config(
+                    "lease.ttl must be > 0 when leases are enabled",
+                ));
+            }
+            if self.lease.max_holders == 0 || self.lease.slice_fraction == 0 {
+                return Err(janus_types::JanusError::config(
+                    "lease.max_holders and lease.slice_fraction must be > 0 \
+                     when leases are enabled",
+                ));
+            }
         }
         if self.overload.sojourn_shedding {
             if self.overload.sojourn_target.is_zero() {
@@ -320,6 +344,20 @@ mod tests {
         let mut c = QosServerConfig::default();
         c.db_fetch_timeout = Duration::ZERO;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn lease_shape_is_validated_only_when_enabled() {
+        let mut c = QosServerConfig::default();
+        c.lease.ttl = Duration::ZERO;
+        c.lease.max_holders = 0;
+        assert!(c.validate().is_ok(), "disabled leases ignore the shape");
+        c.lease.enabled = true;
+        assert!(c.validate().is_err());
+        c.lease.ttl = Duration::from_millis(50);
+        assert!(c.validate().is_err(), "zero max_holders must be rejected");
+        c.lease.max_holders = 4;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

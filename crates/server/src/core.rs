@@ -31,6 +31,7 @@
 //! failover replication exchanges byte-identical snapshots with the
 //! production TCP listener.
 
+use crate::lease::{LeaseConfig, LeaseLedger, LeaseLedgerStats};
 use crate::overload::{DedupOutcome, DedupWindow, OverloadConfig, SojournGovernor};
 use janus_bucket::{DefaultRulePolicy, QosTable};
 use janus_clock::Nanos;
@@ -284,6 +285,7 @@ pub struct ServerCore {
     queue: VecDeque<(QosRequest, Nanos)>,
     fifo_capacity: usize,
     default_policy: DefaultRulePolicy,
+    ledger: Option<LeaseLedger>,
     /// Counters, updated as requests flow through.
     pub stats: ServerCoreStats,
 }
@@ -306,7 +308,40 @@ impl ServerCore {
             queue: VecDeque::new(),
             fifo_capacity: fifo_capacity.max(1),
             default_policy,
+            ledger: None,
             stats: ServerCoreStats::default(),
+        }
+    }
+
+    /// This core with the credit-lease plane enabled under `config`
+    /// (a no-op when `config.enabled` is false).
+    pub fn with_lease(mut self, config: LeaseConfig) -> Self {
+        self.ledger = config.enabled.then(|| LeaseLedger::new(config));
+        self
+    }
+
+    /// Ledger counters, when the lease plane is enabled. The simulator
+    /// differences `drained` across steps to feed the lease oracle.
+    pub fn lease_stats(&self) -> Option<LeaseLedgerStats> {
+        self.ledger.as_ref().map(|ledger| ledger.stats)
+    }
+
+    /// The lease ledger, when enabled (the simulator reaches in for
+    /// epochs and holder counts, like tests do).
+    pub fn ledger(&self) -> Option<&LeaseLedger> {
+        self.ledger.as_ref()
+    }
+
+    /// Apply a changed rule: update the table (insert when new) and
+    /// revoke outstanding leases for the key by epoch bump — delegated
+    /// credit from the old shape means nothing under the new one. The
+    /// production DB-sync task follows the same discipline.
+    pub fn apply_rule(&mut self, rule: QosRule, now: Nanos) {
+        if !self.table.apply_update(&rule, now) {
+            self.table.insert(rule.clone(), now);
+        }
+        if let Some(ledger) = self.ledger.as_mut() {
+            ledger.revoke(&rule.key);
         }
     }
 
@@ -392,7 +427,22 @@ impl ServerCore {
                     self.stats.shed_expired += 1;
                     return None;
                 }
-                Some(respond(&self.table, &request, verdict))
+                let mut response = respond(&self.table, &request, verdict);
+                if let (Some(ledger), Some(report)) = (self.ledger.as_mut(), request.lease) {
+                    let table = Arc::clone(&self.table);
+                    let key = request.key.clone();
+                    let mut charge = || table.decide(&key, now) == Some(Verdict::Allow);
+                    if let Some(lease) = ledger.on_report(
+                        &request.key,
+                        report,
+                        table.shape(&request.key),
+                        now,
+                        &mut charge,
+                    ) {
+                        response = response.with_lease(lease);
+                    }
+                }
+                Some(response)
             }
         }
     }
@@ -570,6 +620,81 @@ mod tests {
         // A legacy frame sheds silently.
         assert!(core.on_request(QosRequest::new(3, key("t")), T0).is_none());
         assert_eq!(core.stats.shed_full, 3);
+    }
+
+    #[test]
+    fn lease_soliciting_traffic_earns_a_grant_debited_from_the_bucket() {
+        use crate::lease::LeaseConfig;
+        use janus_types::LeaseReport;
+        let table: Arc<dyn QosTable> = Arc::new(ShardedTable::new());
+        table.insert(QosRule::per_second(key("hot"), 20, 0), T0);
+        let mut core = ServerCore::new(
+            table,
+            DefaultRulePolicy::Deny,
+            64,
+            OverloadConfig::default(),
+        )
+        .with_lease(LeaseConfig {
+            enabled: true,
+            ttl: Duration::from_millis(20),
+            hot_threshold: 2,
+            max_holders: 2,
+            slice_fraction: 4,
+        });
+        let ask = |id| QosRequest::new(id, key("hot")).with_lease(LeaseReport::soliciting(9));
+        assert!(core.on_request(ask(1), T0).is_none());
+        let first = core.poll_worker(T0).unwrap();
+        assert_eq!(first.lease, None, "below the hot threshold");
+        assert!(core.on_request(ask(2), T0).is_none());
+        let second = core.poll_worker(T0).unwrap();
+        let lease = second.lease.expect("second ask crosses the threshold");
+        assert_eq!(lease.slice, janus_types::Credits::from_whole(5));
+        assert_eq!(lease.epoch, 1);
+        // The two admissions plus the 5-credit slice left 13 of 20: the
+        // grant really debited the authoritative bucket.
+        let stats = core.lease_stats().unwrap();
+        assert_eq!(stats.drained, 5);
+        assert_eq!(stats.grants, 1);
+        let mut allows = 0;
+        for id in 3..30 {
+            assert!(core
+                .on_request(QosRequest::new(id, key("hot")), T0)
+                .is_none());
+            if core.poll_worker(T0).unwrap().verdict == Verdict::Allow {
+                allows += 1;
+            }
+        }
+        assert_eq!(allows, 13, "slice credits are gone from the bucket");
+    }
+
+    #[test]
+    fn apply_rule_revokes_by_epoch_bump() {
+        use crate::lease::LeaseConfig;
+        use janus_types::LeaseReport;
+        let table: Arc<dyn QosTable> = Arc::new(ShardedTable::new());
+        table.insert(QosRule::per_second(key("hot"), 20, 0), T0);
+        let mut core = ServerCore::new(
+            table,
+            DefaultRulePolicy::Deny,
+            64,
+            OverloadConfig::default(),
+        )
+        .with_lease(LeaseConfig {
+            enabled: true,
+            ttl: Duration::from_millis(20),
+            hot_threshold: 1,
+            max_holders: 2,
+            slice_fraction: 4,
+        });
+        let ask = QosRequest::new(1, key("hot")).with_lease(LeaseReport::soliciting(9));
+        assert!(core.on_request(ask, T0).is_none());
+        assert_eq!(core.poll_worker(T0).unwrap().lease.unwrap().epoch, 1);
+        core.apply_rule(QosRule::per_second(key("hot"), 10, 0), T0);
+        assert_eq!(core.lease_stats().unwrap().revocations, 1);
+        let ask = QosRequest::new(2, key("hot")).with_lease(LeaseReport::soliciting(9));
+        assert!(core.on_request(ask, T0).is_none());
+        let lease = core.poll_worker(T0).unwrap().lease.unwrap();
+        assert_eq!(lease.epoch, 2, "re-grant carries the bumped epoch");
     }
 
     #[test]

@@ -47,6 +47,7 @@
 mod config;
 pub mod core;
 mod ha;
+mod lease;
 mod overload;
 mod percore;
 mod server;
@@ -56,5 +57,6 @@ pub use crate::core::{
 };
 pub use config::{DbTarget, DispatchMode, OverloadConfig, QosServerConfig, SocketMode, TableKind};
 pub use ha::{fetch_snapshot, SlaveReplicator};
+pub use lease::{LeaseConfig, LeaseLedger, LeaseLedgerStats};
 pub use overload::{DedupOutcome, DedupWindow, SojournGovernor};
 pub use server::{QosServer, ServerStats, ServerStatsSnapshot};

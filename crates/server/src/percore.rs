@@ -30,7 +30,7 @@
 
 use crate::config::{DbTarget, QosServerConfig};
 use crate::core::{self, IngressCore, IngressDecision};
-use crate::server::{decide, respond, GuestKeys, ServerStats, SharedDedup};
+use crate::server::{decide, respond, GuestKeys, ServerStats, SharedDedup, SharedLedger};
 use janus_bucket::QosTable;
 use janus_clock::SharedClock;
 use janus_db::DbClient;
@@ -39,7 +39,7 @@ use janus_net::fault::{Fate, FaultPlan};
 use janus_net::mmsg::{self, RecvSlot, MAX_BATCH};
 use janus_net::udp::RECV_BUF_BYTES;
 use janus_types::codec::{self, Frame};
-use janus_types::{QosRequest, QosResponse, Result};
+use janus_types::{QosRequest, QosResponse, Result, Verdict};
 use std::io::ErrorKind;
 use std::net::{SocketAddr, UdpSocket};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -64,6 +64,7 @@ pub(crate) struct PerCoreCtx {
     pub db_fetch_timeout: Duration,
     pub core: IngressCore,
     pub dedup: Option<SharedDedup>,
+    pub ledger: Option<SharedLedger>,
     pub faults: Arc<FaultPlan>,
 }
 
@@ -232,7 +233,26 @@ fn handle_request(
         ctx.stats.shed_expired.fetch_add(1, Ordering::Relaxed);
         return None;
     }
-    Some(respond(&ctx.table, &request, verdict))
+    let mut response = respond(&ctx.table, &request, verdict);
+    // Lease half: fold in the piggybacked report through the shared
+    // ledger and attach a grant when the key is hot and the bucket
+    // covers the debit — same discipline as the async workers.
+    if let (Some(ledger), Some(report)) = (&ctx.ledger, request.lease) {
+        let now = ctx.clock.now();
+        let mut charge = || ctx.table.decide(&request.key, now) == Some(Verdict::Allow);
+        let lease = ledger.lock().on_report(
+            &request.key,
+            report,
+            ctx.table.shape(&request.key),
+            now,
+            &mut charge,
+        );
+        if let Some(lease) = lease {
+            ctx.stats.lease_grants.fetch_add(1, Ordering::Relaxed);
+            response = response.with_lease(lease);
+        }
+    }
+    Some(response)
 }
 
 /// Drain `by_peer`, judging response fates per datagram exactly like the

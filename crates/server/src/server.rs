@@ -15,6 +15,7 @@ use crate::config::{
 };
 use crate::core::{self, IngressCore, IngressDecision, WorkerCore, WorkerTriage};
 use crate::ha;
+use crate::lease::LeaseLedger;
 use crate::overload::DedupWindow;
 use crate::percore;
 use janus_bucket::{
@@ -55,6 +56,14 @@ pub(crate) type GuestKeys = Arc<parking_lot::Mutex<HashSet<QosKey>>>;
 /// worker may decide any key, and credit exactness requires duplicate
 /// detection to be serialized at a single point.
 pub(crate) type SharedDedup = Arc<parking_lot::Mutex<DedupWindow>>;
+
+/// The credit-lease ledger shared by every decision site (workers on
+/// both dispatch modes, or per-core socket owners) and the rule-sync
+/// task (revocation on rule change). One ledger per server — like the
+/// dedup window, lease accounting must serialize at a single point
+/// because any worker may decide any key under shared-FIFO and per-core
+/// dispatch. `None` when the lease plane is disabled.
+pub(crate) type SharedLedger = Arc<parking_lot::Mutex<LeaseLedger>>;
 
 /// One queued admission request, stamped with its enqueue time so the
 /// dequeuing worker can compute the queue sojourn — the signal behind
@@ -100,6 +109,9 @@ pub struct ServerStats {
     pub checkpoints: AtomicU64,
     /// Rule-sync rounds that found changes.
     pub sync_rounds: AtomicU64,
+    /// Lease grants (first-time and renewals) attached to responses —
+    /// each one pre-paid by a debit against the authoritative bucket.
+    pub lease_grants: AtomicU64,
     /// First-sighting DB fetches abandoned at the fetch budget.
     pub db_timeouts: AtomicU64,
     /// Requests currently queued between listener and workers (gauge).
@@ -149,6 +161,8 @@ pub struct ServerStatsSnapshot {
     pub checkpoints: u64,
     /// Rule-sync rounds that found changes.
     pub sync_rounds: u64,
+    /// Lease grants (first-time and renewals) attached to responses.
+    pub lease_grants: u64,
     /// First-sighting DB fetches abandoned at the fetch budget.
     pub db_timeouts: u64,
     /// Requests queued between listener and workers right now (gauge —
@@ -204,6 +218,7 @@ impl ServerStats {
             refill_sweeps: self.refill_sweeps.load(Ordering::Relaxed),
             checkpoints: self.checkpoints.load(Ordering::Relaxed),
             sync_rounds: self.sync_rounds.load(Ordering::Relaxed),
+            lease_grants: self.lease_grants.load(Ordering::Relaxed),
             db_timeouts: self.db_timeouts.load(Ordering::Relaxed),
             fifo_depth: self.fifo_depth.load(Ordering::Relaxed),
             cas_retries: self.cas_retries.load(Ordering::Relaxed),
@@ -302,6 +317,14 @@ impl QosServer {
                 overload.dedup_window,
             )))
         });
+        // The lease ledger is shared the same way: one authoritative
+        // bookkeeper per server, consulted at every decision site and by
+        // the rule-sync task (epoch-bump revocation on rule change).
+        let ledger: Option<SharedLedger> = config.lease.enabled.then(|| {
+            Arc::new(parking_lot::Mutex::new(LeaseLedger::new(
+                config.lease.clone(),
+            )))
+        });
         let udp_addr = if config.socket_mode == SocketMode::PerCore {
             // Kernel flow steering replaces the listener→queue hop: each
             // worker thread owns an SO_REUSEPORT socket and drains it
@@ -318,6 +341,7 @@ impl QosServer {
                     db_fetch_timeout: config.db_fetch_timeout,
                     core: IngressCore::new(overload.clone()),
                     dedup,
+                    ledger: ledger.clone(),
                     faults: Arc::clone(&faults),
                 },
                 shutdown_rx.clone(),
@@ -345,6 +369,7 @@ impl QosServer {
                 db_fetch_timeout: config.db_fetch_timeout,
                 overload: overload.clone(),
                 dedup: dedup.clone(),
+                ledger: ledger.clone(),
             };
             match config.dispatch {
                 DispatchMode::KeyAffinity => {
@@ -416,6 +441,7 @@ impl QosServer {
                 config.sync_interval,
                 shutdown_rx.clone(),
                 Arc::clone(&guest_keys),
+                ledger.clone(),
             );
             spawn_checkpoint(
                 Arc::clone(&table),
@@ -497,6 +523,7 @@ struct WorkerCtx {
     db_fetch_timeout: Duration,
     overload: OverloadConfig,
     dedup: Option<SharedDedup>,
+    ledger: Option<SharedLedger>,
 }
 
 impl WorkerCtx {
@@ -542,6 +569,28 @@ impl WorkerCtx {
     fn record_verdict(&self, job: &Job, verdict: Verdict) {
         if let Some(dedup) = &self.dedup {
             core::record_verdict(&job.request, &mut dedup.lock(), verdict);
+        }
+    }
+
+    /// Run the lease half of a decided request through the shared
+    /// ledger: fold in the piggybacked report, and attach a grant when
+    /// the key is hot and the authoritative bucket covers the debit.
+    fn attach_lease(&self, job: &Job, response: QosResponse) -> QosResponse {
+        let (Some(ledger), Some(report)) = (&self.ledger, job.request.lease) else {
+            return response;
+        };
+        let now = self.clock.now();
+        let key = &job.request.key;
+        let mut charge = || self.table.decide(key, now) == Some(Verdict::Allow);
+        let lease = ledger
+            .lock()
+            .on_report(key, report, self.table.shape(key), now, &mut charge);
+        match lease {
+            Some(lease) => {
+                self.stats.lease_grants.fetch_add(1, Ordering::Relaxed);
+                response.with_lease(lease)
+            }
+            None => response,
         }
     }
 
@@ -592,6 +641,7 @@ fn spawn_worker(ctx: WorkerCtx, fifo: Arc<Mutex<mpsc::Receiver<Job>>>) {
                 continue;
             }
             let response = respond(&ctx.table, &job.request, verdict);
+            let response = ctx.attach_lease(&job, response);
             let _ = ctx.socket.send_response(&response, job.peer).await;
         }
     });
@@ -713,7 +763,7 @@ fn spawn_ingress_listener(ctx: IngressCtx, mut shutdown: watch::Receiver<bool>, 
 fn spawn_affinity_worker(ctx: WorkerCtx, mut rx: mpsc::Receiver<Job>, batching: bool) {
     tokio::spawn(async move {
         let mut db: Option<DbClient> = None;
-        let mut governor = ctx.governor();
+        let mut worker = ctx.worker_core();
         let mut batch: Vec<Job> = Vec::with_capacity(WORKER_DRAIN_LIMIT);
         // Responses grouped by destination; linear scan because a drain
         // rarely spans more than a couple of distinct peers.
@@ -735,7 +785,7 @@ fn spawn_affinity_worker(ctx: WorkerCtx, mut rx: mpsc::Receiver<Job>, batching: 
                 .fifo_depth
                 .fetch_sub(batch.len() as u64, Ordering::Relaxed);
             for job in batch.drain(..) {
-                let Some(job) = ctx.triage(job, governor.as_mut()).await else {
+                let Some(job) = ctx.triage(job, &mut worker).await else {
                     continue;
                 };
                 let verdict = decide(
@@ -756,6 +806,7 @@ fn spawn_affinity_worker(ctx: WorkerCtx, mut rx: mpsc::Receiver<Job>, batching: 
                     continue;
                 }
                 let response = respond(&ctx.table, &job.request, verdict);
+                let response = ctx.attach_lease(&job, response);
                 match by_peer.iter_mut().find(|(addr, _)| *addr == job.peer) {
                     Some((_, responses)) => responses.push(response),
                     None => by_peer.push((job.peer, vec![response])),
@@ -871,6 +922,7 @@ fn spawn_sync(
     interval: std::time::Duration,
     mut shutdown: watch::Receiver<bool>,
     guest_keys: GuestKeys,
+    ledger: Option<SharedLedger>,
 ) {
     tokio::spawn(async move {
         let mut ticker = tokio::time::interval(interval);
@@ -899,6 +951,14 @@ fn spawn_sync(
                     for key in table.keys() {
                         match client.get_rule(&key).await {
                             Ok(Some(rule)) => {
+                                // Delegated credit from the old shape
+                                // means nothing under the new one:
+                                // revoke outstanding leases by epoch
+                                // bump — but only on a real change, or
+                                // every sync round would kill healthy
+                                // leases.
+                                let changed = table.shape(&key)
+                                    != Some((rule.capacity, rule.refill_rate));
                                 let was_guest = guest_keys.lock().remove(&key);
                                 if was_guest {
                                     // A guest key got a purchased rule:
@@ -911,6 +971,11 @@ fn spawn_sync(
                                     // accrued credit preserved (clamped).
                                     table.apply_update(&rule, clock.now());
                                 }
+                                if changed {
+                                    if let Some(ledger) = &ledger {
+                                        ledger.lock().revoke(&key);
+                                    }
+                                }
                             }
                             Ok(None) => {
                                 // Absent from the database: a deleted
@@ -920,6 +985,9 @@ fn spawn_sync(
                                 // re-grant guest credit every round).
                                 if !guest_keys.lock().contains(&key) {
                                     table.remove(&key);
+                                    if let Some(ledger) = &ledger {
+                                        ledger.lock().revoke(&key);
+                                    }
                                 }
                             }
                             Err(_) => { db = None; ok = false; break; }
@@ -1604,6 +1672,62 @@ mod tests {
             .await
             .unwrap();
         assert!(guest.hint.is_some(), "default-policy rule has a shape too");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn lease_soliciting_hot_key_earns_a_grant_debited_from_the_bucket() {
+        use crate::config::LeaseConfig;
+        use janus_types::LeaseReport;
+        let db = spawn_db(vec![rule("hot", 20, 0)]).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.lease = LeaseConfig {
+            enabled: true,
+            ttl: Duration::from_millis(50),
+            hot_threshold: 2,
+            max_holders: 2,
+            slice_fraction: 4,
+        };
+        let server = QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        let client = rpc();
+        let ask = |id| QosRequest::new(id, key("hot")).with_lease(LeaseReport::soliciting(9));
+        let first = client.call(server.udp_addr(), &ask(1)).await.unwrap();
+        assert_eq!(first.lease, None, "below the hot threshold");
+        let second = client.call(server.udp_addr(), &ask(2)).await.unwrap();
+        let lease = second.lease.expect("second ask crosses the threshold");
+        assert_eq!(lease.slice, Credits::from_whole(5));
+        assert_eq!(lease.epoch, 1);
+        assert_eq!(server.stats().snapshot().lease_grants, 1);
+        // The grant debited the authoritative bucket: two admissions plus
+        // the 5-credit slice leave 13 of 20 for plain traffic.
+        let mut allowed = 0;
+        for id in 3..30 {
+            if check(&client, &server, id, "hot").await == Verdict::Allow {
+                allowed += 1;
+            }
+        }
+        assert_eq!(allowed, 13, "slice credits are gone from the bucket");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn plain_traffic_never_sees_a_lease_when_disabled() {
+        use janus_types::LeaseReport;
+        let db = spawn_db(vec![rule("cold", 20, 0)]).await;
+        let server = QosServer::spawn(
+            QosServerConfig::test_defaults(),
+            Some(db.addr().into()),
+            janus_clock::system(),
+        )
+        .await
+        .unwrap();
+        let client = rpc();
+        for id in 0..5 {
+            let ask = QosRequest::new(id, key("cold")).with_lease(LeaseReport::soliciting(9));
+            let resp = client.call(server.udp_addr(), &ask).await.unwrap();
+            assert_eq!(resp.lease, None, "disabled plane must never grant");
+        }
+        assert_eq!(server.stats().snapshot().lease_grants, 0);
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

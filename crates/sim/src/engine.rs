@@ -1,7 +1,6 @@
 //! Discrete-event machinery: the event queue and random variates.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use janus_hash::rng::Rng;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -77,10 +76,12 @@ impl<E> EventQueue<E> {
     }
 }
 
-/// Seeded random variates for the model.
+/// Seeded random variates for the model, drawn from the in-tree
+/// [`janus_hash::rng::Rng`] (xoshiro256++), so the whole simulation is a
+/// pure function of the seed with no external-crate sequence drift.
 #[derive(Debug)]
 pub struct SimRng {
-    rng: StdRng,
+    rng: Rng,
     spare_normal: Option<f64>,
 }
 
@@ -88,24 +89,24 @@ impl SimRng {
     /// Deterministic generator from `seed`.
     pub fn new(seed: u64) -> Self {
         SimRng {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             spare_normal: None,
         }
     }
 
     /// Uniform in `[0, 1)`.
     pub fn uniform(&mut self) -> f64 {
-        self.rng.gen()
+        self.rng.gen_f64()
     }
 
     /// Uniform integer in `[0, n)`.
     pub fn index(&mut self, n: usize) -> usize {
-        self.rng.gen_range(0..n)
+        self.rng.gen_range(n as u64) as usize
     }
 
     /// Bernoulli trial.
     pub fn chance(&mut self, p: f64) -> bool {
-        p > 0.0 && self.rng.gen::<f64>() < p
+        p > 0.0 && self.rng.gen_f64() < p
     }
 
     /// Standard normal via Box–Muller (cached pair).
@@ -115,12 +116,12 @@ impl SimRng {
         }
         // Avoid ln(0).
         let u1: f64 = loop {
-            let u = self.rng.gen::<f64>();
+            let u = self.rng.gen_f64();
             if u > 1e-12 {
                 break u;
             }
         };
-        let u2: f64 = self.rng.gen();
+        let u2: f64 = self.rng.gen_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         self.spare_normal = Some(r * theta.sin());

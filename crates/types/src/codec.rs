@@ -18,10 +18,23 @@
 //! kind = 0x06 (request + deadline):  id: u64 BE | flags: u8
 //!                                    | budget_us: u32 BE | nonce: u32 BE
 //!                                    | key_len: u8 | key bytes
+//! kind = 0x07 (request + lease report):  id: u64 BE | flags: u8
+//!                                        | budget_us: u32 BE | nonce: u32 BE
+//!                                        | holder: u32 BE | epoch: u32 BE
+//!                                        | spent: u32 BE
+//!                                        | key_len: u8 | key bytes
+//! kind = 0x08 (response + lease grant):  id: u64 BE | verdict: u8
+//!                                        | flags: u8
+//!                                        | slice: u64 BE microcredits
+//!                                        | refill: u64 BE microcredits/s
+//!                                        | ttl_us: u32 BE | epoch: u32 BE
+//!                                        | optional hint (capacity: u64 BE
+//!                                        | rate: u64 BE)
 //! ```
 //!
 //! A request for a UUID key is 49 bytes on the wire (58 with deadline
-//! metadata); a response is 13 (29 with a rule hint). All fit in a single
+//! metadata, 70 with a lease report); a response is 13 (29 with a rule
+//! hint, 38 with a lease grant, 54 with both). All fit in a single
 //! datagram with no fragmentation at any sane MTU.
 //!
 //! Kinds 0x04/0x05 are the **rule-hint** extension: a router that wants to
@@ -45,6 +58,23 @@
 //! unchanged: retries reuse the request id, so the cached-verdict reply to
 //! a duplicate attempt is an ordinary 0x02/0x05 frame.
 //!
+//! Kinds 0x07/0x08 are the **credit-lease** extension (zero-RTT
+//! admission): a lease-capable router piggybacks a [`LeaseReport`] on its
+//! admission requests — soliciting grants, reporting cumulative spend for
+//! async reconciliation, and returning leases it dropped — and a
+//! lease-aware server answers with 0x08 when it delegates a slice. The
+//! 0x07 `flags` byte carries the hint solicitation (bit 0), whether the
+//! deadline fields are meaningful (bit 1; both are zero on the wire when
+//! clear), the lease solicitation (bit 2) and the give-back (bit 3);
+//! remaining bits are reserved and rejected, as are non-zero deadline
+//! fields without bit 1. The 0x08 `flags` byte has bit 0 = "a rule hint
+//! follows the grant", so leases compose with the 0x04/0x05 extension.
+//! Back-compat is again by construction: a lease-unaware server drops the
+//! unknown 0x07 frame, so lease-capable clients downgrade their retries
+//! and final attempt to lease-free frames and lose at most one attempt
+//! against an old peer; an old router never sends 0x07, so it is never
+//! shown an 0x08 grant.
+//!
 //! The **batch** kind amortizes per-datagram syscall cost: a coalescing
 //! sender packs many requests (or responses) into one datagram, bounded
 //! by [`MAX_DATAGRAM_BYTES`]. Items reuse the single-frame payload
@@ -54,8 +84,8 @@
 //! both) and batching stays a per-sender opt-in.
 
 use crate::{
-    AttemptMeta, Credits, JanusError, QosKey, QosRequest, QosResponse, RefillRate, Result,
-    RuleHint, Verdict, MAX_KEY_BYTES,
+    AttemptMeta, Credits, JanusError, Lease, LeaseReport, QosKey, QosRequest, QosResponse,
+    RefillRate, Result, RuleHint, Verdict, MAX_KEY_BYTES,
 };
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
@@ -63,14 +93,35 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 pub const MAGIC: u16 = 0x4A51;
 /// Current protocol version.
 pub const VERSION: u8 = 1;
-/// Largest possible encoded frame (a deadline-stamped request with a
+/// Largest possible encoded frame (a lease-reporting request with a
 /// maximum-length key).
-pub const MAX_FRAME_BYTES: usize = 4 + 8 + DEADLINE_META_BYTES + 1 + MAX_KEY_BYTES;
+pub const MAX_FRAME_BYTES: usize = 4 + 8 + LEASE_META_BYTES + 1 + MAX_KEY_BYTES;
 /// Extra payload bytes a deadline-stamped request carries over the plain
 /// one (`flags: u8 | budget_us: u32 | nonce: u32`).
 const DEADLINE_META_BYTES: usize = 1 + 4 + 4;
+/// Extra payload bytes a lease-reporting request carries over the plain
+/// one (the deadline metadata plus `holder | epoch | spent`, u32 each).
+const LEASE_META_BYTES: usize = DEADLINE_META_BYTES + 4 + 4 + 4;
+/// Extra payload bytes a lease grant adds to a response
+/// (`flags: u8 | slice: u64 | refill: u64 | ttl_us: u32 | epoch: u32`).
+const LEASE_GRANT_BYTES: usize = 1 + 8 + 8 + 4 + 4;
 /// Flag bit in the 0x06 `flags` byte: the request solicits a rule hint.
 const DEADLINE_FLAG_SOLICIT_HINT: u8 = 0x01;
+/// Flag bit in the 0x07 `flags` byte: the request solicits a rule hint.
+const LEASE_FLAG_SOLICIT_HINT: u8 = 0x01;
+/// Flag bit in the 0x07 `flags` byte: the deadline fields are meaningful.
+const LEASE_FLAG_ATTEMPT: u8 = 0x02;
+/// Flag bit in the 0x07 `flags` byte: the request solicits a lease grant.
+const LEASE_FLAG_SOLICIT_LEASE: u8 = 0x04;
+/// Flag bit in the 0x07 `flags` byte: the holder is returning its lease.
+const LEASE_FLAG_GIVING_BACK: u8 = 0x08;
+/// All defined 0x07 flag bits; the rest are reserved and rejected.
+const LEASE_FLAGS_KNOWN: u8 = LEASE_FLAG_SOLICIT_HINT
+    | LEASE_FLAG_ATTEMPT
+    | LEASE_FLAG_SOLICIT_LEASE
+    | LEASE_FLAG_GIVING_BACK;
+/// Flag bit in the 0x08 `flags` byte: a rule hint follows the grant.
+const GRANT_FLAG_HINT: u8 = 0x01;
 /// Size budget for one batched datagram. Conservative for a 1500-byte
 /// Ethernet MTU minus IP + UDP headers, so a batch never fragments.
 pub const MAX_DATAGRAM_BYTES: usize = 1400;
@@ -89,6 +140,10 @@ pub const KIND_REQUEST_HINT: u8 = 0x04;
 pub const KIND_RESPONSE_HINT: u8 = 0x05;
 /// Frame kind: admission request carrying deadline budget and retry nonce.
 pub const KIND_REQUEST_DEADLINE: u8 = 0x06;
+/// Frame kind: admission request carrying a piggybacked lease report.
+pub const KIND_REQUEST_LEASE: u8 = 0x07;
+/// Frame kind: admission response carrying a credit-lease grant.
+pub const KIND_RESPONSE_LEASE: u8 = 0x08;
 
 /// A decoded frame: either direction of the admission protocol.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,7 +173,9 @@ fn put_header(buf: &mut BytesMut, kind: u8) {
 }
 
 fn request_kind(req: &QosRequest) -> u8 {
-    if req.attempt.is_some() {
+    if req.lease.is_some() {
+        KIND_REQUEST_LEASE
+    } else if req.attempt.is_some() {
         KIND_REQUEST_DEADLINE
     } else if req.solicit_hint {
         KIND_REQUEST_HINT
@@ -136,20 +193,46 @@ fn deadline_flags(req: &QosRequest) -> u8 {
     }
 }
 
+/// The 0x07 `flags` byte for a lease-reporting request.
+fn lease_flags(req: &QosRequest, report: &LeaseReport) -> u8 {
+    let mut flags = 0;
+    if req.solicit_hint {
+        flags |= LEASE_FLAG_SOLICIT_HINT;
+    }
+    if req.attempt.is_some() {
+        flags |= LEASE_FLAG_ATTEMPT;
+    }
+    if report.solicit {
+        flags |= LEASE_FLAG_SOLICIT_LEASE;
+    }
+    if report.giving_back {
+        flags |= LEASE_FLAG_GIVING_BACK;
+    }
+    flags
+}
+
 fn response_kind(resp: &QosResponse) -> u8 {
-    if resp.hint.is_some() {
+    if resp.lease.is_some() {
+        KIND_RESPONSE_LEASE
+    } else if resp.hint.is_some() {
         KIND_RESPONSE_HINT
     } else {
         KIND_RESPONSE
     }
 }
 
-/// Encode a request into a fresh buffer.
-pub fn encode_request(req: &QosRequest) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + 8 + DEADLINE_META_BYTES + 1 + req.key.len());
-    put_header(&mut buf, request_kind(req));
+/// The request payload, shared by the single-frame and batch encoders.
+fn put_request_body(buf: &mut BytesMut, req: &QosRequest) {
     buf.put_u64(req.id);
-    if let Some(attempt) = &req.attempt {
+    if let Some(report) = &req.lease {
+        buf.put_u8(lease_flags(req, report));
+        let attempt = req.attempt.unwrap_or(AttemptMeta::new(0, 0));
+        buf.put_u32(attempt.budget_us);
+        buf.put_u32(attempt.nonce);
+        buf.put_u32(report.holder);
+        buf.put_u32(report.epoch);
+        buf.put_u32(report.spent);
+    } else if let Some(attempt) = &req.attempt {
         buf.put_u8(deadline_flags(req));
         buf.put_u32(attempt.budget_us);
         buf.put_u32(attempt.nonce);
@@ -157,19 +240,42 @@ pub fn encode_request(req: &QosRequest) -> Bytes {
     debug_assert!(req.key.len() <= MAX_KEY_BYTES);
     buf.put_u8(req.key.len() as u8);
     buf.put_slice(req.key.as_bytes());
+}
+
+/// The response payload, shared by the single-frame and batch encoders.
+fn put_response_body(buf: &mut BytesMut, resp: &QosResponse) {
+    buf.put_u64(resp.id);
+    buf.put_u8(resp.verdict.as_bool() as u8);
+    if let Some(lease) = &resp.lease {
+        buf.put_u8(if resp.hint.is_some() {
+            GRANT_FLAG_HINT
+        } else {
+            0
+        });
+        buf.put_u64(lease.slice.as_micro());
+        buf.put_u64(lease.refill.micro_per_sec());
+        buf.put_u32(lease.ttl_us);
+        buf.put_u32(lease.epoch);
+    }
+    if let Some(hint) = &resp.hint {
+        buf.put_u64(hint.capacity.as_micro());
+        buf.put_u64(hint.refill_rate.micro_per_sec());
+    }
+}
+
+/// Encode a request into a fresh buffer.
+pub fn encode_request(req: &QosRequest) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 8 + LEASE_META_BYTES + 1 + req.key.len());
+    put_header(&mut buf, request_kind(req));
+    put_request_body(&mut buf, req);
     buf.freeze()
 }
 
 /// Encode a response into a fresh buffer.
 pub fn encode_response(resp: &QosResponse) -> Bytes {
-    let mut buf = BytesMut::with_capacity(4 + 8 + 1 + 16);
+    let mut buf = BytesMut::with_capacity(4 + 8 + 1 + LEASE_GRANT_BYTES + 16);
     put_header(&mut buf, response_kind(resp));
-    buf.put_u64(resp.id);
-    buf.put_u8(resp.verdict.as_bool() as u8);
-    if let Some(hint) = &resp.hint {
-        buf.put_u64(hint.capacity.as_micro());
-        buf.put_u64(hint.refill_rate.micro_per_sec());
-    }
+    put_response_body(&mut buf, resp);
     buf.freeze()
 }
 
@@ -185,16 +291,24 @@ pub fn encode(frame: &Frame) -> Bytes {
 pub fn batch_item_len(frame: &Frame) -> usize {
     match frame {
         Frame::Request(r) => {
-            1 + 8
-                + if r.attempt.is_some() {
-                    DEADLINE_META_BYTES
-                } else {
-                    0
-                }
-                + 1
-                + r.key.len()
+            let meta = if r.lease.is_some() {
+                LEASE_META_BYTES
+            } else if r.attempt.is_some() {
+                DEADLINE_META_BYTES
+            } else {
+                0
+            };
+            1 + 8 + meta + 1 + r.key.len()
         }
-        Frame::Response(r) => 1 + 8 + 1 + if r.hint.is_some() { 16 } else { 0 },
+        Frame::Response(r) => {
+            let grant = if r.lease.is_some() {
+                LEASE_GRANT_BYTES
+            } else {
+                0
+            };
+            let hint = if r.hint.is_some() { 16 } else { 0 };
+            1 + 8 + 1 + grant + hint
+        }
     }
 }
 
@@ -202,24 +316,11 @@ fn put_batch_item(buf: &mut BytesMut, frame: &Frame) {
     match frame {
         Frame::Request(req) => {
             buf.put_u8(request_kind(req));
-            buf.put_u64(req.id);
-            if let Some(attempt) = &req.attempt {
-                buf.put_u8(deadline_flags(req));
-                buf.put_u32(attempt.budget_us);
-                buf.put_u32(attempt.nonce);
-            }
-            debug_assert!(req.key.len() <= MAX_KEY_BYTES);
-            buf.put_u8(req.key.len() as u8);
-            buf.put_slice(req.key.as_bytes());
+            put_request_body(buf, req);
         }
         Frame::Response(resp) => {
             buf.put_u8(response_kind(resp));
-            buf.put_u64(resp.id);
-            buf.put_u8(resp.verdict.as_bool() as u8);
-            if let Some(hint) = &resp.hint {
-                buf.put_u64(hint.capacity.as_micro());
-                buf.put_u64(hint.refill_rate.micro_per_sec());
-            }
+            put_response_body(buf, resp);
         }
     }
 }
@@ -230,7 +331,7 @@ fn put_batch_item(buf: &mut BytesMut, frame: &Frame) {
 /// the legacy single-frame format, so unbatched receivers stay
 /// compatible; larger groups use the batch format.
 pub fn encode_batch(frames: &[Frame]) -> Vec<Bytes> {
-    // Every single frame fits: MAX_FRAME_BYTES (269) << MAX_DATAGRAM_BYTES.
+    // Every single frame fits: MAX_FRAME_BYTES (289) << MAX_DATAGRAM_BYTES.
     const _: () = assert!(MAX_FRAME_BYTES + BATCH_OVERHEAD <= MAX_DATAGRAM_BYTES);
     let mut datagrams = Vec::new();
     let mut group: Vec<&Frame> = Vec::new();
@@ -315,6 +416,45 @@ fn parse_request_deadline_body(data: &mut &[u8]) -> Result<QosRequest> {
     Ok(request)
 }
 
+/// Parse a lease-reporting request payload
+/// (`id | flags | budget_us | nonce | holder | epoch | spent | key_len | key`).
+fn parse_request_lease_body(data: &mut &[u8]) -> Result<QosRequest> {
+    if data.len() < 8 + LEASE_META_BYTES + 1 {
+        return Err(JanusError::codec("truncated lease request"));
+    }
+    let id = data.get_u64();
+    let flags = data.get_u8();
+    if flags & !LEASE_FLAGS_KNOWN != 0 {
+        return Err(JanusError::codec(format!(
+            "unknown lease request flags 0x{flags:02x}"
+        )));
+    }
+    let budget_us = data.get_u32();
+    let nonce = data.get_u32();
+    if flags & LEASE_FLAG_ATTEMPT == 0 && (budget_us != 0 || nonce != 0) {
+        return Err(JanusError::codec(
+            "lease request carries deadline fields without the attempt flag",
+        ));
+    }
+    let holder = data.get_u32();
+    let epoch = data.get_u32();
+    let spent = data.get_u32();
+    let key = parse_key(data)?;
+    let mut request = QosRequest::new(id, key);
+    request.solicit_hint = flags & LEASE_FLAG_SOLICIT_HINT != 0;
+    if flags & LEASE_FLAG_ATTEMPT != 0 {
+        request.attempt = Some(AttemptMeta::new(budget_us, nonce));
+    }
+    request.lease = Some(LeaseReport {
+        holder,
+        epoch,
+        spent,
+        solicit: flags & LEASE_FLAG_SOLICIT_LEASE != 0,
+        giving_back: flags & LEASE_FLAG_GIVING_BACK != 0,
+    });
+    Ok(request)
+}
+
 /// Parse a response payload (`id | verdict`), consuming it from `data`.
 fn parse_response_body(data: &mut &[u8]) -> Result<QosResponse> {
     if data.len() < 9 {
@@ -340,6 +480,35 @@ fn parse_response_hint_body(data: &mut &[u8]) -> Result<QosResponse> {
     let capacity = Credits::from_micro(data.get_u64());
     let rate = RefillRate::from_micro_per_sec(data.get_u64());
     Ok(response.with_hint(RuleHint::new(capacity, rate)))
+}
+
+/// Parse a lease-granting response payload
+/// (`id | verdict | flags | slice | refill | ttl_us | epoch | [hint]`).
+fn parse_response_lease_body(data: &mut &[u8]) -> Result<QosResponse> {
+    let response = parse_response_body(data)?;
+    if data.len() < LEASE_GRANT_BYTES {
+        return Err(JanusError::codec("truncated lease grant"));
+    }
+    let flags = data.get_u8();
+    if flags & !GRANT_FLAG_HINT != 0 {
+        return Err(JanusError::codec(format!(
+            "unknown lease grant flags 0x{flags:02x}"
+        )));
+    }
+    let slice = Credits::from_micro(data.get_u64());
+    let refill = RefillRate::from_micro_per_sec(data.get_u64());
+    let ttl_us = data.get_u32();
+    let epoch = data.get_u32();
+    let mut response = response.with_lease(Lease::new(slice, refill, ttl_us, epoch));
+    if flags & GRANT_FLAG_HINT != 0 {
+        if data.len() < 16 {
+            return Err(JanusError::codec("truncated rule hint after lease grant"));
+        }
+        let capacity = Credits::from_micro(data.get_u64());
+        let rate = RefillRate::from_micro_per_sec(data.get_u64());
+        response = response.with_hint(RuleHint::new(capacity, rate));
+    }
+    Ok(response)
 }
 
 /// Parse and validate the 4-byte header, returning the frame kind.
@@ -389,6 +558,8 @@ pub fn decode(mut data: &[u8]) -> Result<Frame> {
         }
         KIND_RESPONSE_HINT => Frame::Response(parse_response_hint_body(&mut data)?),
         KIND_REQUEST_DEADLINE => Frame::Request(parse_request_deadline_body(&mut data)?),
+        KIND_REQUEST_LEASE => Frame::Request(parse_request_lease_body(&mut data)?),
+        KIND_RESPONSE_LEASE => Frame::Response(parse_response_lease_body(&mut data)?),
         KIND_BATCH => {
             return Err(JanusError::codec(
                 "batch frame in a single-frame context (use decode_all)",
@@ -419,6 +590,8 @@ pub fn decode_all(mut data: &[u8]) -> Result<Vec<Frame>> {
         }
         KIND_RESPONSE_HINT => vec![Frame::Response(parse_response_hint_body(&mut data)?)],
         KIND_REQUEST_DEADLINE => vec![Frame::Request(parse_request_deadline_body(&mut data)?)],
+        KIND_REQUEST_LEASE => vec![Frame::Request(parse_request_lease_body(&mut data)?)],
+        KIND_RESPONSE_LEASE => vec![Frame::Response(parse_response_lease_body(&mut data)?)],
         KIND_BATCH => {
             if data.len() < 2 {
                 return Err(JanusError::codec("truncated batch count"));
@@ -442,6 +615,8 @@ pub fn decode_all(mut data: &[u8]) -> Result<Vec<Frame>> {
                     KIND_REQUEST_DEADLINE => {
                         Frame::Request(parse_request_deadline_body(&mut data)?)
                     }
+                    KIND_REQUEST_LEASE => Frame::Request(parse_request_lease_body(&mut data)?),
+                    KIND_RESPONSE_LEASE => Frame::Response(parse_response_lease_body(&mut data)?),
                     other => {
                         return Err(JanusError::codec(format!(
                             "unknown batch item kind 0x{other:02x}"
@@ -553,12 +728,21 @@ mod tests {
     #[test]
     fn max_frame_bound_is_tight() {
         let big = "x".repeat(MAX_KEY_BYTES);
-        let req =
-            QosRequest::new(u64::MAX, key(&big)).with_attempt(AttemptMeta::new(u32::MAX, u32::MAX));
+        let req = QosRequest::new(u64::MAX, key(&big))
+            .with_attempt(AttemptMeta::new(u32::MAX, u32::MAX))
+            .with_lease(LeaseReport::renewing(u32::MAX, u32::MAX, u32::MAX));
         assert_eq!(encode_request(&req).len(), MAX_FRAME_BYTES);
-        // The plain frame is exactly the deadline metadata smaller.
-        let plain = req.without_attempt();
-        assert_eq!(encode_request(&plain).len(), MAX_FRAME_BYTES - 9);
+        // Dropping the lease report leaves the deadline frame, exactly the
+        // three lease counters smaller; dropping the attempt too leaves
+        // the plain frame, the full lease metadata smaller.
+        assert_eq!(
+            encode_request(&req.without_lease()).len(),
+            MAX_FRAME_BYTES - 12
+        );
+        assert_eq!(
+            encode_request(&req.without_lease().without_attempt()).len(),
+            MAX_FRAME_BYTES - 21
+        );
     }
 
     fn hint(cap: u64, rate: u64) -> RuleHint {
@@ -704,6 +888,189 @@ mod tests {
         for cut in 0..wire.len() {
             assert!(decode(&wire[..cut]).is_err(), "accepted {cut}-byte prefix");
         }
+    }
+
+    fn lease(slice: u64, rate: u64, ttl_us: u32, epoch: u32) -> Lease {
+        Lease::new(
+            Credits::from_whole(slice),
+            RefillRate::per_second(rate),
+            ttl_us,
+            epoch,
+        )
+    }
+
+    #[test]
+    fn lease_request_roundtrip() {
+        let req = QosRequest::new(42, key("alice:photos")).with_lease(LeaseReport::soliciting(7));
+        let wire = encode_request(&req);
+        assert_eq!(wire[3], KIND_REQUEST_LEASE);
+        assert_eq!(decode(&wire).unwrap(), Frame::Request(req));
+    }
+
+    #[test]
+    fn lease_request_composes_with_hint_and_deadline() {
+        let req = QosRequest::soliciting_hint(7, key("bob"))
+            .with_attempt(meta(100, 3))
+            .with_lease(LeaseReport::returning(9, 2, 55, true));
+        let wire = encode_request(&req);
+        // One frame kind carries all three extensions; the hint and the
+        // attempt ride the flags byte instead of more kinds.
+        assert_eq!(wire[3], KIND_REQUEST_LEASE);
+        assert_eq!(wire[12], 0x01 | 0x02 | 0x04 | 0x08, "all flag bits set");
+        assert_eq!(decode(&wire).unwrap(), Frame::Request(req));
+    }
+
+    #[test]
+    fn lease_response_roundtrip() {
+        for verdict in [Verdict::Allow, Verdict::Deny] {
+            let resp = QosResponse::new(7, verdict).with_lease(lease(4, 2, 20_000, 1));
+            let wire = encode_response(&resp);
+            assert_eq!(wire[3], KIND_RESPONSE_LEASE);
+            assert_eq!(decode(&wire).unwrap(), Frame::Response(resp));
+        }
+    }
+
+    #[test]
+    fn lease_response_composes_with_hint() {
+        let resp = QosResponse::allow(3)
+            .with_lease(lease(4, 2, 20_000, 5))
+            .with_hint(hint(100, 40));
+        let wire = encode_response(&resp);
+        assert_eq!(wire[3], KIND_RESPONSE_LEASE);
+        assert_eq!(decode(&wire).unwrap(), Frame::Response(resp));
+    }
+
+    #[test]
+    fn uuid_lease_request_is_70_bytes() {
+        let req = QosRequest::new(1, key("00000000-0000-0000-0000-000000000000"))
+            .with_lease(LeaseReport::soliciting(1));
+        assert_eq!(encode_request(&req).len(), 70);
+    }
+
+    #[test]
+    fn lease_response_sizes_are_pinned() {
+        assert_eq!(
+            encode_response(&QosResponse::allow(1).with_lease(lease(4, 2, 1000, 1))).len(),
+            38
+        );
+        let both = QosResponse::allow(1)
+            .with_lease(lease(4, 2, 1000, 1))
+            .with_hint(hint(10, 5));
+        assert_eq!(encode_response(&both).len(), 54);
+    }
+
+    #[test]
+    fn lease_unaware_wire_format_is_unchanged() {
+        // Direction 1 of the compatibility contract: peers that never use
+        // leases emit byte-for-byte the pre-lease frames, so old and new
+        // receivers see identical datagrams.
+        assert_eq!(
+            encode_request(&QosRequest::new(42, key("alice")))[3],
+            KIND_REQUEST
+        );
+        assert_eq!(
+            encode_request(&QosRequest::soliciting_hint(42, key("alice")))[3],
+            KIND_REQUEST_HINT
+        );
+        assert_eq!(
+            encode_request(&QosRequest::new(42, key("alice")).with_attempt(meta(5, 1)))[3],
+            KIND_REQUEST_DEADLINE
+        );
+        assert_eq!(
+            encode_response(&QosResponse::allow(42).with_hint(hint(1, 1)))[3],
+            KIND_RESPONSE_HINT
+        );
+    }
+
+    #[test]
+    fn lease_fallback_frame_matches_lease_free_encoding() {
+        // Direction 2: against a lease-unaware server the lease-capable
+        // client's retry frame (`without_lease`) must be exactly the
+        // lease-free frame that server understands.
+        let leased = QosRequest::soliciting_hint(9, key("bob"))
+            .with_attempt(meta(50, 1))
+            .with_lease(LeaseReport::soliciting(4));
+        assert_eq!(
+            encode_request(&leased.without_lease()),
+            encode_request(&QosRequest::soliciting_hint(9, key("bob")).with_attempt(meta(50, 1)))
+        );
+        // And the final-attempt downgrade is exactly the legacy v1 frame.
+        assert_eq!(
+            encode_request(&leased.without_lease().without_attempt().without_hint()),
+            encode_request(&QosRequest::new(9, key("bob")))
+        );
+    }
+
+    #[test]
+    fn lease_request_rejects_unknown_flag_bits() {
+        let req = QosRequest::new(3, key("abcd")).with_lease(LeaseReport::soliciting(2));
+        let mut wire = BytesMut::from(&encode_request(&req)[..]);
+        // Byte 12 is the flags byte; only bits 0..=3 are defined today.
+        for bad in [0x10u8, 0x80, 0xff] {
+            assert_mutation_rejected(&mut wire, 12, bad, "reserved lease flag");
+        }
+        assert_eq!(decode(&wire).unwrap(), Frame::Request(req));
+    }
+
+    #[test]
+    fn lease_request_rejects_deadline_fields_without_attempt_flag() {
+        // A lease frame without the attempt flag must carry zeroed
+        // deadline fields: anything else is a non-canonical encoding.
+        let req = QosRequest::new(3, key("abcd")).with_lease(LeaseReport::soliciting(2));
+        let mut wire = BytesMut::from(&encode_request(&req)[..]);
+        assert_mutation_rejected(&mut wire, 13, 1, "budget without attempt flag");
+        assert_mutation_rejected(&mut wire, 17, 1, "nonce without attempt flag");
+        assert_eq!(decode(&wire).unwrap(), Frame::Request(req));
+    }
+
+    #[test]
+    fn lease_grant_rejects_unknown_flag_bits() {
+        let resp = QosResponse::allow(5).with_lease(lease(4, 2, 1000, 1));
+        let mut wire = BytesMut::from(&encode_response(&resp)[..]);
+        // Byte 13 is the grant flags byte; only bit 0 is defined today.
+        for bad in [0x02u8, 0x80, 0xff] {
+            assert_mutation_rejected(&mut wire, 13, bad, "reserved grant flag");
+        }
+        assert_eq!(decode(&wire).unwrap(), Frame::Response(resp));
+    }
+
+    #[test]
+    fn lease_frames_reject_truncation_at_every_length() {
+        let req = QosRequest::new(9, key("some-user"))
+            .with_attempt(meta(600, 77))
+            .with_lease(LeaseReport::renewing(1, 1, 5));
+        let wire = encode_request(&req);
+        for cut in 0..wire.len() {
+            assert!(decode(&wire[..cut]).is_err(), "accepted {cut}-byte prefix");
+        }
+        let resp = QosResponse::allow(5)
+            .with_lease(lease(7, 3, 500, 2))
+            .with_hint(hint(7, 3));
+        let wire = encode_response(&resp);
+        for cut in 0..wire.len() {
+            assert!(decode(&wire[..cut]).is_err(), "accepted {cut}-byte prefix");
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_with_lease_items() {
+        let frames = vec![
+            Frame::Request(
+                QosRequest::new(1, key("alice"))
+                    .with_attempt(meta(500, 10))
+                    .with_lease(LeaseReport::soliciting(3)),
+            ),
+            Frame::Response(QosResponse::allow(2).with_lease(lease(4, 2, 20_000, 1))),
+            Frame::Response(
+                QosResponse::allow(3)
+                    .with_lease(lease(4, 2, 20_000, 1))
+                    .with_hint(hint(50, 25)),
+            ),
+            Frame::Request(QosRequest::new(4, key("carol"))),
+        ];
+        let datagrams = encode_batch(&frames);
+        assert_eq!(datagrams.len(), 1);
+        assert_eq!(decode_all(&datagrams[0]).unwrap(), frames);
     }
 
     #[test]
@@ -974,6 +1341,58 @@ mod tests {
             let wire = encode_request(&req);
             prop_assert_eq!(decode(&wire).unwrap(), Frame::Request(req.clone()));
             prop_assert_eq!(decode_all(&wire).unwrap(), vec![Frame::Request(req)]);
+        }
+
+        #[test]
+        fn any_lease_request_roundtrips(
+            id: u64,
+            s in "[ -~]{1,255}",
+            solicit_hint: bool,
+            attempt in proptest::option::of((any::<u32>(), any::<u32>())),
+            holder: u32,
+            epoch: u32,
+            spent: u32,
+            solicit: bool,
+            giving_back: bool,
+        ) {
+            let mut req = if solicit_hint {
+                QosRequest::soliciting_hint(id, key(&s))
+            } else {
+                QosRequest::new(id, key(&s))
+            };
+            if let Some((budget_us, nonce)) = attempt {
+                req = req.with_attempt(AttemptMeta::new(budget_us, nonce));
+            }
+            req = req.with_lease(LeaseReport { holder, epoch, spent, solicit, giving_back });
+            let wire = encode_request(&req);
+            prop_assert_eq!(decode(&wire).unwrap(), Frame::Request(req.clone()));
+            prop_assert_eq!(decode_all(&wire).unwrap(), vec![Frame::Request(req)]);
+        }
+
+        #[test]
+        fn any_lease_response_roundtrips(
+            id: u64,
+            allow: bool,
+            slice: u64,
+            rate: u64,
+            ttl_us: u32,
+            epoch: u32,
+            hint in proptest::option::of((any::<u64>(), any::<u64>())),
+        ) {
+            let mut resp = QosResponse::new(id, Verdict::from_bool(allow)).with_lease(Lease::new(
+                Credits::from_micro(slice),
+                RefillRate::from_micro_per_sec(rate),
+                ttl_us,
+                epoch,
+            ));
+            if let Some((cap, r)) = hint {
+                resp = resp.with_hint(RuleHint::new(
+                    Credits::from_micro(cap),
+                    RefillRate::from_micro_per_sec(r),
+                ));
+            }
+            let wire = encode_response(&resp);
+            prop_assert_eq!(decode(&wire).unwrap(), Frame::Response(resp));
         }
 
         #[test]

@@ -29,7 +29,9 @@ pub mod sync;
 pub use credits::{Credits, RefillRate, MICROCREDITS_PER_CREDIT};
 pub use error::{JanusError, Result};
 pub use key::{KeyError, QosKey, INLINE_KEY_BYTES, MAX_KEY_BYTES};
-pub use message::{AttemptMeta, QosRequest, QosResponse, RequestId, RuleHint, Verdict};
+pub use message::{
+    AttemptMeta, Lease, LeaseReport, QosRequest, QosResponse, RequestId, RuleHint, Verdict,
+};
 pub use rule::{format_micro_decimal, parse_micro_decimal, QosRule};
 
 /// A counting global allocator for this crate's test binary only: the

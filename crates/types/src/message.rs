@@ -127,6 +127,118 @@ impl AttemptMeta {
     }
 }
 
+/// A short-TTL credit lease: a slice of one key's bucket delegated to a
+/// single router so it can admit locally without a round trip.
+///
+/// The QoS server debits the authoritative bucket for the whole slice
+/// (plus the refill share accrued over the TTL) *at grant time*, so the
+/// router's local admissions are pre-paid: however the network behaves,
+/// delegated admits can never exceed credit already removed from the
+/// authoritative bucket. `epoch` is the key's lease generation — the
+/// server bumps it when the rule changes, which invalidates every
+/// outstanding lease for the key (routers notice the bump on their next
+/// grant and drop the stale lease; until then they burn at most the
+/// already-debited slice, which is the Guan-style inaccuracy bound:
+/// over-admission ≤ lease size × fleet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Lease {
+    /// Credit slice delegated to the holder (local bucket capacity).
+    pub slice: Credits,
+    /// The holder's share of the key's refill rate.
+    pub refill: RefillRate,
+    /// Lease validity in microseconds from receipt.
+    pub ttl_us: u32,
+    /// Lease generation of the key; a bump revokes all older leases.
+    pub epoch: u32,
+}
+
+impl Lease {
+    /// A lease delegating `slice` credits refilling at `refill` for
+    /// `ttl_us` microseconds under generation `epoch`.
+    pub fn new(slice: Credits, refill: RefillRate, ttl_us: u32, epoch: u32) -> Self {
+        Lease {
+            slice,
+            refill,
+            ttl_us,
+            epoch,
+        }
+    }
+}
+
+/// The router → server half of the lease protocol, piggybacked on an
+/// ordinary admission request: solicit a grant (or proactive renewal),
+/// report how much of the current lease was spent, and optionally give
+/// the lease back so unused credit folds into the authoritative bucket.
+///
+/// `spent` is *cumulative* for `(key, holder, epoch)`, never a delta, so
+/// the reconciliation is idempotent under duplicated, reordered, or lost
+/// frames: the server folds it in with `max`, and a lost report only
+/// delays (never corrupts) the accounting.
+///
+/// On a return (`giving_back`) the counter field instead carries the
+/// *unused remainder* the holder hands back. A returning holder has
+/// already stopped admitting, so the remainder is provably dead credit —
+/// the only amount the server can refund without double-counting. (A
+/// `debited − spent` refund looks equivalent but is unsound: a grant
+/// response still in flight at return time, or a holder counter that
+/// restarted after a lost return, would let refunded credit be spent
+/// again.)
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct LeaseReport {
+    /// Stable identity of the reporting router node.
+    pub holder: u32,
+    /// Epoch of the lease being reported on (0 = none held).
+    pub epoch: u32,
+    /// Cumulative local admits under `(key, holder, epoch)`; on a
+    /// `giving_back` report, the unused whole credits being returned.
+    pub spent: u32,
+    /// Ask the server for a grant or proactive renewal.
+    pub solicit: bool,
+    /// Return the lease: the holder has stopped admitting against it and
+    /// hands back `spent` unused whole credits for the server to escrow.
+    pub giving_back: bool,
+}
+
+impl LeaseReport {
+    /// A report soliciting a first grant (no lease currently held).
+    pub fn soliciting(holder: u32) -> Self {
+        LeaseReport {
+            holder,
+            epoch: 0,
+            spent: 0,
+            solicit: true,
+            giving_back: false,
+        }
+    }
+
+    /// A renewal ask: still holding an `epoch` lease with `spent`
+    /// cumulative admits, requesting a fresh slice.
+    pub fn renewing(holder: u32, epoch: u32, spent: u32) -> Self {
+        LeaseReport {
+            holder,
+            epoch,
+            spent,
+            solicit: true,
+            giving_back: false,
+        }
+    }
+
+    /// A return-and-reconcile: the holder dropped its `epoch` lease with
+    /// `remaining` unused whole credits (and may solicit a fresh grant in
+    /// the same frame).
+    pub fn returning(holder: u32, epoch: u32, remaining: u32, solicit: bool) -> Self {
+        LeaseReport {
+            holder,
+            epoch,
+            spent: remaining,
+            solicit,
+            giving_back: true,
+        }
+    }
+}
+
 /// A QoS request: "may the holder of `key` make one more call?"
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
@@ -148,6 +260,12 @@ pub struct QosRequest {
     /// attempt.
     #[cfg_attr(feature = "serde", serde(default))]
     pub attempt: Option<AttemptMeta>,
+    /// Lease solicitation / reconciliation piggybacked on this request.
+    /// Off the wire this selects the lease frame kind; a lease-unaware
+    /// server drops that frame as garbage, so lease-capable clients fall
+    /// back to lease-free frames on retries.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub lease: Option<LeaseReport>,
 }
 
 impl QosRequest {
@@ -158,6 +276,7 @@ impl QosRequest {
             key,
             solicit_hint: false,
             attempt: None,
+            lease: None,
         }
     }
 
@@ -168,12 +287,19 @@ impl QosRequest {
             key,
             solicit_hint: true,
             attempt: None,
+            lease: None,
         }
     }
 
     /// This request carrying deadline budget and retry nonce.
     pub fn with_attempt(mut self, attempt: AttemptMeta) -> Self {
         self.attempt = Some(attempt);
+        self
+    }
+
+    /// This request carrying a piggybacked lease report.
+    pub fn with_lease(mut self, lease: LeaseReport) -> Self {
+        self.lease = Some(lease);
         self
     }
 
@@ -185,6 +311,7 @@ impl QosRequest {
             key: self.key.clone(),
             solicit_hint: false,
             attempt: self.attempt,
+            lease: self.lease,
         }
     }
 
@@ -196,6 +323,19 @@ impl QosRequest {
             key: self.key.clone(),
             solicit_hint: self.solicit_hint,
             attempt: None,
+            lease: self.lease,
+        }
+    }
+
+    /// This request without the lease report (the retry fallback frame
+    /// understood by lease-unaware servers).
+    pub fn without_lease(&self) -> Self {
+        QosRequest {
+            id: self.id,
+            key: self.key.clone(),
+            solicit_hint: self.solicit_hint,
+            attempt: self.attempt,
+            lease: None,
         }
     }
 }
@@ -212,6 +352,11 @@ pub struct QosResponse {
     /// when the request solicited it and a rule was in force.
     #[cfg_attr(feature = "serde", serde(default))]
     pub hint: Option<RuleHint>,
+    /// A credit lease granted (or renewed) in answer to a piggybacked
+    /// [`LeaseReport`], present only when the request solicited one and
+    /// the server chose to delegate.
+    #[cfg_attr(feature = "serde", serde(default))]
+    pub lease: Option<Lease>,
 }
 
 impl QosResponse {
@@ -221,12 +366,19 @@ impl QosResponse {
             id,
             verdict,
             hint: None,
+            lease: None,
         }
     }
 
     /// This response with a rule hint attached.
     pub fn with_hint(mut self, hint: RuleHint) -> Self {
         self.hint = Some(hint);
+        self
+    }
+
+    /// This response with a credit lease attached.
+    pub fn with_lease(mut self, lease: Lease) -> Self {
+        self.lease = Some(lease);
         self
     }
 
@@ -298,6 +450,48 @@ mod tests {
         let hintless = both.without_hint();
         assert!(!hintless.solicit_hint);
         assert_eq!(hintless.attempt, both.attempt);
+    }
+
+    #[test]
+    fn lease_report_constructors() {
+        let first = LeaseReport::soliciting(3);
+        assert!(first.solicit && !first.giving_back);
+        assert_eq!((first.epoch, first.spent), (0, 0));
+        let renew = LeaseReport::renewing(3, 2, 17);
+        assert!(renew.solicit && !renew.giving_back);
+        assert_eq!((renew.epoch, renew.spent), (2, 17));
+        let ret = LeaseReport::returning(3, 2, 20, true);
+        assert!(ret.solicit && ret.giving_back);
+    }
+
+    #[test]
+    fn lease_extension_downgrades_independently() {
+        let key = QosKey::new("k").unwrap();
+        let plain = QosRequest::new(1, key.clone());
+        assert_eq!(plain.lease, None);
+        let leased = QosRequest::soliciting_hint(1, key)
+            .with_attempt(AttemptMeta::new(400, 9))
+            .with_lease(LeaseReport::soliciting(5));
+        // Stripping one extension preserves the other two.
+        let no_hint = leased.without_hint();
+        assert!(!no_hint.solicit_hint);
+        assert_eq!(no_hint.attempt, leased.attempt);
+        assert_eq!(no_hint.lease, leased.lease);
+        let no_attempt = leased.without_attempt();
+        assert!(no_attempt.solicit_hint);
+        assert_eq!(no_attempt.lease, leased.lease);
+        let no_lease = leased.without_lease();
+        assert!(no_lease.solicit_hint);
+        assert_eq!(no_lease.attempt, leased.attempt);
+        assert_eq!(no_lease.lease, None);
+    }
+
+    #[test]
+    fn response_lease_attachment() {
+        let lease = Lease::new(Credits::from_whole(4), RefillRate::per_second(2), 20_000, 1);
+        let resp = QosResponse::allow(7).with_lease(lease);
+        assert_eq!(resp.lease, Some(lease));
+        assert_eq!(QosResponse::allow(7).lease, None);
     }
 
     #[test]

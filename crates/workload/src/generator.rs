@@ -15,8 +15,7 @@
 //!   second, with an intentionally added noise".
 
 use crate::{Histogram, LatencyStats, SecondSeries};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use janus_hash::rng::Rng;
 use serde::Serialize;
 use std::future::Future;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -180,7 +179,7 @@ where
         "noise fraction must be in [0, 1)"
     );
     let request = Arc::new(request);
-    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut rng = Rng::seed_from_u64(config.seed);
     let start = Instant::now();
     let deadline = start + config.duration;
     let base_gap = Duration::from_secs_f64(1.0 / config.rate_per_sec);
@@ -201,7 +200,8 @@ where
         });
         issued += 1;
         let jitter = if config.noise_fraction > 0.0 {
-            1.0 + config.noise_fraction * rng.gen_range(-1.0..1.0)
+            // Uniform in [-1, 1).
+            1.0 + config.noise_fraction * (2.0 * rng.gen_f64() - 1.0)
         } else {
             1.0
         };
@@ -323,10 +323,7 @@ mod tests {
         .await;
         let total = report.completed();
         // 130 req/s ± noise over 20 s: expect within 10% of 2600.
-        assert!(
-            (2300..2900).contains(&total),
-            "issued {total} requests"
-        );
+        assert!((2300..2900).contains(&total), "issued {total} requests");
     }
 
     #[tokio::test(start_paused = true)]

@@ -1,8 +1,7 @@
 //! Key selection over a population (which tenant issues each request).
 
+use janus_hash::rng::Rng;
 use janus_types::QosKey;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Picks the QoS key for each generated request.
 ///
@@ -14,7 +13,7 @@ use rand::{Rng, SeedableRng};
 #[derive(Debug)]
 pub struct KeyPicker {
     keys: Vec<QosKey>,
-    rng: StdRng,
+    rng: Rng,
     /// Precomputed cumulative distribution for Zipf; empty means uniform.
     cdf: Vec<f64>,
 }
@@ -28,7 +27,7 @@ impl KeyPicker {
         assert!(!keys.is_empty(), "key population must be non-empty");
         KeyPicker {
             keys,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             cdf: Vec::new(),
         }
     }
@@ -55,7 +54,7 @@ impl KeyPicker {
         }
         KeyPicker {
             keys,
-            rng: StdRng::seed_from_u64(seed),
+            rng: Rng::seed_from_u64(seed),
             cdf,
         }
     }
@@ -64,7 +63,7 @@ impl KeyPicker {
     pub fn single(key: QosKey) -> Self {
         KeyPicker {
             keys: vec![key],
-            rng: StdRng::seed_from_u64(0),
+            rng: Rng::seed_from_u64(0),
             cdf: Vec::new(),
         }
     }
@@ -77,10 +76,12 @@ impl KeyPicker {
     /// Draw the key for the next request.
     pub fn pick(&mut self) -> QosKey {
         let idx = if self.cdf.is_empty() {
-            self.rng.gen_range(0..self.keys.len())
+            self.rng.gen_range(self.keys.len() as u64) as usize
         } else {
-            let u: f64 = self.rng.gen();
-            self.cdf.partition_point(|&p| p < u).min(self.keys.len() - 1)
+            let u = self.rng.gen_f64();
+            self.cdf
+                .partition_point(|&p| p < u)
+                .min(self.keys.len() - 1)
         };
         self.keys[idx].clone()
     }

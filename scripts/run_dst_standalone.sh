@@ -46,8 +46,11 @@ cat > "$BUILD/janus_server_subset.rs" <<EOF
 //! Standalone subset of janus-server: the std-only sans-IO modules.
 #[path = "$REPO/crates/server/src/overload.rs"]
 pub mod overload;
+#[path = "$REPO/crates/server/src/lease.rs"]
+pub mod lease;
 #[path = "$REPO/crates/server/src/core.rs"]
 pub mod core;
+pub use lease::{LeaseConfig, LeaseLedger, LeaseLedgerStats};
 pub use overload::{DedupOutcome, DedupWindow, OverloadConfig, SojournGovernor};
 EOF
 
@@ -64,7 +67,10 @@ cat > "$BUILD/janus_router_subset.rs" <<EOF
 //! Standalone subset of janus-router: the std-only sans-IO core.
 #[path = "$REPO/crates/router/src/core.rs"]
 pub mod core;
-pub use crate::core::{LocalAnswer, RouterCore, RouterCoreConfig, RouterStep};
+pub use crate::core::{
+    LeaseEvent, LocalAnswer, ResponseOutcome, RouterCore, RouterCoreConfig, RouterLeaseConfig,
+    RouterStep,
+};
 EOF
 
 TYPES=(--extern janus_types="$BUILD/libjanus_types.rlib")
