@@ -22,9 +22,16 @@
 //! `--mode <substring>` restricts it to matching variant names — CI's
 //! lease smoke runs `--smoke --mode lease` and checks the
 //! `lease_ratio` column is non-zero (DESIGN.md ablation 13).
+//! `--table-slots <n>` and `--keyspace <n>` set the memory-engine axes
+//! (initial lock-free slot count, distinct keys per client): a tiny slot
+//! count with a large keyspace forces incremental resizes mid-sweep, and
+//! the per-point gauges (`open_slots`, `occupancy_pct`, `resizes`,
+//! `migrated_slots`) record what the engine did (DESIGN.md ablation 14).
+//! Axis overrides, like `--smoke`, never rewrite `BENCH_admission.json`.
 
 use janus_bench::live::{
-    admission_variants, run_admission_variant, socket_mode_label, AdmissionPoint,
+    admission_variants, run_admission_variant_with, socket_mode_label, AdmissionAxes,
+    AdmissionPoint,
 };
 use janus_bench::{fmt_krps, print_table, FigureCli};
 use serde::Serialize;
@@ -35,6 +42,10 @@ struct Output {
     regenerate: &'static str,
     /// Client-task counts swept per variant.
     client_sweep: Vec<usize>,
+    /// Initial lock-free slot count override (`--table-slots`), if any.
+    table_slots: Option<usize>,
+    /// Distinct keys per client override (`--keyspace`), if any.
+    keyspace: Option<usize>,
     points: Vec<AdmissionPoint>,
 }
 
@@ -72,10 +83,16 @@ fn main() {
         return;
     }
 
+    let axes = AdmissionAxes {
+        table_slots: cli.table_slots,
+        keyspace: cli.keyspace,
+    };
     let mut points = Vec::new();
     for variant in variants {
         for &clients in &client_sweep {
-            let point = runtime.block_on(run_admission_variant(&variant, clients, per_client));
+            let point = runtime.block_on(run_admission_variant_with(
+                &variant, clients, per_client, axes,
+            ));
             eprintln!(
                 "{:<32} clients={:<3} {:>8} completed, {} ({:.0}/s/core, lease_ratio={:.2})",
                 point.mode,
@@ -92,10 +109,17 @@ fn main() {
     let output = Output {
         regenerate: "cargo run --release -p janus-bench --bin bench_admission",
         client_sweep,
+        table_slots: cli.table_slots,
+        keyspace: cli.keyspace,
         points,
     };
 
-    if cli.smoke || cli.socket_mode.is_some() || cli.mode.is_some() {
+    if cli.smoke
+        || cli.socket_mode.is_some()
+        || cli.mode.is_some()
+        || cli.table_slots.is_some()
+        || cli.keyspace.is_some()
+    {
         // A filtered sweep is partial by construction; only the full
         // three-mode sweep may replace the checked-in measurements.
         eprintln!("smoke/filtered run: BENCH_admission.json left untouched");
@@ -126,6 +150,8 @@ fn main() {
                     format!("{}/{}", p.batch_recv_p50, p.batch_recv_p99),
                     format!("{}us", p.sojourn_p99_us),
                     p.cas_retries.to_string(),
+                    format!("{}({}%)", p.open_slots, p.occupancy_pct),
+                    format!("{}/{}", p.resizes, p.migrated_slots),
                     format!("{:.2}", p.lease_admit_ratio),
                     format!("{:.1}ms", p.elapsed_ms),
                 ]
@@ -148,6 +174,8 @@ fn main() {
                 "batch_p50/99",
                 "sojourn_p99",
                 "cas_retries",
+                "open(occ)",
+                "rsz/migr",
                 "lease_ratio",
                 "elapsed",
             ],

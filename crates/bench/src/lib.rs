@@ -31,6 +31,15 @@ pub struct FigureCli {
     /// (e.g. `--mode lease` runs only the lease-delegated admission
     /// variant). Binaries without a variant axis ignore it.
     pub mode: Option<String>,
+    /// Initial lock-free table slot count for sweeps with a memory-engine
+    /// axis (`bench_admission`); `None` keeps the server default.
+    /// Binaries without the axis ignore it.
+    pub table_slots: Option<usize>,
+    /// Distinct keys per client task for sweeps with a keyspace axis
+    /// (`bench_admission`); `None` keeps the harness default. Large
+    /// values push the lock-free table across its resize watermark
+    /// mid-sweep. Binaries without the axis ignore it.
+    pub keyspace: Option<usize>,
     /// Seed for deterministic runs.
     pub seed: u64,
 }
@@ -46,6 +55,8 @@ impl FigureCli {
             live: false,
             socket_mode: None,
             mode: None,
+            table_slots: None,
+            keyspace: None,
             seed: 2018,
         };
         let mut iter = args.iter().peekable();
@@ -81,6 +92,22 @@ impl FigureCli {
                         .unwrap_or_else(|| die("--mode needs a variant-name substring"));
                     cli.mode = Some(value.clone());
                 }
+                "--table-slots" => {
+                    cli.table_slots = Some(
+                        iter.next()
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| die("--table-slots needs a positive integer")),
+                    );
+                }
+                "--keyspace" => {
+                    cli.keyspace = Some(
+                        iter.next()
+                            .and_then(|s| s.parse().ok())
+                            .filter(|&n| n > 0)
+                            .unwrap_or_else(|| die("--keyspace needs a positive integer")),
+                    );
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "options: --json (machine output) --quick (fast preset) \
@@ -88,6 +115,8 @@ impl FigureCli {
                          --live (real loopback run where supported) \
                          --socket-mode <single_listener|batched_syscall|per_core> \
                          --mode <variant-name-substring> \
+                         --table-slots <n> (initial lock-free slots) \
+                         --keyspace <n> (distinct keys per client) \
                          --seed <n>"
                     );
                     std::process::exit(0);

@@ -209,6 +209,22 @@ pub struct AdmissionPoint {
     pub cas_retries: u64,
     /// Open-addressing probe steps beyond the home slot (lock-free only).
     pub probe_steps: u64,
+    /// Resident open slots when the point ended (lock-free only).
+    pub open_slots: u64,
+    /// Integer occupancy percent of the active generation (lock-free
+    /// only).
+    pub occupancy_pct: u64,
+    /// Completed generation doublings during the point (lock-free only).
+    pub resizes: u64,
+    /// Live rules carried across generations by incremental migration
+    /// (lock-free only).
+    pub migrated_slots: u64,
+    /// Idle keys demoted to the cold tier (0 in this harness: reclaim
+    /// needs a database behind the server).
+    pub reclaimed_keys: u64,
+    /// Streaming warm-up batches applied at preload (0 in this harness:
+    /// preload is off).
+    pub warmup_batches: u64,
     /// Receive buffers served from the recycle pool instead of malloc.
     pub pool_recycle_hits: u64,
     /// Per-datagram syscalls amortized away by `recvmmsg`/`sendmmsg`
@@ -229,6 +245,18 @@ pub struct AdmissionPoint {
     pub lease_admit_ratio: f64,
 }
 
+/// Optional memory-engine axes of an admission sweep point
+/// (`--table-slots` / `--keyspace`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdmissionAxes {
+    /// Initial lock-free table slot count; `None` keeps the server
+    /// default. Small values make the sweep cross the resize watermark.
+    pub table_slots: Option<usize>,
+    /// Distinct keys per client task; `None` keeps the harness default
+    /// of 8. Large values grow the resident key population.
+    pub keyspace: Option<usize>,
+}
+
 /// Run one variant: spawn a standalone allow-all QoS server configured
 /// per `variant`, share one pooled client across `clients` concurrent
 /// tasks, and time `clients × requests_per_client` checks.
@@ -237,6 +265,22 @@ pub async fn run_admission_variant(
     clients: usize,
     requests_per_client: usize,
 ) -> AdmissionPoint {
+    run_admission_variant_with(
+        variant,
+        clients,
+        requests_per_client,
+        AdmissionAxes::default(),
+    )
+    .await
+}
+
+/// [`run_admission_variant`] with explicit memory-engine axes.
+pub async fn run_admission_variant_with(
+    variant: &AdmissionVariant,
+    clients: usize,
+    requests_per_client: usize,
+    axes: AdmissionAxes,
+) -> AdmissionPoint {
     let mut config = QosServerConfig::test_defaults();
     config.workers = 4;
     config.dispatch = variant.dispatch;
@@ -244,6 +288,9 @@ pub async fn run_admission_variant(
     config.batching = variant.server_batching;
     config.socket_mode = variant.socket_mode;
     config.default_policy = DefaultRulePolicy::AllowAll;
+    if let Some(slots) = axes.table_slots {
+        config.table_slots = slots;
+    }
     if variant.lease {
         config.lease = LeaseConfig {
             enabled: true,
@@ -313,7 +360,7 @@ pub async fn run_admission_variant(
     // Warm the table (first sighting of every key inserts a guest rule)
     // so the timed section measures the steady-state hot path. The lease
     // variant warms its shared hot keys instead.
-    let keys_per_client = 8usize;
+    let keys_per_client = axes.keyspace.unwrap_or(8);
     for (c, pool) in pools.iter().enumerate() {
         for k in 0..keys_per_client {
             let key = if variant.lease {
@@ -423,6 +470,12 @@ pub async fn run_admission_variant(
         sojourn_p99_us: stats.sojourn_p99_us,
         cas_retries: stats.cas_retries,
         probe_steps: stats.probe_steps,
+        open_slots: stats.open_slots,
+        occupancy_pct: stats.occupancy_pct,
+        resizes: stats.resizes,
+        migrated_slots: stats.migrated_slots,
+        reclaimed_keys: stats.reclaimed_keys,
+        warmup_batches: stats.warmup_batches,
         pool_recycle_hits: stats.pool_recycle_hits,
         syscalls_saved: stats.syscalls_saved,
         batch_recv_p50: stats.batch_recv_p50,
@@ -469,7 +522,25 @@ mod tests {
                     variant.name
                 );
                 assert_eq!(point.probe_steps, 0, "{}", variant.name);
+                assert_eq!(
+                    point.open_slots, 0,
+                    "{}: only the lock-free engine exports slot gauges",
+                    variant.name
+                );
+                assert_eq!(point.occupancy_pct, 0, "{}", variant.name);
+                assert_eq!(point.resizes, 0, "{}", variant.name);
+            } else {
+                assert!(
+                    point.open_slots > 0,
+                    "{}: warmed keys must be resident in the slot gauge",
+                    variant.name
+                );
+                assert!(point.occupancy_pct <= 100, "{}", variant.name);
             }
+            // Reclaim needs a database and preload is off: both gauges
+            // stay zero in this standalone harness.
+            assert_eq!(point.reclaimed_keys, 0, "{}", variant.name);
+            assert_eq!(point.warmup_batches, 0, "{}", variant.name);
             if variant.lease {
                 assert!(
                     point.lease_grants > 0,
@@ -490,5 +561,33 @@ mod tests {
                 assert_eq!(point.lease_admit_ratio, 0.0, "{}", variant.name);
             }
         }
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn table_axes_drive_resizes_in_the_lock_free_variant() {
+        let variant = admission_variants()
+            .into_iter()
+            .find(|v| v.name == "batched+affinity+lock_free")
+            .unwrap();
+        // 2 clients × 64 distinct keys against 8 initial slots: the
+        // engine must cross the ¾ watermark and migrate live rules while
+        // the sweep hammers it.
+        let axes = AdmissionAxes {
+            table_slots: Some(8),
+            keyspace: Some(64),
+        };
+        let point = run_admission_variant_with(&variant, 2, 50, axes).await;
+        assert_eq!(point.completed + point.timed_out, 100);
+        assert!(point.resizes >= 1, "tiny table never resized");
+        assert!(
+            point.migrated_slots > 0,
+            "a resize must carry live rules across generations"
+        );
+        assert!(
+            point.open_slots >= 64,
+            "distinct keys must be resident: {} open slots",
+            point.open_slots
+        );
+        assert!(point.occupancy_pct <= 100);
     }
 }

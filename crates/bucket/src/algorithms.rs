@@ -243,7 +243,10 @@ mod tests {
             admitted < 2 * rate,
             "sliding window did not smooth the burst: {admitted}"
         );
-        assert!(admitted >= rate, "sliding window over-throttled: {admitted}");
+        assert!(
+            admitted >= rate,
+            "sliding window over-throttled: {admitted}"
+        );
     }
 
     #[test]
@@ -259,8 +262,7 @@ mod tests {
             Box::new(LeakyBucketLimiter::new(rate, rate)),
         ];
         for limiter in &mut limiters {
-            let admitted =
-                admitted_in_interval(limiter.as_mut(), rate * 3, measure_from, horizon);
+            let admitted = admitted_in_interval(limiter.as_mut(), rate * 3, measure_from, horizon);
             let seconds = (horizon - measure_from).as_secs_f64();
             let observed = admitted as f64 / seconds;
             assert!(

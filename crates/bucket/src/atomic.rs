@@ -297,6 +297,44 @@ impl AtomicBucket {
             .store(pack(credit, ceil_tick(now)), Ordering::Relaxed);
     }
 
+    /// Drain the bucket for migration or reclamation: capture its exact
+    /// shape and remaining credit at `now`, leaving behind a
+    /// zero-capacity, zero-rate husk that denies everything. Returns
+    /// `(capacity, refill_rate, credit)`.
+    ///
+    /// Exactness under concurrency: the shape is zeroed *first*, so any
+    /// consumer that derives credit after this point sees capacity 0 and
+    /// denies (a pure read). A consumer whose successful CAS lands before
+    /// the final state capture is observed by the capture's retry loop —
+    /// its charge is reflected in the returned credit. A consumer whose
+    /// CAS would land after loses the race by definition of CAS: it
+    /// re-derives against the drained word and denies. No charge is ever
+    /// lost and none is double-counted.
+    pub fn drain(&self, now: Nanos) -> (Credits, RefillRate, Credits) {
+        let cap = self.capacity.swap(0, Ordering::Relaxed);
+        let rate = self.rate.swap(0, Ordering::Relaxed);
+        let refill = RefillRate::from_micro_per_sec(rate);
+        let now_floor = floor_tick(now);
+        let mut state = self.state.load(Ordering::Relaxed);
+        loop {
+            // Derive with the *saved* shape: the live fields are already
+            // zero and would forfeit both the clamp and the accrual.
+            let (credit, anchor) = unpack(state);
+            let (ticks, _) = elapsed_ticks(anchor, now_floor, now_floor);
+            let accrued = refill.accrued_over(Duration::from_millis(ticks)).as_micro();
+            let exact = credit.saturating_add(accrued).min(cap).min(CREDIT_MASK);
+            match self.state.compare_exchange_weak(
+                state,
+                pack(0, anchor),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return (Credits::from_micro(cap), refill, Credits::from_micro(exact)),
+                Err(actual) => state = actual,
+            }
+        }
+    }
+
     /// Export as a rule row with credit evaluated at `now`.
     pub fn to_rule(&self, key: janus_types::QosKey, now: Nanos) -> QosRule {
         QosRule {
@@ -320,7 +358,6 @@ impl AtomicBucket {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
     use std::sync::Arc;
 
     fn ms(m: u64) -> Nanos {
@@ -493,114 +530,169 @@ mod tests {
         assert_eq!(admitted, 1000);
     }
 
-    proptest! {
-        /// Sequential, on the tick grid: the atomic bucket is bit-for-bit
-        /// the locked bucket — same verdict on every attempt, same derived
-        /// credit at every observation, under consumes, sweeps and clock
-        /// jumps (forward and backward).
-        #[test]
-        fn matches_locked_bucket_exactly_on_tick_grid(
-            cap in 0u64..2_000,
-            rate in 0u64..2_000,
-            ops in proptest::collection::vec((0u8..3, 0i64..200_000), 1..250),
-        ) {
-            let atomic = bucket(cap, rate);
-            let mut exact = locked(cap, rate);
-            let mut now_ms: i64 = 0;
-            for (op, jump_ms) in ops {
-                // Jumps go forward mostly, sometimes backward (UDP
-                // reordering / SimClock skew), never below zero.
-                now_ms = (now_ms + jump_ms - 50_000).max(0);
-                let now = ms(now_ms as u64);
-                match op {
-                    0 => {
-                        prop_assert_eq!(
-                            atomic.try_consume(now),
-                            exact.try_consume(now),
-                            "verdict diverged at {}ms", now_ms
-                        );
-                    }
-                    1 => {
-                        atomic.refill(now);
-                        exact.refill(now);
-                    }
-                    _ => {
-                        prop_assert_eq!(
-                            atomic.credit(now),
-                            exact.credit(now),
-                            "credit diverged at {}ms", now_ms
-                        );
-                    }
-                }
-            }
-            let end = ms(now_ms as u64);
-            prop_assert_eq!(atomic.credit(end), exact.credit(end));
-        }
+    #[test]
+    fn drain_captures_exact_credit_and_kills_the_bucket() {
+        let b = bucket(10, 2);
+        assert_eq!(b.try_consume(ms(0)), Verdict::Allow);
+        assert_eq!(b.try_consume(ms(0)), Verdict::Allow);
+        // 8 credits left at t=0; +2 accrued by t=1s.
+        let (cap, rate, credit) = b.drain(ms(1_000));
+        assert_eq!(cap, Credits::from_whole(10));
+        assert_eq!(rate, RefillRate::per_second(2));
+        assert_eq!(credit, Credits::from_whole(10));
+        // The husk denies everything, forever, and holds no credit.
+        assert_eq!(b.try_consume(ms(1_000)), Verdict::Deny);
+        assert_eq!(b.credit(ms(3_600_000)), Credits::ZERO);
+    }
 
-        /// Concurrent consumers against the atomic bucket vs a
-        /// mutex-serialized locked bucket driven over the same timestamp
-        /// multiset: with zero refill the totals are identical; with
-        /// refill both respect the paper's Eq. 1–2 supply bound
-        /// `capacity + rate × makespan`.
-        #[test]
-        fn concurrent_total_matches_serialized_within_supply_bound(
-            cap in 1u64..300,
-            rate in 0u64..500,
-            threads in 2usize..6,
-            per_thread in 1usize..80,
-            jumps in proptest::collection::vec(0u64..50, 8),
-        ) {
-            // A shared, monotone tick-grid schedule with occasional jumps.
-            let schedule: Vec<Nanos> = {
-                let mut t = 0u64;
-                (0..threads * per_thread)
-                    .map(|i| {
-                        t += jumps[i % jumps.len()];
-                        ms(t)
-                    })
-                    .collect()
-            };
-            let makespan = *schedule.last().unwrap();
-
-            let atomic = Arc::new(bucket(cap, rate));
-            let total_atomic: usize = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..threads)
-                    .map(|t| {
-                        let atomic = Arc::clone(&atomic);
-                        let slice: Vec<Nanos> = schedule
-                            .iter()
-                            .skip(t)
-                            .step_by(threads)
-                            .copied()
-                            .collect();
+    #[test]
+    fn drain_racing_consumers_never_loses_or_double_counts_a_charge() {
+        for _ in 0..50 {
+            let b = Arc::new(bucket(1000, 0));
+            let (allowed, drained) = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..4)
+                    .map(|_| {
+                        let b = Arc::clone(&b);
                         scope.spawn(move || {
-                            slice
-                                .iter()
-                                .filter(|now| atomic.try_consume(**now) == Verdict::Allow)
+                            (0..500)
+                                .filter(|_| b.try_consume(Nanos::ZERO) == Verdict::Allow)
                                 .count()
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).sum()
+                let drainer = {
+                    let b = Arc::clone(&b);
+                    scope.spawn(move || b.drain(Nanos::ZERO).2)
+                };
+                let allowed: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+                (allowed, drainer.join().unwrap())
             });
-
-            let serialized = janus_types::sync::Mutex::new(locked(cap, rate));
-            let total_locked = schedule
-                .iter()
-                .filter(|now| serialized.lock().try_consume(**now) == Verdict::Allow)
-                .count();
-
-            let minted = RefillRate::per_second(rate)
-                .accrued_over(makespan.saturating_since(Nanos::ZERO));
-            let supply = Credits::from_whole(cap).saturating_add(minted);
-            prop_assert!(
-                Credits::from_whole(total_atomic as u64) <= supply,
-                "atomic oversold: {} vs supply {:?}", total_atomic, supply
+            assert_eq!(
+                Credits::from_whole(allowed as u64).saturating_add(drained),
+                Credits::from_whole(1000),
+                "allowed {allowed} + drained {drained:?} must equal capacity"
             );
-            prop_assert!(Credits::from_whole(total_locked as u64) <= supply);
-            if rate == 0 {
-                prop_assert_eq!(total_atomic, total_locked);
-                prop_assert_eq!(total_atomic, (cap as usize).min(threads * per_thread));
+        }
+    }
+
+    /// The differential property tests need the external `proptest` crate,
+    /// which the std-only `rustc --test` battery (built with
+    /// `--cfg janus_std_only`) cannot link. Everything above runs in both
+    /// worlds.
+    #[cfg(not(janus_std_only))]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Sequential, on the tick grid: the atomic bucket is bit-for-bit
+            /// the locked bucket — same verdict on every attempt, same derived
+            /// credit at every observation, under consumes, sweeps and clock
+            /// jumps (forward and backward).
+            #[test]
+            fn matches_locked_bucket_exactly_on_tick_grid(
+                cap in 0u64..2_000,
+                rate in 0u64..2_000,
+                ops in proptest::collection::vec((0u8..3, 0i64..200_000), 1..250),
+            ) {
+                let atomic = bucket(cap, rate);
+                let mut exact = locked(cap, rate);
+                let mut now_ms: i64 = 0;
+                for (op, jump_ms) in ops {
+                    // Jumps go forward mostly, sometimes backward (UDP
+                    // reordering / SimClock skew), never below zero.
+                    now_ms = (now_ms + jump_ms - 50_000).max(0);
+                    let now = ms(now_ms as u64);
+                    match op {
+                        0 => {
+                            prop_assert_eq!(
+                                atomic.try_consume(now),
+                                exact.try_consume(now),
+                                "verdict diverged at {}ms", now_ms
+                            );
+                        }
+                        1 => {
+                            atomic.refill(now);
+                            exact.refill(now);
+                        }
+                        _ => {
+                            prop_assert_eq!(
+                                atomic.credit(now),
+                                exact.credit(now),
+                                "credit diverged at {}ms", now_ms
+                            );
+                        }
+                    }
+                }
+                let end = ms(now_ms as u64);
+                prop_assert_eq!(atomic.credit(end), exact.credit(end));
+            }
+
+            /// Concurrent consumers against the atomic bucket vs a
+            /// mutex-serialized locked bucket driven over the same timestamp
+            /// multiset: with zero refill the totals are identical; with
+            /// refill both respect the paper's Eq. 1–2 supply bound
+            /// `capacity + rate × makespan`.
+            #[test]
+            fn concurrent_total_matches_serialized_within_supply_bound(
+                cap in 1u64..300,
+                rate in 0u64..500,
+                threads in 2usize..6,
+                per_thread in 1usize..80,
+                jumps in proptest::collection::vec(0u64..50, 8),
+            ) {
+                // A shared, monotone tick-grid schedule with occasional jumps.
+                let schedule: Vec<Nanos> = {
+                    let mut t = 0u64;
+                    (0..threads * per_thread)
+                        .map(|i| {
+                            t += jumps[i % jumps.len()];
+                            ms(t)
+                        })
+                        .collect()
+                };
+                let makespan = *schedule.last().unwrap();
+
+                let atomic = Arc::new(bucket(cap, rate));
+                let total_atomic: usize = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..threads)
+                        .map(|t| {
+                            let atomic = Arc::clone(&atomic);
+                            let slice: Vec<Nanos> = schedule
+                                .iter()
+                                .skip(t)
+                                .step_by(threads)
+                                .copied()
+                                .collect();
+                            scope.spawn(move || {
+                                slice
+                                    .iter()
+                                    .filter(|now| atomic.try_consume(**now) == Verdict::Allow)
+                                    .count()
+                            })
+                        })
+                        .collect();
+                    handles.into_iter().map(|h| h.join().unwrap()).sum()
+                });
+
+                let serialized = janus_types::sync::Mutex::new(locked(cap, rate));
+                let total_locked = schedule
+                    .iter()
+                    .filter(|now| serialized.lock().try_consume(**now) == Verdict::Allow)
+                    .count();
+
+                let minted = RefillRate::per_second(rate)
+                    .accrued_over(makespan.saturating_since(Nanos::ZERO));
+                let supply = Credits::from_whole(cap).saturating_add(minted);
+                prop_assert!(
+                    Credits::from_whole(total_atomic as u64) <= supply,
+                    "atomic oversold: {} vs supply {:?}", total_atomic, supply
+                );
+                prop_assert!(Credits::from_whole(total_locked as u64) <= supply);
+                if rate == 0 {
+                    prop_assert_eq!(total_atomic, total_locked);
+                    prop_assert_eq!(total_atomic, (cap as usize).min(threads * per_thread));
+                }
             }
         }
     }

@@ -89,7 +89,10 @@ impl LeakyBucket {
     /// `rate × interval` and does *not* move the anchor (the housekeeping
     /// table pins anchors; see `QosTable::sweep_refill`).
     pub fn add_credit(&mut self, amount: Credits) {
-        self.credit_at_anchor = self.credit_at_anchor.saturating_add(amount).min(self.capacity);
+        self.credit_at_anchor = self
+            .credit_at_anchor
+            .saturating_add(amount)
+            .min(self.capacity);
     }
 
     /// Decide one request at `now`: admit (and consume one credit) iff at
@@ -138,7 +141,6 @@ impl LeakyBucket {
 mod tests {
     use super::*;
     use janus_types::QosKey;
-    use proptest::prelude::*;
     use std::time::Duration;
 
     fn secs(s: u64) -> Nanos {
@@ -324,77 +326,86 @@ mod tests {
         assert_eq!(b.credit(secs(0)), Credits::from_whole(10));
     }
 
-    proptest! {
-        /// Eq. 2: credit is always within [0, C] no matter the operation
-        /// interleaving.
-        #[test]
-        fn credit_always_within_bounds(
-            cap in 0u64..10_000,
-            rate in 0u64..10_000,
-            ops in proptest::collection::vec((0u8..3, 0u64..100_000_000), 1..200),
-        ) {
-            let mut b = bucket(cap, rate);
-            let mut now = Nanos::ZERO;
-            let cap = Credits::from_whole(cap);
-            for (op, advance_us) in ops {
-                now += Duration::from_micros(advance_us);
-                match op {
-                    0 => { b.try_consume(now); }
-                    1 => { b.refill(now); }
-                    _ => { b.add_credit(Credits::from_micro(advance_us)); }
-                }
-                let credit = b.credit(now);
-                prop_assert!(credit >= Credits::ZERO);
-                prop_assert!(credit <= cap, "credit {credit:?} above capacity {cap:?}");
-            }
-        }
+    /// The property tests need the external `proptest` crate, which the
+    /// std-only `rustc --test` battery (built with `--cfg janus_std_only`)
+    /// cannot link. Everything above runs in both worlds.
+    #[cfg(not(janus_std_only))]
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
 
-        /// Conservation: admissions over any schedule never exceed the
-        /// initial credit plus what the refill rate can have minted.
-        #[test]
-        fn admissions_never_exceed_supply(
-            cap in 1u64..500,
-            rate in 0u64..1_000,
-            gaps_us in proptest::collection::vec(0u64..200_000, 1..300),
-        ) {
-            let mut b = bucket(cap, rate);
-            let mut now = Nanos::ZERO;
-            let mut admitted = 0u64;
-            for gap in gaps_us {
-                now += Duration::from_micros(gap);
-                if b.try_consume(now) == Verdict::Allow {
-                    admitted += 1;
+        proptest! {
+            /// Eq. 2: credit is always within [0, C] no matter the operation
+            /// interleaving.
+            #[test]
+            fn credit_always_within_bounds(
+                cap in 0u64..10_000,
+                rate in 0u64..10_000,
+                ops in proptest::collection::vec((0u8..3, 0u64..100_000_000), 1..200),
+            ) {
+                let mut b = bucket(cap, rate);
+                let mut now = Nanos::ZERO;
+                let cap = Credits::from_whole(cap);
+                for (op, advance_us) in ops {
+                    now += Duration::from_micros(advance_us);
+                    match op {
+                        0 => { b.try_consume(now); }
+                        1 => { b.refill(now); }
+                        _ => { b.add_credit(Credits::from_micro(advance_us)); }
+                    }
+                    let credit = b.credit(now);
+                    prop_assert!(credit >= Credits::ZERO);
+                    prop_assert!(credit <= cap, "credit {credit:?} above capacity {cap:?}");
                 }
             }
-            let minted = RefillRate::per_second(rate)
-                .accrued_over(now.saturating_since(Nanos::ZERO));
-            let supply = Credits::from_whole(cap) + minted;
-            prop_assert!(
-                Credits::from_whole(admitted) <= supply,
-                "admitted {admitted} with supply {supply:?}"
-            );
-        }
 
-        /// Lazy refill at arbitrary intermediate instants never changes the
-        /// final derived credit (no rounding drift).
-        #[test]
-        fn interleaved_refills_do_not_drift(
-            cap in 1u64..1_000,
-            rate in 1u64..1_000,
-            checkpoints_us in proptest::collection::vec(1u64..1_000_000, 1..50),
-        ) {
-            let mut lazy = bucket(cap, rate);
-            let plain = bucket(cap, rate);
-            lazy.try_consume(Nanos::ZERO);
-            let mut twin = plain.clone();
-            twin.try_consume(Nanos::ZERO);
-
-            let mut now = Nanos::ZERO;
-            for gap in &checkpoints_us {
-                now += Duration::from_micros(*gap);
-                lazy.refill(now);
+            /// Conservation: admissions over any schedule never exceed the
+            /// initial credit plus what the refill rate can have minted.
+            #[test]
+            fn admissions_never_exceed_supply(
+                cap in 1u64..500,
+                rate in 0u64..1_000,
+                gaps_us in proptest::collection::vec(0u64..200_000, 1..300),
+            ) {
+                let mut b = bucket(cap, rate);
+                let mut now = Nanos::ZERO;
+                let mut admitted = 0u64;
+                for gap in gaps_us {
+                    now += Duration::from_micros(gap);
+                    if b.try_consume(now) == Verdict::Allow {
+                        admitted += 1;
+                    }
+                }
+                let minted = RefillRate::per_second(rate)
+                    .accrued_over(now.saturating_since(Nanos::ZERO));
+                let supply = Credits::from_whole(cap) + minted;
+                prop_assert!(
+                    Credits::from_whole(admitted) <= supply,
+                    "admitted {admitted} with supply {supply:?}"
+                );
             }
-            prop_assert_eq!(lazy.credit(now), twin.credit(now));
+
+            /// Lazy refill at arbitrary intermediate instants never changes the
+            /// final derived credit (no rounding drift).
+            #[test]
+            fn interleaved_refills_do_not_drift(
+                cap in 1u64..1_000,
+                rate in 1u64..1_000,
+                checkpoints_us in proptest::collection::vec(1u64..1_000_000, 1..50),
+            ) {
+                let mut lazy = bucket(cap, rate);
+                let plain = bucket(cap, rate);
+                lazy.try_consume(Nanos::ZERO);
+                let mut twin = plain.clone();
+                twin.try_consume(Nanos::ZERO);
+
+                let mut now = Nanos::ZERO;
+                for gap in &checkpoints_us {
+                    now += Duration::from_micros(*gap);
+                    lazy.refill(now);
+                }
+                prop_assert_eq!(lazy.credit(now), twin.credit(now));
+            }
         }
     }
 }

@@ -37,7 +37,7 @@ pub mod table;
 pub use algorithms::{Admission, FixedWindowCounter, LeakyBucketLimiter, SlidingWindowCounter};
 pub use atomic::AtomicBucket;
 pub use bucket::LeakyBucket;
-pub use lockfree::LockFreeTable;
+pub use lockfree::{LockFreeTable, TableEngineCells};
 pub use partitioned::{worker_affinity, PartitionedTable};
 pub use policy::DefaultRulePolicy;
-pub use table::{QosTable, ShardedTable, SyncTable, TableStats};
+pub use table::{QosTable, ReclaimedRule, ShardedTable, SyncTable, TableStats};

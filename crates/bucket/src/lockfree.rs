@@ -1,12 +1,12 @@
 //! A lock-free QoS table: open addressing over inline [`AtomicBucket`]
-//! slots, keyed by the 64-bit key digest.
+//! slots, keyed by the 64-bit key digest, with **incremental resize** and
+//! **idle-key reclamation** for bounded memory under keyspace churn.
 //!
 //! The decision hot path ([`LockFreeTable::decide`]) takes **no lock and
-//! allocates nothing**: it probes a fixed slot array comparing cached key
+//! allocates nothing**: it probes a slot array comparing cached key
 //! digests (one `Acquire` load per step) and charges the matching slot's
-//! [`AtomicBucket`] with a single CAS. Buckets live *inline* in the slot
-//! array — no per-entry boxing, no pointer chase, and a slot's digest,
-//! bucket state and shape share adjacent cache lines.
+//! [`AtomicBucket`](crate::AtomicBucket) with a single CAS. Buckets live
+//! *inline* in the slot array — no per-entry boxing, no pointer chase.
 //!
 //! # Slot protocol
 //!
@@ -14,22 +14,66 @@
 //!
 //! ```text
 //! EMPTY (0) ──CAS──▶ RESERVED (1) ──publish──▶ PUBLISHED (1<<63 | d62)
-//!                        ▲                          │ remove
-//!                        └────────CAS───────────────▼
-//!                                TOMBSTONE (1<<62 | d62)
+//!                        ▲                       │ remove / reclaim
+//!                        └────────CAS────────────▼
+//!                               TOMBSTONE (1<<62 | d62)
+//!
+//!            PUBLISHED ──freeze (migration)──▶ MOVED (both bits | d62)
 //! ```
 //!
 //! * Insertion claims `EMPTY` by CAS, writes the key text and bucket while
 //!   the slot is private, then publishes the digest with `Release`; a
 //!   matching `Acquire` load on the read side makes the bucket visible.
-//! * Removal demotes `PUBLISHED → TOMBSTONE`, *keeping the digest bits*:
-//!   a tombstone may only be re-claimed by the **same** digest. This makes
-//!   slot reuse ABA-safe without epochs — a decision racing a
-//!   remove/re-insert can only ever touch a bucket for the same key. The
-//!   cost is that a removed key's slot stays parked until that key
-//!   returns; the overflow table bounds the pathology.
+//! * Removal (and reclamation) demotes `PUBLISHED → TOMBSTONE`, *keeping
+//!   the digest bits*: a tombstone may only be re-claimed by the **same**
+//!   digest. This makes slot reuse ABA-safe without epochs — a decision
+//!   racing a remove/re-insert can only ever touch a bucket for the same
+//!   key.
 //! * Probing walks linearly, passes tombstones and foreign digests, and
 //!   stops at `EMPTY` or after [`LockFreeTable::MAX_PROBE`] steps.
+//!
+//! # Incremental resize
+//!
+//! Generations form a ladder of power-of-two arrays: when occupancy of the
+//! active generation crosses ¾, a double-size successor is installed and
+//! the old generation drains **cooperatively** — each `decide`/`insert`
+//! first performs one bounded migration quantum
+//! ([`LockFreeTable::MIGRATE_QUANTUM`] slots), so there is no
+//! stop-the-world rehash and no operation ever does more than a constant
+//! amount of migration work. Readers probe new-then-old while a migration
+//! is in flight.
+//!
+//! Moving a bucket is **credit-exact**: the migrator freezes the slot
+//! (`PUBLISHED → MOVED` by CAS), then [`AtomicBucket::drain`]s it — the
+//! drain zeroes the shape first so late consumers deny, and its final CAS
+//! captures every charge that landed before it. A reader that took a
+//! `Deny` from a bucket whose digest changed underneath it retries against
+//! the successor (an `Allow` always stands: a successful charge is, by CAS
+//! ordering, reflected in the drained credit). Old generation arrays stay
+//! allocated until the table drops, but they hold no live entries once
+//! retired; because sizes double, all retired arrays together are smaller
+//! than the active one, so total memory is < 2× the active array.
+//!
+//! # Idle-key reclamation
+//!
+//! Every slot carries a packed *touch word* — `(last_touched_tick << 40) |
+//! touch_count` — updated with relaxed loads/stores on each decision
+//! (racing touches may lose an update; hotness is approximate by design).
+//! [`LockFreeTable::reclaim_idle`] sweeps the active generation, freezes
+//! keys idle beyond a TTL (`PUBLISHED → RESERVED → TOMBSTONE`), drains
+//! their buckets exactly and hands the rows back to the caller for
+//! demotion to the cold tier. A reclaimed key readmitted later resumes
+//! with the credit it left with (refill that would have accrued while
+//! demoted is forfeited — the safe direction).
+//!
+//! # Overflow
+//!
+//! When a probe chain exceeds [`LockFreeTable::MAX_PROBE`] the rule is
+//! parked in an internal [`ShardedTable`] so no rule is ever dropped; the
+//! hot path checks that overflow only while it is non-empty (one relaxed
+//! flag load). The flag **clears** when the overflow drains, and a
+//! completed resize re-homes parked rules into the (now roomier) open
+//! array.
 //!
 //! Keys match by their 64-bit FNV-1a digest alone (truncated to 62 bits by
 //! the flag encoding): two distinct keys sharing a digest would share a
@@ -39,28 +83,20 @@
 //!
 //! Misses still flow through the server's DB-fetch/default-policy
 //! machinery: `decide` returns `None` exactly like the locked tables.
-//! When a probe chain exceeds [`LockFreeTable::MAX_PROBE`] (table nearly
-//! full or adversarial clustering), the rule is parked in an internal
-//! [`ShardedTable`] so no rule is ever dropped; the hot path checks that
-//! overflow only when it is non-empty (one relaxed flag load).
-//!
-//! Contention observability: CAS retries (bucket credit races) and probe
-//! steps beyond the home slot are counted into shared [`AtomicU64`]s that
-//! the QoS server exports via `ServerStats`. Both counters are only
-//! touched when non-zero, so the uncontended direct-hit path writes no
-//! shared cache line except the bucket itself.
 
-use crate::table::{QosTable, ShardedTable, TableStats, TableStatsSnapshot};
+use crate::table::{QosTable, ReclaimedRule, ShardedTable, TableStats, TableStatsSnapshot};
 use janus_clock::Nanos;
 use janus_types::sync::Mutex;
 use janus_types::{Credits, QosKey, QosRule, RefillRate, Verdict};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
 const EMPTY: u64 = 0;
 const RESERVED: u64 = 1;
 const PUBLISHED_BIT: u64 = 1 << 63;
 const TOMBSTONE_BIT: u64 = 1 << 62;
+const STATE_BITS: u64 = PUBLISHED_BIT | TOMBSTONE_BIT;
 const DIGEST_MASK: u64 = TOMBSTONE_BIT - 1;
 
 fn published(key: &QosKey) -> u64 {
@@ -71,11 +107,64 @@ fn tombstone_of(published: u64) -> u64 {
     TOMBSTONE_BIT | (published & DIGEST_MASK)
 }
 
+/// A slot frozen for migration: both flag bits plus the digest.
+fn moved_of(published: u64) -> u64 {
+    STATE_BITS | (published & DIGEST_MASK)
+}
+
+fn is_published(d: u64) -> bool {
+    d & STATE_BITS == PUBLISHED_BIT
+}
+
+// The touch word packs `(tick << 40) | count`, mirroring the bucket's own
+// 24-bit / 1 ms anchor quantization (see `atomic.rs`).
+const TOUCH_COUNT_BITS: u32 = 40;
+const TOUCH_COUNT_MASK: u64 = (1 << TOUCH_COUNT_BITS) - 1;
+const TOUCH_TICK_NANOS: u64 = 1_000_000;
+const TOUCH_TICK_MASK: u64 = (1 << 24) - 1;
+const TOUCH_TICK_HALF_RANGE: u64 = 1 << 23;
+
+fn touch_tick(now: Nanos) -> u64 {
+    (now.as_nanos() / TOUCH_TICK_NANOS) & TOUCH_TICK_MASK
+}
+
+fn pack_touch(tick: u64, count: u64) -> u64 {
+    (tick << TOUCH_COUNT_BITS) | count.min(TOUCH_COUNT_MASK)
+}
+
+fn touch_parts(word: u64) -> (u64, u64) {
+    (word >> TOUCH_COUNT_BITS, word & TOUCH_COUNT_MASK)
+}
+
+/// Shared gauge/counter cells the table engine writes and the QoS server
+/// (or a bench harness) reads. Pass a clone of the same cells to
+/// [`LockFreeTable::with_cells`] and to the stats exporter.
+#[derive(Debug, Clone, Default)]
+pub struct TableEngineCells {
+    /// Bucket-level CAS retries on the decision path.
+    pub cas_retries: Arc<AtomicU64>,
+    /// Probe steps beyond the home slot (clustering / fill-factor proxy).
+    pub probe_steps: Arc<AtomicU64>,
+    /// Published entries in the open-addressed array (overflow excluded).
+    pub open_slots: Arc<AtomicU64>,
+    /// Slot count of the active generation.
+    pub slot_count: Arc<AtomicU64>,
+    /// Completed watermark-triggered generation installs.
+    pub resizes: Arc<AtomicU64>,
+    /// Live rules carried from an old generation to its successor.
+    pub migrated_slots: Arc<AtomicU64>,
+    /// Keys demoted by `reclaim_idle`.
+    pub reclaimed_keys: Arc<AtomicU64>,
+}
+
 struct Slot {
     /// Slot state machine word (see module docs).
     digest: AtomicU64,
     /// The bucket, inline: no per-entry allocation.
     bucket: crate::AtomicBucket,
+    /// Packed `(last_touched_tick << 40) | touch_count`; relaxed RMW on
+    /// the decision path, read by the reclaim sweep.
+    touch: AtomicU64,
     /// Key text, needed only by control-plane operations (`keys`,
     /// `snapshot`, `remove`, DB sync). Never touched by `decide`.
     key: Mutex<Option<QosKey>>,
@@ -86,53 +175,130 @@ impl Slot {
         Slot {
             digest: AtomicU64::new(EMPTY),
             bucket: crate::AtomicBucket::full(Credits::ZERO, RefillRate::ZERO, Nanos::ZERO),
+            touch: AtomicU64::new(0),
             key: Mutex::new(None),
         }
     }
 }
 
-/// The lock-free QoS table (see module docs for the slot protocol).
-pub struct LockFreeTable {
+/// One rung of the generation ladder.
+struct Gen {
     slots: Box<[Slot]>,
     mask: usize,
-    /// Published entries in the open-addressed array (overflow excluded).
-    open_len: AtomicUsize,
+    /// Next slot index a migration quantum will claim once this
+    /// generation has a successor.
+    migrate_next: AtomicUsize,
+    /// Slots fully processed by migrators; `== slots.len()` retires the
+    /// generation.
+    migrate_done: AtomicUsize,
+}
+
+impl Gen {
+    fn new(slots: usize) -> Self {
+        Gen {
+            slots: (0..slots).map(|_| Slot::vacant()).collect(),
+            mask: slots - 1,
+            migrate_next: AtomicUsize::new(0),
+            migrate_done: AtomicUsize::new(0),
+        }
+    }
+
+    fn probe_limit(&self) -> usize {
+        LockFreeTable::MAX_PROBE.min(self.slots.len())
+    }
+}
+
+/// Outcome of one generation walk on the insert/update path.
+enum GenOutcome {
+    /// The rule was applied (in place or into a fresh slot).
+    Done,
+    /// The key is mid-migration or was frozen under us: re-resolve.
+    Retry,
+    /// The key is not in this generation (or its probe chain is full).
+    Missing,
+}
+
+/// Outcome of one generation walk on the decision path.
+enum DecideProbe {
+    Decided(Verdict),
+    Retry,
+    Missing,
+}
+
+/// The lock-free QoS table (see module docs for the slot protocol, the
+/// incremental resize, and the reclamation sweep).
+pub struct LockFreeTable {
+    /// Generation ladder: `gens[i]` holds `initial_slots << i` slots.
+    /// Only `active` and (mid-migration) `active - 1` hold live entries;
+    /// the ladder itself is a few empty `OnceLock`s, not arrays.
+    gens: Box<[OnceLock<Gen>]>,
+    active: AtomicUsize,
+    /// Count of fully drained generations. `retired == active` means no
+    /// migration is in flight; the invariant `retired >= active - 1`
+    /// (one migration at a time) always holds.
+    retired: AtomicUsize,
+    resizable: bool,
+    /// Resume point for capped reclaim sweeps.
+    reclaim_cursor: AtomicUsize,
     /// Probe-limit escape hatch; almost always empty.
     overflow: ShardedTable,
     overflow_in_use: AtomicBool,
     stats: TableStats,
-    cas_retries: Arc<AtomicU64>,
-    probe_steps: Arc<AtomicU64>,
+    cells: TableEngineCells,
 }
 
 impl LockFreeTable {
     /// Default slot count (power of two). Comfortable for tens of
-    /// thousands of tenant rules before probe chains grow.
+    /// thousands of tenant rules before probe chains grow — and with the
+    /// resizable ladder, a deliberately small starting size is fine too.
     pub const DEFAULT_SLOTS: usize = 16_384;
 
     /// Longest probe chain before a rule is parked in the overflow table.
     pub const MAX_PROBE: usize = 128;
 
-    /// A table with [`Self::DEFAULT_SLOTS`] slots.
+    /// Old-generation slots one operation migrates before doing its own
+    /// work: the incremental-resize work bound.
+    pub const MIGRATE_QUANTUM: usize = 8;
+
+    /// Resize when published entries reach ¾ of the active array.
+    const WATERMARK_NUM: usize = 3;
+    const WATERMARK_DEN: usize = 4;
+
+    /// A resizable table with [`Self::DEFAULT_SLOTS`] initial slots.
     pub fn new() -> Self {
         Self::with_slots(Self::DEFAULT_SLOTS)
     }
 
-    /// A table with at least `slots` slots (rounded up to a power of two).
+    /// A resizable table with at least `slots` initial slots (rounded up
+    /// to a power of two).
     ///
     /// # Panics
     /// Panics if `slots` is zero.
     pub fn with_slots(slots: usize) -> Self {
-        Self::with_hot_counters(
-            slots,
-            Arc::new(AtomicU64::new(0)),
-            Arc::new(AtomicU64::new(0)),
-        )
+        Self::with_cells(slots, TableEngineCells::default())
     }
 
-    /// A table whose CAS-retry and probe-step counters are shared with
-    /// the caller (the QoS server passes its `ServerStats` cells here so
-    /// `ServerStats::snapshot()` exposes hot-path contention).
+    /// A fixed-capacity table: never resizes, probe exhaustion parks
+    /// rules in the overflow (the pre-resize behavior; the "fixed" arm
+    /// of DESIGN.md ablation 14).
+    ///
+    /// # Panics
+    /// Panics if `slots` is zero.
+    pub fn fixed(slots: usize) -> Self {
+        Self::build(slots, TableEngineCells::default(), false)
+    }
+
+    /// A resizable table whose gauge/counter cells are shared with the
+    /// caller (the QoS server passes its `ServerStats` cells here so
+    /// `ServerStats::snapshot()` exposes live table-engine state).
+    ///
+    /// # Panics
+    /// Panics if `slots` is zero.
+    pub fn with_cells(slots: usize, cells: TableEngineCells) -> Self {
+        Self::build(slots, cells, true)
+    }
+
+    /// Back-compat constructor sharing only the two contention counters.
     ///
     /// # Panics
     /// Panics if `slots` is zero.
@@ -141,75 +307,202 @@ impl LockFreeTable {
         cas_retries: Arc<AtomicU64>,
         probe_steps: Arc<AtomicU64>,
     ) -> Self {
+        Self::with_cells(
+            slots,
+            TableEngineCells {
+                cas_retries,
+                probe_steps,
+                ..TableEngineCells::default()
+            },
+        )
+    }
+
+    fn build(slots: usize, cells: TableEngineCells, resizable: bool) -> Self {
         assert!(slots > 0, "need at least one slot");
         let slots = slots.next_power_of_two();
+        // Enough rungs to double up to 2^32 slots; past that the table
+        // simply stops resizing and leans on the overflow.
+        let rungs = if resizable {
+            (33usize.saturating_sub(slots.trailing_zeros() as usize)).max(1)
+        } else {
+            1
+        };
+        let gens: Box<[OnceLock<Gen>]> = (0..rungs).map(|_| OnceLock::new()).collect();
+        gens[0].set(Gen::new(slots)).ok();
+        cells.slot_count.store(slots as u64, Ordering::Relaxed);
+        cells.open_slots.store(0, Ordering::Relaxed);
         LockFreeTable {
-            slots: (0..slots).map(|_| Slot::vacant()).collect(),
-            mask: slots - 1,
-            open_len: AtomicUsize::new(0),
+            gens,
+            active: AtomicUsize::new(0),
+            retired: AtomicUsize::new(0),
+            resizable,
+            reclaim_cursor: AtomicUsize::new(0),
             overflow: ShardedTable::new(),
             overflow_in_use: AtomicBool::new(false),
             stats: TableStats::default(),
-            cas_retries,
-            probe_steps,
+            cells,
         }
     }
 
     /// Total CAS retries observed across all decisions so far.
     pub fn cas_retries(&self) -> u64 {
-        self.cas_retries.load(Ordering::Relaxed)
+        self.cells.cas_retries.load(Ordering::Relaxed)
     }
 
     /// Total probe steps beyond the home slot across all decisions so far.
     pub fn probe_steps(&self) -> u64 {
-        self.probe_steps.load(Ordering::Relaxed)
+        self.cells.probe_steps.load(Ordering::Relaxed)
     }
 
-    fn probe_limit(&self) -> usize {
-        Self::MAX_PROBE.min(self.slots.len())
+    /// A clone of the gauge/counter cells this table writes.
+    pub fn engine_cells(&self) -> TableEngineCells {
+        self.cells.clone()
     }
 
-    /// Find the published slot for `key`, returning its index.
-    fn find(&self, key: &QosKey) -> Option<usize> {
-        let wanted = published(key);
-        let mut idx = key.digest() as usize & self.mask;
-        for _ in 0..self.probe_limit() {
-            let d = self.slots[idx].digest.load(Ordering::Acquire);
-            if d == wanted {
-                return Some(idx);
-            }
-            if d == EMPTY {
-                return None;
-            }
-            idx = (idx + 1) & self.mask;
+    fn gen_at(&self, i: usize) -> &Gen {
+        self.gens[i]
+            .get()
+            .expect("generation installed before activation")
+    }
+
+    /// Generations that may hold live entries, oldest first.
+    fn live_range(&self) -> std::ops::RangeInclusive<usize> {
+        let active = self.active.load(Ordering::Acquire);
+        self.retired.load(Ordering::Acquire).min(active)..=active
+    }
+
+    fn overflow_active(&self) -> bool {
+        self.overflow_in_use.load(Ordering::Relaxed)
+    }
+
+    /// Record a decision against the slot's touch word. Plain load+store:
+    /// a racing touch may be lost, which only makes hotness approximate.
+    fn note_touch(slot: &Slot, now: Nanos) {
+        let (_, count) = touch_parts(slot.touch.load(Ordering::Relaxed));
+        slot.touch
+            .store(pack_touch(touch_tick(now), count + 1), Ordering::Relaxed);
+    }
+
+    /// Park a rule in the overflow. The insert lands *before* the flag is
+    /// raised so the flag is never clear while a parked rule exists (see
+    /// `clear_overflow_flag_if_drained` for the matching clear protocol).
+    fn park_in_overflow(&self, rule: QosRule, now: Nanos, overwrite: bool) {
+        if overwrite {
+            self.overflow.restore(vec![rule], now);
+        } else {
+            self.overflow.insert(rule, now);
         }
-        None
+        self.overflow_in_use.store(true, Ordering::Relaxed);
     }
 
-    /// Insert-or-update (`overwrite == false`, the [`QosTable::insert`]
-    /// contract) or overwrite (`overwrite == true`, the
-    /// [`QosTable::restore`] contract).
-    fn place(&self, rule: QosRule, now: Nanos, overwrite: bool) {
+    /// Drop the overflow flag if the overflow has drained. A concurrent
+    /// park re-checks after its insert; the clear-then-recheck below
+    /// closes the remaining interleavings: if a park lands between our
+    /// emptiness check and the clear, the recheck restores the flag, and
+    /// a park that lands after the recheck raises the flag itself (its
+    /// insert precedes its flag store).
+    fn clear_overflow_flag_if_drained(&self) {
+        if self.overflow_in_use.load(Ordering::Relaxed) && self.overflow.is_empty() {
+            self.overflow_in_use.store(false, Ordering::Relaxed);
+            if !self.overflow.is_empty() {
+                self.overflow_in_use.store(true, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Perform one bounded quantum of migration work if a generation is
+    /// draining. Public so callers with idle cycles (housekeeping loops,
+    /// schedule-driven tests) can help a migration along; `decide` and
+    /// `insert` call it implicitly.
+    pub fn run_migration_quantum(&self, now: Nanos) {
+        let active = self.active.load(Ordering::SeqCst);
+        if self.retired.load(Ordering::Acquire) >= active {
+            return;
+        }
+        let old = self.gen_at(active - 1);
+        let new = self.gen_at(active);
+        let len = old.slots.len();
+        let start = old
+            .migrate_next
+            .fetch_add(Self::MIGRATE_QUANTUM, Ordering::AcqRel);
+        if start >= len {
+            return; // fully claimed; stragglers are finishing their ranges
+        }
+        let end = (start + Self::MIGRATE_QUANTUM).min(len);
+        for idx in start..end {
+            self.migrate_slot(old, new, idx, now);
+        }
+        let done = old.migrate_done.fetch_add(end - start, Ordering::AcqRel) + (end - start);
+        if done == len {
+            self.retired.store(active, Ordering::Release);
+            // The doubled array usually has room for rules a crowded
+            // predecessor parked in the overflow: re-home them now.
+            self.rehome_overflow(now);
+        }
+    }
+
+    /// Carry one old-generation slot to the successor, credit-exactly.
+    fn migrate_slot(&self, old: &Gen, new: &Gen, idx: usize, now: Nanos) {
+        let slot = &old.slots[idx];
+        loop {
+            let d = slot.digest.load(Ordering::SeqCst);
+            if !is_published(d) {
+                if d == RESERVED {
+                    // An insert claimed this slot just before the
+                    // generation flipped; wait out its publish stores
+                    // (or its undo — see `walk_gen`).
+                    std::hint::spin_loop();
+                    continue;
+                }
+                return; // EMPTY, tombstone or already moved: nothing live
+            }
+            if slot
+                .digest
+                .compare_exchange(d, moved_of(d), Ordering::SeqCst, Ordering::SeqCst)
+                .is_err()
+            {
+                continue; // racing remove/reclaim: re-examine
+            }
+            // Frozen: readers retry against the successor from here on.
+            let key = slot.key.lock().take();
+            let touch = slot.touch.load(Ordering::Relaxed);
+            let (capacity, refill_rate, credit) = slot.bucket.drain(now);
+            self.cells.open_slots.fetch_sub(1, Ordering::Relaxed);
+            self.cells.migrated_slots.fetch_add(1, Ordering::Relaxed);
+            if let Some(key) = key {
+                let rule = QosRule {
+                    key,
+                    capacity,
+                    refill_rate,
+                    credit,
+                };
+                self.place_carried(new, rule, touch, now);
+            }
+            return;
+        }
+    }
+
+    /// Publish a migrated rule into the successor generation, preserving
+    /// its touch word. The key cannot be concurrently published there
+    /// (inserters wait out a move in flight), so this is a plain claim;
+    /// if even the doubled array's probe chain is full, the rule parks in
+    /// the overflow — never dropped either way.
+    fn place_carried(&self, gen: &Gen, rule: QosRule, touch: u64, now: Nanos) {
         let wanted = published(&rule.key);
-        let mut idx = rule.key.digest() as usize & self.mask;
-        for _ in 0..self.probe_limit() {
-            let slot = &self.slots[idx];
+        let mut idx = rule.key.digest() as usize & gen.mask;
+        for _ in 0..gen.probe_limit() {
+            let slot = &gen.slots[idx];
             loop {
                 let d = slot.digest.load(Ordering::Acquire);
                 if d == wanted {
-                    // Same key (same digest): update in place. Overwrite
-                    // folds a shape update then pins the credit — together
-                    // equivalent to `from_rule` — using CAS steps only.
+                    // Defensive only: fold the carried state in as an
+                    // overwrite so no credit is minted.
                     slot.bucket.apply_rule_update(&rule, now);
-                    if overwrite {
-                        slot.bucket.set_credit(rule.credit, now);
-                    }
+                    slot.bucket.set_credit(rule.credit, now);
                     *slot.key.lock() = Some(rule.key);
                     return;
                 }
                 if d == EMPTY || d == tombstone_of(wanted) {
-                    // Claim the slot. A tombstone is only ever re-claimed
-                    // by its own digest (ABA safety; see module docs).
                     if slot
                         .digest
                         .compare_exchange(d, RESERVED, Ordering::AcqRel, Ordering::Acquire)
@@ -217,40 +510,242 @@ impl LockFreeTable {
                     {
                         *slot.key.lock() = Some(rule.key.clone());
                         slot.bucket.store_rule(&rule, now);
+                        slot.touch.store(touch, Ordering::Relaxed);
                         slot.digest.store(wanted, Ordering::Release);
-                        self.open_len.fetch_add(1, Ordering::Relaxed);
-                        if self.overflow_in_use.load(Ordering::Relaxed) {
-                            // The key may have been parked in the overflow
-                            // by an earlier probe-limit miss; the open slot
-                            // now shadows it, so drop the stale copy.
-                            self.overflow.remove(&rule.key);
-                        }
+                        self.cells.open_slots.fetch_add(1, Ordering::Relaxed);
                         return;
                     }
-                    continue; // lost the claim race: re-examine this slot
+                    continue;
                 }
                 if d == RESERVED {
-                    // Another inserter is mid-publish; wait to see whether
-                    // it is our key. Bounded: publishing is three stores.
                     std::hint::spin_loop();
                     continue;
                 }
-                break; // foreign digest or foreign tombstone: next slot
+                break;
             }
-            idx = (idx + 1) & self.mask;
+            idx = (idx + 1) & gen.mask;
         }
-        // Probe chain exhausted: park the rule in the overflow table so it
-        // is never dropped. Flag first so deciders start checking.
-        self.overflow_in_use.store(true, Ordering::Relaxed);
-        if overwrite {
-            self.overflow.restore(vec![rule], now);
-        } else {
-            self.overflow.insert(rule, now);
+        self.park_in_overflow(rule, now, true);
+    }
+
+    /// After a resize completes, move parked overflow rules back into the
+    /// open array. `take` captures each rule's credit atomically with its
+    /// removal, so no charge is lost; a key mid-flight here briefly
+    /// misses (the safe direction), exactly like any other miss.
+    fn rehome_overflow(&self, now: Nanos) {
+        if !self.overflow_active() {
+            return;
+        }
+        for key in self.overflow.keys() {
+            if let Some(rule) = self.overflow.take(&key, now) {
+                self.place(rule, now, true);
+            }
+        }
+        self.clear_overflow_flag_if_drained();
+    }
+
+    /// Install a double-size successor when the watermark is crossed.
+    fn maybe_resize(&self) {
+        if !self.resizable {
+            return;
+        }
+        let active = self.active.load(Ordering::SeqCst);
+        if self.retired.load(Ordering::Acquire) < active {
+            return; // one migration at a time
+        }
+        if active + 1 >= self.gens.len() {
+            return; // ladder exhausted (2^32 slots): behave as fixed
+        }
+        let gen = self.gen_at(active);
+        let open = self.cells.open_slots.load(Ordering::Relaxed) as usize;
+        if open * Self::WATERMARK_DEN < gen.slots.len() * Self::WATERMARK_NUM {
+            return;
+        }
+        // Losing the set race means another thread is doing exactly this.
+        if self.gens[active + 1]
+            .set(Gen::new(gen.slots.len() * 2))
+            .is_ok()
+        {
+            self.cells.resizes.fetch_add(1, Ordering::Relaxed);
+            self.cells
+                .slot_count
+                .store((gen.slots.len() * 2) as u64, Ordering::Relaxed);
+            self.active.store(active + 1, Ordering::SeqCst);
         }
     }
 
-    fn overflow_active(&self) -> bool {
-        self.overflow_in_use.load(Ordering::Relaxed)
+    /// One insert/update walk over `gen`. With `allow_claim` this is the
+    /// full insert-or-update protocol; without it, update-in-place only
+    /// (used against the draining predecessor, whose migrator will carry
+    /// the updated state).
+    fn walk_gen(
+        &self,
+        gen: &Gen,
+        active_idx: usize,
+        rule: &QosRule,
+        wanted: u64,
+        now: Nanos,
+        overwrite: bool,
+        allow_claim: bool,
+    ) -> GenOutcome {
+        let mut idx = rule.key.digest() as usize & gen.mask;
+        for _ in 0..gen.probe_limit() {
+            let slot = &gen.slots[idx];
+            loop {
+                let d = slot.digest.load(Ordering::Acquire);
+                if d == wanted {
+                    slot.bucket.apply_rule_update(rule, now);
+                    if overwrite {
+                        slot.bucket.set_credit(rule.credit, now);
+                    }
+                    *slot.key.lock() = Some(rule.key.clone());
+                    if slot.digest.load(Ordering::Acquire) != wanted {
+                        // Frozen under us (migration or reclamation): the
+                        // update may not have been captured — re-apply
+                        // against wherever the key lands.
+                        return GenOutcome::Retry;
+                    }
+                    return GenOutcome::Done;
+                }
+                if d == moved_of(wanted) {
+                    return GenOutcome::Retry; // move in flight: wait it out
+                }
+                if allow_claim && (d == EMPTY || d == tombstone_of(wanted)) {
+                    if slot
+                        .digest
+                        .compare_exchange(d, RESERVED, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_err()
+                    {
+                        continue; // lost the claim race: re-examine
+                    }
+                    // The generation may have flipped since the caller
+                    // sampled `active`; a claim completed behind the new
+                    // migration cursor would be stranded in a retired
+                    // array. Nobody passes a RESERVED slot on the write
+                    // path, so un-claiming is safe. (SeqCst on this CAS,
+                    // on the recheck below, on the flip store and on the
+                    // migrator's digest reads makes the race a clean
+                    // either/or: the migrator sees our reservation, or we
+                    // see the flip.)
+                    if self.active.load(Ordering::SeqCst) != active_idx {
+                        slot.digest.store(d, Ordering::SeqCst);
+                        return GenOutcome::Retry;
+                    }
+                    *slot.key.lock() = Some(rule.key.clone());
+                    slot.bucket.store_rule(rule, now);
+                    slot.touch
+                        .store(pack_touch(touch_tick(now), 0), Ordering::Relaxed);
+                    slot.digest.store(wanted, Ordering::Release);
+                    self.cells.open_slots.fetch_add(1, Ordering::Relaxed);
+                    if self.overflow_active() {
+                        // An earlier probe-limit miss may have parked this
+                        // key; the open slot shadows it, so drop the copy.
+                        self.overflow.remove(&rule.key);
+                        self.clear_overflow_flag_if_drained();
+                    }
+                    return GenOutcome::Done;
+                }
+                if d == RESERVED {
+                    // Another writer is mid-publish (or mid-undo); wait to
+                    // see what the slot becomes. Bounded: a few stores.
+                    std::hint::spin_loop();
+                    continue;
+                }
+                break; // foreign digest / unclaimable state: next slot
+            }
+            idx = (idx + 1) & gen.mask;
+        }
+        GenOutcome::Missing
+    }
+
+    /// Insert-or-update (`overwrite == false`, the [`QosTable::insert`]
+    /// contract) or overwrite (`overwrite == true`, the
+    /// [`QosTable::restore`] contract).
+    fn place(&self, rule: QosRule, now: Nanos, overwrite: bool) {
+        let wanted = published(&rule.key);
+        loop {
+            let active = self.active.load(Ordering::SeqCst);
+            // A draining predecessor may still hold the key: update it in
+            // place there (the migrator carries the updated state) or wait
+            // out a move in flight. Checking old-before-claim keeps every
+            // key single-homed.
+            if self.retired.load(Ordering::Acquire) < active {
+                match self.walk_gen(
+                    self.gen_at(active - 1),
+                    active,
+                    &rule,
+                    wanted,
+                    now,
+                    overwrite,
+                    false,
+                ) {
+                    GenOutcome::Done => return,
+                    GenOutcome::Retry => {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    GenOutcome::Missing => {}
+                }
+            }
+            match self.walk_gen(
+                self.gen_at(active),
+                active,
+                &rule,
+                wanted,
+                now,
+                overwrite,
+                true,
+            ) {
+                GenOutcome::Done => {
+                    self.maybe_resize();
+                    return;
+                }
+                GenOutcome::Retry => continue,
+                GenOutcome::Missing => {
+                    // Probe chain exhausted: park so the rule is never lost.
+                    self.park_in_overflow(rule, now, overwrite);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// One decision walk over `gen`.
+    fn probe_decide(&self, gen: &Gen, wanted: u64, home: usize, now: Nanos) -> DecideProbe {
+        let mut idx = home & gen.mask;
+        for step in 0..gen.probe_limit() {
+            let slot = &gen.slots[idx];
+            let d = slot.digest.load(Ordering::Acquire);
+            if d == wanted {
+                if step > 0 {
+                    self.cells
+                        .probe_steps
+                        .fetch_add(step as u64, Ordering::Relaxed);
+                }
+                let (verdict, retries) = slot.bucket.try_consume_counted(now);
+                if retries > 0 {
+                    self.cells.cas_retries.fetch_add(retries, Ordering::Relaxed);
+                }
+                if verdict == Verdict::Deny && slot.digest.load(Ordering::Acquire) != wanted {
+                    // The slot was frozen under us (migration or
+                    // reclamation): this deny may reflect a drained husk,
+                    // not a dry bucket. Allows always stand — a successful
+                    // charge is captured by the drain. Re-resolve the key.
+                    return DecideProbe::Retry;
+                }
+                Self::note_touch(slot, now);
+                self.stats.record(verdict);
+                return DecideProbe::Decided(verdict);
+            }
+            if d == moved_of(wanted) {
+                return DecideProbe::Retry; // move in flight: successor has it
+            }
+            if d == EMPTY {
+                return DecideProbe::Missing;
+            }
+            idx = (idx + 1) & gen.mask;
+        }
+        DecideProbe::Missing
     }
 }
 
@@ -262,25 +757,32 @@ impl Default for LockFreeTable {
 
 impl QosTable for LockFreeTable {
     fn decide(&self, key: &QosKey, now: Nanos) -> Option<Verdict> {
+        self.run_migration_quantum(now);
         let wanted = published(key);
-        let mut idx = key.digest() as usize & self.mask;
-        for step in 0..self.probe_limit() {
-            let d = self.slots[idx].digest.load(Ordering::Acquire);
-            if d == wanted {
-                if step > 0 {
-                    self.probe_steps.fetch_add(step as u64, Ordering::Relaxed);
-                }
-                let (verdict, retries) = self.slots[idx].bucket.try_consume_counted(now);
-                if retries > 0 {
-                    self.cas_retries.fetch_add(retries, Ordering::Relaxed);
-                }
-                self.stats.record(verdict);
-                return Some(verdict);
+        let home = key.digest() as usize;
+        loop {
+            let active = self.active.load(Ordering::Acquire);
+            match self.probe_decide(self.gen_at(active), wanted, home, now) {
+                DecideProbe::Decided(v) => return Some(v),
+                DecideProbe::Retry => continue,
+                DecideProbe::Missing => {}
             }
-            if d == EMPTY {
-                break;
+            if self.retired.load(Ordering::Acquire) < active {
+                match self.probe_decide(self.gen_at(active - 1), wanted, home, now) {
+                    DecideProbe::Decided(v) => return Some(v),
+                    DecideProbe::Retry => {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    DecideProbe::Missing => {}
+                }
+                // A resize may have flipped generations between the two
+                // probes; re-run against the fresh pair if so.
+                if self.active.load(Ordering::Acquire) != active {
+                    continue;
+                }
             }
-            idx = (idx + 1) & self.mask;
+            break;
         }
         if self.overflow_active() {
             return self.overflow.decide(key, now);
@@ -290,9 +792,36 @@ impl QosTable for LockFreeTable {
     }
 
     fn shape(&self, key: &QosKey) -> Option<(Credits, RefillRate)> {
-        if let Some(idx) = self.find(key) {
-            let bucket = &self.slots[idx].bucket;
-            return Some((bucket.capacity(), bucket.refill_rate()));
+        let wanted = published(key);
+        let home = key.digest() as usize;
+        'retry: loop {
+            for gi in self.live_range().rev() {
+                let gen = self.gen_at(gi);
+                let mut idx = home & gen.mask;
+                for _ in 0..gen.probe_limit() {
+                    let slot = &gen.slots[idx];
+                    let d = slot.digest.load(Ordering::Acquire);
+                    if d == wanted {
+                        let shape = (slot.bucket.capacity(), slot.bucket.refill_rate());
+                        if slot.digest.load(Ordering::Acquire) != wanted {
+                            // Drained under us: the shape read may be the
+                            // zeroed husk. Re-resolve.
+                            std::hint::spin_loop();
+                            continue 'retry;
+                        }
+                        return Some(shape);
+                    }
+                    if d == moved_of(wanted) {
+                        std::hint::spin_loop();
+                        continue 'retry;
+                    }
+                    if d == EMPTY {
+                        break;
+                    }
+                    idx = (idx + 1) & gen.mask;
+                }
+            }
+            break;
         }
         if self.overflow_active() {
             return self.overflow.shape(key);
@@ -301,13 +830,41 @@ impl QosTable for LockFreeTable {
     }
 
     fn insert(&self, rule: QosRule, now: Nanos) {
+        self.run_migration_quantum(now);
         self.place(rule, now, false);
     }
 
     fn apply_update(&self, rule: &QosRule, now: Nanos) -> bool {
-        if let Some(idx) = self.find(&rule.key) {
-            self.slots[idx].bucket.apply_rule_update(rule, now);
-            return true;
+        let wanted = published(&rule.key);
+        loop {
+            let active = self.active.load(Ordering::Acquire);
+            match self.walk_gen(self.gen_at(active), active, rule, wanted, now, false, false) {
+                GenOutcome::Done => return true,
+                GenOutcome::Retry => continue,
+                GenOutcome::Missing => {}
+            }
+            if self.retired.load(Ordering::Acquire) < active {
+                match self.walk_gen(
+                    self.gen_at(active - 1),
+                    active,
+                    rule,
+                    wanted,
+                    now,
+                    false,
+                    false,
+                ) {
+                    GenOutcome::Done => return true,
+                    GenOutcome::Retry => {
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                    GenOutcome::Missing => {}
+                }
+                if self.active.load(Ordering::Acquire) != active {
+                    continue;
+                }
+            }
+            break;
         }
         if self.overflow_active() {
             return self.overflow.apply_update(rule, now);
@@ -318,30 +875,56 @@ impl QosTable for LockFreeTable {
     fn remove(&self, key: &QosKey) -> bool {
         let wanted = published(key);
         let mut removed_open = false;
-        if let Some(idx) = self.find(key) {
-            let slot = &self.slots[idx];
-            // Serialize with other control-plane ops on this slot, then
-            // demote to a same-digest tombstone. A decision that already
-            // matched the published digest may still charge the parked
-            // bucket once — a single-decision anomaly, never a cross-key
-            // one.
-            let mut stored = slot.key.lock();
-            if slot
-                .digest
-                .compare_exchange(
-                    wanted,
-                    tombstone_of(wanted),
-                    Ordering::AcqRel,
-                    Ordering::Acquire,
-                )
-                .is_ok()
-            {
-                *stored = None;
-                self.open_len.fetch_sub(1, Ordering::Relaxed);
-                removed_open = true;
+        'retry: loop {
+            'gens: for gi in self.live_range().rev() {
+                let gen = self.gen_at(gi);
+                let mut idx = key.digest() as usize & gen.mask;
+                for _ in 0..gen.probe_limit() {
+                    let slot = &gen.slots[idx];
+                    let d = slot.digest.load(Ordering::Acquire);
+                    if d == wanted {
+                        // Serialize with other control-plane ops on this
+                        // slot, then demote to a same-digest tombstone. A
+                        // decision that already matched the published
+                        // digest may still charge the parked bucket once —
+                        // a single-decision anomaly, never a cross-key one.
+                        let mut stored = slot.key.lock();
+                        if slot
+                            .digest
+                            .compare_exchange(
+                                wanted,
+                                tombstone_of(wanted),
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                        {
+                            *stored = None;
+                            self.cells.open_slots.fetch_sub(1, Ordering::Relaxed);
+                            removed_open = true;
+                            break 'gens;
+                        }
+                        drop(stored);
+                        // Frozen or republished under us: re-resolve.
+                        std::hint::spin_loop();
+                        continue 'retry;
+                    }
+                    if d == moved_of(wanted) {
+                        std::hint::spin_loop();
+                        continue 'retry;
+                    }
+                    if d == EMPTY {
+                        break;
+                    }
+                    idx = (idx + 1) & gen.mask;
+                }
             }
+            break;
         }
         let removed_overflow = self.overflow_active() && self.overflow.remove(key);
+        if removed_overflow {
+            self.clear_overflow_flag_if_drained();
+        }
         removed_open || removed_overflow
     }
 
@@ -351,15 +934,17 @@ impl QosTable for LockFreeTable {
         } else {
             0
         };
-        self.open_len.load(Ordering::Relaxed) + overflow
+        self.cells.open_slots.load(Ordering::Relaxed) as usize + overflow
     }
 
     fn keys(&self) -> Vec<QosKey> {
         let mut keys = Vec::with_capacity(self.len());
-        for slot in self.slots.iter() {
-            if slot.digest.load(Ordering::Acquire) & PUBLISHED_BIT != 0 {
-                if let Some(key) = slot.key.lock().clone() {
-                    keys.push(key);
+        for gi in self.live_range() {
+            for slot in self.gen_at(gi).slots.iter() {
+                if is_published(slot.digest.load(Ordering::Acquire)) {
+                    if let Some(key) = slot.key.lock().clone() {
+                        keys.push(key);
+                    }
                 }
             }
         }
@@ -371,10 +956,12 @@ impl QosTable for LockFreeTable {
 
     fn snapshot(&self, now: Nanos) -> Vec<QosRule> {
         let mut rules = Vec::with_capacity(self.len());
-        for slot in self.slots.iter() {
-            if slot.digest.load(Ordering::Acquire) & PUBLISHED_BIT != 0 {
-                if let Some(key) = slot.key.lock().clone() {
-                    rules.push(slot.bucket.to_rule(key, now));
+        for gi in self.live_range() {
+            for slot in self.gen_at(gi).slots.iter() {
+                if is_published(slot.digest.load(Ordering::Acquire)) {
+                    if let Some(key) = slot.key.lock().clone() {
+                        rules.push(slot.bucket.to_rule(key, now));
+                    }
                 }
             }
         }
@@ -386,23 +973,95 @@ impl QosTable for LockFreeTable {
 
     fn restore(&self, rules: Vec<QosRule>, now: Nanos) {
         for rule in rules {
+            self.run_migration_quantum(now);
             self.place(rule, now, true);
         }
     }
 
     fn sweep_refill(&self, now: Nanos) {
         let mut retries = 0u64;
-        for slot in self.slots.iter() {
-            if slot.digest.load(Ordering::Acquire) & PUBLISHED_BIT != 0 {
-                retries += slot.bucket.refill(now);
+        for gi in self.live_range() {
+            for slot in self.gen_at(gi).slots.iter() {
+                if is_published(slot.digest.load(Ordering::Acquire)) {
+                    retries += slot.bucket.refill(now);
+                }
             }
         }
         if retries > 0 {
-            self.cas_retries.fetch_add(retries, Ordering::Relaxed);
+            self.cells.cas_retries.fetch_add(retries, Ordering::Relaxed);
         }
         if self.overflow_active() {
             self.overflow.sweep_refill(now);
         }
+    }
+
+    fn reclaim_idle(&self, now: Nanos, idle_ttl: Duration, max: usize) -> Vec<ReclaimedRule> {
+        if max == 0 {
+            return Vec::new();
+        }
+        let active = self.active.load(Ordering::Acquire);
+        if self.retired.load(Ordering::Acquire) < active {
+            // Finish the in-flight migration first; the sweep simply
+            // returns at the next interval.
+            return Vec::new();
+        }
+        let ttl_ticks = ((idle_ttl.as_nanos() / u128::from(TOUCH_TICK_NANOS)) as u64).max(1);
+        if ttl_ticks >= TOUCH_TICK_HALF_RANGE {
+            return Vec::new(); // TTL beyond the wrap horizon: nothing provably idle
+        }
+        let gen = self.gen_at(active);
+        let len = gen.slots.len();
+        let now_tick = touch_tick(now);
+        let start = self.reclaim_cursor.load(Ordering::Relaxed) % len;
+        let mut out = Vec::new();
+        for i in 0..len {
+            if out.len() >= max {
+                self.reclaim_cursor
+                    .store((start + i) % len, Ordering::Relaxed);
+                return out;
+            }
+            let slot = &gen.slots[(start + i) % len];
+            let d = slot.digest.load(Ordering::Acquire);
+            if !is_published(d) {
+                continue;
+            }
+            let (tick, count) = touch_parts(slot.touch.load(Ordering::Relaxed));
+            let age = now_tick.wrapping_sub(tick) & TOUCH_TICK_MASK;
+            if age >= TOUCH_TICK_HALF_RANGE || age < ttl_ticks {
+                continue; // fresh — or clock skew, where keeping is the safe direction
+            }
+            // Freeze, drain exactly, tombstone. The key lock serializes
+            // with `remove` and control-plane updates; readers pass the
+            // transient RESERVED state and miss, exactly like a removed
+            // key.
+            let mut stored = slot.key.lock();
+            if slot
+                .digest
+                .compare_exchange(d, RESERVED, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            let key = stored.take();
+            let (capacity, refill_rate, credit) = slot.bucket.drain(now);
+            slot.digest.store(tombstone_of(d), Ordering::Release);
+            drop(stored);
+            self.cells.open_slots.fetch_sub(1, Ordering::Relaxed);
+            self.cells.reclaimed_keys.fetch_add(1, Ordering::Relaxed);
+            if let Some(key) = key {
+                out.push(ReclaimedRule {
+                    rule: QosRule {
+                        key,
+                        capacity,
+                        refill_rate,
+                        credit,
+                    },
+                    touches: count,
+                });
+            }
+        }
+        self.reclaim_cursor.store(start, Ordering::Relaxed);
+        out
     }
 
     fn stats(&self) -> TableStatsSnapshot {
@@ -413,8 +1072,8 @@ impl QosTable for LockFreeTable {
             allows: own.allows + overflow.allows,
             denies: own.denies + overflow.denies,
             misses: own.misses + overflow.misses,
-            cas_retries: self.cas_retries.load(Ordering::Relaxed),
-            probe_steps: self.probe_steps.load(Ordering::Relaxed),
+            cas_retries: self.cells.cas_retries.load(Ordering::Relaxed),
+            probe_steps: self.cells.probe_steps.load(Ordering::Relaxed),
         }
     }
 }
@@ -431,10 +1090,28 @@ mod tests {
         QosRule::per_second(key(s), cap, rate)
     }
 
+    fn secs(s: u64) -> Nanos {
+        Nanos::from_nanos(s * 1_000_000_000)
+    }
+
+    fn migration_in_flight(table: &LockFreeTable) -> bool {
+        table.retired.load(Ordering::Acquire) < table.active.load(Ordering::Acquire)
+    }
+
+    fn pump_until_retired(table: &LockFreeTable, now: Nanos) {
+        let mut guard = 0;
+        while migration_in_flight(table) {
+            table.run_migration_quantum(now);
+            guard += 1;
+            assert!(guard < 1_000_000, "migration never completed");
+        }
+    }
+
     #[test]
     fn slot_count_rounds_up_to_power_of_two() {
         let table = LockFreeTable::with_slots(1000);
-        assert_eq!(table.slots.len(), 1024);
+        assert_eq!(table.gen_at(0).slots.len(), 1024);
+        assert_eq!(table.cells.slot_count.load(Ordering::Relaxed), 1024);
     }
 
     #[test]
@@ -445,9 +1122,9 @@ mod tests {
 
     #[test]
     fn probe_limit_overflow_parks_rules_without_losing_them() {
-        // 4 slots, 12 keys: at least 8 rules must overflow, and every
-        // one of them still decides, lists and snapshots correctly.
-        let table = LockFreeTable::with_slots(4);
+        // 4 fixed slots, 12 keys: at least 8 rules must overflow, and
+        // every one of them still decides, lists and snapshots correctly.
+        let table = LockFreeTable::fixed(4);
         for i in 0..12 {
             table.insert(rule(&format!("k{i}"), 1, 0), Nanos::ZERO);
         }
@@ -468,10 +1145,11 @@ mod tests {
     fn tombstone_is_reclaimed_by_the_same_key_only() {
         let table = LockFreeTable::with_slots(64);
         table.insert(rule("alice", 5, 0), Nanos::ZERO);
-        let home = key("alice").digest() as usize & table.mask;
+        let gen = table.gen_at(0);
+        let home = key("alice").digest() as usize & gen.mask;
         assert!(table.remove(&key("alice")));
         assert_eq!(
-            table.slots[home].digest.load(Ordering::Relaxed) & TOMBSTONE_BIT,
+            gen.slots[home].digest.load(Ordering::Relaxed) & TOMBSTONE_BIT,
             TOMBSTONE_BIT,
             "slot should be tombstoned, not emptied"
         );
@@ -483,10 +1161,7 @@ mod tests {
             table.decide(&key("alice"), Nanos::ZERO),
             Some(Verdict::Allow)
         );
-        assert_eq!(
-            table.slots[home].digest.load(Ordering::Relaxed) & PUBLISHED_BIT,
-            PUBLISHED_BIT
-        );
+        assert!(is_published(gen.slots[home].digest.load(Ordering::Relaxed)));
     }
 
     #[test]
@@ -508,11 +1183,17 @@ mod tests {
         let stats = table.stats();
         assert_eq!(stats.decisions, 16_000);
         // 8 threads hammering one bucket must collide at least once; the
-        // exported counter proves the retry path is observable.
-        assert!(
-            stats.cas_retries > 0,
-            "expected some CAS retries under contention"
-        );
+        // exported counter proves the retry path is observable. A CAS can
+        // only lose to a true concurrent winner, so on a single-core host
+        // (threads timesliced, almost never mid-window) the collision is
+        // not guaranteed — assert it only where parallelism exists.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        if cores >= 2 {
+            assert!(
+                stats.cas_retries > 0,
+                "expected some CAS retries under contention"
+            );
+        }
         assert_eq!(stats.cas_retries, table.cas_retries());
     }
 
@@ -532,7 +1213,7 @@ mod tests {
         // Key parked in overflow; later its home neighborhood clears and a
         // re-insert claims an open slot: the overflow copy must not shadow
         // or double-count.
-        let table = LockFreeTable::with_slots(2);
+        let table = LockFreeTable::fixed(2);
         table.insert(rule("a", 1, 0), Nanos::ZERO);
         table.insert(rule("b", 1, 0), Nanos::ZERO);
         table.insert(rule("c", 7, 0), Nanos::ZERO); // probes exhausted -> overflow
@@ -540,8 +1221,7 @@ mod tests {
         assert!(table.overflow_active());
         table.remove(&key("a"));
         table.remove(&key("b"));
-        // "c" still only exists in the overflow; re-inserting it lands in
-        // an open (tombstoned-or-empty) slot... only a same-digest
+        // "c" still only exists in the overflow; only a same-digest
         // tombstone or EMPTY is claimable, and both prior slots are
         // foreign tombstones — so this insert goes back to the overflow
         // and must still not duplicate.
@@ -551,5 +1231,404 @@ mod tests {
         let snap = table.snapshot(Nanos::ZERO);
         assert_eq!(snap.len(), 1);
         assert_eq!(snap[0].credit, Credits::from_whole(3));
+    }
+
+    #[test]
+    fn overflow_flag_clears_when_overflow_drains() {
+        let table = LockFreeTable::fixed(2);
+        table.insert(rule("a", 1, 0), Nanos::ZERO);
+        table.insert(rule("b", 1, 0), Nanos::ZERO);
+        table.insert(rule("c", 1, 0), Nanos::ZERO);
+        assert!(table.overflow_active());
+        assert!(table.remove(&key("c")));
+        assert!(
+            !table.overflow_active(),
+            "flag must drop when the overflow drains"
+        );
+        assert_eq!(table.len(), 2);
+        // And a fresh spill raises it again.
+        table.insert(rule("d", 1, 0), Nanos::ZERO);
+        assert!(table.overflow_active());
+    }
+
+    #[test]
+    fn resize_triggers_at_watermark_and_preserves_credit() {
+        let table = LockFreeTable::with_slots(8);
+        for i in 0..100 {
+            table.insert(rule(&format!("t{i}"), 3, 0), Nanos::ZERO);
+            assert_eq!(
+                table.decide(&key(&format!("t{i}")), Nanos::ZERO),
+                Some(Verdict::Allow)
+            );
+        }
+        pump_until_retired(&table, Nanos::ZERO);
+        assert_eq!(table.len(), 100);
+        assert!(
+            table.cells.resizes.load(Ordering::Relaxed) >= 4,
+            "8 slots must double several times to hold 100 keys"
+        );
+        assert!(table.cells.slot_count.load(Ordering::Relaxed) >= 128);
+        let snap = table.snapshot(Nanos::ZERO);
+        assert_eq!(snap.len(), 100);
+        for row in snap {
+            assert_eq!(
+                row.credit,
+                Credits::from_whole(2),
+                "{}: one charge must survive every migration exactly",
+                row.key
+            );
+        }
+        assert!(!table.overflow_active(), "resize must re-home any spill");
+    }
+
+    #[test]
+    fn migration_is_incremental_bounded_quantum() {
+        let table = LockFreeTable::with_slots(64);
+        for i in 0..48 {
+            table.insert(rule(&format!("k{i}"), 3, 0), Nanos::ZERO);
+        }
+        // The 48th insert crossed the ¾ watermark: a migration is now in
+        // flight and nothing has moved yet.
+        assert!(migration_in_flight(&table));
+        assert_eq!(table.cells.migrated_slots.load(Ordering::Relaxed), 0);
+        // Each operation moves at most MIGRATE_QUANTUM slots.
+        let mut moved_so_far = 0;
+        let mut steps = 0;
+        while migration_in_flight(&table) {
+            // A decide on an absent key still pumps one quantum and
+            // leaves every resident bucket's credit untouched.
+            assert_eq!(table.decide(&key("absent"), Nanos::ZERO), None);
+            let now_moved = table.cells.migrated_slots.load(Ordering::Relaxed);
+            assert!(
+                now_moved - moved_so_far <= LockFreeTable::MIGRATE_QUANTUM as u64,
+                "one decide migrated {} slots, quantum is {}",
+                now_moved - moved_so_far,
+                LockFreeTable::MIGRATE_QUANTUM
+            );
+            moved_so_far = now_moved;
+            steps += 1;
+            assert!(steps < 1_000, "migration never completed");
+        }
+        assert!(steps >= 64 / LockFreeTable::MIGRATE_QUANTUM - 1);
+        assert_eq!(table.cells.migrated_slots.load(Ordering::Relaxed), 48);
+        assert_eq!(table.len(), 48);
+        for i in 0..48 {
+            assert_eq!(
+                table.decide(&key(&format!("k{i}")), Nanos::ZERO),
+                Some(Verdict::Allow),
+                "k{i} lost in migration"
+            );
+        }
+    }
+
+    #[test]
+    fn decide_hammers_across_live_migration() {
+        use std::sync::Arc as StdArc;
+        let table = StdArc::new(LockFreeTable::with_slots(256));
+        table.insert(rule("shared", 1000, 0), Nanos::ZERO);
+        for i in 0..190 {
+            table.insert(rule(&format!("f{i}"), 1, 0), Nanos::ZERO);
+        }
+        assert!(!migration_in_flight(&table));
+        let allowed: usize = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let table = StdArc::clone(&table);
+                    scope.spawn(move || {
+                        let k = key("shared");
+                        let mut allows = 0;
+                        for _ in 0..400 {
+                            match table.decide(&k, Nanos::ZERO) {
+                                Some(Verdict::Allow) => allows += 1,
+                                Some(Verdict::Deny) => {}
+                                None => panic!("shared key vanished mid-migration"),
+                            }
+                        }
+                        allows
+                    })
+                })
+                .collect();
+            // Push occupancy over the watermark while the deciders run:
+            // the migration races the hammering threads.
+            for i in 190..200 {
+                table.insert(rule(&format!("f{i}"), 1, 0), Nanos::ZERO);
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        });
+        assert!(
+            table.cells.resizes.load(Ordering::Relaxed) >= 1,
+            "the fillers must have triggered a resize"
+        );
+        assert_eq!(
+            allowed, 1000,
+            "migration must neither double-charge nor mint credit"
+        );
+        pump_until_retired(&table, Nanos::ZERO);
+        assert_eq!(table.len(), 201);
+    }
+
+    #[test]
+    fn idle_keys_fold_out_with_exact_credit_and_touch_counts() {
+        let table = LockFreeTable::with_slots(64);
+        table.insert(rule("idle", 10, 0), Nanos::ZERO);
+        table.insert(rule("hot", 5, 0), Nanos::ZERO);
+        for _ in 0..3 {
+            assert_eq!(
+                table.decide(&key("idle"), Nanos::ZERO),
+                Some(Verdict::Allow)
+            );
+        }
+        assert_eq!(table.decide(&key("hot"), secs(3)), Some(Verdict::Allow));
+        let mut reclaimed = table.reclaim_idle(secs(3), Duration::from_secs(2), 10);
+        assert_eq!(reclaimed.len(), 1, "only the idle key is past the TTL");
+        let row = reclaimed.pop().unwrap();
+        assert_eq!(row.rule.key, key("idle"));
+        assert_eq!(row.rule.capacity, Credits::from_whole(10));
+        assert_eq!(
+            row.rule.credit,
+            Credits::from_whole(7),
+            "reclaim must capture the exact remaining credit"
+        );
+        assert_eq!(row.touches, 3);
+        assert_eq!(table.len(), 1);
+        assert_eq!(table.decide(&key("idle"), secs(3)), None);
+        assert_eq!(table.cells.reclaimed_keys.load(Ordering::Relaxed), 1);
+        // Readmission resumes with the reclaimed credit: exactly 7 more
+        // allows, not a fresh bucket's 10.
+        table.restore(vec![row.rule], secs(3));
+        for i in 0..7 {
+            assert_eq!(
+                table.decide(&key("idle"), secs(3)),
+                Some(Verdict::Allow),
+                "allow {i}"
+            );
+        }
+        assert_eq!(table.decide(&key("idle"), secs(3)), Some(Verdict::Deny));
+    }
+
+    #[test]
+    fn reclaim_skips_during_migration() {
+        let table = LockFreeTable::with_slots(8);
+        for i in 0..6 {
+            table.insert(rule(&format!("k{i}"), 1, 0), Nanos::ZERO);
+        }
+        assert!(migration_in_flight(&table));
+        assert!(
+            table
+                .reclaim_idle(secs(10), Duration::from_secs(1), 100)
+                .is_empty(),
+            "reclaim must stand aside while a migration is draining"
+        );
+        pump_until_retired(&table, secs(10));
+        let reclaimed = table.reclaim_idle(secs(10), Duration::from_secs(1), 100);
+        assert_eq!(reclaimed.len(), 6);
+        assert_eq!(table.len(), 0);
+    }
+
+    #[test]
+    fn resize_rehomes_parked_rules_and_drops_the_flag() {
+        let table = LockFreeTable::with_slots(8);
+        // Park a rule as a probe-limit spill would.
+        table.park_in_overflow(rule("parked", 3, 0), Nanos::ZERO, false);
+        assert!(table.overflow_active());
+        // Occupancy pressure triggers a resize...
+        for i in 0..6 {
+            table.insert(rule(&format!("f{i}"), 1, 0), Nanos::ZERO);
+        }
+        assert!(migration_in_flight(&table));
+        pump_until_retired(&table, Nanos::ZERO);
+        // ...and retirement re-homes the parked rule into the open array.
+        assert!(
+            !table.overflow_active(),
+            "flag must drop once the resize re-homes the spill"
+        );
+        assert!(table.overflow.is_empty());
+        assert_eq!(table.len(), 7);
+        for _ in 0..3 {
+            assert_eq!(
+                table.decide(&key("parked"), Nanos::ZERO),
+                Some(Verdict::Allow)
+            );
+        }
+        assert_eq!(
+            table.decide(&key("parked"), Nanos::ZERO),
+            Some(Verdict::Deny)
+        );
+    }
+
+    #[test]
+    fn len_keys_and_snapshot_span_both_generations_mid_migration() {
+        let table = LockFreeTable::with_slots(16);
+        for i in 0..11 {
+            table.insert(rule(&format!("k{i}"), 5, 0), Nanos::ZERO);
+            assert_eq!(
+                table.decide(&key(&format!("k{i}")), Nanos::ZERO),
+                Some(Verdict::Allow)
+            );
+        }
+        table.insert(rule("k11", 4, 0), Nanos::ZERO); // 12th key: watermark
+        assert!(migration_in_flight(&table));
+        table.run_migration_quantum(Nanos::ZERO); // half the old array
+        if migration_in_flight(&table) {
+            let moved = table.cells.migrated_slots.load(Ordering::Relaxed);
+            assert!(moved <= LockFreeTable::MIGRATE_QUANTUM as u64);
+        }
+        assert_eq!(table.len(), 12);
+        assert_eq!(table.keys().len(), 12);
+        let snap = table.snapshot(Nanos::ZERO);
+        assert_eq!(snap.len(), 12);
+        for row in &snap {
+            assert_eq!(row.credit, Credits::from_whole(4), "{}", row.key);
+        }
+        pump_until_retired(&table, Nanos::ZERO);
+        assert_eq!(table.cells.migrated_slots.load(Ordering::Relaxed), 12);
+        assert_eq!(table.len(), 12);
+        assert_eq!(table.snapshot(Nanos::ZERO).len(), 12);
+    }
+
+    #[test]
+    fn randomized_schedule_matches_sharded_table_credit_for_credit() {
+        // Differential test: a LockFreeTable starting at 4 slots (so the
+        // schedule rides through several resizes) must agree with the
+        // reference ShardedTable on every verdict, every removal and the
+        // final credit of every key. Time advances on the whole-ms tick
+        // grid where both engines are exact.
+        let keys: Vec<QosKey> = (0..8).map(|i| key(&format!("u{i}"))).collect();
+        for seed in 0..8u64 {
+            let mut rng = janus_hash::rng::Rng::seed_from_u64(0xD1FF ^ seed);
+            let lockfree = LockFreeTable::with_slots(4);
+            let sharded = ShardedTable::with_shards(4);
+            let mut now = Nanos::ZERO;
+            for step in 0..2_000 {
+                let k = &keys[rng.gen_range(keys.len() as u64) as usize];
+                match rng.gen_range(100) {
+                    0..=19 => {
+                        let cap = rng.gen_range(40);
+                        let rate = rng.gen_range(500);
+                        let r = QosRule::per_second(k.clone(), cap, rate);
+                        lockfree.insert(r.clone(), now);
+                        sharded.insert(r, now);
+                    }
+                    20..=79 => {
+                        assert_eq!(
+                            lockfree.decide(k, now),
+                            sharded.decide(k, now),
+                            "seed {seed} step {step} key {k}"
+                        );
+                    }
+                    80..=84 => {
+                        assert_eq!(
+                            lockfree.remove(k),
+                            sharded.remove(k),
+                            "seed {seed} step {step} key {k}"
+                        );
+                    }
+                    85..=89 => {
+                        lockfree.run_migration_quantum(now);
+                    }
+                    90..=94 => {
+                        lockfree.sweep_refill(now);
+                        sharded.sweep_refill(now);
+                    }
+                    _ => {
+                        now = now + Duration::from_millis(rng.gen_range(50));
+                    }
+                }
+            }
+            pump_until_retired(&lockfree, now);
+            assert_eq!(lockfree.len(), sharded.len(), "seed {seed}");
+            let mut a = lockfree.snapshot(now);
+            let mut b = sharded.snapshot(now);
+            a.sort_by(|x, y| x.key.cmp(&y.key));
+            b.sort_by(|x, y| x.key.cmp(&y.key));
+            assert_eq!(a, b, "seed {seed}: final state must match");
+        }
+    }
+}
+
+/// The randomized differential property test needs the external
+/// `proptest` crate, which the std-only `rustc --test` battery (built
+/// with `--cfg janus_std_only`) cannot link. The seeded differential in
+/// `tests` above runs in both worlds.
+#[cfg(all(test, not(janus_std_only)))]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn key_at(i: usize) -> QosKey {
+        QosKey::new(format!("p{i}")).unwrap()
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert { key: usize, cap: u64, rate: u64 },
+        Decide { key: usize },
+        Remove { key: usize },
+        Quantum,
+        Advance { ms: u64 },
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (0..8usize, 0..40u64, 0..500u64).prop_map(|(key, cap, rate)| Op::Insert {
+                key,
+                cap,
+                rate
+            }),
+            (0..8usize).prop_map(|key| Op::Decide { key }),
+            (0..8usize).prop_map(|key| Op::Remove { key }),
+            Just(Op::Quantum),
+            (0..50u64).prop_map(|ms| Op::Advance { ms }),
+        ]
+    }
+
+    proptest! {
+        /// Any interleaving of inserts, decides, removes and explicit
+        /// migration quanta agrees with the reference table verdict-for-
+        /// verdict and credit-for-credit.
+        #[test]
+        fn lockfree_matches_sharded_on_any_schedule(
+            ops in proptest::collection::vec(op_strategy(), 1..400)
+        ) {
+            let lockfree = LockFreeTable::with_slots(4);
+            let sharded = ShardedTable::with_shards(4);
+            let mut now = Nanos::ZERO;
+            for (step, op) in ops.iter().enumerate() {
+                match *op {
+                    Op::Insert { key, cap, rate } => {
+                        let r = QosRule::per_second(key_at(key), cap, rate);
+                        lockfree.insert(r.clone(), now);
+                        sharded.insert(r, now);
+                    }
+                    Op::Decide { key } => {
+                        prop_assert_eq!(
+                            lockfree.decide(&key_at(key), now),
+                            sharded.decide(&key_at(key), now),
+                            "step {} key {}", step, key
+                        );
+                    }
+                    Op::Remove { key } => {
+                        prop_assert_eq!(
+                            lockfree.remove(&key_at(key)),
+                            sharded.remove(&key_at(key)),
+                            "step {} key {}", step, key
+                        );
+                    }
+                    Op::Quantum => lockfree.run_migration_quantum(now),
+                    Op::Advance { ms } => now = now + Duration::from_millis(ms),
+                }
+            }
+            while lockfree.retired.load(Ordering::Acquire)
+                < lockfree.active.load(Ordering::Acquire)
+            {
+                lockfree.run_migration_quantum(now);
+            }
+            prop_assert_eq!(lockfree.len(), sharded.len());
+            let mut a = lockfree.snapshot(now);
+            let mut b = sharded.snapshot(now);
+            a.sort_by(|x, y| x.key.cmp(&y.key));
+            b.sort_by(|x, y| x.key.cmp(&y.key));
+            prop_assert_eq!(a, b);
+        }
     }
 }

@@ -206,9 +206,18 @@ mod tests {
     fn behaves_like_any_qos_table() {
         let table = PartitionedTable::new(4);
         table.insert(rule("alice", 2, 0), Nanos::ZERO);
-        assert_eq!(table.decide(&key("alice"), Nanos::ZERO), Some(Verdict::Allow));
-        assert_eq!(table.decide(&key("alice"), Nanos::ZERO), Some(Verdict::Allow));
-        assert_eq!(table.decide(&key("alice"), Nanos::ZERO), Some(Verdict::Deny));
+        assert_eq!(
+            table.decide(&key("alice"), Nanos::ZERO),
+            Some(Verdict::Allow)
+        );
+        assert_eq!(
+            table.decide(&key("alice"), Nanos::ZERO),
+            Some(Verdict::Allow)
+        );
+        assert_eq!(
+            table.decide(&key("alice"), Nanos::ZERO),
+            Some(Verdict::Deny)
+        );
         assert_eq!(table.decide(&key("ghost"), Nanos::ZERO), None);
         assert_eq!(table.shape(&key("ghost")), None);
         let (cap, _) = table.shape(&key("alice")).unwrap();
@@ -278,7 +287,10 @@ mod tests {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum::<usize>()
         });
         assert_eq!(admitted, 1000);
     }

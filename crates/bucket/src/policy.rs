@@ -55,7 +55,6 @@ impl DefaultRulePolicy {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,6 +17,7 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Counters a QoS server exports for monitoring and for the evaluation
 /// harness (CPU-utilization proxies, hit rates).
@@ -132,6 +133,25 @@ pub trait QosTable: Send + Sync {
 
     /// Monitoring counters.
     fn stats(&self) -> TableStatsSnapshot;
+
+    /// Demote keys idle for at least `idle_ttl`, removing up to `max` of
+    /// them and returning their exact state (credit evaluated at `now`)
+    /// plus hotness counters for the cold tier. Engines without an idle
+    /// tracker reclaim nothing.
+    fn reclaim_idle(&self, _now: Nanos, _idle_ttl: Duration, _max: usize) -> Vec<ReclaimedRule> {
+        Vec::new()
+    }
+}
+
+/// One row handed back by [`QosTable::reclaim_idle`]: the rule with its
+/// exact remaining credit, plus how many decisions touched the key while
+/// it was resident (persisted as the cold tier's warm-up ordering hint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReclaimedRule {
+    /// The reclaimed rule; `credit` is exact as of the reclaim instant.
+    pub rule: QosRule,
+    /// Decisions recorded against the key while it was resident.
+    pub touches: u64,
 }
 
 fn shard_of(key: &QosKey, shards: usize) -> usize {
@@ -173,6 +193,17 @@ impl ShardedTable {
 
     fn shard(&self, key: &QosKey) -> &Mutex<HashMap<QosKey, LeakyBucket>> {
         &self.shards[shard_of(key, self.shards.len())]
+    }
+
+    /// Remove `key`'s bucket and return it as a rule with credit evaluated
+    /// at `now`. Removal and credit capture happen under the shard lock,
+    /// so no charge can land in between — the caller can re-insert the
+    /// rule elsewhere without minting or losing credit.
+    pub fn take(&self, key: &QosKey, now: Nanos) -> Option<QosRule> {
+        self.shard(key)
+            .lock()
+            .remove(key)
+            .map(|bucket| bucket.to_rule(key.clone(), now))
     }
 
     /// Sum of credit across all buckets at `now` (test/diagnostic helper).
@@ -420,7 +451,10 @@ mod tests {
             ("lock-free", Arc::new(crate::LockFreeTable::new())),
             // A deliberately tiny slot array so the shared tests also
             // exercise the probe-limit overflow path.
-            ("lock-free-tiny", Arc::new(crate::LockFreeTable::with_slots(8))),
+            (
+                "lock-free-tiny",
+                Arc::new(crate::LockFreeTable::with_slots(8)),
+            ),
         ]
     }
 
@@ -493,7 +527,10 @@ mod tests {
     #[test]
     fn apply_update_miss_returns_false() {
         for (name, table) in tables() {
-            assert!(!table.apply_update(&rule("nope", 1, 1), Nanos::ZERO), "{name}");
+            assert!(
+                !table.apply_update(&rule("nope", 1, 1), Nanos::ZERO),
+                "{name}"
+            );
         }
     }
 
@@ -574,14 +611,15 @@ mod tests {
                         scope.spawn(move || {
                             let k = key("shared");
                             (0..500)
-                                .filter(|_| {
-                                    table.decide(&k, Nanos::ZERO) == Some(Verdict::Allow)
-                                })
+                                .filter(|_| table.decide(&k, Nanos::ZERO) == Some(Verdict::Allow))
                                 .count()
                         })
                     })
                     .collect();
-                handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .sum::<usize>()
             });
             assert_eq!(admitted, 1000, "{name}");
         }
@@ -622,7 +660,7 @@ mod tests {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(janus_std_only)))]
 mod proptests {
     use super::*;
     use crate::LeakyBucket;
@@ -644,8 +682,11 @@ mod proptests {
 
     fn op_strategy() -> impl Strategy<Value = Op> {
         prop_oneof![
-            (0u8..6, 0u16..50, 0u16..1000)
-                .prop_map(|(key, cap, rate)| Op::Insert { key, cap, rate }),
+            (0u8..6, 0u16..50, 0u16..1000).prop_map(|(key, cap, rate)| Op::Insert {
+                key,
+                cap,
+                rate
+            }),
             (0u8..6).prop_map(|key| Op::Decide { key }),
             Just(Op::Sweep),
             (0u32..2_000_000).prop_map(|micros| Op::Advance { micros }),

@@ -100,6 +100,32 @@ impl DbClient {
         }
     }
 
+    /// One batch of the streaming warm-up scan: up to `limit` rows,
+    /// hottest keys first (by the persisted touch counts), skipping the
+    /// first `offset`. A shorter-than-`limit` result means the scan is
+    /// exhausted.
+    pub async fn scan_rules(&mut self, offset: usize, limit: usize) -> Result<Vec<QosRule>> {
+        let stmt =
+            format!("SELECT * FROM qos_rules ORDER BY touches DESC LIMIT {limit} OFFSET {offset}");
+        match self.query(&stmt).await? {
+            SqlResponse::Rows(rows) => Ok(rows),
+            other => Err(JanusError::db(format!("unexpected response {other:?}"))),
+        }
+    }
+
+    /// Fold `count` observed decisions into `key`'s persisted hotness
+    /// (called at reclaim time; additive, not a rule change).
+    pub async fn record_touches(&mut self, key: &QosKey, count: u64) -> Result<()> {
+        let stmt = format!(
+            "UPDATE qos_rules SET touches = touches + {count} WHERE qos_key = '{}'",
+            sql_quote(key),
+        );
+        match self.query(&stmt).await? {
+            SqlResponse::Ok { .. } => Ok(()),
+            other => Err(JanusError::db(format!("unexpected response {other:?}"))),
+        }
+    }
+
     /// Insert or replace a full rule.
     pub async fn upsert_rule(&mut self, rule: &QosRule) -> Result<()> {
         let stmt = format!(
@@ -132,10 +158,7 @@ impl DbClient {
 
     /// Delete a rule. Returns true if it existed.
     pub async fn delete_rule(&mut self, key: &QosKey) -> Result<bool> {
-        let stmt = format!(
-            "DELETE FROM qos_rules WHERE qos_key = '{}'",
-            sql_quote(key)
-        );
+        let stmt = format!("DELETE FROM qos_rules WHERE qos_key = '{}'", sql_quote(key));
         match self.query(&stmt).await? {
             SqlResponse::Ok { affected } => Ok(affected > 0),
             other => Err(JanusError::db(format!("unexpected response {other:?}"))),
@@ -215,10 +238,7 @@ mod tests {
 
         assert!(client.delete_rule(&key).await.unwrap());
         assert!(!client.delete_rule(&key).await.unwrap());
-        assert!(!client
-            .checkpoint_credit(&key, Credits::ZERO)
-            .await
-            .unwrap());
+        assert!(!client.checkpoint_credit(&key, Credits::ZERO).await.unwrap());
     }
 
     #[tokio::test]
@@ -228,6 +248,23 @@ mod tests {
         let rows = client.load_all().await.unwrap();
         let keys: Vec<_> = rows.iter().map(|r| r.key.to_string()).collect();
         assert_eq!(keys, vec!["a", "b", "c"]);
+    }
+
+    #[tokio::test]
+    async fn scan_streams_hottest_first_in_batches() {
+        let server = spawn_db(&[rule("cold", 1, 1), rule("hot", 1, 1), rule("warm", 1, 1)]).await;
+        let mut client = DbClient::connect(server.addr()).await.unwrap();
+        let hot = QosKey::new("hot").unwrap();
+        let warm = QosKey::new("warm").unwrap();
+        client.record_touches(&hot, 90).await.unwrap();
+        client.record_touches(&hot, 10).await.unwrap();
+        client.record_touches(&warm, 5).await.unwrap();
+        let first = client.scan_rules(0, 2).await.unwrap();
+        let names: Vec<_> = first.iter().map(|r| r.key.to_string()).collect();
+        assert_eq!(names, vec!["hot", "warm"]);
+        let second = client.scan_rules(2, 2).await.unwrap();
+        assert_eq!(second.len(), 1, "short batch signals exhaustion");
+        assert_eq!(second[0].key.to_string(), "cold");
     }
 
     #[tokio::test]

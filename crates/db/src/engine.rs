@@ -12,6 +12,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug, Default)]
 pub struct RulesEngine {
     rows: RwLock<HashMap<QosKey, QosRule>>,
+    /// Hotness side-table: cumulative decision counts persisted by the QoS
+    /// servers' reclaim sweeps. Orders the streaming warm-up scan (hot
+    /// keys first); not part of the rule row, so the frozen `key\trate\t
+    /// cap\tcredit` wire format is untouched.
+    touches: RwLock<HashMap<QosKey, u64>>,
     version: AtomicU64,
 }
 
@@ -65,11 +70,41 @@ impl RulesEngine {
         }
     }
 
+    /// `SELECT * FROM qos_rules ORDER BY touches DESC ... LIMIT ? OFFSET ?`
+    /// — one warm-up batch, hottest keys first (ties broken by key order so
+    /// pagination is deterministic and covers every row exactly once).
+    pub fn scan(&self, offset: usize, limit: usize) -> Vec<QosRule> {
+        let touches = self.touches.read();
+        let mut rules: Vec<_> = self.rows.read().values().cloned().collect();
+        rules.sort_by(|a, b| {
+            let ta = touches.get(&a.key).copied().unwrap_or(0);
+            let tb = touches.get(&b.key).copied().unwrap_or(0);
+            tb.cmp(&ta).then_with(|| a.key.cmp(&b.key))
+        });
+        rules.into_iter().skip(offset).take(limit).collect()
+    }
+
+    /// `UPDATE qos_rules SET touches = touches + ?` — accumulate hotness
+    /// observed by a QoS server since the key was last resident. Additive
+    /// (several servers may fold counts for the same key) and, like credit
+    /// checkpoints, not a rule change: the version is not bumped.
+    pub fn record_touches(&self, key: &QosKey, count: u64) {
+        let mut touches = self.touches.write();
+        let entry = touches.entry(key.clone()).or_insert(0);
+        *entry = entry.saturating_add(count);
+    }
+
+    /// The accumulated touch count for `key` (0 if never recorded).
+    pub fn touches(&self, key: &QosKey) -> u64 {
+        self.touches.read().get(key).copied().unwrap_or(0)
+    }
+
     /// `DELETE FROM qos_rules WHERE qos_key = ?`. Returns true if the row
     /// existed.
     pub fn delete(&self, key: &QosKey) -> bool {
         let removed = self.rows.write().remove(key).is_some();
         if removed {
+            self.touches.write().remove(key);
             self.bump();
         }
         removed
@@ -128,8 +163,16 @@ mod tests {
     #[test]
     fn all_is_sorted_by_key() {
         let engine = RulesEngine::new();
-        engine.load([rule("charlie", 1, 1), rule("alice", 1, 1), rule("bob", 1, 1)]);
-        let keys: Vec<_> = engine.all().into_iter().map(|r| r.key.to_string()).collect();
+        engine.load([
+            rule("charlie", 1, 1),
+            rule("alice", 1, 1),
+            rule("bob", 1, 1),
+        ]);
+        let keys: Vec<_> = engine
+            .all()
+            .into_iter()
+            .map(|r| r.key.to_string())
+            .collect();
         assert_eq!(keys, vec!["alice", "bob", "charlie"]);
         assert_eq!(engine.count(), 3);
     }
@@ -156,6 +199,46 @@ mod tests {
             engine.get(&key("alice")).unwrap().credit,
             Credits::from_whole(10)
         );
+    }
+
+    #[test]
+    fn scan_pages_hottest_keys_first() {
+        let engine = RulesEngine::new();
+        engine.load([rule("cold", 1, 1), rule("warm", 1, 1), rule("hot", 1, 1)]);
+        engine.record_touches(&key("hot"), 100);
+        engine.record_touches(&key("warm"), 10);
+        let names = |rows: Vec<QosRule>| -> Vec<String> {
+            rows.into_iter().map(|r| r.key.to_string()).collect()
+        };
+        assert_eq!(names(engine.scan(0, 2)), vec!["hot", "warm"]);
+        assert_eq!(names(engine.scan(2, 2)), vec!["cold"]);
+        assert!(engine.scan(3, 2).is_empty());
+        // Untouched keys page deterministically in key order.
+        engine.load([rule("aaa", 1, 1), rule("bbb", 1, 1)]);
+        assert_eq!(
+            names(engine.scan(2, 10)),
+            vec!["aaa", "bbb", "cold"],
+            "ties broken by key for exhaustive pagination"
+        );
+    }
+
+    #[test]
+    fn touches_accumulate_additively_without_version_bump() {
+        let engine = RulesEngine::new();
+        engine.put(rule("alice", 1, 1));
+        let v = engine.version();
+        engine.record_touches(&key("alice"), 3);
+        engine.record_touches(&key("alice"), 4);
+        assert_eq!(engine.touches(&key("alice")), 7);
+        assert_eq!(
+            engine.version(),
+            v,
+            "touch updates must not trigger rule re-sync"
+        );
+        assert_eq!(engine.touches(&key("ghost")), 0);
+        // Deleting the row drops its hotness record too.
+        engine.delete(&key("alice"));
+        assert_eq!(engine.touches(&key("alice")), 0);
     }
 
     #[test]

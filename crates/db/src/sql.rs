@@ -9,7 +9,9 @@
 //! ```sql
 //! SELECT * FROM qos_rules
 //! SELECT * FROM qos_rules WHERE qos_key = 'alice'
+//! SELECT * FROM qos_rules ORDER BY touches DESC LIMIT 512 OFFSET 0
 //! SELECT COUNT(*) FROM qos_rules
+//! UPDATE qos_rules SET touches = touches + 42 WHERE qos_key = 'alice'
 //! INSERT INTO qos_rules (qos_key, refill_rate, capacity, credit) VALUES ('alice', 100, 1000, 1000)
 //! UPDATE qos_rules SET credit = 42.5 WHERE qos_key = 'alice'
 //! UPDATE qos_rules SET refill_rate = 10, capacity = 100 WHERE qos_key = 'alice'
@@ -19,7 +21,10 @@
 //!
 //! Numeric literals are decimal credits (up to six fractional digits,
 //! matching the fixed-point resolution). `VERSION` is a Janus extension
-//! the rule-sync thread uses to skip no-change polls.
+//! the rule-sync thread uses to skip no-change polls. The `ORDER BY
+//! touches` scan pages the table hottest-keys-first for the streaming
+//! warm-up, and the additive `touches` update folds a QoS server's
+//! observed decision counts into the hotness column at reclaim time.
 
 use crate::engine::RulesEngine;
 use janus_types::{Credits, JanusError, QosKey, QosRule, RefillRate, Result};
@@ -80,7 +85,7 @@ fn tokenize(input: &str) -> Result<Vec<Token>> {
                 }
                 tokens.push(Token::Str(s));
             }
-            '(' | ')' | ',' | '=' | '*' | ';' => {
+            '(' | ')' | ',' | '=' | '*' | '+' | ';' => {
                 chars.next();
                 if c != ';' {
                     tokens.push(Token::Symbol(c));
@@ -174,7 +179,9 @@ impl Parser {
     fn word(&mut self) -> Result<String> {
         match self.next() {
             Some(Token::Word(w)) => Ok(w),
-            other => Err(JanusError::db(format!("expected identifier, got {other:?}"))),
+            other => Err(JanusError::db(format!(
+                "expected identifier, got {other:?}"
+            ))),
         }
     }
 
@@ -189,6 +196,16 @@ impl Parser {
         match self.next() {
             Some(Token::Number(n)) => parse_decimal_micro(&n),
             other => Err(JanusError::db(format!("expected number, got {other:?}"))),
+        }
+    }
+
+    /// A plain integer literal (LIMIT/OFFSET bounds, touch counts).
+    fn number_integer(&mut self) -> Result<u64> {
+        match self.next() {
+            Some(Token::Number(n)) => n
+                .parse::<u64>()
+                .map_err(|_| JanusError::db(format!("expected integer, got {n:?}"))),
+            other => Err(JanusError::db(format!("expected integer, got {other:?}"))),
         }
     }
 
@@ -253,6 +270,22 @@ fn execute_select(engine: &RulesEngine, p: &mut Parser) -> Result<SqlResponse> {
             expect_table(p)?;
             if p.peek().is_none() {
                 return Ok(SqlResponse::Rows(engine.all()));
+            }
+            if matches!(p.peek(), Some(Token::Word(w)) if w == "order") {
+                // ORDER BY touches DESC LIMIT <n> OFFSET <m>: one
+                // hottest-first warm-up batch.
+                p.expect_word("order")?;
+                p.expect_word("by")?;
+                p.expect_word("touches")?;
+                p.expect_word("desc")?;
+                p.expect_word("limit")?;
+                let limit = p.number_integer()?;
+                p.expect_word("offset")?;
+                let offset = p.number_integer()?;
+                p.at_end()?;
+                return Ok(SqlResponse::Rows(
+                    engine.scan(offset as usize, limit as usize),
+                ));
             }
             let key = p.where_key()?;
             p.at_end()?;
@@ -319,7 +352,9 @@ fn execute_insert(engine: &RulesEngine, p: &mut Parser) -> Result<SqlResponse> {
             ("capacity", Token::Number(n)) => capacity = Some(parse_decimal_micro(&n)?),
             ("credit", Token::Number(n)) => credit = Some(parse_decimal_micro(&n)?),
             (col, val) => {
-                return Err(JanusError::db(format!("bad column/value pair {col:?} {val:?}")))
+                return Err(JanusError::db(format!(
+                    "bad column/value pair {col:?} {val:?}"
+                )))
             }
         }
     }
@@ -344,6 +379,20 @@ fn execute_insert(engine: &RulesEngine, p: &mut Parser) -> Result<SqlResponse> {
 fn execute_update(engine: &RulesEngine, p: &mut Parser) -> Result<SqlResponse> {
     expect_table(p)?;
     p.expect_word("set")?;
+    if matches!(p.peek(), Some(Token::Word(w)) if w == "touches") {
+        // SET touches = touches + <n>: additive hotness fold. Like credit
+        // checkpoints this is not a rule change (no version bump), and the
+        // count survives even if the rule row arrives later.
+        p.expect_word("touches")?;
+        p.expect_symbol('=')?;
+        p.expect_word("touches")?;
+        p.expect_symbol('+')?;
+        let count = p.number_integer()?;
+        let key = p.where_key()?;
+        p.at_end()?;
+        engine.record_touches(&key, count);
+        return Ok(SqlResponse::Ok { affected: 1 });
+    }
     let mut assignments: Vec<(String, u64)> = Vec::new();
     loop {
         let column = p.word()?;
@@ -529,10 +578,70 @@ mod tests {
     }
 
     #[test]
+    fn ordered_scan_pages_by_hotness() {
+        let engine = engine_with(&[("cold", 1, 1), ("hot", 1, 1), ("warm", 1, 1)]);
+        execute(
+            &engine,
+            "UPDATE qos_rules SET touches = touches + 100 WHERE qos_key = 'hot'",
+        )
+        .unwrap();
+        execute(
+            &engine,
+            "UPDATE qos_rules SET touches = touches + 10 WHERE qos_key = 'warm'",
+        )
+        .unwrap();
+        let page = |offset: usize| -> Vec<String> {
+            match execute(
+                &engine,
+                &format!("SELECT * FROM qos_rules ORDER BY touches DESC LIMIT 2 OFFSET {offset}"),
+            )
+            .unwrap()
+            {
+                SqlResponse::Rows(rows) => rows.into_iter().map(|r| r.key.to_string()).collect(),
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(page(0), vec!["hot", "warm"]);
+        assert_eq!(page(2), vec!["cold"]);
+        assert!(page(3).is_empty());
+    }
+
+    #[test]
+    fn touch_update_is_additive_and_not_a_rule_change() {
+        let engine = engine_with(&[("a", 1, 1)]);
+        let v = engine.version();
+        for _ in 0..2 {
+            execute(
+                &engine,
+                "UPDATE qos_rules SET touches = touches + 3 WHERE qos_key = 'a'",
+            )
+            .unwrap();
+        }
+        assert_eq!(engine.touches(&QosKey::new("a").unwrap()), 6);
+        assert_eq!(engine.version(), v, "touch fold bumped version");
+        // Limit/offset literals must be integers, and the additive form is
+        // the only accepted touches assignment.
+        assert!(execute(
+            &engine,
+            "SELECT * FROM qos_rules ORDER BY touches DESC LIMIT 1.5 OFFSET 0"
+        )
+        .is_err());
+        assert!(execute(
+            &engine,
+            "UPDATE qos_rules SET touches = 5 WHERE qos_key = 'a'"
+        )
+        .is_err());
+    }
+
+    #[test]
     fn update_missing_key_affects_zero() {
         let engine = RulesEngine::new();
         assert_eq!(
-            execute(&engine, "UPDATE qos_rules SET credit = 1 WHERE qos_key = 'x'").unwrap(),
+            execute(
+                &engine,
+                "UPDATE qos_rules SET credit = 1 WHERE qos_key = 'x'"
+            )
+            .unwrap(),
             SqlResponse::Ok { affected: 0 }
         );
     }

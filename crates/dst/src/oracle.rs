@@ -3,7 +3,7 @@
 //! The simulator feeds every observable admission outcome into an
 //! [`OracleState`]; a violation is a property of the *whole cluster
 //! history*, not of any single core, which is what the deterministic
-//! simulator buys over unit tests. Four invariants are enforced:
+//! simulator buys over unit tests. Six invariants are enforced:
 //!
 //! 1. **Credit exactness / no oversell** — for a zero-refill key with
 //!    capacity `C` whose owning partition has rebooted `r` times, the
@@ -34,10 +34,19 @@
 //!    under any fault schedule — grants lost in flight, renewals
 //!    delayed past the TTL, revocations racing local admits, crashes
 //!    with leases outstanding.
+//! 6. **Reclamation never mints credit** — demoting an idle key to the
+//!    cold tier and readmitting it on its next request is
+//!    credit-neutral: the readmitted bucket resumes the exact credit
+//!    captured at demotion, so a key's allows stay inside the same
+//!    `C * (1 + r)` budget no matter how many demote/readmit cycles it
+//!    survives. A breach of the credit bound on a key that has been
+//!    reclaimed at least once is attributed to the memory engine, not
+//!    to reboots — unlike a reboot, a reclaim cycle adds *zero* to the
+//!    budget.
 //!
-//! Oracles 1–3 and 5 are re-validated from accumulated counters after
-//! every event (`check_all`); oracle 4 is asserted once the event queue
-//! drains, when completion times are known.
+//! Oracles 1–3, 5 and 6 are re-validated from accumulated counters
+//! after every event (`check_all`); oracle 4 is asserted once the event
+//! queue drains, when completion times are known.
 
 use std::collections::HashSet;
 use std::time::Duration;
@@ -70,6 +79,11 @@ pub struct OracleState {
     /// lease-grant time, per key. Every lease admit must be covered
     /// here (oracle 5), and the drains count against oracle 1's budget.
     pub lease_drained: Vec<u64>,
+    /// Demote-to-cold-tier cycles per key. Reclamation is
+    /// credit-neutral, so this never loosens a bound — it only lets a
+    /// credit breach on a reclaimed key be pinned on the memory engine
+    /// (oracle 6).
+    pub reclaims: Vec<u64>,
     /// Stamped decisions already seen: (partition, epoch, nonce).
     charged: HashSet<(usize, u32, ChargeKey)>,
     violations: Vec<String>,
@@ -85,6 +99,7 @@ impl OracleState {
             degraded_allows: vec![0; keys],
             lease_admits: vec![0; keys],
             lease_drained: vec![0; keys],
+            reclaims: vec![0; keys],
             charged: HashSet::new(),
             violations: Vec::new(),
             seen: HashSet::new(),
@@ -160,6 +175,14 @@ impl OracleState {
         self.check_key(key_idx, key_name, reboots);
     }
 
+    /// The memory engine demoted an idle key to the cold tier with its
+    /// exact remaining credit. Credit-neutral by contract: no bound
+    /// changes, but a later breach on this key is charged to the
+    /// demote/readmit machinery (oracle 6).
+    pub fn record_reclaim(&mut self, key_idx: usize) {
+        self.reclaims[key_idx] += 1;
+    }
+
     /// Re-validate the credit bounds for one key.
     pub fn check_key(&mut self, key_idx: usize, key_name: &str, reboots: u64) {
         let server = self.server_allows[key_idx];
@@ -180,6 +203,13 @@ impl OracleState {
                 self.capacity,
                 1 + reboots,
             ));
+            let reclaims = self.reclaims[key_idx];
+            if reclaims > 0 {
+                self.record_violation(format!(
+                    "oracle[reclaim-mint]: key {key_name} exceeded its credit bound after \
+                     {reclaims} demote/readmit cycles — reclamation must never mint credit",
+                ));
+            }
         }
         if server + drained + degraded > exact_bound + self.capacity {
             self.record_violation(format!(

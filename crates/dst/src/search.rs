@@ -38,10 +38,15 @@ pub enum Profile {
     /// Credit leases on over hot keys, with crashes, rule changes,
     /// severs and bursts racing grants, renewals and revocations.
     Lease,
+    /// The bounded-memory engine under keyspace churn: a lock-free
+    /// table smaller than the keyspace (forcing incremental resizes)
+    /// with idle-key demotion to the cold tier and poll-time
+    /// readmission, raced by crashes, severs and bursts.
+    Churn,
 }
 
 /// All profiles, in the order the searcher cycles them.
-pub const PROFILES: [Profile; 9] = [
+pub const PROFILES: [Profile; 10] = [
     Profile::Calm,
     Profile::Lossy,
     Profile::Dup,
@@ -51,6 +56,7 @@ pub const PROFILES: [Profile; 9] = [
     Profile::Sever,
     Profile::Mixed,
     Profile::Lease,
+    Profile::Churn,
 ];
 
 impl Profile {
@@ -66,6 +72,7 @@ impl Profile {
             Profile::Sever => "sever",
             Profile::Mixed => "mixed",
             Profile::Lease => "lease",
+            Profile::Churn => "churn",
         }
     }
 
@@ -87,6 +94,7 @@ impl Profile {
             Profile::Sever => 0x60,
             Profile::Mixed => 0x70,
             Profile::Lease => 0x80,
+            Profile::Churn => 0x90,
         }
     }
 }
@@ -216,6 +224,48 @@ pub fn config_for(seed: u64, profile: Profile) -> SimConfig {
                     },
                     2 => Directive {
                         at: millis_between(&mut rng, 10, 150),
+                        kind: DirectiveKind::Sever {
+                            partition: rng.gen_range(config.partitions as u64) as usize,
+                            heal_after: millis_between(&mut rng, 20, 80),
+                        },
+                    },
+                    _ => {
+                        let drop = rng.gen_range(41) as u8;
+                        let dup = rng.gen_range(41) as u8;
+                        let reorder = rng.gen_range(41) as u8;
+                        burst(&mut rng, drop, dup, reorder)
+                    }
+                };
+                config.directives.push(d);
+            }
+        }
+        Profile::Churn => {
+            // A drifting working set over a tiny lock-free table: 12
+            // keys against 8 initial slots force incremental resizes,
+            // and an idle TTL half the per-key revisit period keeps
+            // every key cycling demote → cold tier → readmit while
+            // crashes, severs and bursts race the sweeps. HA is
+            // coin-flipped so both restart flavours replay the cold
+            // tier's checkpointed credit.
+            config.churn = true;
+            config.partitions = 2;
+            config.keys = 12;
+            config.requests = 240;
+            config.request_gap = Duration::from_millis(1);
+            config.table_slots = 8;
+            config.idle_ttl = Duration::from_millis(6);
+            config.reclaim_interval = Duration::from_millis(3);
+            config.ha = rng.gen_bool(0.5);
+            for _ in 0..=rng.gen_range(2) {
+                let d = match rng.gen_range(3) {
+                    0 => Directive {
+                        at: millis_between(&mut rng, 10, 200),
+                        kind: DirectiveKind::Crash {
+                            partition: rng.gen_range(config.partitions as u64) as usize,
+                        },
+                    },
+                    1 => Directive {
+                        at: millis_between(&mut rng, 10, 180),
                         kind: DirectiveKind::Sever {
                             partition: rng.gen_range(config.partitions as u64) as usize,
                             heal_after: millis_between(&mut rng, 20, 80),
@@ -392,6 +442,7 @@ mod tests {
             Profile::Lossy,
             Profile::Mixed,
             Profile::Lease,
+            Profile::Churn,
         ] {
             assert!(
                 covered.contains(&required),
@@ -498,10 +549,10 @@ mod tests {
 
     #[test]
     fn search_over_healthy_code_finds_nothing() {
-        // A small sweep (one seed per profile) across the healthy tree
+        // A small sweep (two seeds per profile) across the healthy tree
         // must come back clean — this is the fixed-budget CI search.
         assert!(
-            search(1000, 16).is_none(),
+            search(1000, 20).is_none(),
             "randomized search found a violation on healthy code"
         );
     }

@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use janus_bucket::{DefaultRulePolicy, QosTable, ShardedTable};
+use janus_bucket::{DefaultRulePolicy, LockFreeTable, QosTable, ShardedTable};
 use janus_clock::{Clock, Nanos, SimClock};
 use janus_hash::Rng;
 use janus_net::attempt::{AttemptPlan, AttemptStep};
@@ -40,6 +40,10 @@ const T0: Nanos = Nanos::from_secs(1);
 /// few thousand events; hitting this cap is itself reported as a
 /// violation rather than looping forever.
 const EVENT_CAP: u64 = 500_000;
+
+/// Bounded reclaim quantum per sweep tick, mirroring the production
+/// maintenance loop's batch cap.
+const RECLAIM_SWEEP: usize = 32;
 
 /// One scripted fault, applied at a virtual-time offset from [`T0`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -131,6 +135,24 @@ pub struct SimConfig {
     /// reconciles spend asynchronously. Off reproduces the pre-lease
     /// RPC-per-decision behaviour (and byte-identical traces).
     pub lease: bool,
+    /// Enable the bounded-memory engine on every partition: server
+    /// tables become lock-free incremental-resize tables with idle-key
+    /// reclamation into a per-partition simulated cold tier (the rule
+    /// database, which survives crashes). Off reproduces the pre-churn
+    /// sharded-table behaviour (and byte-identical traces).
+    pub churn: bool,
+    /// Keys idle longer than this are demoted to the cold tier with
+    /// their exact remaining credit (churn mode).
+    pub idle_ttl: Duration,
+    /// Cadence of the reclaim sweep over all partitions (churn mode).
+    pub reclaim_interval: Duration,
+    /// Initial lock-free slot count (churn mode); a count smaller than
+    /// the keyspace forces incremental resizes mid-run.
+    pub table_slots: usize,
+    /// Fault lever for the oracle non-vacuousness test: readmit demoted
+    /// keys at full capacity instead of their saved credit, minting
+    /// credit that oracle 6 must catch.
+    pub churn_mint_bug: bool,
     /// The scripted fault schedule.
     pub directives: Vec<Directive>,
 }
@@ -155,6 +177,11 @@ impl Default for SimConfig {
             dedup_window: 1024,
             fifo_capacity: 64,
             lease: false,
+            churn: false,
+            idle_ttl: Duration::from_millis(10),
+            reclaim_interval: Duration::from_millis(5),
+            table_slots: 8,
+            churn_mint_bug: false,
             directives: Vec::new(),
         }
     }
@@ -223,6 +250,7 @@ enum Event {
     },
     Apply(usize),
     Heal(usize),
+    ReclaimTick,
 }
 
 /// What one run produced: the byte-stable trace, the violations, and
@@ -321,6 +349,10 @@ pub struct Sim {
     clock: SimClock,
     router: RouterCore,
     partitions: Vec<Partition>,
+    /// Per-partition simulated cold tier (churn mode): rules demoted
+    /// with their exact remaining credit, awaiting readmission. Models
+    /// the rule database, so it survives partition crashes.
+    cold: Vec<BTreeMap<QosKey, QosRule>>,
     calls: Vec<Call>,
     events: BTreeMap<(u64, u64), Event>,
     seq: u64,
@@ -374,6 +406,7 @@ impl Sim {
             clock: SimClock::starting_at(T0),
             router,
             partitions: Vec::new(),
+            cold: Vec::new(),
             calls: Vec::new(),
             events: BTreeMap::new(),
             seq: 0,
@@ -391,6 +424,7 @@ impl Sim {
             defaulted: 0,
             config,
         };
+        sim.cold = vec![BTreeMap::new(); sim.config.partitions];
         for p in 0..sim.config.partitions {
             let core = sim.boot_core(p, None);
             sim.partitions.push(Partition {
@@ -412,6 +446,9 @@ impl Sim {
         if sim.config.ha {
             sim.schedule_at(T0 + sim.config.replication_interval, Event::Replicate);
         }
+        if sim.config.churn {
+            sim.schedule_at(T0 + sim.config.reclaim_interval, Event::ReclaimTick);
+        }
         sim
     }
 
@@ -420,7 +457,11 @@ impl Sim {
     /// wire encoding); otherwise it re-reads its owned rules at full
     /// credit (cold restart re-reading the rule database).
     fn boot_core(&mut self, p: usize, restore: Option<Vec<QosRule>>) -> ServerCore {
-        let table: Arc<dyn QosTable> = Arc::new(ShardedTable::with_shards(8));
+        let table: Arc<dyn QosTable> = if self.config.churn {
+            Arc::new(LockFreeTable::with_slots(self.config.table_slots))
+        } else {
+            Arc::new(ShardedTable::with_shards(8))
+        };
         let overload = OverloadConfig {
             dedup_window: self.config.dedup_window,
             sojourn_shedding: false,
@@ -447,11 +488,18 @@ impl Sim {
             None => {
                 for (idx, key) in self.keys.iter().enumerate() {
                     if self.owners[idx] == p {
-                        let rule = QosRule::new(
-                            key.clone(),
-                            Credits::from_whole(self.config.capacity),
-                            RefillRate::ZERO,
-                        );
+                        // Cold restart re-reads the rule database. In
+                        // churn mode a demoted key's row carries its
+                        // checkpointed credit, so warm-up resumes it
+                        // exactly instead of minting a full bucket.
+                        let cold = self.cold.get_mut(p).and_then(|tier| tier.remove(key));
+                        let rule = cold.unwrap_or_else(|| {
+                            QosRule::new(
+                                key.clone(),
+                                Credits::from_whole(self.config.capacity),
+                                RefillRate::ZERO,
+                            )
+                        });
                         core.table().insert(rule, now);
                     }
                 }
@@ -573,7 +621,77 @@ impl Sim {
             Event::Reboot { partition, epoch } => self.on_reboot(partition, epoch),
             Event::Apply(i) => self.on_apply(i),
             Event::Heal(i) => self.on_heal(i),
+            Event::ReclaimTick => self.on_reclaim_tick(),
         }
+    }
+
+    /// One bounded reclaim sweep over every live partition (churn
+    /// mode): idle keys are demoted into the partition's cold tier with
+    /// their exact remaining credit and recorded with oracle 6.
+    fn on_reclaim_tick(&mut self) {
+        let now = self.clock.now();
+        for p in 0..self.partitions.len() {
+            let Some(core) = &self.partitions[p].core else {
+                continue;
+            };
+            let reclaimed = core
+                .table()
+                .reclaim_idle(now, self.config.idle_ttl, RECLAIM_SWEEP);
+            for row in reclaimed {
+                let idx = self
+                    .keys
+                    .iter()
+                    .position(|k| *k == row.rule.key)
+                    .expect("simulated keys only");
+                let name = self.key_names[idx].clone();
+                self.note(format!(
+                    "p{p} reclaim key={name} credit={}",
+                    row.rule.credit.whole()
+                ));
+                self.oracle.record_reclaim(idx);
+                self.cold[p].insert(row.rule.key.clone(), row.rule);
+            }
+        }
+        if !self.all_done() {
+            self.schedule_in(self.config.reclaim_interval, Event::ReclaimTick);
+        }
+    }
+
+    /// Poll-time readmission (churn mode): if the job at the head of
+    /// the queue names a key that was demoted, pull its row back from
+    /// the cold tier before the worker decides — the miss path's
+    /// point-SELECT. With the `churn_mint_bug` lever the row comes back
+    /// at full capacity instead of its saved credit, which oracle 6
+    /// must flag.
+    fn readmit_for_next_job(&mut self, partition: usize) {
+        let now = self.clock.now();
+        let Some(core) = &self.partitions[partition].core else {
+            return;
+        };
+        let Some(key) = core.peek_queue().map(|r| r.key.clone()) else {
+            return;
+        };
+        if core.table().shape(&key).is_some() {
+            return;
+        }
+        let Some(mut rule) = self.cold[partition].remove(&key) else {
+            return;
+        };
+        if self.config.churn_mint_bug {
+            rule.credit = rule.capacity;
+        }
+        let idx = self
+            .keys
+            .iter()
+            .position(|k| *k == key)
+            .expect("simulated keys only");
+        let name = self.key_names[idx].clone();
+        self.note(format!(
+            "p{partition} readmit key={name} credit={}",
+            rule.credit.whole()
+        ));
+        let core = self.partitions[partition].core.as_ref().expect("checked");
+        core.table().insert(rule, now);
     }
 
     fn on_issue(&mut self, n: u32) {
@@ -827,6 +945,9 @@ impl Sim {
             return;
         }
         self.partitions[partition].poll_scheduled = false;
+        if self.config.churn {
+            self.readmit_for_next_job(partition);
+        }
         let (peeked, response, answered_delta, allowed_delta, drained_delta, backlog) = {
             let core = self.partitions[partition].core.as_mut().expect("checked");
             let peeked = core.peek_queue().cloned();
@@ -1372,5 +1493,94 @@ mod tests {
         let report = Sim::new(config).run();
         assert!(report.ok(), "violations: {:?}", report.violations);
         assert_eq!(report.completed, report.issued, "availability floor");
+    }
+
+    /// A churn config: more keys than table slots, an idle TTL a few
+    /// request gaps wide, so demote/readmit cycles run constantly.
+    fn churning() -> SimConfig {
+        SimConfig {
+            seed: 31,
+            churn: true,
+            partitions: 2,
+            keys: 12,
+            requests: 240,
+            capacity: 10,
+            request_gap: Duration::from_millis(1),
+            table_slots: 8,
+            idle_ttl: Duration::from_millis(6),
+            reclaim_interval: Duration::from_millis(3),
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn churn_demotes_and_readmits_with_exact_credit() {
+        let report = Sim::new(churning()).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(
+            report.trace.contains(" reclaim key="),
+            "no demotions in:\n{}",
+            report.trace
+        );
+        assert!(
+            report.trace.contains(" readmit key="),
+            "no readmissions in:\n{}",
+            report.trace
+        );
+        // 20 requests per key against a 10-credit zero-refill bucket:
+        // exactly 10 allows each, across many demote/readmit cycles.
+        for (name, allows) in &report.per_key_allows {
+            assert_eq!(*allows, 10, "key {name} got {allows} allows");
+        }
+        assert_eq!(report.completed, report.issued);
+    }
+
+    #[test]
+    fn churn_runs_are_byte_identical_across_reruns() {
+        let a = Sim::new(churning()).run();
+        let b = Sim::new(churning()).run();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn churn_off_reproduces_the_pre_churn_trace() {
+        // The memory engine is strictly additive: with the switch off,
+        // the sharded table serves every decision and not one event in
+        // the trace may move.
+        let mut with_field = calm();
+        with_field.churn = false;
+        let a = Sim::new(calm()).run();
+        let b = Sim::new(with_field).run();
+        assert_eq!(a.trace, b.trace);
+        assert!(!a.trace.contains("reclaim"));
+    }
+
+    #[test]
+    fn churn_survives_a_cold_restart_within_the_reboot_budget() {
+        let mut config = churning();
+        config.directives = vec![Directive {
+            at: Duration::from_millis(60),
+            kind: DirectiveKind::Crash { partition: 0 },
+        }];
+        let report = Sim::new(config).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.reboots, 1);
+        assert_eq!(report.completed, report.issued);
+    }
+
+    #[test]
+    fn readmitting_at_full_capacity_trips_the_reclaim_mint_oracle() {
+        // The non-vacuousness check for oracle 6: a readmit path that
+        // hands back a full bucket instead of the demoted credit mints
+        // allows, and the oracle must pin it on the memory engine.
+        let mut config = churning();
+        config.churn_mint_bug = true;
+        let report = Sim::new(config).run();
+        assert!(
+            report.violations.iter().any(|v| v.contains("reclaim-mint")),
+            "expected a reclaim-mint violation, got: {:?}",
+            report.violations
+        );
     }
 }

@@ -162,6 +162,23 @@ pub struct QosServerConfig {
     /// a routable address here instead of the historic hard-coded
     /// loopback.
     pub bind_addr: SocketAddr,
+    /// Initial slot count for [`TableKind::LockFree`] (rounded up to a
+    /// power of two). The table resizes itself incrementally past a ¾
+    /// occupancy watermark, so this only sets the starting footprint.
+    pub table_slots: usize,
+    /// Demote keys with no decisions for this long from the in-memory
+    /// table to the database cold tier, folding their exact credit and
+    /// hotness back. `None` (default) keeps every key resident forever —
+    /// the paper's behaviour. Only [`TableKind::LockFree`] tracks
+    /// idleness; other tables ignore the knob.
+    pub idle_ttl: Option<Duration>,
+    /// How often the reclaim driver sweeps for idle keys (only with
+    /// `idle_ttl` set).
+    pub reclaim_interval: Duration,
+    /// Rows per warm-up batch: the `preload` scan streams the table in
+    /// hottest-first batches of this size instead of one monolithic
+    /// `SELECT *`.
+    pub warmup_batch: usize,
     /// `SO_BUSY_POLL` budget in µs for [`SocketMode::PerCore`] sockets:
     /// the kernel busy-polls the device queue that long before a
     /// blocking receive sleeps. `None` (default) leaves it off.
@@ -190,6 +207,10 @@ impl Default for QosServerConfig {
             lease: LeaseConfig::default(),
             socket_mode: SocketMode::default(),
             bind_addr: default_bind_addr(),
+            table_slots: janus_bucket::LockFreeTable::DEFAULT_SLOTS,
+            idle_ttl: None,
+            reclaim_interval: Duration::from_secs(5),
+            warmup_batch: 512,
             busy_poll_us: None,
             pin_workers: false,
         }
@@ -223,6 +244,10 @@ impl QosServerConfig {
             lease: LeaseConfig::default(),
             socket_mode: SocketMode::default(),
             bind_addr: default_bind_addr(),
+            table_slots: janus_bucket::LockFreeTable::DEFAULT_SLOTS,
+            idle_ttl: None,
+            reclaim_interval: Duration::from_millis(100),
+            warmup_batch: 512,
             busy_poll_us: None,
             pin_workers: false,
         }
@@ -253,6 +278,24 @@ impl QosServerConfig {
             return Err(janus_types::JanusError::config(
                 "db_fetch_timeout must be > 0",
             ));
+        }
+        if self.table_slots == 0 {
+            return Err(janus_types::JanusError::config("table_slots must be > 0"));
+        }
+        if self.warmup_batch == 0 {
+            return Err(janus_types::JanusError::config("warmup_batch must be > 0"));
+        }
+        if let Some(ttl) = self.idle_ttl {
+            if ttl.is_zero() {
+                return Err(janus_types::JanusError::config(
+                    "idle_ttl must be > 0 when set",
+                ));
+            }
+            if self.reclaim_interval.is_zero() {
+                return Err(janus_types::JanusError::config(
+                    "reclaim_interval must be > 0 when idle_ttl is set",
+                ));
+            }
         }
         if self.lease.enabled {
             if self.lease.ttl.is_zero() {
@@ -343,6 +386,29 @@ mod tests {
     fn zero_db_fetch_timeout_invalid() {
         let mut c = QosServerConfig::default();
         c.db_fetch_timeout = Duration::ZERO;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn reclaim_shape_is_validated_only_when_idle_ttl_set() {
+        let mut c = QosServerConfig::default();
+        c.reclaim_interval = Duration::ZERO;
+        assert!(c.validate().is_ok(), "no idle_ttl: interval is ignored");
+        c.idle_ttl = Some(Duration::from_secs(60));
+        assert!(c.validate().is_err(), "zero reclaim_interval rejected");
+        c.reclaim_interval = Duration::from_secs(5);
+        assert!(c.validate().is_ok());
+        c.idle_ttl = Some(Duration::ZERO);
+        assert!(c.validate().is_err(), "zero idle_ttl rejected");
+    }
+
+    #[test]
+    fn zero_table_slots_and_warmup_batch_invalid() {
+        let mut c = QosServerConfig::default();
+        c.table_slots = 0;
+        assert!(c.validate().is_err());
+        c.table_slots = 1024;
+        c.warmup_batch = 0;
         assert!(c.validate().is_err());
     }
 

@@ -20,6 +20,7 @@ use crate::overload::DedupWindow;
 use crate::percore;
 use janus_bucket::{
     worker_affinity, LockFreeTable, PartitionedTable, QosTable, ShardedTable, SyncTable,
+    TableEngineCells,
 };
 use janus_clock::{Nanos, SharedClock};
 use janus_db::DbClient;
@@ -123,6 +124,15 @@ pub struct ServerStats {
     /// Open-addressing probe steps beyond the home slot (lock-free table
     /// only) — a clustering / fill-factor proxy.
     pub probe_steps: Arc<AtomicU64>,
+    /// Memory-engine gauges shared into the lock-free table at spawn:
+    /// resident open slots, active-generation slot count, completed
+    /// resizes, migrated slots and reclaimed keys. All zero under the
+    /// locked table kinds. (The table writes its CAS-retry and probe
+    /// counters into the sibling cells above, not this block's copies.)
+    pub engine: TableEngineCells,
+    /// Streaming warm-up batches applied at preload (non-empty pages of
+    /// the hottest-first cold-tier scan).
+    pub warmup_batches: AtomicU64,
     /// Receive-buffer pool for this server's UDP socket; its hit counter
     /// is exported as `pool_recycle_hits`.
     pub pool: Arc<BufferPool>,
@@ -173,6 +183,20 @@ pub struct ServerStatsSnapshot {
     /// Open-addressing probe steps beyond the home slot (lock-free table
     /// only).
     pub probe_steps: u64,
+    /// Published entries resident in the lock-free table's open-addressed
+    /// array (gauge; overflow excluded, zero under locked table kinds).
+    pub open_slots: u64,
+    /// Integer occupancy percentage of the active generation
+    /// (`open_slots * 100 / slot_count`; 0 under locked table kinds).
+    pub occupancy_pct: u64,
+    /// Completed watermark-triggered generation doublings.
+    pub resizes: u64,
+    /// Live rules carried across generations by incremental migration.
+    pub migrated_slots: u64,
+    /// Idle keys demoted to the database cold tier by reclaim sweeps.
+    pub reclaimed_keys: u64,
+    /// Streaming warm-up batches applied at preload.
+    pub warmup_batches: u64,
     /// Receive-buffer checkouts served from the recycle pool instead of a
     /// fresh allocation.
     pub pool_recycle_hits: u64,
@@ -207,6 +231,8 @@ impl ServerStats {
                 sojourn.quantile(0.99) / 1_000,
             )
         };
+        let open_slots = self.engine.open_slots.load(Ordering::Relaxed);
+        let slot_count = self.engine.slot_count.load(Ordering::Relaxed);
         ServerStatsSnapshot {
             shed_full: self.shed_full.load(Ordering::Relaxed),
             shed_expired: self.shed_expired.load(Ordering::Relaxed),
@@ -223,6 +249,16 @@ impl ServerStats {
             fifo_depth: self.fifo_depth.load(Ordering::Relaxed),
             cas_retries: self.cas_retries.load(Ordering::Relaxed),
             probe_steps: self.probe_steps.load(Ordering::Relaxed),
+            open_slots,
+            occupancy_pct: if slot_count == 0 {
+                0
+            } else {
+                open_slots * 100 / slot_count
+            },
+            resizes: self.engine.resizes.load(Ordering::Relaxed),
+            migrated_slots: self.engine.migrated_slots.load(Ordering::Relaxed),
+            reclaimed_keys: self.engine.reclaimed_keys.load(Ordering::Relaxed),
+            warmup_batches: self.warmup_batches.load(Ordering::Relaxed),
             pool_recycle_hits: self.pool.hits(),
             sojourn_p50_us,
             sojourn_p99_us,
@@ -283,24 +319,42 @@ impl QosServer {
             TableKind::Sharded => Arc::new(ShardedTable::new()),
             TableKind::Synchronized => Arc::new(SyncTable::new()),
             TableKind::PerWorker => Arc::new(PartitionedTable::new(config.workers)),
-            TableKind::LockFree => Arc::new(LockFreeTable::with_hot_counters(
-                LockFreeTable::DEFAULT_SLOTS,
-                Arc::clone(&stats.cas_retries),
-                Arc::clone(&stats.probe_steps),
+            TableKind::LockFree => Arc::new(LockFreeTable::with_cells(
+                config.table_slots,
+                TableEngineCells {
+                    cas_retries: Arc::clone(&stats.cas_retries),
+                    probe_steps: Arc::clone(&stats.probe_steps),
+                    ..stats.engine.clone()
+                },
             )),
         };
         let (shutdown, shutdown_rx) = watch::channel(false);
 
-        // Preload the full rule table if asked.
+        // Preload the rule table if asked — streamed in bounded,
+        // hottest-first batches (the cold-tier scan) instead of one
+        // monolithic `SELECT *`, so a million-row table neither stalls
+        // startup on a single giant response nor warms cold keys before
+        // hot ones.
         if config.preload {
             if let Some(target) = &db {
                 let mut client = target.connect().await.ok_or_else(|| {
                     janus_types::JanusError::db("cannot reach database for preload")
                 })?;
-                let rules = client.load_all().await?;
                 let now = clock.now();
-                for rule in rules {
-                    table.insert(rule, now);
+                let mut offset = 0;
+                loop {
+                    let batch = client.scan_rules(offset, config.warmup_batch).await?;
+                    let fetched = batch.len();
+                    if fetched > 0 {
+                        for rule in batch {
+                            table.insert(rule, now);
+                        }
+                        stats.warmup_batches.fetch_add(1, Ordering::Relaxed);
+                    }
+                    offset += fetched;
+                    if fetched < config.warmup_batch {
+                        break;
+                    }
                 }
             }
         }
@@ -447,11 +501,22 @@ impl QosServer {
                 Arc::clone(&table),
                 Arc::clone(&stats),
                 Arc::clone(&clock) as SharedClock,
-                target,
+                target.clone(),
                 config.checkpoint_interval,
                 shutdown_rx.clone(),
                 Arc::clone(&guest_keys),
             );
+            if let Some(idle_ttl) = config.idle_ttl {
+                spawn_reclaim(
+                    Arc::clone(&table),
+                    Arc::clone(&clock) as SharedClock,
+                    target,
+                    idle_ttl,
+                    config.reclaim_interval,
+                    shutdown_rx.clone(),
+                    Arc::clone(&guest_keys),
+                );
+            }
         }
 
         // HA / health listener.
@@ -1050,6 +1115,90 @@ fn spawn_checkpoint(
     });
 }
 
+/// Most idle keys demoted per reclaim sweep — bounds both the sweep's
+/// table walk and the persistence burst that follows it.
+const RECLAIM_BATCH: usize = 256;
+
+/// Demote keys idle beyond `idle_ttl` from the in-memory table to the
+/// database cold tier, folding their exact remaining credit and their
+/// accumulated hotness back so a later readmission (first-sighting fetch
+/// or warm-up scan) resumes where the key left off.
+///
+/// Credit exactness is the invariant: a key is only allowed to leave the
+/// table once its credit is durably in the database. Any persistence
+/// failure un-reclaims the failed row *and* every row not yet attempted —
+/// dropping a half-persisted batch would mint fresh credit the next time
+/// those keys are sighted.
+#[allow(clippy::too_many_arguments)]
+fn spawn_reclaim(
+    table: Arc<dyn QosTable>,
+    clock: SharedClock,
+    db_target: DbTarget,
+    idle_ttl: Duration,
+    interval: Duration,
+    mut shutdown: watch::Receiver<bool>,
+    guest_keys: GuestKeys,
+) {
+    tokio::spawn(async move {
+        let mut ticker = tokio::time::interval(interval);
+        ticker.set_missed_tick_behavior(tokio::time::MissedTickBehavior::Delay);
+        let mut db: Option<DbClient> = None;
+        loop {
+            tokio::select! {
+                _ = shutdown.changed() => return,
+                _ = ticker.tick() => {
+                    let now = clock.now();
+                    let reclaimed = table.reclaim_idle(now, idle_ttl, RECLAIM_BATCH);
+                    if reclaimed.is_empty() {
+                        continue;
+                    }
+                    if db.is_none() {
+                        db = db_target.connect().await;
+                    }
+                    let Some(client) = db.as_mut() else {
+                        table.restore(
+                            reclaimed.into_iter().map(|r| r.rule).collect(),
+                            now,
+                        );
+                        continue;
+                    };
+                    let mut rows = reclaimed.into_iter();
+                    let mut failed = Vec::new();
+                    for row in rows.by_ref() {
+                        // Guest buckets have no database row of their own:
+                        // persist the whole rule so the default-policy key
+                        // readmits as a first-class row with its exact
+                        // remaining credit. Database-backed keys only need
+                        // their credit column checkpointed.
+                        let persisted = if guest_keys.lock().contains(&row.rule.key) {
+                            client.upsert_rule(&row.rule).await
+                        } else {
+                            client
+                                .checkpoint_credit(&row.rule.key, row.rule.credit)
+                                .await
+                                .map(|_| ())
+                        };
+                        let persisted = match persisted {
+                            Ok(()) => client.record_touches(&row.rule.key, row.touches).await,
+                            Err(e) => Err(e),
+                        };
+                        if persisted.is_err() {
+                            failed.push(row);
+                            break;
+                        }
+                    }
+                    if failed.is_empty() {
+                        continue;
+                    }
+                    failed.extend(rows);
+                    table.restore(failed.into_iter().map(|r| r.rule).collect(), now);
+                    db = None;
+                }
+            }
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1164,10 +1313,86 @@ mod tests {
             .await
             .unwrap();
         assert_eq!(server.table().len(), 50);
+        // 50 rules fit in one default-size warm-up batch.
+        assert_eq!(server.stats().warmup_batches.load(Ordering::Relaxed), 1);
         // A request for a preloaded key must not hit the database.
         let client = rpc();
         assert_eq!(check(&client, &server, 1, "k7").await, Verdict::Allow);
         assert_eq!(server.stats().db_fetches.load(Ordering::Relaxed), 0);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn preload_streams_in_bounded_hottest_first_batches() {
+        let rules: Vec<_> = (0..50).map(|i| rule(&format!("k{i:02}"), 10, 1)).collect();
+        let db = spawn_db(rules).await;
+        db.engine().record_touches(&key("k33"), 100);
+        let mut config = QosServerConfig::test_defaults();
+        config.preload = true;
+        config.warmup_batch = 16;
+        let server = QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        // 50 rules / 16 per batch = 16 + 16 + 16 + 2.
+        assert_eq!(server.table().len(), 50);
+        let snap = server.stats().snapshot();
+        assert_eq!(snap.warmup_batches, 4);
+        let client = rpc();
+        assert_eq!(check(&client, &server, 1, "k33").await, Verdict::Allow);
+        assert_eq!(server.stats().db_fetches.load(Ordering::Relaxed), 0);
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn reclaim_demotes_idle_keys_and_readmits_with_exact_credit() {
+        let db = spawn_db(vec![rule("idler", 10, 0), rule("busy", 1000, 0)]).await;
+        let mut config = QosServerConfig::test_defaults();
+        config.table = TableKind::LockFree;
+        config.idle_ttl = Some(Duration::from_millis(50));
+        config.reclaim_interval = Duration::from_millis(20);
+        // Keep the maintenance planes that also write credit out of the
+        // picture so the database credit we observe came from reclaim.
+        config.checkpoint_interval = Duration::from_secs(3600);
+        config.sync_interval = Duration::from_secs(3600);
+        let server = QosServer::spawn(config, Some(db.addr().into()), janus_clock::system())
+            .await
+            .unwrap();
+        let client = rpc();
+        // Spend 3 of idler's 10 credits, then go idle.
+        for id in 0..3 {
+            assert_eq!(check(&client, &server, id, "idler").await, Verdict::Allow);
+        }
+        // Wait out the TTL, keeping a second key warm so sweeps keep
+        // running against a non-empty table.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut warm_id = 100;
+        while server.table().shape(&key("idler")).is_some() {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "idle key was never reclaimed"
+            );
+            check(&client, &server, warm_id, "busy").await;
+            warm_id += 1;
+            tokio::time::sleep(Duration::from_millis(10)).await;
+        }
+        // The demotion folded the exact remaining credit and the touch
+        // count into the cold tier.
+        assert_eq!(
+            db.engine().get(&key("idler")).unwrap().credit,
+            Credits::from_whole(7)
+        );
+        assert_eq!(db.engine().touches(&key("idler")), 3);
+        assert!(server.stats().snapshot().reclaimed_keys >= 1);
+        // Readmission resumes where the key left off: 7 allows, then deny.
+        let mut allows = 0;
+        for id in 1000..1010 {
+            if check(&client, &server, id, "idler").await == Verdict::Allow {
+                allows += 1;
+            }
+        }
+        assert_eq!(allows, 7, "readmitted key must resume with exact credit");
+        // The memory-engine gauges ride the same snapshot.
+        let snap = server.stats().snapshot();
+        assert!(snap.open_slots >= 2, "idler and busy are both resident");
+        assert!(snap.occupancy_pct <= 100);
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

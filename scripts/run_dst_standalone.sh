@@ -63,6 +63,15 @@ pub mod rng;
 pub use rng::{mix64, Rng, SplitMix64};
 EOF
 
+# The workload crate's std-only key picker (the keyspace-soak driver's
+# drifting-Zipf source) — the async load drivers stay cargo-only.
+cat > "$BUILD/janus_workload_subset.rs" <<EOF
+//! Standalone subset of janus-workload: the std-only key picker.
+#[path = "$REPO/crates/workload/src/keys.rs"]
+pub mod keys;
+pub use keys::KeyPicker;
+EOF
+
 cat > "$BUILD/janus_router_subset.rs" <<EOF
 //! Standalone subset of janus-router: the std-only sans-IO core.
 #[path = "$REPO/crates/router/src/core.rs"]
@@ -106,8 +115,15 @@ fi
 
 echo "== building test binaries"
 build_test janus_hash_rng "$BUILD/janus_rng_subset.rs" rng_test
+# The bucket crate's property tests need the external proptest crate;
+# `--cfg janus_std_only` compiles them out, leaving the full std-only
+# battery (slot protocol, incremental resize, reclaim, differential).
+build_test janus_bucket "$REPO/crates/bucket/src/lib.rs" bucket_test \
+  --cfg janus_std_only "${TYPES[@]}" "${CLOCK[@]}" "${HASH[@]}"
 build_test janus_net "$BUILD/janus_net_subset.rs" net_subset_test \
   "${TYPES[@]}" "${CLOCK[@]}" "${HASH[@]}"
+build_test janus_workload "$BUILD/janus_workload_subset.rs" workload_subset_test \
+  "${TYPES[@]}" "${HASH[@]}"
 build_test janus_server "$BUILD/janus_server_subset.rs" server_subset_test \
   "${TYPES[@]}" "${CLOCK[@]}" "${HASH[@]}" "${BUCKET[@]}" "${NET[@]}"
 build_test janus_router "$BUILD/janus_router_subset.rs" router_subset_test \
@@ -118,7 +134,9 @@ build_test janus_dst "$REPO/crates/dst/src/lib.rs" dst_test \
 
 echo "== running"
 "$BUILD/rng_test"
+"$BUILD/bucket_test"
 "$BUILD/net_subset_test"
+"$BUILD/workload_subset_test"
 "$BUILD/server_subset_test"
 "$BUILD/router_subset_test"
 "$BUILD/dst_test"
