@@ -21,7 +21,11 @@
 //! ablation's decisions/sec/core curve comes from comparing the three).
 //! `--mode <substring>` restricts it to matching variant names — CI's
 //! lease smoke runs `--smoke --mode lease` and checks the
-//! `lease_ratio` column is non-zero (DESIGN.md ablation 13).
+//! `lease_ratio` column is non-zero (DESIGN.md ablation 13), and its
+//! gray smoke runs `--smoke --mode hedge`, whose `hedges/wins`,
+//! `budget_refused` and `adapt_us` columns record what the gray plane
+//! (adaptive timeouts, same-nonce hedges, retry budget) did on a
+//! healthy link (DESIGN.md ablation 15).
 //! `--table-slots <n>` and `--keyspace <n>` set the memory-engine axes
 //! (initial lock-free slot count, distinct keys per client): a tiny slot
 //! count with a large keyspace forces incremental resizes mid-sweep, and
@@ -94,13 +98,18 @@ fn main() {
                 &variant, clients, per_client, axes,
             ));
             eprintln!(
-                "{:<32} clients={:<3} {:>8} completed, {} ({:.0}/s/core, lease_ratio={:.2})",
+                "{:<32} clients={:<3} {:>8} completed, {} ({:.0}/s/core, lease_ratio={:.2}, \
+                 hedges={}/{} budget_refused={} adapt_us={})",
                 point.mode,
                 point.clients,
                 point.completed,
                 fmt_krps(point.krps * 1_000.0),
                 point.decisions_per_sec_per_core,
-                point.lease_admit_ratio
+                point.lease_admit_ratio,
+                point.hedges_sent,
+                point.hedge_wins,
+                point.retry_budget_exhausted,
+                point.adaptive_timeout_us
             );
             points.push(point);
         }
@@ -153,6 +162,9 @@ fn main() {
                     format!("{}({}%)", p.open_slots, p.occupancy_pct),
                     format!("{}/{}", p.resizes, p.migrated_slots),
                     format!("{:.2}", p.lease_admit_ratio),
+                    format!("{}/{}", p.hedges_sent, p.hedge_wins),
+                    p.retry_budget_exhausted.to_string(),
+                    p.adaptive_timeout_us.to_string(),
                     format!("{:.1}ms", p.elapsed_ms),
                 ]
             })
@@ -177,6 +189,9 @@ fn main() {
                 "open(occ)",
                 "rsz/migr",
                 "lease_ratio",
+                "hedges/wins",
+                "budget_refused",
+                "adapt_us",
                 "elapsed",
             ],
             &rows,

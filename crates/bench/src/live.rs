@@ -12,7 +12,7 @@ use janus_bucket::DefaultRulePolicy;
 use janus_net::fault::FaultPlan;
 use janus_net::udp::UdpRpcConfig;
 use janus_net::udp_pool::{BatchConfig, PooledUdpRpcClient};
-use janus_router::core::{RouterCore, RouterCoreConfig, RouterLeaseConfig, RouterStep};
+use janus_router::core::{GrayConfig, RouterCore, RouterCoreConfig, RouterLeaseConfig, RouterStep};
 use janus_server::{DispatchMode, LeaseConfig, QosServer, QosServerConfig, SocketMode, TableKind};
 use janus_types::{QosKey, QosRule, Verdict};
 use serde::Serialize;
@@ -38,6 +38,10 @@ pub struct AdmissionVariant {
     /// holding credit leases over shared hot keys, so leased checks skip
     /// the RPC entirely (DESIGN.md ablation 13).
     pub lease: bool,
+    /// Gray-failure plane: clients run a [`RouterCore`] whose
+    /// [`GrayConfig`] puts adaptive attempt timeouts, same-nonce hedges
+    /// and the global retry budget on the wire (DESIGN.md ablation 15).
+    pub gray: bool,
 }
 
 /// The sweep every harness runs: the optimized plane, the same plane
@@ -54,6 +58,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             client_batching: true,
             socket_mode: single,
             lease: false,
+            gray: false,
         },
         AdmissionVariant {
             name: "batched+affinity+per_worker",
@@ -63,6 +68,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             client_batching: true,
             socket_mode: single,
             lease: false,
+            gray: false,
         },
         AdmissionVariant {
             name: "batched+affinity+sharded",
@@ -72,6 +78,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             client_batching: true,
             socket_mode: single,
             lease: false,
+            gray: false,
         },
         AdmissionVariant {
             name: "unbatched+affinity",
@@ -81,6 +88,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             client_batching: false,
             socket_mode: single,
             lease: false,
+            gray: false,
         },
         AdmissionVariant {
             name: "unbatched+shared_fifo",
@@ -90,6 +98,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             client_batching: false,
             socket_mode: single,
             lease: false,
+            gray: false,
         },
         AdmissionVariant {
             // Shared FIFO is the worst interleaving for the CAS loop
@@ -102,6 +111,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             client_batching: false,
             socket_mode: single,
             lease: false,
+            gray: false,
         },
         AdmissionVariant {
             // Same topology as the optimized plane, but whole batches
@@ -114,6 +124,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             client_batching: true,
             socket_mode: SocketMode::BatchedSyscall,
             lease: false,
+            gray: false,
         },
         AdmissionVariant {
             // Zero-RTT admission: same plane as the optimized point, but
@@ -127,6 +138,20 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             client_batching: true,
             socket_mode: single,
             lease: true,
+            gray: false,
+        },
+        AdmissionVariant {
+            // Gray-failure plane on a healthy link: adaptive timeouts,
+            // same-nonce hedges and the retry budget ride every RPC —
+            // the overhead-when-healthy point of DESIGN.md ablation 15.
+            name: "hedge+affinity+lock_free",
+            dispatch: DispatchMode::KeyAffinity,
+            table: TableKind::LockFree,
+            server_batching: true,
+            client_batching: true,
+            socket_mode: single,
+            lease: false,
+            gray: true,
         },
     ];
     if cfg!(target_os = "linux") {
@@ -140,6 +165,7 @@ pub fn admission_variants() -> Vec<AdmissionVariant> {
             client_batching: true,
             socket_mode: SocketMode::PerCore,
             lease: false,
+            gray: false,
         });
     }
     variants
@@ -243,6 +269,18 @@ pub struct AdmissionPoint {
     /// `lease_admits / completed` — the fraction of checks that never
     /// touched the network.
     pub lease_admit_ratio: f64,
+    /// Hedged second copies put on the wire (0 unless the variant runs
+    /// the gray plane).
+    pub hedges_sent: u64,
+    /// Hedged attempts answered after the duplicate went out — the
+    /// window in which the hedge could have been the copy that won.
+    pub hedge_wins: u64,
+    /// Retries or hedges refused because the global retry budget was
+    /// dry.
+    pub retry_budget_exhausted: u64,
+    /// Latest adaptively-derived per-attempt timeout across the client
+    /// fleet, µs (gauge; 0 while the gray plane is off).
+    pub adaptive_timeout_us: u64,
 }
 
 /// Optional memory-engine axes of an admission sweep point
@@ -375,6 +413,10 @@ pub async fn run_admission_variant_with(
     let start = std::time::Instant::now();
     let clock = janus_clock::system();
     let lease = variant.lease;
+    let gray = variant.gray;
+    // The discipline's adaptive timeout falls back to the transport's
+    // configured fixed timeout until the RTT window warms up.
+    let baseline = UdpRpcConfig::lan_defaults().timeout;
     let mut handles = Vec::with_capacity(clients);
     for (c, pool) in pools.iter().cloned().enumerate() {
         let clock = clock.clone();
@@ -389,14 +431,16 @@ pub async fn run_admission_variant_with(
                     .collect()
             };
             // One RouterCore per client task: each is its own holder in
-            // the server's lease ledger, like one node of a router fleet.
-            let router = lease.then(|| {
+            // the server's lease ledger (and its own retry-budget node),
+            // like one node of a router fleet.
+            let router = (lease || gray).then(|| {
                 RouterCore::new(RouterCoreConfig {
                     partitions: 1,
                     default_verdict: Verdict::Allow,
                     fleet_size: clients,
                     breaker: None,
-                    lease: Some(RouterLeaseConfig::new(c as u32)),
+                    lease: lease.then(|| RouterLeaseConfig::new(c as u32)),
+                    gray: gray.then(GrayConfig::default),
                 })
             });
             let mut completed = 0u64;
@@ -420,33 +464,67 @@ pub async fn run_admission_variant_with(
                         partition,
                         solicit_hint,
                         lease_ask,
-                    } => match pool
-                        .check_with_lease(addr, key.clone(), solicit_hint, lease_ask)
-                        .await
-                    {
-                        Ok(response) => {
-                            core.on_response(partition, &key, &response, clock.now());
-                            completed += 1;
+                    } => {
+                        // With the gray plane off this discipline is the
+                        // all-`None` no-op, so the lease variant's wire
+                        // behaviour is unchanged.
+                        let discipline = core.discipline(partition, baseline);
+                        match pool
+                            .check_disciplined(
+                                addr,
+                                key.clone(),
+                                solicit_hint,
+                                lease_ask,
+                                &discipline,
+                            )
+                            .await
+                        {
+                            Ok(response) => {
+                                core.on_response(partition, &key, &response, clock.now());
+                                completed += 1;
+                            }
+                            Err(_) => timed_out += 1,
                         }
-                        Err(_) => timed_out += 1,
-                    },
+                    }
                     // Breakers are off in this harness; FastFail is
                     // unreachable, but count it as a non-completion
                     // rather than panic if that ever changes.
                     RouterStep::FastFail { .. } => timed_out += 1,
                 }
             }
-            (completed, timed_out, lease_admits)
+            use std::sync::atomic::Ordering;
+            let gray_counters = router
+                .as_ref()
+                .map(|core| {
+                    let h = core.hedge_stats();
+                    (
+                        h.hedges_sent.load(Ordering::Relaxed),
+                        h.hedge_wins.load(Ordering::Relaxed),
+                        core.retry_budget().map_or(0, |b| b.exhausted()),
+                        h.adaptive_timeout_us.load(Ordering::Relaxed),
+                    )
+                })
+                .unwrap_or((0, 0, 0, 0));
+            (completed, timed_out, lease_admits, gray_counters)
         }));
     }
     let mut completed = 0u64;
     let mut timed_out = 0u64;
     let mut lease_admits = 0u64;
+    let mut hedges_sent = 0u64;
+    let mut hedge_wins = 0u64;
+    let mut retry_budget_exhausted = 0u64;
+    let mut adaptive_timeout_us = 0u64;
     for handle in handles {
-        let (ok, lost, leased) = handle.await.expect("client task");
+        let (ok, lost, leased, (hedged, won, refused, timeout_us)) =
+            handle.await.expect("client task");
         completed += ok;
         timed_out += lost;
         lease_admits += leased;
+        hedges_sent += hedged;
+        hedge_wins += won;
+        retry_budget_exhausted += refused;
+        adaptive_timeout_us = adaptive_timeout_us.max(timeout_us);
     }
     let elapsed = start.elapsed();
     let stats = server.stats().snapshot();
@@ -487,6 +565,10 @@ pub async fn run_admission_variant_with(
         } else {
             0.0
         },
+        hedges_sent,
+        hedge_wins,
+        retry_budget_exhausted,
+        adaptive_timeout_us,
     }
 }
 
@@ -559,6 +641,27 @@ mod tests {
                     variant.name
                 );
                 assert_eq!(point.lease_admit_ratio, 0.0, "{}", variant.name);
+            }
+            if variant.gray {
+                // The adaptive gauge is set from the very first
+                // disciplined attempt (baseline until the window warms),
+                // so it proves the gray plane rode the wire. Hedge
+                // counts depend on loopback jitter — a tiny sweep may
+                // legitimately see none, so only the gauge is asserted.
+                assert!(
+                    point.adaptive_timeout_us > 0,
+                    "{}: the gray discipline never engaged",
+                    variant.name
+                );
+            } else {
+                assert_eq!(
+                    point.hedges_sent, 0,
+                    "{}: the gray plane is off for this variant",
+                    variant.name
+                );
+                assert_eq!(point.hedge_wins, 0, "{}", variant.name);
+                assert_eq!(point.retry_budget_exhausted, 0, "{}", variant.name);
+                assert_eq!(point.adaptive_timeout_us, 0, "{}", variant.name);
             }
         }
     }

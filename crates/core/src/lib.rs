@@ -37,6 +37,7 @@ mod autoscale;
 pub mod chaos;
 mod client;
 mod deployment;
+pub mod gray;
 pub mod keyspace;
 pub mod overload;
 
@@ -45,6 +46,7 @@ pub use autoscale::{Autoscaler, AutoscalerConfig, ScaleEvent};
 pub use chaos::{run_chaos_soak, ChaosConfig, ChaosReport, PhaseReport};
 pub use client::{Endpoint, QosClient};
 pub use deployment::{Deployment, DeploymentConfig, LbMode};
+pub use gray::{run_gray_soak, GrayPhase, GraySoakConfig, GraySoakReport};
 pub use keyspace::{run_keyspace_soak, KeyspaceReport, KeyspaceSoakConfig};
 pub use overload::{run_overload_soak, OverloadPhase, OverloadReport, OverloadSoakConfig};
 

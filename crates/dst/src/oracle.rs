@@ -3,7 +3,7 @@
 //! The simulator feeds every observable admission outcome into an
 //! [`OracleState`]; a violation is a property of the *whole cluster
 //! history*, not of any single core, which is what the deterministic
-//! simulator buys over unit tests. Six invariants are enforced:
+//! simulator buys over unit tests. Seven invariants are enforced:
 //!
 //! 1. **Credit exactness / no oversell** — for a zero-refill key with
 //!    capacity `C` whose owning partition has rebooted `r` times, the
@@ -43,12 +43,26 @@
 //!    reclaimed at least once is attributed to the memory engine, not
 //!    to reboots — unlike a reboot, a reclaim cycle adds *zero* to the
 //!    budget.
+//! 7. **Bounded retry amplification, credit-exact hedging** — when the
+//!    router runs a global retry budget (deposit `d`% per primary,
+//!    `reserve` free withdrawals), the extra wire attempts it emits —
+//!    retries and hedges together — stay under
+//!    `primaries * d / 100 + reserve + 1` across the whole run: a gray
+//!    partition can slow every answer and the cluster still cannot melt
+//!    itself down with a retry storm. And every hedge is credit-exact
+//!    by construction: a hedged request re-presents the *same* attempt
+//!    nonce, so per server lifetime it is charged at most once no
+//!    matter which attempt wins. A hedged request id observed with two
+//!    distinct fresh stamped charges is pinned on the hedger, not the
+//!    network.
 //!
 //! Oracles 1–3, 5 and 6 are re-validated from accumulated counters
-//! after every event (`check_all`); oracle 4 is asserted once the event
-//! queue drains, when completion times are known.
+//! after every event (`check_all`), which also re-checks oracle 7's
+//! amplification bound when a budget is registered; oracle 4 is
+//! asserted once the event queue drains, when completion times are
+//! known.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::time::Duration;
 
 use janus_clock::Nanos;
@@ -86,6 +100,19 @@ pub struct OracleState {
     pub reclaims: Vec<u64>,
     /// Stamped decisions already seen: (partition, epoch, nonce).
     charged: HashSet<(usize, u32, ChargeKey)>,
+    /// Retry-budget shape `(deposit_pct, min_reserve)` when the router
+    /// runs one — arms oracle 7's amplification bound.
+    budget: Option<(u32, u32)>,
+    /// First wire attempts (one per issued call reaching the wire).
+    primaries: u64,
+    /// Extra wire attempts beyond the first: retries and hedges.
+    wire_extras: u64,
+    /// Request ids the router hedged — their charges are held to the
+    /// at-most-one-fresh-charge-per-lifetime rule of oracle 7.
+    hedged_ids: HashSet<u64>,
+    /// Fresh stamped charges per (partition, epoch, request id) for
+    /// hedged requests.
+    hedge_charges: HashMap<(usize, u32, u64), u32>,
     violations: Vec<String>,
     seen: HashSet<String>,
 }
@@ -101,9 +128,37 @@ impl OracleState {
             lease_drained: vec![0; keys],
             reclaims: vec![0; keys],
             charged: HashSet::new(),
+            budget: None,
+            primaries: 0,
+            wire_extras: 0,
+            hedged_ids: HashSet::new(),
+            hedge_charges: HashMap::new(),
             violations: Vec::new(),
             seen: HashSet::new(),
         }
+    }
+
+    /// Arm oracle 7's amplification bound: the router runs a global
+    /// retry budget depositing `deposit_pct`% per primary on top of a
+    /// `min_reserve`-withdrawal free reserve.
+    pub fn set_retry_budget(&mut self, deposit_pct: u32, min_reserve: u32) {
+        self.budget = Some((deposit_pct, min_reserve));
+    }
+
+    /// A call's first attempt reached the wire.
+    pub fn record_primary(&mut self) {
+        self.primaries += 1;
+    }
+
+    /// An extra wire attempt (retry or hedge) went out.
+    pub fn record_wire_extra(&mut self) {
+        self.wire_extras += 1;
+    }
+
+    /// The router hedged request `id`: from now on its fresh stamped
+    /// charges are held to at most one per server lifetime.
+    pub fn record_hedged_request(&mut self, id: u64) {
+        self.hedged_ids.insert(id);
     }
 
     /// The violations recorded so far, in discovery order.
@@ -140,6 +195,25 @@ impl OracleState {
                      (key {key_name}, request {})",
                     meta.nonce, request.id,
                 ));
+            } else if self.hedged_ids.contains(&request.id) {
+                // A fresh stamped charge for a hedged request. A hedge
+                // reuses its attempt nonce, so within one server
+                // lifetime the dedup window must collapse the pair to
+                // a single charge — two distinct nonces means the
+                // hedger minted a fresh one.
+                let entry = self
+                    .hedge_charges
+                    .entry((partition, epoch, request.id))
+                    .or_insert(0);
+                *entry += 1;
+                if *entry == 2 {
+                    self.record_violation(format!(
+                        "oracle[hedge-charge]: hedged request {} charged under two distinct \
+                         nonces on p{partition} epoch {epoch} (key {key_name}) — a hedge must \
+                         reuse its attempt nonce",
+                        request.id,
+                    ));
+                }
             }
         }
         if allow {
@@ -227,6 +301,19 @@ impl OracleState {
         for idx in 0..names.len() {
             let name = names[idx].clone();
             self.check_key(idx, &name, reboots_of(idx));
+        }
+        if let Some((deposit_pct, min_reserve)) = self.budget {
+            // Oracle 7's amplification half: deposits accrue fractionally
+            // (+1 covers the partial deposit in flight), withdrawals are
+            // whole, and the reserve is a one-time float.
+            let bound = self.primaries * u64::from(deposit_pct) / 100 + u64::from(min_reserve) + 1;
+            if self.wire_extras > bound {
+                self.record_violation(format!(
+                    "oracle[retry-amplification]: {} extra wire attempts over {} primaries, \
+                     bound {bound} ({deposit_pct}% deposits + reserve {min_reserve})",
+                    self.wire_extras, self.primaries,
+                ));
+            }
         }
     }
 

@@ -43,10 +43,16 @@ pub enum Profile {
     /// with idle-key demotion to the cold tier and poll-time
     /// readmission, raced by crashes, severs and bursts.
     Churn,
+    /// Gray failure: links stay up but answer late. One partition runs
+    /// a latency multiplier (long shallow slowdowns and short savage
+    /// stalls), with the gray plane — adaptive timeouts, credit-safe
+    /// hedges, the global retry budget — switched on, crashes mixed in,
+    /// and leases coin-flipped so late grants race revocations.
+    Gray,
 }
 
 /// All profiles, in the order the searcher cycles them.
-pub const PROFILES: [Profile; 10] = [
+pub const PROFILES: [Profile; 11] = [
     Profile::Calm,
     Profile::Lossy,
     Profile::Dup,
@@ -57,6 +63,7 @@ pub const PROFILES: [Profile; 10] = [
     Profile::Mixed,
     Profile::Lease,
     Profile::Churn,
+    Profile::Gray,
 ];
 
 impl Profile {
@@ -73,6 +80,7 @@ impl Profile {
             Profile::Mixed => "mixed",
             Profile::Lease => "lease",
             Profile::Churn => "churn",
+            Profile::Gray => "gray",
         }
     }
 
@@ -95,6 +103,7 @@ impl Profile {
             Profile::Mixed => 0x70,
             Profile::Lease => 0x80,
             Profile::Churn => 0x90,
+            Profile::Gray => 0xA0,
         }
     }
 }
@@ -281,6 +290,57 @@ pub fn config_for(seed: u64, profile: Profile) -> SimConfig {
                 config.directives.push(d);
             }
         }
+        Profile::Gray => {
+            // Gray failure, with the countermeasures on. Every seed
+            // carries at least one slowdown; extras mix in savage
+            // short stalls (GC-pause shaped) and crashes so late
+            // frames race reboots. Leases are coin-flipped — when on,
+            // the Lease profile's hot-key shape is reused so grants
+            // and revocations actually flow through the slow link.
+            config.gray = true;
+            config.ha = rng.gen_bool(0.5);
+            config.lease = rng.gen_bool(0.5);
+            if config.lease {
+                config.keys = 2;
+                config.capacity = 12 + 4 * rng.gen_range(8);
+                config.request_gap = Duration::from_micros(500);
+            }
+            config.directives.push(Directive {
+                at: millis_between(&mut rng, 10, 120),
+                kind: DirectiveKind::Gray {
+                    partition: rng.gen_range(config.partitions as u64) as usize,
+                    factor: (10 + rng.gen_range(41)) as u32,
+                    heal_after: millis_between(&mut rng, 20, 80),
+                },
+            });
+            for _ in 0..rng.gen_range(3) {
+                let d = match rng.gen_range(3) {
+                    0 => Directive {
+                        at: millis_between(&mut rng, 10, 150),
+                        kind: DirectiveKind::Gray {
+                            partition: rng.gen_range(config.partitions as u64) as usize,
+                            factor: (100 + rng.gen_range(151)) as u32,
+                            heal_after: millis_between(&mut rng, 2, 10),
+                        },
+                    },
+                    1 => Directive {
+                        at: millis_between(&mut rng, 10, 150),
+                        kind: DirectiveKind::Gray {
+                            partition: rng.gen_range(config.partitions as u64) as usize,
+                            factor: (10 + rng.gen_range(41)) as u32,
+                            heal_after: millis_between(&mut rng, 20, 80),
+                        },
+                    },
+                    _ => Directive {
+                        at: millis_between(&mut rng, 10, 180),
+                        kind: DirectiveKind::Crash {
+                            partition: rng.gen_range(config.partitions as u64) as usize,
+                        },
+                    },
+                };
+                config.directives.push(d);
+            }
+        }
     }
     config
 }
@@ -443,6 +503,7 @@ mod tests {
             Profile::Mixed,
             Profile::Lease,
             Profile::Churn,
+            Profile::Gray,
         ] {
             assert!(
                 covered.contains(&required),

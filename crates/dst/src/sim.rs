@@ -24,11 +24,14 @@ use janus_net::attempt::{AttemptPlan, AttemptStep};
 use janus_net::breaker::BreakerConfig;
 use janus_net::fault::{Fate, FaultPlan};
 use janus_router::core::{
-    LeaseEvent, LocalAnswer, RouterCore, RouterCoreConfig, RouterLeaseConfig, RouterStep,
+    GrayConfig, LeaseEvent, LocalAnswer, RouterCore, RouterCoreConfig, RouterLeaseConfig,
+    RouterStep,
 };
 use janus_server::core::{decode_snapshot_header, encode_snapshot, ServerCore};
 use janus_server::{LeaseConfig, OverloadConfig};
-use janus_types::{Credits, QosKey, QosRequest, QosResponse, QosRule, RefillRate, Verdict};
+use janus_types::{
+    AttemptMeta, Credits, QosKey, QosRequest, QosResponse, QosRule, RefillRate, Verdict,
+};
 
 use crate::oracle::OracleState;
 
@@ -90,6 +93,18 @@ pub enum DirectiveKind {
     RuleChange {
         /// Victim key (wrapped modulo the key count).
         key: usize,
+    },
+    /// Gray-fail one partition's links: every datagram to or from it is
+    /// delivered `factor`× slower than the healthy link latency — no
+    /// drops, no crash, nothing a liveness check would notice. A large
+    /// factor over a short window models a GC-style stall.
+    Gray {
+        /// Victim partition (wrapped modulo the partition count).
+        partition: usize,
+        /// Latency multiplier while gray (≥ 1).
+        factor: u32,
+        /// How long the partition stays gray.
+        heal_after: Duration,
     },
 }
 
@@ -153,6 +168,16 @@ pub struct SimConfig {
     /// keys at full capacity instead of their saved credit, minting
     /// credit that oracle 6 must catch.
     pub churn_mint_bug: bool,
+    /// Enable the gray-failure client plane ([`GrayConfig::default`]):
+    /// per-partition adaptive attempt timeouts, credit-safe same-nonce
+    /// hedging, and the node-global retry budget. Off reproduces the
+    /// fixed-discipline behaviour (and byte-identical traces).
+    pub gray: bool,
+    /// Fault lever for the oracle non-vacuousness test: hedge with a
+    /// *fresh* nonce instead of reusing the attempt nonce, so the dedup
+    /// window cannot pair the copies and the hedged call is charged
+    /// twice — which oracle 7 must catch.
+    pub hedge_fresh_nonce_bug: bool,
     /// The scripted fault schedule.
     pub directives: Vec<Directive>,
 }
@@ -182,6 +207,8 @@ impl Default for SimConfig {
             reclaim_interval: Duration::from_millis(5),
             table_slots: 8,
             churn_mint_bug: false,
+            gray: false,
+            hedge_fresh_nonce_bug: false,
             directives: Vec::new(),
         }
     }
@@ -209,6 +236,11 @@ struct Call {
     issued_at: Nanos,
     completed_at: Option<Nanos>,
     completion: Option<Completion>,
+    /// When the most recent wire copy (attempt or hedge) was sent —
+    /// the base for the RTT sample recorded at first answer.
+    last_sent: Nanos,
+    /// A hedge duplicate has been issued for this call.
+    hedged: bool,
 }
 
 struct Partition {
@@ -217,6 +249,8 @@ struct Partition {
     /// `SNAPSHOT` wire format each replication round).
     standby: Vec<QosRule>,
     severed: bool,
+    /// Link latency multiplier: 1 when healthy, >1 while gray-failed.
+    latency_factor: u32,
     epoch: u32,
     reboots: u64,
     poll_scheduled: bool,
@@ -236,6 +270,10 @@ enum Event {
         response: QosResponse,
     },
     RetryTimer {
+        call: u32,
+        attempt: u32,
+    },
+    HedgeTimer {
         call: u32,
         attempt: u32,
     },
@@ -290,6 +328,12 @@ pub struct SimReport {
     pub duplicated: u64,
     /// See [`SimReport::dropped`].
     pub reordered: u64,
+    /// Hedge duplicates put on the wire (gray mode).
+    pub hedges: u64,
+    /// Calls answered after their hedge fired (gray mode).
+    pub hedge_wins: u64,
+    /// Retries or hedges the global budget refused (gray mode).
+    pub budget_refused: u64,
 }
 
 impl SimReport {
@@ -316,6 +360,14 @@ impl SimReport {
             "reboots={} net: dropped={} duplicated={} reordered={}\n",
             self.reboots, self.dropped, self.duplicated, self.reordered
         ));
+        // Only gray-mode runs print the gray line, so legacy summaries
+        // stay byte-identical.
+        if self.hedges > 0 || self.hedge_wins > 0 || self.budget_refused > 0 {
+            out.push_str(&format!(
+                "gray: hedges={} hedge_wins={} budget_refused={}\n",
+                self.hedges, self.hedge_wins, self.budget_refused
+            ));
+        }
         for (name, count) in &self.per_key_allows {
             out.push_str(&format!("allows {name}={count}\n"));
         }
@@ -368,6 +420,9 @@ pub struct Sim {
     leased: u32,
     degraded: u32,
     defaulted: u32,
+    hedges: u64,
+    hedge_wins: u64,
+    budget_refused: u64,
 }
 
 impl Sim {
@@ -383,6 +438,7 @@ impl Sim {
         };
         let mut rng = Rng::seed_from_u64(config.seed);
         let nonce_base = rng.next_u32();
+        let gray_config = config.gray.then(GrayConfig::default);
         let router = RouterCore::new(RouterCoreConfig {
             partitions: config.partitions,
             default_verdict: Verdict::Deny,
@@ -393,6 +449,7 @@ impl Sim {
             }),
             // Holder id 7: arbitrary but fixed, so traces stay stable.
             lease: config.lease.then(|| RouterLeaseConfig::new(7)),
+            gray: gray_config.clone(),
         });
         let key_names: Vec<String> = (0..config.keys).map(|i| format!("tenant-{i}")).collect();
         let keys: Vec<QosKey> = key_names
@@ -401,7 +458,10 @@ impl Sim {
             .collect();
         let owners: Vec<usize> = keys.iter().map(|k| router.route(k)).collect();
         let fault = FaultPlan::new(0.0, 0.0, Duration::ZERO, rng.next_u64());
-        let oracle = OracleState::new(keys.len(), config.capacity);
+        let mut oracle = OracleState::new(keys.len(), config.capacity);
+        if let Some(budget) = gray_config.as_ref().and_then(|g| g.budget) {
+            oracle.set_retry_budget(budget.deposit_pct, budget.min_reserve);
+        }
         let mut sim = Sim {
             clock: SimClock::starting_at(T0),
             router,
@@ -422,6 +482,9 @@ impl Sim {
             leased: 0,
             degraded: 0,
             defaulted: 0,
+            hedges: 0,
+            hedge_wins: 0,
+            budget_refused: 0,
             config,
         };
         sim.cold = vec![BTreeMap::new(); sim.config.partitions];
@@ -431,6 +494,7 @@ impl Sim {
                 core: Some(core),
                 standby: Vec::new(),
                 severed: false,
+                latency_factor: 1,
                 epoch: 0,
                 reboots: 0,
                 poll_scheduled: false,
@@ -589,6 +653,9 @@ impl Sim {
             dropped: self.fault.dropped(),
             duplicated: self.fault.duplicated(),
             reordered: self.fault.reordered(),
+            hedges: self.hedges,
+            hedge_wins: self.hedge_wins,
+            budget_refused: self.budget_refused,
         }
     }
 
@@ -616,6 +683,7 @@ impl Sim {
                 response,
             } => self.on_deliver_response(call, partition, response),
             Event::RetryTimer { call, attempt } => self.on_retry_timer(call, attempt),
+            Event::HedgeTimer { call, attempt } => self.on_hedge_timer(call, attempt),
             Event::Poll { partition, epoch } => self.on_poll(partition, epoch),
             Event::Replicate => self.on_replicate(),
             Event::Reboot { partition, epoch } => self.on_reboot(partition, epoch),
@@ -708,6 +776,8 @@ impl Sim {
                     issued_at: now,
                     completed_at: Some(now),
                     completion: Some(Completion::Leased),
+                    last_sent: now,
+                    hedged: false,
                 });
                 self.note(format!("issue #{n} key={name} lease-admit"));
                 let reboots = self.partitions[self.owners[key_idx]].reboots;
@@ -723,6 +793,8 @@ impl Sim {
                     issued_at: now,
                     completed_at: None,
                     completion: None,
+                    last_sent: now,
+                    hedged: false,
                 });
                 self.note(format!("issue #{n} key={name} -> p{partition} fast-fail"));
                 self.complete_local(n, answer);
@@ -757,6 +829,8 @@ impl Sim {
                     issued_at: now,
                     completed_at: None,
                     completion: None,
+                    last_sent: now,
+                    hedged: false,
                 });
                 self.note(format!("issue #{n} key={name} -> p{partition}{ask}"));
                 self.send_attempt(n, 0);
@@ -766,29 +840,114 @@ impl Sim {
 
     fn send_attempt(&mut self, call: u32, attempt: u32) {
         let now = self.clock.now();
-        let c = &self.calls[call as usize];
-        let plan = c.plan.as_ref().expect("forwarded call has a plan");
-        let partition = c.partition;
-        match plan.request_for(attempt, now) {
+        let partition = self.calls[call as usize].partition;
+        // Every retry must pay the global budget before it may touch
+        // the wire (gray mode); a refused retry gives up immediately —
+        // that is the retry-amplification bound doing its job.
+        if attempt > 0 {
+            if let Some(budget) = self.router.retry_budget() {
+                if !budget.try_withdraw() {
+                    self.budget_refused += 1;
+                    self.note(format!("budget-refused #{call} retry {attempt}"));
+                    self.give_up(call);
+                    return;
+                }
+            }
+        }
+        let step = {
+            let plan = self.calls[call as usize]
+                .plan
+                .as_ref()
+                .expect("forwarded call has a plan");
+            plan.request_for(attempt, now)
+        };
+        match step {
             AttemptStep::BudgetSpent => {
                 self.note(format!("give-up #{call} budget spent at attempt {attempt}"));
                 self.give_up(call);
             }
             AttemptStep::Send(request) => {
+                if attempt == 0 {
+                    if let Some(budget) = self.router.retry_budget() {
+                        budget.deposit();
+                    }
+                    self.oracle.record_primary();
+                } else {
+                    self.oracle.record_wire_extra();
+                }
                 let kind = if request.attempt.is_some() {
                     "stamped"
                 } else {
                     "legacy"
                 };
                 self.note(format!("send #{call}.{attempt} -> p{partition} ({kind})"));
+                // Baseline (gray off / warming up) is the configured
+                // fixed timeout, so legacy schedules are untouched.
+                let timeout = self
+                    .router
+                    .attempt_timeout(partition, self.config.rpc_timeout);
+                self.calls[call as usize].last_sent = now;
                 self.transmit_request(call, partition, request);
-                self.schedule_in(self.config.rpc_timeout, Event::RetryTimer { call, attempt });
+                self.schedule_in(timeout, Event::RetryTimer { call, attempt });
+                if !self.calls[call as usize].hedged {
+                    if let Some(delay) = self.router.hedge_delay(partition) {
+                        if delay < timeout {
+                            self.schedule_in(delay, Event::HedgeTimer { call, attempt });
+                        }
+                    }
+                }
             }
         }
     }
 
+    /// The hedge fired: the attempt has been in flight longer than the
+    /// partition's learned tail. Re-present the *same* attempt nonce
+    /// (restamped deadline budget) as a second wire copy — the server's
+    /// dedup window answers the loser from cache, so the pair costs at
+    /// most one credit by construction.
+    fn on_hedge_timer(&mut self, call: u32, attempt: u32) {
+        let now = self.clock.now();
+        if self.calls[call as usize].completion.is_some() || self.calls[call as usize].hedged {
+            return;
+        }
+        let partition = self.calls[call as usize].partition;
+        let hedge = {
+            let plan = self.calls[call as usize]
+                .plan
+                .as_ref()
+                .expect("hedged call has a plan");
+            plan.hedge_for(attempt, now)
+        };
+        let Some(mut request) = hedge else {
+            return; // deadline already spent: no point duplicating
+        };
+        if let Some(budget) = self.router.retry_budget() {
+            if !budget.try_withdraw() {
+                self.budget_refused += 1;
+                self.note(format!("budget-refused #{call} hedge"));
+                return;
+            }
+        }
+        let mut tag = "same nonce";
+        if self.config.hedge_fresh_nonce_bug {
+            // Oracle non-vacuousness lever: a hedge that draws a fresh
+            // nonce defeats the dedup pairing and double-charges.
+            if let Some(meta) = request.attempt {
+                request.attempt = Some(AttemptMeta::new(meta.budget_us, meta.nonce ^ 0x5A5A_5A5A));
+                tag = "fresh-nonce bug";
+            }
+        }
+        self.calls[call as usize].hedged = true;
+        self.hedges += 1;
+        self.oracle.record_wire_extra();
+        self.oracle.record_hedged_request(request.id);
+        self.note(format!("hedge #{call}.{attempt} -> p{partition} ({tag})"));
+        self.calls[call as usize].last_sent = now;
+        self.transmit_request(call, partition, request);
+    }
+
     fn transmit_request(&mut self, call: u32, partition: usize, request: QosRequest) {
-        let latency = self.config.link_latency;
+        let latency = self.config.link_latency * self.partitions[partition].latency_factor;
         match self.fault.judge_fate() {
             Fate::Drop => self.note(format!("net drop req #{call} -> p{partition}")),
             Fate::Deliver(extra) => self.schedule_in(
@@ -837,7 +996,7 @@ impl Sim {
             self.note(format!("net severed resp #{call} from p{partition}"));
             return;
         }
-        let latency = self.config.link_latency;
+        let latency = self.config.link_latency * self.partitions[partition].latency_factor;
         match self.fault.judge_fate() {
             Fate::Drop => self.note(format!("net drop resp #{call} from p{partition}")),
             Fate::Deliver(extra) => self.schedule_in(
@@ -1045,6 +1204,14 @@ impl Sim {
             "router recv #{call} {} backend{hint}{lease}",
             verdict_str(response.verdict)
         ));
+        // Feed the gray plane: one RTT sample per first answer (no-op
+        // while gray is off), and credit the hedge when the answer
+        // landed after the duplicate went out.
+        let rtt = now.saturating_since(self.calls[call as usize].last_sent);
+        self.router.record_rtt(partition, rtt.as_micros() as u64);
+        if self.calls[call as usize].hedged {
+            self.hedge_wins += 1;
+        }
         self.calls[call as usize].completion = Some(Completion::Backend(response.verdict));
         self.calls[call as usize].completed_at = Some(now);
         self.completed += 1;
@@ -1185,6 +1352,20 @@ impl Sim {
                 ));
                 self.schedule_in(heal_after, Event::Heal(i));
             }
+            DirectiveKind::Gray {
+                partition,
+                factor,
+                heal_after,
+            } => {
+                let p = partition % self.partitions.len();
+                self.partitions[p].latency_factor = factor.max(1);
+                self.note(format!(
+                    "gray p{p} x{} for {}us",
+                    factor.max(1),
+                    heal_after.as_micros()
+                ));
+                self.schedule_in(heal_after, Event::Heal(i));
+            }
             DirectiveKind::RuleChange { key } => {
                 let now = self.clock.now();
                 let idx = key % self.keys.len();
@@ -1221,6 +1402,11 @@ impl Sim {
                 self.fault.set_duplication(0.0, Duration::ZERO);
                 self.fault.set_reordering(0.0, Duration::ZERO);
                 self.note("heal burst".to_string());
+            }
+            DirectiveKind::Gray { partition, .. } => {
+                let p = partition % self.partitions.len();
+                self.partitions[p].latency_factor = 1;
+                self.note(format!("heal gray p{p}"));
             }
             DirectiveKind::Crash { .. } | DirectiveKind::RuleChange { .. } => {}
         }
@@ -1580,6 +1766,94 @@ mod tests {
         assert!(
             report.violations.iter().any(|v| v.contains("reclaim-mint")),
             "expected a reclaim-mint violation, got: {:?}",
+            report.violations
+        );
+    }
+
+    /// A gray config: adaptive timeouts, hedging, and the retry budget
+    /// all on, with one partition slowed 50x mid-run and then healed —
+    /// the link stays up, it just answers late.
+    fn graying() -> SimConfig {
+        SimConfig {
+            seed: 47,
+            gray: true,
+            requests: 120,
+            keys: 4,
+            capacity: 30,
+            directives: vec![Directive {
+                at: Duration::from_millis(60),
+                kind: DirectiveKind::Gray {
+                    partition: 0,
+                    factor: 50,
+                    heal_after: Duration::from_millis(80),
+                },
+            }],
+            ..SimConfig::default()
+        }
+    }
+
+    #[test]
+    fn gray_partition_hedges_and_heals_within_the_availability_floor() {
+        let report = Sim::new(graying()).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.completed, report.issued, "availability floor");
+        assert!(
+            report.hedges > 0,
+            "expected hedged attempts in:\n{}",
+            report.trace
+        );
+        assert!(report.trace.contains("gray p0 x50"));
+        assert!(report.trace.contains("heal gray p0"));
+    }
+
+    #[test]
+    fn gray_runs_are_byte_identical_across_reruns() {
+        let a = Sim::new(graying()).run();
+        let b = Sim::new(graying()).run();
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.summary(), b.summary());
+    }
+
+    #[test]
+    fn gray_machinery_off_reproduces_the_pre_gray_trace() {
+        // The gray plane is strictly additive: with the switch off the
+        // legacy wire discipline runs and not one event may move.
+        let mut with_field = calm();
+        with_field.gray = false;
+        let a = Sim::new(calm()).run();
+        let b = Sim::new(with_field).run();
+        assert_eq!(a.trace, b.trace);
+        assert!(!a.trace.contains("hedge"));
+        assert!(!a.trace.contains("budget-refused"));
+    }
+
+    #[test]
+    fn retry_budget_refuses_hedges_once_the_deposit_stream_is_spent() {
+        // 120 primaries deposit 10% each on top of the 10-call reserve,
+        // so at most ~23 extra wire attempts may ever go out; the rest
+        // are refused at the router and the run still completes.
+        let report = Sim::new(graying()).run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert!(
+            report.budget_refused > 0,
+            "expected budget refusals in:\n{}",
+            report.trace
+        );
+        assert!(report.trace.contains("budget-refused"));
+    }
+
+    #[test]
+    fn hedge_with_a_fresh_nonce_trips_the_hedge_charge_oracle() {
+        // The non-vacuousness check for oracle 7's credit half: a hedge
+        // that mints a fresh nonce slips past the server's dedup window
+        // and charges the bucket twice, and the oracle must pin it on
+        // the hedger rather than the network.
+        let mut config = graying();
+        config.hedge_fresh_nonce_bug = true;
+        let report = Sim::new(config).run();
+        assert!(
+            report.violations.iter().any(|v| v.contains("hedge-charge")),
+            "expected a hedge double-charge violation, got: {:?}",
             report.violations
         );
     }

@@ -80,6 +80,46 @@ impl AttemptPlan {
         self.deadline.map(|(_, _, nonce)| nonce)
     }
 
+    /// Clamp a proposed inter-attempt pause (jittered backoff, hedge
+    /// delay) to the budget remaining at `now`.
+    ///
+    /// A jittered exponential backoff can propose a sleep that ends past
+    /// the deadline — the transport would then sleep, wake, and only
+    /// *afterwards* learn from [`AttemptStep::BudgetSpent`] that nobody
+    /// was waiting, having held the socket and the task for dead time.
+    /// Clamping keeps the wake-up at the deadline edge, where the budget
+    /// check stops the call immediately. Plans without a deadline have
+    /// nothing to clamp against and return `proposed` unchanged.
+    pub fn clamped_pause(&self, proposed: Duration, now: Nanos) -> Duration {
+        match self.deadline {
+            Some((started, total, _)) => {
+                let remaining = total.saturating_sub(now.saturating_since(started));
+                proposed.min(remaining)
+            }
+            None => proposed,
+        }
+    }
+
+    /// The frame a *hedge* of attempt `attempt` should send at `now`:
+    /// the same attempt re-presented — same nonce, budget restamped to
+    /// what actually remains — so the server's dedup window answers the
+    /// losing copy from the cache and the pair consumes one credit.
+    ///
+    /// Refused (`None`) for plans without a deadline stamp: an unstamped
+    /// frame carries no nonce, the dedup window cannot pair the copies,
+    /// and a hedge would risk a second charge. Also refused once the
+    /// budget is spent — nobody is waiting for a later answer.
+    pub fn hedge_for(&self, attempt: u32, now: Nanos) -> Option<QosRequest> {
+        let (started, total, _) = self.deadline?;
+        if now.saturating_since(started) >= total {
+            return None;
+        }
+        match self.request_for(attempt, now) {
+            AttemptStep::Send(frame) => Some(frame),
+            AttemptStep::BudgetSpent => None,
+        }
+    }
+
     /// The frame attempt number `attempt` (0-based) should send at `now`,
     /// or [`AttemptStep::BudgetSpent`] when retrying must stop.
     pub fn request_for(&self, attempt: u32, now: Nanos) -> AttemptStep {
@@ -222,6 +262,75 @@ mod tests {
         // server).
         let req = sent(plan.request_for(0, T0.saturating_add(Duration::from_micros(50))));
         assert_eq!(req.attempt.unwrap().budget_us, 1);
+    }
+
+    #[test]
+    fn backoff_pause_is_clamped_to_the_remaining_budget() {
+        let plan = AttemptPlan::stamped(base(false), 4, T0, Duration::from_micros(100), 9);
+        let at = T0.saturating_add(Duration::from_micros(60));
+        // A jittered backoff proposing 1 ms must wake at the deadline
+        // edge (40 µs away), not 960 µs past it.
+        assert_eq!(
+            plan.clamped_pause(Duration::from_millis(1), at),
+            Duration::from_micros(40)
+        );
+        // A pause already inside the budget is untouched.
+        assert_eq!(
+            plan.clamped_pause(Duration::from_micros(10), at),
+            Duration::from_micros(10)
+        );
+    }
+
+    #[test]
+    fn pause_after_budget_spent_is_zero() {
+        let plan = AttemptPlan::stamped(base(false), 4, T0, Duration::from_micros(100), 9);
+        let late = T0.saturating_add(Duration::from_micros(250));
+        assert_eq!(
+            plan.clamped_pause(Duration::from_millis(1), late),
+            Duration::ZERO
+        );
+        // …and the very next schedule query stops the call.
+        assert_eq!(plan.request_for(1, late), AttemptStep::BudgetSpent);
+    }
+
+    #[test]
+    fn plain_plan_has_no_budget_to_clamp_against() {
+        let plan = AttemptPlan::plain(base(false), 3);
+        let late = T0.saturating_add(Duration::from_secs(10));
+        assert_eq!(
+            plan.clamped_pause(Duration::from_millis(7), late),
+            Duration::from_millis(7)
+        );
+    }
+
+    #[test]
+    fn hedge_reuses_the_attempt_nonce_with_a_restamped_budget() {
+        let plan = AttemptPlan::stamped(base(true), 3, T0, Duration::from_micros(600), 42);
+        let first = sent(plan.request_for(0, T0));
+        assert_eq!(first.attempt, Some(AttemptMeta::new(600, 42)));
+        // Hedge fired 200 µs in: same id, same nonce, budget restamped
+        // to what actually remains.
+        let hedge = plan
+            .hedge_for(0, T0.saturating_add(Duration::from_micros(200)))
+            .expect("budget remains");
+        assert_eq!(hedge.id, first.id);
+        assert_eq!(hedge.attempt, Some(AttemptMeta::new(400, 42)));
+    }
+
+    #[test]
+    fn hedge_of_an_unstamped_plan_is_refused() {
+        // No deadline stamp ⇒ no nonce ⇒ the dedup window could not pair
+        // the copies, so the hedge must not be sent at all.
+        let plan = AttemptPlan::plain(base(false), 3);
+        assert_eq!(plan.hedge_for(0, T0), None);
+    }
+
+    #[test]
+    fn hedge_after_budget_spent_is_refused() {
+        let plan = AttemptPlan::stamped(base(false), 3, T0, Duration::from_micros(100), 9);
+        let late = T0.saturating_add(Duration::from_micros(100));
+        assert_eq!(plan.hedge_for(0, late), None);
+        assert_eq!(plan.hedge_for(1, late), None);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   relies on).
 //! * [`fault`] — deterministic packet-loss and delay injection shared by
 //!   the UDP layer.
+//! * [`latency`] — the gray-failure client discipline: windowed latency
+//!   quantiles, adaptive per-attempt timeouts, credit-safe hedging and a
+//!   global retry budget.
 //! * [`mmsg`] — batched UDP syscalls (`recvmmsg`/`sendmmsg`) and
 //!   `SO_REUSEPORT` per-core socket groups, declared by hand against the
 //!   system libc, with a portable single-syscall fallback.
@@ -35,6 +38,7 @@ pub mod buffer_pool;
 pub mod dns;
 pub mod fault;
 pub mod http;
+pub mod latency;
 pub mod mmsg;
 pub mod udp;
 pub mod udp_pool;
@@ -60,6 +64,10 @@ pub fn poke_listener(addr: std::net::SocketAddr) {
 pub use buffer_pool::{BufferPool, BufferPoolSnapshot, PooledBuf};
 pub use fault::{DeliverySchedule, Fate, FaultPlan};
 pub use http::{HttpClient, HttpRequest, HttpResponse, HttpServer, Method, StatusCode};
-pub use mmsg::{BatchStats, Backend, RecvSlot};
+pub use latency::{
+    HedgePolicy, HedgeStats, LatencyWindow, RetryBudget, RetryBudgetConfig, SharedLatency,
+    TimeoutPolicy, WireDiscipline,
+};
+pub use mmsg::{Backend, BatchStats, RecvSlot};
 pub use udp::{RetryBackoff, UdpRpcClient, UdpRpcConfig, UdpServerSocket};
 pub use udp_pool::{BatchConfig, PooledUdpRpcClient};

@@ -16,6 +16,7 @@
 
 use crate::attempt::{AttemptPlan, AttemptStep};
 use crate::fault::{DeliverySchedule, Fate, FaultPlan};
+use crate::latency::WireDiscipline;
 use bytes::Bytes;
 use janus_clock::Nanos;
 use janus_types::codec::{self, Frame, MAX_FRAME_BYTES};
@@ -308,6 +309,23 @@ impl UdpRpcClient {
     /// understands. Retrying stops early once the budget is spent —
     /// nobody is waiting for a later answer.
     pub async fn call(&self, server: SocketAddr, request: &QosRequest) -> Result<QosResponse> {
+        self.call_disciplined(server, request, &WireDiscipline::default())
+            .await
+    }
+
+    /// [`call`](Self::call) with the gray-failure discipline applied
+    /// (DESIGN.md ablation 15): an adaptively-derived per-attempt
+    /// timeout, an optional same-nonce hedge after
+    /// [`WireDiscipline::hedge_delay`], retries and hedges gated by the
+    /// shared [`crate::latency::RetryBudget`], and per-attempt RTTs
+    /// recorded into the caller's latency window. The default
+    /// (all-`None`) discipline reproduces [`call`](Self::call) exactly.
+    pub async fn call_disciplined(
+        &self,
+        server: SocketAddr,
+        request: &QosRequest,
+        discipline: &WireDiscipline,
+    ) -> Result<QosResponse> {
         let socket = Arc::new(UdpSocket::bind(self.config.bind_addr).await?);
         socket.connect(server).await?;
         let attempts = self.config.attempts();
@@ -328,16 +346,35 @@ impl UdpRpcClient {
         } else {
             AttemptPlan::plain(request.clone(), attempts)
         };
+        let timeout = discipline.timeout.unwrap_or(self.config.timeout);
+        if let (Some(stats), Some(t)) = (&discipline.stats, discipline.timeout) {
+            stats
+                .adaptive_timeout_us
+                .store(t.as_micros() as u64, Ordering::Relaxed);
+        }
         let started = std::time::Instant::now();
         let mut buf = vec![0u8; MAX_FRAME_BYTES];
         let mut attempted = 0u32;
 
-        for attempt in 0..attempts {
+        'attempts: for attempt in 0..attempts {
             if attempt > 0 {
-                let pause = self.config.backoff.delay_before(attempt);
+                // Retries draw from the shared budget first: a refusal
+                // means the fleet is already amplifying, and this call
+                // settles for the router default instead of adding load.
+                if let Some(budget) = &discipline.budget {
+                    if !budget.try_withdraw() {
+                        break;
+                    }
+                }
+                let now = Nanos::from_nanos(started.elapsed().as_nanos() as u64);
+                // Clamped: a jittered backoff must never sleep past the
+                // point where `BudgetSpent` stops the call.
+                let pause = plan.clamped_pause(self.config.backoff.delay_before(attempt), now);
                 if !pause.is_zero() {
                     tokio::time::sleep(pause).await;
                 }
+            } else if let Some(budget) = &discipline.budget {
+                budget.deposit();
             }
             let now = Nanos::from_nanos(started.elapsed().as_nanos() as u64);
             let datagram: Bytes = match plan.request_for(attempt, now) {
@@ -347,18 +384,63 @@ impl UdpRpcClient {
                 AttemptStep::BudgetSpent => break,
             };
             attempted += 1;
+            let sent = std::time::Instant::now();
             self.send_with_faults(&socket, datagram).await?;
-            match tokio::time::timeout(self.config.timeout, socket.recv(&mut buf)).await {
-                Ok(Ok(len)) => match codec::decode(&buf[..len]) {
-                    Ok(Frame::Response(resp)) if resp.id == request.id => return Ok(resp),
-                    // Stale response from an earlier attempt of another
-                    // logical request on a reused port, or garbage: ignore
-                    // and keep waiting out the remainder of this attempt's
-                    // budget by falling through to a retry.
-                    _ => continue,
-                },
-                Ok(Err(e)) => return Err(e.into()),
-                Err(_elapsed) => continue,
+            let mut remaining = timeout;
+            let mut hedged = false;
+            loop {
+                // An armed hedge splits the attempt's wait in two: fire
+                // the duplicate at the learned-tail delay, then wait out
+                // the rest of the timeout for whichever copy answers
+                // first.
+                let phase = match discipline.hedge_delay {
+                    Some(delay) if !hedged && delay < remaining => delay,
+                    _ => remaining,
+                };
+                match tokio::time::timeout(phase, socket.recv(&mut buf)).await {
+                    Ok(Ok(len)) => match codec::decode(&buf[..len]) {
+                        Ok(Frame::Response(resp)) if resp.id == request.id => {
+                            if let Some(rtt) = &discipline.rtt {
+                                rtt.record(sent.elapsed().as_micros() as u64);
+                            }
+                            if hedged {
+                                if let Some(stats) = &discipline.stats {
+                                    stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            return Ok(resp);
+                        }
+                        // Stale response from an earlier attempt of another
+                        // logical request on a reused port, or garbage:
+                        // ignore and fall through to a retry.
+                        _ => continue 'attempts,
+                    },
+                    Ok(Err(e)) => return Err(e.into()),
+                    Err(_elapsed) if !hedged && phase < remaining => {
+                        hedged = true;
+                        remaining -= phase;
+                        // Slower than the partition's learned tail:
+                        // re-present the *same* nonce (the dedup window
+                        // makes the losing copy a cached duplicate, so
+                        // the pair consumes one credit), budget
+                        // permitting.
+                        let now = Nanos::from_nanos(started.elapsed().as_nanos() as u64);
+                        let funded = discipline
+                            .budget
+                            .as_ref()
+                            .map_or(true, |budget| budget.try_withdraw());
+                        if funded {
+                            if let Some(frame) = plan.hedge_for(attempt, now) {
+                                self.send_with_faults(&socket, codec::encode_request(&frame))
+                                    .await?;
+                                if let Some(stats) = &discipline.stats {
+                                    stats.hedges_sent.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    }
+                    Err(_elapsed) => continue 'attempts,
+                }
             }
         }
         Err(JanusError::Timeout {
@@ -538,12 +620,7 @@ impl UdpServerSocket {
             let fd = self.socket.as_raw_fd();
             self.socket
                 .async_io(Interest::READABLE, || {
-                    crate::mmsg::recv_batch_nonblocking(
-                        fd,
-                        &mut bufs,
-                        &mut slots,
-                        Some(&self.mmsg),
-                    )
+                    crate::mmsg::recv_batch_nonblocking(fd, &mut bufs, &mut slots, Some(&self.mmsg))
                 })
                 .await?;
             for (buf, slot) in bufs.iter().zip(slots.iter()) {
@@ -985,7 +1062,11 @@ mod tests {
             got += codec::decode_all(&buf[..len]).unwrap().len();
         }
         assert_eq!(got, N as usize);
-        assert_eq!(mmsg.recv_datagrams(), N, "all requests came through recvmmsg");
+        assert_eq!(
+            mmsg.recv_datagrams(),
+            N,
+            "all requests came through recvmmsg"
+        );
         assert!(
             mmsg.recv_syscalls() <= N,
             "batching must never spend more crossings than datagrams"

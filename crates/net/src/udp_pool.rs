@@ -22,6 +22,7 @@
 
 use crate::attempt::{AttemptPlan, AttemptStep};
 use crate::fault::{Fate, FaultPlan};
+use crate::latency::WireDiscipline;
 use crate::udp::{OobDelivery, UdpRpcConfig};
 use janus_clock::Nanos;
 use janus_types::codec::{self, Frame, MAX_DATAGRAM_BYTES};
@@ -166,7 +167,8 @@ impl PooledUdpRpcClient {
     /// The request id is allocated internally (callers supply only the
     /// key), guaranteeing pool-wide uniqueness.
     pub async fn check(&self, server: SocketAddr, key: QosKey) -> Result<QosResponse> {
-        self.do_check(server, key, false, None).await
+        self.do_check(server, key, false, None, &WireDiscipline::default())
+            .await
     }
 
     /// Like [`check`](Self::check), but the first attempt solicits a rule
@@ -178,7 +180,8 @@ impl PooledUdpRpcClient {
         server: SocketAddr,
         key: QosKey,
     ) -> Result<QosResponse> {
-        self.do_check(server, key, true, None).await
+        self.do_check(server, key, true, None, &WireDiscipline::default())
+            .await
     }
 
     /// Like the two above, but the first attempt also piggybacks a lease
@@ -192,7 +195,27 @@ impl PooledUdpRpcClient {
         solicit: bool,
         lease: Option<LeaseReport>,
     ) -> Result<QosResponse> {
-        self.do_check(server, key, solicit, lease).await
+        self.do_check(server, key, solicit, lease, &WireDiscipline::default())
+            .await
+    }
+
+    /// [`check_with_lease`](Self::check_with_lease) with the
+    /// gray-failure discipline applied (DESIGN.md ablation 15): an
+    /// adaptively-derived per-attempt timeout, an optional same-nonce
+    /// hedge after [`WireDiscipline::hedge_delay`], retries and hedges
+    /// gated by the shared [`crate::latency::RetryBudget`], and
+    /// per-attempt RTTs recorded into the caller's latency window. The
+    /// default (all-`None`) discipline reproduces the plain methods
+    /// exactly.
+    pub async fn check_disciplined(
+        &self,
+        server: SocketAddr,
+        key: QosKey,
+        solicit: bool,
+        lease: Option<LeaseReport>,
+        discipline: &WireDiscipline,
+    ) -> Result<QosResponse> {
+        self.do_check(server, key, solicit, lease, discipline).await
     }
 
     async fn do_check(
@@ -201,6 +224,7 @@ impl PooledUdpRpcClient {
         key: QosKey,
         solicit: bool,
         lease: Option<LeaseReport>,
+        discipline: &WireDiscipline,
     ) -> Result<QosResponse> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let mut request = if solicit {
@@ -229,18 +253,38 @@ impl PooledUdpRpcClient {
             AttemptPlan::plain(request.clone(), attempts)
         };
         let started = std::time::Instant::now();
+        let timeout = discipline.timeout.unwrap_or(self.config.timeout);
+        if let (Some(stats), Some(t)) = (&discipline.stats, discipline.timeout) {
+            stats
+                .adaptive_timeout_us
+                .store(t.as_micros() as u64, Ordering::Relaxed);
+        }
 
         let (tx, mut rx) = oneshot::channel();
         self.waiters.lock().insert(id, tx);
         // Ensure cleanup on every exit path.
         let result = async {
             let mut attempted = 0u32;
-            for attempt in 0..attempts {
+            'attempts: for attempt in 0..attempts {
                 if attempt > 0 {
-                    let pause = self.config.backoff.delay_before(attempt);
+                    // Retries draw from the shared budget first: a
+                    // refusal means the fleet is already amplifying, and
+                    // this call settles for the router default instead
+                    // of adding load.
+                    if let Some(budget) = &discipline.budget {
+                        if !budget.try_withdraw() {
+                            break;
+                        }
+                    }
+                    let now = Nanos::from_nanos(started.elapsed().as_nanos() as u64);
+                    // Clamped: a jittered backoff must never sleep past
+                    // the point where `BudgetSpent` stops the call.
+                    let pause = plan.clamped_pause(self.config.backoff.delay_before(attempt), now);
                     if !pause.is_zero() {
                         tokio::time::sleep(pause).await;
                     }
+                } else if let Some(budget) = &discipline.budget {
+                    budget.deposit();
                 }
                 let now = Nanos::from_nanos(started.elapsed().as_nanos() as u64);
                 let this_attempt: QosRequest = match plan.request_for(attempt, now) {
@@ -248,12 +292,57 @@ impl PooledUdpRpcClient {
                     AttemptStep::BudgetSpent => break,
                 };
                 attempted += 1;
+                let sent = std::time::Instant::now();
                 self.send_attempt(server, &this_attempt).await?;
-                match tokio::time::timeout(self.config.timeout, &mut rx).await {
-                    Ok(Ok(resp)) => return Ok(resp),
-                    // Channel dropped: demux task died (socket closed).
-                    Ok(Err(_)) => return Err(JanusError::state("udp pool demux task is gone")),
-                    Err(_elapsed) => continue,
+                let mut remaining = timeout;
+                let mut hedged = false;
+                loop {
+                    // An armed hedge splits the attempt's wait in two:
+                    // fire the duplicate at the learned-tail delay, then
+                    // wait out the rest of the timeout for whichever
+                    // copy answers first.
+                    let phase = match discipline.hedge_delay {
+                        Some(delay) if !hedged && delay < remaining => delay,
+                        _ => remaining,
+                    };
+                    match tokio::time::timeout(phase, &mut rx).await {
+                        Ok(Ok(resp)) => {
+                            if let Some(rtt) = &discipline.rtt {
+                                rtt.record(sent.elapsed().as_micros() as u64);
+                            }
+                            if hedged {
+                                if let Some(stats) = &discipline.stats {
+                                    stats.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                            return Ok(resp);
+                        }
+                        // Channel dropped: demux task died (socket closed).
+                        Ok(Err(_)) => return Err(JanusError::state("udp pool demux task is gone")),
+                        Err(_elapsed) if !hedged && phase < remaining => {
+                            hedged = true;
+                            remaining -= phase;
+                            // Slower than the partition's learned tail:
+                            // re-present the *same* nonce (the dedup
+                            // window makes the losing copy a cached
+                            // duplicate, so the pair consumes one
+                            // credit), budget permitting.
+                            let now = Nanos::from_nanos(started.elapsed().as_nanos() as u64);
+                            let funded = discipline
+                                .budget
+                                .as_ref()
+                                .map_or(true, |budget| budget.try_withdraw());
+                            if funded {
+                                if let Some(frame) = plan.hedge_for(attempt, now) {
+                                    self.send_attempt(server, &frame).await?;
+                                    if let Some(stats) = &discipline.stats {
+                                        stats.hedges_sent.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                            }
+                        }
+                        Err(_elapsed) => continue 'attempts,
+                    }
                 }
             }
             Err(JanusError::Timeout {

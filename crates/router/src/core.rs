@@ -28,9 +28,14 @@ use janus_bucket::{AtomicBucket, LeakyBucket};
 use janus_clock::Nanos;
 use janus_hash::{ModuloRouter, Router as _};
 use janus_net::breaker::{Admission, BreakerConfig, BreakerState, CircuitBreaker};
+use janus_net::latency::{
+    HedgePolicy, HedgeStats, RetryBudget, RetryBudgetConfig, SharedLatency, TimeoutPolicy,
+    WireDiscipline,
+};
 use janus_types::sync::Mutex;
 use janus_types::{Lease, LeaseReport, QosKey, QosResponse, RuleHint, Verdict};
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The decision half of [`crate::RouterConfig`]: everything the core
@@ -52,6 +57,40 @@ pub struct RouterCoreConfig {
     /// and admit them locally with zero network I/O. `None` keeps every
     /// check on the RPC path (the pre-lease behaviour).
     pub lease: Option<RouterLeaseConfig>,
+    /// Gray-failure discipline: per-partition adaptive timeouts,
+    /// credit-safe same-nonce hedging and the node-global retry budget
+    /// (DESIGN.md ablation 15). `None` keeps the paper's fixed wire
+    /// discipline — the default, byte-identical to the pre-gray plane.
+    pub gray: Option<GrayConfig>,
+}
+
+/// The router half of the gray-failure plane: how this node learns
+/// latency, when it hedges, and how hard retry traffic is capped.
+#[derive(Debug, Clone)]
+pub struct GrayConfig {
+    /// Per-attempt timeout derivation. [`TimeoutPolicy::Fixed`] keeps
+    /// the transport's configured timeout while still learning RTTs (so
+    /// hedging works without adaptive timeouts).
+    pub timeout: TimeoutPolicy,
+    /// Hedge in-flight attempts after the learned-tail delay; `None`
+    /// never hedges.
+    pub hedge: Option<HedgePolicy>,
+    /// Cap retry + hedge traffic with a node-global token bucket;
+    /// `None` leaves the configured retry schedule unbounded.
+    pub budget: Option<RetryBudgetConfig>,
+    /// Attempt-RTT samples tracked per partition.
+    pub window: usize,
+}
+
+impl Default for GrayConfig {
+    fn default() -> Self {
+        GrayConfig {
+            timeout: TimeoutPolicy::adaptive_defaults(),
+            hedge: Some(HedgePolicy::default()),
+            budget: Some(RetryBudgetConfig::default()),
+            window: 64,
+        }
+    }
 }
 
 /// The router half of the credit-lease plane (DESIGN.md ablation 13).
@@ -196,6 +235,14 @@ pub struct RouterCore {
     /// Expired leases awaiting a return-and-reconcile report, consumed
     /// by the next forwarded request for the key.
     returns: Mutex<HashMap<QosKey, LeaseReport>>,
+    /// Gray-failure discipline; `None` disables the whole plane.
+    gray: Option<GrayConfig>,
+    /// Per-partition attempt-RTT windows (empty when gray is off).
+    rtt: Vec<Arc<SharedLatency>>,
+    /// Node-global retry/hedge budget (present only when configured).
+    budget: Option<Arc<RetryBudget>>,
+    /// Hedge counters the transports report into.
+    hedge_stats: Arc<HedgeStats>,
 }
 
 impl RouterCore {
@@ -209,6 +256,17 @@ impl RouterCore {
                 .collect(),
             None => Vec::new(),
         };
+        let rtt = match &config.gray {
+            Some(gray) => (0..partitions)
+                .map(|_| Arc::new(SharedLatency::new(gray.window.max(1))))
+                .collect(),
+            None => Vec::new(),
+        };
+        let budget = config
+            .gray
+            .as_ref()
+            .and_then(|gray| gray.budget)
+            .map(|cfg| Arc::new(RetryBudget::new(cfg)));
         RouterCore {
             hash: ModuloRouter::new(partitions),
             default_verdict: config.default_verdict,
@@ -219,6 +277,10 @@ impl RouterCore {
             lease: config.lease,
             leases: Mutex::new(HashMap::new()),
             returns: Mutex::new(HashMap::new()),
+            gray: config.gray,
+            rtt,
+            budget,
+            hedge_stats: Arc::new(HedgeStats::new()),
         }
     }
 
@@ -452,6 +514,74 @@ impl RouterCore {
         !self.breakers.is_empty() && self.breakers.iter().all(|b| b.is_open(now))
     }
 
+    /// Whether the gray-failure discipline is on at all.
+    pub fn gray_enabled(&self) -> bool {
+        self.gray.is_some()
+    }
+
+    /// Record one observed attempt RTT (microseconds) against the
+    /// partition that served it. No-op while the gray plane is off.
+    pub fn record_rtt(&self, partition: usize, rtt_us: u64) {
+        if let Some(window) = self.rtt.get(partition) {
+            window.record(rtt_us);
+        }
+    }
+
+    /// The per-attempt timeout to use against `partition`, derived from
+    /// its learned latency window; `baseline` is the transport's
+    /// configured fixed timeout (returned verbatim while the gray plane
+    /// is off, the policy is [`TimeoutPolicy::Fixed`], or the window is
+    /// still warming up).
+    pub fn attempt_timeout(&self, partition: usize, baseline: Duration) -> Duration {
+        match (&self.gray, self.rtt.get(partition)) {
+            (Some(gray), Some(window)) => window.with(|w| gray.timeout.timeout_for(w, baseline)),
+            _ => baseline,
+        }
+    }
+
+    /// The hedge delay for an attempt against `partition`, or `None`
+    /// while hedging is off or the partition's window is still warming
+    /// up (no hedge is sent).
+    pub fn hedge_delay(&self, partition: usize) -> Option<Duration> {
+        let gray = self.gray.as_ref()?;
+        let hedge = gray.hedge.as_ref()?;
+        self.rtt
+            .get(partition)
+            .and_then(|window| window.with(|w| hedge.delay_for(w)))
+    }
+
+    /// Build the [`WireDiscipline`] one RPC against `partition` should
+    /// carry; `baseline` is the transport's configured fixed timeout.
+    /// With the gray plane off this is the all-`None` no-op discipline,
+    /// so the transports reproduce the paper's wire behaviour exactly.
+    pub fn discipline(&self, partition: usize, baseline: Duration) -> WireDiscipline {
+        let Some(gray) = &self.gray else {
+            return WireDiscipline::default();
+        };
+        let timeout = match gray.timeout {
+            TimeoutPolicy::Fixed => None,
+            TimeoutPolicy::Adaptive { .. } => Some(self.attempt_timeout(partition, baseline)),
+        };
+        WireDiscipline {
+            timeout,
+            hedge_delay: self.hedge_delay(partition),
+            budget: self.budget.clone(),
+            stats: Some(Arc::clone(&self.hedge_stats)),
+            rtt: self.rtt.get(partition).cloned(),
+        }
+    }
+
+    /// The node-global retry/hedge budget, when configured.
+    pub fn retry_budget(&self) -> Option<&Arc<RetryBudget>> {
+        self.budget.as_ref()
+    }
+
+    /// The hedge counters the transports report into
+    /// (`hedges_sent` / `hedge_wins` / `adaptive_timeout_us`).
+    pub fn hedge_stats(&self) -> &Arc<HedgeStats> {
+        &self.hedge_stats
+    }
+
     /// Keys with a learned rule hint (diagnostics).
     pub fn hinted_keys(&self) -> usize {
         self.hints.lock().len()
@@ -485,6 +615,7 @@ mod tests {
                 open_timeout: Duration::from_secs(60),
             }),
             lease: None,
+            gray: None,
         })
     }
 
@@ -495,6 +626,7 @@ mod tests {
             fleet_size: 1,
             breaker: None,
             lease: Some(RouterLeaseConfig::new(holder)),
+            gray: None,
         })
     }
 
@@ -550,6 +682,7 @@ mod tests {
             fleet_size: 1,
             breaker: None,
             lease: None,
+            gray: None,
         });
         let k = key("tenant");
         let p = core.route(&k);
@@ -629,6 +762,7 @@ mod tests {
                 open_timeout: Duration::from_secs(60),
             }),
             lease: None,
+            gray: None,
         });
         let k = key("shared");
         assert!(core.on_response(0, &k, &hinted(1, 8, 0), T0).hint_learned);
@@ -669,6 +803,7 @@ mod tests {
                 open_timeout: Duration::from_millis(250),
             }),
             lease: None,
+            gray: None,
         });
         let k = key("tenant");
         assert!(core.on_failure(0, &k, T0).is_some());
@@ -799,6 +934,7 @@ mod tests {
                 open_timeout: Duration::from_secs(60),
             }),
             lease: Some(RouterLeaseConfig::new(1)),
+            gray: None,
         });
         let k = key("hot");
         core.on_response(0, &k, &grant(1, 2, 0, 50_000, 1), T0);
@@ -809,5 +945,111 @@ mod tests {
         assert!(matches!(core.begin(&k, T0), RouterStep::LeaseAdmit { .. }));
         // Slice dry during the brownout: now the breaker answers.
         assert!(matches!(core.begin(&k, T0), RouterStep::FastFail { .. }));
+    }
+
+    fn gray_core(partitions: usize, gray: GrayConfig) -> RouterCore {
+        RouterCore::new(RouterCoreConfig {
+            partitions,
+            default_verdict: Verdict::Deny,
+            fleet_size: 1,
+            breaker: None,
+            lease: None,
+            gray: Some(gray),
+        })
+    }
+
+    #[test]
+    fn gray_off_keeps_the_legacy_wire_discipline() {
+        let core = core(2, 3);
+        assert!(!core.gray_enabled());
+        let baseline = Duration::from_micros(100);
+        core.record_rtt(0, 5_000); // no window exists: silently dropped
+        assert_eq!(core.attempt_timeout(0, baseline), baseline);
+        assert_eq!(core.hedge_delay(0), None);
+        assert!(core.retry_budget().is_none());
+        assert!(core.discipline(0, baseline).is_noop());
+    }
+
+    #[test]
+    fn adaptive_timeout_engages_only_after_warmup() {
+        let core = gray_core(1, GrayConfig::default());
+        let baseline = Duration::from_micros(100);
+        for _ in 0..(janus_net::latency::ADAPTIVE_WARMUP - 1) {
+            core.record_rtt(0, 200);
+            assert_eq!(core.attempt_timeout(0, baseline), baseline);
+        }
+        core.record_rtt(0, 200);
+        // 3 × p99 of an all-200µs window.
+        assert_eq!(
+            core.attempt_timeout(0, baseline),
+            Duration::from_micros(600)
+        );
+        let d = core.discipline(0, baseline);
+        assert_eq!(d.timeout, Some(Duration::from_micros(600)));
+        assert!(!d.is_noop());
+    }
+
+    #[test]
+    fn latency_windows_are_isolated_per_partition() {
+        let core = gray_core(2, GrayConfig::default());
+        for _ in 0..janus_net::latency::ADAPTIVE_WARMUP {
+            core.record_rtt(0, 400);
+        }
+        assert_eq!(core.hedge_delay(0), Some(Duration::from_micros(400)));
+        assert_eq!(core.hedge_delay(1), None, "partition 1 never warmed up");
+        let baseline = Duration::from_micros(100);
+        assert_eq!(core.attempt_timeout(1, baseline), baseline);
+        assert_eq!(
+            core.attempt_timeout(0, baseline),
+            Duration::from_micros(1_200)
+        );
+    }
+
+    #[test]
+    fn retry_budget_is_shared_across_partitions() {
+        let core = gray_core(4, GrayConfig::default());
+        let baseline = Duration::from_micros(100);
+        let d0 = core.discipline(0, baseline);
+        let d3 = core.discipline(3, baseline);
+        let shared = d0.budget.expect("budget is on by default");
+        for _ in 0..10 {
+            assert!(shared.try_withdraw(), "default reserve banks 10 retries");
+        }
+        // One node-wide bucket: draining it via partition 0's discipline
+        // drains it for partition 3 too.
+        assert!(!d3.budget.expect("same bucket").try_withdraw());
+        assert_eq!(core.retry_budget().unwrap().exhausted(), 1);
+        let sent = &core.hedge_stats().hedges_sent;
+        assert_eq!(sent.load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn fixed_timeout_mode_hedges_without_overriding_the_timeout() {
+        let core = gray_core(
+            1,
+            GrayConfig {
+                timeout: TimeoutPolicy::Fixed,
+                ..GrayConfig::default()
+            },
+        );
+        for _ in 0..janus_net::latency::ADAPTIVE_WARMUP {
+            core.record_rtt(0, 300);
+        }
+        let d = core.discipline(0, Duration::from_micros(100));
+        assert_eq!(d.timeout, None, "Fixed mode keeps the transport timeout");
+        assert_eq!(d.hedge_delay, Some(Duration::from_micros(300)));
+    }
+
+    #[test]
+    fn discipline_rtt_feeds_back_into_the_core_windows() {
+        let core = gray_core(1, GrayConfig::default());
+        let d = core.discipline(0, Duration::from_micros(100));
+        let rtt = d.rtt.expect("discipline carries the partition window");
+        for _ in 0..janus_net::latency::ADAPTIVE_WARMUP {
+            rtt.record(250);
+        }
+        // The transport records through its discipline; the next call's
+        // discipline sees the warmed window.
+        assert_eq!(core.hedge_delay(0), Some(Duration::from_micros(250)));
     }
 }

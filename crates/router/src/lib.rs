@@ -19,7 +19,8 @@
 //! socket addresses are also accepted for simple deployments.
 
 use crate::core::{
-    LeaseEvent, LocalAnswer, RouterCore, RouterCoreConfig, RouterLeaseConfig, RouterStep,
+    GrayConfig, LeaseEvent, LocalAnswer, RouterCore, RouterCoreConfig, RouterLeaseConfig,
+    RouterStep,
 };
 use janus_clock::SharedClock;
 use janus_net::breaker::{BreakerConfig, BreakerState};
@@ -102,6 +103,11 @@ pub struct RouterConfig {
     /// old servers — they drop the lease frame kind and retries fall
     /// back to the lease-free encoding.
     pub lease: bool,
+    /// Gray-failure resistance (DESIGN.md ablation 15): per-partition
+    /// adaptive attempt timeouts, credit-safe same-nonce hedging, and a
+    /// node-global retry budget. `None` (the default) keeps the paper's
+    /// fixed wire discipline byte-for-byte.
+    pub gray: Option<GrayConfig>,
 }
 
 impl RouterConfig {
@@ -118,6 +124,7 @@ impl RouterConfig {
             fleet_size: 1,
             deadline_propagation: true,
             lease: false,
+            gray: None,
         }
     }
 }
@@ -148,6 +155,16 @@ pub struct RouterStats {
     pub lease_renewals: AtomicU64,
     /// Held leases superseded by an epoch bump (server-side revocation).
     pub lease_revocations: AtomicU64,
+    /// Hedged (second in-flight, same-nonce) attempts put on the wire.
+    pub hedges_sent: AtomicU64,
+    /// Hedged attempts answered after the hedge fired — the window in
+    /// which the duplicate could have been the copy that won.
+    pub hedge_wins: AtomicU64,
+    /// Retries or hedges refused because the global retry budget was dry.
+    pub retry_budget_exhausted: AtomicU64,
+    /// Latest adaptively-derived per-attempt timeout, µs (gauge; 0 until
+    /// the adaptive mode first engages).
+    pub adaptive_timeout_us: AtomicU64,
 }
 
 /// A running request-router node.
@@ -176,6 +193,9 @@ struct RouterHandler {
     stats: Arc<RouterStats>,
     next_id: AtomicU64,
     clock: SharedClock,
+    /// The transport's configured fixed timeout — the baseline the
+    /// core's adaptive policy falls back to while warming up.
+    baseline_timeout: std::time::Duration,
 }
 
 /// How a verdict was produced, for stats attribution.
@@ -222,9 +242,13 @@ impl RouterHandler {
             } => (partition, solicit_hint, lease_ask),
         };
         let result = match self.resolve(partition) {
-            Ok(addr) => self.call_backend(addr, &key, solicit_hint, lease_ask).await,
+            Ok(addr) => {
+                self.call_backend(addr, partition, &key, solicit_hint, lease_ask)
+                    .await
+            }
             Err(e) => Err(e),
         };
+        self.mirror_gray_stats();
         match result {
             Ok(response) => {
                 let outcome = self
@@ -269,14 +293,19 @@ impl RouterHandler {
     /// rule hint; with leases on, it piggybacks the lease report from
     /// the core (retries inside the client fall back to the plain
     /// frame, so hint- and lease-unaware servers cost at most one
-    /// attempt).
+    /// attempt). The wire discipline (adaptive timeout, hedge delay,
+    /// retry budget, RTT recording) comes from the core per partition;
+    /// with the gray plane off it is the all-`None` no-op and both
+    /// transports reproduce the legacy byte-for-byte behaviour.
     async fn call_backend(
         &self,
         addr: SocketAddr,
+        partition: usize,
         key: &QosKey,
         solicit: bool,
         lease_ask: Option<janus_types::LeaseReport>,
     ) -> Result<QosResponse> {
+        let discipline = self.core.discipline(partition, self.baseline_timeout);
         match &self.rpc {
             RpcBackend::PerRequest(rpc) => {
                 let id = self.next_id.fetch_add(1, Ordering::Relaxed);
@@ -288,18 +317,38 @@ impl RouterHandler {
                 if let Some(report) = lease_ask {
                     request = request.with_lease(report);
                 }
-                rpc.call(addr, &request).await
+                rpc.call_disciplined(addr, &request, &discipline).await
             }
             RpcBackend::Pooled(pool) => {
-                if lease_ask.is_some() {
-                    pool.check_with_lease(addr, key.clone(), solicit, lease_ask)
-                        .await
-                } else if solicit {
-                    pool.check_soliciting_hint(addr, key.clone()).await
-                } else {
-                    pool.check(addr, key.clone()).await
-                }
+                pool.check_disciplined(addr, key.clone(), solicit, lease_ask, &discipline)
+                    .await
             }
+        }
+    }
+
+    /// Mirror the gray-plane counters into the exported [`RouterStats`].
+    /// The live counters are shared with the transports via the
+    /// discipline; this copies their current values (cheap, monotone),
+    /// so the stats struct stays plain atomics.
+    fn mirror_gray_stats(&self) {
+        if !self.core.gray_enabled() {
+            return;
+        }
+        let hedge = self.core.hedge_stats();
+        self.stats
+            .hedges_sent
+            .store(hedge.hedges_sent.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.stats
+            .hedge_wins
+            .store(hedge.hedge_wins.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.stats.adaptive_timeout_us.store(
+            hedge.adaptive_timeout_us.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        if let Some(budget) = self.core.retry_budget() {
+            self.stats
+                .retry_budget_exhausted
+                .store(budget.exhausted(), Ordering::Relaxed);
         }
     }
 }
@@ -383,6 +432,11 @@ impl RequestRouter {
         let partitions = config.backends.len();
         let mut udp = config.udp;
         udp.stamp_deadlines |= config.deadline_propagation;
+        // Hedging re-presents an attempt nonce, which only the stamped
+        // frame carries; the discipline degrades gracefully without it,
+        // but a gray config almost certainly wants deadline propagation.
+        udp.stamp_deadlines |= config.gray.is_some();
+        let baseline_timeout = udp.timeout;
         let rpc = if config.pooled_rpc {
             let batch = if config.batching {
                 BatchConfig::default()
@@ -406,6 +460,7 @@ impl RequestRouter {
                 lease: config
                     .lease
                     .then(|| RouterLeaseConfig::new(rand_seed() as u32)),
+                gray: config.gray,
             }),
             backends: config.backends,
             resolver,
@@ -413,6 +468,7 @@ impl RequestRouter {
             stats: Arc::clone(&stats),
             next_id: AtomicU64::new(rand_seed()),
             clock: janus_clock::system(),
+            baseline_timeout,
         });
         let http = HttpServer::spawn(Arc::clone(&handler)).await?;
         Ok(RequestRouter {
@@ -925,6 +981,86 @@ mod tests {
     fn rand_seed_is_unique_within_a_process() {
         let seeds: std::collections::HashSet<u64> = (0..1000).map(|_| rand_seed()).collect();
         assert_eq!(seeds.len(), 1000, "seed collision within one process");
+    }
+
+    #[tokio::test(flavor = "multi_thread", worker_threads = 4)]
+    async fn hedge_reuses_nonce_and_never_double_charges() {
+        use janus_net::latency::{HedgePolicy, RetryBudgetConfig, TimeoutPolicy};
+
+        // A slow-but-alive backend: every response deferred out-of-band,
+        // none dropped — the gray shape a breaker never sees. The hedge
+        // policy is pinned eager (floor == ceil == 1 µs) so every
+        // post-warmup attempt sends its duplicate long before the
+        // deferred answer lands, across both dispatch modes.
+        for pooled in [false, true] {
+            let faults = FaultPlan::new(0.0, 0.0, std::time::Duration::ZERO, 0x9E37);
+            faults.set_reordering(1.0, std::time::Duration::from_millis(1));
+            let server = QosServer::spawn_with_faults(
+                QosServerConfig::test_defaults(),
+                None,
+                janus_clock::system(),
+                Arc::clone(&faults),
+            )
+            .await
+            .unwrap();
+            server.table().insert(
+                QosRule::per_second(key("hedged"), 10, 0),
+                server.clock().now(),
+            );
+
+            let mut config = RouterConfig::direct([server.udp_addr()]);
+            config.pooled_rpc = pooled;
+            config.default_verdict = Verdict::Deny;
+            // The deferred answer must beat the attempt timeout, or the
+            // paper's 100 µs discipline would retry instead of hedging.
+            config.udp = UdpRpcConfig {
+                timeout: std::time::Duration::from_millis(50),
+                max_retries: 2,
+                ..Default::default()
+            };
+            config.gray = Some(GrayConfig {
+                timeout: TimeoutPolicy::Fixed,
+                hedge: Some(HedgePolicy {
+                    percentile: 95,
+                    floor: std::time::Duration::from_micros(1),
+                    ceil: std::time::Duration::from_micros(1),
+                }),
+                // Every primary funds a whole hedge: no refusals cloud
+                // the double-charge accounting this test pins down.
+                budget: Some(RetryBudgetConfig {
+                    deposit_pct: 100,
+                    min_reserve: 10,
+                    cap: 100,
+                }),
+                window: 64,
+            });
+            let router = RequestRouter::spawn(config, None).await.unwrap();
+            let mut client = HttpClient::connect(router.addr()).await.unwrap();
+
+            let mut allowed = 0;
+            for _ in 0..40 {
+                if check(&mut client, "hedged").await == Verdict::Allow {
+                    allowed += 1;
+                }
+            }
+
+            let hedges = router.stats().hedges_sent.load(Ordering::Relaxed);
+            assert!(hedges > 0, "pooled={pooled}: no hedge ever fired");
+            // Every hedge re-presents its primary's attempt nonce, so the
+            // duplicate is absorbed by the server's dedup window instead
+            // of charging the bucket a second time...
+            assert!(
+                server.stats().dedup_hits.load(Ordering::Relaxed) > 0,
+                "pooled={pooled}: no duplicate ever reached the dedup window"
+            );
+            // ...which is why capacity 10 yields exactly 10 allows no
+            // matter how many duplicates went out. A hedge that drew a
+            // fresh nonce would spend extra credits and fail this count.
+            assert_eq!(
+                allowed, 10,
+                "pooled={pooled}: {hedges} hedges double-charged the bucket"
+            );
+        }
     }
 
     #[tokio::test(flavor = "multi_thread", worker_threads = 4)]

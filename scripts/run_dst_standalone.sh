@@ -40,6 +40,8 @@ pub mod breaker;
 pub mod fault;
 #[path = "$REPO/crates/net/src/attempt.rs"]
 pub mod attempt;
+#[path = "$REPO/crates/net/src/latency.rs"]
+pub mod latency;
 EOF
 
 cat > "$BUILD/janus_server_subset.rs" <<EOF
